@@ -1,0 +1,59 @@
+//! Fig. 6 — "Generation speed": time to *generate* residual code for the
+//! MIXWELL and LAZY compilers, producing Scheme source (the classical PGG)
+//! vs. producing object code directly (the fused system).
+//!
+//! Paper shape: object-code generation is at most ~2× slower than source
+//! generation (and that gap was dominated by Scheme 48's higher-order code
+//! representation being converted to byte codes, which our assembler also
+//! models via template construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use two4one::with_stack;
+use two4one_bench::subjects;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_generation_speed");
+    group.sample_size(20);
+    for subject in subjects() {
+        let genext = subject.genext();
+        let statics = vec![subject.program.clone()];
+
+        let g = genext.clone();
+        let s = statics.clone();
+        group.bench_function(format!("{}/source", subject.name), move |b| {
+            b.iter_custom(|iters| {
+                let g = g.clone();
+                let s = s.clone();
+                with_stack(move || {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(g.specialize_source(&s).expect("specialize").size());
+                    }
+                    t0.elapsed()
+                })
+            })
+        });
+
+        let g = genext.clone();
+        let s = statics.clone();
+        group.bench_function(format!("{}/object", subject.name), move |b| {
+            b.iter_custom(|iters| {
+                let g = g.clone();
+                let s = s.clone();
+                with_stack(move || {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(g.specialize_object(&s).expect("specialize").code_size());
+                    }
+                    t0.elapsed()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Fig. 7 — "Compilation times for the specialization output": the cost of
+//! loading the generated *source* code back into the system (read → front
+//! end → A-normalize → compile) versus having generated object code
+//! directly.
+//!
+//! Paper shape: "loading the generated source code back into the Scheme
+//! system is by far more expensive than direct object code generation" —
+//! to produce object code from an ordinary specializer one pays
+//! source-generation (Fig. 6) *plus* this compilation time, while the
+//! fused system pays only its (slightly higher) generation time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use two4one::{compile_source_text, with_stack};
+use two4one_bench::subjects;
+
+fn bench_load_residual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_compile_residual");
+    group.sample_size(20);
+    for subject in subjects() {
+        let genext = subject.genext();
+        let statics = vec![subject.program.clone()];
+        // Prepare the residual source text once.
+        let text: String = {
+            let g = genext.clone();
+            let s = statics.clone();
+            with_stack(move || g.specialize_source(&s).expect("specialize").to_source())
+        };
+
+        let entry: &'static str = subject.entry;
+        let t = text.clone();
+        group.bench_function(format!("{}/load-source", subject.name), move |b| {
+            b.iter_custom(|iters| {
+                let t = t.clone();
+                with_stack(move || {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(
+                            compile_source_text(&t, entry).expect("compile").code_size(),
+                        );
+                    }
+                    t0.elapsed()
+                })
+            })
+        });
+
+        // For comparison in the same group: the fused path that replaces
+        // the load step entirely.
+        let g = genext.clone();
+        let s = statics.clone();
+        group.bench_function(format!("{}/direct-object", subject.name), move |b| {
+            b.iter_custom(|iters| {
+                let g = g.clone();
+                let s = s.clone();
+                with_stack(move || {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(g.specialize_object(&s).expect("specialize").code_size());
+                    }
+                    t0.elapsed()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_residual);
+criterion_main!(benches);

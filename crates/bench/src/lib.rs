@@ -1,0 +1,146 @@
+//! Shared harness for the paper-reproduction benchmarks (Sec. 7).
+//!
+//! The paper's measurements (Pentium/90, Scheme 48 0.46, seconds,
+//! cumulative over many runs) cannot be matched in absolute terms; what
+//! must reproduce is the *shape*: which configuration wins and by roughly
+//! what factor. The [`paper`] module records the published numbers so the
+//! `tables` binary can print them next to measured values.
+
+use std::time::{Duration, Instant};
+use two4one::{with_stack, CallPolicy, Datum, Division, GenExt, Pgg, BT};
+use two4one_langs as langs;
+
+/// A benchmark subject: an interpreter plus the static program it is
+/// specialized over (the paper's MIXWELL and LAZY rows).
+pub struct Subject {
+    /// Row label.
+    pub name: &'static str,
+    /// The interpreter source.
+    pub interp_src: &'static str,
+    /// Its entry point.
+    pub entry: &'static str,
+    /// Unfold/memoize policies.
+    pub policies: Vec<(&'static str, CallPolicy)>,
+    /// The static input (the interpreted program).
+    pub program: Datum,
+    /// A dynamic argument vector for executing residual code.
+    pub run_args: Datum,
+}
+
+/// The two subjects of Sec. 7.
+pub fn subjects() -> Vec<Subject> {
+    vec![
+        Subject {
+            name: "MIXWELL",
+            interp_src: langs::MIXWELL_INTERP,
+            entry: "mixwell-run",
+            policies: langs::mixwell_policies(),
+            program: langs::mixwell_program(),
+            run_args: Datum::list([Datum::Int(30)]),
+        },
+        Subject {
+            name: "LAZY",
+            interp_src: langs::LAZY_INTERP,
+            entry: "lazy-run",
+            policies: langs::lazy_policies(),
+            program: langs::lazy_program(),
+            run_args: Datum::list([Datum::Int(3), Datum::Int(12)]),
+        },
+    ]
+}
+
+impl Subject {
+    /// The configured PGG for this subject.
+    pub fn pgg(&self) -> Pgg {
+        self.policies
+            .iter()
+            .fold(Pgg::new(), |p, (n, pol)| p.policy(n, *pol))
+    }
+
+    /// The interpreter as Core Scheme.
+    pub fn parsed(&self) -> two4one::cs::Program {
+        self.pgg().parse(self.interp_src).expect("interpreter parses")
+    }
+
+    /// The generating extension under the compilation division
+    /// (program static, input dynamic).
+    pub fn genext(&self) -> GenExt {
+        self.pgg()
+            .cogen(
+                &self.parsed(),
+                self.entry,
+                &Division::new([BT::Static, BT::Dynamic]),
+            )
+            .expect("cogen")
+    }
+
+    /// The generating extension with everything dynamic (Fig. 8's
+    /// "normal compilation" mode). The per-function unfold policies are
+    /// *not* applied here: they are only meaningful under the compilation
+    /// division (with nothing static, unfolding a recursive interpreter
+    /// loop would never terminate); the automatic Bondorf rule memoizes
+    /// every recursive function with dynamic control instead.
+    pub fn genext_all_dynamic(&self) -> GenExt {
+        Pgg::new()
+            .cogen(&self.parsed(), self.entry, &Division::all_dynamic(2))
+            .expect("cogen all-dynamic")
+    }
+}
+
+/// Times `f()` `reps` times on a large-stack worker thread and returns the
+/// minimum duration (the usual noise-robust point estimate).
+pub fn time_min<F>(reps: u32, f: F) -> Duration
+where
+    F: Fn() + Send + 'static,
+{
+    with_stack(move || {
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed());
+        }
+        best
+    })
+}
+
+/// The numbers published in the paper, for side-by-side printing.
+pub mod paper {
+    /// Fig. 6 "Generation speed" (seconds, cumulative): (source, object).
+    pub const FIG6: &[(&str, f64, f64)] =
+        &[("MIXWELL", 3.072, 3.770), ("LAZY", 1.832, 3.451)];
+
+    /// Fig. 8 "Using RTCG for normal compilation":
+    /// (name, BTA, Load, Generate, Compile).
+    pub const FIG8: &[(&str, f64, f64, f64, f64)] = &[
+        ("MIXWELL", 2.730, 4.026, 0.652, 0.964),
+        ("LAZY", 2.253, 3.217, 0.568, 0.604),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subjects_build_their_genexts() {
+        with_stack(|| {
+            for s in subjects() {
+                let g = s.genext();
+                let img = g.specialize_object(&[s.program.clone()]).unwrap();
+                assert!(img.code_size() > 0);
+                let gd = s.genext_all_dynamic();
+                let img = gd.specialize_object(&[]).unwrap();
+                assert!(img.code_size() > 0);
+            }
+        });
+    }
+
+    #[test]
+    fn time_min_returns_positive() {
+        let d = time_min(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,654 @@
+//! Control-flow analysis and the binding-time fixpoint.
+//!
+//! The program is first loaded into an indexed arena ([`Node`]) so that
+//! every expression, lambda, and top-level function has a stable id. A
+//! 0-CFA then computes, for every node and variable, the set of procedures
+//! (lambdas and top-level functions) that can flow there. The binding-time
+//! fixpoint runs on top: it propagates `S ⊑ D` forward and applies *demand*
+//! effects — a procedure flowing into a dynamic context or into data must
+//! be residualized, because closures cannot be lifted.
+
+use crate::{Division, Options};
+use std::collections::{BTreeSet, HashMap};
+use two4one_syntax::acs::{CallPolicy, BT};
+use two4one_syntax::cs;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+
+/// Index of an expression node.
+pub type NodeId = usize;
+/// Index of a lambda.
+pub type LamId = usize;
+/// Index of a top-level function.
+pub type FnId = usize;
+
+/// An abstract procedure value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProcId {
+    /// A lambda by label.
+    Lam(LamId),
+    /// A top-level function by index.
+    Fn(FnId),
+}
+
+/// An arena expression node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Constant.
+    Const(Datum),
+    /// Variable (local or global).
+    Var(Symbol),
+    /// Lambda by label.
+    Lam(LamId),
+    /// Conditional.
+    If(NodeId, NodeId, NodeId),
+    /// Single-binding let.
+    Let(Symbol, NodeId, NodeId),
+    /// Application.
+    App(NodeId, Vec<NodeId>),
+    /// Primitive application.
+    Prim(Prim, Vec<NodeId>),
+}
+
+/// Arena data for a lambda.
+#[derive(Debug, Clone)]
+pub struct LamInfo {
+    /// Name hint.
+    pub name: Symbol,
+    /// Parameters.
+    pub params: Vec<Symbol>,
+    /// Body node.
+    pub body: NodeId,
+    /// The top-level function this lambda occurs in.
+    pub owner: FnId,
+}
+
+/// Arena data for a top-level function.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Name.
+    pub name: Symbol,
+    /// Parameters.
+    pub params: Vec<Symbol>,
+    /// Body node.
+    pub body: NodeId,
+}
+
+/// The analysis state; [`Analysis::run`] drives it to fixpoint.
+pub struct Analysis {
+    /// Expression arena.
+    pub nodes: Vec<Node>,
+    /// Lambda table.
+    pub lams: Vec<LamInfo>,
+    /// Function table (aligned with the input program's definitions).
+    pub fns: Vec<FnInfo>,
+    /// Global name → function index.
+    pub fn_index: HashMap<Symbol, FnId>,
+    /// Owning function of each node.
+    pub owner: Vec<FnId>,
+    /// 0-CFA: procedures reaching each node.
+    pub flow_node: Vec<BTreeSet<ProcId>>,
+    /// 0-CFA: procedures reaching each variable.
+    pub flow_var: HashMap<Symbol, BTreeSet<ProcId>>,
+    /// Binding time of each node.
+    pub bt_node: Vec<BT>,
+    /// Binding time of each variable.
+    pub bt_var: HashMap<Symbol, BT>,
+    /// Lambdas that must be residualized.
+    pub dyn_lam: Vec<bool>,
+    /// Functions used as dynamic values (→ all-dynamic memoized version).
+    pub escaped_fn: Vec<bool>,
+    /// Memoization points.
+    pub memo_fn: Vec<bool>,
+    /// Result binding time per function.
+    pub result_fn: Vec<BT>,
+    /// Whether the function sits in a recursive call-graph component.
+    pub recursive_fn: Vec<bool>,
+    /// Nodes that provably never return a value (`error` and conditionals
+    /// all of whose branches never return). Such nodes are excluded from
+    /// result-binding-time joins so an unreachable `(error …)` branch does
+    /// not drag an otherwise static lookup to dynamic — the treatment
+    /// `error` gets in Similix-style BTAs.
+    pub never: Vec<bool>,
+    /// Entry function.
+    pub entry: FnId,
+    policy_overrides: HashMap<Symbol, CallPolicy>,
+}
+
+impl Analysis {
+    /// Loads the program into the arena and seeds the division.
+    pub fn build(
+        prog: &cs::Program,
+        entry: &Symbol,
+        division: &Division,
+        options: &Options,
+    ) -> Analysis {
+        let fn_index: HashMap<Symbol, FnId> = prog
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        let mut a = Analysis {
+            nodes: Vec::new(),
+            lams: Vec::new(),
+            fns: Vec::new(),
+            fn_index,
+            owner: Vec::new(),
+            flow_node: Vec::new(),
+            flow_var: HashMap::new(),
+            bt_node: Vec::new(),
+            bt_var: HashMap::new(),
+            dyn_lam: Vec::new(),
+            escaped_fn: Vec::new(),
+            memo_fn: Vec::new(),
+            result_fn: Vec::new(),
+            recursive_fn: Vec::new(),
+            never: Vec::new(),
+            entry: 0,
+            policy_overrides: options.policy_overrides.clone(),
+        };
+        for (i, d) in prog.defs.iter().enumerate() {
+            let body = a.load(&d.body, i);
+            a.fns.push(FnInfo {
+                name: d.name.clone(),
+                params: d.params.clone(),
+                body,
+            });
+            a.escaped_fn.push(false);
+            a.memo_fn.push(false);
+            a.result_fn.push(BT::Static);
+        }
+        a.entry = a.fn_index[entry];
+        // Seed the division.
+        let entry_params = a.fns[a.entry].params.clone();
+        for (p, bt) in entry_params.iter().zip(&division.params) {
+            a.bt_var.insert(p.clone(), *bt);
+        }
+        a
+    }
+
+    fn load(&mut self, e: &cs::Expr, owner: FnId) -> NodeId {
+        let node = match e {
+            cs::Expr::Const(d) => Node::Const(d.clone()),
+            cs::Expr::Var(x) => Node::Var(x.clone()),
+            cs::Expr::Lambda(l) => {
+                let body = self.load(&l.body, owner);
+                self.lams.push(LamInfo {
+                    name: l.name.clone(),
+                    params: l.params.clone(),
+                    body,
+                    owner,
+                });
+                self.dyn_lam.push(false);
+                Node::Lam(self.lams.len() - 1)
+            }
+            cs::Expr::If(t, c, alt) => Node::If(
+                self.load(t, owner),
+                self.load(c, owner),
+                self.load(alt, owner),
+            ),
+            cs::Expr::Let(x, rhs, body) => Node::Let(
+                x.clone(),
+                self.load(rhs, owner),
+                self.load(body, owner),
+            ),
+            cs::Expr::App(f, args) => {
+                let f = self.load(f, owner);
+                let args = args.iter().map(|x| self.load(x, owner)).collect();
+                Node::App(f, args)
+            }
+            cs::Expr::PrimApp(p, args) => {
+                let args = args.iter().map(|x| self.load(x, owner)).collect();
+                Node::Prim(*p, args)
+            }
+        };
+        self.nodes.push(node);
+        self.owner.push(owner);
+        self.flow_node.push(BTreeSet::new());
+        self.bt_node.push(BT::Static);
+        self.nodes.len() - 1
+    }
+
+    /// True if the symbol names a top-level function (globals are never
+    /// shadowed after alpha renaming).
+    pub fn is_global(&self, x: &Symbol) -> bool {
+        self.fn_index.contains_key(x)
+    }
+
+    /// The procedures a callee set can reach through an operator node.
+    pub fn callees(&self, f: NodeId) -> BTreeSet<ProcId> {
+        self.flow_node[f].clone()
+    }
+
+    /// Runs CFA, the recursion analysis, and the binding-time fixpoint.
+    pub fn run(&mut self) {
+        self.cfa();
+        self.find_recursion();
+        self.find_never();
+        self.bt_fixpoint();
+    }
+
+    /// Least fixpoint of "this node never returns a value": `error`
+    /// applications, conditionals whose branches all diverge, lets whose
+    /// right-hand side or body diverges, and applications all of whose
+    /// callees' bodies diverge.
+    fn find_never(&mut self) {
+        self.never = vec![false; self.nodes.len()];
+        loop {
+            let mut changed = false;
+            for n in 0..self.nodes.len() {
+                let new = match &self.nodes[n] {
+                    Node::Prim(Prim::Error, _) => true,
+                    Node::If(_, c, a) => self.never[*c] && self.never[*a],
+                    Node::Let(_, rhs, body) => self.never[*rhs] || self.never[*body],
+                    Node::App(f, _) => {
+                        let callees = &self.flow_node[*f];
+                        !callees.is_empty()
+                            && callees.iter().all(|c| match c {
+                                ProcId::Lam(l) => self.never[self.lams[*l].body],
+                                ProcId::Fn(g) => self.never[self.fns[*g].body],
+                            })
+                    }
+                    _ => false,
+                };
+                if new && !self.never[n] {
+                    self.never[n] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // ----- control-flow analysis ---------------------------------------
+
+    fn cfa(&mut self) {
+        loop {
+            let mut changed = false;
+            for n in 0..self.nodes.len() {
+                let add: BTreeSet<ProcId> = match &self.nodes[n] {
+                    Node::Const(_) | Node::Prim(..) => BTreeSet::new(),
+                    Node::Var(x) => {
+                        if let Some(&g) = self.fn_index.get(x) {
+                            [ProcId::Fn(g)].into_iter().collect()
+                        } else {
+                            self.flow_var.get(x).cloned().unwrap_or_default()
+                        }
+                    }
+                    Node::Lam(l) => [ProcId::Lam(*l)].into_iter().collect(),
+                    Node::If(_, c, a) => {
+                        let mut s = self.flow_node[*c].clone();
+                        s.extend(self.flow_node[*a].iter().cloned());
+                        s
+                    }
+                    Node::Let(x, rhs, body) => {
+                        let rhs_flow = self.flow_node[*rhs].clone();
+                        let entry = self.flow_var.entry(x.clone()).or_default();
+                        let before = entry.len();
+                        entry.extend(rhs_flow);
+                        changed |= entry.len() != before;
+                        self.flow_node[*body].clone()
+                    }
+                    Node::App(f, args) => {
+                        let callees = self.flow_node[*f].clone();
+                        let args = args.clone();
+                        let mut result = BTreeSet::new();
+                        for callee in callees {
+                            let (params, body) = match callee {
+                                ProcId::Lam(l) => {
+                                    (self.lams[l].params.clone(), self.lams[l].body)
+                                }
+                                ProcId::Fn(g) => {
+                                    (self.fns[g].params.clone(), self.fns[g].body)
+                                }
+                            };
+                            for (p, arg) in params.iter().zip(&args) {
+                                let arg_flow = self.flow_node[*arg].clone();
+                                let entry = self.flow_var.entry(p.clone()).or_default();
+                                let before = entry.len();
+                                entry.extend(arg_flow);
+                                changed |= entry.len() != before;
+                            }
+                            result.extend(self.flow_node[body].iter().cloned());
+                        }
+                        result
+                    }
+                };
+                let before = self.flow_node[n].len();
+                self.flow_node[n].extend(add);
+                changed |= self.flow_node[n].len() != before;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // ----- recursion detection ------------------------------------------
+
+    fn find_recursion(&mut self) {
+        // Call-graph edge g → h: an application site owned by g can invoke
+        // top-level function h (directly or through a lambda defined in g).
+        let n = self.fns.len();
+        let mut edges: Vec<BTreeSet<FnId>> = vec![BTreeSet::new(); n];
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Node::App(f, _) = node {
+                for callee in &self.flow_node[*f] {
+                    if let ProcId::Fn(h) = callee {
+                        edges[self.owner[id]].insert(*h);
+                    }
+                }
+            }
+        }
+        // g is recursive iff g is reachable from itself.
+        self.recursive_fn = (0..n)
+            .map(|g| {
+                let mut seen = BTreeSet::new();
+                let mut work: Vec<FnId> = edges[g].iter().cloned().collect();
+                while let Some(h) = work.pop() {
+                    if h == g {
+                        return true;
+                    }
+                    if seen.insert(h) {
+                        work.extend(edges[h].iter().cloned());
+                    }
+                }
+                false
+            })
+            .collect();
+    }
+
+    // ----- binding-time fixpoint ----------------------------------------
+
+    fn var_bt(&self, x: &Symbol) -> BT {
+        if self.is_global(x) {
+            BT::Static
+        } else {
+            self.bt_var.get(x).copied().unwrap_or(BT::Static)
+        }
+    }
+
+    fn raise_var(&mut self, x: &Symbol, bt: BT, changed: &mut bool) {
+        let cur = self.bt_var.entry(x.clone()).or_insert(BT::Static);
+        let new = cur.lub(bt);
+        if new != *cur {
+            *cur = new;
+            *changed = true;
+        }
+    }
+
+    /// A procedure flowing into a dynamic context or into data must be
+    /// residualized.
+    fn escape_flow(&mut self, n: NodeId, changed: &mut bool) {
+        let procs: Vec<ProcId> = self.flow_node[n].iter().cloned().collect();
+        for p in procs {
+            match p {
+                ProcId::Lam(l) => {
+                    if !self.dyn_lam[l] {
+                        self.dyn_lam[l] = true;
+                        *changed = true;
+                    }
+                }
+                ProcId::Fn(g) => {
+                    if !self.escaped_fn[g] {
+                        self.escaped_fn[g] = true;
+                        *changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The binding time demanded for argument position `i` of a static
+    /// application site with callee set `callees`.
+    pub fn site_param_bt(&self, callees: &BTreeSet<ProcId>, i: usize) -> BT {
+        let mut bt = BT::Static;
+        for c in callees {
+            let params = match c {
+                ProcId::Lam(l) => &self.lams[*l].params,
+                ProcId::Fn(g) => &self.fns[*g].params,
+            };
+            if let Some(p) = params.get(i) {
+                bt = bt.lub(self.var_bt(p));
+            }
+        }
+        bt
+    }
+
+    /// Result binding time of a static application over `callees`.
+    fn site_result_bt(&self, callees: &BTreeSet<ProcId>) -> BT {
+        if callees.is_empty() {
+            // Unknown operator: be conservative.
+            return BT::Dynamic;
+        }
+        let mut bt = BT::Static;
+        for c in callees {
+            bt = bt.lub(match c {
+                ProcId::Lam(l) => {
+                    if self.dyn_lam[*l] {
+                        BT::Dynamic
+                    } else {
+                        self.bt_node[self.lams[*l].body]
+                    }
+                }
+                ProcId::Fn(g) => self.result_fn[*g],
+            });
+        }
+        bt
+    }
+
+    fn bt_fixpoint(&mut self) {
+        loop {
+            let mut changed = false;
+
+            // Demand: entry result is residual code.
+            self.escape_flow(self.fns[self.entry].body, &mut changed);
+
+            // Forward propagation over all nodes (they are in child-first
+            // order because `load` pushes children before parents).
+            for n in 0..self.nodes.len() {
+                let new_bt = match &self.nodes[n] {
+                    Node::Const(_) => BT::Static,
+                    Node::Var(x) => self.var_bt(x),
+                    Node::Lam(l) => {
+                        if self.dyn_lam[*l] {
+                            BT::Dynamic
+                        } else {
+                            BT::Static
+                        }
+                    }
+                    Node::If(t, c, a) => {
+                        let (t, c, a) = (*t, *c, *a);
+                        if self.bt_node[t].is_dynamic() {
+                            BT::Dynamic
+                        } else {
+                            // Diverging branches do not contribute a value.
+                            match (self.never[c], self.never[a]) {
+                                (false, false) => {
+                                    self.bt_node[c].lub(self.bt_node[a])
+                                }
+                                (false, true) => self.bt_node[c],
+                                (true, false) => self.bt_node[a],
+                                (true, true) => BT::Dynamic,
+                            }
+                        }
+                    }
+                    Node::Let(x, rhs, body) => {
+                        let (x, rhs, body) = (x.clone(), *rhs, *body);
+                        self.raise_var(&x, self.bt_node[rhs], &mut changed);
+                        self.bt_node[body]
+                    }
+                    Node::App(f, args) => {
+                        let (f, args) = (*f, args.clone());
+                        if self.bt_node[f].is_dynamic() {
+                            // Dynamic application: operator and arguments
+                            // are code.
+                            self.escape_flow(f, &mut changed);
+                            for a in &args {
+                                self.escape_flow(*a, &mut changed);
+                            }
+                            BT::Dynamic
+                        } else {
+                            let callees = self.flow_node[f].clone();
+                            for (i, arg) in args.iter().enumerate() {
+                                // Arguments flow into parameters…
+                                for c in &callees {
+                                    let params = match c {
+                                        ProcId::Lam(l) => self.lams[*l].params.clone(),
+                                        ProcId::Fn(g) => self.fns[*g].params.clone(),
+                                    };
+                                    if let Some(p) = params.get(i) {
+                                        self.raise_var(
+                                            p,
+                                            self.bt_node[*arg],
+                                            &mut changed,
+                                        );
+                                    }
+                                }
+                                // …and dynamic parameter positions demand
+                                // residualization of any procedure argument.
+                                if self.site_param_bt(&callees, i).is_dynamic() {
+                                    self.escape_flow(*arg, &mut changed);
+                                }
+                            }
+                            self.site_result_bt(&callees)
+                        }
+                    }
+                    Node::Prim(p, args) => {
+                        let (p, args) = (*p, args.clone());
+                        // Data rule: procedures flowing into primitive
+                        // arguments escape (no partially static closures).
+                        for a in &args {
+                            self.escape_flow(*a, &mut changed);
+                        }
+                        let all_static =
+                            args.iter().all(|a| !self.bt_node[*a].is_dynamic());
+                        if p.is_pure() && all_static {
+                            BT::Static
+                        } else {
+                            BT::Dynamic
+                        }
+                    }
+                };
+                if new_bt != self.bt_node[n] {
+                    self.bt_node[n] = self.bt_node[n].lub(new_bt);
+                    changed = true;
+                }
+            }
+
+            // Conditionals that residualize demand both branches as code.
+            for n in 0..self.nodes.len() {
+                if let Node::If(_, c, a) = self.nodes[n] {
+                    if self.bt_node[n].is_dynamic() {
+                        self.escape_flow(c, &mut changed);
+                        self.escape_flow(a, &mut changed);
+                    }
+                }
+            }
+
+            // Dynamic lambdas: parameters are dynamic, bodies are residual.
+            for l in 0..self.lams.len() {
+                if self.dyn_lam[l] {
+                    let params = self.lams[l].params.clone();
+                    for p in params {
+                        self.raise_var(&p, BT::Dynamic, &mut changed);
+                    }
+                    self.escape_flow(self.lams[l].body, &mut changed);
+                }
+            }
+
+            // Escaped functions: all-dynamic, memoized.
+            for g in 0..self.fns.len() {
+                if self.escaped_fn[g] {
+                    let params = self.fns[g].params.clone();
+                    for p in params {
+                        self.raise_var(&p, BT::Dynamic, &mut changed);
+                    }
+                    if !self.memo_fn[g] {
+                        self.memo_fn[g] = true;
+                        changed = true;
+                    }
+                }
+            }
+
+            // Memoization points: recursive + dynamic control, unless
+            // overridden.
+            for g in 0..self.fns.len() {
+                let decided = match self.policy_overrides.get(&self.fns[g].name) {
+                    Some(CallPolicy::Memoize) => true,
+                    Some(CallPolicy::Unfold) => false,
+                    None => {
+                        self.memo_fn[g]
+                            || (self.recursive_fn[g] && self.fn_has_dynamic_control(g))
+                    }
+                };
+                if decided != self.memo_fn[g] {
+                    self.memo_fn[g] = decided;
+                    changed = true;
+                }
+            }
+
+            // Memoized functions produce residual code; their bodies are
+            // demanded, and closure-valued static parameters are illegal
+            // as memoization keys, so they escape too.
+            for g in 0..self.fns.len() {
+                if self.memo_fn[g] {
+                    if self.result_fn[g] != BT::Dynamic {
+                        self.result_fn[g] = BT::Dynamic;
+                        changed = true;
+                    }
+                    self.escape_flow(self.fns[g].body, &mut changed);
+                    let params = self.fns[g].params.clone();
+                    for p in params {
+                        if !self.var_bt(&p).is_dynamic() {
+                            let has_procs = self
+                                .flow_var
+                                .get(&p)
+                                .is_some_and(|s| !s.is_empty());
+                            if has_procs {
+                                let procs: Vec<ProcId> =
+                                    self.flow_var[&p].iter().cloned().collect();
+                                for pr in procs {
+                                    match pr {
+                                        ProcId::Lam(l) if !self.dyn_lam[l] => {
+                                            self.dyn_lam[l] = true;
+                                            changed = true;
+                                        }
+                                        ProcId::Fn(h) if !self.escaped_fn[h] => {
+                                            self.escaped_fn[h] = true;
+                                            changed = true;
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    let body_bt = self.bt_node[self.fns[g].body];
+                    if self.result_fn[g] != self.result_fn[g].lub(body_bt) {
+                        self.result_fn[g] = self.result_fn[g].lub(body_bt);
+                        changed = true;
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Does the function's syntactic region (including nested lambdas)
+    /// contain a dynamic conditional?
+    fn fn_has_dynamic_control(&self, g: FnId) -> bool {
+        self.nodes.iter().enumerate().any(|(id, node)| {
+            self.owner[id] == g
+                && matches!(node, Node::If(t, _, _) if self.bt_node[*t].is_dynamic())
+        })
+    }
+}

@@ -1,0 +1,125 @@
+//! The compilators: one code generator per residual construct.
+//!
+//! These are the `ev-X_C` functions of Sec. 5.3 — the compiler with the
+//! syntax dispatch already performed. Both the recursive-descent compiler
+//! ([`crate::compile_body`]) and the fused combinators
+//! ([`crate::ObjectBuilder`]) call exactly these functions, which is what
+//! makes "compile the residual source" and "generate object code directly"
+//! produce identical templates (the fusion equivalence).
+
+use crate::cenv::Loc;
+use crate::CompileError;
+use std::rc::Rc;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+use two4one_vm::{Asm, Instr, Label, Template};
+
+/// Loads a constant into `val`.
+pub fn emit_const(asm: &mut Asm, d: &Datum) -> Result<(), CompileError> {
+    let i = asm.const_index(d)?;
+    asm.emit(Instr::Const(i));
+    Ok(())
+}
+
+/// Loads a local or captured variable into `val`.
+pub fn emit_var(asm: &mut Asm, loc: Loc) {
+    match loc {
+        Loc::Local(i) => asm.emit(Instr::Local(i)),
+        Loc::Captured(i) => asm.emit(Instr::Captured(i)),
+    }
+}
+
+/// Loads a global into `val`.
+pub fn emit_global(asm: &mut Asm, name: &Symbol) -> Result<(), CompileError> {
+    let i = asm.global_index(name)?;
+    asm.emit(Instr::Global(i));
+    Ok(())
+}
+
+/// Pushes `val` onto the argument stack.
+pub fn emit_push(asm: &mut Asm) {
+    asm.emit(Instr::Push);
+}
+
+/// Binds `val` as the next `let` local.
+pub fn emit_bind(asm: &mut Asm) {
+    asm.emit(Instr::Bind);
+}
+
+/// Returns `val` to the caller.
+pub fn emit_return(asm: &mut Asm) {
+    asm.emit(Instr::Return);
+}
+
+/// Non-tail call with `nargs` stacked arguments and the callee in `val`.
+pub fn emit_call(asm: &mut Asm, nargs: u8) {
+    asm.emit(Instr::Call { nargs });
+}
+
+/// Tail call — a jump, in the paper's phrasing.
+pub fn emit_tail_call(asm: &mut Asm, nargs: u8) {
+    asm.emit(Instr::TailCall { nargs });
+}
+
+/// Applies a primitive to `nargs` stacked arguments.
+pub fn emit_prim(asm: &mut Asm, p: Prim, nargs: u8) {
+    asm.emit(Instr::Prim { prim: p, nargs });
+}
+
+/// The conditional compilator's first half: branch on `val` being false.
+/// Returns the label to attach where the alternative starts (the paper's
+/// `make-label` + `instruction-using-label` pair).
+pub fn emit_branch_false(asm: &mut Asm) -> Label {
+    let alt = asm.make_label();
+    asm.emit_jump_if_false(alt);
+    alt
+}
+
+/// Attaches a label at the current position (`attach-label`).
+pub fn attach(asm: &mut Asm, l: Label) {
+    asm.attach_label(l);
+}
+
+/// Closure construction: loads each free variable (via `load_var`), pushes
+/// it, and emits `make-closure` over `template`.
+pub fn emit_make_closure(
+    asm: &mut Asm,
+    template: Rc<Template>,
+    free: &[Symbol],
+    mut load_var: impl FnMut(&mut Asm, &Symbol) -> Result<(), CompileError>,
+) -> Result<(), CompileError> {
+    for v in free {
+        load_var(asm, v)?;
+        emit_push(asm);
+    }
+    let nfree =
+        u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
+    let ti = asm.template_index(template)?;
+    asm.emit(Instr::MakeClosure {
+        template: ti,
+        nfree,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compilators_compose_into_valid_code() {
+        // (define (f x) (if x 'yes 'no)) by hand through the compilators.
+        let mut asm = Asm::new(Symbol::new("f"), 1, 0);
+        emit_var(&mut asm, Loc::Local(0));
+        let alt = emit_branch_false(&mut asm);
+        emit_const(&mut asm, &Datum::sym("yes")).unwrap();
+        emit_return(&mut asm);
+        attach(&mut asm, alt);
+        emit_const(&mut asm, &Datum::sym("no")).unwrap();
+        emit_return(&mut asm);
+        let t = asm.finish().unwrap();
+        assert_eq!(t.code.len(), 6);
+        assert!(matches!(t.code[1], Instr::JumpIfFalse(4)));
+    }
+}

@@ -1,0 +1,428 @@
+//! The compiler as code-generation combinators — the fused backend.
+//!
+//! Act 3 of the paper (Sec. 6.3): "a second set of macros … turn the
+//! compiler functions into combinators. These combinators … replace
+//! counterparts in the PGG normally responsible for producing output code
+//! in the source language. The new combinators directly produce object
+//! code."
+//!
+//! [`ObjectBuilder`] implements the specializer's [`CodeBuilder`] interface
+//! with:
+//!
+//! * trivial terms as *data one level deep* — in particular, variables are
+//!   passed as **names** and converted to code at their use site, which is
+//!   the paper's Sec. 6.4 resolution of the name/compilator duality;
+//! * code bodies as emission functions `Asm × CEnv × depth → ()`, i.e. the
+//!   compilators of [`crate::emit`] partially applied to their syntax;
+//! * lambdas compiled *eagerly* into sub-templates (their compile-time
+//!   environment is just parameters + free variables, known immediately).
+//!
+//! No residual syntax tree is ever constructed: the specializer's output
+//! arrives here as a stream of constructor calls and leaves as byte code.
+//! That is the deforestation of Sec. 5.4, performed by monomorphization.
+
+use crate::cenv::{CEnv, Loc};
+use crate::{emit, CompileError};
+use std::rc::Rc;
+use two4one_anf::build::CodeBuilder;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+use two4one_vm::{Asm, Image, Template};
+
+/// A residual trivial term in the object backend.
+#[derive(Clone)]
+pub enum ObjTriv {
+    /// A constant.
+    Const(Datum),
+    /// A local variable, by name (resolved against the compile-time
+    /// environment at the use site).
+    Var(Symbol),
+    /// A top-level residual function used as a value.
+    Global(Symbol),
+    /// An already-compiled closure: template plus the names of the free
+    /// variables to capture at the construction site.
+    Closure {
+        /// Sub-template for the lambda body.
+        template: Rc<Template>,
+        /// Free variables to load and capture, in template order.
+        free: Vec<Symbol>,
+    },
+}
+
+/// A residual serious term (call or primitive application).
+pub enum ObjSerious {
+    /// Call through a computed procedure.
+    Call(ObjTriv, Vec<ObjTriv>),
+    /// Call to a top-level residual function.
+    CallGlobal(Symbol, Vec<ObjTriv>),
+    /// Primitive application.
+    Prim(Prim, Vec<ObjTriv>),
+}
+
+/// A residual body: an emission function over assembler, compile-time
+/// environment, and stack depth — the exact parameter list of the paper's
+/// compilators.
+#[derive(Clone)]
+pub struct ObjCode(Rc<dyn Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError>>);
+
+impl ObjCode {
+    fn new(f: impl Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError> + 'static) -> Self {
+        ObjCode(Rc::new(f))
+    }
+
+    /// Runs the emission function.
+    pub fn emit(&self, asm: &mut Asm, cenv: &CEnv, depth: u16) -> Result<(), CompileError> {
+        (self.0)(asm, cenv, depth)
+    }
+}
+
+fn emit_triv(t: &ObjTriv, asm: &mut Asm, cenv: &CEnv) -> Result<(), CompileError> {
+    match t {
+        ObjTriv::Const(d) => emit::emit_const(asm, d),
+        ObjTriv::Var(x) => match cenv.lookup(x) {
+            Some(loc) => {
+                emit::emit_var(asm, loc);
+                Ok(())
+            }
+            None => Err(CompileError::Unbound(x.clone())),
+        },
+        ObjTriv::Global(g) => emit::emit_global(asm, g),
+        ObjTriv::Closure { template, free } => {
+            emit::emit_make_closure(asm, template.clone(), free, |asm, x| {
+                match cenv.lookup(x) {
+                    Some(loc) => {
+                        emit::emit_var(asm, loc);
+                        Ok(())
+                    }
+                    None => Err(CompileError::Unbound(x.clone())),
+                }
+            })
+        }
+    }
+}
+
+/// Pushes the arguments of a serious term; returns the count.
+fn emit_args(args: &[ObjTriv], asm: &mut Asm, cenv: &CEnv) -> Result<u8, CompileError> {
+    let n = u8::try_from(args.len()).map_err(|_| CompileError::TooManyArgs(args.len()))?;
+    for a in args {
+        emit_triv(a, asm, cenv)?;
+        emit::emit_push(asm);
+    }
+    Ok(n)
+}
+
+fn emit_serious(
+    s: &ObjSerious,
+    asm: &mut Asm,
+    cenv: &CEnv,
+    tail: bool,
+) -> Result<(), CompileError> {
+    match s {
+        ObjSerious::Call(f, args) => {
+            let n = emit_args(args, asm, cenv)?;
+            emit_triv(f, asm, cenv)?;
+            if tail {
+                emit::emit_tail_call(asm, n);
+            } else {
+                emit::emit_call(asm, n);
+            }
+        }
+        ObjSerious::CallGlobal(g, args) => {
+            let n = emit_args(args, asm, cenv)?;
+            emit::emit_global(asm, g)?;
+            if tail {
+                emit::emit_tail_call(asm, n);
+            } else {
+                emit::emit_call(asm, n);
+            }
+        }
+        ObjSerious::Prim(p, args) => {
+            let n = emit_args(args, asm, cenv)?;
+            emit::emit_prim(asm, *p, n);
+            if tail {
+                emit::emit_return(asm);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The object-code backend for the specializer.
+#[derive(Default)]
+pub struct ObjectBuilder {
+    defs: Vec<(Symbol, Rc<Template>)>,
+    error: Option<CompileError>,
+}
+
+impl ObjectBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ObjectBuilder {
+            defs: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn record(&mut self, e: CompileError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Compiles a body into a fresh template (shared by `lambda` and
+    /// `define`).
+    fn compile_closed(
+        &mut self,
+        name: &Symbol,
+        params: &[Symbol],
+        free: &[Symbol],
+        body: &ObjCode,
+    ) -> Option<Rc<Template>> {
+        let arity = match u8::try_from(params.len()) {
+            Ok(a) => a,
+            Err(_) => {
+                self.record(CompileError::TooManyArgs(params.len()));
+                return None;
+            }
+        };
+        let nfree = match u16::try_from(free.len()) {
+            Ok(n) => n,
+            Err(_) => {
+                self.record(CompileError::TooManyArgs(free.len()));
+                return None;
+            }
+        };
+        let mut asm = Asm::new(name.clone(), arity, nfree);
+        let mut cenv = CEnv::empty();
+        for (i, p) in params.iter().enumerate() {
+            cenv = cenv.bind(p.clone(), Loc::Local(i as u16));
+        }
+        for (i, v) in free.iter().enumerate() {
+            cenv = cenv.bind(v.clone(), Loc::Captured(i as u16));
+        }
+        match body
+            .emit(&mut asm, &cenv, params.len() as u16)
+            .and_then(|()| asm.finish().map_err(CompileError::from))
+        {
+            Ok(t) => Some(t),
+            Err(e) => {
+                self.record(e);
+                None
+            }
+        }
+    }
+}
+
+impl CodeBuilder for ObjectBuilder {
+    type Triv = ObjTriv;
+    type Serious = ObjSerious;
+    type Code = ObjCode;
+    /// Compilation can fail (e.g. encoding overflows); the error surfaces
+    /// when the program is finished.
+    type Program = Result<Image, CompileError>;
+
+    fn const_(&mut self, d: &Datum) -> ObjTriv {
+        ObjTriv::Const(d.clone())
+    }
+
+    fn var(&mut self, x: &Symbol) -> ObjTriv {
+        ObjTriv::Var(x.clone())
+    }
+
+    fn global(&mut self, x: &Symbol) -> ObjTriv {
+        ObjTriv::Global(x.clone())
+    }
+
+    fn lambda(
+        &mut self,
+        name: &Symbol,
+        params: &[Symbol],
+        free: &[Symbol],
+        body: ObjCode,
+    ) -> ObjTriv {
+        match self.compile_closed(name, params, free, &body) {
+            Some(template) => ObjTriv::Closure {
+                template,
+                free: free.to_vec(),
+            },
+            None => ObjTriv::Const(Datum::Unspec), // poisoned; error recorded
+        }
+    }
+
+    fn call(&mut self, f: ObjTriv, args: Vec<ObjTriv>) -> ObjSerious {
+        ObjSerious::Call(f, args)
+    }
+
+    fn call_global(&mut self, g: &Symbol, args: Vec<ObjTriv>) -> ObjSerious {
+        ObjSerious::CallGlobal(g.clone(), args)
+    }
+
+    fn prim(&mut self, p: Prim, args: Vec<ObjTriv>) -> ObjSerious {
+        ObjSerious::Prim(p, args)
+    }
+
+    fn ret(&mut self, t: ObjTriv) -> ObjCode {
+        ObjCode::new(move |asm, cenv, _depth| {
+            emit_triv(&t, asm, cenv)?;
+            emit::emit_return(asm);
+            Ok(())
+        })
+    }
+
+    fn tail(&mut self, s: ObjSerious) -> ObjCode {
+        ObjCode::new(move |asm, cenv, _depth| emit_serious(&s, asm, cenv, true))
+    }
+
+    fn let_serious(&mut self, x: &Symbol, rhs: ObjSerious, body: ObjCode) -> ObjCode {
+        let x = x.clone();
+        ObjCode::new(move |asm, cenv, depth| {
+            emit_serious(&rhs, asm, cenv, false)?;
+            emit::emit_bind(asm);
+            let inner = cenv.bind(x.clone(), Loc::Local(depth));
+            body.emit(asm, &inner, depth + 1)
+        })
+    }
+
+    fn let_triv(&mut self, x: &Symbol, rhs: ObjTriv, body: ObjCode) -> ObjCode {
+        let x = x.clone();
+        ObjCode::new(move |asm, cenv, depth| {
+            emit_triv(&rhs, asm, cenv)?;
+            emit::emit_bind(asm);
+            let inner = cenv.bind(x.clone(), Loc::Local(depth));
+            body.emit(asm, &inner, depth + 1)
+        })
+    }
+
+    fn if_(&mut self, t: ObjTriv, then: ObjCode, els: ObjCode) -> ObjCode {
+        ObjCode::new(move |asm, cenv, depth| {
+            emit_triv(&t, asm, cenv)?;
+            let alt = emit::emit_branch_false(asm);
+            then.emit(asm, cenv, depth)?;
+            emit::attach(asm, alt);
+            els.emit(asm, cenv, depth)
+        })
+    }
+
+    fn define(&mut self, name: &Symbol, params: &[Symbol], body: ObjCode) {
+        if let Some(t) = self.compile_closed(name, params, &[], &body) {
+            self.defs.push((name.clone(), t));
+        }
+    }
+
+    fn finish(mut self, entry: &Symbol) -> Result<Image, CompileError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        // Entry first, mirroring SourceBuilder.
+        if let Some(pos) = self.defs.iter().position(|(n, _)| n == entry) {
+            let d = self.defs.remove(pos);
+            self.defs.insert(0, d);
+        }
+        Ok(Image {
+            templates: self.defs,
+            entry: entry.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use two4one_vm::{Machine, Value};
+
+    /// Drives both builders through the same constructor calls and checks
+    /// the object backend against the compiled source backend — a small
+    /// instance of the fusion theorem.
+    fn build_countdown<B: CodeBuilder>(b: &mut B) -> Symbol {
+        // (define (f x) (let ((t (zero? x)))
+        //                 (if t 'done (let ((u (- x 1))) (f u)))))
+        let f = Symbol::new("f");
+        let x = Symbol::new("x");
+        let t = Symbol::new("t");
+        let u = Symbol::new("u");
+        let xv = b.var(&x);
+        let test = b.prim(Prim::ZeroP, vec![xv]);
+        let done = {
+            let c = b.const_(&Datum::sym("done"));
+            b.ret(c)
+        };
+        let recur = {
+            let uv = b.var(&u);
+            let call = b.call_global(&f, vec![uv]);
+            let inner = b.tail(call);
+            let xv = b.var(&x);
+            let one = b.const_(&Datum::Int(1));
+            let sub = b.prim(Prim::Sub, vec![xv, one]);
+            b.let_serious(&u, sub, inner)
+        };
+        let tv = b.var(&t);
+        let cond = b.if_(tv, done, recur);
+        let body = b.let_serious(&t, test, cond);
+        b.define(&f, &[x], body);
+        f
+    }
+
+    #[test]
+    fn object_builder_runs() {
+        let mut b = ObjectBuilder::new();
+        let f = build_countdown(&mut b);
+        let image = b.finish(&f).unwrap();
+        let mut m = Machine::load(&image);
+        let v = m.call_global(&f, vec![Value::Int(10_000)]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::sym("done")));
+    }
+
+    #[test]
+    fn fused_output_equals_compiled_source_output() {
+        use two4one_anf::build::SourceBuilder;
+
+        let mut ob = ObjectBuilder::new();
+        let f = build_countdown(&mut ob);
+        let fused = ob.finish(&f).unwrap();
+
+        let mut sb = SourceBuilder::new();
+        let f2 = build_countdown(&mut sb);
+        let source_prog = sb.finish(&f2);
+        let compiled = crate::compile_program(&source_prog, f2.as_str()).unwrap();
+
+        assert_eq!(fused.templates.len(), compiled.templates.len());
+        for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2, "template mismatch:\n{}\nvs\n{}", t1.disassemble(), t2.disassemble());
+        }
+    }
+
+    #[test]
+    fn lambdas_capture_free_variables() {
+        // (define (mk n) (lambda (x) (+ x n)))   then ((mk 3) 4) = 7
+        let mut b = ObjectBuilder::new();
+        let mk = Symbol::new("mk");
+        let n = Symbol::new("n");
+        let x = Symbol::new("x");
+        let lam_body = {
+            let xv = b.var(&x);
+            let nv = b.var(&n);
+            let s = b.prim(Prim::Add, vec![xv, nv]);
+            b.tail(s)
+        };
+        let lam = b.lambda(&Symbol::new("adder"), &[x.clone()], &[n.clone()], lam_body);
+        let body = b.ret(lam);
+        b.define(&mk, &[n], body);
+        let image = b.finish(&mk).unwrap();
+        let mut m = Machine::load(&image);
+        let add3 = m.call_global(&mk, vec![Value::Int(3)]).unwrap();
+        let v = m.call_value(add3, vec![Value::Int(4)]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(7)));
+    }
+
+    #[test]
+    fn unbound_variable_error_surfaces_at_finish() {
+        let mut b = ObjectBuilder::new();
+        let bad = b.var(&Symbol::new("nope"));
+        let code = b.ret(bad);
+        b.define(&Symbol::new("f"), &[], code);
+        let err = b.finish(&Symbol::new("f")).unwrap_err();
+        assert_eq!(err, CompileError::Unbound(Symbol::new("nope")));
+    }
+}

@@ -1,0 +1,229 @@
+//! A read-eval-print loop driven by the byte-code pipeline.
+//!
+//! Sec. 9 of the paper observes that languages "like ML, Scheme, or
+//! Smalltalk have a read-eval-print loop that accepts function definitions
+//! that are compiled and the code is immediately available for execution.
+//! Hence, they are essentially online compilers." This binary is that
+//! point on the RTCG spectrum for this system: every definition you type
+//! is compiled to VM templates on the spot, and expressions run against
+//! the accumulated image.
+//!
+//! ```text
+//! cargo run -p two4one --bin repl
+//! ```
+//!
+//! Commands:
+//!
+//! * `(define (f x) …)` — add/replace a definition (compiled immediately);
+//! * any other form — evaluate it and print the result;
+//! * `,defs` — list current definitions;
+//! * `,dis f` — disassemble a definition;
+//! * `,spec f S D …` — specialize `f` under the given division (then enter
+//!   the static arguments on the next line) and install the residual
+//!   definitions;
+//! * `,quit` — exit.
+
+use std::io::Write as _;
+use two4one::{
+    compile, reader, with_stack, Datum, Division, Machine, Pgg, Symbol, BT,
+};
+
+fn main() {
+    with_stack(|| {
+        let mut repl = Repl::new();
+        loop {
+            print!("two4one> ");
+            std::io::stdout().flush().ok();
+            let Some(line) = read_line() else { break };
+            if !repl.handle(&line) {
+                break;
+            }
+        }
+    });
+}
+
+fn read_line() -> Option<String> {
+    let mut line = String::new();
+    match std::io::stdin().read_line(&mut line) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => Some(line),
+    }
+}
+
+struct Repl {
+    /// Definition source text, by name (kept as text so redefinition and
+    /// re-analysis stay trivial).
+    defs: Vec<(Symbol, String)>,
+    counter: u64,
+}
+
+impl Repl {
+    fn new() -> Self {
+        Repl {
+            defs: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    fn program_text(&self) -> String {
+        self.defs
+            .iter()
+            .map(|(_, src)| src.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Returns `false` to quit.
+    fn handle(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        if line == ",quit" {
+            return false;
+        }
+        if line == ",defs" {
+            for (name, _) in &self.defs {
+                println!("  {name}");
+            }
+            return true;
+        }
+        if let Some(rest) = line.strip_prefix(",dis ") {
+            self.disassemble(rest.trim());
+            return true;
+        }
+        if let Some(rest) = line.strip_prefix(",spec ") {
+            self.specialize(rest.trim());
+            return true;
+        }
+        match reader::read_one(line) {
+            Err(e) => println!("read error: {e}"),
+            Ok(d) => {
+                if d.as_form("define").is_some() {
+                    self.add_define(line, &d);
+                } else {
+                    self.eval(&d);
+                }
+            }
+        }
+        true
+    }
+
+    fn define_name(d: &Datum) -> Option<Symbol> {
+        let parts = d.as_form("define")?;
+        match parts.first()? {
+            Datum::Pair(_) => parts[0].car()?.as_sym().cloned(),
+            Datum::Sym(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    fn add_define(&mut self, src: &str, d: &Datum) {
+        let Some(name) = Self::define_name(d) else {
+            println!("malformed definition");
+            return;
+        };
+        self.defs.retain(|(n, _)| n != &name);
+        self.defs.push((name.clone(), src.to_string()));
+        // Compile eagerly so errors surface now — the "online compiler".
+        match Pgg::new().parse(&self.program_text()).and_then(|p| {
+            compile(&p, name.as_str())
+        }) {
+            Ok(image) => println!(
+                ";; compiled `{name}` ({} instructions total)",
+                image.code_size()
+            ),
+            Err(e) => {
+                println!("error: {e}");
+                self.defs.retain(|(n, _)| n != &name);
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &Datum) {
+        self.counter += 1;
+        let entry = format!("repl-eval-{}", self.counter);
+        let src = format!("{}\n(define ({entry}) {expr})", self.program_text());
+        let result = Pgg::new()
+            .parse(&src)
+            .and_then(|p| compile(&p, &entry))
+            .and_then(|image| {
+                let mut m = Machine::load(&image);
+                m.call_global(&Symbol::new(&entry), vec![])
+                    .map(|v| (format!("{v:?}"), m.output))
+                    .map_err(two4one::Error::from)
+            });
+        match result {
+            Ok((value, output)) => {
+                print!("{output}");
+                println!("{value}");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn disassemble(&self, name: &str) {
+        match Pgg::new()
+            .parse(&self.program_text())
+            .and_then(|p| compile(&p, name))
+        {
+            Ok(image) => match image.template(&Symbol::new(name)) {
+                Some(t) => println!("{}", t.disassemble()),
+                None => println!("no definition `{name}`"),
+            },
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    fn specialize(&mut self, spec: &str) {
+        // ,spec f S D …  — division letters for each parameter.
+        let mut parts = spec.split_whitespace();
+        let Some(name) = parts.next() else {
+            println!("usage: ,spec <fn> <S|D> ...");
+            return;
+        };
+        let mut division = Vec::new();
+        for p in parts {
+            match p {
+                "S" | "s" => division.push(BT::Static),
+                "D" | "d" => division.push(BT::Dynamic),
+                other => {
+                    println!("bad binding time `{other}` (use S or D)");
+                    return;
+                }
+            }
+        }
+        let n_static = division.iter().filter(|b| **b == BT::Static).count();
+        println!("enter {n_static} static argument(s) on one line:");
+        let Some(line) = read_line() else { return };
+        let statics = match reader::read_all(&line) {
+            Ok(ds) => ds,
+            Err(e) => {
+                println!("read error: {e}");
+                return;
+            }
+        };
+        let result = Pgg::new()
+            .parse(&self.program_text())
+            .and_then(|p| Pgg::new().cogen(&p, name, &Division::new(division)))
+            .and_then(|g| g.specialize_source_optimized(&statics));
+        match result {
+            Ok(residual) => {
+                println!(";; residual program:");
+                println!("{}", residual.to_source());
+                // Install the residual definitions (entry keeps its name).
+                for (i, d) in residual.to_cs().to_data().iter().enumerate() {
+                    let src = d.to_string();
+                    if let Some(n) = Self::define_name(d) {
+                        self.defs.retain(|(existing, _)| existing != &n);
+                        self.defs.push((n, src));
+                    } else if i == 0 {
+                        println!(";; (could not install entry definition)");
+                    }
+                }
+                println!(";; installed {} definitions", residual.defs.len());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! `t4o` — command-line driver for the two4one system.
+//!
+//! ```text
+//! t4o compile <file.scm> --entry <name> [-o out.t4o] [--generic]
+//! t4o run <file.scm|file.t4o> --entry <name> [--arg <datum>]...
+//! t4o spec <file.scm> --entry <name> --division SDSD
+//!          [--static <datum>]... [-o out.t4o | --source] [--optimize]
+//! t4o dis <file.scm|file.t4o> --entry <name>
+//! ```
+//!
+//! Data arguments are written as Scheme literals, e.g. `--arg '(1 2 3)'`.
+
+use std::process::ExitCode;
+use two4one::{
+    compile, load_image, reader, run_image, save_image, with_stack, Datum, Division,
+    Image, Pgg, BT,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    with_stack(move || match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("t4o: {msg}");
+            ExitCode::FAILURE
+        }
+    })
+}
+
+struct Opts {
+    positional: Vec<String>,
+    entry: Option<String>,
+    output: Option<String>,
+    division: Option<String>,
+    statics: Vec<String>,
+    args: Vec<String>,
+    source: bool,
+    optimize: bool,
+    generic: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        entry: None,
+        output: None,
+        division: None,
+        statics: Vec::new(),
+        args: Vec::new(),
+        source: false,
+        optimize: false,
+        generic: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        match a.as_str() {
+            "--entry" | "-e" => o.entry = Some(take("--entry")?),
+            "-o" | "--output" => o.output = Some(take("--output")?),
+            "--division" | "-d" => o.division = Some(take("--division")?),
+            "--static" | "-s" => o.statics.push(take("--static")?),
+            "--arg" | "-a" => o.args.push(take("--arg")?),
+            "--source" => o.source = true,
+            "--optimize" => o.optimize = true,
+            "--generic" => o.generic = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let opts = parse_opts(rest)?;
+    match cmd.as_str() {
+        "compile" => cmd_compile(&opts),
+        "run" => cmd_run(&opts),
+        "spec" => cmd_spec(&opts),
+        "dis" => cmd_dis(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     t4o compile <file.scm> --entry <name> [-o out.t4o] [--generic]\n  \
+     t4o run <file.scm|file.t4o> --entry <name> [--arg <datum>]...\n  \
+     t4o spec <file.scm> --entry <name> --division <S|D letters> \
+     [--static <datum>]... [-o out.t4o | --source] [--optimize]\n  \
+     t4o dis <file.scm|file.t4o> --entry <name>"
+        .to_string()
+}
+
+fn need_file(o: &Opts) -> Result<&str, String> {
+    o.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing input file\n{}", usage()))
+}
+
+fn need_entry(o: &Opts) -> Result<&str, String> {
+    o.entry
+        .as_deref()
+        .ok_or_else(|| "missing --entry".to_string())
+}
+
+fn read_data(texts: &[String]) -> Result<Vec<Datum>, String> {
+    texts
+        .iter()
+        .map(|t| reader::read_one(t).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Loads an image either from a `.t4o` object file or by compiling source.
+fn load_or_compile(path: &str, entry: &str, generic: bool) -> Result<Image, String> {
+    if path.ends_with(".t4o") {
+        return load_image(path).map_err(|e| e.to_string());
+    }
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = Pgg::new().parse(&src).map_err(|e| e.to_string())?;
+    if generic {
+        two4one_compiler::compile_program_generic(&program, entry).map_err(|e| e.to_string())
+    } else {
+        compile(&program, entry).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_compile(o: &Opts) -> Result<(), String> {
+    let file = need_file(o)?;
+    let entry = need_entry(o)?;
+    let image = load_or_compile(file, entry, o.generic)?;
+    let out = o
+        .output
+        .clone()
+        .unwrap_or_else(|| format!("{}.t4o", file.trim_end_matches(".scm")));
+    save_image(&image, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out} ({} templates, {} instructions)",
+        image.templates.len(),
+        image.code_size()
+    );
+    Ok(())
+}
+
+fn cmd_run(o: &Opts) -> Result<(), String> {
+    let file = need_file(o)?;
+    let entry = need_entry(o)?;
+    let image = load_or_compile(file, entry, o.generic)?;
+    let args = read_data(&o.args)?;
+    let out = run_image(&image, entry, &args).map_err(|e| e.to_string())?;
+    print!("{}", out.output);
+    println!("{}", out.value);
+    Ok(())
+}
+
+fn cmd_spec(o: &Opts) -> Result<(), String> {
+    let file = need_file(o)?;
+    let entry = need_entry(o)?;
+    let division_text = o
+        .division
+        .as_deref()
+        .ok_or_else(|| "missing --division (e.g. `SD` or `DSS`)".to_string())?;
+    let mut division = Vec::new();
+    for c in division_text.chars() {
+        match c.to_ascii_uppercase() {
+            'S' => division.push(BT::Static),
+            'D' => division.push(BT::Dynamic),
+            other => return Err(format!("bad division letter `{other}` (use S/D)")),
+        }
+    }
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let program = Pgg::new().parse(&src).map_err(|e| e.to_string())?;
+    let genext = Pgg::new()
+        .cogen(&program, entry, &Division::new(division))
+        .map_err(|e| e.to_string())?;
+    let statics = read_data(&o.statics)?;
+    if o.source || o.output.is_none() {
+        let residual = if o.optimize {
+            genext.specialize_source_optimized(&statics)
+        } else {
+            genext.specialize_source(&statics)
+        }
+        .map_err(|e| e.to_string())?;
+        println!("{}", residual.to_source());
+    }
+    if let Some(out) = &o.output {
+        let image = genext
+            .specialize_object(&statics)
+            .map_err(|e| e.to_string())?;
+        save_image(&image, out).map_err(|e| e.to_string())?;
+        println!(
+            ";; wrote {out} ({} templates, {} instructions)",
+            image.templates.len(),
+            image.code_size()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dis(o: &Opts) -> Result<(), String> {
+    let file = need_file(o)?;
+    let entry = need_entry(o)?;
+    let image = load_or_compile(file, entry, o.generic)?;
+    print!("{}", image.disassemble());
+    Ok(())
+}

@@ -1,0 +1,447 @@
+//! # two4one — Composing Partial Evaluation and Compilation
+//!
+//! A reproduction of Michael Sperber and Peter Thiemann, *"Two for the
+//! Price of One: Composing Partial Evaluation and Compilation"*, PLDI 1997.
+//!
+//! The system composes an offline partial evaluator (a program-generator
+//! generator, PGG) for a Scheme subset with a byte-code compiler, so that
+//! specialization emits **object code directly** — a run-time code
+//! generation system built from independently developed components, glued
+//! together by deforestation (here: a builder trait + monomorphization).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use two4one::{Pgg, Division, BT, Datum};
+//!
+//! # fn main() -> Result<(), two4one::Error> {
+//! let pgg = Pgg::new();
+//! let program = pgg.parse(
+//!     "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+//! )?;
+//! // n is static, x is dynamic.
+//! let genext = pgg.cogen(&program, "power", &Division::new([BT::Dynamic, BT::Static]))?;
+//!
+//! // Classic partial evaluation: residual *source* code…
+//! let residual = genext.specialize_source(&[Datum::Int(5)])?;
+//! assert!(residual.to_source().contains('*'));
+//!
+//! // …or, fused with the compiler: object code, directly.
+//! let image = genext.specialize_object(&[Datum::Int(5)])?;
+//! let out = two4one::run_image(&image, "power", &[Datum::Int(2)])?;
+//! assert_eq!(out.value, Datum::Int(32));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | `two4one-syntax` | data, reader/printer, Core Scheme + annotated syntax, primitives |
+//! | `two4one-frontend` | desugaring, alpha renaming, assignment elimination, lambda lifting |
+//! | `two4one-anf` | A-normal form, the normalizer, and the `CodeBuilder` fusion seam |
+//! | `two4one-bta` | binding-time analysis |
+//! | `two4one-pe` | the continuation-based specializer |
+//! | `two4one-vm` | the byte-code VM, assembler, templates |
+//! | `two4one-compiler` | the ANF compiler and its combinator form (`ObjectBuilder`) |
+
+use std::fmt;
+
+pub use two4one_anf::{self as anf, Program as AnfProgram, SourceBuilder};
+pub use two4one_bta::{Division, Options as BtaOptions};
+pub use two4one_compiler::{compile_program, ObjectBuilder};
+pub use two4one_interp::{Interp, RtError, Value as InterpValue};
+pub use two4one_pe::{PeError, SpecOptions, SpecStats};
+pub use two4one_syntax::acs::{AProgram, CallPolicy, BT};
+pub use two4one_syntax::cs;
+pub use two4one_syntax::datum::Datum;
+pub use two4one_syntax::printer;
+pub use two4one_syntax::reader;
+pub use two4one_syntax::stack::{with_stack, with_stack_size};
+pub use two4one_syntax::symbol::Symbol;
+pub use two4one_vm::{decode_image, encode_image, optimize_image, Image, Machine, ObjError, Value, VmError};
+
+/// Any error the pipeline can produce.
+#[derive(Debug)]
+pub enum Error {
+    /// Reader / front-end failure.
+    Front(two4one_frontend::FrontError),
+    /// Binding-time analysis failure.
+    Bta(two4one_bta::BtaError),
+    /// Specialization failure.
+    Pe(PeError),
+    /// Compilation failure.
+    Compile(two4one_compiler::CompileError),
+    /// VM runtime failure.
+    Vm(two4one_vm::VmError),
+    /// Interpreter runtime failure.
+    Interp(RtError),
+    /// Result was not first-order data (a procedure or cell).
+    NonDatumResult(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Front(e) => write!(f, "{e}"),
+            Error::Bta(e) => write!(f, "{e}"),
+            Error::Pe(e) => write!(f, "{e}"),
+            Error::Compile(e) => write!(f, "{e}"),
+            Error::Vm(e) => write!(f, "{e}"),
+            Error::Interp(e) => write!(f, "{e}"),
+            Error::NonDatumResult(v) => {
+                write!(f, "result is not first-order data: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Front(e) => Some(e),
+            Error::Bta(e) => Some(e),
+            Error::Pe(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            Error::Vm(e) => Some(e),
+            Error::Interp(e) => Some(e),
+            Error::NonDatumResult(_) => None,
+        }
+    }
+}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for Error {
+            fn from(e: $ty) -> Self {
+                Error::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Front, two4one_frontend::FrontError);
+from_error!(Bta, two4one_bta::BtaError);
+from_error!(Pe, PeError);
+from_error!(Compile, two4one_compiler::CompileError);
+from_error!(Vm, two4one_vm::VmError);
+from_error!(Interp, RtError);
+
+/// The program-generator generator: front end + BTA + specializer engine,
+/// with configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Pgg {
+    bta_options: BtaOptions,
+    spec_options: SpecOptions,
+}
+
+impl Pgg {
+    /// A PGG with default options.
+    pub fn new() -> Self {
+        Pgg::default()
+    }
+
+    /// Overrides the unfold/memoize policy for a function.
+    pub fn policy(mut self, name: &str, policy: CallPolicy) -> Self {
+        self.bta_options
+            .policy_overrides
+            .insert(Symbol::new(name), policy);
+        self
+    }
+
+    /// Sets the unfold fuel.
+    pub fn unfold_fuel(mut self, fuel: u64) -> Self {
+        self.spec_options.unfold_fuel = fuel;
+        self
+    }
+
+    /// Sets the specializer recursion-depth limit.
+    pub fn spec_depth(mut self, depth: usize) -> Self {
+        self.spec_options.max_depth = depth;
+        self
+    }
+
+    /// Parses and lowers source text into Core Scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails on read, syntax, or scope errors.
+    pub fn parse(&self, src: &str) -> Result<cs::Program, Error> {
+        Ok(two4one_frontend::frontend(src)?)
+    }
+
+    /// Builds a *generating extension* for `entry` under `division`: the
+    /// binding-time analysis runs once, the result can then be applied to
+    /// many different static inputs (and through either backend).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `entry` is unknown or the division has the wrong arity.
+    pub fn cogen(
+        &self,
+        program: &cs::Program,
+        entry: &str,
+        division: &Division,
+    ) -> Result<GenExt, Error> {
+        let aprog = two4one_bta::bta_with(program, entry, division, &self.bta_options)?;
+        Ok(GenExt {
+            aprog,
+            entry: Symbol::new(entry),
+            options: self.spec_options.clone(),
+        })
+    }
+}
+
+/// A generating extension: apply it to static inputs to obtain residual
+/// programs — as source text (the classic PGG) or directly as object code
+/// (the fused run-time code generator).
+#[derive(Debug, Clone)]
+pub struct GenExt {
+    aprog: AProgram,
+    entry: Symbol,
+    options: SpecOptions,
+}
+
+impl GenExt {
+    /// The annotated program (for inspection).
+    pub fn annotated(&self) -> &AProgram {
+        &self.aprog
+    }
+
+    /// The entry point.
+    pub fn entry(&self) -> &Symbol {
+        &self.entry
+    }
+
+    /// Specializes to residual **source** (ANF Scheme).
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization errors (see [`PeError`]).
+    pub fn specialize_source(&self, statics: &[Datum]) -> Result<AnfProgram, Error> {
+        Ok(self.specialize_source_with_stats(statics)?.0)
+    }
+
+    /// Like [`GenExt::specialize_source`], also returning statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization errors.
+    pub fn specialize_source_with_stats(
+        &self,
+        statics: &[Datum],
+    ) -> Result<(AnfProgram, SpecStats), Error> {
+        Ok(two4one_pe::specialize(
+            &self.aprog,
+            &self.entry,
+            statics,
+            SourceBuilder::new(),
+            &self.options,
+        )?)
+    }
+
+    /// Specializes to residual source and then runs the ANF optimizer
+    /// (copy propagation, unit laws, dead-binding elimination) over it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization errors.
+    pub fn specialize_source_optimized(&self, statics: &[Datum]) -> Result<AnfProgram, Error> {
+        Ok(two4one_anf::optimize(&self.specialize_source(statics)?))
+    }
+
+    /// Specializes **directly to object code** — the composed system of the
+    /// paper. No residual syntax tree is constructed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization or code-generation errors.
+    pub fn specialize_object(&self, statics: &[Datum]) -> Result<Image, Error> {
+        Ok(self.specialize_object_with_stats(statics)?.0)
+    }
+
+    /// Like [`GenExt::specialize_object`], also returning statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization or code-generation errors.
+    pub fn specialize_object_with_stats(
+        &self,
+        statics: &[Datum],
+    ) -> Result<(Image, SpecStats), Error> {
+        let (image, stats) = two4one_pe::specialize(
+            &self.aprog,
+            &self.entry,
+            statics,
+            ObjectBuilder::new(),
+            &self.options,
+        )?;
+        Ok((image?, stats))
+    }
+}
+
+/// Compiles a Core Scheme program with the stock pipeline
+/// (A-normalization + byte-code compiler).
+///
+/// # Errors
+///
+/// Fails on compile errors.
+pub fn compile(program: &cs::Program, entry: &str) -> Result<Image, Error> {
+    Ok(compile_program(&two4one_anf::normalize(program), entry)?)
+}
+
+/// The "load residual source back" path of the paper's Fig. 7: read text,
+/// run the front end, normalize, compile.
+///
+/// # Errors
+///
+/// Fails on read, front-end, or compile errors.
+pub fn compile_source_text(src: &str, entry: &str) -> Result<Image, Error> {
+    let prog = two4one_frontend::frontend(src)?;
+    compile(&prog, entry)
+}
+
+/// The outcome of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The result value (first-order data).
+    pub value: Datum,
+    /// Text written by `display`/`write`/`newline`.
+    pub output: String,
+}
+
+/// Loads an image and calls `entry` on data arguments.
+///
+/// # Errors
+///
+/// Fails on VM errors or when the result is not first-order data.
+pub fn run_image(image: &Image, entry: &str, args: &[Datum]) -> Result<RunOutcome, Error> {
+    let mut m = Machine::load(image);
+    let argv = args.iter().map(two4one_vm::Value::from).collect();
+    let v = m.call_global(&Symbol::new(entry), argv)?;
+    let value = v
+        .to_datum()
+        .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
+    Ok(RunOutcome {
+        value,
+        output: m.output,
+    })
+}
+
+/// Writes a compiled image to a `.t4o` object file.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn save_image(image: &Image, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode_image(image))
+}
+
+/// Reads a compiled image back from a `.t4o` object file.
+///
+/// # Errors
+///
+/// Fails on I/O errors or malformed object files.
+pub fn load_image(path: impl AsRef<std::path::Path>) -> std::io::Result<Image> {
+    let bytes = std::fs::read(path)?;
+    decode_image(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Incremental specialization (an application the paper highlights in
+/// Secs. 1 and 9, after Thiemann's memoization work): static inputs arrive
+/// in stages, and each stage's residual program is an ordinary program
+/// that can be analyzed and specialized again.
+pub mod incremental {
+    use super::*;
+
+    /// Performs one stage: specializes `entry` under `division` to the
+    /// given static inputs and returns the residual as a fresh Core Scheme
+    /// program, re-analyzed by the front end so further stages (or
+    /// compilation) can be applied directly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on analysis or specialization errors.
+    pub fn stage(
+        pgg: &Pgg,
+        program: &cs::Program,
+        entry: &str,
+        division: &Division,
+        statics: &[Datum],
+    ) -> Result<cs::Program, Error> {
+        let genext = pgg.cogen(program, entry, division)?;
+        let residual = genext.specialize_source(statics)?;
+        pgg.parse(&residual.to_source())
+    }
+}
+
+/// Runs a Core Scheme program in the tree-walking interpreter (the
+/// "interpreted" baseline and semantic oracle).
+///
+/// # Errors
+///
+/// Fails on interpreter errors or when the result is not first-order data.
+pub fn interpret(program: &cs::Program, entry: &str, args: &[Datum]) -> Result<RunOutcome, Error> {
+    let (v, output) = two4one_interp::run_program(program, entry, args)?;
+    let value = v
+        .to_datum()
+        .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
+    Ok(RunOutcome { value, output })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_round_trip() {
+        let pgg = Pgg::new();
+        let p = pgg
+            .parse("(define (inc x) (+ x 1)) (define (main a b) (+ (inc a) b))")
+            .unwrap();
+        // Stock compilation.
+        let image = compile(&p, "main").unwrap();
+        let out = run_image(&image, "main", &[Datum::Int(1), Datum::Int(2)]).unwrap();
+        assert_eq!(out.value, Datum::Int(4));
+        // Interpreted baseline agrees.
+        let out2 = interpret(&p, "main", &[Datum::Int(1), Datum::Int(2)]).unwrap();
+        assert_eq!(out2.value, Datum::Int(4));
+    }
+
+    #[test]
+    fn genext_reuse_across_static_inputs() {
+        let pgg = Pgg::new();
+        let p = pgg
+            .parse("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))")
+            .unwrap();
+        let genext = pgg
+            .cogen(&p, "power", &Division::new([BT::Dynamic, BT::Static]))
+            .unwrap();
+        for n in 0..8 {
+            let image = genext.specialize_object(&[Datum::Int(n)]).unwrap();
+            let out = run_image(&image, "power", &[Datum::Int(2)]).unwrap();
+            assert_eq!(out.value, Datum::Int(1 << n));
+        }
+    }
+
+    #[test]
+    fn source_text_load_path() {
+        let pgg = Pgg::new();
+        let p = pgg.parse("(define (f x) (* x x))").unwrap();
+        let genext = pgg.cogen(&p, "f", &Division::new([BT::Dynamic])).unwrap();
+        let residual = genext.specialize_source(&[]).unwrap();
+        let image = compile_source_text(&residual.to_source(), "f").unwrap();
+        let out = run_image(&image, "f", &[Datum::Int(9)]).unwrap();
+        assert_eq!(out.value, Datum::Int(81));
+    }
+
+    #[test]
+    fn errors_display() {
+        let pgg = Pgg::new();
+        assert!(pgg.parse("(define (f").is_err());
+        let p = pgg.parse("(define (f x) x)").unwrap();
+        let e = pgg.cogen(&p, "g", &Division::new([BT::Static])).unwrap_err();
+        assert!(e.to_string().contains("g"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Assignment elimination.
+//!
+//! Mutated variables become heap cells: their binding wraps the value in
+//! `box`, references become `unbox`, and `set!` becomes `set-box!`.
+//! `letrec` whose right-hand sides are all lambdas (and whose binders are
+//! never assigned) is *kept* for the lambda-lifting pass; any other
+//! `letrec` is lowered to cells here.
+//!
+//! Requires the input to be alpha-renamed (all binders unique).
+
+use crate::surface::{SExpr, STop};
+use std::collections::HashSet;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::{Gensym, Symbol};
+
+/// Runs assignment elimination over a renamed program.
+pub fn eliminate_assignments(tops: Vec<STop>, gensym: &mut Gensym) -> Vec<STop> {
+    // Pass 1: which variables are assigned anywhere?
+    let mut mutated = HashSet::new();
+    for t in &tops {
+        collect_mutated(&t.body, &mut mutated);
+    }
+    // Pass 2: rewrite. `cellified` grows when non-lambda letrecs are lowered.
+    tops.into_iter()
+        .map(|t| {
+            let mut cellified: HashSet<Symbol> = mutated.clone();
+            let body = rewrite(t.body, &mut cellified, gensym);
+            // Mutated parameters: rebind through a cell at function entry.
+            let mut params = Vec::with_capacity(t.params.len());
+            let mut body = body;
+            for p in t.params.into_iter().rev() {
+                if mutated.contains(&p) {
+                    let raw = gensym.fresh(p.as_str());
+                    body = SExpr::Let(
+                        vec![(p, SExpr::Prim(Prim::BoxNew, vec![SExpr::Var(raw.clone())]))],
+                        Box::new(body),
+                    );
+                    params.push(raw);
+                } else {
+                    params.push(p);
+                }
+            }
+            params.reverse();
+            STop {
+                name: t.name,
+                params,
+                body,
+            }
+        })
+        .collect()
+}
+
+fn collect_mutated(e: &SExpr, out: &mut HashSet<Symbol>) {
+    match e {
+        SExpr::Set(x, rhs) => {
+            out.insert(x.clone());
+            collect_mutated(rhs, out);
+        }
+        SExpr::Lambda { body, .. } => collect_mutated(body, out),
+        SExpr::If(a, b, c) => {
+            collect_mutated(a, out);
+            collect_mutated(b, out);
+            collect_mutated(c, out);
+        }
+        SExpr::Let(bs, body) | SExpr::Letrec(bs, body) => {
+            bs.iter().for_each(|(_, rhs)| collect_mutated(rhs, out));
+            collect_mutated(body, out);
+        }
+        SExpr::Begin(es) => es.iter().for_each(|e| collect_mutated(e, out)),
+        SExpr::App(f, args) => {
+            collect_mutated(f, out);
+            args.iter().for_each(|a| collect_mutated(a, out));
+        }
+        SExpr::Prim(_, args) => args.iter().for_each(|a| collect_mutated(a, out)),
+        SExpr::Const(_) | SExpr::Var(_) => {}
+    }
+}
+
+fn rewrite(e: SExpr, cellified: &mut HashSet<Symbol>, gensym: &mut Gensym) -> SExpr {
+    match e {
+        SExpr::Const(_) => e,
+        SExpr::Var(x) => {
+            if cellified.contains(&x) {
+                SExpr::Prim(Prim::BoxRef, vec![SExpr::Var(x)])
+            } else {
+                SExpr::Var(x)
+            }
+        }
+        SExpr::Set(x, rhs) => SExpr::Prim(
+            Prim::BoxSet,
+            vec![SExpr::Var(x), rewrite(*rhs, cellified, gensym)],
+        ),
+        SExpr::Lambda { name, params, body } => {
+            let mut body = rewrite(*body, cellified, gensym);
+            let mut new_params = Vec::with_capacity(params.len());
+            for p in params.into_iter().rev() {
+                if cellified.contains(&p) {
+                    let raw = gensym.fresh(p.as_str());
+                    body = SExpr::Let(
+                        vec![(p, SExpr::Prim(Prim::BoxNew, vec![SExpr::Var(raw.clone())]))],
+                        Box::new(body),
+                    );
+                    new_params.push(raw);
+                } else {
+                    new_params.push(p);
+                }
+            }
+            new_params.reverse();
+            SExpr::Lambda {
+                name,
+                params: new_params,
+                body: Box::new(body),
+            }
+        }
+        SExpr::If(a, b, c) => SExpr::if_(
+            rewrite(*a, cellified, gensym),
+            rewrite(*b, cellified, gensym),
+            rewrite(*c, cellified, gensym),
+        ),
+        SExpr::Let(bs, body) => {
+            let bs = bs
+                .into_iter()
+                .map(|(x, rhs)| {
+                    let rhs = rewrite(rhs, cellified, gensym);
+                    if cellified.contains(&x) {
+                        (x, SExpr::Prim(Prim::BoxNew, vec![rhs]))
+                    } else {
+                        (x, rhs)
+                    }
+                })
+                .collect();
+            SExpr::Let(bs, Box::new(rewrite(*body, cellified, gensym)))
+        }
+        SExpr::Letrec(bs, body) => {
+            let keep = bs.iter().all(|(x, rhs)| {
+                matches!(rhs, SExpr::Lambda { .. }) && !cellified.contains(x)
+            });
+            if keep {
+                let bs = bs
+                    .into_iter()
+                    .map(|(x, rhs)| (x, rewrite(rhs, cellified, gensym)))
+                    .collect();
+                SExpr::Letrec(bs, Box::new(rewrite(*body, cellified, gensym)))
+            } else {
+                // Lower to cells:
+                //   (let ((x (box #f)) ...) (set-box! x rhs) ... body)
+                for (x, _) in &bs {
+                    cellified.insert(x.clone());
+                }
+                let binders: Vec<(Symbol, SExpr)> = bs
+                    .iter()
+                    .map(|(x, _)| {
+                        (
+                            x.clone(),
+                            SExpr::Prim(
+                                Prim::BoxNew,
+                                vec![SExpr::Const(Datum::Bool(false))],
+                            ),
+                        )
+                    })
+                    .collect();
+                let mut seq: Vec<SExpr> = bs
+                    .into_iter()
+                    .map(|(x, rhs)| {
+                        SExpr::Prim(
+                            Prim::BoxSet,
+                            vec![SExpr::Var(x), rewrite(rhs, cellified, gensym)],
+                        )
+                    })
+                    .collect();
+                seq.push(rewrite(*body, cellified, gensym));
+                SExpr::Let(binders, Box::new(SExpr::Begin(seq)))
+            }
+        }
+        SExpr::Begin(es) => SExpr::Begin(
+            es.into_iter()
+                .map(|e| rewrite(e, cellified, gensym))
+                .collect(),
+        ),
+        SExpr::App(f, args) => SExpr::app(
+            rewrite(*f, cellified, gensym),
+            args.into_iter()
+                .map(|a| rewrite(a, cellified, gensym))
+                .collect(),
+        ),
+        SExpr::Prim(p, args) => SExpr::Prim(
+            p,
+            args.into_iter()
+                .map(|a| rewrite(a, cellified, gensym))
+                .collect(),
+        ),
+    }
+}
+
+/// True if the expression still contains a `set!` or a non-lambda `letrec`
+/// (used to check the pass's postcondition in tests).
+pub fn has_assignments(e: &SExpr) -> bool {
+    match e {
+        SExpr::Set(..) => true,
+        SExpr::Letrec(bs, body) => {
+            bs.iter()
+                .any(|(_, rhs)| !matches!(rhs, SExpr::Lambda { .. }) || has_assignments(rhs))
+                || has_assignments(body)
+        }
+        SExpr::Lambda { body, .. } => has_assignments(body),
+        SExpr::If(a, b, c) => {
+            has_assignments(a) || has_assignments(b) || has_assignments(c)
+        }
+        SExpr::Let(bs, body) => {
+            bs.iter().any(|(_, rhs)| has_assignments(rhs)) || has_assignments(body)
+        }
+        SExpr::Begin(es) => es.iter().any(has_assignments),
+        SExpr::App(f, args) => has_assignments(f) || args.iter().any(has_assignments),
+        SExpr::Prim(_, args) => args.iter().any(has_assignments),
+        SExpr::Const(_) | SExpr::Var(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desugar::desugar_program;
+    use crate::rename::rename_program;
+    use two4one_syntax::reader::read_all;
+
+    fn pipeline(src: &str) -> Vec<STop> {
+        let mut g = Gensym::new();
+        let tops = desugar_program(&read_all(src).unwrap()).unwrap();
+        let renamed = rename_program(tops, &mut g).unwrap();
+        eliminate_assignments(renamed, &mut g)
+    }
+
+    #[test]
+    fn set_is_gone() {
+        let tops = pipeline(
+            "(define (counter)
+               (let ((n 0))
+                 (lambda () (set! n (+ n 1)) n)))",
+        );
+        assert!(!has_assignments(&tops[0].body));
+    }
+
+    #[test]
+    fn mutated_let_binding_boxed() {
+        let tops = pipeline("(define (f) (let ((n 0)) (set! n 1) n))");
+        match &tops[0].body {
+            SExpr::Let(bs, _) => {
+                assert!(matches!(bs[0].1, SExpr::Prim(Prim::BoxNew, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutated_param_rebound_through_cell() {
+        let tops = pipeline("(define (f x) (set! x 1) x)");
+        // body = (let ((x (box x%raw))) (begin (set-box! x 1) (unbox x)))
+        match &tops[0].body {
+            SExpr::Let(bs, body) => {
+                assert!(matches!(bs[0].1, SExpr::Prim(Prim::BoxNew, _)));
+                assert!(matches!(**body, SExpr::Begin(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda_letrec_kept() {
+        let tops = pipeline(
+            "(define (f xs)
+               (letrec ((len (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l)))))))
+                 (len xs)))",
+        );
+        assert!(matches!(&tops[0].body, SExpr::Letrec(..)));
+    }
+
+    #[test]
+    fn value_letrec_lowered_to_cells() {
+        let tops = pipeline("(define (f) (letrec ((x (cons 1 '()))) x))");
+        match &tops[0].body {
+            SExpr::Let(bs, body) => {
+                assert!(matches!(bs[0].1, SExpr::Prim(Prim::BoxNew, _)));
+                assert!(matches!(**body, SExpr::Begin(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmutated_code_untouched() {
+        let tops = pipeline("(define (f x) (+ x 1))");
+        assert!(matches!(&tops[0].body, SExpr::Prim(Prim::Add, _)));
+    }
+}

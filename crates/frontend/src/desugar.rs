@@ -1,0 +1,631 @@
+//! Desugaring: concrete syntax → surface IR.
+//!
+//! Expands all derived forms into the seven-ish constructs of [`SExpr`].
+//! Primitive resolution is *not* done here (it needs scope information and
+//! happens in [`crate::rename`]); applications of primitive names are left
+//! as ordinary applications.
+
+use crate::surface::{SExpr, STop};
+use crate::FrontError;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::symbol::Symbol;
+
+type Res<T> = Result<T, FrontError>;
+
+fn err<T>(msg: impl Into<String>) -> Res<T> {
+    Err(FrontError::Syntax(msg.into()))
+}
+
+fn sym_of(d: &Datum) -> Res<Symbol> {
+    d.as_sym()
+        .cloned()
+        .ok_or_else(|| FrontError::Syntax(format!("expected identifier, got `{d}`")))
+}
+
+/// Desugars a whole program: a sequence of top-level `define` forms.
+///
+/// # Errors
+///
+/// Returns [`FrontError::Syntax`] on malformed forms or top-level
+/// expressions (programs are sets of definitions, as in the paper).
+pub fn desugar_program(data: &[Datum]) -> Res<Vec<STop>> {
+    let mut out = Vec::new();
+    for d in data {
+        let parts = match d.as_form("define") {
+            Some(p) => p,
+            None => {
+                return err(format!(
+                    "only top-level definitions are supported, got `{d}`"
+                ))
+            }
+        };
+        out.push(desugar_define(&parts, d)?);
+    }
+    Ok(out)
+}
+
+/// Desugars the body of a `(define ...)` whose operands are `parts`.
+fn desugar_define(parts: &[Datum], whole: &Datum) -> Res<STop> {
+    if parts.len() < 2 {
+        return err(format!("bad definition `{whole}`"));
+    }
+    match &parts[0] {
+        // (define (f x ...) body ...)
+        Datum::Pair(_) => {
+            let head = parts[0]
+                .to_vec()
+                .ok_or_else(|| FrontError::Syntax(format!("bad definition head in `{whole}`")))?;
+            if head.is_empty() {
+                return err("empty definition head");
+            }
+            let name = sym_of(&head[0])?;
+            let params = head[1..].iter().map(sym_of).collect::<Res<Vec<_>>>()?;
+            let body = desugar_body(&parts[1..])?;
+            Ok(STop { name, params, body })
+        }
+        // (define f (lambda (x ...) body ...))
+        Datum::Sym(name) => {
+            if parts.len() != 2 {
+                return err(format!("bad definition `{whole}`"));
+            }
+            let rhs = desugar_expr(&parts[1])?;
+            match rhs {
+                SExpr::Lambda { params, body, .. } => Ok(STop {
+                    name: name.clone(),
+                    params,
+                    body: *body,
+                }),
+                _ => err(format!(
+                    "top-level `{name}` must be a procedure definition \
+                     (value definitions are not part of the core language)"
+                )),
+            }
+        }
+        _ => err(format!("bad definition `{whole}`")),
+    }
+}
+
+/// Desugars a `<body>`: leading internal defines become a `letrec`,
+/// multiple expressions become `begin`.
+pub fn desugar_body(forms: &[Datum]) -> Res<SExpr> {
+    if forms.is_empty() {
+        return err("empty body");
+    }
+    let mut defs = Vec::new();
+    let mut i = 0;
+    while i < forms.len() {
+        if let Some(parts) = forms[i].as_form("define") {
+            if parts.len() < 2 {
+                return err(format!("bad definition `{}`", forms[i]));
+            }
+            match &parts[0] {
+                // (define (f x ...) body ...) — a local procedure.
+                Datum::Pair(_) => {
+                    let top = desugar_define(&parts, &forms[i])?;
+                    defs.push((
+                        top.name.clone(),
+                        SExpr::Lambda {
+                            name: top.name,
+                            params: top.params,
+                            body: Box::new(top.body),
+                        },
+                    ));
+                }
+                // (define x e) — a local value binding.
+                Datum::Sym(name) => {
+                    if parts.len() != 2 {
+                        return err(format!("bad definition `{}`", forms[i]));
+                    }
+                    defs.push((name.clone(), desugar_expr(&parts[1])?));
+                }
+                _ => return err(format!("bad definition `{}`", forms[i])),
+            }
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let exprs = &forms[i..];
+    if exprs.is_empty() {
+        return err("body consists only of definitions");
+    }
+    let mut seq = exprs
+        .iter()
+        .map(desugar_expr)
+        .collect::<Res<Vec<_>>>()?;
+    let body = if seq.len() == 1 {
+        seq.pop().expect("one element")
+    } else {
+        SExpr::Begin(seq)
+    };
+    if defs.is_empty() {
+        Ok(body)
+    } else {
+        Ok(SExpr::Letrec(defs, Box::new(body)))
+    }
+}
+
+/// Desugars a single expression.
+///
+/// # Errors
+///
+/// Returns [`FrontError::Syntax`] on malformed special forms.
+pub fn desugar_expr(d: &Datum) -> Res<SExpr> {
+    match d {
+        Datum::Sym(s) => Ok(SExpr::Var(s.clone())),
+        _ if d.is_self_evaluating() => Ok(SExpr::Const(d.clone())),
+        Datum::Nil => err("empty application `()`"),
+        Datum::Pair(_) => {
+            let items = d
+                .to_vec()
+                .ok_or_else(|| FrontError::Syntax(format!("improper list `{d}`")))?;
+            let head = items[0].as_sym().map(|s| s.as_str().to_string());
+            match head.as_deref() {
+                Some("quote") => {
+                    if items.len() != 2 {
+                        return err(format!("bad quote `{d}`"));
+                    }
+                    Ok(SExpr::Const(items[1].clone()))
+                }
+                Some("quasiquote") => {
+                    if items.len() != 2 {
+                        return err(format!("bad quasiquote `{d}`"));
+                    }
+                    desugar_quasi(&items[1], 1)
+                }
+                Some("unquote") | Some("unquote-splicing") => {
+                    err(format!("`{d}` outside quasiquote"))
+                }
+                Some("if") => match items.len() {
+                    3 => Ok(SExpr::if_(
+                        desugar_expr(&items[1])?,
+                        desugar_expr(&items[2])?,
+                        SExpr::Const(Datum::Unspec),
+                    )),
+                    4 => Ok(SExpr::if_(
+                        desugar_expr(&items[1])?,
+                        desugar_expr(&items[2])?,
+                        desugar_expr(&items[3])?,
+                    )),
+                    _ => err(format!("bad if `{d}`")),
+                },
+                Some("when") | Some("unless") => {
+                    if items.len() < 3 {
+                        return err(format!("bad {} `{d}`", head.expect("checked")));
+                    }
+                    let test = desugar_expr(&items[1])?;
+                    let body = desugar_body(&items[2..])?;
+                    Ok(if head.as_deref() == Some("when") {
+                        SExpr::if_(test, body, SExpr::Const(Datum::Unspec))
+                    } else {
+                        SExpr::if_(test, SExpr::Const(Datum::Unspec), body)
+                    })
+                }
+                Some("cond") => desugar_cond(&items[1..], d),
+                Some("case") => desugar_case(&items[1..], d),
+                Some("and") => Ok(desugar_and(&items[1..])?),
+                Some("or") => Ok(desugar_or(&items[1..])?),
+                Some("lambda") => {
+                    if items.len() < 3 {
+                        return err(format!("bad lambda `{d}`"));
+                    }
+                    let params = items[1]
+                        .to_vec()
+                        .ok_or_else(|| {
+                            FrontError::Syntax(format!(
+                                "bad lambda parameter list in `{d}` \
+                                 (rest parameters are not supported)"
+                            ))
+                        })?
+                        .iter()
+                        .map(sym_of)
+                        .collect::<Res<Vec<_>>>()?;
+                    Ok(SExpr::Lambda {
+                        name: Symbol::new("lam"),
+                        params,
+                        body: Box::new(desugar_body(&items[2..])?),
+                    })
+                }
+                Some("let") => desugar_let(&items[1..], d),
+                Some("let*") => {
+                    if items.len() < 3 {
+                        return err(format!("bad let* `{d}`"));
+                    }
+                    let bindings = desugar_bindings(&items[1])?;
+                    let body = desugar_body(&items[2..])?;
+                    Ok(bindings.into_iter().rev().fold(body, |acc, b| {
+                        SExpr::Let(vec![b], Box::new(acc))
+                    }))
+                }
+                Some("letrec") | Some("letrec*") => {
+                    if items.len() < 3 {
+                        return err(format!("bad letrec `{d}`"));
+                    }
+                    let bindings = desugar_bindings(&items[1])?;
+                    let body = desugar_body(&items[2..])?;
+                    Ok(SExpr::Letrec(bindings, Box::new(body)))
+                }
+                Some("begin") => {
+                    if items.len() < 2 {
+                        return err("empty begin");
+                    }
+                    desugar_body(&items[1..])
+                }
+                Some("set!") => {
+                    if items.len() != 3 {
+                        return err(format!("bad set! `{d}`"));
+                    }
+                    Ok(SExpr::Set(
+                        sym_of(&items[1])?,
+                        Box::new(desugar_expr(&items[2])?),
+                    ))
+                }
+                _ => {
+                    let f = desugar_expr(&items[0])?;
+                    let args = items[1..]
+                        .iter()
+                        .map(desugar_expr)
+                        .collect::<Res<Vec<_>>>()?;
+                    Ok(SExpr::app(f, args))
+                }
+            }
+        }
+        _ => err(format!("cannot desugar `{d}`")),
+    }
+}
+
+fn desugar_bindings(d: &Datum) -> Res<Vec<(Symbol, SExpr)>> {
+    let bs = d
+        .to_vec()
+        .ok_or_else(|| FrontError::Syntax(format!("bad binding list `{d}`")))?;
+    bs.iter()
+        .map(|b| {
+            let pair = b
+                .to_vec()
+                .filter(|v| v.len() == 2)
+                .ok_or_else(|| FrontError::Syntax(format!("bad binding `{b}`")))?;
+            Ok((sym_of(&pair[0])?, desugar_expr(&pair[1])?))
+        })
+        .collect()
+}
+
+fn desugar_let(args: &[Datum], whole: &Datum) -> Res<SExpr> {
+    if args.len() < 2 {
+        return err(format!("bad let `{whole}`"));
+    }
+    // Named let: (let loop ((x init) ...) body ...)
+    if let Datum::Sym(loop_name) = &args[0] {
+        if args.len() < 3 {
+            return err(format!("bad named let `{whole}`"));
+        }
+        let bindings = desugar_bindings(&args[1])?;
+        let body = desugar_body(&args[2..])?;
+        let (params, inits): (Vec<_>, Vec<_>) = bindings.into_iter().unzip();
+        let lambda = SExpr::Lambda {
+            name: loop_name.clone(),
+            params,
+            body: Box::new(body),
+        };
+        return Ok(SExpr::Letrec(
+            vec![(loop_name.clone(), lambda)],
+            Box::new(SExpr::app(SExpr::Var(loop_name.clone()), inits)),
+        ));
+    }
+    let bindings = desugar_bindings(&args[0])?;
+    let body = desugar_body(&args[1..])?;
+    Ok(SExpr::Let(bindings, Box::new(body)))
+}
+
+fn desugar_cond(clauses: &[Datum], whole: &Datum) -> Res<SExpr> {
+    if clauses.is_empty() {
+        return Ok(SExpr::Const(Datum::Unspec));
+    }
+    let clause = clauses[0]
+        .to_vec()
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| FrontError::Syntax(format!("bad cond clause in `{whole}`")))?;
+    let is_else = clause[0].as_sym().is_some_and(|s| s.as_str() == "else");
+    if is_else {
+        if !clauses[1..].is_empty() {
+            return err(format!("clauses after else in `{whole}`"));
+        }
+        if clause.len() < 2 {
+            return err("empty else clause");
+        }
+        return desugar_body(&clause[1..]);
+    }
+    let test = desugar_expr(&clause[0])?;
+    let rest = desugar_cond(&clauses[1..], whole)?;
+    if clause.len() == 1 {
+        // (cond (t) ...) — value of the test if true. Bind to avoid
+        // evaluating the test twice; renaming keeps `t%cond` hygienic
+        // because user identifiers never contain `%`.
+        let tmp = Symbol::new("t%cond");
+        Ok(SExpr::Let(
+            vec![(tmp.clone(), test)],
+            Box::new(SExpr::if_(SExpr::Var(tmp.clone()), SExpr::Var(tmp), rest)),
+        ))
+    } else {
+        Ok(SExpr::if_(test, desugar_body(&clause[1..])?, rest))
+    }
+}
+
+fn desugar_case(args: &[Datum], whole: &Datum) -> Res<SExpr> {
+    if args.is_empty() {
+        return err(format!("bad case `{whole}`"));
+    }
+    let key = desugar_expr(&args[0])?;
+    let tmp = Symbol::new("k%case");
+    let mut acc = SExpr::Const(Datum::Unspec);
+    for clause in args[1..].iter().rev() {
+        let parts = clause
+            .to_vec()
+            .filter(|v| v.len() >= 2)
+            .ok_or_else(|| FrontError::Syntax(format!("bad case clause in `{whole}`")))?;
+        let body = desugar_body(&parts[1..])?;
+        let is_else = parts[0].as_sym().is_some_and(|s| s.as_str() == "else");
+        if is_else {
+            acc = body;
+        } else {
+            if !parts[0].is_list() {
+                return err(format!("bad case datum list in `{whole}`"));
+            }
+            // (memv key '(d1 d2 ...)) — our memq uses eqv? semantics.
+            let test = SExpr::app(
+                SExpr::var("memq"),
+                vec![SExpr::Var(tmp.clone()), SExpr::Const(parts[0].clone())],
+            );
+            acc = SExpr::if_(test, body, acc);
+        }
+    }
+    Ok(SExpr::Let(vec![(tmp, key)], Box::new(acc)))
+}
+
+fn desugar_and(args: &[Datum]) -> Res<SExpr> {
+    match args {
+        [] => Ok(SExpr::Const(Datum::Bool(true))),
+        [e] => desugar_expr(e),
+        [e, rest @ ..] => Ok(SExpr::if_(
+            desugar_expr(e)?,
+            desugar_and(rest)?,
+            SExpr::Const(Datum::Bool(false)),
+        )),
+    }
+}
+
+fn desugar_or(args: &[Datum]) -> Res<SExpr> {
+    match args {
+        [] => Ok(SExpr::Const(Datum::Bool(false))),
+        [e] => desugar_expr(e),
+        [e, rest @ ..] => {
+            let tmp = Symbol::new("t%or");
+            Ok(SExpr::Let(
+                vec![(tmp.clone(), desugar_expr(e)?)],
+                Box::new(SExpr::if_(
+                    SExpr::Var(tmp.clone()),
+                    SExpr::Var(tmp),
+                    desugar_or(rest)?,
+                )),
+            ))
+        }
+    }
+}
+
+/// Standard quasiquote expansion with nesting depth.
+fn desugar_quasi(d: &Datum, depth: u32) -> Res<SExpr> {
+    match d {
+        Datum::Pair(_) => {
+            // (unquote e)
+            if let Some(args) = d.as_form("unquote") {
+                if args.len() != 1 {
+                    return err(format!("bad unquote `{d}`"));
+                }
+                return if depth == 1 {
+                    desugar_expr(&args[0])
+                } else {
+                    // Rebuild the unquote form one level down.
+                    Ok(SExpr::app(
+                        SExpr::var("list"),
+                        vec![
+                            SExpr::Const(Datum::sym("unquote")),
+                            desugar_quasi(&args[0], depth - 1)?,
+                        ],
+                    ))
+                };
+            }
+            if let Some(args) = d.as_form("quasiquote") {
+                if args.len() != 1 {
+                    return err(format!("bad quasiquote `{d}`"));
+                }
+                return Ok(SExpr::app(
+                    SExpr::var("list"),
+                    vec![
+                        SExpr::Const(Datum::sym("quasiquote")),
+                        desugar_quasi(&args[0], depth + 1)?,
+                    ],
+                ));
+            }
+            let car = d.car().expect("pair");
+            let cdr = d.cdr().expect("pair");
+            // (,@e . rest)
+            if let Some(args) = car.as_form("unquote-splicing") {
+                if args.len() != 1 {
+                    return err(format!("bad unquote-splicing `{car}`"));
+                }
+                if depth == 1 {
+                    return Ok(SExpr::app(
+                        SExpr::var("append"),
+                        vec![desugar_expr(&args[0])?, desugar_quasi(cdr, depth)?],
+                    ));
+                }
+                let rebuilt = SExpr::app(
+                    SExpr::var("list"),
+                    vec![
+                        SExpr::Const(Datum::sym("unquote-splicing")),
+                        desugar_quasi(&args[0], depth - 1)?,
+                    ],
+                );
+                return Ok(SExpr::app(
+                    SExpr::var("cons"),
+                    vec![rebuilt, desugar_quasi(cdr, depth)?],
+                ));
+            }
+            Ok(SExpr::app(
+                SExpr::var("cons"),
+                vec![desugar_quasi(car, depth)?, desugar_quasi(cdr, depth)?],
+            ))
+        }
+        atom => Ok(SExpr::Const(atom.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use two4one_syntax::reader::{read_all, read_one};
+
+    fn de(src: &str) -> SExpr {
+        desugar_expr(&read_one(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn basic_forms() {
+        assert_eq!(de("x"), SExpr::var("x"));
+        assert_eq!(de("5"), SExpr::Const(Datum::Int(5)));
+        assert_eq!(de("'(a)"), SExpr::Const(read_one("(a)").unwrap()));
+        assert!(matches!(de("(if a b c)"), SExpr::If(..)));
+        assert!(matches!(de("(f x)"), SExpr::App(..)));
+    }
+
+    #[test]
+    fn one_armed_if_gets_unspecified() {
+        match de("(if a b)") {
+            SExpr::If(_, _, a) => assert_eq!(*a, SExpr::Const(Datum::Unspec)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_expansion() {
+        assert_eq!(de("(and)"), SExpr::Const(Datum::Bool(true)));
+        assert_eq!(de("(or)"), SExpr::Const(Datum::Bool(false)));
+        assert!(matches!(de("(and a b)"), SExpr::If(..)));
+        assert!(matches!(de("(or a b)"), SExpr::Let(..)));
+    }
+
+    #[test]
+    fn cond_with_else_and_testonly() {
+        assert!(matches!(de("(cond (a 1) (else 2))"), SExpr::If(..)));
+        assert!(matches!(de("(cond (a) (else 2))"), SExpr::Let(..)));
+        assert!(desugar_expr(&read_one("(cond (else 1) (a 2))").unwrap()).is_err());
+    }
+
+    #[test]
+    fn case_uses_memq() {
+        let e = de("(case x ((1 2) 'small) (else 'big))");
+        assert!(matches!(e, SExpr::Let(..)));
+    }
+
+    #[test]
+    fn named_let_becomes_letrec() {
+        let e = de("(let loop ((i 0)) (loop (+ i 1)))");
+        match e {
+            SExpr::Letrec(bs, body) => {
+                assert_eq!(bs.len(), 1);
+                assert_eq!(bs[0].0, Symbol::new("loop"));
+                assert!(matches!(*body, SExpr::App(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_star_nests() {
+        let e = de("(let* ((a 1) (b a)) b)");
+        match e {
+            SExpr::Let(bs, body) => {
+                assert_eq!(bs.len(), 1);
+                assert!(matches!(*body, SExpr::Let(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bodies_with_internal_defines() {
+        let e = de("(lambda (x) (define (f y) y) (f x))");
+        match e {
+            SExpr::Lambda { body, .. } => assert!(matches!(*body, SExpr::Letrec(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_expression_bodies_become_begin() {
+        let e = de("(lambda () (display 1) 2)");
+        match e {
+            SExpr::Lambda { body, .. } => assert!(matches!(*body, SExpr::Begin(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quasiquote_simple() {
+        // `(a ,b) => (cons 'a (cons b '()))
+        let e = de("`(a ,b)");
+        match &e {
+            SExpr::App(f, args) => {
+                assert_eq!(**f, SExpr::var("cons"));
+                assert_eq!(args[0], SExpr::Const(Datum::sym("a")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quasiquote_splicing() {
+        let e = de("`(,@xs 1)");
+        match &e {
+            SExpr::App(f, args) => {
+                assert_eq!(**f, SExpr::var("append"));
+                assert_eq!(args[0], SExpr::var("xs"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_quasiquote_preserves_inner() {
+        // ``(,x) at depth 2 keeps the inner unquote as data.
+        let e = de("``(,x)");
+        // Just check it desugars without touching x as a variable.
+        fn has_var(e: &SExpr, name: &str) -> bool {
+            match e {
+                SExpr::Var(s) => s.as_str() == name,
+                SExpr::App(f, args) => {
+                    has_var(f, name) || args.iter().any(|a| has_var(a, name))
+                }
+                SExpr::Const(_) => false,
+                _ => false,
+            }
+        }
+        assert!(!has_var(&e, "x"), "inner unquote must stay quoted: {e:?}");
+    }
+
+    #[test]
+    fn program_shapes() {
+        let tops = desugar_program(&read_all("(define (f x) x) (define g (lambda (y) y))").unwrap())
+            .unwrap();
+        assert_eq!(tops.len(), 2);
+        assert_eq!(tops[1].name, Symbol::new("g"));
+        assert_eq!(tops[1].params.len(), 1);
+        assert!(desugar_program(&read_all("(+ 1 2)").unwrap()).is_err());
+        assert!(desugar_program(&read_all("(define x 5)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn set_bang() {
+        assert!(matches!(de("(set! x 1)"), SExpr::Set(..)));
+        assert!(desugar_expr(&read_one("(set! (f) 1)").unwrap()).is_err());
+    }
+}

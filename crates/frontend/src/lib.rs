@@ -1,0 +1,138 @@
+//! Front end: full Scheme subset → Core Scheme.
+//!
+//! The paper's specializer "desugars input programs to Core Scheme,
+//! performs lambda lifting and assignment elimination" (Sec. 4). This crate
+//! implements that pipeline:
+//!
+//! 1. [`desugar`](mod@desugar): concrete syntax → surface IR, expanding
+//!    `define`, `cond`, `case`, `and`, `or`, `when`, `unless`, `let*`,
+//!    named `let`, `begin`, internal defines, and `quasiquote`;
+//! 2. [`rename`](mod@rename): alpha renaming (every binder unique), scope
+//!    checking, primitive resolution (including the `cadr` family) and
+//!    eta-expansion of primitives used as values;
+//! 3. [`assign`](mod@assign): assignment elimination — mutated variables
+//!    become heap cells (`box`/`unbox`/`set-box!`), non-lambda `letrec`
+//!    is lowered to cells;
+//! 4. [`lift`](mod@lift): Johnsson-style lambda lifting of `letrec`-bound
+//!    procedure groups to top-level definitions;
+//! 5. [`lower`](mod@lower): surface IR → [`two4one_syntax::cs`] core syntax.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = two4one_frontend::frontend(
+//!     "(define (fact n)
+//!        (let loop ((i n) (acc 1))
+//!          (if (= i 0) acc (loop (- i 1) (* acc i)))))",
+//! )?;
+//! assert!(program.def(&"fact".into()).is_some());
+//! assert!(program.unbound_vars().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assign;
+pub mod desugar;
+pub mod lift;
+pub mod lower;
+pub mod rename;
+pub mod surface;
+
+use std::fmt;
+use two4one_syntax::cs;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::reader::{read_all, ReadError};
+use two4one_syntax::symbol::Gensym;
+
+/// Errors from the front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontError {
+    /// The reader failed.
+    Read(ReadError),
+    /// A malformed special form.
+    Syntax(String),
+    /// An unbound variable.
+    Unbound(String),
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontError::Read(e) => write!(f, "{e}"),
+            FrontError::Syntax(m) => write!(f, "syntax error: {m}"),
+            FrontError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+        }
+    }
+}
+
+impl std::error::Error for FrontError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontError::Read(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReadError> for FrontError {
+    fn from(e: ReadError) -> Self {
+        FrontError::Read(e)
+    }
+}
+
+/// Runs the whole front end on source text.
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] on read, syntax, or scope errors.
+pub fn frontend(src: &str) -> Result<cs::Program, FrontError> {
+    frontend_data(&read_all(src)?)
+}
+
+/// Runs the whole front end on already-read top-level data.
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] on syntax or scope errors.
+pub fn frontend_data(data: &[Datum]) -> Result<cs::Program, FrontError> {
+    let mut gensym = Gensym::new();
+    let toplevel = desugar::desugar_program(data)?;
+    let renamed = rename::rename_program(toplevel, &mut gensym)?;
+    let no_assign = assign::eliminate_assignments(renamed, &mut gensym);
+    let lifted = lift::lift_program(no_assign, &mut gensym)?;
+    let program = lower::lower_program(lifted, &mut gensym);
+    debug_assert!(
+        program.unbound_vars().is_empty(),
+        "front end produced unbound vars: {:?}",
+        program.unbound_vars()
+    );
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_produces_closed_core_program() {
+        let p = frontend(
+            "(define (len xs) (if (null? xs) 0 (+ 1 (len (cdr xs)))))
+             (define (main xs) (len xs))",
+        )
+        .unwrap();
+        assert_eq!(p.defs.len(), 2);
+        assert!(p.unbound_vars().is_empty());
+    }
+
+    #[test]
+    fn unbound_variables_are_reported() {
+        let e = frontend("(define (f x) (+ x missing))").unwrap_err();
+        assert!(matches!(e, FrontError::Unbound(ref m) if m.contains("missing")));
+    }
+
+    #[test]
+    fn read_errors_propagate() {
+        assert!(matches!(frontend("(define (f"), Err(FrontError::Read(_))));
+    }
+}

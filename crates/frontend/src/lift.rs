@@ -1,0 +1,443 @@
+//! Johnsson-style lambda lifting.
+//!
+//! Every `letrec` group (which, after assignment elimination, binds only
+//! lambdas) is lifted to a set of top-level definitions. Each lifted
+//! function gains its free variables as extra leading parameters; calls in
+//! operator position pass them explicitly, and references in value position
+//! eta-expand into a closure over the extras. First-class lambdas that are
+//! not `letrec`-bound are left in place — they become runtime closures.
+//!
+//! Requires alpha-renamed, assignment-free input.
+
+use crate::surface::{SExpr, STop};
+use crate::FrontError;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use two4one_syntax::symbol::{Gensym, Symbol};
+
+/// Information about a lifted function, keyed by its original local name.
+#[derive(Debug, Clone)]
+struct Lifted {
+    global: Symbol,
+    extras: Vec<Symbol>,
+    arity: usize,
+}
+
+/// Lifts all `letrec` groups in the program to top level.
+///
+/// # Errors
+///
+/// Returns [`FrontError::Syntax`] if a `letrec` with non-lambda right-hand
+/// sides survived assignment elimination (an internal invariant violation).
+pub fn lift_program(tops: Vec<STop>, gensym: &mut Gensym) -> Result<Vec<STop>, FrontError> {
+    let globals: HashSet<Symbol> = tops.iter().map(|t| t.name.clone()).collect();
+    let mut out: Vec<STop> = Vec::new();
+    let mut lifter = Lifter {
+        gensym,
+        globals,
+        new_tops: Vec::new(),
+    };
+    for t in tops {
+        let body = lifter.expr(t.body)?;
+        out.push(STop {
+            name: t.name,
+            params: t.params,
+            body,
+        });
+    }
+    out.extend(lifter.new_tops);
+    Ok(out)
+}
+
+struct Lifter<'a> {
+    gensym: &'a mut Gensym,
+    globals: HashSet<Symbol>,
+    new_tops: Vec<STop>,
+}
+
+/// Free local variables of an expression (excluding `globals`).
+fn free_vars(e: &SExpr, globals: &HashSet<Symbol>) -> BTreeSet<Symbol> {
+    fn go(
+        e: &SExpr,
+        bound: &mut Vec<Symbol>,
+        globals: &HashSet<Symbol>,
+        acc: &mut BTreeSet<Symbol>,
+    ) {
+        match e {
+            SExpr::Const(_) => {}
+            SExpr::Var(x) => {
+                if !bound.contains(x) && !globals.contains(x) {
+                    acc.insert(x.clone());
+                }
+            }
+            SExpr::Lambda { params, body, .. } => {
+                let n = bound.len();
+                bound.extend(params.iter().cloned());
+                go(body, bound, globals, acc);
+                bound.truncate(n);
+            }
+            SExpr::If(a, b, c) => {
+                go(a, bound, globals, acc);
+                go(b, bound, globals, acc);
+                go(c, bound, globals, acc);
+            }
+            SExpr::Let(bs, body) => {
+                for (_, rhs) in bs {
+                    go(rhs, bound, globals, acc);
+                }
+                let n = bound.len();
+                bound.extend(bs.iter().map(|(x, _)| x.clone()));
+                go(body, bound, globals, acc);
+                bound.truncate(n);
+            }
+            SExpr::Letrec(bs, body) => {
+                let n = bound.len();
+                bound.extend(bs.iter().map(|(x, _)| x.clone()));
+                for (_, rhs) in bs {
+                    go(rhs, bound, globals, acc);
+                }
+                go(body, bound, globals, acc);
+                bound.truncate(n);
+            }
+            SExpr::Set(x, rhs) => {
+                if !bound.contains(x) && !globals.contains(x) {
+                    acc.insert(x.clone());
+                }
+                go(rhs, bound, globals, acc);
+            }
+            SExpr::Begin(es) => es.iter().for_each(|e| go(e, bound, globals, acc)),
+            SExpr::App(f, args) => {
+                go(f, bound, globals, acc);
+                args.iter().for_each(|a| go(a, bound, globals, acc));
+            }
+            SExpr::Prim(_, args) => args.iter().for_each(|a| go(a, bound, globals, acc)),
+        }
+    }
+    let mut acc = BTreeSet::new();
+    go(e, &mut Vec::new(), globals, &mut acc);
+    acc
+}
+
+impl Lifter<'_> {
+    fn expr(&mut self, e: SExpr) -> Result<SExpr, FrontError> {
+        match e {
+            SExpr::Const(_) | SExpr::Var(_) => Ok(e),
+            SExpr::Lambda { name, params, body } => Ok(SExpr::Lambda {
+                name,
+                params,
+                body: Box::new(self.expr(*body)?),
+            }),
+            SExpr::If(a, b, c) => Ok(SExpr::if_(
+                self.expr(*a)?,
+                self.expr(*b)?,
+                self.expr(*c)?,
+            )),
+            SExpr::Let(bs, body) => Ok(SExpr::Let(
+                bs.into_iter()
+                    .map(|(x, rhs)| Ok((x, self.expr(rhs)?)))
+                    .collect::<Result<Vec<_>, FrontError>>()?,
+                Box::new(self.expr(*body)?),
+            )),
+            SExpr::Begin(es) => Ok(SExpr::Begin(
+                es.into_iter()
+                    .map(|e| self.expr(e))
+                    .collect::<Result<Vec<_>, FrontError>>()?,
+            )),
+            SExpr::App(f, args) => Ok(SExpr::app(
+                self.expr(*f)?,
+                args.into_iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, FrontError>>()?,
+            )),
+            SExpr::Prim(p, args) => Ok(SExpr::Prim(
+                p,
+                args.into_iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, FrontError>>()?,
+            )),
+            SExpr::Set(..) => Err(FrontError::Syntax(
+                "internal error: set! survived assignment elimination".into(),
+            )),
+            SExpr::Letrec(bs, body) => self.lift_group(bs, *body),
+        }
+    }
+
+    fn lift_group(
+        &mut self,
+        bs: Vec<(Symbol, SExpr)>,
+        body: SExpr,
+    ) -> Result<SExpr, FrontError> {
+        // 1. Recurse first so inner letrecs are already lifted and free
+        //    variables are accurate.
+        let group_names: Vec<Symbol> = bs.iter().map(|(x, _)| x.clone()).collect();
+        let group_set: HashSet<Symbol> = group_names.iter().cloned().collect();
+        let mut lambdas = Vec::with_capacity(bs.len());
+        for (x, rhs) in bs {
+            match rhs {
+                SExpr::Lambda { name, params, body } => {
+                    lambdas.push((x, name, params, self.expr(*body)?));
+                }
+                other => {
+                    return Err(FrontError::Syntax(format!(
+                        "internal error: non-lambda letrec binding `{x}` \
+                         survived assignment elimination: {other:?}"
+                    )))
+                }
+            }
+        }
+        let body = self.expr(body)?;
+
+        // 2. Fixpoint the extra-parameter sets:
+        //    E(f) = (FV(λ_f) \ G) ∪ ⋃ { E(g) | g ∈ FV(λ_f) ∩ G }.
+        let fvs: Vec<BTreeSet<Symbol>> = lambdas
+            .iter()
+            .map(|(_, _, params, lam_body)| {
+                let lam = SExpr::Lambda {
+                    name: Symbol::new("tmp"),
+                    params: params.clone(),
+                    body: Box::new(lam_body.clone()),
+                };
+                free_vars(&lam, &self.globals)
+            })
+            .collect();
+        let mut extras: Vec<BTreeSet<Symbol>> = fvs
+            .iter()
+            .map(|fv| fv.iter().filter(|v| !group_set.contains(*v)).cloned().collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..lambdas.len() {
+                let mut next = extras[i].clone();
+                for (j, other) in group_names.iter().enumerate() {
+                    if fvs[i].contains(other) {
+                        next.extend(extras[j].iter().cloned());
+                    }
+                }
+                if next.len() != extras[i].len() {
+                    extras[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // 3. Allocate global names and build the rewrite table.
+        let mut table: HashMap<Symbol, Lifted> = HashMap::new();
+        for (i, (x, _, params, _)) in lambdas.iter().enumerate() {
+            let global = self.gensym.fresh(x.as_str());
+            self.globals.insert(global.clone());
+            table.insert(
+                x.clone(),
+                Lifted {
+                    global,
+                    extras: extras[i].iter().cloned().collect(),
+                    arity: params.len(),
+                },
+            );
+        }
+
+        // 4. Rewrite occurrences and emit the lifted definitions.
+        for (x, _name, params, lam_body) in lambdas {
+            let info = table.get(&x).expect("in table").clone();
+            let rewritten = rewrite_refs(lam_body, &table, self.gensym);
+            let mut new_params = info.extras.clone();
+            new_params.extend(params);
+            self.new_tops.push(STop {
+                name: info.global,
+                params: new_params,
+                body: rewritten,
+            });
+        }
+        Ok(rewrite_refs(body, &table, self.gensym))
+    }
+}
+
+/// Replaces references to lifted functions: calls get the extra arguments
+/// prepended; value references eta-expand into closures.
+fn rewrite_refs(e: SExpr, table: &HashMap<Symbol, Lifted>, gensym: &mut Gensym) -> SExpr {
+    match e {
+        SExpr::Const(_) => e,
+        SExpr::Var(x) => match table.get(&x) {
+            None => SExpr::Var(x),
+            Some(info) => {
+                let params: Vec<Symbol> =
+                    (0..info.arity).map(|_| gensym.fresh("e")).collect();
+                let mut args: Vec<SExpr> =
+                    info.extras.iter().cloned().map(SExpr::Var).collect();
+                args.extend(params.iter().cloned().map(SExpr::Var));
+                SExpr::Lambda {
+                    name: x,
+                    params,
+                    body: Box::new(SExpr::app(SExpr::Var(info.global.clone()), args)),
+                }
+            }
+        },
+        SExpr::Lambda { name, params, body } => SExpr::Lambda {
+            name,
+            params,
+            body: Box::new(rewrite_refs(*body, table, gensym)),
+        },
+        SExpr::If(a, b, c) => SExpr::if_(
+            rewrite_refs(*a, table, gensym),
+            rewrite_refs(*b, table, gensym),
+            rewrite_refs(*c, table, gensym),
+        ),
+        SExpr::Let(bs, body) => SExpr::Let(
+            bs.into_iter()
+                .map(|(x, rhs)| (x, rewrite_refs(rhs, table, gensym)))
+                .collect(),
+            Box::new(rewrite_refs(*body, table, gensym)),
+        ),
+        SExpr::Letrec(bs, body) => SExpr::Letrec(
+            bs.into_iter()
+                .map(|(x, rhs)| (x, rewrite_refs(rhs, table, gensym)))
+                .collect(),
+            Box::new(rewrite_refs(*body, table, gensym)),
+        ),
+        SExpr::Set(x, rhs) => SExpr::Set(x, Box::new(rewrite_refs(*rhs, table, gensym))),
+        SExpr::Begin(es) => SExpr::Begin(
+            es.into_iter()
+                .map(|e| rewrite_refs(e, table, gensym))
+                .collect(),
+        ),
+        SExpr::App(f, args) => {
+            let args: Vec<SExpr> = args
+                .into_iter()
+                .map(|a| rewrite_refs(a, table, gensym))
+                .collect();
+            if let SExpr::Var(x) = &*f {
+                if let Some(info) = table.get(x) {
+                    let mut full: Vec<SExpr> =
+                        info.extras.iter().cloned().map(SExpr::Var).collect();
+                    full.extend(args);
+                    return SExpr::app(SExpr::Var(info.global.clone()), full);
+                }
+            }
+            SExpr::app(rewrite_refs(*f, table, gensym), args)
+        }
+        SExpr::Prim(p, args) => SExpr::Prim(
+            p,
+            args.into_iter()
+                .map(|a| rewrite_refs(a, table, gensym))
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::eliminate_assignments;
+    use crate::desugar::desugar_program;
+    use crate::rename::rename_program;
+    use two4one_syntax::reader::read_all;
+
+    fn pipeline(src: &str) -> Vec<STop> {
+        let mut g = Gensym::new();
+        let tops = desugar_program(&read_all(src).unwrap()).unwrap();
+        let renamed = rename_program(tops, &mut g).unwrap();
+        let no_assign = eliminate_assignments(renamed, &mut g);
+        lift_program(no_assign, &mut g).unwrap()
+    }
+
+    fn no_letrec(e: &SExpr) -> bool {
+        match e {
+            SExpr::Letrec(..) => false,
+            SExpr::Lambda { body, .. } => no_letrec(body),
+            SExpr::If(a, b, c) => no_letrec(a) && no_letrec(b) && no_letrec(c),
+            SExpr::Let(bs, body) => {
+                bs.iter().all(|(_, r)| no_letrec(r)) && no_letrec(body)
+            }
+            SExpr::Begin(es) => es.iter().all(no_letrec),
+            SExpr::App(f, args) => no_letrec(f) && args.iter().all(no_letrec),
+            SExpr::Prim(_, args) => args.iter().all(no_letrec),
+            _ => true,
+        }
+    }
+
+    #[test]
+    fn named_let_loop_is_lifted() {
+        let tops = pipeline(
+            "(define (fact n)
+               (let loop ((i n) (acc 1))
+                 (if (= i 0) acc (loop (- i 1) (* acc i)))))",
+        );
+        assert_eq!(tops.len(), 2, "{tops:?}");
+        assert!(tops.iter().all(|t| no_letrec(&t.body)));
+        // The lifted loop takes no extras (its free vars are its params).
+        let lifted = tops.iter().find(|t| t.name.as_str().contains('%')).unwrap();
+        assert_eq!(lifted.params.len(), 2);
+    }
+
+    #[test]
+    fn free_variables_become_extra_params() {
+        let tops = pipeline(
+            "(define (scale-all k xs)
+               (letrec ((go (lambda (l) (if (null? l) '() (cons (* k (car l)) (go (cdr l)))))))
+                 (go xs)))",
+        );
+        let lifted = tops.iter().find(|t| t.name.as_str().starts_with("go%")).unwrap();
+        // extras = [k], params = [k, l]
+        assert_eq!(lifted.params.len(), 2);
+        // The call site passes k explicitly.
+        match &tops[0].body {
+            SExpr::App(f, args) => {
+                assert!(matches!(**f, SExpr::Var(_)));
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutual_recursion_shares_extras() {
+        let tops = pipeline(
+            "(define (parity k n)
+               (letrec ((ev? (lambda (i) (if (= i 0) k (od? (- i 1)))))
+                        (od? (lambda (i) (if (= i 0) (not k) (ev? (- i 1))))))
+                 (ev? n)))",
+        );
+        assert_eq!(tops.len(), 3);
+        for t in &tops[1..] {
+            // both lifted functions need k
+            assert_eq!(t.params.len(), 2, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn value_position_reference_eta_expands() {
+        let tops = pipeline(
+            "(define (apply1 f x) (f x))
+             (define (succ-all n)
+               (letrec ((succ (lambda (i) (+ i n))))
+                 (apply1 succ 1)))",
+        );
+        let main = tops.iter().find(|t| t.name.as_str() == "succ-all").unwrap();
+        match &main.body {
+            SExpr::App(_, args) => {
+                assert!(
+                    matches!(args[0], SExpr::Lambda { .. }),
+                    "value ref should eta-expand: {:?}",
+                    args[0]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_letrecs_lift_inside_out() {
+        let tops = pipeline(
+            "(define (f a)
+               (letrec ((outer (lambda (x)
+                                 (letrec ((inner (lambda (y) (+ y a))))
+                                   (inner x)))))
+                 (outer 1)))",
+        );
+        assert_eq!(tops.len(), 3);
+        assert!(tops.iter().all(|t| no_letrec(&t.body)));
+        let inner = tops.iter().find(|t| t.name.as_str().starts_with("inner%")).unwrap();
+        assert_eq!(inner.params.len(), 2); // a + y
+    }
+}

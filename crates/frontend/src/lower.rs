@@ -1,0 +1,117 @@
+//! Lowering: surface IR (after renaming, assignment elimination, and
+//! lambda lifting) → Core Scheme.
+//!
+//! At this point the surface program contains no `set!` and no `letrec`;
+//! what remains maps 1-1 onto [`cs::Expr`] except multi-binding `let`
+//! (nested — safe because all names are unique) and `begin` (a chain of
+//! `let`s with ignored binders).
+
+use crate::surface::{SExpr, STop};
+use std::sync::Arc;
+use two4one_syntax::cs;
+use two4one_syntax::symbol::Gensym;
+
+/// Lowers a lifted program to Core Scheme.
+pub fn lower_program(tops: Vec<STop>, gensym: &mut Gensym) -> cs::Program {
+    cs::Program {
+        defs: tops
+            .into_iter()
+            .map(|t| cs::Def {
+                name: t.name,
+                params: t.params,
+                body: lower_expr(t.body, gensym),
+            })
+            .collect(),
+    }
+}
+
+/// Lowers one surface expression.
+///
+/// # Panics
+///
+/// Panics if the expression still contains `set!` or `letrec` (the earlier
+/// passes guarantee it does not).
+pub fn lower_expr(e: SExpr, gensym: &mut Gensym) -> cs::Expr {
+    match e {
+        SExpr::Const(d) => cs::Expr::Const(d),
+        SExpr::Var(x) => cs::Expr::Var(x),
+        SExpr::Lambda { name, params, body } => cs::Expr::Lambda(Arc::new(cs::Lambda {
+            name,
+            params,
+            body: lower_expr(*body, gensym),
+        })),
+        SExpr::If(a, b, c) => cs::Expr::if_(
+            lower_expr(*a, gensym),
+            lower_expr(*b, gensym),
+            lower_expr(*c, gensym),
+        ),
+        SExpr::Let(bs, body) => {
+            let mut acc = lower_expr(*body, gensym);
+            for (x, rhs) in bs.into_iter().rev() {
+                acc = cs::Expr::let_(x, lower_expr(rhs, gensym), acc);
+            }
+            acc
+        }
+        SExpr::Begin(es) => {
+            let mut es: Vec<cs::Expr> =
+                es.into_iter().map(|e| lower_expr(e, gensym)).collect();
+            let last = es.pop().expect("begin is non-empty");
+            es.into_iter().rev().fold(last, |acc, e| {
+                cs::Expr::let_(gensym.fresh("ignore"), e, acc)
+            })
+        }
+        SExpr::App(f, args) => cs::Expr::app(
+            lower_expr(*f, gensym),
+            args.into_iter().map(|a| lower_expr(a, gensym)).collect(),
+        ),
+        SExpr::Prim(p, args) => cs::Expr::PrimApp(
+            p,
+            args.into_iter().map(|a| lower_expr(a, gensym)).collect(),
+        ),
+        SExpr::Set(..) | SExpr::Letrec(..) => {
+            unreachable!("set!/letrec must be eliminated before lowering")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend;
+    use two4one_syntax::prim::Prim;
+
+    #[test]
+    fn begin_becomes_let_chain() {
+        let p = frontend("(define (f x) (display x) (newline) x)").unwrap();
+        match &p.defs[0].body {
+            cs::Expr::Let(_, rhs, body) => {
+                assert!(matches!(**rhs, cs::Expr::PrimApp(Prim::Display, _)));
+                assert!(matches!(**body, cs::Expr::Let(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_let_nests() {
+        let p = frontend("(define (f) (let ((a 1) (b 2)) (+ a b)))").unwrap();
+        match &p.defs[0].body {
+            cs::Expr::Let(_, _, body) => assert!(matches!(**body, cs::Expr::Let(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_pipeline_is_closed() {
+        let p = frontend(
+            "(define (member? x xs)
+               (cond ((null? xs) #f)
+                     ((equal? x (car xs)) #t)
+                     (else (member? x (cdr xs)))))
+             (define (main xs) (and (member? 1 xs) (or (member? 2 xs) 'no)))",
+        )
+        .unwrap();
+        assert!(p.unbound_vars().is_empty());
+        assert_eq!(p.defs.len(), 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Alpha renaming, scope checking, and primitive resolution.
+//!
+//! After this pass every binder in the program is unique, every variable is
+//! provably bound (locally or by a top-level definition), and applications
+//! of primitive names in operator position have been turned into
+//! [`SExpr::Prim`] nodes — respecting shadowing, so `(let ((car f)) (car x))`
+//! calls `f`. The `c[ad]+r` accessor family expands to `car`/`cdr` chains,
+//! and primitives used as *values* are eta-expanded into lambdas.
+
+use crate::surface::{SExpr, STop};
+use crate::FrontError;
+use std::collections::{HashMap, HashSet};
+use two4one_syntax::prim::{Arity, Prim};
+use two4one_syntax::symbol::{Gensym, Symbol};
+
+type Res<T> = Result<T, FrontError>;
+
+struct Renamer<'a> {
+    gensym: &'a mut Gensym,
+    globals: HashSet<Symbol>,
+}
+
+type Env = HashMap<Symbol, Symbol>;
+
+/// Renames a whole program. Top-level names are kept; all local binders
+/// become unique.
+///
+/// # Errors
+///
+/// Reports unbound variables, duplicate definitions, `set!` on globals or
+/// primitives, and arity errors on primitive applications.
+pub fn rename_program(tops: Vec<STop>, gensym: &mut Gensym) -> Res<Vec<STop>> {
+    let mut globals = HashSet::new();
+    for t in &tops {
+        if !globals.insert(t.name.clone()) {
+            return Err(FrontError::Syntax(format!(
+                "duplicate definition of `{}`",
+                t.name
+            )));
+        }
+    }
+    let mut r = Renamer { gensym, globals };
+    tops.into_iter()
+        .map(|t| {
+            let mut env = Env::new();
+            let params = t
+                .params
+                .iter()
+                .map(|p| {
+                    let fresh = r.gensym.fresh(p.as_str());
+                    env.insert(p.clone(), fresh.clone());
+                    fresh
+                })
+                .collect();
+            Ok(STop {
+                name: t.name,
+                params,
+                body: r.expr(t.body, &env)?,
+            })
+        })
+        .collect()
+}
+
+/// Expands a `c[ad]+r` accessor name into the `car`/`cdr` chain applied to
+/// `arg`, e.g. `cadr` ↦ `(car (cdr arg))`. Returns `None` if the name is
+/// not in the family.
+fn cxr_chain(name: &str, arg: SExpr) -> Option<SExpr> {
+    let inner = name.strip_prefix('c')?.strip_suffix('r')?;
+    if inner.is_empty() || inner.len() > 4 || !inner.chars().all(|c| c == 'a' || c == 'd') {
+        return None;
+    }
+    // `cadr` reads inside-out: the *last* letter is applied first.
+    let mut e = arg;
+    for c in inner.chars().rev() {
+        let p = if c == 'a' { Prim::Car } else { Prim::Cdr };
+        e = SExpr::Prim(p, vec![e]);
+    }
+    Some(e)
+}
+
+fn is_cxr(name: &str) -> bool {
+    cxr_chain(name, SExpr::var("x")).is_some() && name != "car" && name != "cdr"
+}
+
+impl Renamer<'_> {
+    fn expr(&mut self, e: SExpr, env: &Env) -> Res<SExpr> {
+        match e {
+            SExpr::Const(_) => Ok(e),
+            SExpr::Var(x) => self.var_ref(x, env),
+            SExpr::Lambda { name, params, body } => {
+                let mut inner = env.clone();
+                let params = params
+                    .iter()
+                    .map(|p| {
+                        let fresh = self.gensym.fresh(p.as_str());
+                        inner.insert(p.clone(), fresh.clone());
+                        fresh
+                    })
+                    .collect();
+                Ok(SExpr::Lambda {
+                    name,
+                    params,
+                    body: Box::new(self.expr(*body, &inner)?),
+                })
+            }
+            SExpr::If(a, b, c) => Ok(SExpr::if_(
+                self.expr(*a, env)?,
+                self.expr(*b, env)?,
+                self.expr(*c, env)?,
+            )),
+            SExpr::Let(bs, body) => {
+                let mut inner = env.clone();
+                let mut out = Vec::with_capacity(bs.len());
+                // Parallel let: right-hand sides see the outer environment.
+                let renamed_rhs: Vec<(Symbol, SExpr)> = bs
+                    .into_iter()
+                    .map(|(x, rhs)| Ok((x, self.expr(rhs, env)?)))
+                    .collect::<Res<Vec<_>>>()?;
+                for (x, rhs) in renamed_rhs {
+                    let fresh = self.gensym.fresh(x.as_str());
+                    inner.insert(x, fresh.clone());
+                    out.push((fresh, rhs));
+                }
+                Ok(SExpr::Let(out, Box::new(self.expr(*body, &inner)?)))
+            }
+            SExpr::Letrec(bs, body) => {
+                let mut inner = env.clone();
+                let fresh_names: Vec<Symbol> = bs
+                    .iter()
+                    .map(|(x, _)| {
+                        let fresh = self.gensym.fresh(x.as_str());
+                        inner.insert(x.clone(), fresh.clone());
+                        fresh
+                    })
+                    .collect();
+                let out = bs
+                    .into_iter()
+                    .zip(fresh_names)
+                    .map(|((_, rhs), fresh)| Ok((fresh, self.expr(rhs, &inner)?)))
+                    .collect::<Res<Vec<_>>>()?;
+                Ok(SExpr::Letrec(out, Box::new(self.expr(*body, &inner)?)))
+            }
+            SExpr::Set(x, rhs) => {
+                let rhs = self.expr(*rhs, env)?;
+                match env.get(&x) {
+                    Some(fresh) => Ok(SExpr::Set(fresh.clone(), Box::new(rhs))),
+                    None if self.globals.contains(&x) => Err(FrontError::Syntax(format!(
+                        "`set!` on top-level `{x}` is not supported"
+                    ))),
+                    None => Err(FrontError::Unbound(x.to_string())),
+                }
+            }
+            SExpr::Begin(es) => Ok(SExpr::Begin(
+                es.into_iter()
+                    .map(|e| self.expr(e, env))
+                    .collect::<Res<Vec<_>>>()?,
+            )),
+            SExpr::App(f, args) => {
+                let args = args
+                    .into_iter()
+                    .map(|a| self.expr(a, env))
+                    .collect::<Res<Vec<_>>>()?;
+                // Primitive in operator position?
+                if let SExpr::Var(x) = &*f {
+                    if !env.contains_key(x) && !self.globals.contains(x) {
+                        if let Some(p) = Prim::from_name(x.as_str()) {
+                            if !p.arity().admits(args.len()) {
+                                return Err(FrontError::Syntax(format!(
+                                    "`{}` expects {} argument(s), got {}",
+                                    p.name(),
+                                    p.arity(),
+                                    args.len()
+                                )));
+                            }
+                            return Ok(SExpr::Prim(p, args));
+                        }
+                        if is_cxr(x.as_str()) {
+                            if args.len() != 1 {
+                                return Err(FrontError::Syntax(format!(
+                                    "`{x}` expects 1 argument, got {}",
+                                    args.len()
+                                )));
+                            }
+                            let arg =
+                                args.into_iter().next().expect("checked length");
+                            return Ok(cxr_chain(x.as_str(), arg)
+                                .expect("is_cxr implies expansion"));
+                        }
+                    }
+                }
+                Ok(SExpr::app(self.expr(*f, env)?, args))
+            }
+            SExpr::Prim(p, args) => Ok(SExpr::Prim(
+                p,
+                args.into_iter()
+                    .map(|a| self.expr(a, env))
+                    .collect::<Res<Vec<_>>>()?,
+            )),
+        }
+    }
+
+    fn var_ref(&mut self, x: Symbol, env: &Env) -> Res<SExpr> {
+        if let Some(fresh) = env.get(&x) {
+            return Ok(SExpr::Var(fresh.clone()));
+        }
+        if self.globals.contains(&x) {
+            return Ok(SExpr::Var(x));
+        }
+        // A primitive used as a value: eta-expand.
+        if let Some(p) = Prim::from_name(x.as_str()) {
+            return match p.arity() {
+                Arity::Exact(n) => {
+                    let params: Vec<Symbol> =
+                        (0..n).map(|_| self.gensym.fresh("a")).collect();
+                    Ok(SExpr::Lambda {
+                        name: x.clone(),
+                        params: params.clone(),
+                        body: Box::new(SExpr::Prim(
+                            p,
+                            params.into_iter().map(SExpr::Var).collect(),
+                        )),
+                    })
+                }
+                Arity::AtLeast(_) => Err(FrontError::Syntax(format!(
+                    "variadic primitive `{x}` cannot be used as a value; \
+                     wrap it in a lambda with the arity you need"
+                ))),
+            };
+        }
+        if is_cxr(x.as_str()) {
+            let param = self.gensym.fresh("a");
+            return Ok(SExpr::Lambda {
+                name: x.clone(),
+                params: vec![param.clone()],
+                body: Box::new(
+                    cxr_chain(x.as_str(), SExpr::Var(param)).expect("is_cxr"),
+                ),
+            });
+        }
+        Err(FrontError::Unbound(x.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desugar::{desugar_expr, desugar_program};
+    use two4one_syntax::reader::{read_all, read_one};
+
+    fn ren(src: &str) -> Vec<STop> {
+        let tops = desugar_program(&read_all(src).unwrap()).unwrap();
+        rename_program(tops, &mut Gensym::new()).unwrap()
+    }
+
+    fn ren_err(src: &str) -> FrontError {
+        let tops = desugar_program(&read_all(src).unwrap()).unwrap();
+        rename_program(tops, &mut Gensym::new()).unwrap_err()
+    }
+
+    fn ren_expr(src: &str) -> SExpr {
+        let e = desugar_expr(&read_one(src).unwrap()).unwrap();
+        let tops = vec![STop {
+            name: Symbol::new("main"),
+            params: vec![],
+            body: e,
+        }];
+        rename_program(tops, &mut Gensym::new())
+            .unwrap()
+            .remove(0)
+            .body
+    }
+
+    #[test]
+    fn binders_become_unique() {
+        let tops = ren("(define (f x) (let ((x x)) (lambda (x) x)))");
+        fn collect_binders(e: &SExpr, out: &mut Vec<Symbol>) {
+            match e {
+                SExpr::Lambda { params, body, .. } => {
+                    out.extend(params.iter().cloned());
+                    collect_binders(body, out);
+                }
+                SExpr::Let(bs, body) | SExpr::Letrec(bs, body) => {
+                    for (x, rhs) in bs {
+                        out.push(x.clone());
+                        collect_binders(rhs, out);
+                    }
+                    collect_binders(body, out);
+                }
+                SExpr::If(a, b, c) => {
+                    collect_binders(a, out);
+                    collect_binders(b, out);
+                    collect_binders(c, out);
+                }
+                SExpr::App(f, args) => {
+                    collect_binders(f, out);
+                    args.iter().for_each(|a| collect_binders(a, out));
+                }
+                SExpr::Prim(_, args) => args.iter().for_each(|a| collect_binders(a, out)),
+                SExpr::Begin(es) => es.iter().for_each(|e| collect_binders(e, out)),
+                SExpr::Set(_, e) => collect_binders(e, out),
+                _ => {}
+            }
+        }
+        let mut binders = tops[0].params.clone();
+        collect_binders(&tops[0].body, &mut binders);
+        let unique: std::collections::HashSet<_> = binders.iter().collect();
+        assert_eq!(unique.len(), binders.len(), "{binders:?}");
+    }
+
+    #[test]
+    fn primitive_application_resolves() {
+        let e = ren_expr("(+ 1 2)");
+        assert!(matches!(e, SExpr::Prim(Prim::Add, _)));
+    }
+
+    #[test]
+    fn shadowed_primitive_stays_application() {
+        let e = ren_expr("(let ((car (lambda (x) x))) (car 1))");
+        match e {
+            SExpr::Let(_, body) => assert!(matches!(*body, SExpr::App(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cxr_family_expands() {
+        let tops = ren("(define (f xs) (cadr xs))");
+        match &tops[0].body {
+            SExpr::Prim(Prim::Car, args) => {
+                assert!(matches!(args[0], SExpr::Prim(Prim::Cdr, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prim_as_value_eta_expands() {
+        let tops = ren("(define (f g xs) (g cons xs))");
+        match &tops[0].body {
+            SExpr::App(_, args) => {
+                assert!(matches!(args[0], SExpr::Lambda { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variadic_prim_as_value_errors() {
+        let e = ren_err("(define (f g) (g list))");
+        assert!(matches!(e, FrontError::Syntax(_)));
+    }
+
+    #[test]
+    fn unbound_and_duplicates_error() {
+        assert!(matches!(ren_err("(define (f) y)"), FrontError::Unbound(_)));
+        assert!(matches!(
+            ren_err("(define (f) 1) (define (f) 2)"),
+            FrontError::Syntax(_)
+        ));
+    }
+
+    #[test]
+    fn set_on_global_rejected() {
+        let e = ren_err("(define (f) 1) (define (g) (set! f 2))");
+        assert!(matches!(e, FrontError::Syntax(_)));
+    }
+
+    #[test]
+    fn parallel_let_sees_outer_scope() {
+        // (let ((x 1)) (let ((x 2) (y x)) y)) — y is bound to the OUTER x.
+        let tops = ren("(define (f x) (let ((x 2) (y x)) y))");
+        match &tops[0].body {
+            SExpr::Let(bs, _) => {
+                let outer_x = &tops[0].params[0];
+                assert_eq!(bs[1].1, SExpr::Var(outer_x.clone()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn letrec_sees_itself() {
+        let tops = ren("(define (f) (letrec ((loop (lambda (i) (loop i)))) (loop 0)))");
+        match &tops[0].body {
+            SExpr::Letrec(bs, _) => match &bs[0].1 {
+                SExpr::Lambda { body, .. } => match &**body {
+                    SExpr::App(f, _) => assert_eq!(**f, SExpr::Var(bs[0].0.clone())),
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prim_arity_checked_at_rename() {
+        assert!(matches!(
+            ren_err("(define (f x) (car x x))"),
+            FrontError::Syntax(_)
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! The surface intermediate representation.
+//!
+//! Sits between concrete syntax and Core Scheme: special forms are already
+//! expanded, but multi-binding `let`, `letrec`, `begin`, and `set!` still
+//! exist. The passes in this crate progressively remove them.
+
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+
+/// A surface expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExpr {
+    /// A constant.
+    Const(Datum),
+    /// A variable.
+    Var(Symbol),
+    /// A lambda with a name hint.
+    Lambda {
+        /// Name hint for diagnostics and template names.
+        name: Symbol,
+        /// Formals.
+        params: Vec<Symbol>,
+        /// Body (already a single expression).
+        body: Box<SExpr>,
+    },
+    /// `(if t c a)`.
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// Parallel multi-binding `let`.
+    Let(Vec<(Symbol, SExpr)>, Box<SExpr>),
+    /// `letrec`.
+    Letrec(Vec<(Symbol, SExpr)>, Box<SExpr>),
+    /// `(set! x e)` — removed by assignment elimination.
+    Set(Symbol, Box<SExpr>),
+    /// `(begin e ...)` — non-empty sequence.
+    Begin(Vec<SExpr>),
+    /// Application.
+    App(Box<SExpr>, Vec<SExpr>),
+    /// Primitive application (introduced by the renamer).
+    Prim(Prim, Vec<SExpr>),
+}
+
+impl SExpr {
+    /// Convenience `if` constructor.
+    pub fn if_(t: SExpr, c: SExpr, a: SExpr) -> SExpr {
+        SExpr::If(Box::new(t), Box::new(c), Box::new(a))
+    }
+
+    /// Convenience application constructor.
+    pub fn app(f: SExpr, args: Vec<SExpr>) -> SExpr {
+        SExpr::App(Box::new(f), args)
+    }
+
+    /// Variable reference by name.
+    pub fn var(name: &str) -> SExpr {
+        SExpr::Var(Symbol::new(name))
+    }
+
+    /// Walks the expression, applying `f` to every subexpression bottom-up.
+    pub fn map_subexprs(self, f: &mut impl FnMut(SExpr) -> SExpr) -> SExpr {
+        let e = match self {
+            SExpr::Const(_) | SExpr::Var(_) => self,
+            SExpr::Lambda { name, params, body } => SExpr::Lambda {
+                name,
+                params,
+                body: Box::new(body.map_subexprs(f)),
+            },
+            SExpr::If(a, b, c) => SExpr::if_(
+                a.map_subexprs(f),
+                b.map_subexprs(f),
+                c.map_subexprs(f),
+            ),
+            SExpr::Let(bs, body) => SExpr::Let(
+                bs.into_iter()
+                    .map(|(x, e)| (x, e.map_subexprs(f)))
+                    .collect(),
+                Box::new(body.map_subexprs(f)),
+            ),
+            SExpr::Letrec(bs, body) => SExpr::Letrec(
+                bs.into_iter()
+                    .map(|(x, e)| (x, e.map_subexprs(f)))
+                    .collect(),
+                Box::new(body.map_subexprs(f)),
+            ),
+            SExpr::Set(x, e) => SExpr::Set(x, Box::new(e.map_subexprs(f))),
+            SExpr::Begin(es) => {
+                SExpr::Begin(es.into_iter().map(|e| e.map_subexprs(f)).collect())
+            }
+            SExpr::App(g, args) => SExpr::app(
+                g.map_subexprs(f),
+                args.into_iter().map(|e| e.map_subexprs(f)).collect(),
+            ),
+            SExpr::Prim(p, args) => {
+                SExpr::Prim(p, args.into_iter().map(|e| e.map_subexprs(f)).collect())
+            }
+        };
+        f(e)
+    }
+}
+
+/// A desugared top-level definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct STop {
+    /// The global name.
+    pub name: Symbol,
+    /// Parameters.
+    pub params: Vec<Symbol>,
+    /// Body.
+    pub body: SExpr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_subexprs_visits_everything() {
+        let e = SExpr::if_(
+            SExpr::var("a"),
+            SExpr::Begin(vec![SExpr::var("b")]),
+            SExpr::Prim(Prim::Add, vec![SExpr::var("c")]),
+        );
+        let mut count = 0;
+        e.map_subexprs(&mut |e| {
+            count += 1;
+            e
+        });
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,130 @@
+//! Persistent environments: immutable linked frames with O(1) extension.
+//!
+//! Shared by the interpreter and the specializer (which stores
+//! partial-evaluation-time values in the same shape).
+
+use std::rc::Rc;
+use two4one_syntax::symbol::Symbol;
+
+/// A persistent environment mapping symbols to values of type `V`.
+///
+/// Extension is O(1) and does not affect other holders of the environment;
+/// lookup is O(depth). Scopes in Core Scheme are shallow, so this is both
+/// simple and fast.
+#[derive(Debug)]
+pub struct Env<V>(Option<Rc<Node<V>>>);
+
+#[derive(Debug)]
+struct Node<V> {
+    name: Symbol,
+    value: V,
+    next: Env<V>,
+}
+
+impl<V> Clone for Env<V> {
+    fn clone(&self) -> Self {
+        Env(self.0.clone())
+    }
+}
+
+impl<V> Default for Env<V> {
+    fn default() -> Self {
+        Env(None)
+    }
+}
+
+impl<V> Env<V> {
+    /// The empty environment.
+    pub fn empty() -> Self {
+        Env(None)
+    }
+}
+
+impl<V: Clone> Env<V> {
+
+    /// Extends with one binding, returning the new environment.
+    pub fn extend(&self, name: Symbol, value: V) -> Env<V> {
+        Env(Some(Rc::new(Node {
+            name,
+            value,
+            next: self.clone(),
+        })))
+    }
+
+    /// Looks up the innermost binding of `name`.
+    pub fn lookup(&self, name: &Symbol) -> Option<V> {
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            if &node.name == name {
+                return Some(node.value.clone());
+            }
+            cur = &node.next.0;
+        }
+        None
+    }
+
+    /// True if `name` is bound.
+    pub fn contains(&self, name: &Symbol) -> bool {
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            if &node.name == name {
+                return true;
+            }
+            cur = &node.next.0;
+        }
+        false
+    }
+
+    /// Number of bindings (including shadowed ones).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            n += 1;
+            cur = &node.next.0;
+        }
+        n
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_and_lookup() {
+        let e = Env::empty();
+        let e1 = e.extend(Symbol::new("x"), 1);
+        let e2 = e1.extend(Symbol::new("y"), 2);
+        assert_eq!(e2.lookup(&Symbol::new("x")), Some(1));
+        assert_eq!(e2.lookup(&Symbol::new("y")), Some(2));
+        assert_eq!(e1.lookup(&Symbol::new("y")), None);
+        assert_eq!(e.lookup(&Symbol::new("x")), None);
+    }
+
+    #[test]
+    fn shadowing_finds_innermost() {
+        let e = Env::empty()
+            .extend(Symbol::new("x"), 1)
+            .extend(Symbol::new("x"), 2);
+        assert_eq!(e.lookup(&Symbol::new("x")), Some(2));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn persistence() {
+        let base = Env::empty().extend(Symbol::new("a"), 0);
+        let left = base.extend(Symbol::new("b"), 1);
+        let right = base.extend(Symbol::new("b"), 2);
+        assert_eq!(left.lookup(&Symbol::new("b")), Some(1));
+        assert_eq!(right.lookup(&Symbol::new("b")), Some(2));
+        assert!(base.contains(&Symbol::new("a")));
+        assert!(!base.contains(&Symbol::new("b")));
+        assert!(Env::<i32>::empty().is_empty());
+    }
+}

@@ -1,0 +1,508 @@
+//! A direct (tree-walking) interpreter for Core Scheme.
+//!
+//! This is the semantic oracle of the workspace: the byte-code VM, the
+//! compiler, and the specializer are all tested against it. It is also the
+//! "interpreted" baseline when measuring the benefit of compilation and
+//! run-time code generation.
+//!
+//! The interpreter is properly tail-recursive (loops written as tail calls
+//! run in constant Rust stack) and optionally metered with fuel so tests
+//! can bound runaway programs.
+//!
+//! # Example
+//!
+//! ```
+//! use two4one_frontend::frontend;
+//! use two4one_interp::run_program;
+//! use two4one_syntax::Datum;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = frontend("(define (sq x) (* x x))")?;
+//! let (result, output) = run_program(&p, "sq", &[Datum::Int(7)])?;
+//! assert_eq!(result.to_datum(), Some(Datum::Int(49)));
+//! assert!(output.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod env;
+
+use env::Env;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+use two4one_syntax::cs::{Def, Expr, Lambda, Program};
+use two4one_syntax::datum::Datum;
+use two4one_syntax::symbol::Symbol;
+use two4one_syntax::value::{apply_prim, PrimError, ProcRepr};
+
+/// Procedure representation of the tree-walking interpreter.
+#[derive(Clone)]
+pub enum Proc {
+    /// A closure: lambda plus captured environment.
+    Closure(Rc<Closure>),
+    /// A top-level function used as a value.
+    Global(Symbol),
+}
+
+/// A closure value.
+pub struct Closure {
+    /// The code.
+    pub lambda: Arc<Lambda>,
+    /// The captured environment.
+    pub env: Env<Value>,
+}
+
+impl ProcRepr for Proc {
+    fn ptr_eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Proc::Closure(a), Proc::Closure(b)) => Rc::ptr_eq(a, b),
+            (Proc::Global(a), Proc::Global(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Proc::Closure(c) => c.lambda.name.to_string(),
+            Proc::Global(g) => g.to_string(),
+        }
+    }
+}
+
+/// Interpreter values.
+pub type Value = two4one_syntax::value::Value<Proc>;
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtError {
+    /// Reference to an unbound variable (indicates a front-end bug).
+    Unbound(Symbol),
+    /// Application of a non-procedure.
+    NotAProcedure(String),
+    /// Wrong number of arguments to a closure or top-level function.
+    BadArity {
+        /// The procedure's name.
+        name: Symbol,
+        /// Expected parameter count.
+        expected: usize,
+        /// Actual argument count.
+        got: usize,
+    },
+    /// No such top-level function.
+    NoSuchGlobal(Symbol),
+    /// A primitive failed.
+    Prim(PrimError),
+    /// The fuel limit was reached.
+    FuelExhausted,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            RtError::NotAProcedure(v) => write!(f, "attempt to apply non-procedure {v}"),
+            RtError::BadArity {
+                name,
+                expected,
+                got,
+            } => write!(f, "`{name}` expects {expected} argument(s), got {got}"),
+            RtError::NoSuchGlobal(g) => write!(f, "no top-level definition `{g}`"),
+            RtError::Prim(e) => write!(f, "{e}"),
+            RtError::FuelExhausted => write!(f, "fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Prim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PrimError> for RtError {
+    fn from(e: PrimError) -> Self {
+        RtError::Prim(e)
+    }
+}
+
+/// The interpreter. Holds the program's global table, captured output, and
+/// an optional fuel meter.
+pub struct Interp {
+    globals: HashMap<Symbol, Rc<Def>>,
+    /// Output produced by `display`/`write`/`newline`.
+    pub output: String,
+    fuel: Option<u64>,
+}
+
+enum Step {
+    Done(Value),
+    Call(Proc, Vec<Value>),
+}
+
+impl Interp {
+    /// Creates an interpreter for the given program.
+    pub fn new(prog: &Program) -> Self {
+        Interp {
+            globals: prog
+                .defs
+                .iter()
+                .map(|d| (d.name.clone(), Rc::new(d.clone())))
+                .collect(),
+            output: String::new(),
+            fuel: None,
+        }
+    }
+
+    /// Limits execution to roughly `fuel` evaluation steps.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    fn tick(&mut self) -> Result<(), RtError> {
+        if let Some(f) = &mut self.fuel {
+            if *f == 0 {
+                return Err(RtError::FuelExhausted);
+            }
+            *f -= 1;
+        }
+        Ok(())
+    }
+
+    /// Calls the top-level function `entry` with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RtError`] on any runtime fault.
+    pub fn call_global(&mut self, entry: &Symbol, args: Vec<Value>) -> Result<Value, RtError> {
+        self.apply(Proc::Global(entry.clone()), args)
+    }
+
+    /// Evaluates an expression in the given environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`RtError`] on any runtime fault.
+    pub fn eval(&mut self, e: &Expr, env: &Env<Value>) -> Result<Value, RtError> {
+        match self.eval_step(e, env)? {
+            Step::Done(v) => Ok(v),
+            Step::Call(p, args) => self.apply(p, args),
+        }
+    }
+
+    /// Evaluates `e` as if in tail position, returning either a value or a
+    /// pending call for the trampoline in [`Interp::apply`].
+    fn eval_step(&mut self, e: &Expr, env: &Env<Value>) -> Result<Step, RtError> {
+        self.tick()?;
+        match e {
+            Expr::Const(d) => Ok(Step::Done(Value::from(d))),
+            Expr::Var(x) => match env.lookup(x) {
+                Some(v) => Ok(Step::Done(v)),
+                None => {
+                    if self.globals.contains_key(x) {
+                        Ok(Step::Done(Value::Proc(Proc::Global(x.clone()))))
+                    } else {
+                        Err(RtError::Unbound(x.clone()))
+                    }
+                }
+            },
+            Expr::Lambda(l) => Ok(Step::Done(Value::Proc(Proc::Closure(Rc::new(Closure {
+                lambda: l.clone(),
+                env: env.clone(),
+            }))))),
+            Expr::If(t, c, a) => {
+                let tv = self.eval(t, env)?;
+                if tv.is_truthy() {
+                    self.eval_step(c, env)
+                } else {
+                    self.eval_step(a, env)
+                }
+            }
+            Expr::Let(x, rhs, body) => {
+                let v = self.eval(rhs, env)?;
+                let inner = env.extend(x.clone(), v);
+                self.eval_step(body, &inner)
+            }
+            Expr::App(f, args) => {
+                let fv = self.eval(f, env)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, env)?);
+                }
+                match fv {
+                    Value::Proc(p) => Ok(Step::Call(p, argv)),
+                    other => Err(RtError::NotAProcedure(
+                        two4one_syntax::value::write_string(&other),
+                    )),
+                }
+            }
+            Expr::PrimApp(p, args) => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, env)?);
+                }
+                Ok(Step::Done(apply_prim(*p, &argv, &mut self.output)?))
+            }
+        }
+    }
+
+    /// The trampoline: applies procedures without growing the Rust stack
+    /// for tail calls.
+    fn apply(&mut self, mut p: Proc, mut args: Vec<Value>) -> Result<Value, RtError> {
+        loop {
+            let (lam, env) = match &p {
+                Proc::Closure(c) => (c.lambda.clone(), c.env.clone()),
+                Proc::Global(g) => {
+                    let def = self
+                        .globals
+                        .get(g)
+                        .cloned()
+                        .ok_or_else(|| RtError::NoSuchGlobal(g.clone()))?;
+                    (
+                        Arc::new(Lambda {
+                            name: def.name.clone(),
+                            params: def.params.clone(),
+                            body: def.body.clone(),
+                        }),
+                        Env::empty(),
+                    )
+                }
+            };
+            if lam.params.len() != args.len() {
+                return Err(RtError::BadArity {
+                    name: lam.name.clone(),
+                    expected: lam.params.len(),
+                    got: args.len(),
+                });
+            }
+            let mut inner = env;
+            for (x, v) in lam.params.iter().zip(args) {
+                inner = inner.extend(x.clone(), v);
+            }
+            match self.eval_step(&lam.body, &inner)? {
+                Step::Done(v) => return Ok(v),
+                Step::Call(np, nargs) => {
+                    p = np;
+                    args = nargs;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: runs `entry` on first-order data arguments and
+/// returns the result together with collected output.
+///
+/// # Errors
+///
+/// Returns an [`RtError`] on any runtime fault.
+pub fn run_program(
+    prog: &Program,
+    entry: &str,
+    args: &[Datum],
+) -> Result<(Value, String), RtError> {
+    let mut interp = Interp::new(prog);
+    let argv = args.iter().map(Value::from).collect();
+    let v = interp.call_global(&Symbol::new(entry), argv)?;
+    Ok((v, interp.output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use two4one_frontend::frontend;
+
+    fn run(src: &str, entry: &str, args: &[Datum]) -> Value {
+        let p = frontend(src).unwrap();
+        run_program(&p, entry, args).unwrap().0
+    }
+
+    fn run_d(src: &str, entry: &str, args: &[Datum]) -> Datum {
+        run(src, entry, args).to_datum().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_recursion() {
+        let fact = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))";
+        assert_eq!(run_d(fact, "fact", &[Datum::Int(10)]), Datum::Int(3628800));
+    }
+
+    #[test]
+    fn tail_recursion_is_constant_stack() {
+        let src = "(define (loop i acc) (if (= i 0) acc (loop (- i 1) (+ acc 1))))";
+        assert_eq!(
+            run_d(src, "loop", &[Datum::Int(300_000), Datum::Int(0)]),
+            Datum::Int(300_000)
+        );
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        let src = "(define (adder n) (lambda (x) (+ x n)))
+                   (define (main a b) ((adder a) b))";
+        assert_eq!(
+            run_d(src, "main", &[Datum::Int(3), Datum::Int(4)]),
+            Datum::Int(7)
+        );
+    }
+
+    #[test]
+    fn globals_are_first_class() {
+        let src = "(define (twice f x) (f (f x)))
+                   (define (succ x) (+ x 1))
+                   (define (main x) (twice succ x))";
+        assert_eq!(run_d(src, "main", &[Datum::Int(5)]), Datum::Int(7));
+    }
+
+    #[test]
+    fn named_let_loops() {
+        let src = "(define (sum-to n)
+                     (let loop ((i 0) (acc 0))
+                       (if (> i n) acc (loop (+ i 1) (+ acc i)))))";
+        assert_eq!(run_d(src, "sum-to", &[Datum::Int(100)]), Datum::Int(5050));
+    }
+
+    #[test]
+    fn mutation_through_boxes() {
+        let src = "(define (counter)
+                     (let ((n 0))
+                       (lambda () (set! n (+ n 1)) n)))
+                   (define (main)
+                     (let ((c (counter)))
+                       (c) (c) (c)))";
+        assert_eq!(run_d(src, "main", &[]), Datum::Int(3));
+    }
+
+    #[test]
+    fn output_is_captured() {
+        let p = frontend("(define (main) (display \"hi \") (write \"x\") (newline) 0)").unwrap();
+        let (_, out) = run_program(&p, "main", &[]).unwrap();
+        assert_eq!(out, "hi \"x\"\n");
+    }
+
+    #[test]
+    fn runtime_errors_reported() {
+        let p = frontend("(define (main) (car 5))").unwrap();
+        let e = run_program(&p, "main", &[]).unwrap_err();
+        assert!(matches!(e, RtError::Prim(_)));
+
+        let p = frontend("(define (main) (1 2))").unwrap();
+        let e = run_program(&p, "main", &[]).unwrap_err();
+        assert!(matches!(e, RtError::NotAProcedure(_)));
+
+        let p = frontend("(define (f x) x) (define (main) (f 1 2))").unwrap();
+        let e = run_program(&p, "main", &[]).unwrap_err();
+        assert!(matches!(e, RtError::BadArity { .. }));
+
+        let p = frontend("(define (main) 0)").unwrap();
+        let mut i = Interp::new(&p);
+        let e = i.call_global(&Symbol::new("nope"), vec![]).unwrap_err();
+        assert!(matches!(e, RtError::NoSuchGlobal(_)));
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let p = frontend("(define (spin) (spin))").unwrap();
+        let mut i = Interp::new(&p).with_fuel(10_000);
+        let e = i.call_global(&Symbol::new("spin"), vec![]).unwrap_err();
+        assert_eq!(e, RtError::FuelExhausted);
+    }
+
+    #[test]
+    fn error_prim_surfaces_as_user_error() {
+        let p = frontend("(define (main) (error \"boom\" 1 2))").unwrap();
+        let e = run_program(&p, "main", &[]).unwrap_err();
+        assert_eq!(e, RtError::Prim(PrimError::User("boom 1 2".into())));
+    }
+
+    #[test]
+    fn eq_on_procedures() {
+        let src = "(define (f x) x)
+                   (define (main) (eq? f f))";
+        assert_eq!(run_d(src, "main", &[]), Datum::Bool(true));
+    }
+
+    #[test]
+    fn cond_case_quasiquote_run() {
+        let src = r#"
+            (define (classify x)
+              (cond ((number? x) `(num ,x))
+                    ((symbol? x) (case x ((a b) 'letter) (else 'other)))
+                    (else 'unknown)))
+        "#;
+        assert_eq!(
+            run_d(src, "classify", &[Datum::Int(5)]),
+            two4one_syntax::reader::read_one("(num 5)").unwrap()
+        );
+        assert_eq!(run_d(src, "classify", &[Datum::sym("a")]), Datum::sym("letter"));
+        assert_eq!(run_d(src, "classify", &[Datum::sym("z")]), Datum::sym("other"));
+        assert_eq!(run_d(src, "classify", &[Datum::Bool(true)]), Datum::sym("unknown"));
+    }
+
+    #[test]
+    fn deep_nontail_recursion_on_big_stack() {
+        two4one_syntax::stack::with_stack(|| {
+            let src = "(define (count xs) (if (null? xs) 0 (+ 1 (count (cdr xs)))))";
+            let xs = Datum::list((0..50_000).map(Datum::Int).collect::<Vec<_>>());
+            assert_eq!(run_d(src, "count", &[xs]), Datum::Int(50_000));
+        });
+    }
+
+    #[test]
+    fn nested_quasiquote_has_correct_depth_semantics() {
+        // ``(1 ,(+ 1 2) ,,(+ 1 2)) — the inner double unquote evaluates at
+        // depth 0, the single one stays quoted one level down.
+        let src = "(define (main) `(a ,(+ 1 2) `(b ,(+ 1 2))))";
+        let d = run_d(src, "main", &[]);
+        assert_eq!(
+            d,
+            two4one_syntax::reader::read_one("(a 3 (quasiquote (b (unquote (+ 1 2)))))")
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn let_star_and_shadowing() {
+        let src = "(define (main x)
+                     (let* ((x (+ x 1)) (y (* x 2)) (x (+ x y)))
+                       (list x y)))";
+        assert_eq!(
+            run_d(src, "main", &[Datum::Int(10)]),
+            two4one_syntax::reader::read_one("(33 22)").unwrap()
+        );
+    }
+
+    #[test]
+    fn case_with_else_and_lists() {
+        let src = "(define (main k)
+                     (case k
+                       ((a e i o u) 'vowel)
+                       ((w y) 'semivowel)
+                       (else 'consonant)))";
+        assert_eq!(run_d(src, "main", &[Datum::sym("y")]), Datum::sym("semivowel"));
+        assert_eq!(run_d(src, "main", &[Datum::sym("k")]), Datum::sym("consonant"));
+    }
+
+    #[test]
+    fn variadic_prims_in_programs() {
+        let src = "(define (main a b c) (list (+ a b c 1) (max a b c) (min a b c) (< a b c)))";
+        assert_eq!(
+            run_d(src, "main", &[Datum::Int(1), Datum::Int(2), Datum::Int(3)]),
+            two4one_syntax::reader::read_one("(7 3 1 #t)").unwrap()
+        );
+    }
+
+    #[test]
+    fn lifted_local_functions_work_at_runtime() {
+        let src = "(define (f k xs)
+                     (let loop ((l xs) (acc 0))
+                       (if (null? l) (* k acc) (loop (cdr l) (+ acc (car l))))))";
+        let xs = Datum::list((1..=4).map(Datum::Int).collect::<Vec<_>>());
+        assert_eq!(run_d(src, "f", &[Datum::Int(2), xs]), Datum::Int(20));
+    }
+}

@@ -1,0 +1,605 @@
+//! The paper's benchmark subjects (Sec. 7): interpreters for MIXWELL and
+//! LAZY, written in the Scheme subset this system accepts, plus the input
+//! programs they are specialized over.
+//!
+//! "For our benchmarks, we used two standard examples for compilation by
+//! partial evaluation: an interpreter for a small first-order functional
+//! language called MIXWELL, and one for a small lazy functional language
+//! called LAZY." The originals came with the Similix distribution; these
+//! are faithful re-creations at the same scale (the paper's MIXWELL
+//! interpreter was 93 lines on a 62-line input, LAZY was 127 lines on a
+//! 26-line input).
+//!
+//! Both interpreters follow the standard binding-time discipline for
+//! compilation by partial evaluation: the environment is split into a
+//! *static* list of names and a *dynamic* list of values (or thunks), so
+//! variable lookup unfolds into direct accesses, and the only memoization
+//! point is the function-call handler — one residual definition per
+//! interpreted function.
+
+use two4one_syntax::acs::CallPolicy;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::reader::read_one;
+
+/// The MIXWELL interpreter (first-order functional language).
+///
+/// A MIXWELL program is `((fname (param ...) body) ...)`, the first
+/// function is the entry. Expressions: numbers, variables (symbols),
+/// `(quote c)`, `(if t c a)`, `(call f e ...)`, and `(op e ...)` for the
+/// operators handled by `mw-apply-op`.
+pub const MIXWELL_INTERP: &str = r#"
+;; --- MIXWELL: an interpreter for a small first-order functional language.
+
+(define (mixwell-run program args)
+  (mw-call (mw-def-name (car program)) args program))
+
+(define (mw-def-name d) (car d))
+(define (mw-def-params d) (cadr d))
+(define (mw-def-body d) (caddr d))
+
+(define (mw-lookup-fn name program)
+  (cond ((null? program) (error "mixwell: undefined function" name))
+        ((eq? name (mw-def-name (car program))) (car program))
+        (else (mw-lookup-fn name (cdr program)))))
+
+;; names is static, vals is a dynamic list: the lookup unfolds into a
+;; car/cdr chain on the runtime argument list.
+(define (mw-lookup-var x names vals)
+  (cond ((null? names) (error "mixwell: unbound variable" x))
+        ((eq? x (car names)) (car vals))
+        (else (mw-lookup-var x (cdr names) (cdr vals)))))
+
+;; The specialization point: one residual function per MIXWELL function.
+(define (mw-call fname args program)
+  (let ((def (mw-lookup-fn fname program)))
+    (mw-eval (mw-def-body def) (mw-def-params def) args program)))
+
+(define (mw-eval e names vals program)
+  (cond ((number? e) e)
+        ((symbol? e) (mw-lookup-var e names vals))
+        ((eq? (car e) 'quote) (cadr e))
+        ((eq? (car e) 'if)
+         (if (mw-eval (cadr e) names vals program)
+             (mw-eval (caddr e) names vals program)
+             (mw-eval (cadddr e) names vals program)))
+        ((eq? (car e) 'call)
+         (mw-call (cadr e) (mw-evlist (cddr e) names vals program) program))
+        (else
+         (mw-apply-op (car e) (mw-evlist (cdr e) names vals program)))))
+
+(define (mw-evlist es names vals program)
+  (if (null? es)
+      '()
+      (cons (mw-eval (car es) names vals program)
+            (mw-evlist (cdr es) names vals program))))
+
+(define (mw-apply-op op args)
+  (cond ((eq? op 'car) (car (car args)))
+        ((eq? op 'cdr) (cdr (car args)))
+        ((eq? op 'cons) (cons (car args) (cadr args)))
+        ((eq? op 'null?) (null? (car args)))
+        ((eq? op 'pair?) (pair? (car args)))
+        ((eq? op 'eq?) (eq? (car args) (cadr args)))
+        ((eq? op 'equal?) (equal? (car args) (cadr args)))
+        ((eq? op 'not) (not (car args)))
+        ((eq? op '+) (+ (car args) (cadr args)))
+        ((eq? op '-) (- (car args) (cadr args)))
+        ((eq? op '*) (* (car args) (cadr args)))
+        ((eq? op 'quotient) (quotient (car args) (cadr args)))
+        ((eq? op 'remainder) (remainder (car args) (cadr args)))
+        ((eq? op '=) (= (car args) (cadr args)))
+        ((eq? op '<) (< (car args) (cadr args)))
+        ((eq? op '>) (> (car args) (cadr args)))
+        ((eq? op '<=) (<= (car args) (cadr args)))
+        (else (error "mixwell: unknown operator" op))))
+"#;
+
+/// Unfold/memoize policy for the MIXWELL interpreter: `mw-call` is the
+/// specialization point, everything else unfolds.
+pub fn mixwell_policies() -> Vec<(&'static str, CallPolicy)> {
+    vec![
+        ("mw-call", CallPolicy::Memoize),
+        ("mw-eval", CallPolicy::Unfold),
+        ("mw-evlist", CallPolicy::Unfold),
+        ("mw-lookup-var", CallPolicy::Unfold),
+        ("mw-lookup-fn", CallPolicy::Unfold),
+        ("mw-apply-op", CallPolicy::Unfold),
+    ]
+}
+
+/// The medium-sized MIXWELL input program the interpreter is specialized
+/// over (cf. the paper's 62-line input): list utilities plus a prime
+/// filter, exercising recursion, data construction, and arithmetic.
+pub const MIXWELL_PROGRAM: &str = r#"
+((main (n)
+   (call pair-up (call primes-upto n) (call squares-upto n)))
+
+ (primes-upto (n)
+   (call primes-loop 2 n (quote ())))
+
+ (primes-loop (i n acc)
+   (if (< n i)
+       (call reverse-onto acc (quote ()))
+       (if (call prime? i)
+           (call primes-loop (+ i 1) n (cons i acc))
+           (call primes-loop (+ i 1) n acc))))
+
+ (prime? (i)
+   (call has-no-divisor 2 i))
+
+ (has-no-divisor (j i)
+   (if (= j i)
+       (quote #t)
+       (if (= (remainder i j) 0)
+           (quote #f)
+           (call has-no-divisor (+ j 1) i))))
+
+ (squares-upto (n)
+   (call squares-loop 1 n))
+
+ (squares-loop (i n)
+   (if (< n i)
+       (quote ())
+       (cons (* i i) (call squares-loop (+ i 1) n))))
+
+ (reverse-onto (xs acc)
+   (if (null? xs)
+       acc
+       (call reverse-onto (cdr xs) (cons (car xs) acc))))
+
+ (pair-up (xs ys)
+   (if (null? xs)
+       (quote ())
+       (if (null? ys)
+           (quote ())
+           (cons (cons (car xs) (car ys))
+                 (call pair-up (cdr xs) (cdr ys))))))
+
+ (length (xs)
+   (if (null? xs) 0 (+ 1 (call length (cdr xs)))))
+
+ (append (xs ys)
+   (if (null? xs) ys (cons (car xs) (call append (cdr xs) ys)))))
+"#;
+
+/// The LAZY interpreter (small lazy functional language).
+///
+/// A LAZY program is `((fname (param ...) body) ...)`; calls are
+/// call-by-name (arguments are passed as thunks) and `cons` is lazy in
+/// both positions, so programs can build infinite structures. Expressions:
+/// numbers, variables, `(quote c)`, `(if t c a)`, `(cons e e)`,
+/// `(call f e ...)`, and strict operators `(op e ...)`.
+pub const LAZY_INTERP: &str = r#"
+;; --- LAZY: an interpreter for a small lazy (call-by-name) language.
+;; Environments map static names to dynamic thunks; lazy pairs are host
+;; pairs of thunks.
+
+(define (lazy-run program args)
+  (lz-call (lz-def-name (car program)) (lz-wrap-args args) program))
+
+(define (lz-def-name d) (car d))
+(define (lz-def-params d) (cadr d))
+(define (lz-def-body d) (caddr d))
+
+;; The program's (already evaluated, dynamic) top-level arguments become
+;; constant thunks.
+(define (lz-wrap-args vals)
+  (if (null? vals)
+      '()
+      (cons (lz-const-thunk (car vals)) (lz-wrap-args (cdr vals)))))
+
+(define (lz-const-thunk v)
+  (lambda () v))
+
+(define (lz-force th) (th))
+
+(define (lz-lookup-fn name program)
+  (cond ((null? program) (error "lazy: undefined function" name))
+        ((eq? name (lz-def-name (car program))) (car program))
+        (else (lz-lookup-fn name (cdr program)))))
+
+(define (lz-lookup-var x names thunks)
+  (cond ((null? names) (error "lazy: unbound variable" x))
+        ((eq? x (car names)) (car thunks))
+        (else (lz-lookup-var x (cdr names) (cdr thunks)))))
+
+;; The specialization point: one residual function per LAZY function.
+(define (lz-call fname thunks program)
+  (let ((def (lz-lookup-fn fname program)))
+    (lz-eval (lz-def-body def) (lz-def-params def) thunks program)))
+
+(define (lz-eval e names thunks program)
+  (cond ((number? e) e)
+        ((symbol? e) (lz-force (lz-lookup-var e names thunks)))
+        ((eq? (car e) 'quote) (cadr e))
+        ((eq? (car e) 'if)
+         (if (lz-eval (cadr e) names thunks program)
+             (lz-eval (caddr e) names thunks program)
+             (lz-eval (cadddr e) names thunks program)))
+        ((eq? (car e) 'cons)
+         (cons (lz-make-thunk (cadr e) names thunks program)
+               (lz-make-thunk (caddr e) names thunks program)))
+        ((eq? (car e) 'call)
+         (lz-call (cadr e)
+                  (lz-thunkify (cddr e) names thunks program)
+                  program))
+        (else
+         (lz-apply-op (car e) (lz-evlist (cdr e) names thunks program)))))
+
+;; Build one thunk per argument: laziness itself.
+(define (lz-make-thunk e names thunks program)
+  (lambda () (lz-eval e names thunks program)))
+
+(define (lz-thunkify es names thunks program)
+  (if (null? es)
+      '()
+      (cons (lz-make-thunk (car es) names thunks program)
+            (lz-thunkify (cdr es) names thunks program))))
+
+(define (lz-evlist es names thunks program)
+  (if (null? es)
+      '()
+      (cons (lz-eval (car es) names thunks program)
+            (lz-evlist (cdr es) names thunks program))))
+
+(define (lz-apply-op op args)
+  (cond ((eq? op 'car) (lz-force (car (car args))))
+        ((eq? op 'cdr) (lz-force (cdr (car args))))
+        ((eq? op 'null?) (null? (car args)))
+        ((eq? op 'pair?) (pair? (car args)))
+        ((eq? op 'eq?) (eq? (car args) (cadr args)))
+        ((eq? op 'not) (not (car args)))
+        ((eq? op '+) (+ (car args) (cadr args)))
+        ((eq? op '-) (- (car args) (cadr args)))
+        ((eq? op '*) (* (car args) (cadr args)))
+        ((eq? op '=) (= (car args) (cadr args)))
+        ((eq? op '<) (< (car args) (cadr args)))
+        ((eq? op '>) (> (car args) (cadr args)))
+        (else (error "lazy: unknown operator" op))))
+"#;
+
+/// Unfold/memoize policy for the LAZY interpreter.
+pub fn lazy_policies() -> Vec<(&'static str, CallPolicy)> {
+    vec![
+        ("lz-call", CallPolicy::Memoize),
+        ("lz-eval", CallPolicy::Unfold),
+        ("lz-evlist", CallPolicy::Unfold),
+        ("lz-thunkify", CallPolicy::Unfold),
+        ("lz-make-thunk", CallPolicy::Unfold),
+        ("lz-lookup-var", CallPolicy::Unfold),
+        ("lz-lookup-fn", CallPolicy::Unfold),
+        ("lz-apply-op", CallPolicy::Unfold),
+        ("lz-force", CallPolicy::Unfold),
+        ("lz-const-thunk", CallPolicy::Unfold),
+    ]
+}
+
+/// The LAZY input program (cf. the paper's 26-line input): the classic
+/// infinite-stream pipeline — naturals from `n`, map square, take `k`,
+/// sum — which only terminates because evaluation is lazy.
+pub const LAZY_PROGRAM: &str = r#"
+((main (n k)
+   (call sum (call take k (call map-square (call nats-from n)))))
+
+ (nats-from (n)
+   (cons n (call nats-from (+ n 1))))
+
+ (map-square (s)
+   (cons (* (car s) (car s)) (call map-square (cdr s))))
+
+ (take (k s)
+   (if (= k 0)
+       (quote ())
+       (cons (car s) (call take (- k 1) (cdr s)))))
+
+ (sum (s)
+   (if (null? s)
+       0
+       (+ (car s) (call sum (cdr s))))))
+"#;
+
+/// Parses the MIXWELL input program to a datum.
+///
+/// # Panics
+///
+/// Panics if the embedded source is malformed (a bug in this crate).
+pub fn mixwell_program() -> Datum {
+    read_one(MIXWELL_PROGRAM).expect("embedded MIXWELL program parses")
+}
+
+/// Parses the LAZY input program to a datum.
+///
+/// # Panics
+///
+/// Panics if the embedded source is malformed (a bug in this crate).
+pub fn lazy_program() -> Datum {
+    read_one(LAZY_PROGRAM).expect("embedded LAZY program parses")
+}
+
+/// A tiny MIXWELL program (Ackermann) for quick tests.
+pub const MIXWELL_ACKERMANN: &str = r#"
+((main (m n) (call ack m n))
+ (ack (m n)
+   (if (= m 0)
+       (+ n 1)
+       (if (= n 0)
+           (call ack (- m 1) 1)
+           (call ack (- m 1) (call ack m (- n 1)))))))
+"#;
+
+/// Classic specialization subjects used across examples and benches.
+pub mod classics {
+    /// Power: the canonical partial-evaluation example.
+    pub const POWER: &str =
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+    /// A naive string/list matcher; specializing it to a fixed pattern
+    /// yields a hard-coded matcher (the KMP-by-PE tradition).
+    pub const MATCHER: &str = r#"
+(define (match pattern text)
+  (match-loop pattern text))
+
+(define (match-loop p t)
+  (cond ((null? p) #t)
+        ((null? t) #f)
+        ((equal? (car p) (car t)) (match-here (cdr p) (cdr t) p t))
+        (else (match-loop p (cdr t)))))
+
+(define (match-here p t p0 t0)
+  (cond ((null? p) #t)
+        ((null? t) #f)
+        ((equal? (car p) (car t)) (match-here (cdr p) (cdr t) p0 t0))
+        (else (match-loop p0 (cdr t0)))))
+"#;
+
+    /// Dot product with a static weight vector: zero weights vanish at
+    /// specialization time.
+    pub const DOT: &str = r#"
+(define (dot ws xs)
+  (if (null? ws)
+      0
+      (+ (* (car ws) (car xs)) (dot (cdr ws) (cdr xs)))))
+"#;
+}
+
+/// An interpreter for FCL, the flowchart language of the classic
+/// partial-evaluation literature (Jones/Gomard/Sestoft's `mix`). A program
+/// is
+///
+/// ```text
+/// ((param ...) (local ...) init-label
+///  (label (assign x e) ... (goto l | if e l1 l2 | return e)) ...)
+/// ```
+///
+/// Expressions are numbers, variables, `(quote c)`, and strict operators.
+/// The store follows the standard discipline: variable *names* are static,
+/// their *values* live in a parallel dynamic list, and assignment rebuilds
+/// the value list at a statically known position. Specializing the
+/// interpreter over a static program yields one residual function per
+/// program point — polyvariant program-point specialization, the original
+/// `mix` result.
+pub const FCL_INTERP: &str = r#"
+;; --- FCL: the flowchart language of the partial-evaluation classics.
+
+(define (fcl-run prog args)
+  (fcl-block (fcl-init prog)
+             (append (fcl-locals prog) (fcl-params prog))
+             (fcl-zeros (fcl-locals prog) args)
+             prog))
+
+;; Locals sit in front of the parameters so the store can be built by
+;; consing static zeros onto the dynamic argument list.
+(define (fcl-zeros locals args)
+  (if (null? locals) args (cons 0 (fcl-zeros (cdr locals) args))))
+
+(define (fcl-params prog) (car prog))
+(define (fcl-locals prog) (cadr prog))
+(define (fcl-init prog) (caddr prog))
+(define (fcl-blocks prog) (cdddr prog))
+
+(define (fcl-find-block label blocks)
+  (cond ((null? blocks) (error "fcl: no such block" label))
+        ((eq? label (car (car blocks))) (cdr (car blocks)))
+        (else (fcl-find-block label (cdr blocks)))))
+
+;; The specialization point: one residual function per program point.
+(define (fcl-block label names store prog)
+  (fcl-body (fcl-find-block label (fcl-blocks prog)) names store prog))
+
+(define (fcl-body stmts names store prog)
+  (if (null? (cdr stmts))
+      (fcl-jump (car stmts) names store prog)
+      (fcl-body (cdr stmts)
+                names
+                (fcl-assign (car stmts) names store prog)
+                prog)))
+
+;; (assign x e): rebuild the dynamic store with slot x replaced.
+(define (fcl-assign stmt names store prog)
+  (fcl-update (cadr stmt) names store (fcl-eval (caddr stmt) names store)))
+
+(define (fcl-update x names store v)
+  (if (eq? x (car names))
+      (cons v (cdr store))
+      (cons (car store) (fcl-update x (cdr names) (cdr store) v))))
+
+(define (fcl-jump stmt names store prog)
+  (cond ((eq? (car stmt) 'goto)
+         (fcl-block (cadr stmt) names store prog))
+        ((eq? (car stmt) 'if)
+         (if (fcl-eval (cadr stmt) names store)
+             (fcl-block (caddr stmt) names store prog)
+             (fcl-block (cadddr stmt) names store prog)))
+        ((eq? (car stmt) 'return)
+         (fcl-eval (cadr stmt) names store))
+        (else (error "fcl: bad jump" stmt))))
+
+(define (fcl-eval e names store)
+  (cond ((number? e) e)
+        ((symbol? e) (fcl-lookup e names store))
+        ((eq? (car e) 'quote) (cadr e))
+        ((eq? (car e) '+) (+ (fcl-eval (cadr e) names store)
+                             (fcl-eval (caddr e) names store)))
+        ((eq? (car e) '-) (- (fcl-eval (cadr e) names store)
+                             (fcl-eval (caddr e) names store)))
+        ((eq? (car e) '*) (* (fcl-eval (cadr e) names store)
+                             (fcl-eval (caddr e) names store)))
+        ((eq? (car e) '=) (= (fcl-eval (cadr e) names store)
+                             (fcl-eval (caddr e) names store)))
+        ((eq? (car e) '<) (< (fcl-eval (cadr e) names store)
+                             (fcl-eval (caddr e) names store)))
+        ((eq? (car e) '>) (> (fcl-eval (cadr e) names store)
+                             (fcl-eval (caddr e) names store)))
+        (else (error "fcl: bad expression" e))))
+
+(define (fcl-lookup x names store)
+  (cond ((null? names) (error "fcl: unbound" x))
+        ((eq? x (car names)) (car store))
+        (else (fcl-lookup x (cdr names) (cdr store)))))
+"#;
+
+/// Policies for the FCL interpreter: program points are the memoization
+/// unit; everything else unfolds.
+pub fn fcl_policies() -> Vec<(&'static str, CallPolicy)> {
+    vec![
+        ("fcl-block", CallPolicy::Memoize),
+        ("fcl-body", CallPolicy::Unfold),
+        ("fcl-assign", CallPolicy::Unfold),
+        ("fcl-update", CallPolicy::Unfold),
+        ("fcl-jump", CallPolicy::Unfold),
+        ("fcl-eval", CallPolicy::Unfold),
+        ("fcl-lookup", CallPolicy::Unfold),
+        ("fcl-find-block", CallPolicy::Unfold),
+        ("fcl-params", CallPolicy::Unfold),
+        ("fcl-init", CallPolicy::Unfold),
+        ("fcl-blocks", CallPolicy::Unfold),
+        ("fcl-locals", CallPolicy::Unfold),
+        ("fcl-zeros", CallPolicy::Unfold),
+    ]
+}
+
+/// An FCL program: iterative exponentiation with an accumulator —
+/// flowchart `power`, the `mix` classic.
+pub const FCL_POWER: &str = r#"
+((x n) (acc) start
+ (start (assign acc 1) (goto test))
+ (test (if (= n 0) done loop))
+ (loop (assign acc (* acc x)) (assign n (- n 1)) (goto test))
+ (done (return acc)))
+"#;
+
+/// Parses the FCL power program.
+///
+/// # Panics
+///
+/// Panics if the embedded source is malformed (a bug in this crate).
+pub fn fcl_power() -> Datum {
+    read_one(FCL_POWER).expect("embedded FCL program parses")
+}
+
+/// A deterministic finite automaton interpreter, written with the
+/// transition table static and the input word dynamic. Specializing it
+/// over a concrete DFA compiles the table away: the residual program is a
+/// family of mutually recursive state functions — a hard-coded matcher,
+/// generated at run time.
+///
+/// A DFA is `(start (accepting ...) ((state symbol next) ...))`; the input
+/// is a list of symbols. Missing transitions reject.
+pub const DFA_INTERP: &str = r#"
+;; --- DFA: a table-driven automaton interpreter.
+
+(define (dfa-run dfa word)
+  (dfa-state (dfa-start dfa) word dfa))
+
+(define (dfa-start dfa) (car dfa))
+(define (dfa-accepting dfa) (cadr dfa))
+(define (dfa-table dfa) (caddr dfa))
+
+;; The specialization point: one residual function per automaton state.
+(define (dfa-state q word dfa)
+  (if (null? word)
+      (dfa-member q (dfa-accepting dfa))
+      (dfa-step q (car word) (cdr word) dfa)))
+
+(define (dfa-step q sym rest dfa)
+  (dfa-dispatch q sym rest (dfa-table dfa) dfa))
+
+(define (dfa-dispatch q sym rest table dfa)
+  (cond ((null? table) #f)
+        ((eq? q (car (car table)))
+         (if (eq? sym (cadr (car table)))
+             (dfa-state (caddr (car table)) rest dfa)
+             (dfa-dispatch q sym rest (cdr table) dfa)))
+        (else (dfa-dispatch q sym rest (cdr table) dfa))))
+
+(define (dfa-member x xs)
+  (cond ((null? xs) #f)
+        ((eq? x (car xs)) #t)
+        (else (dfa-member x (cdr xs)))))
+"#;
+
+/// Policies for the DFA interpreter: each *state* becomes a residual
+/// function; the table walk unfolds away.
+pub fn dfa_policies() -> Vec<(&'static str, CallPolicy)> {
+    vec![
+        ("dfa-state", CallPolicy::Memoize),
+        ("dfa-step", CallPolicy::Unfold),
+        ("dfa-dispatch", CallPolicy::Unfold),
+        ("dfa-member", CallPolicy::Unfold),
+        ("dfa-start", CallPolicy::Unfold),
+        ("dfa-accepting", CallPolicy::Unfold),
+        ("dfa-table", CallPolicy::Unfold),
+    ]
+}
+
+/// An example DFA: accepts words over {a, b} containing the substring
+/// `a b a`.
+pub const DFA_ABA: &str = r#"
+(s0 (s3)
+    ((s0 a s1) (s0 b s0)
+     (s1 a s1) (s1 b s2)
+     (s2 a s3) (s2 b s0)
+     (s3 a s3) (s3 b s3)))
+"#;
+
+/// Parses the example DFA.
+///
+/// # Panics
+///
+/// Panics if the embedded source is malformed (a bug in this crate).
+pub fn dfa_aba() -> Datum {
+    read_one(DFA_ABA).expect("embedded DFA parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use two4one_syntax::reader::read_all;
+
+    #[test]
+    fn embedded_sources_parse() {
+        assert!(read_all(MIXWELL_INTERP).unwrap().len() >= 8);
+        assert!(read_all(LAZY_INTERP).unwrap().len() >= 12);
+        assert_eq!(mixwell_program().list_len(), Some(11));
+        assert_eq!(lazy_program().list_len(), Some(5));
+        assert!(read_all(classics::MATCHER).unwrap().len() == 3);
+    }
+
+    #[test]
+    fn dfa_sources_parse() {
+        assert!(read_all(DFA_INTERP).unwrap().len() >= 7);
+        assert_eq!(dfa_aba().list_len(), Some(3));
+    }
+
+    #[test]
+    fn interpreter_sizes_match_paper_scale() {
+        let lines = |s: &str| s.lines().filter(|l| !l.trim().is_empty()).count();
+        // Paper: MIXWELL 93 lines, LAZY 127 lines, inputs 62 and 26. Our
+        // re-creations are denser (cond instead of nested ifs, no module
+        // headers) but the same order of magnitude.
+        assert!(lines(MIXWELL_INTERP) >= 50, "{}", lines(MIXWELL_INTERP));
+        assert!(lines(LAZY_INTERP) >= 65, "{}", lines(LAZY_INTERP));
+        assert!(lines(MIXWELL_PROGRAM) >= 35, "{}", lines(MIXWELL_PROGRAM));
+        assert!(lines(LAZY_PROGRAM) >= 13, "{}", lines(LAZY_PROGRAM));
+    }
+}

@@ -1,0 +1,148 @@
+//! The specializer — Fig. 3 of the paper, generic over the code backend.
+//!
+//! This is a continuation-based offline specializer for Annotated Core
+//! Scheme. Continuation-based partial evaluation (Bondorf; Lawall & Danvy)
+//! is what makes the residual code come out in A-normal form: every
+//! residual *serious* computation is named by a `let` with a fresh
+//! variable the moment it is emitted, and dynamic conditionals duplicate
+//! the specialization continuation into both branches.
+//!
+//! The specializer is **generic over [`CodeBuilder`](two4one_anf::build::CodeBuilder)** — the reification of
+//! the paper's Sec. 6.3. With `SourceBuilder` it is the classical
+//! source-to-source partial evaluator; with the compiler's `ObjectBuilder`
+//! it *is* the fused run-time code generator: monomorphization plays the
+//! role of deforestation (Sec. 5.4) and no residual syntax tree is ever
+//! built.
+//!
+//! Memoization (Sec. 4's "standard" machinery, Thiemann 1996): calls to
+//! functions marked [`CallPolicy::Memoize`](two4one_syntax::acs::CallPolicy::Memoize) are residualized; each distinct
+//! tuple of static argument values produces one residual definition, driven
+//! from a pending queue so cross-function work does not nest.
+
+pub mod spec;
+
+pub use spec::{specialize, Spec, SpecStats};
+
+use std::fmt;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+use two4one_syntax::value::PrimError;
+
+/// Tuning knobs for specialization.
+#[derive(Debug, Clone)]
+pub struct SpecOptions {
+    /// Maximum number of call unfoldings before specialization is aborted
+    /// (a fuel meter against unbounded static recursion).
+    pub unfold_fuel: u64,
+    /// Maximum recursion depth of the specializer itself (the CPS engine
+    /// nests one Rust activation per residual binding, so this bounds both
+    /// stack usage and residual-code depth).
+    pub max_depth: usize,
+}
+
+impl Default for SpecOptions {
+    fn default() -> Self {
+        SpecOptions {
+            unfold_fuel: 2_000_000,
+            max_depth: 400_000,
+        }
+    }
+}
+
+/// Errors during specialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeError {
+    /// Entry point or callee not defined.
+    NoSuchFunction(Symbol),
+    /// Static application of a non-procedure.
+    NotAProcedure(String),
+    /// Wrong number of arguments in a static call.
+    ArityMismatch {
+        /// Callee.
+        name: Symbol,
+        /// Expected.
+        expected: usize,
+        /// Got.
+        got: usize,
+    },
+    /// Wrong number of static arguments supplied to the entry point.
+    StaticArgCount {
+        /// Entry name.
+        entry: Symbol,
+        /// Static parameters of the entry.
+        expected: usize,
+        /// Static arguments supplied.
+        got: usize,
+    },
+    /// A static primitive application failed at specialization time. Note
+    /// that offline partial evaluation evaluates static code under dynamic
+    /// conditionals *speculatively*, so this can fire for a branch the
+    /// program would never take at run time.
+    StaticPrim {
+        /// The primitive.
+        prim: Prim,
+        /// The failure.
+        error: PrimError,
+    },
+    /// A specialization-time closure reached a memoization key position;
+    /// the binding-time analysis should have residualized it.
+    ClosureInMemoKey(Symbol),
+    /// Unfold fuel exhausted: static recursion did not terminate. Consider
+    /// marking the offending function as a memoization point.
+    UnfoldLimit(u64),
+    /// Specializer recursion-depth limit exceeded; includes the unfold
+    /// count at the point of failure for diagnosis.
+    DepthLimit {
+        /// Configured limit.
+        limit: usize,
+        /// Unfolds performed when the limit was hit.
+        unfolds: u64,
+    },
+    /// Invariant violation (an annotation or specializer bug).
+    Internal(String),
+}
+
+impl fmt::Display for PeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeError::NoSuchFunction(g) => write!(f, "no top-level definition `{g}`"),
+            PeError::NotAProcedure(v) => {
+                write!(f, "static application of non-procedure {v}")
+            }
+            PeError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => write!(f, "`{name}` expects {expected} argument(s), got {got}"),
+            PeError::StaticArgCount {
+                entry,
+                expected,
+                got,
+            } => write!(
+                f,
+                "entry `{entry}` has {expected} static parameter(s), got {got} static argument(s)"
+            ),
+            PeError::StaticPrim { prim, error } => {
+                write!(f, "static `{prim}` failed at specialization time: {error}")
+            }
+            PeError::ClosureInMemoKey(g) => write!(
+                f,
+                "closure in memoization key of `{g}`; this indicates a \
+                 binding-time analysis bug"
+            ),
+            PeError::UnfoldLimit(n) => write!(
+                f,
+                "unfold fuel ({n}) exhausted: static recursion does not \
+                 terminate — mark the function as a memoization point"
+            ),
+            PeError::DepthLimit { limit, unfolds } => write!(
+                f,
+                "specializer depth limit ({limit}) exceeded after {unfolds} \
+                 unfolds"
+            ),
+            PeError::Internal(m) => write!(f, "internal specializer error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PeError {}

@@ -1,0 +1,914 @@
+//! The specialization engine.
+
+use crate::{PeError, SpecOptions};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+use two4one_anf::build::CodeBuilder;
+use two4one_interp::env::Env;
+use two4one_syntax::acs::{ADef, ALambda, AExpr, AProgram, CallPolicy, BT};
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::{Gensym, Symbol};
+use two4one_syntax::value::{apply_prim_datum, PrimError};
+
+/// A residual trivial term together with its free variables (the
+/// specializer-side bookkeeping that feeds `CodeBuilder::lambda`, resolving
+/// the paper's Sec. 6.4 name/compilator duality) and a size hint used to
+/// avoid duplicating heavyweight trivials when unfolding.
+pub struct Resid<T> {
+    /// The backend trivial.
+    pub triv: T,
+    /// Free (dynamic) variables.
+    pub fv: Rc<BTreeSet<Symbol>>,
+    /// True for variables and constants, false for compiled lambdas.
+    pub simple: bool,
+}
+
+impl<T: Clone> Clone for Resid<T> {
+    fn clone(&self) -> Self {
+        Resid {
+            triv: self.triv.clone(),
+            fv: self.fv.clone(),
+            simple: self.simple,
+        }
+    }
+}
+
+/// A specialization-time value.
+pub enum SVal<B: CodeBuilder> {
+    /// Static first-order data.
+    Data(Datum),
+    /// A specialization-time closure.
+    Clo(Rc<PClosure<B>>),
+    /// A top-level function used as a value.
+    FnRef(Symbol),
+    /// A dynamic value: residual code.
+    Dyn(Resid<B::Triv>),
+}
+
+impl<B: CodeBuilder> Clone for SVal<B> {
+    fn clone(&self) -> Self {
+        match self {
+            SVal::Data(d) => SVal::Data(d.clone()),
+            SVal::Clo(c) => SVal::Clo(c.clone()),
+            SVal::FnRef(g) => SVal::FnRef(g.clone()),
+            SVal::Dyn(r) => SVal::Dyn(r.clone()),
+        }
+    }
+}
+
+/// A specialization-time closure.
+pub struct PClosure<B: CodeBuilder> {
+    /// The annotated lambda.
+    pub lam: Arc<ALambda>,
+    /// Captured specialization-time environment.
+    pub env: PEnv<B>,
+}
+
+/// Specialization-time environments.
+pub type PEnv<B> = Env<SVal<B>>;
+
+/// Residual code with its free variables.
+pub struct RCode<B: CodeBuilder> {
+    /// Backend code.
+    pub code: B::Code,
+    /// Free (dynamic) variables.
+    pub fv: BTreeSet<Symbol>,
+}
+
+type KontFn<'p, B> =
+    dyn Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p;
+type ListKontFn<'p, B> =
+    dyn Fn(&mut Spec<'p, B>, Vec<SVal<B>>) -> Result<RCode<B>, PeError> + 'p;
+
+/// The specialization continuation. `Tail` marks the boundary of a
+/// residual function body; delivering a serious computation there produces
+/// a tail call (a jump), everywhere else a fresh `let`.
+pub enum Kont<'p, B: CodeBuilder> {
+    /// Body boundary.
+    Tail,
+    /// An ordinary continuation.
+    Op(Rc<KontFn<'p, B>>),
+}
+
+impl<'p, B: CodeBuilder> Clone for Kont<'p, B> {
+    fn clone(&self) -> Self {
+        match self {
+            Kont::Tail => Kont::Tail,
+            Kont::Op(f) => Kont::Op(f.clone()),
+        }
+    }
+}
+
+impl<'p, B: CodeBuilder + 'p> Kont<'p, B> {
+    fn op(
+        f: impl Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p,
+    ) -> Self {
+        Kont::Op(Rc::new(f))
+    }
+}
+
+/// Key of the memoization cache: callee plus the static argument tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    fn_name: Symbol,
+    statics: Vec<StaticKey>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum StaticKey {
+    Data(Datum),
+    Fn(Symbol),
+}
+
+struct Pending<B: CodeBuilder> {
+    fn_name: Symbol,
+    res_name: Symbol,
+    statics: Vec<SVal<B>>,
+}
+
+/// Counters reported after specialization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Calls unfolded.
+    pub unfolds: u64,
+    /// Memoization cache hits.
+    pub memo_hits: u64,
+    /// Distinct specialization points created.
+    pub memo_misses: u64,
+    /// Residual definitions emitted.
+    pub residual_defs: u64,
+}
+
+/// The specializer state.
+pub struct Spec<'p, B: CodeBuilder> {
+    prog: &'p AProgram,
+    /// The residual-code backend.
+    pub builder: B,
+    gensym: Gensym,
+    cache: HashMap<MemoKey, Symbol>,
+    pending: VecDeque<Pending<B>>,
+    fuel: u64,
+    depth: usize,
+    max_depth: usize,
+    /// Counters.
+    pub stats: SpecStats,
+}
+
+/// Specializes `entry` with respect to `static_args`, producing a residual
+/// program through the given backend.
+///
+/// `static_args` are matched positionally against the *static* parameters
+/// of the entry's division; its dynamic parameters become the parameters of
+/// the residual entry definition (which keeps the entry's name).
+///
+/// # Errors
+///
+/// See [`PeError`].
+pub fn specialize<B: CodeBuilder>(
+    prog: &AProgram,
+    entry: &Symbol,
+    static_args: &[Datum],
+    builder: B,
+    options: &SpecOptions,
+) -> Result<(B::Program, SpecStats), PeError> {
+    let def = prog
+        .def(entry)
+        .ok_or_else(|| PeError::NoSuchFunction(entry.clone()))?;
+    let n_static = def.params.iter().filter(|p| p.bt == BT::Static).count();
+    if n_static != static_args.len() {
+        return Err(PeError::StaticArgCount {
+            entry: entry.clone(),
+            expected: n_static,
+            got: static_args.len(),
+        });
+    }
+    let mut spec = Spec {
+        prog,
+        builder,
+        gensym: Gensym::new(),
+        cache: HashMap::new(),
+        pending: VecDeque::new(),
+        fuel: options.unfold_fuel,
+        depth: 0,
+        max_depth: options.max_depth,
+        stats: SpecStats::default(),
+    };
+    let mut env = PEnv::<B>::empty();
+    let mut fresh_params = Vec::new();
+    let mut statics = static_args.iter();
+    for p in &def.params {
+        match p.bt {
+            BT::Static => {
+                let d = statics.next().expect("counted above");
+                env = env.extend(p.name.clone(), SVal::Data(d.clone()));
+            }
+            BT::Dynamic => {
+                let fresh = spec.gensym.fresh(p.name.as_str());
+                env = env.extend(p.name.clone(), spec.dyn_var(&fresh));
+                fresh_params.push(fresh);
+            }
+        }
+    }
+    let body = spec.spec(&def.body, &env, Kont::Tail)?;
+    debug_assert!(
+        body.fv.iter().all(|v| fresh_params.contains(v)),
+        "residual entry body not closed: free {:?}",
+        body.fv
+    );
+    spec.builder.define(entry, &fresh_params, body.code);
+    spec.stats.residual_defs += 1;
+    spec.drain_pending()?;
+    let stats = spec.stats.clone();
+    Ok((spec.builder.finish(entry), stats))
+}
+
+impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
+    // ----- residual-value helpers ---------------------------------------
+
+    fn dyn_var(&mut self, x: &Symbol) -> SVal<B> {
+        SVal::Dyn(Resid {
+            triv: self.builder.var(x),
+            fv: Rc::new([x.clone()].into_iter().collect()),
+            simple: true,
+        })
+    }
+
+    /// Coerces a specialization-time value to a residual trivial.
+    fn to_triv(&mut self, v: SVal<B>) -> Result<Resid<B::Triv>, PeError> {
+        match v {
+            SVal::Dyn(r) => Ok(r),
+            SVal::Data(d) => Ok(Resid {
+                triv: self.builder.const_(&d),
+                fv: Rc::new(BTreeSet::new()),
+                simple: true,
+            }),
+            SVal::FnRef(g) => self.lift_fnref(&g),
+            SVal::Clo(c) => Err(PeError::Internal(format!(
+                "specialization-time closure `{}` used as residual code; \
+                 the binding-time analysis should have made it dynamic",
+                c.lam.name
+            ))),
+        }
+    }
+
+    /// Lifting a top-level function reference: reference the all-dynamic
+    /// residual version of the function.
+    fn lift_fnref(&mut self, g: &Symbol) -> Result<Resid<B::Triv>, PeError> {
+        let prog = self.prog;
+        let def = prog
+            .def(g)
+            .ok_or_else(|| PeError::NoSuchFunction(g.clone()))?;
+        if def.params.iter().any(|p| p.bt == BT::Static) {
+            return Err(PeError::Internal(format!(
+                "function `{g}` escapes into dynamic context but still has \
+                 static parameters"
+            )));
+        }
+        let name = self.memo_name(def, Vec::new());
+        Ok(Resid {
+            triv: self.builder.global(&name),
+            fv: Rc::new(BTreeSet::new()),
+            simple: true,
+        })
+    }
+
+    // ----- continuation plumbing ----------------------------------------
+
+    fn apply_kont(&mut self, k: &Kont<'p, B>, v: SVal<B>) -> Result<RCode<B>, PeError> {
+        match k {
+            Kont::Tail => {
+                let r = self.to_triv(v)?;
+                Ok(RCode {
+                    code: self.builder.ret(r.triv),
+                    fv: (*r.fv).clone(),
+                })
+            }
+            Kont::Op(f) => f.clone()(self, v),
+        }
+    }
+
+    /// Emits a serious residual computation: a tail call at a body
+    /// boundary, otherwise a fresh `let` (the let-insertion of Fig. 3).
+    fn deliver_serious(
+        &mut self,
+        k: &Kont<'p, B>,
+        serious: B::Serious,
+        fv_args: BTreeSet<Symbol>,
+    ) -> Result<RCode<B>, PeError> {
+        match k {
+            Kont::Tail => Ok(RCode {
+                code: self.builder.tail(serious),
+                fv: fv_args,
+            }),
+            Kont::Op(_) => {
+                let x = self.gensym.fresh("t");
+                let var = self.dyn_var(&x);
+                let rest = self.apply_kont(k, var)?;
+                let mut fv = fv_args;
+                fv.extend(rest.fv.into_iter().filter(|v| v != &x));
+                Ok(RCode {
+                    code: self.builder.let_serious(&x, serious, rest.code),
+                    fv,
+                })
+            }
+        }
+    }
+
+    /// Builds a residual conditional. With a `Tail` continuation the
+    /// branches are simply specialized in tail position (Fig. 3). With an
+    /// ordinary continuation, naively duplicating it into both branches —
+    /// as Fig. 3 does — makes residual code exponential in the number of
+    /// sequential dynamic conditionals, so a *join point* is inserted
+    /// instead: `(let ((j (λ (r) K[r]))) (if t (j …) (j …)))`, the same
+    /// device the stock A-normalizer uses.
+    fn residual_if(
+        &mut self,
+        test: Resid<B::Triv>,
+        c: &AExpr,
+        a: &AExpr,
+        env: &PEnv<B>,
+        k: Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        match k {
+            Kont::Tail => {
+                let then = self.spec(c, env, Kont::Tail)?;
+                let els = self.spec(a, env, Kont::Tail)?;
+                let mut fv = (*test.fv).clone();
+                fv.extend(then.fv);
+                fv.extend(els.fv);
+                Ok(RCode {
+                    code: self.builder.if_(test.triv, then.code, els.code),
+                    fv,
+                })
+            }
+            Kont::Op(f) => {
+                let r = self.gensym.fresh("r");
+                let rv = self.dyn_var(&r);
+                let jcode = f(self, rv)?;
+                let jname = self.gensym.fresh("join");
+                let frees: BTreeSet<Symbol> =
+                    jcode.fv.into_iter().filter(|v| v != &r).collect();
+                let free_list: Vec<Symbol> = frees.iter().cloned().collect();
+                let lam = self
+                    .builder
+                    .lambda(&jname, std::slice::from_ref(&r), &free_list, jcode.code);
+                let jn = jname.clone();
+                let jump = Kont::op(move |s: &mut Spec<'p, B>, v: SVal<B>| {
+                    let tr = s.to_triv(v)?;
+                    let jv = s.builder.var(&jn);
+                    let serious = s.builder.call(jv, vec![tr.triv]);
+                    let mut fv: BTreeSet<Symbol> = (*tr.fv).clone();
+                    fv.insert(jn.clone());
+                    Ok(RCode {
+                        code: s.builder.tail(serious),
+                        fv,
+                    })
+                });
+                let then = self.spec(c, env, jump.clone())?;
+                let els = self.spec(a, env, jump)?;
+                let mut fv = (*test.fv).clone();
+                fv.extend(then.fv.into_iter().filter(|v| v != &jname));
+                fv.extend(els.fv.into_iter().filter(|v| v != &jname));
+                fv.extend(frees);
+                let iff = self.builder.if_(test.triv, then.code, els.code);
+                Ok(RCode {
+                    code: self.builder.let_triv(&jname, lam, iff),
+                    fv,
+                })
+            }
+        }
+    }
+
+    // ----- the specializer proper (Fig. 3) ------------------------------
+
+    /// Specializes `e` in environment `env`, delivering the result to `k`.
+    pub fn spec(
+        &mut self,
+        e: &AExpr,
+        env: &PEnv<B>,
+        k: Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(PeError::DepthLimit {
+                limit: self.max_depth,
+                unfolds: self.stats.unfolds,
+            });
+        }
+        let result = self.spec_inner(e, env, k);
+        self.depth -= 1;
+        result
+    }
+
+    fn spec_inner(
+        &mut self,
+        e: &AExpr,
+        env: &PEnv<B>,
+        k: Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        match e {
+            AExpr::Const(d) => self.apply_kont(&k, SVal::Data(d.clone())),
+            AExpr::Var(x) => {
+                let v = match env.lookup(x) {
+                    Some(v) => v,
+                    None if self.prog.def(x).is_some() => SVal::FnRef(x.clone()),
+                    None => {
+                        return Err(PeError::Internal(format!(
+                            "unbound variable `{x}` at specialization time"
+                        )))
+                    }
+                };
+                self.apply_kont(&k, v)
+            }
+            AExpr::Lift(inner) => {
+                let inner = inner.clone();
+                self.spec(
+                    &inner.clone(),
+                    env,
+                    Kont::op(move |s, v| {
+                        let r = s.to_triv(v)?;
+                        s.apply_kont(&k, SVal::Dyn(r))
+                    }),
+                )
+            }
+            AExpr::Lam(l) => {
+                let clo = SVal::Clo(Rc::new(PClosure {
+                    lam: l.clone(),
+                    env: env.clone(),
+                }));
+                self.apply_kont(&k, clo)
+            }
+            AExpr::LamD(l) => {
+                let lam = l.clone();
+                let fresh: Vec<Symbol> = lam
+                    .params
+                    .iter()
+                    .map(|p| self.gensym.fresh(p.as_str()))
+                    .collect();
+                let mut inner = env.clone();
+                for (p, f) in lam.params.iter().zip(&fresh) {
+                    let v = self.dyn_var(f);
+                    inner = inner.extend(p.clone(), v);
+                }
+                let body = self.spec(&lam.body, &inner, Kont::Tail)?;
+                let frees: BTreeSet<Symbol> = body
+                    .fv
+                    .into_iter()
+                    .filter(|v| !fresh.contains(v))
+                    .collect();
+                let free_list: Vec<Symbol> = frees.iter().cloned().collect();
+                let triv =
+                    self.builder
+                        .lambda(&lam.name, &fresh, &free_list, body.code);
+                self.apply_kont(
+                    &k,
+                    SVal::Dyn(Resid {
+                        triv,
+                        fv: Rc::new(frees),
+                        simple: false,
+                    }),
+                )
+            }
+            AExpr::If(t, c, a) => {
+                let (c, a, env2) = (c.clone(), a.clone(), env.clone());
+                self.spec(
+                    t,
+                    env,
+                    Kont::op(move |s, v| {
+                        let truthy = match &v {
+                            SVal::Data(d) => d.is_truthy(),
+                            SVal::Clo(_) | SVal::FnRef(_) => true,
+                            // A "static" test can deliver residual code
+                            // when it sits downstream of a residualized
+                            // `error` path; fall back to a residual
+                            // conditional.
+                            SVal::Dyn(r) => {
+                                let tr = r.clone();
+                                return s.residual_if(tr, &c, &a, &env2, k.clone());
+                            }
+                        };
+                        let branch = if truthy { &c } else { &a };
+                        s.spec(branch, &env2, k.clone())
+                    }),
+                )
+            }
+            AExpr::IfD(t, c, a) => {
+                let (c, a, env2) = (c.clone(), a.clone(), env.clone());
+                self.spec(
+                    t,
+                    env,
+                    Kont::op(move |s, v| {
+                        let tr = s.to_triv(v)?;
+                        s.residual_if(tr, &c, &a, &env2, k.clone())
+                    }),
+                )
+            }
+            AExpr::Let(x, rhs, body) => {
+                let (x, body, env2) = (x.clone(), body.clone(), env.clone());
+                self.spec(
+                    rhs,
+                    env,
+                    Kont::op(move |s, v| {
+                        let inner = env2.extend(x.clone(), v);
+                        s.spec(&body, &inner, k.clone())
+                    }),
+                )
+            }
+            AExpr::App(f, args) => {
+                let args = Rc::new(args.clone());
+                self.spec(
+                    f,
+                    env,
+                    {
+                        let env2 = env.clone();
+                        Kont::op(move |s, fval| {
+                            let k2 = k.clone();
+                            let fval2 = fval.clone();
+                            s.spec_list(
+                                args.clone(),
+                                0,
+                                env2.clone(),
+                                Vec::new(),
+                                Rc::new(move |s, argvals| {
+                                    s.apply(fval2.clone(), argvals, k2.clone())
+                                }),
+                            )
+                        })
+                    },
+                )
+            }
+            AExpr::AppD(f, args) => {
+                let args = Rc::new(args.clone());
+                let env2 = env.clone();
+                self.spec(
+                    f,
+                    env,
+                    Kont::op(move |s, fval| {
+                        let ftr = s.to_triv(fval)?;
+                        let k2 = k.clone();
+                        s.spec_list(
+                            args.clone(),
+                            0,
+                            env2.clone(),
+                            Vec::new(),
+                            Rc::new(move |s, argvals| {
+                                let mut fv = (*ftr.fv).clone();
+                                let mut trivs = Vec::with_capacity(argvals.len());
+                                for a in argvals {
+                                    let r = s.to_triv(a)?;
+                                    fv.extend((*r.fv).iter().cloned());
+                                    trivs.push(r.triv);
+                                }
+                                let serious = s.builder.call(ftr.triv.clone(), trivs);
+                                s.deliver_serious(&k2, serious, fv)
+                            }),
+                        )
+                    }),
+                )
+            }
+            AExpr::Prim(p, args) => {
+                let p = *p;
+                let args = Rc::new(args.clone());
+                let k2 = k;
+                self.spec_list(
+                    args,
+                    0,
+                    env.clone(),
+                    Vec::new(),
+                    Rc::new(move |s, argvals| {
+                        // `procedure?` is the one primitive meaningful on
+                        // specialization-time procedures.
+                        if p == Prim::ProcedureP
+                            && matches!(argvals[0], SVal::Clo(_) | SVal::FnRef(_))
+                        {
+                            return s.apply_kont(&k2, SVal::Data(Datum::Bool(true)));
+                        }
+                        // A "static" primitive can receive residual code
+                        // downstream of a residualized `error` path; fall
+                        // back to a residual application.
+                        if argvals.iter().any(|v| matches!(v, SVal::Dyn(_))) {
+                            let mut fv = BTreeSet::new();
+                            let mut trivs = Vec::with_capacity(argvals.len());
+                            for a in argvals {
+                                let r = s.to_triv(a)?;
+                                fv.extend((*r.fv).iter().cloned());
+                                trivs.push(r.triv);
+                            }
+                            let serious = s.builder.prim(p, trivs);
+                            return s.deliver_serious(&k2, serious, fv);
+                        }
+                        let mut data = Vec::with_capacity(argvals.len());
+                        for v in &argvals {
+                            match v {
+                                SVal::Data(d) => data.push(d.clone()),
+                                SVal::Clo(c) => {
+                                    return Err(PeError::StaticPrim {
+                                        prim: p,
+                                        error: PrimError::TypeError {
+                                            prim: p,
+                                            expected: "first-order data",
+                                            got: format!(
+                                                "#<closure {}>",
+                                                c.lam.name
+                                            ),
+                                        },
+                                    })
+                                }
+                                SVal::FnRef(g) => {
+                                    return Err(PeError::StaticPrim {
+                                        prim: p,
+                                        error: PrimError::TypeError {
+                                            prim: p,
+                                            expected: "first-order data",
+                                            got: format!("#<procedure {g}>"),
+                                        },
+                                    })
+                                }
+                                SVal::Dyn(_) => {
+                                    return Err(PeError::Internal(format!(
+                                        "dynamic argument to static `{p}`"
+                                    )))
+                                }
+                            }
+                        }
+                        match apply_prim_datum(p, &data) {
+                            Ok(d) => s.apply_kont(&k2, SVal::Data(d)),
+                            // A static primitive fault under dynamic
+                            // control must not abort specialization: the
+                            // branch may be unreachable at run time.
+                            // Residualize it — the fault then occurs at run
+                            // time exactly when the code is executed.
+                            Err(_) => {
+                                let mut trivs = Vec::with_capacity(data.len());
+                                for d in &data {
+                                    trivs.push(s.builder.const_(d));
+                                }
+                                let serious = s.builder.prim(p, trivs);
+                                s.deliver_serious(&k2, serious, BTreeSet::new())
+                            }
+                        }
+                    }),
+                )
+            }
+            AExpr::PrimD(p, args) => {
+                let p = *p;
+                let args = Rc::new(args.clone());
+                let k2 = k;
+                self.spec_list(
+                    args,
+                    0,
+                    env.clone(),
+                    Vec::new(),
+                    Rc::new(move |s, argvals| {
+                        let mut fv = BTreeSet::new();
+                        let mut trivs = Vec::with_capacity(argvals.len());
+                        for a in argvals {
+                            let r = s.to_triv(a)?;
+                            fv.extend((*r.fv).iter().cloned());
+                            trivs.push(r.triv);
+                        }
+                        let serious = s.builder.prim(p, trivs);
+                        s.deliver_serious(&k2, serious, fv)
+                    }),
+                )
+            }
+        }
+    }
+
+    /// Specializes a list of expressions left to right.
+    fn spec_list(
+        &mut self,
+        args: Rc<Vec<Arc<AExpr>>>,
+        i: usize,
+        env: PEnv<B>,
+        acc: Vec<SVal<B>>,
+        k: Rc<ListKontFn<'p, B>>,
+    ) -> Result<RCode<B>, PeError> {
+        if i == args.len() {
+            return k.clone()(self, acc);
+        }
+        let arg = args[i].clone();
+        self.spec(
+            &arg,
+            &env.clone(),
+            Kont::op(move |s, v| {
+                let mut acc2 = acc.clone();
+                acc2.push(v);
+                s.spec_list(args.clone(), i + 1, env.clone(), acc2, k.clone())
+            }),
+        )
+    }
+
+    // ----- application --------------------------------------------------
+
+    fn apply(
+        &mut self,
+        fval: SVal<B>,
+        args: Vec<SVal<B>>,
+        k: Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        match fval {
+            SVal::Clo(c) => {
+                let lam = c.lam.clone();
+                self.unfold(&lam.name, &lam.params, &lam.body, c.env.clone(), args, k)
+            }
+            SVal::FnRef(g) => {
+                let prog = self.prog;
+                let def = prog
+                    .def(&g)
+                    .ok_or_else(|| PeError::NoSuchFunction(g.clone()))?;
+                match def.policy {
+                    CallPolicy::Unfold => {
+                        let params: Vec<Symbol> =
+                            def.params.iter().map(|p| p.name.clone()).collect();
+                        self.unfold(&def.name, &params, &def.body, PEnv::empty(), args, k)
+                    }
+                    CallPolicy::Memoize => self.memo_call(def, args, k),
+                }
+            }
+            SVal::Dyn(r) => {
+                // The operator turned out to be residual code (conservative
+                // annotation): emit a residual call.
+                let mut fv = (*r.fv).clone();
+                let mut trivs = Vec::with_capacity(args.len());
+                for a in args {
+                    let t = self.to_triv(a)?;
+                    fv.extend((*t.fv).iter().cloned());
+                    trivs.push(t.triv);
+                }
+                let serious = self.builder.call(r.triv, trivs);
+                self.deliver_serious(&k, serious, fv)
+            }
+            SVal::Data(d) => Err(PeError::NotAProcedure(d.to_string())),
+        }
+    }
+
+    /// β-reduction at specialization time: bind the arguments and
+    /// specialize the body. Heavyweight dynamic arguments (compiled
+    /// lambdas) are let-bound first so unfolding never duplicates code.
+    fn unfold(
+        &mut self,
+        name: &Symbol,
+        params: &[Symbol],
+        body: &AExpr,
+        base_env: PEnv<B>,
+        args: Vec<SVal<B>>,
+        k: Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        if params.len() != args.len() {
+            return Err(PeError::ArityMismatch {
+                name: name.clone(),
+                expected: params.len(),
+                got: args.len(),
+            });
+        }
+        if self.fuel == 0 {
+            return Err(PeError::UnfoldLimit(self.stats.unfolds));
+        }
+        self.fuel -= 1;
+        self.stats.unfolds += 1;
+        let mut env = base_env;
+        let mut rebinds: Vec<(Symbol, Resid<B::Triv>)> = Vec::new();
+        for (p, a) in params.iter().zip(args) {
+            match a {
+                SVal::Dyn(r) if !r.simple => {
+                    let fresh = self.gensym.fresh(p.as_str());
+                    let var = self.dyn_var(&fresh);
+                    env = env.extend(p.clone(), var);
+                    rebinds.push((fresh, r));
+                }
+                other => {
+                    env = env.extend(p.clone(), other);
+                }
+            }
+        }
+        let mut r = self.spec(body, &env, k)?;
+        for (x, triv) in rebinds.into_iter().rev() {
+            let mut fv: BTreeSet<Symbol> =
+                r.fv.into_iter().filter(|v| v != &x).collect();
+            fv.extend((*triv.fv).iter().cloned());
+            r = RCode {
+                code: self.builder.let_triv(&x, triv.triv, r.code),
+                fv,
+            };
+        }
+        Ok(r)
+    }
+
+    // ----- memoization ---------------------------------------------------
+
+    /// Returns the residual name for `def` specialized to `statics`,
+    /// scheduling the specialization if it is new.
+    fn memo_name(&mut self, def: &ADef, statics: Vec<SVal<B>>) -> Symbol {
+        let keys: Vec<StaticKey> = statics
+            .iter()
+            .map(|v| match v {
+                SVal::Data(d) => StaticKey::Data(d.clone()),
+                SVal::FnRef(g) => StaticKey::Fn(g.clone()),
+                _ => unreachable!("checked by caller"),
+            })
+            .collect();
+        let key = MemoKey {
+            fn_name: def.name.clone(),
+            statics: keys,
+        };
+        if let Some(name) = self.cache.get(&key) {
+            self.stats.memo_hits += 1;
+            return name.clone();
+        }
+        self.stats.memo_misses += 1;
+        let res_name = self.gensym.fresh(def.name.as_str());
+        self.cache.insert(key, res_name.clone());
+        self.pending.push_back(Pending {
+            fn_name: def.name.clone(),
+            res_name: res_name.clone(),
+            statics,
+        });
+        res_name
+    }
+
+    fn memo_call(
+        &mut self,
+        def: &ADef,
+        args: Vec<SVal<B>>,
+        k: Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        if def.params.len() != args.len() {
+            return Err(PeError::ArityMismatch {
+                name: def.name.clone(),
+                expected: def.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut statics = Vec::new();
+        let mut dyns: Vec<Resid<B::Triv>> = Vec::new();
+        for (p, a) in def.params.iter().zip(args) {
+            match p.bt {
+                BT::Static => match a {
+                    SVal::Data(_) | SVal::FnRef(_) => statics.push(a),
+                    SVal::Clo(_) => {
+                        return Err(PeError::ClosureInMemoKey(def.name.clone()))
+                    }
+                    SVal::Dyn(_) => {
+                        return Err(PeError::Internal(format!(
+                            "dynamic argument for static parameter `{}` of `{}`",
+                            p.name, def.name
+                        )))
+                    }
+                },
+                BT::Dynamic => dyns.push(self.to_triv(a)?),
+            }
+        }
+        let res_name = self.memo_name(def, statics);
+        let mut fv = BTreeSet::new();
+        let mut trivs = Vec::with_capacity(dyns.len());
+        for r in dyns {
+            fv.extend((*r.fv).iter().cloned());
+            trivs.push(r.triv);
+        }
+        let serious = self.builder.call_global(&res_name, trivs);
+        self.deliver_serious(&k, serious, fv)
+    }
+
+    /// Processes the pending queue: one residual definition per distinct
+    /// specialization point.
+    fn drain_pending(&mut self) -> Result<(), PeError> {
+        while let Some(p) = self.pending.pop_front() {
+            let prog = self.prog;
+            let def = prog
+                .def(&p.fn_name)
+                .ok_or_else(|| PeError::NoSuchFunction(p.fn_name.clone()))?;
+            let mut env = PEnv::<B>::empty();
+            let mut fresh_params = Vec::new();
+            let mut statics = p.statics.into_iter();
+            for param in &def.params {
+                match param.bt {
+                    BT::Static => {
+                        let v = statics.next().ok_or_else(|| {
+                            PeError::Internal("static argument count drift".into())
+                        })?;
+                        env = env.extend(param.name.clone(), v);
+                    }
+                    BT::Dynamic => {
+                        let fresh = self.gensym.fresh(param.name.as_str());
+                        let var = self.dyn_var(&fresh);
+                        env = env.extend(param.name.clone(), var);
+                        fresh_params.push(fresh);
+                    }
+                }
+            }
+            let body = self.spec(&def.body, &env, Kont::Tail)?;
+            debug_assert!(
+                body.fv.iter().all(|v| fresh_params.contains(v)),
+                "residual `{}` not closed: free {:?}",
+                p.res_name,
+                body.fv
+            );
+            self.builder.define(&p.res_name, &fresh_params, body.code);
+            self.stats.residual_defs += 1;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,247 @@
+//! Focused tests of specializer mechanisms: join points, leniency paths,
+//! depth limits, lifting of function references, and statistics.
+
+use two4one_anf::build::SourceBuilder;
+use two4one_bta::{bta, bta_with, Division, Options};
+use two4one_compiler::ObjectBuilder;
+use two4one_pe::{specialize, PeError, SpecOptions};
+use two4one_syntax::acs::{BT, CallPolicy};
+use two4one_syntax::datum::Datum;
+use two4one_syntax::symbol::Symbol;
+use two4one_vm::{Machine, Value};
+
+fn source(
+    src: &str,
+    entry: &str,
+    div: &[BT],
+    statics: &[Datum],
+) -> two4one_anf::Program {
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, entry, &Division::new(div.iter().copied())).unwrap();
+    specialize(
+        &aprog,
+        &Symbol::new(entry),
+        statics,
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap()
+    .0
+}
+
+#[test]
+fn nontail_dynamic_conditionals_get_join_points_not_duplication() {
+    // Four sequential dynamic conditionals in non-tail position: naive
+    // Fig. 3 duplication would blow the final addition up 16-fold; join
+    // points keep it linear.
+    let src = "(define (f a b c d)
+                 (+ (if a 1 2) (+ (if b 3 4) (+ (if c 5 6) (if d 7 8)))))";
+    let res = source(src, "f", &[BT::Dynamic; 4], &[]);
+    let text = res.to_source();
+    let joins = text.matches("join%").count();
+    assert!(joins >= 2, "expected join points:\n{text}");
+    // Linear size: well under the duplication blowup.
+    assert!(res.size() < 120, "residual too large ({}):\n{text}", res.size());
+    // And correct.
+    let args: Vec<Datum> = vec![true, false, true, false]
+        .into_iter()
+        .map(Datum::Bool)
+        .collect();
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "f", &args).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(1 + 4 + 5 + 8)));
+}
+
+#[test]
+fn tail_dynamic_conditionals_have_no_join_points() {
+    let src = "(define (f a) (if a 'yes 'no))";
+    let res = source(src, "f", &[BT::Dynamic], &[]);
+    assert!(!res.to_source().contains("join%"), "{}", res.to_source());
+}
+
+#[test]
+fn depth_limit_reports_unfold_count() {
+    two4one_syntax::stack::with_stack(depth_limit_body);
+}
+
+fn depth_limit_body() {
+    let src = "(define (spin x) (spin (+ x 1)))";
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, "spin", &Division::new([BT::Static])).unwrap();
+    let err = specialize(
+        &aprog,
+        &Symbol::new("spin"),
+        &[Datum::Int(0)],
+        SourceBuilder::new(),
+        &SpecOptions {
+            unfold_fuel: 1_000_000,
+            max_depth: 500,
+        },
+    )
+    .unwrap_err();
+    match err {
+        PeError::DepthLimit { limit, .. } => assert_eq!(limit, 500),
+        other => panic!("expected depth limit, got {other}"),
+    }
+}
+
+#[test]
+fn faulting_static_prims_residualize_instead_of_aborting() {
+    // (car '()) under dynamic control: must not abort specialization and
+    // must fault at run time only on the faulting branch.
+    let src = "(define (f d) (if d (car '()) 'safe))";
+    let res = source(src, "f", &[BT::Dynamic], &[]);
+    let text = res.to_source();
+    assert!(text.contains("(car '())") || text.contains("(car (quote ())"), "{text}");
+    let (v, _) =
+        two4one_interp::run_program(&res.to_cs(), "f", &[Datum::Bool(false)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::sym("safe")));
+    let err = two4one_interp::run_program(&res.to_cs(), "f", &[Datum::Bool(true)]);
+    assert!(err.is_err());
+}
+
+#[test]
+fn function_reference_lifting_creates_all_dynamic_version() {
+    // `apply-later` stores a top-level function in a residual closure; the
+    // reference must resolve to a residual (all-dynamic) version of it.
+    let src = "(define (step x) (+ x 1))
+               (define (main)
+                 (lambda (y) (step y)))";
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, "main", &Division::new([])).unwrap();
+    let (image, _) = specialize(
+        &aprog,
+        &Symbol::new("main"),
+        &[],
+        ObjectBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    let image = image.unwrap();
+    let mut m = Machine::load(&image);
+    let f = m.call_global(&Symbol::new("main"), vec![]).unwrap();
+    let v = m.call_value(f, vec![Value::Int(41)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(42)));
+}
+
+#[test]
+fn stats_reflect_unfolds_and_memoization() {
+    let src = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, "power", &Division::new([BT::Dynamic, BT::Static])).unwrap();
+    let (_, stats) = specialize(
+        &aprog,
+        &Symbol::new("power"),
+        &[Datum::Int(8)],
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(stats.unfolds, 8, "{stats:?}");
+    assert_eq!(stats.memo_misses, 0);
+    assert_eq!(stats.residual_defs, 1);
+}
+
+#[test]
+fn memo_key_distinguishes_function_references() {
+    // The same higher-order wrapper memoized over two different function
+    // references must yield two residual versions.
+    let src = "(define (apply-n f n x) (if (= n 0) x (apply-n f (- n 1) (f x))))
+               (define (inc v) (+ v 1))
+               (define (dbl v) (* v 2))
+               (define (main x) (+ (apply-n inc 3 x) (apply-n dbl 2 x)))";
+    let p = two4one_frontend::frontend(src).unwrap();
+    let mut opts = Options::default();
+    opts.policy_overrides
+        .insert(Symbol::new("apply-n"), CallPolicy::Memoize);
+    let aprog = bta_with(&p, "main", &Division::new([BT::Dynamic]), &opts).unwrap();
+    let (res, stats) = specialize(
+        &aprog,
+        &Symbol::new("main"),
+        &[],
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    // Two (f, n)-keyed entry specializations plus their recursive chains.
+    assert!(stats.memo_misses >= 2, "{stats:?}\n{}", res.to_source());
+    let (v, _) =
+        two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(10)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(13 + 40)));
+}
+
+#[test]
+fn unfolding_does_not_duplicate_residual_lambdas() {
+    // A dynamic lambda passed to an unfolded function that uses it twice
+    // must be let-bound, not duplicated (preserves eq? identity).
+    let src = "(define (use2 f x) (eq? f f))
+               (define (main n x) (use2 (lambda (y) (+ y x)) n))";
+    let res = source(src, "main", &[BT::Dynamic, BT::Dynamic], &[]);
+    let text = res.to_source();
+    assert_eq!(text.matches("lambda").count(), 1, "{text}");
+    let (v, _) = two4one_interp::run_program(
+        &res.to_cs(),
+        "main",
+        &[Datum::Int(1), Datum::Int(2)],
+    )
+    .unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Bool(true)));
+}
+
+#[test]
+fn output_effects_under_lift_keep_their_order() {
+    // A dynamic effect inside an otherwise-static computation that gets
+    // lifted: the residual let for the effect must still happen before the
+    // lifted constant is returned.
+    let src = "(define (main n) (let ((u (display \"hi\"))) (* n n)))";
+    let res = source(src, "main", &[BT::Static], &[Datum::Int(4)]);
+    let text = res.to_source();
+    let disp = text.find("display").expect("display survives");
+    let sixteen = text.find("16").expect("lifted constant");
+    assert!(disp < sixteen, "{text}");
+}
+
+#[test]
+fn higher_order_static_pipelines_collapse() {
+    // A static pipeline of combinators applied to a dynamic input: all the
+    // higher-order plumbing evaluates away at specialization time.
+    let src = "(define (compose f g) (lambda (v) (f (g v))))
+               (define (pipeline) (compose (lambda (a) (+ a 1))
+                                           (compose (lambda (b) (* b 2))
+                                                    (lambda (c) (- c 3)))))
+               (define (main x) ((pipeline) x))";
+    let res = source(src, "main", &[BT::Dynamic], &[]);
+    let text = res.to_source();
+    assert!(!text.contains("lambda"), "plumbing survived:\n{text}");
+    assert!(!text.contains("compose"), "{text}");
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(10)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int((10 - 3) * 2 + 1)));
+}
+
+#[test]
+fn church_numerals_specialize_to_iterated_code() {
+    // Church numeral 3 applied to a dynamic successor: the fold unrolls.
+    let src = "(define (three f) (lambda (x) (f (f (f x)))))
+               (define (main d) ((three (lambda (v) (+ v d))) 0))";
+    let res = source(src, "main", &[BT::Dynamic], &[]);
+    let text = res.to_source();
+    assert_eq!(text.matches("+").count(), 3, "{text}");
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(5)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(15)));
+}
+
+#[test]
+fn static_data_structures_specialize_through_accessors() {
+    // A static association structure interrogated with static keys: all
+    // list traffic disappears.
+    let src = "(define (get k alist) (if (eq? k (car (car alist)))
+                                         (cdr (car alist))
+                                         (get k (cdr alist))))
+               (define (main x) (+ (* (get 'scale '((offset . 7) (scale . 3))) x)
+                                   (get 'offset '((offset . 7) (scale . 3)))))";
+    let res = source(src, "main", &[BT::Dynamic], &[]);
+    let text = res.to_source();
+    assert!(!text.contains("car"), "{text}");
+    assert!(text.contains("3") && text.contains("7"), "{text}");
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(4)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(19)));
+}

@@ -1,0 +1,355 @@
+//! End-to-end specializer tests: front end → BTA → specialization with
+//! both backends, validated against the interpreter and the VM.
+
+use two4one_anf::build::SourceBuilder;
+use two4one_bta::{bta, Division};
+use two4one_compiler::{compile_program, ObjectBuilder};
+use two4one_pe::{specialize, SpecOptions};
+use two4one_syntax::acs::BT;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::reader::read_one;
+use two4one_syntax::symbol::Symbol;
+use two4one_vm::{Machine, Value};
+
+fn spec_source(
+    src: &str,
+    entry: &str,
+    div: &[BT],
+    statics: &[Datum],
+) -> two4one_anf::Program {
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, entry, &Division::new(div.iter().copied())).unwrap();
+    let (prog, _) = specialize(
+        &aprog,
+        &Symbol::new(entry),
+        statics,
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    prog
+}
+
+fn spec_object(
+    src: &str,
+    entry: &str,
+    div: &[BT],
+    statics: &[Datum],
+) -> two4one_vm::Image {
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, entry, &Division::new(div.iter().copied())).unwrap();
+    let (image, _) = specialize(
+        &aprog,
+        &Symbol::new(entry),
+        statics,
+        ObjectBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    image.unwrap()
+}
+
+fn run_image(image: &two4one_vm::Image, entry: &str, args: &[Datum]) -> Datum {
+    let mut m = Machine::load(image);
+    let argv = args.iter().map(Value::from).collect();
+    m.call_global(&Symbol::new(entry), argv)
+        .unwrap()
+        .to_datum()
+        .unwrap()
+}
+
+const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+
+#[test]
+fn power_specializes_to_straightline_code() {
+    let res = spec_source(POWER, "power", &[BT::Dynamic, BT::Static], &[Datum::Int(5)]);
+    // One residual definition, no residual calls (fully unfolded).
+    assert_eq!(res.defs.len(), 1);
+    let text = res.to_source();
+    assert!(!text.contains("power%"), "unexpected residual call:\n{text}");
+    assert!(text.matches('*').count() >= 5, "{text}");
+    // Each residual body is valid ANF.
+    for d in &res.defs {
+        assert!(two4one_anf::cs_is_anf(&d.body.to_cs()), "{}", d.body);
+    }
+    // Semantics: residual(2) == 32.
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "power", &[Datum::Int(2)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(32)));
+}
+
+#[test]
+fn power_fused_object_code_runs() {
+    let image = spec_object(POWER, "power", &[BT::Dynamic, BT::Static], &[Datum::Int(13)]);
+    assert_eq!(run_image(&image, "power", &[Datum::Int(2)]), Datum::Int(8192));
+    assert_eq!(run_image(&image, "power", &[Datum::Int(3)]), Datum::Int(1594323));
+}
+
+#[test]
+fn fusion_theorem_source_then_compile_equals_direct_object() {
+    // The central claim of the paper: composing the specializer with the
+    // compiler (ObjectBuilder) produces exactly the code one gets by
+    // specializing to source and compiling that.
+    for (src, entry, div, statics) in [
+        (
+            POWER,
+            "power",
+            vec![BT::Dynamic, BT::Static],
+            vec![Datum::Int(7)],
+        ),
+        (
+            "(define (walk xs acc) (if (null? xs) acc (walk (cdr xs) (+ acc 1))))",
+            "walk",
+            vec![BT::Dynamic, BT::Dynamic],
+            vec![],
+        ),
+        (
+            "(define (mk n) (lambda (x) (+ x n)))
+             (define (use f) (f 10))
+             (define (main n d) (use (mk (+ n d))))",
+            "main",
+            vec![BT::Static, BT::Dynamic],
+            vec![Datum::Int(1)],
+        ),
+    ] {
+        let source = spec_source(src, entry, &div, &statics);
+        let compiled = compile_program(&source, entry).unwrap();
+        let fused = spec_object(src, entry, &div, &statics);
+        assert_eq!(
+            fused.templates.len(),
+            compiled.templates.len(),
+            "{entry}: template counts differ"
+        );
+        for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
+            assert_eq!(n1, n2, "{entry}: order differs");
+            assert_eq!(
+                t1,
+                t2,
+                "{entry}: template `{n1}` differs\nfused:\n{}\ncompiled:\n{}\nsource:\n{}",
+                t1.disassemble(),
+                t2.disassemble(),
+                source.to_source(),
+            );
+        }
+    }
+}
+
+#[test]
+fn memoized_loop_produces_residual_recursion() {
+    let src = "(define (walk xs acc) (if (null? xs) acc (walk (cdr xs) (+ acc 1))))";
+    let res = spec_source(src, "walk", &[BT::Dynamic, BT::Dynamic], &[]);
+    let text = res.to_source();
+    // The entry calls the single memoized specialization of itself.
+    assert!(text.contains("walk%"), "{text}");
+    let image = spec_object(src, "walk", &[BT::Dynamic, BT::Dynamic], &[]);
+    let xs = Datum::list((0..100).map(Datum::Int).collect::<Vec<_>>());
+    assert_eq!(run_image(&image, "walk", &[xs, Datum::Int(0)]), Datum::Int(100));
+}
+
+#[test]
+fn polyvariant_specialization_creates_one_def_per_static_tuple() {
+    // f is called with two different static modes: two residual versions.
+    let src = "(define (scale mode x)
+                 (if (eq? mode 'double) (* x 2) (* x 3)))
+               (define (main x)
+                 (+ (scale 'double x) (scale 'triple x)))";
+    // scale is not recursive, so it unfolds; force memoization to observe
+    // polyvariance.
+    let p = two4one_frontend::frontend(src).unwrap();
+    let mut opts = two4one_bta::Options::default();
+    opts.policy_overrides.insert(
+        Symbol::new("scale"),
+        two4one_syntax::acs::CallPolicy::Memoize,
+    );
+    let aprog =
+        two4one_bta::bta_with(&p, "main", &Division::new([BT::Dynamic]), &opts).unwrap();
+    let (res, stats) = specialize(
+        &aprog,
+        &Symbol::new("main"),
+        &[],
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(stats.memo_misses, 2, "{}", res.to_source());
+    assert_eq!(res.defs.len(), 3);
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(10)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(50)));
+}
+
+#[test]
+fn memo_cache_reuses_specializations() {
+    let src = "(define (walk xs) (if (null? xs) 0 (+ 1 (walk (cdr xs)))))
+               (define (main xs ys) (+ (walk xs) (walk ys)))";
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, "main", &Division::new([BT::Dynamic, BT::Dynamic])).unwrap();
+    let (_, stats) = specialize(
+        &aprog,
+        &Symbol::new("main"),
+        &[],
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap();
+    // Two call sites, one specialization.
+    assert_eq!(stats.memo_misses, 1);
+    assert!(stats.memo_hits >= 1);
+}
+
+#[test]
+fn dynamic_lambdas_become_residual_closures() {
+    let src = "(define (mk n) (lambda (x) (+ x n)))";
+    let res = spec_source(src, "mk", &[BT::Dynamic], &[]);
+    let text = res.to_source();
+    assert!(text.contains("lambda"), "{text}");
+    let image = spec_object(src, "mk", &[BT::Dynamic], &[]);
+    let mut m = Machine::load(&image);
+    let add3 = m
+        .call_global(&Symbol::new("mk"), vec![Value::Int(3)])
+        .unwrap();
+    let v = m.call_value(add3, vec![Value::Int(4)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(7)));
+}
+
+#[test]
+fn static_closures_vanish_from_residual_code() {
+    let src = "(define (main n x) ((lambda (k) (lambda (y) (+ k y))) (* n n)) x)
+               (define (apply2 f a) (f a))
+               (define (entry n x) (apply2 ((lambda (k) (lambda (y) (+ k y))) (* n n)) x))";
+    let res = spec_source(src, "entry", &[BT::Static, BT::Dynamic], &[Datum::Int(4)]);
+    let text = res.to_source();
+    // k = 16 is computed statically and inlined; no residual lambda.
+    assert!(text.contains("16"), "{text}");
+    let (v, _) =
+        two4one_interp::run_program(&res.to_cs(), "entry", &[Datum::Int(10)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(26)));
+}
+
+#[test]
+fn effects_are_preserved_in_order() {
+    let src = "(define (main x)
+                 (display \"a\")
+                 (display x)
+                 (display \"b\")
+                 x)";
+    let image = spec_object(src, "main", &[BT::Dynamic], &[]);
+    let mut m = Machine::load(&image);
+    m.call_global(&Symbol::new("main"), vec![Value::Int(7)])
+        .unwrap();
+    assert_eq!(m.output, "a7b");
+}
+
+#[test]
+fn static_effects_stay_dynamic() {
+    // display of a static value still happens at run time, once per run.
+    let src = "(define (main n x) (display n) (+ n x))";
+    let res = spec_source(src, "main", &[BT::Static, BT::Dynamic], &[Datum::Int(42)]);
+    let text = res.to_source();
+    assert!(text.contains("display"), "{text}");
+    let (_, out) =
+        two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(1)]).unwrap();
+    assert_eq!(out, "42");
+}
+
+#[test]
+fn mini_interpreter_compiles_by_specialization() {
+    // First Futamura projection in miniature: specializing the interpreter
+    // over a static object program yields a compiled version of it.
+    let src = r#"
+      (define (run e x)
+        (cond ((number? e) e)
+              ((eq? e 'arg) x)
+              ((eq? (car e) 'inc) (+ 1 (run (cadr e) x)))
+              ((eq? (car e) 'dbl) (* 2 (run (cadr e) x)))
+              (else (error "bad expression" e))))
+    "#;
+    let prog = read_one("(inc (dbl (inc arg)))").unwrap();
+    let res = spec_source(src, "run", &[BT::Static, BT::Dynamic], &[prog.clone()]);
+    let text = res.to_source();
+    // The interpretive overhead is gone: no eq?, car, or error in residual.
+    assert!(!text.contains("car"), "{text}");
+    assert!(!text.contains("error"), "{text}");
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "run", &[Datum::Int(5)]).unwrap();
+    assert_eq!(v.to_datum(), Some(Datum::Int(13)));
+    // Fused path computes the same function.
+    let image = spec_object(src, "run", &[BT::Static, BT::Dynamic], &[prog]);
+    assert_eq!(run_image(&image, "run", &[Datum::Int(5)]), Datum::Int(13));
+}
+
+#[test]
+fn unfold_fuel_stops_static_divergence() {
+    let src = "(define (spin x) (spin x)) ";
+    let p = two4one_frontend::frontend(src).unwrap();
+    let aprog = bta(&p, "spin", &Division::new([BT::Static])).unwrap();
+    let err = specialize(
+        &aprog,
+        &Symbol::new("spin"),
+        &[Datum::Int(0)],
+        SourceBuilder::new(),
+        &SpecOptions { unfold_fuel: 64, ..SpecOptions::default() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, two4one_pe::PeError::UnfoldLimit(_)));
+}
+
+#[test]
+fn static_arg_count_is_checked() {
+    let p = two4one_frontend::frontend(POWER).unwrap();
+    let aprog = bta(&p, "power", &Division::new([BT::Dynamic, BT::Static])).unwrap();
+    let err = specialize(
+        &aprog,
+        &Symbol::new("power"),
+        &[],
+        SourceBuilder::new(),
+        &SpecOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, two4one_pe::PeError::StaticArgCount { .. }));
+}
+
+#[test]
+fn residual_equivalence_random_inputs() {
+    // residual(d) == source(s, d) over a grid of inputs, for a program
+    // mixing static list structure with dynamic values.
+    let src = "(define (dot ws xs)
+                 (if (null? ws)
+                     0
+                     (+ (* (car ws) (car xs)) (dot (cdr ws) (cdr xs)))))";
+    let weights = read_one("(3 1 4 1 5)").unwrap();
+    let cs = two4one_frontend::frontend(src).unwrap();
+    let res = spec_source(src, "dot", &[BT::Static, BT::Dynamic], &[weights.clone()]);
+    let image = spec_object(src, "dot", &[BT::Static, BT::Dynamic], &[weights.clone()]);
+    for trial in 0..10 {
+        let xs = Datum::list((0..5).map(|i| Datum::Int(i * 7 + trial)).collect::<Vec<_>>());
+        let (expect, _) =
+            two4one_interp::run_program(&cs, "dot", &[weights.clone(), xs.clone()]).unwrap();
+        let expect = expect.to_datum().unwrap();
+        let (got_src, _) =
+            two4one_interp::run_program(&res.to_cs(), "dot", &[xs.clone()]).unwrap();
+        assert_eq!(got_src.to_datum().unwrap(), expect);
+        assert_eq!(run_image(&image, "dot", &[xs]), expect);
+    }
+}
+
+#[test]
+fn source_backend_output_is_always_anf() {
+    for (src, entry, div, statics) in [
+        (POWER, "power", vec![BT::Dynamic, BT::Static], vec![Datum::Int(3)]),
+        (
+            "(define (mk n) (lambda (x) (+ x n)))",
+            "mk",
+            vec![BT::Dynamic],
+            vec![],
+        ),
+        (
+            "(define (walk xs acc) (if (null? xs) acc (walk (cdr xs) (+ acc 1))))",
+            "walk",
+            vec![BT::Dynamic, BT::Dynamic],
+            vec![],
+        ),
+    ] {
+        let res = spec_source(src, entry, &div, &statics);
+        for d in &res.defs {
+            assert!(two4one_anf::cs_is_anf(&d.body.to_cs()), "{}", d.body);
+        }
+    }
+}

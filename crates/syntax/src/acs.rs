@@ -1,0 +1,312 @@
+//! Annotated Core Scheme (ACS) — the two-level syntax of Sec. 4.
+//!
+//! ACS is CS with *dynamic* variants of primitive operations, lambda
+//! abstractions, applications, and conditionals (the paper's superscript-D
+//! constructs), plus `lift`, which coerces a static first-order value into
+//! code. The binding-time analysis (`two4one-bta`) produces ACS; the
+//! specializer (`two4one-pe`) consumes it. Static constructs are executed at
+//! specialization time; dynamic constructs *generate residual code*.
+
+use crate::datum::Datum;
+use crate::prim::Prim;
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// A binding time: static (known at specialization time) or dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum BT {
+    /// Known at specialization time.
+    #[default]
+    Static,
+    /// Known only at run time.
+    Dynamic,
+}
+
+impl BT {
+    /// Least upper bound in the two-point lattice `S ⊑ D`.
+    pub fn lub(self, other: BT) -> BT {
+        if self == BT::Dynamic || other == BT::Dynamic {
+            BT::Dynamic
+        } else {
+            BT::Static
+        }
+    }
+
+    /// True if dynamic.
+    pub fn is_dynamic(self) -> bool {
+        self == BT::Dynamic
+    }
+}
+
+impl fmt::Display for BT {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BT::Static => "S",
+            BT::Dynamic => "D",
+        })
+    }
+}
+
+/// An annotated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    /// A constant (always static).
+    Const(Datum),
+    /// A variable reference.
+    Var(Symbol),
+    /// Coerce the static value of the subexpression to code.
+    Lift(Arc<AExpr>),
+    /// A static lambda: a specialization-time closure.
+    Lam(Arc<ALambda>),
+    /// A dynamic lambda: generates a residual `lambda`.
+    LamD(Arc<ALambda>),
+    /// Static conditional: the test is decided at specialization time.
+    If(Arc<AExpr>, Arc<AExpr>, Arc<AExpr>),
+    /// Dynamic conditional: generates a residual `if` (and duplicates the
+    /// specialization continuation into both branches, as in Fig. 3).
+    IfD(Arc<AExpr>, Arc<AExpr>, Arc<AExpr>),
+    /// `let` — unannotated; the continuation-based specializer handles
+    /// static and dynamic right-hand sides uniformly (see Fig. 3).
+    Let(Symbol, Arc<AExpr>, Arc<AExpr>),
+    /// Static application: the operator is a specialization-time closure or
+    /// a top-level function; the call is unfolded or memoized.
+    App(Arc<AExpr>, Vec<Arc<AExpr>>),
+    /// Dynamic application: generates a residual call.
+    AppD(Arc<AExpr>, Vec<Arc<AExpr>>),
+    /// Static primitive application: evaluated at specialization time.
+    Prim(Prim, Vec<Arc<AExpr>>),
+    /// Dynamic primitive application: generates residual code.
+    PrimD(Prim, Vec<Arc<AExpr>>),
+}
+
+/// An annotated lambda.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ALambda {
+    /// Name hint.
+    pub name: Symbol,
+    /// Formal parameters.
+    pub params: Vec<Symbol>,
+    /// The body.
+    pub body: AExpr,
+}
+
+/// A parameter of an annotated definition, with its binding time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AParam {
+    /// The parameter name.
+    pub name: Symbol,
+    /// Its binding time.
+    pub bt: BT,
+}
+
+/// How calls to a top-level function are treated by the specializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CallPolicy {
+    /// Inline the body at the call site (specialization-time β).
+    #[default]
+    Unfold,
+    /// Residualize the call and specialize the callee once per distinct
+    /// tuple of static arguments (a *specialization point*).
+    Memoize,
+}
+
+/// An annotated top-level definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ADef {
+    /// The global name.
+    pub name: Symbol,
+    /// Parameters with binding times.
+    pub params: Vec<AParam>,
+    /// The annotated body.
+    pub body: AExpr,
+    /// Unfold or memoize calls to this function.
+    pub policy: CallPolicy,
+    /// Binding time of the result.
+    pub result_bt: BT,
+}
+
+/// An annotated program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AProgram {
+    /// The definitions.
+    pub defs: Vec<ADef>,
+}
+
+impl AProgram {
+    /// Looks up an annotated definition by name.
+    pub fn def(&self, name: &Symbol) -> Option<&ADef> {
+        self.defs.iter().find(|d| &d.name == name)
+    }
+}
+
+impl AExpr {
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            AExpr::Const(_) | AExpr::Var(_) => 1,
+            AExpr::Lift(e) => 1 + e.size(),
+            AExpr::Lam(l) | AExpr::LamD(l) => 1 + l.body.size(),
+            AExpr::If(a, b, c) | AExpr::IfD(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            AExpr::Let(_, rhs, body) => 1 + rhs.size() + body.size(),
+            AExpr::App(f, args) | AExpr::AppD(f, args) => {
+                1 + f.size() + args.iter().map(|a| a.size()).sum::<usize>()
+            }
+            AExpr::Prim(_, args) | AExpr::PrimD(_, args) => {
+                1 + args.iter().map(|a| a.size()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Renders to concrete syntax with the paper's underline convention
+    /// spelled `_name` for dynamic constructs, for inspection and tests.
+    pub fn to_datum(&self) -> Datum {
+        fn lam(tag: &str, l: &ALambda) -> Datum {
+            Datum::list([
+                Datum::sym(tag),
+                Datum::list(l.params.iter().cloned().map(Datum::Sym).collect::<Vec<_>>()),
+                l.body.to_datum(),
+            ])
+        }
+        match self {
+            AExpr::Const(d) => {
+                if d.is_self_evaluating() {
+                    d.clone()
+                } else {
+                    Datum::list([Datum::sym("quote"), d.clone()])
+                }
+            }
+            AExpr::Var(x) => Datum::Sym(x.clone()),
+            AExpr::Lift(e) => Datum::list([Datum::sym("lift"), e.to_datum()]),
+            AExpr::Lam(l) => lam("lambda", l),
+            AExpr::LamD(l) => lam("_lambda", l),
+            AExpr::If(a, b, c) => Datum::list([
+                Datum::sym("if"),
+                a.to_datum(),
+                b.to_datum(),
+                c.to_datum(),
+            ]),
+            AExpr::IfD(a, b, c) => Datum::list([
+                Datum::sym("_if"),
+                a.to_datum(),
+                b.to_datum(),
+                c.to_datum(),
+            ]),
+            AExpr::Let(x, rhs, body) => Datum::list([
+                Datum::sym("let"),
+                Datum::list([Datum::list([Datum::Sym(x.clone()), rhs.to_datum()])]),
+                body.to_datum(),
+            ]),
+            AExpr::App(f, args) => {
+                let mut items = vec![f.to_datum()];
+                items.extend(args.iter().map(|a| a.to_datum()));
+                Datum::list(items)
+            }
+            AExpr::AppD(f, args) => {
+                let mut items = vec![Datum::sym("_apply"), f.to_datum()];
+                items.extend(args.iter().map(|a| a.to_datum()));
+                Datum::list(items)
+            }
+            AExpr::Prim(p, args) => {
+                let mut items = vec![Datum::sym(p.name())];
+                items.extend(args.iter().map(|a| a.to_datum()));
+                Datum::list(items)
+            }
+            AExpr::PrimD(p, args) => {
+                let mut items = vec![Datum::sym(&format!("_{}", p.name()))];
+                items.extend(args.iter().map(|a| a.to_datum()));
+                Datum::list(items)
+            }
+        }
+    }
+}
+
+impl fmt::Display for AExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_datum())
+    }
+}
+
+impl ADef {
+    /// Renders to concrete syntax: `(define[-memo] (f x:S y:D) body)`.
+    pub fn to_datum(&self) -> Datum {
+        let mut head = vec![Datum::Sym(self.name.clone())];
+        for p in &self.params {
+            head.push(Datum::sym(&format!("{}:{}", p.name, p.bt)));
+        }
+        let keyword = match self.policy {
+            CallPolicy::Unfold => "define",
+            CallPolicy::Memoize => "define-memo",
+        };
+        Datum::list([Datum::sym(keyword), Datum::list(head), self.body.to_datum()])
+    }
+}
+
+impl fmt::Display for AProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.defs {
+            writeln!(f, "{}", d.to_datum())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bt_lattice() {
+        assert_eq!(BT::Static.lub(BT::Static), BT::Static);
+        assert_eq!(BT::Static.lub(BT::Dynamic), BT::Dynamic);
+        assert_eq!(BT::Dynamic.lub(BT::Static), BT::Dynamic);
+        assert!(BT::Dynamic.is_dynamic());
+        assert!(!BT::Static.is_dynamic());
+        assert_eq!(BT::Static.to_string(), "S");
+    }
+
+    #[test]
+    fn annotated_rendering_marks_dynamic_constructs() {
+        let e = AExpr::PrimD(
+            Prim::Add,
+            vec![
+                Arc::new(AExpr::Var(Symbol::new("x"))),
+                Arc::new(AExpr::Lift(Arc::new(AExpr::Const(Datum::Int(1))))),
+            ],
+        );
+        assert_eq!(e.to_string(), "(_+ x (lift 1))");
+        let e = AExpr::IfD(
+            Arc::new(AExpr::Var(Symbol::new("t"))),
+            Arc::new(AExpr::Const(Datum::Int(1))),
+            Arc::new(AExpr::Const(Datum::Int(2))),
+        );
+        assert_eq!(e.to_string(), "(_if t 1 2)");
+    }
+
+    #[test]
+    fn def_rendering_shows_division_and_policy() {
+        let d = ADef {
+            name: Symbol::new("f"),
+            params: vec![
+                AParam {
+                    name: Symbol::new("s"),
+                    bt: BT::Static,
+                },
+                AParam {
+                    name: Symbol::new("d"),
+                    bt: BT::Dynamic,
+                },
+            ],
+            body: AExpr::Var(Symbol::new("d")),
+            policy: CallPolicy::Memoize,
+            result_bt: BT::Dynamic,
+        };
+        assert_eq!(d.to_datum().to_string(), "(define-memo (f s:S d:D) d)");
+    }
+
+    #[test]
+    fn sizes() {
+        let e = AExpr::Lift(Arc::new(AExpr::Const(Datum::Int(1))));
+        assert_eq!(e.size(), 2);
+    }
+}

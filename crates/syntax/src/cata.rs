@@ -1,0 +1,193 @@
+//! The syntax functor and the generic recursion schema of Sec. 5.1–5.3.
+//!
+//! The paper treats syntax as the least fixed point of a functor
+//! `MkSyntax` and describes compilers and specializers as *catamorphisms*:
+//! per-construct functions `ev-const, ev-var, …` folded over the tree by a
+//! generic recursion schema (Fig. 5). The fusion theorem of Sec. 5.4 is a
+//! statement about such catamorphisms.
+//!
+//! [`ExprF`] is `MkSyntax` with the recursive positions abstracted to a
+//! type parameter; [`cata`] is the recursion schema `cata_CS`. The ANF
+//! compiler and the specializer in this workspace are written against
+//! builder traits, which is the same idea with the algebra packaged as a
+//! trait — this module keeps the paper's formulation available and is used
+//! to state algebraic properties in tests.
+
+use crate::cs::{Expr, Lambda};
+use crate::datum::Datum;
+use crate::prim::Prim;
+use crate::symbol::Symbol;
+use std::sync::Arc;
+
+/// One layer of Core Scheme syntax with recursive positions of type `X` —
+/// the functor `MkSyntax(X)` of Fig. 4.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprF<X> {
+    /// `const c`
+    Const(Datum),
+    /// `var x`
+    Var(Symbol),
+    /// `lam (x₁…xₙ, body)`
+    Lam {
+        /// Name hint carried through from [`Lambda`].
+        name: Symbol,
+        /// Parameters.
+        params: Vec<Symbol>,
+        /// Body.
+        body: X,
+    },
+    /// `if (t, c, a)`
+    If(X, X, X),
+    /// `let (x, rhs, body)`
+    Let(Symbol, X, X),
+    /// `app (f, args)`
+    App(X, Vec<X>),
+    /// `prim (op, args)`
+    Prim(Prim, Vec<X>),
+}
+
+impl<X> ExprF<X> {
+    /// The functorial action `MkSyntax(f)`: applies `f` to every recursive
+    /// position, preserving the shape.
+    pub fn map<Y>(self, mut f: impl FnMut(X) -> Y) -> ExprF<Y> {
+        match self {
+            ExprF::Const(d) => ExprF::Const(d),
+            ExprF::Var(x) => ExprF::Var(x),
+            ExprF::Lam { name, params, body } => ExprF::Lam {
+                name,
+                params,
+                body: f(body),
+            },
+            ExprF::If(a, b, c) => ExprF::If(f(a), f(b), f(c)),
+            ExprF::Let(x, rhs, body) => ExprF::Let(x, f(rhs), f(body)),
+            ExprF::App(g, args) => ExprF::App(f(g), args.into_iter().map(f).collect()),
+            ExprF::Prim(p, args) => ExprF::Prim(p, args.into_iter().map(f).collect()),
+        }
+    }
+
+    /// The recursive subterms, in evaluation order.
+    pub fn children(&self) -> Vec<&X> {
+        match self {
+            ExprF::Const(_) | ExprF::Var(_) => vec![],
+            ExprF::Lam { body, .. } => vec![body],
+            ExprF::If(a, b, c) => vec![a, b, c],
+            ExprF::Let(_, rhs, body) => vec![rhs, body],
+            ExprF::App(f, args) => {
+                let mut v = vec![f];
+                v.extend(args.iter());
+                v
+            }
+            ExprF::Prim(_, args) => args.iter().collect(),
+        }
+    }
+}
+
+/// Unrolls one layer of an [`Expr`]: the initial-algebra structure map
+/// inverse `Syntax → MkSyntax(Syntax)`.
+pub fn project(e: &Expr) -> ExprF<&Expr> {
+    match e {
+        Expr::Const(d) => ExprF::Const(d.clone()),
+        Expr::Var(x) => ExprF::Var(x.clone()),
+        Expr::Lambda(l) => ExprF::Lam {
+            name: l.name.clone(),
+            params: l.params.clone(),
+            body: &l.body,
+        },
+        Expr::If(a, b, c) => ExprF::If(a, b, c),
+        Expr::Let(x, rhs, body) => ExprF::Let(x.clone(), rhs, body),
+        Expr::App(f, args) => ExprF::App(f, args.iter().collect()),
+        Expr::PrimApp(p, args) => ExprF::Prim(*p, args.iter().collect()),
+    }
+}
+
+/// Rolls one layer back up: the structure map `MkSyntax(Syntax) → Syntax`.
+pub fn embed(layer: ExprF<Expr>) -> Expr {
+    match layer {
+        ExprF::Const(d) => Expr::Const(d),
+        ExprF::Var(x) => Expr::Var(x),
+        ExprF::Lam { name, params, body } => Expr::Lambda(Arc::new(Lambda {
+            name,
+            params,
+            body,
+        })),
+        ExprF::If(a, b, c) => Expr::If(Box::new(a), Box::new(b), Box::new(c)),
+        ExprF::Let(x, rhs, body) => Expr::Let(x, Box::new(rhs), Box::new(body)),
+        ExprF::App(f, args) => Expr::App(Box::new(f), args),
+        ExprF::Prim(p, args) => Expr::PrimApp(p, args),
+    }
+}
+
+/// The generic recursion schema `cata_CS(ev)(-)` of Fig. 5: folds the
+/// algebra `alg : MkSyntax(R) → R` over the expression.
+///
+/// # Example
+///
+/// Computing expression size as a catamorphism:
+///
+/// ```
+/// use two4one_syntax::cata::{cata, ExprF};
+/// use two4one_syntax::cs::parse_expr;
+/// use two4one_syntax::reader::read_one;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let e = parse_expr(&read_one("(if a (+ b 1) c)")?)?;
+/// let size = cata(&e, &mut |layer: ExprF<usize>| {
+///     1 + layer.children().iter().map(|n| **n).sum::<usize>()
+/// });
+/// assert_eq!(size, e.size());
+/// # Ok(())
+/// # }
+/// ```
+pub fn cata<R>(e: &Expr, alg: &mut impl FnMut(ExprF<R>) -> R) -> R {
+    let layer = project(e).map(|child| cata(child, alg));
+    alg(layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::parse_expr;
+    use crate::reader::read_one;
+
+    fn e(src: &str) -> Expr {
+        parse_expr(&read_one(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cata_reconstructs_identity() {
+        // cata with the structure map is the identity — the initial-algebra
+        // property that underlies the fusion theorem.
+        for src in [
+            "(lambda (x) (let ((y (+ x 1))) (if y (f y) 'done)))",
+            "((lambda (f) (f f)) (lambda (g) 1))",
+        ] {
+            let expr = e(src);
+            let back = cata(&expr, &mut embed);
+            assert_eq!(back, expr);
+        }
+    }
+
+    #[test]
+    fn cata_counts_constants() {
+        let expr = e("(+ 1 (if x 2 (g 3 4)))");
+        let n = cata(&expr, &mut |layer: ExprF<usize>| match layer {
+            ExprF::Const(_) => 1,
+            other => other.children().iter().map(|n| **n).sum(),
+        });
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn functor_law_identity() {
+        let expr = e("(let ((x 1)) x)");
+        let layer = project(&expr);
+        let mapped = layer.clone().map(|c| c);
+        assert_eq!(mapped, layer);
+    }
+
+    #[test]
+    fn children_in_evaluation_order() {
+        let expr = e("(f a b)");
+        let layer = project(&expr);
+        assert_eq!(layer.children().len(), 3);
+    }
+}

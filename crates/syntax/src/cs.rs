@@ -1,0 +1,447 @@
+//! Core Scheme (CS) abstract syntax — Fig. 1 of the paper.
+//!
+//! CS is the higher-order call-by-value core that the front end lowers full
+//! programs into and that the binding-time analysis annotates. A program is
+//! a set of first-order top-level definitions (the result of lambda lifting)
+//! whose bodies are CS expressions; lambdas may still occur first-class
+//! inside bodies.
+
+use crate::datum::Datum;
+use crate::prim::Prim;
+use crate::symbol::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A Core Scheme expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant datum (already quoted).
+    Const(Datum),
+    /// A variable reference (local or top-level).
+    Var(Symbol),
+    /// A lambda abstraction.
+    Lambda(Arc<Lambda>),
+    /// `(if test then else)`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `(let (x rhs) body)` — single binding, as in the paper.
+    Let(Symbol, Box<Expr>, Box<Expr>),
+    /// Application of a computed procedure.
+    App(Box<Expr>, Vec<Expr>),
+    /// Application of a primitive operation.
+    PrimApp(Prim, Vec<Expr>),
+}
+
+/// A lambda abstraction with a name hint used for template naming and
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lambda {
+    /// Name hint (e.g. the variable the lambda was bound to).
+    pub name: Symbol,
+    /// Formal parameters.
+    pub params: Vec<Symbol>,
+    /// The body.
+    pub body: Expr,
+}
+
+/// A top-level definition `(define (name params...) body)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Def {
+    /// The global name.
+    pub name: Symbol,
+    /// Formal parameters.
+    pub params: Vec<Symbol>,
+    /// The body expression.
+    pub body: Expr,
+}
+
+/// A whole CS program: top-level definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The definitions, in source order.
+    pub defs: Vec<Def>,
+}
+
+impl Expr {
+    /// Convenience constructor for applications.
+    pub fn app(f: Expr, args: Vec<Expr>) -> Expr {
+        Expr::App(Box::new(f), args)
+    }
+
+    /// Convenience constructor for conditionals.
+    pub fn if_(t: Expr, c: Expr, a: Expr) -> Expr {
+        Expr::If(Box::new(t), Box::new(c), Box::new(a))
+    }
+
+    /// Convenience constructor for let.
+    pub fn let_(x: Symbol, rhs: Expr, body: Expr) -> Expr {
+        Expr::Let(x, Box::new(rhs), Box::new(body))
+    }
+
+    /// Convenience constructor for lambdas.
+    pub fn lambda(name: &str, params: Vec<Symbol>, body: Expr) -> Expr {
+        Expr::Lambda(Arc::new(Lambda {
+            name: Symbol::new(name),
+            params,
+            body,
+        }))
+    }
+
+    /// The free variables of this expression (top-level names included —
+    /// callers that want only locals subtract the globals).
+    pub fn free_vars(&self) -> BTreeSet<Symbol> {
+        fn go(e: &Expr, bound: &mut Vec<Symbol>, acc: &mut BTreeSet<Symbol>) {
+            match e {
+                Expr::Const(_) => {}
+                Expr::Var(x) => {
+                    if !bound.contains(x) {
+                        acc.insert(x.clone());
+                    }
+                }
+                Expr::Lambda(l) => {
+                    let n = bound.len();
+                    bound.extend(l.params.iter().cloned());
+                    go(&l.body, bound, acc);
+                    bound.truncate(n);
+                }
+                Expr::If(a, b, c) => {
+                    go(a, bound, acc);
+                    go(b, bound, acc);
+                    go(c, bound, acc);
+                }
+                Expr::Let(x, rhs, body) => {
+                    go(rhs, bound, acc);
+                    bound.push(x.clone());
+                    go(body, bound, acc);
+                    bound.pop();
+                }
+                Expr::App(f, args) => {
+                    go(f, bound, acc);
+                    for a in args {
+                        go(a, bound, acc);
+                    }
+                }
+                Expr::PrimApp(_, args) => {
+                    for a in args {
+                        go(a, bound, acc);
+                    }
+                }
+            }
+        }
+        let mut acc = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut acc);
+        acc
+    }
+
+    /// Number of AST nodes, for tests and growth accounting.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Lambda(l) => 1 + l.body.size(),
+            Expr::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::Let(_, rhs, body) => 1 + rhs.size() + body.size(),
+            Expr::App(f, args) => 1 + f.size() + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::PrimApp(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Renders back to concrete syntax.
+    pub fn to_datum(&self) -> Datum {
+        match self {
+            Expr::Const(d) => {
+                if d.is_self_evaluating() {
+                    d.clone()
+                } else {
+                    Datum::list([Datum::sym("quote"), d.clone()])
+                }
+            }
+            Expr::Var(x) => Datum::Sym(x.clone()),
+            Expr::Lambda(l) => Datum::list([
+                Datum::sym("lambda"),
+                Datum::list(l.params.iter().cloned().map(Datum::Sym).collect::<Vec<_>>()),
+                l.body.to_datum(),
+            ]),
+            Expr::If(a, b, c) => Datum::list([
+                Datum::sym("if"),
+                a.to_datum(),
+                b.to_datum(),
+                c.to_datum(),
+            ]),
+            Expr::Let(x, rhs, body) => Datum::list([
+                Datum::sym("let"),
+                Datum::list([Datum::list([Datum::Sym(x.clone()), rhs.to_datum()])]),
+                body.to_datum(),
+            ]),
+            Expr::App(f, args) => {
+                let mut items = vec![f.to_datum()];
+                items.extend(args.iter().map(Expr::to_datum));
+                Datum::list(items)
+            }
+            Expr::PrimApp(p, args) => {
+                let mut items = vec![Datum::sym(p.name())];
+                items.extend(args.iter().map(Expr::to_datum));
+                Datum::list(items)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_datum())
+    }
+}
+
+impl Def {
+    /// Renders back to a `(define (name params...) body)` datum.
+    pub fn to_datum(&self) -> Datum {
+        let mut head = vec![Datum::Sym(self.name.clone())];
+        head.extend(self.params.iter().cloned().map(Datum::Sym));
+        Datum::list([Datum::sym("define"), Datum::list(head), self.body.to_datum()])
+    }
+}
+
+impl Program {
+    /// Looks up a definition by name.
+    pub fn def(&self, name: &Symbol) -> Option<&Def> {
+        self.defs.iter().find(|d| &d.name == name)
+    }
+
+    /// The set of global (top-level) names.
+    pub fn globals(&self) -> BTreeSet<Symbol> {
+        self.defs.iter().map(|d| d.name.clone()).collect()
+    }
+
+    /// Renders the program back to concrete syntax.
+    pub fn to_data(&self) -> Vec<Datum> {
+        self.defs.iter().map(Def::to_datum).collect()
+    }
+
+    /// Total AST size.
+    pub fn size(&self) -> usize {
+        self.defs.iter().map(|d| d.body.size() + 1).sum()
+    }
+
+    /// Checks that every variable is bound by a parameter, `let`, `lambda`,
+    /// or a top-level definition. Returns offending names.
+    pub fn unbound_vars(&self) -> BTreeSet<Symbol> {
+        let globals = self.globals();
+        let mut bad = BTreeSet::new();
+        for d in &self.defs {
+            let params: BTreeSet<_> = d.params.iter().cloned().collect();
+            for v in d.body.free_vars() {
+                if !params.contains(&v) && !globals.contains(&v) {
+                    bad.insert(v);
+                }
+            }
+        }
+        bad
+    }
+}
+
+/// Errors from the strict CS parser ([`parse_expr`], [`parse_program`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsParseError(pub String);
+
+impl fmt::Display for CsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core-scheme parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CsParseError {}
+
+fn sym_of(d: &Datum) -> Result<Symbol, CsParseError> {
+    d.as_sym()
+        .cloned()
+        .ok_or_else(|| CsParseError(format!("expected identifier, got `{d}`")))
+}
+
+/// Parses a datum that is already in the *core* grammar (no sugar). The
+/// full front end lives in `two4one-frontend`; this strict parser exists so
+/// lower-level crates can build CS terms in tests without a dependency
+/// cycle.
+///
+/// # Errors
+///
+/// Returns a [`CsParseError`] for anything outside the core grammar.
+pub fn parse_expr(d: &Datum) -> Result<Expr, CsParseError> {
+    match d {
+        Datum::Sym(s) => Ok(Expr::Var(s.clone())),
+        _ if d.is_self_evaluating() => Ok(Expr::Const(d.clone())),
+        Datum::Nil => Err(CsParseError("empty application `()`".into())),
+        Datum::Pair(_) => {
+            let items = d
+                .to_vec()
+                .ok_or_else(|| CsParseError(format!("improper list `{d}`")))?;
+            let head = items[0].as_sym().map(|s| s.as_str());
+            match head {
+                Some("quote") if items.len() == 2 => Ok(Expr::Const(items[1].clone())),
+                Some("if") if items.len() == 4 => Ok(Expr::if_(
+                    parse_expr(&items[1])?,
+                    parse_expr(&items[2])?,
+                    parse_expr(&items[3])?,
+                )),
+                Some("let") if items.len() == 3 => {
+                    let bindings = items[1]
+                        .to_vec()
+                        .ok_or_else(|| CsParseError("bad let bindings".into()))?;
+                    if bindings.len() != 1 {
+                        return Err(CsParseError(
+                            "core let has exactly one binding".into(),
+                        ));
+                    }
+                    let b = bindings[0]
+                        .to_vec()
+                        .filter(|v| v.len() == 2)
+                        .ok_or_else(|| CsParseError("bad let binding".into()))?;
+                    Ok(Expr::let_(
+                        sym_of(&b[0])?,
+                        parse_expr(&b[1])?,
+                        parse_expr(&items[2])?,
+                    ))
+                }
+                Some("lambda") if items.len() == 3 => {
+                    let params = items[1]
+                        .to_vec()
+                        .ok_or_else(|| CsParseError("bad lambda parameter list".into()))?
+                        .iter()
+                        .map(sym_of)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Expr::lambda("lam", params, parse_expr(&items[2])?))
+                }
+                Some(name) if Prim::from_name(name).is_some() => {
+                    let p = Prim::from_name(name).expect("checked");
+                    let args = items[1..]
+                        .iter()
+                        .map(parse_expr)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if !p.arity().admits(args.len()) {
+                        return Err(CsParseError(format!(
+                            "`{name}` expects {} args, got {}",
+                            p.arity(),
+                            args.len()
+                        )));
+                    }
+                    Ok(Expr::PrimApp(p, args))
+                }
+                _ => {
+                    let f = parse_expr(&items[0])?;
+                    let args = items[1..]
+                        .iter()
+                        .map(parse_expr)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Expr::app(f, args))
+                }
+            }
+        }
+        _ => Err(CsParseError(format!("cannot parse `{d}`"))),
+    }
+}
+
+/// Parses a sequence of `(define (f x...) body)` data into a [`Program`]
+/// using the strict core grammar.
+///
+/// # Errors
+///
+/// Returns a [`CsParseError`] on malformed definitions.
+pub fn parse_program(ds: &[Datum]) -> Result<Program, CsParseError> {
+    let mut defs = Vec::new();
+    for d in ds {
+        let parts = d
+            .as_form("define")
+            .ok_or_else(|| CsParseError(format!("expected a definition, got `{d}`")))?;
+        if parts.len() != 2 {
+            return Err(CsParseError(format!("bad definition `{d}`")));
+        }
+        let head = parts[0]
+            .to_vec()
+            .ok_or_else(|| CsParseError("bad definition head".into()))?;
+        if head.is_empty() {
+            return Err(CsParseError("empty definition head".into()));
+        }
+        let name = sym_of(&head[0])?;
+        let params = head[1..].iter().map(sym_of).collect::<Result<Vec<_>, _>>()?;
+        defs.push(Def {
+            name,
+            params,
+            body: parse_expr(&parts[1])?,
+        });
+    }
+    Ok(Program { defs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_one;
+
+    fn pe(src: &str) -> Expr {
+        parse_expr(&read_one(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_core_forms() {
+        assert_eq!(pe("42"), Expr::Const(Datum::Int(42)));
+        assert_eq!(pe("x"), Expr::Var(Symbol::new("x")));
+        assert_eq!(pe("'(1 2)"), Expr::Const(read_one("(1 2)").unwrap()));
+        assert!(matches!(pe("(if #t 1 2)"), Expr::If(..)));
+        assert!(matches!(pe("(let ((x 1)) x)"), Expr::Let(..)));
+        assert!(matches!(pe("(lambda (x) x)"), Expr::Lambda(_)));
+        assert!(matches!(pe("(+ 1 2)"), Expr::PrimApp(Prim::Add, _)));
+        assert!(matches!(pe("(f 1 2)"), Expr::App(..)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let bad = read_one("(let ((x 1) (y 2)) x)").unwrap();
+        assert!(parse_expr(&bad).is_err());
+        let bad = read_one("(car 1 2)").unwrap();
+        assert!(parse_expr(&bad).is_err());
+        assert!(parse_expr(&Datum::Nil).is_err());
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let e = pe("(lambda (x) (let ((y (+ x z))) (f y)))");
+        let fv = e.free_vars();
+        let names: Vec<&str> = fv.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["f", "z"]);
+    }
+
+    #[test]
+    fn to_datum_round_trips() {
+        for src in [
+            "(lambda (x y) (if (< x y) x (quote sym)))",
+            "(let ((k 1)) (f k (+ k 2)))",
+            "'(a b)",
+        ] {
+            let e = pe(src);
+            let d = e.to_datum();
+            assert_eq!(parse_expr(&d).unwrap(), e, "{src} → {d}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip_and_scoping() {
+        let ds = crate::reader::read_all(
+            "(define (f x) (g x)) (define (g y) (+ y free))",
+        )
+        .unwrap();
+        let p = parse_program(&ds).unwrap();
+        assert_eq!(p.defs.len(), 2);
+        assert!(p.def(&Symbol::new("f")).is_some());
+        let unbound = p.unbound_vars();
+        assert_eq!(unbound.len(), 1);
+        assert!(unbound.contains(&Symbol::new("free")));
+        let back = parse_program(&p.to_data()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(pe("x").size(), 1);
+        assert_eq!(pe("(+ x 1)").size(), 3);
+        assert_eq!(pe("(if a b c)").size(), 4);
+    }
+}

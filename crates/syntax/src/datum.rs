@@ -1,0 +1,403 @@
+//! S-expression data: the external representation of programs and the
+//! first-order value universe of the partial evaluator.
+
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// An s-expression datum.
+///
+/// `Datum` doubles as (1) the concrete syntax read from source text and
+/// (2) the domain of *static* first-order values inside the specializer,
+/// which is why it implements `Eq` and `Hash` (memoization keys are tuples
+/// of data).
+///
+/// Only exact integers are supported as numbers; the paper's benchmarks do
+/// not require inexact arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use two4one_syntax::Datum;
+/// let d = Datum::list([Datum::from(1), Datum::from(2)]);
+/// assert_eq!(d.to_string(), "(1 2)");
+/// assert_eq!(d.list_len(), Some(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Datum {
+    /// The empty list `()`.
+    Nil,
+    /// The unspecified value (result of one-armed `if`, `set!`, etc.).
+    Unspec,
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// An exact integer.
+    Int(i64),
+    /// A character, written `#\c`.
+    Char(char),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A symbol.
+    Sym(Symbol),
+    /// A pair.
+    Pair(Arc<(Datum, Datum)>),
+}
+
+impl Datum {
+    /// Constructs a pair.
+    pub fn cons(car: Datum, cdr: Datum) -> Datum {
+        Datum::Pair(Arc::new((car, cdr)))
+    }
+
+    /// Constructs a proper list from an iterator.
+    pub fn list<I>(items: I) -> Datum
+    where
+        I: IntoIterator<Item = Datum>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        items
+            .into_iter()
+            .rev()
+            .fold(Datum::Nil, |acc, d| Datum::cons(d, acc))
+    }
+
+    /// Constructs a symbol datum.
+    pub fn sym(name: &str) -> Datum {
+        Datum::Sym(Symbol::new(name))
+    }
+
+    /// Constructs a string datum.
+    pub fn string(s: &str) -> Datum {
+        Datum::Str(Arc::from(s))
+    }
+
+    /// The `car` of a pair, if this is a pair.
+    pub fn car(&self) -> Option<&Datum> {
+        match self {
+            Datum::Pair(p) => Some(&p.0),
+            _ => None,
+        }
+    }
+
+    /// The `cdr` of a pair, if this is a pair.
+    pub fn cdr(&self) -> Option<&Datum> {
+        match self {
+            Datum::Pair(p) => Some(&p.1),
+            _ => None,
+        }
+    }
+
+    /// True for `()`.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Datum::Nil)
+    }
+
+    /// True for a pair.
+    pub fn is_pair(&self) -> bool {
+        matches!(self, Datum::Pair(_))
+    }
+
+    /// True if this datum is a proper list.
+    pub fn is_list(&self) -> bool {
+        let mut d = self;
+        loop {
+            match d {
+                Datum::Nil => return true,
+                Datum::Pair(p) => d = &p.1,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The length of a proper list, or `None` for non-lists.
+    pub fn list_len(&self) -> Option<usize> {
+        let mut n = 0;
+        let mut d = self;
+        loop {
+            match d {
+                Datum::Nil => return Some(n),
+                Datum::Pair(p) => {
+                    n += 1;
+                    d = &p.1;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Iterates over the elements of a (possibly improper) list; the
+    /// iterator yields the cars and stops at the first non-pair tail, which
+    /// can be retrieved with [`ListIter::tail`].
+    pub fn iter(&self) -> ListIter<'_> {
+        ListIter { cur: self }
+    }
+
+    /// Collects a proper list into a vector; `None` if improper.
+    pub fn to_vec(&self) -> Option<Vec<Datum>> {
+        let mut out = Vec::new();
+        let mut it = self.iter();
+        for d in it.by_ref() {
+            out.push(d.clone());
+        }
+        if it.tail().is_nil() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// If this is a proper list whose head is the symbol `head`, returns the
+    /// remaining elements.
+    pub fn as_form(&self, head: &str) -> Option<Vec<Datum>> {
+        let v = self.to_vec()?;
+        match v.first() {
+            Some(Datum::Sym(s)) if s.as_str() == head => Some(v[1..].to_vec()),
+            _ => None,
+        }
+    }
+
+    /// The symbol name, if this is a symbol.
+    pub fn as_sym(&self) -> Option<&Symbol> {
+        match self {
+            Datum::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Scheme truthiness: everything except `#f` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Datum::Bool(false))
+    }
+
+    /// True for data that evaluate to themselves in Scheme (numbers,
+    /// booleans, characters, strings).
+    pub fn is_self_evaluating(&self) -> bool {
+        matches!(
+            self,
+            Datum::Int(_) | Datum::Bool(_) | Datum::Char(_) | Datum::Str(_) | Datum::Unspec
+        )
+    }
+
+    /// Structural size (number of pairs plus atoms), useful for tests and
+    /// code-growth accounting.
+    pub fn size(&self) -> usize {
+        match self {
+            Datum::Pair(p) => 1 + p.0.size() + p.1.size(),
+            _ => 1,
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(n: i64) -> Self {
+        Datum::Int(n)
+    }
+}
+
+impl From<bool> for Datum {
+    fn from(b: bool) -> Self {
+        Datum::Bool(b)
+    }
+}
+
+impl From<Symbol> for Datum {
+    fn from(s: Symbol) -> Self {
+        Datum::Sym(s)
+    }
+}
+
+impl From<&str> for Datum {
+    /// Interprets the string as a *symbol* name (the common case when
+    /// building syntax); use [`Datum::string`] for string literals.
+    fn from(s: &str) -> Self {
+        Datum::sym(s)
+    }
+}
+
+impl FromIterator<Datum> for Datum {
+    fn from_iter<I: IntoIterator<Item = Datum>>(iter: I) -> Self {
+        Datum::list(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+/// Iterator over the cars of a list datum; see [`Datum::iter`].
+#[derive(Debug, Clone)]
+pub struct ListIter<'a> {
+    cur: &'a Datum,
+}
+
+impl<'a> ListIter<'a> {
+    /// The tail at which iteration stopped (`Nil` for proper lists).
+    pub fn tail(&self) -> &'a Datum {
+        self.cur
+    }
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = &'a Datum;
+
+    fn next(&mut self) -> Option<&'a Datum> {
+        match self.cur {
+            Datum::Pair(p) => {
+                self.cur = &p.1;
+                Some(&p.0)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Nil => f.write_str("()"),
+            Datum::Unspec => f.write_str("#!unspecific"),
+            Datum::Bool(true) => f.write_str("#t"),
+            Datum::Bool(false) => f.write_str("#f"),
+            Datum::Int(n) => write!(f, "{n}"),
+            Datum::Char(c) => match c {
+                ' ' => f.write_str("#\\space"),
+                '\n' => f.write_str("#\\newline"),
+                '\t' => f.write_str("#\\tab"),
+                c => write!(f, "#\\{c}"),
+            },
+            Datum::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Datum::Sym(s) => write!(f, "{s}"),
+            Datum::Pair(_) => {
+                // Print quote sugar back.
+                if let (Some(Datum::Sym(head)), Some(2)) = (self.car(), self.list_len()) {
+                    let sugar = match head.as_str() {
+                        "quote" => Some("'"),
+                        "quasiquote" => Some("`"),
+                        "unquote" => Some(","),
+                        "unquote-splicing" => Some(",@"),
+                        _ => None,
+                    };
+                    if let Some(s) = sugar {
+                        let arg = self.cdr().and_then(|d| d.car()).expect("len-2 list");
+                        return write!(f, "{s}{arg}");
+                    }
+                }
+                f.write_str("(")?;
+                let mut it = self.iter();
+                let mut first = true;
+                for d in it.by_ref() {
+                    if !first {
+                        f.write_str(" ")?;
+                    }
+                    first = false;
+                    write!(f, "{d}")?;
+                }
+                if !it.tail().is_nil() {
+                    write!(f, " . {}", it.tail())?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(items: &[Datum]) -> Datum {
+        Datum::list(items.to_vec())
+    }
+
+    #[test]
+    fn list_construction_and_access() {
+        let d = l(&[Datum::from(1), Datum::from(2), Datum::from(3)]);
+        assert_eq!(d.list_len(), Some(3));
+        assert!(d.is_list());
+        assert_eq!(d.car(), Some(&Datum::Int(1)));
+        assert_eq!(d.cdr().unwrap().list_len(), Some(2));
+    }
+
+    #[test]
+    fn improper_list_detection() {
+        let d = Datum::cons(Datum::from(1), Datum::from(2));
+        assert!(!d.is_list());
+        assert_eq!(d.list_len(), None);
+        assert_eq!(d.to_vec(), None);
+        let mut it = d.iter();
+        assert_eq!(it.next(), Some(&Datum::Int(1)));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.tail(), &Datum::Int(2));
+    }
+
+    #[test]
+    fn display_round_shapes() {
+        assert_eq!(Datum::Nil.to_string(), "()");
+        assert_eq!(Datum::from(true).to_string(), "#t");
+        assert_eq!(Datum::from(-42).to_string(), "-42");
+        assert_eq!(Datum::Char(' ').to_string(), "#\\space");
+        assert_eq!(Datum::string("a\"b\\c\n").to_string(), "\"a\\\"b\\\\c\\n\"");
+        let d = Datum::cons(Datum::from(1), Datum::cons(Datum::from(2), Datum::from(3)));
+        assert_eq!(d.to_string(), "(1 2 . 3)");
+    }
+
+    #[test]
+    fn quote_sugar_prints_back() {
+        let d = l(&[Datum::sym("quote"), Datum::sym("x")]);
+        assert_eq!(d.to_string(), "'x");
+        let d = l(&[Datum::sym("quasiquote"), l(&[Datum::sym("unquote"), Datum::sym("x")])]);
+        assert_eq!(d.to_string(), "`,x");
+    }
+
+    #[test]
+    fn as_form_matches_heads() {
+        let d = l(&[Datum::sym("define"), Datum::sym("x"), Datum::from(1)]);
+        let rest = d.as_form("define").unwrap();
+        assert_eq!(rest.len(), 2);
+        assert!(d.as_form("lambda").is_none());
+        assert!(Datum::from(3).as_form("define").is_none());
+    }
+
+    #[test]
+    fn truthiness_is_scheme_style() {
+        assert!(Datum::Int(0).is_truthy());
+        assert!(Datum::Nil.is_truthy());
+        assert!(!Datum::Bool(false).is_truthy());
+    }
+
+    #[test]
+    fn datum_is_hashable_and_eq() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(l(&[Datum::from(1), Datum::sym("a")]), "v");
+        assert_eq!(m.get(&l(&[Datum::from(1), Datum::sym("a")])), Some(&"v"));
+    }
+
+    #[test]
+    fn size_counts_pairs_and_atoms() {
+        assert_eq!(Datum::from(1).size(), 1);
+        assert_eq!(l(&[Datum::from(1), Datum::from(2)]).size(), 5);
+    }
+}

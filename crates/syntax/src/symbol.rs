@@ -1,0 +1,166 @@
+//! Symbols and fresh-name generation.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An identifier in source programs, abstract syntax, and generated code.
+///
+/// Symbols are cheap to clone (an `Arc<str>` internally) and compare by
+/// string content. They are `Send + Sync` so syntax trees can be moved onto
+/// the large-stack worker threads used by the specializer.
+///
+/// # Example
+///
+/// ```
+/// use two4one_syntax::Symbol;
+/// let a = Symbol::new("eval");
+/// let b = Symbol::new("eval");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "eval");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol with the given name.
+    pub fn new(name: &str) -> Self {
+        Symbol(Arc::from(name))
+    }
+
+    /// The symbol's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(Arc::from(s.as_str()))
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A deterministic fresh-name generator.
+///
+/// Generated names contain a `%`, which the [reader](crate::reader) never
+/// produces inside identifiers read from source text that follows the
+/// conventions of this workspace, so fresh names cannot capture user names.
+///
+/// # Example
+///
+/// ```
+/// use two4one_syntax::Gensym;
+/// let mut g = Gensym::new();
+/// let a = g.fresh("x");
+/// let b = g.fresh("x");
+/// assert_ne!(a, b);
+/// assert!(a.as_str().starts_with("x%"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gensym {
+    counter: u64,
+}
+
+impl Gensym {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        Gensym { counter: 0 }
+    }
+
+    /// Returns a fresh symbol whose name starts with `base`.
+    pub fn fresh(&mut self, base: &str) -> Symbol {
+        // Strip an existing `%NNN` suffix so repeated renaming does not grow
+        // names without bound.
+        let stem = match base.find('%') {
+            Some(i) => &base[..i],
+            None => base,
+        };
+        let n = self.counter;
+        self.counter += 1;
+        Symbol::new(&format!("{stem}%{n}"))
+    }
+
+    /// The number of names generated so far.
+    pub fn count(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn symbols_compare_by_content() {
+        assert_eq!(Symbol::new("a"), Symbol::from("a"));
+        assert_ne!(Symbol::new("a"), Symbol::new("b"));
+        assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn symbol_display_is_bare_name() {
+        assert_eq!(Symbol::new("lambda").to_string(), "lambda");
+    }
+
+    #[test]
+    fn gensym_is_fresh_and_deterministic() {
+        let mut g = Gensym::new();
+        let names: HashSet<_> = (0..100).map(|_| g.fresh("tmp")).collect();
+        assert_eq!(names.len(), 100);
+        let mut g2 = Gensym::new();
+        assert_eq!(g2.fresh("tmp"), Symbol::new("tmp%0"));
+        assert_eq!(g2.fresh("tmp"), Symbol::new("tmp%1"));
+    }
+
+    #[test]
+    fn gensym_strips_previous_suffix() {
+        let mut g = Gensym::new();
+        let a = g.fresh("x");
+        let b = g.fresh(a.as_str());
+        assert_eq!(b.as_str(), "x%1");
+    }
+
+    #[test]
+    fn symbols_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Symbol>();
+    }
+
+    #[test]
+    fn borrow_str_allows_hashmap_lookup() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(Symbol::new("k"), 1);
+        assert_eq!(m.get("k"), Some(&1));
+    }
+}

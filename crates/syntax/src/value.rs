@@ -1,0 +1,906 @@
+//! The runtime value domain, generic over the procedure representation.
+//!
+//! The tree-walking interpreter (`two4one-interp`) and the byte-code VM
+//! (`two4one-vm`) use different closure representations but identical
+//! first-order values and primitive semantics. [`Value`] is therefore
+//! parameterized over a [`ProcRepr`], and [`apply_prim`] implements every
+//! primitive once, for all engines — including the partial evaluator, which
+//! applies pure primitives to static data via [`NoProc`].
+
+use crate::datum::Datum;
+use crate::prim::{Arity, Prim};
+use crate::symbol::Symbol;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Procedure representation used inside a [`Value`].
+pub trait ProcRepr: Clone {
+    /// Identity comparison, used by `eq?`/`eqv?`.
+    fn ptr_eq(&self, other: &Self) -> bool;
+    /// Short human-readable description for error messages and `display`.
+    fn describe(&self) -> String;
+}
+
+/// The uninhabited procedure representation: a value domain with no
+/// procedures at all, used when evaluating primitives over pure data
+/// (e.g. at specialization time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoProc {}
+
+impl ProcRepr for NoProc {
+    fn ptr_eq(&self, _other: &Self) -> bool {
+        match *self {}
+    }
+    fn describe(&self) -> String {
+        match *self {}
+    }
+}
+
+/// A runtime value.
+#[derive(Clone)]
+pub enum Value<P> {
+    /// An exact integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A character.
+    Char(char),
+    /// A symbol.
+    Sym(Symbol),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// The empty list.
+    Nil,
+    /// The unspecified value.
+    Unspec,
+    /// An immutable pair.
+    Pair(Rc<(Value<P>, Value<P>)>),
+    /// A mutable cell (the target of assignment elimination).
+    Cell(Rc<RefCell<Value<P>>>),
+    /// A procedure.
+    Proc(P),
+}
+
+impl<P> Value<P> {
+    /// Constructs a pair.
+    pub fn cons(car: Value<P>, cdr: Value<P>) -> Value<P> {
+        Value::Pair(Rc::new((car, cdr)))
+    }
+
+    /// Constructs a proper list.
+    pub fn list<I>(items: I) -> Value<P>
+    where
+        I: IntoIterator<Item = Value<P>>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        items
+            .into_iter()
+            .rev()
+            .fold(Value::Nil, |acc, v| Value::cons(v, acc))
+    }
+
+    /// Scheme truthiness: everything except `#f` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false))
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Char(_) => "char",
+            Value::Sym(_) => "symbol",
+            Value::Str(_) => "string",
+            Value::Nil => "()",
+            Value::Unspec => "unspecified",
+            Value::Pair(_) => "pair",
+            Value::Cell(_) => "cell",
+            Value::Proc(_) => "procedure",
+        }
+    }
+}
+
+impl<P: ProcRepr> Value<P> {
+    /// Converts first-order data to a [`Datum`]; `None` if the value
+    /// contains a procedure or a mutable cell.
+    pub fn to_datum(&self) -> Option<Datum> {
+        Some(match self {
+            Value::Int(n) => Datum::Int(*n),
+            Value::Bool(b) => Datum::Bool(*b),
+            Value::Char(c) => Datum::Char(*c),
+            Value::Sym(s) => Datum::Sym(s.clone()),
+            Value::Str(s) => Datum::Str(s.clone()),
+            Value::Nil => Datum::Nil,
+            Value::Unspec => Datum::Unspec,
+            Value::Pair(p) => Datum::cons(p.0.to_datum()?, p.1.to_datum()?),
+            Value::Cell(_) | Value::Proc(_) => return None,
+        })
+    }
+}
+
+impl<P> From<&Datum> for Value<P> {
+    fn from(d: &Datum) -> Self {
+        match d {
+            Datum::Nil => Value::Nil,
+            Datum::Unspec => Value::Unspec,
+            Datum::Bool(b) => Value::Bool(*b),
+            Datum::Int(n) => Value::Int(*n),
+            Datum::Char(c) => Value::Char(*c),
+            Datum::Str(s) => Value::Str(s.clone()),
+            Datum::Sym(s) => Value::Sym(s.clone()),
+            Datum::Pair(p) => Value::cons(Value::from(&p.0), Value::from(&p.1)),
+        }
+    }
+}
+
+impl<P: ProcRepr> fmt::Debug for Value<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&write_string(self))
+    }
+}
+
+impl<P: ProcRepr> fmt::Display for Value<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&display_string(self))
+    }
+}
+
+impl<P: ProcRepr> PartialEq for Value<P> {
+    /// Structural equality (`equal?` semantics).
+    fn eq(&self, other: &Self) -> bool {
+        equal(self, other)
+    }
+}
+
+fn fmt_value<P: ProcRepr>(v: &Value<P>, write: bool, out: &mut String) {
+    match v {
+        Value::Str(s) if !write => out.push_str(s),
+        Value::Char(c) if !write => out.push(*c),
+        Value::Int(_)
+        | Value::Bool(_)
+        | Value::Char(_)
+        | Value::Sym(_)
+        | Value::Str(_)
+        | Value::Nil
+        | Value::Unspec => {
+            let d: Datum = match v {
+                Value::Int(n) => Datum::Int(*n),
+                Value::Bool(b) => Datum::Bool(*b),
+                Value::Char(c) => Datum::Char(*c),
+                Value::Sym(s) => Datum::Sym(s.clone()),
+                Value::Str(s) => Datum::Str(s.clone()),
+                Value::Nil => Datum::Nil,
+                _ => Datum::Unspec,
+            };
+            out.push_str(&d.to_string());
+        }
+        Value::Pair(_) => {
+            out.push('(');
+            let mut cur = v;
+            let mut first = true;
+            loop {
+                match cur {
+                    Value::Pair(p) => {
+                        if !first {
+                            out.push(' ');
+                        }
+                        first = false;
+                        fmt_value(&p.0, write, out);
+                        cur = &p.1;
+                    }
+                    Value::Nil => break,
+                    other => {
+                        out.push_str(" . ");
+                        fmt_value(other, write, out);
+                        break;
+                    }
+                }
+            }
+            out.push(')');
+        }
+        Value::Cell(c) => {
+            out.push_str("#<cell ");
+            fmt_value(&c.borrow(), write, out);
+            out.push('>');
+        }
+        Value::Proc(p) => {
+            out.push_str("#<procedure ");
+            out.push_str(&p.describe());
+            out.push('>');
+        }
+    }
+}
+
+/// `display`-style rendering (strings unquoted).
+pub fn display_string<P: ProcRepr>(v: &Value<P>) -> String {
+    let mut s = String::new();
+    fmt_value(v, false, &mut s);
+    s
+}
+
+/// `write`-style rendering (strings quoted).
+pub fn write_string<P: ProcRepr>(v: &Value<P>) -> String {
+    let mut s = String::new();
+    fmt_value(v, true, &mut s);
+    s
+}
+
+/// Errors raised by primitive application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrimError {
+    /// Wrong number of arguments.
+    BadArity {
+        /// The primitive.
+        prim: Prim,
+        /// What it wanted.
+        expected: Arity,
+        /// What it got.
+        got: usize,
+    },
+    /// Wrong argument type.
+    TypeError {
+        /// The primitive.
+        prim: Prim,
+        /// Expected type description.
+        expected: &'static str,
+        /// Rendering of the offending value.
+        got: String,
+    },
+    /// Division or modulus by zero.
+    DivisionByZero(Prim),
+    /// Arithmetic overflow of `i64`.
+    Overflow(Prim),
+    /// Index out of range (`list-ref`, `integer->char`).
+    OutOfRange(Prim, String),
+    /// The `error` primitive was called.
+    User(String),
+}
+
+impl fmt::Display for PrimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimError::BadArity {
+                prim,
+                expected,
+                got,
+            } => write!(f, "`{prim}` expects {expected} argument(s), got {got}"),
+            PrimError::TypeError {
+                prim,
+                expected,
+                got,
+            } => write!(f, "`{prim}` expects {expected}, got {got}"),
+            PrimError::DivisionByZero(p) => write!(f, "`{p}`: division by zero"),
+            PrimError::Overflow(p) => write!(f, "`{p}`: integer overflow"),
+            PrimError::OutOfRange(p, s) => write!(f, "`{p}`: out of range: {s}"),
+            PrimError::User(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrimError {}
+
+/// Identity (`eq?`/`eqv?`) comparison.
+pub fn eqv<P: ProcRepr>(a: &Value<P>, b: &Value<P>) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Char(x), Value::Char(y)) => x == y,
+        (Value::Sym(x), Value::Sym(y)) => x == y,
+        (Value::Nil, Value::Nil) => true,
+        (Value::Unspec, Value::Unspec) => true,
+        (Value::Str(x), Value::Str(y)) => Arc::ptr_eq(x, y),
+        (Value::Pair(x), Value::Pair(y)) => Rc::ptr_eq(x, y),
+        (Value::Cell(x), Value::Cell(y)) => Rc::ptr_eq(x, y),
+        (Value::Proc(x), Value::Proc(y)) => x.ptr_eq(y),
+        _ => false,
+    }
+}
+
+/// Structural (`equal?`) comparison.
+pub fn equal<P: ProcRepr>(a: &Value<P>, b: &Value<P>) -> bool {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Pair(x), Value::Pair(y)) => equal(&x.0, &y.0) && equal(&x.1, &y.1),
+        _ => eqv(a, b),
+    }
+}
+
+fn want_int<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<i64, PrimError> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        other => Err(PrimError::TypeError {
+            prim: p,
+            expected: "a number",
+            got: write_string(other),
+        }),
+    }
+}
+
+fn want_pair<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<&Rc<(Value<P>, Value<P>)>, PrimError> {
+    match v {
+        Value::Pair(pr) => Ok(pr),
+        other => Err(PrimError::TypeError {
+            prim: p,
+            expected: "a pair",
+            got: write_string(other),
+        }),
+    }
+}
+
+fn want_str<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<&Arc<str>, PrimError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(PrimError::TypeError {
+            prim: p,
+            expected: "a string",
+            got: write_string(other),
+        }),
+    }
+}
+
+fn bool_chain<P: ProcRepr>(
+    p: Prim,
+    args: &[Value<P>],
+    f: impl Fn(i64, i64) -> bool,
+) -> Result<Value<P>, PrimError> {
+    for w in args.windows(2) {
+        if !f(want_int(p, &w[0])?, want_int(p, &w[1])?) {
+            return Ok(Value::Bool(false));
+        }
+    }
+    Ok(Value::Bool(true))
+}
+
+fn checked(p: Prim, v: Option<i64>) -> Result<i64, PrimError> {
+    v.ok_or(PrimError::Overflow(p))
+}
+
+/// Applies a primitive to argument values.
+///
+/// `out` collects the output of `display`/`write`/`newline` so engines can
+/// direct it wherever they like.
+///
+/// # Errors
+///
+/// Returns a [`PrimError`] on arity or type mismatches, arithmetic faults,
+/// or when the `error` primitive is invoked.
+pub fn apply_prim<P: ProcRepr>(
+    p: Prim,
+    args: &[Value<P>],
+    out: &mut String,
+) -> Result<Value<P>, PrimError> {
+    if !p.arity().admits(args.len()) {
+        return Err(PrimError::BadArity {
+            prim: p,
+            expected: p.arity(),
+            got: args.len(),
+        });
+    }
+    let int = |v: &Value<P>| want_int(p, v);
+    Ok(match p {
+        Prim::Add => {
+            let mut acc: i64 = 0;
+            for a in args {
+                acc = acc.checked_add(int(a)?).ok_or(PrimError::Overflow(p))?;
+            }
+            Value::Int(acc)
+        }
+        Prim::Sub => {
+            let first = int(&args[0])?;
+            if args.len() == 1 {
+                Value::Int(first.checked_neg().ok_or(PrimError::Overflow(p))?)
+            } else {
+                let mut acc = first;
+                for a in &args[1..] {
+                    acc = acc.checked_sub(int(a)?).ok_or(PrimError::Overflow(p))?;
+                }
+                Value::Int(acc)
+            }
+        }
+        Prim::Mul => {
+            let mut acc: i64 = 1;
+            for a in args {
+                acc = acc.checked_mul(int(a)?).ok_or(PrimError::Overflow(p))?;
+            }
+            Value::Int(acc)
+        }
+        Prim::Quotient | Prim::Remainder | Prim::Modulo => {
+            let a = int(&args[0])?;
+            let b = int(&args[1])?;
+            if b == 0 {
+                return Err(PrimError::DivisionByZero(p));
+            }
+            let r = match p {
+                Prim::Quotient => a.checked_div(b),
+                Prim::Remainder => a.checked_rem(b),
+                Prim::Modulo => a.checked_rem_euclid(b).map(|r| {
+                    // `rem_euclid` is always nonnegative; Scheme `modulo`
+                    // takes the sign of the divisor.
+                    if b < 0 && r != 0 {
+                        r + b
+                    } else {
+                        r
+                    }
+                }),
+                _ => unreachable!(),
+            };
+            Value::Int(checked(p, r)?)
+        }
+        Prim::Abs => Value::Int(int(&args[0])?.checked_abs().ok_or(PrimError::Overflow(p))?),
+        Prim::Min => {
+            let mut acc = int(&args[0])?;
+            for a in &args[1..] {
+                acc = acc.min(int(a)?);
+            }
+            Value::Int(acc)
+        }
+        Prim::Max => {
+            let mut acc = int(&args[0])?;
+            for a in &args[1..] {
+                acc = acc.max(int(a)?);
+            }
+            Value::Int(acc)
+        }
+        Prim::NumEq => bool_chain(p, args, |a, b| a == b)?,
+        Prim::Lt => bool_chain(p, args, |a, b| a < b)?,
+        Prim::Le => bool_chain(p, args, |a, b| a <= b)?,
+        Prim::Gt => bool_chain(p, args, |a, b| a > b)?,
+        Prim::Ge => bool_chain(p, args, |a, b| a >= b)?,
+        Prim::ZeroP => Value::Bool(int(&args[0])? == 0),
+        Prim::EqP | Prim::EqvP => Value::Bool(eqv(&args[0], &args[1])),
+        Prim::EqualP => Value::Bool(equal(&args[0], &args[1])),
+        Prim::Not => Value::Bool(!args[0].is_truthy()),
+        Prim::Cons => Value::cons(args[0].clone(), args[1].clone()),
+        Prim::Car => want_pair(p, &args[0])?.0.clone(),
+        Prim::Cdr => want_pair(p, &args[0])?.1.clone(),
+        Prim::PairP => Value::Bool(matches!(args[0], Value::Pair(_))),
+        Prim::NullP => Value::Bool(matches!(args[0], Value::Nil)),
+        Prim::List => Value::list(args.to_vec()),
+        Prim::Append => {
+            let mut parts: Vec<Vec<Value<P>>> = Vec::new();
+            let last = args.last().cloned().unwrap_or(Value::Nil);
+            for a in &args[..args.len().saturating_sub(1)] {
+                let mut items = Vec::new();
+                let mut cur = a.clone();
+                loop {
+                    match cur {
+                        Value::Nil => break,
+                        Value::Pair(pr) => {
+                            items.push(pr.0.clone());
+                            cur = pr.1.clone();
+                        }
+                        other => {
+                            return Err(PrimError::TypeError {
+                                prim: p,
+                                expected: "a proper list",
+                                got: write_string(&other),
+                            })
+                        }
+                    }
+                }
+                parts.push(items);
+            }
+            let mut acc = last;
+            for items in parts.into_iter().rev() {
+                for v in items.into_iter().rev() {
+                    acc = Value::cons(v, acc);
+                }
+            }
+            acc
+        }
+        Prim::Length => {
+            let mut n: i64 = 0;
+            let mut cur = args[0].clone();
+            loop {
+                match cur {
+                    Value::Nil => break Value::Int(n),
+                    Value::Pair(pr) => {
+                        n += 1;
+                        cur = pr.1.clone();
+                    }
+                    other => {
+                        return Err(PrimError::TypeError {
+                            prim: p,
+                            expected: "a proper list",
+                            got: write_string(&other),
+                        })
+                    }
+                }
+            }
+        }
+        Prim::Reverse => {
+            let mut acc = Value::Nil;
+            let mut cur = args[0].clone();
+            loop {
+                match cur {
+                    Value::Nil => break acc,
+                    Value::Pair(pr) => {
+                        acc = Value::cons(pr.0.clone(), acc);
+                        cur = pr.1.clone();
+                    }
+                    other => {
+                        return Err(PrimError::TypeError {
+                            prim: p,
+                            expected: "a proper list",
+                            got: write_string(&other),
+                        })
+                    }
+                }
+            }
+        }
+        Prim::ListRef => {
+            let mut k = int(&args[1])?;
+            if k < 0 {
+                return Err(PrimError::OutOfRange(p, k.to_string()));
+            }
+            let mut cur = args[0].clone();
+            loop {
+                match cur {
+                    Value::Pair(pr) => {
+                        if k == 0 {
+                            break pr.0.clone();
+                        }
+                        k -= 1;
+                        cur = pr.1.clone();
+                    }
+                    other => {
+                        return Err(PrimError::OutOfRange(p, write_string(&other)));
+                    }
+                }
+            }
+        }
+        Prim::Memq | Prim::Member => {
+            let same: fn(&Value<P>, &Value<P>) -> bool =
+                if p == Prim::Memq { eqv } else { equal };
+            let mut cur = args[1].clone();
+            loop {
+                match cur {
+                    Value::Nil => break Value::Bool(false),
+                    Value::Pair(ref pr) => {
+                        if same(&args[0], &pr.0) {
+                            break cur.clone();
+                        }
+                        let next = pr.1.clone();
+                        cur = next;
+                    }
+                    other => {
+                        return Err(PrimError::TypeError {
+                            prim: p,
+                            expected: "a proper list",
+                            got: write_string(&other),
+                        })
+                    }
+                }
+            }
+        }
+        Prim::Assq | Prim::Assoc => {
+            let same: fn(&Value<P>, &Value<P>) -> bool =
+                if p == Prim::Assq { eqv } else { equal };
+            let mut cur = args[1].clone();
+            loop {
+                match cur {
+                    Value::Nil => break Value::Bool(false),
+                    Value::Pair(pr) => {
+                        if let Value::Pair(entry) = &pr.0 {
+                            if same(&args[0], &entry.0) {
+                                break pr.0.clone();
+                            }
+                        }
+                        cur = pr.1.clone();
+                    }
+                    other => {
+                        return Err(PrimError::TypeError {
+                            prim: p,
+                            expected: "an association list",
+                            got: write_string(&other),
+                        })
+                    }
+                }
+            }
+        }
+        Prim::SymbolP => Value::Bool(matches!(args[0], Value::Sym(_))),
+        Prim::NumberP => Value::Bool(matches!(args[0], Value::Int(_))),
+        Prim::StringP => Value::Bool(matches!(args[0], Value::Str(_))),
+        Prim::BooleanP => Value::Bool(matches!(args[0], Value::Bool(_))),
+        Prim::CharP => Value::Bool(matches!(args[0], Value::Char(_))),
+        Prim::ProcedureP => Value::Bool(matches!(args[0], Value::Proc(_))),
+        Prim::ListP => {
+            let mut cur = args[0].clone();
+            loop {
+                match cur {
+                    Value::Nil => break Value::Bool(true),
+                    Value::Pair(pr) => cur = pr.1.clone(),
+                    _ => break Value::Bool(false),
+                }
+            }
+        }
+        Prim::SymbolToString => match &args[0] {
+            Value::Sym(s) => Value::Str(Arc::from(s.as_str())),
+            other => {
+                return Err(PrimError::TypeError {
+                    prim: p,
+                    expected: "a symbol",
+                    got: write_string(other),
+                })
+            }
+        },
+        Prim::StringToSymbol => Value::Sym(Symbol::new(want_str(p, &args[0])?)),
+        Prim::StringAppend => {
+            let mut s = String::new();
+            for a in args {
+                s.push_str(want_str(p, a)?);
+            }
+            Value::Str(Arc::from(s.as_str()))
+        }
+        Prim::StringLength => Value::Int(want_str(p, &args[0])?.chars().count() as i64),
+        Prim::NumberToString => Value::Str(Arc::from(int(&args[0])?.to_string().as_str())),
+        Prim::StringEqualP => {
+            Value::Bool(want_str(p, &args[0])? == want_str(p, &args[1])?)
+        }
+        Prim::CharToInteger => match &args[0] {
+            Value::Char(c) => Value::Int(*c as i64),
+            other => {
+                return Err(PrimError::TypeError {
+                    prim: p,
+                    expected: "a char",
+                    got: write_string(other),
+                })
+            }
+        },
+        Prim::IntegerToChar => {
+            let n = int(&args[0])?;
+            let c = u32::try_from(n)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| PrimError::OutOfRange(p, n.to_string()))?;
+            Value::Char(c)
+        }
+        Prim::Display => {
+            out.push_str(&display_string(&args[0]));
+            Value::Unspec
+        }
+        Prim::Write => {
+            out.push_str(&write_string(&args[0]));
+            Value::Unspec
+        }
+        Prim::Newline => {
+            out.push('\n');
+            Value::Unspec
+        }
+        Prim::Error => {
+            let mut msg = display_string(&args[0]);
+            for a in &args[1..] {
+                msg.push(' ');
+                msg.push_str(&write_string(a));
+            }
+            return Err(PrimError::User(msg));
+        }
+        Prim::BoxNew => Value::Cell(Rc::new(RefCell::new(args[0].clone()))),
+        Prim::BoxRef => match &args[0] {
+            Value::Cell(c) => c.borrow().clone(),
+            other => {
+                return Err(PrimError::TypeError {
+                    prim: p,
+                    expected: "a cell",
+                    got: write_string(other),
+                })
+            }
+        },
+        Prim::BoxSet => match &args[0] {
+            Value::Cell(c) => {
+                *c.borrow_mut() = args[1].clone();
+                Value::Unspec
+            }
+            other => {
+                return Err(PrimError::TypeError {
+                    prim: p,
+                    expected: "a cell",
+                    got: write_string(other),
+                })
+            }
+        },
+    })
+}
+
+/// Applies a *pure* primitive to first-order data, as the specializer does
+/// with all-static arguments.
+///
+/// # Errors
+///
+/// Fails like [`apply_prim`]; additionally returns a `TypeError`-flavored
+/// error if called on an impure primitive (callers should check
+/// [`Prim::is_pure`] first).
+pub fn apply_prim_datum(p: Prim, args: &[Datum]) -> Result<Datum, PrimError> {
+    let vals: Vec<Value<NoProc>> = args.iter().map(Value::from).collect();
+    let mut out = String::new();
+    let v = apply_prim(p, &vals, &mut out)?;
+    Ok(v.to_datum().expect("NoProc values are always first-order"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_one;
+
+    type V = Value<NoProc>;
+
+    fn run(p: Prim, args: &[V]) -> V {
+        let mut out = String::new();
+        apply_prim(p, args, &mut out).expect("prim ok")
+    }
+
+    fn run_err(p: Prim, args: &[V]) -> PrimError {
+        let mut out = String::new();
+        apply_prim(p, args, &mut out).expect_err("prim should fail")
+    }
+
+    fn d(src: &str) -> Datum {
+        read_one(src).unwrap()
+    }
+
+    fn v(src: &str) -> V {
+        Value::from(&d(src))
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run(Prim::Add, &[]), Value::Int(0));
+        assert_eq!(run(Prim::Add, &[v("1"), v("2"), v("3")]), Value::Int(6));
+        assert_eq!(run(Prim::Sub, &[v("5")]), Value::Int(-5));
+        assert_eq!(run(Prim::Sub, &[v("5"), v("2"), v("1")]), Value::Int(2));
+        assert_eq!(run(Prim::Mul, &[v("4"), v("5")]), Value::Int(20));
+        assert_eq!(run(Prim::Quotient, &[v("7"), v("2")]), Value::Int(3));
+        assert_eq!(run(Prim::Remainder, &[v("-7"), v("2")]), Value::Int(-1));
+        assert_eq!(run(Prim::Modulo, &[v("-7"), v("2")]), Value::Int(1));
+        assert_eq!(run(Prim::Modulo, &[v("7"), v("-2")]), Value::Int(-1));
+        assert_eq!(run(Prim::Abs, &[v("-3")]), Value::Int(3));
+        assert_eq!(run(Prim::Min, &[v("3"), v("1"), v("2")]), Value::Int(1));
+        assert_eq!(run(Prim::Max, &[v("3"), v("1"), v("2")]), Value::Int(3));
+    }
+
+    #[test]
+    fn arithmetic_faults() {
+        assert_eq!(
+            run_err(Prim::Quotient, &[v("1"), v("0")]),
+            PrimError::DivisionByZero(Prim::Quotient)
+        );
+        assert_eq!(
+            run_err(Prim::Add, &[Value::Int(i64::MAX), v("1")]),
+            PrimError::Overflow(Prim::Add)
+        );
+        assert!(matches!(
+            run_err(Prim::Add, &[v("x")]),
+            PrimError::TypeError { .. }
+        ));
+        assert!(matches!(
+            run_err(Prim::Car, &[v("1"), v("2")]),
+            PrimError::BadArity { .. }
+        ));
+    }
+
+    #[test]
+    fn comparisons_chain() {
+        assert_eq!(run(Prim::Lt, &[v("1"), v("2"), v("3")]), Value::Bool(true));
+        assert_eq!(run(Prim::Lt, &[v("1"), v("3"), v("2")]), Value::Bool(false));
+        assert_eq!(run(Prim::NumEq, &[v("2"), v("2"), v("2")]), Value::Bool(true));
+        assert_eq!(run(Prim::ZeroP, &[v("0")]), Value::Bool(true));
+    }
+
+    #[test]
+    fn pairs_and_lists() {
+        assert_eq!(run(Prim::Cons, &[v("1"), v("2")]), v("(1 . 2)"));
+        assert_eq!(run(Prim::Car, &[v("(1 2)")]), v("1"));
+        assert_eq!(run(Prim::Cdr, &[v("(1 2)")]), v("(2)"));
+        assert_eq!(run(Prim::Length, &[v("(a b c)")]), Value::Int(3));
+        assert_eq!(run(Prim::Reverse, &[v("(1 2 3)")]), v("(3 2 1)"));
+        assert_eq!(run(Prim::Append, &[v("(1 2)"), v("(3)"), v("(4)")]), v("(1 2 3 4)"));
+        assert_eq!(run(Prim::Append, &[]), Value::Nil);
+        assert_eq!(run(Prim::ListRef, &[v("(a b c)"), v("1")]), v("b"));
+        assert_eq!(run(Prim::List, &[v("1"), v("2")]), v("(1 2)"));
+        assert!(matches!(run_err(Prim::Car, &[v("5")]), PrimError::TypeError { .. }));
+        assert!(matches!(
+            run_err(Prim::ListRef, &[v("(a)"), v("3")]),
+            PrimError::OutOfRange(..)
+        ));
+    }
+
+    #[test]
+    fn searching() {
+        assert_eq!(run(Prim::Memq, &[v("b"), v("(a b c)")]), v("(b c)"));
+        assert_eq!(run(Prim::Memq, &[v("x"), v("(a b)")]), Value::Bool(false));
+        assert_eq!(run(Prim::Member, &[v("(1)"), v("((0) (1))")]), v("((1))"));
+        assert_eq!(run(Prim::Assq, &[v("b"), v("((a 1) (b 2))")]), v("(b 2)"));
+        assert_eq!(run(Prim::Assq, &[v("z"), v("((a 1))")]), Value::Bool(false));
+        assert_eq!(run(Prim::Assoc, &[v("(k)"), v("(((k) 1))")]), v("((k) 1)"));
+    }
+
+    #[test]
+    fn equality_flavours() {
+        assert_eq!(run(Prim::EqP, &[v("a"), v("a")]), Value::Bool(true));
+        assert_eq!(run(Prim::EqP, &[v("(1)"), v("(1)")]), Value::Bool(false));
+        assert_eq!(run(Prim::EqualP, &[v("(1 (2))"), v("(1 (2))")]), Value::Bool(true));
+        let shared = v("(1)");
+        assert_eq!(run(Prim::EqP, &[shared.clone(), shared]), Value::Bool(true));
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(run(Prim::SymbolP, &[v("a")]), Value::Bool(true));
+        assert_eq!(run(Prim::NumberP, &[v("1")]), Value::Bool(true));
+        assert_eq!(run(Prim::StringP, &[v("\"s\"")]), Value::Bool(true));
+        assert_eq!(run(Prim::BooleanP, &[v("#f")]), Value::Bool(true));
+        assert_eq!(run(Prim::CharP, &[v("#\\a")]), Value::Bool(true));
+        assert_eq!(run(Prim::ListP, &[v("(1 2)")]), Value::Bool(true));
+        assert_eq!(run(Prim::ListP, &[run(Prim::Cons, &[v("1"), v("2")])]), Value::Bool(false));
+        assert_eq!(run(Prim::NullP, &[v("()")]), Value::Bool(true));
+        assert_eq!(run(Prim::Not, &[v("#f")]), Value::Bool(true));
+        assert_eq!(run(Prim::Not, &[v("0")]), Value::Bool(false));
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            run(Prim::StringAppend, &[v("\"a\""), v("\"bc\"")]),
+            v("\"abc\"")
+        );
+        assert_eq!(run(Prim::StringLength, &[v("\"abc\"")]), Value::Int(3));
+        assert_eq!(run(Prim::SymbolToString, &[v("abc")]), v("\"abc\""));
+        assert_eq!(run(Prim::StringToSymbol, &[v("\"abc\"")]), v("abc"));
+        assert_eq!(run(Prim::NumberToString, &[v("42")]), v("\"42\""));
+        assert_eq!(run(Prim::StringEqualP, &[v("\"a\""), v("\"a\"")]), Value::Bool(true));
+        assert_eq!(run(Prim::CharToInteger, &[v("#\\a")]), Value::Int(97));
+        assert_eq!(run(Prim::IntegerToChar, &[v("97")]), v("#\\a"));
+        assert!(matches!(
+            run_err(Prim::IntegerToChar, &[v("-1")]),
+            PrimError::OutOfRange(..)
+        ));
+    }
+
+    #[test]
+    fn io_collects_output() {
+        let mut out = String::new();
+        apply_prim(Prim::Display, &[v("\"hi\"")], &mut out).unwrap();
+        apply_prim(Prim::Newline, &[] as &[V], &mut out).unwrap();
+        apply_prim(Prim::Write, &[v("\"hi\"")], &mut out).unwrap();
+        assert_eq!(out, "hi\n\"hi\"");
+    }
+
+    #[test]
+    fn error_prim_raises() {
+        let e = run_err(Prim::Error, &[v("\"bad\""), v("7")]);
+        assert_eq!(e, PrimError::User("bad 7".to_string()));
+    }
+
+    #[test]
+    fn boxes() {
+        let b = run(Prim::BoxNew, &[v("1")]);
+        assert_eq!(run(Prim::BoxRef, &[b.clone()]), v("1"));
+        run(Prim::BoxSet, &[b.clone(), v("2")]);
+        assert_eq!(run(Prim::BoxRef, &[b]), v("2"));
+    }
+
+    #[test]
+    fn datum_value_roundtrip() {
+        for src in ["()", "5", "#t", "#\\x", "\"s\"", "sym", "(1 (2 . 3) #f)"] {
+            let dd = d(src);
+            let vv: V = Value::from(&dd);
+            assert_eq!(vv.to_datum(), Some(dd));
+        }
+    }
+
+    #[test]
+    fn apply_prim_datum_works() {
+        let r = apply_prim_datum(Prim::Add, &[d("1"), d("2")]).unwrap();
+        assert_eq!(r, d("3"));
+    }
+
+    #[test]
+    fn display_vs_write() {
+        assert_eq!(display_string(&v("\"hi\"")), "hi");
+        assert_eq!(write_string(&v("\"hi\"")), "\"hi\"");
+        assert_eq!(display_string(&v("(1 \"a\" . 2)")), "(1 a . 2)");
+    }
+}

@@ -1,0 +1,276 @@
+//! Random-program generators for property-based testing.
+//!
+//! The central oracle of the workspace is *engine agreement*: the
+//! tree-walking interpreter, the stock compiler + VM, and the specializer
+//! must compute the same function. This crate generates random but
+//! well-scoped Core Scheme programs (and random data) to drive those
+//! comparisons.
+//!
+//! Generation happens in two phases: first a *sketch* tree with de
+//! Bruijn-ish variable indices, then a resolution pass that maps indices to
+//! the variables actually in scope (or to literals when the scope is
+//! empty), guaranteeing closed programs with unique binders.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use two4one_syntax::cs::{Def, Expr, Lambda, Program};
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+
+/// An expression sketch: variables are indices into the enclosing scope.
+#[derive(Debug, Clone)]
+pub enum Sketch {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// A variable, resolved modulo the scope size.
+    Var(usize),
+    /// Arithmetic on two subterms.
+    Arith(Prim, Box<Sketch>, Box<Sketch>),
+    /// Comparison producing a boolean.
+    Cmp(Prim, Box<Sketch>, Box<Sketch>),
+    /// Conditional.
+    If(Box<Sketch>, Box<Sketch>, Box<Sketch>),
+    /// Let binding.
+    Let(Box<Sketch>, Box<Sketch>),
+    /// Immediately applied unary lambda (keeps arities trivially correct).
+    ApplyLambda(Box<Sketch>, Box<Sketch>),
+    /// A lambda passed to a higher-order global.
+    CallGlobal(usize, Box<Sketch>, Box<Sketch>),
+    /// Pair construction and access (kept total by construction/selection
+    /// pairing).
+    ConsCar(Box<Sketch>, Box<Sketch>),
+}
+
+/// Strategy for expression sketches.
+pub fn arb_sketch() -> impl Strategy<Value = Sketch> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Sketch::Int),
+        any::<bool>().prop_map(Sketch::Bool),
+        (0usize..8).prop_map(Sketch::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just(Prim::Add), Just(Prim::Sub), Just(Prim::Mul)],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(p, a, b)| Sketch::Arith(p, Box::new(a), Box::new(b))),
+            (
+                prop_oneof![
+                    Just(Prim::Lt),
+                    Just(Prim::Le),
+                    Just(Prim::NumEq),
+                    Just(Prim::EqualP)
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(p, a, b)| Sketch::Cmp(p, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(t, c, a)| {
+                Sketch::If(Box::new(t), Box::new(c), Box::new(a))
+            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(r, b)| Sketch::Let(Box::new(r), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, a)| Sketch::ApplyLambda(Box::new(b), Box::new(a))),
+            (0usize..2, inner.clone(), inner.clone()).prop_map(|(g, a, b)| {
+                Sketch::CallGlobal(g, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Sketch::ConsCar(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Names and arities of the fixed global functions every generated program
+/// defines.
+const GLOBALS: &[(&str, usize)] = &[("gadd", 2), ("gsel", 2)];
+
+struct Resolver {
+    counter: u64,
+}
+
+impl Resolver {
+    fn fresh(&mut self) -> Symbol {
+        self.counter += 1;
+        Symbol::new(&format!("v%{}", self.counter))
+    }
+
+    fn resolve(&mut self, s: &Sketch, scope: &[Symbol]) -> Expr {
+        match s {
+            Sketch::Int(n) => Expr::Const(Datum::Int(*n)),
+            Sketch::Bool(b) => Expr::Const(Datum::Bool(*b)),
+            Sketch::Var(i) => {
+                if scope.is_empty() {
+                    Expr::Const(Datum::Int(*i as i64))
+                } else {
+                    Expr::Var(scope[i % scope.len()].clone())
+                }
+            }
+            Sketch::Arith(p, a, b) => Expr::PrimApp(
+                *p,
+                vec![self.resolve(a, scope), self.resolve(b, scope)],
+            ),
+            Sketch::Cmp(p, a, b) => Expr::PrimApp(
+                *p,
+                vec![self.resolve(a, scope), self.resolve(b, scope)],
+            ),
+            Sketch::If(t, c, a) => Expr::if_(
+                self.resolve(t, scope),
+                self.resolve(c, scope),
+                self.resolve(a, scope),
+            ),
+            Sketch::Let(r, b) => {
+                let x = self.fresh();
+                let rhs = self.resolve(r, scope);
+                let mut inner = scope.to_vec();
+                inner.push(x.clone());
+                Expr::let_(x, rhs, self.resolve(b, &inner))
+            }
+            Sketch::ApplyLambda(body, arg) => {
+                let x = self.fresh();
+                let mut inner = scope.to_vec();
+                inner.push(x.clone());
+                let lam = Expr::Lambda(Arc::new(Lambda {
+                    name: Symbol::new("anon"),
+                    params: vec![x],
+                    body: self.resolve(body, &inner),
+                }));
+                Expr::app(lam, vec![self.resolve(arg, scope)])
+            }
+            Sketch::CallGlobal(g, a, b) => {
+                let (name, arity) = GLOBALS[g % GLOBALS.len()];
+                debug_assert_eq!(arity, 2);
+                Expr::app(
+                    Expr::Var(Symbol::new(name)),
+                    vec![self.resolve(a, scope), self.resolve(b, scope)],
+                )
+            }
+            Sketch::ConsCar(a, b) => {
+                // (car (cons a b)) — exercises pairs while staying total.
+                let pair = Expr::PrimApp(
+                    Prim::Cons,
+                    vec![self.resolve(a, scope), self.resolve(b, scope)],
+                );
+                Expr::PrimApp(Prim::Car, vec![pair])
+            }
+        }
+    }
+}
+
+/// Builds a closed program from sketches: fixed library globals plus a
+/// two-parameter `main` whose body is the resolved sketch.
+pub fn program_from_sketch(main_body: &Sketch, gadd_body: &Sketch) -> Program {
+    let mut r = Resolver { counter: 0 };
+    let a = Symbol::new("a%main");
+    let b = Symbol::new("b%main");
+    let main = Def {
+        name: Symbol::new("main"),
+        params: vec![a.clone(), b.clone()],
+        body: r.resolve(main_body, &[a, b]),
+    };
+    let ga = Symbol::new("a%gadd");
+    let gb = Symbol::new("b%gadd");
+    let gadd = Def {
+        name: Symbol::new("gadd"),
+        params: vec![ga.clone(), gb.clone()],
+        body: r.resolve(gadd_body, &[ga, gb]),
+    };
+    // gsel: a higher-orderish selector on plain values.
+    let sa = Symbol::new("a%gsel");
+    let sb = Symbol::new("b%gsel");
+    let gsel = Def {
+        name: Symbol::new("gsel"),
+        params: vec![sa.clone(), sb.clone()],
+        body: Expr::if_(
+            Expr::PrimApp(Prim::Lt, vec![Expr::Var(sa.clone()), Expr::Var(sb.clone())]),
+            Expr::Var(sa),
+            Expr::Var(sb),
+        ),
+    };
+    Program {
+        defs: vec![main, gadd, gsel],
+    }
+}
+
+/// Strategy producing whole closed programs.
+pub fn arb_program() -> impl Strategy<Value = Program> {
+    (arb_sketch(), arb_sketch())
+        .prop_map(|(m, g)| program_from_sketch(&m, &g))
+}
+
+/// Strategy for random first-order data (for reader/printer round-trips).
+pub fn arb_datum() -> impl Strategy<Value = Datum> {
+    let leaf = prop_oneof![
+        Just(Datum::Nil),
+        any::<bool>().prop_map(Datum::Bool),
+        (-1000i64..1000).prop_map(Datum::Int),
+        "[a-z][a-z0-9!?<>=+*-]{0,6}".prop_map(|s| Datum::sym(&s)),
+        "[ -~]{0,8}".prop_map(|s| Datum::string(&s)),
+        prop_oneof![Just('a'), Just(' '), Just('\n'), Just('λ')].prop_map(Datum::Char),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Datum::cons(a, b)),
+            proptest::collection::vec(inner, 0..4).prop_map(Datum::list),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn generated_programs_are_closed(p in arb_program()) {
+            prop_assert!(p.unbound_vars().is_empty(), "{:?}", p.unbound_vars());
+        }
+
+        #[test]
+        fn generated_programs_have_unique_binders(p in arb_program()) {
+            // Collect all binders; uniqueness is what BTA requires.
+            fn binders(e: &Expr, out: &mut Vec<Symbol>) {
+                match e {
+                    Expr::Lambda(l) => {
+                        out.extend(l.params.iter().cloned());
+                        binders(&l.body, out);
+                    }
+                    Expr::Let(x, r, b) => {
+                        out.push(x.clone());
+                        binders(r, out);
+                        binders(b, out);
+                    }
+                    Expr::If(a, b, c) => {
+                        binders(a, out);
+                        binders(b, out);
+                        binders(c, out);
+                    }
+                    Expr::App(f, args) => {
+                        binders(f, out);
+                        args.iter().for_each(|a| binders(a, out));
+                    }
+                    Expr::PrimApp(_, args) => args.iter().for_each(|a| binders(a, out)),
+                    _ => {}
+                }
+            }
+            let mut all = Vec::new();
+            for d in &p.defs {
+                all.extend(d.params.iter().cloned());
+                binders(&d.body, &mut all);
+            }
+            let set: std::collections::HashSet<_> = all.iter().collect();
+            prop_assert_eq!(set.len(), all.len());
+        }
+
+        #[test]
+        fn datum_strategy_is_printable(d in arb_datum()) {
+            let _ = d.to_string();
+        }
+    }
+}

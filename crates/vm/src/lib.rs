@@ -1,0 +1,276 @@
+//! A byte-code virtual machine in the style of the Scheme 48 VM.
+//!
+//! "The output of the compiler is an abstract representation of the byte
+//! code for the Scheme 48 virtual machine, essentially a stack machine with
+//! direct support for closures and continuations" (Sec. 6.1). This crate
+//! provides:
+//!
+//! * the [`Instr`] instruction set and [`Template`] code objects;
+//! * [`Asm`], an assembler exposing exactly the constructor vocabulary the
+//!   paper's compilators use — `sequentially` (sequential emission),
+//!   `make-label`, `attach-label`, and `instruction-using-label`
+//!   (backpatched jumps);
+//! * the [`Machine`] byte-code interpreter with flat closures and proper
+//!   tail calls;
+//! * [`Image`], a linked set of templates forming a runnable program.
+//!
+//! Closures are *flat*: a closure captures the values of its free
+//! variables; the compile-time environment resolves variables to argument
+//! slots, `let` slots, captured slots, or globals.
+
+pub mod asm;
+pub mod machine;
+pub mod objfile;
+pub mod peephole;
+
+pub use asm::{Asm, AsmError, Label};
+pub use machine::{Machine, VmError};
+pub use objfile::{decode as decode_image, encode as encode_image, ObjError};
+pub use peephole::{optimize_image, optimize_template};
+
+use std::fmt;
+use std::rc::Rc;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+use two4one_syntax::value::ProcRepr;
+
+/// A byte-code instruction.
+///
+/// `val` is the accumulator; `push` moves it to the evaluation stack;
+/// `bind` appends it to the current frame's locals (a `let`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Load `consts[i]` into `val`.
+    Const(u16),
+    /// Load the value of global `globals[i]` into `val`.
+    Global(u16),
+    /// Load local slot `i` (arguments first, then `let` bindings).
+    Local(u16),
+    /// Load captured slot `i` of the running closure.
+    Captured(u16),
+    /// Push `val` onto the evaluation stack.
+    Push,
+    /// Append `val` to the current frame's locals (enter a `let`).
+    Bind,
+    /// Truncate the current frame's locals to `n` slots (leave the scope of
+    /// branch-local `let`s; used only by the generic compiler, which must
+    /// merge control paths — the ANF compiler never needs it).
+    Trim(u16),
+    /// Pop `nfree` values into a new closure over `templates[template]`.
+    MakeClosure {
+        /// Index into the template table.
+        template: u16,
+        /// Number of captured values to pop.
+        nfree: u16,
+    },
+    /// Call the procedure in `val` with `nargs` stacked arguments.
+    Call {
+        /// Argument count.
+        nargs: u8,
+    },
+    /// Tail-call: like [`Instr::Call`] but replaces the current frame.
+    TailCall {
+        /// Argument count.
+        nargs: u8,
+    },
+    /// Return `val` to the caller.
+    Return,
+    /// Unconditional jump to an absolute code index.
+    Jump(u32),
+    /// Jump if `val` is `#f`.
+    JumpIfFalse(u32),
+    /// Apply a primitive to `nargs` stacked arguments, result in `val`.
+    Prim {
+        /// The primitive.
+        prim: Prim,
+        /// Argument count.
+        nargs: u8,
+    },
+}
+
+/// A code object: instructions plus the constant, global, and sub-template
+/// tables (Scheme 48 keeps these in the template too).
+pub struct Template {
+    /// Name for diagnostics and disassembly.
+    pub name: Symbol,
+    /// Number of parameters.
+    pub arity: u8,
+    /// Number of captured free variables the closure must carry.
+    pub nfree: u16,
+    /// The code.
+    pub code: Vec<Instr>,
+    /// Constant table (as data; converted to values at load time).
+    pub consts: Vec<Datum>,
+    /// Global-name table.
+    pub globals: Vec<Symbol>,
+    /// Sub-templates for nested lambdas.
+    pub templates: Vec<Rc<Template>>,
+}
+
+impl fmt::Debug for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#<template {} arity={}>", self.name, self.arity)
+    }
+}
+
+impl PartialEq for Template {
+    /// Structural equality on code and tables — used by the fusion
+    /// equivalence tests (compiled residual source vs. directly generated
+    /// object code).
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.nfree == other.nfree
+            && self.code == other.code
+            && self.consts == other.consts
+            && self.globals == other.globals
+            && self.templates == other.templates
+    }
+}
+
+impl Template {
+    /// Total instruction count including sub-templates.
+    pub fn code_size(&self) -> usize {
+        self.code.len()
+            + self
+                .templates
+                .iter()
+                .map(|t| t.code_size())
+                .sum::<usize>()
+    }
+
+    /// Renders a human-readable listing of this template and its children.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        self.dis_into(&mut out, 0);
+        out
+    }
+
+    fn dis_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&format!(
+            "{pad}template {} (arity {}, {} free)\n",
+            self.name, self.arity, self.nfree
+        ));
+        for (i, ins) in self.code.iter().enumerate() {
+            let text = match ins {
+                Instr::Const(k) => format!("const {}", self.consts[*k as usize]),
+                Instr::Global(g) => format!("global {}", self.globals[*g as usize]),
+                Instr::Local(i) => format!("local {i}"),
+                Instr::Captured(i) => format!("captured {i}"),
+                Instr::Push => "push".into(),
+                Instr::Bind => "bind".into(),
+                Instr::Trim(n) => format!("trim {n}"),
+                Instr::MakeClosure { template, nfree } => {
+                    format!(
+                        "make-closure {} ({} free)",
+                        self.templates[*template as usize].name, nfree
+                    )
+                }
+                Instr::Call { nargs } => format!("call {nargs}"),
+                Instr::TailCall { nargs } => format!("tail-call {nargs}"),
+                Instr::Return => "return".into(),
+                Instr::Jump(t) => format!("jump {t}"),
+                Instr::JumpIfFalse(t) => format!("jump-if-false {t}"),
+                Instr::Prim { prim, nargs } => format!("prim {prim}/{nargs}"),
+            };
+            out.push_str(&format!("{pad}  {i:4}  {text}\n"));
+        }
+        for t in &self.templates {
+            t.dis_into(out, indent + 1);
+        }
+    }
+}
+
+/// A closure: a template plus the values of its free variables.
+pub struct Closure {
+    /// The code.
+    pub template: Rc<Template>,
+    /// Captured values (flat closure representation).
+    pub captured: Vec<Value>,
+}
+
+/// Procedure representation of the VM.
+#[derive(Clone)]
+pub struct Proc(pub Rc<Closure>);
+
+impl ProcRepr for Proc {
+    fn ptr_eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    fn describe(&self) -> String {
+        self.0.template.name.to_string()
+    }
+}
+
+/// VM values.
+pub type Value = two4one_syntax::value::Value<Proc>;
+
+/// A linked program: named templates plus an entry point.
+///
+/// Loading an image into a [`Machine`] instantiates every top-level
+/// template as a zero-capture closure in the global table.
+#[derive(Debug)]
+pub struct Image {
+    /// Top-level templates, in definition order (entry first for residual
+    /// programs).
+    pub templates: Vec<(Symbol, Rc<Template>)>,
+    /// Name of the entry definition.
+    pub entry: Symbol,
+}
+
+impl Image {
+    /// Looks up a template by name.
+    pub fn template(&self, name: &Symbol) -> Option<&Rc<Template>> {
+        self.templates.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Total code size in instructions.
+    pub fn code_size(&self) -> usize {
+        self.templates.iter().map(|(_, t)| t.code_size()).sum()
+    }
+
+    /// Disassembles the whole image.
+    pub fn disassemble(&self) -> String {
+        let mut s = String::new();
+        for (name, t) in &self.templates {
+            s.push_str(&format!(";; {name}\n"));
+            s.push_str(&t.disassemble());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_debug_and_eq() {
+        let t1 = Template {
+            name: Symbol::new("f"),
+            arity: 1,
+            nfree: 0,
+            code: vec![Instr::Local(0), Instr::Return],
+            consts: vec![],
+            globals: vec![],
+            templates: vec![],
+        };
+        let t2 = Template {
+            name: Symbol::new("other-name"),
+            arity: 1,
+            nfree: 0,
+            code: vec![Instr::Local(0), Instr::Return],
+            consts: vec![],
+            globals: vec![],
+            templates: vec![],
+        };
+        // Equality ignores names (gensym counters may differ).
+        assert_eq!(t1, t2);
+        assert!(format!("{t1:?}").contains("template"));
+        assert_eq!(t1.code_size(), 2);
+        assert!(t1.disassemble().contains("local 0"));
+    }
+}

@@ -1,0 +1,539 @@
+//! The byte-code interpreter.
+
+use crate::{Closure, Image, Instr, Proc, Template, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use two4one_syntax::symbol::Symbol;
+use two4one_syntax::value::{apply_prim, write_string, PrimError};
+
+/// Runtime errors of the VM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Reference to an undefined global.
+    UnknownGlobal(Symbol),
+    /// Application of a non-procedure.
+    NotAProcedure(String),
+    /// Wrong number of arguments.
+    BadArity {
+        /// Callee name.
+        name: Symbol,
+        /// Expected parameter count.
+        expected: u8,
+        /// Actual argument count.
+        got: u8,
+    },
+    /// A primitive failed.
+    Prim(PrimError),
+    /// Fuel limit reached.
+    FuelExhausted,
+    /// Internal invariant violation (a compiler or VM bug).
+    Internal(&'static str),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnknownGlobal(g) => write!(f, "undefined global `{g}`"),
+            VmError::NotAProcedure(v) => write!(f, "attempt to apply non-procedure {v}"),
+            VmError::BadArity {
+                name,
+                expected,
+                got,
+            } => write!(f, "`{name}` expects {expected} argument(s), got {got}"),
+            VmError::Prim(e) => write!(f, "{e}"),
+            VmError::FuelExhausted => write!(f, "fuel exhausted"),
+            VmError::Internal(m) => write!(f, "internal VM error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Prim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PrimError> for VmError {
+    fn from(e: PrimError) -> Self {
+        VmError::Prim(e)
+    }
+}
+
+struct Frame {
+    closure: Rc<Closure>,
+    pc: usize,
+    locals: Vec<Value>,
+    stack_base: usize,
+}
+
+/// The virtual machine: global table, evaluation stack, frame stack, and
+/// the `val` accumulator.
+pub struct Machine {
+    globals: HashMap<Symbol, Value>,
+    stack: Vec<Value>,
+    frames: Vec<Frame>,
+    val: Value,
+    /// Output of `display`/`write`/`newline`.
+    pub output: String,
+    fuel: Option<u64>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::empty()
+    }
+}
+
+impl Machine {
+    /// A machine with an empty global table.
+    pub fn empty() -> Self {
+        Machine {
+            globals: HashMap::new(),
+            stack: Vec::new(),
+            frames: Vec::new(),
+            val: Value::Unspec,
+            output: String::new(),
+            fuel: None,
+        }
+    }
+
+    /// Loads an image: every top-level template becomes a zero-capture
+    /// closure bound in the global table.
+    pub fn load(image: &Image) -> Self {
+        let mut m = Machine::empty();
+        for (name, t) in &image.templates {
+            m.define_template(name.clone(), t.clone());
+        }
+        m
+    }
+
+    /// Limits execution to `fuel` instructions.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Defines a global variable.
+    pub fn define(&mut self, name: Symbol, value: Value) {
+        self.globals.insert(name, value);
+    }
+
+    /// Defines a global procedure from a top-level (zero-capture) template.
+    pub fn define_template(&mut self, name: Symbol, t: Rc<Template>) {
+        debug_assert_eq!(t.nfree, 0, "top-level template must capture nothing");
+        let clo = Value::Proc(Proc(Rc::new(Closure {
+            template: t,
+            captured: Vec::new(),
+        })));
+        self.define(name, clo);
+    }
+
+    /// Reads a global.
+    pub fn global(&self, name: &Symbol) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// Calls the global procedure `name` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime fault.
+    pub fn call_global(&mut self, name: &Symbol, args: Vec<Value>) -> Result<Value, VmError> {
+        let f = self
+            .globals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VmError::UnknownGlobal(name.clone()))?;
+        self.call_value(f, args)
+    }
+
+    /// Calls an arbitrary procedure value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on any runtime fault.
+    pub fn call_value(&mut self, f: Value, args: Vec<Value>) -> Result<Value, VmError> {
+        let depth = self.frames.len();
+        let base = self.stack.len();
+        self.stack.extend(args);
+        self.val = f;
+        let nargs = u8::try_from(self.stack.len() - base)
+            .map_err(|_| VmError::Internal("too many arguments"))?;
+        self.enter_call(nargs, false)?;
+        let result = self.run(depth);
+        if result.is_err() {
+            // Unwind so the machine stays usable after an error.
+            self.frames.truncate(depth);
+            self.stack.truncate(base);
+        }
+        result
+    }
+
+    fn tick(&mut self) -> Result<(), VmError> {
+        if let Some(f) = &mut self.fuel {
+            if *f == 0 {
+                return Err(VmError::FuelExhausted);
+            }
+            *f -= 1;
+        }
+        Ok(())
+    }
+
+    /// Begins a call: `val` holds the procedure, the top `nargs` stack
+    /// slots hold the arguments.
+    fn enter_call(&mut self, nargs: u8, tail: bool) -> Result<(), VmError> {
+        let proc = match std::mem::replace(&mut self.val, Value::Unspec) {
+            Value::Proc(p) => p,
+            other => return Err(VmError::NotAProcedure(write_string(&other))),
+        };
+        let t = &proc.0.template;
+        if t.arity != nargs {
+            return Err(VmError::BadArity {
+                name: t.name.clone(),
+                expected: t.arity,
+                got: nargs,
+            });
+        }
+        let at = self.stack.len() - nargs as usize;
+        let locals: Vec<Value> = self.stack.split_off(at);
+        let frame = Frame {
+            closure: proc.0,
+            pc: 0,
+            locals,
+            stack_base: self.stack.len(),
+        };
+        if tail {
+            let cur = self
+                .frames
+                .last_mut()
+                .ok_or(VmError::Internal("tail call without frame"))?;
+            debug_assert_eq!(frame.stack_base, cur.stack_base, "unbalanced stack at tail call");
+            *cur = frame;
+        } else {
+            self.frames.push(frame);
+        }
+        Ok(())
+    }
+
+    /// The main loop. Returns when the frame stack drops back to `floor`.
+    fn run(&mut self, floor: usize) -> Result<Value, VmError> {
+        loop {
+            self.tick()?;
+            let instr = {
+                let f = self
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::Internal("no frame"))?;
+                let i = *f
+                    .closure
+                    .template
+                    .code
+                    .get(f.pc)
+                    .ok_or(VmError::Internal("pc out of range"))?;
+                f.pc += 1;
+                i
+            };
+            match instr {
+                Instr::Const(i) => {
+                    let d = {
+                        let f = self.frames.last().expect("frame");
+                        f.closure.template.consts[i as usize].clone()
+                    };
+                    self.val = Value::from(&d);
+                }
+                Instr::Global(i) => {
+                    let name = {
+                        let f = self.frames.last().expect("frame");
+                        f.closure.template.globals[i as usize].clone()
+                    };
+                    self.val = self
+                        .globals
+                        .get(&name)
+                        .cloned()
+                        .ok_or(VmError::UnknownGlobal(name))?;
+                }
+                Instr::Local(i) => {
+                    let f = self.frames.last().expect("frame");
+                    self.val = f.locals[i as usize].clone();
+                }
+                Instr::Captured(i) => {
+                    let f = self.frames.last().expect("frame");
+                    self.val = f.closure.captured[i as usize].clone();
+                }
+                Instr::Push => {
+                    self.stack.push(self.val.clone());
+                }
+                Instr::Bind => {
+                    let v = self.val.clone();
+                    self.frames.last_mut().expect("frame").locals.push(v);
+                }
+                Instr::Trim(n) => {
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .locals
+                        .truncate(n as usize);
+                }
+                Instr::MakeClosure { template, nfree } => {
+                    let t = {
+                        let f = self.frames.last().expect("frame");
+                        f.closure.template.templates[template as usize].clone()
+                    };
+                    debug_assert_eq!(t.nfree, nfree, "closure capture count mismatch");
+                    let at = self.stack.len() - nfree as usize;
+                    let captured = self.stack.split_off(at);
+                    self.val = Value::Proc(Proc(Rc::new(Closure {
+                        template: t,
+                        captured,
+                    })));
+                }
+                Instr::Call { nargs } => self.enter_call(nargs, false)?,
+                Instr::TailCall { nargs } => self.enter_call(nargs, true)?,
+                Instr::Return => {
+                    let f = self.frames.pop().expect("frame");
+                    debug_assert_eq!(
+                        self.stack.len(),
+                        f.stack_base,
+                        "unbalanced stack at return from {}",
+                        f.closure.template.name
+                    );
+                    if self.frames.len() == floor {
+                        return Ok(std::mem::replace(&mut self.val, Value::Unspec));
+                    }
+                }
+                Instr::Jump(t) => {
+                    self.frames.last_mut().expect("frame").pc = t as usize;
+                }
+                Instr::JumpIfFalse(t) => {
+                    if !self.val.is_truthy() {
+                        self.frames.last_mut().expect("frame").pc = t as usize;
+                    }
+                }
+                Instr::Prim { prim, nargs } => {
+                    let at = self.stack.len() - nargs as usize;
+                    let args = self.stack.split_off(at);
+                    self.val = apply_prim(prim, &args, &mut self.output)?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use two4one_syntax::datum::Datum;
+    use two4one_syntax::prim::Prim;
+
+    fn machine_with(name: &str, t: Rc<Template>) -> Machine {
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new(name), t);
+        m
+    }
+
+    #[test]
+    fn constants_and_return() {
+        let mut a = Asm::new(Symbol::new("k"), 0, 0);
+        let i = a.const_index(&Datum::Int(42)).unwrap();
+        a.emit(Instr::Const(i));
+        a.emit(Instr::Return);
+        let mut m = machine_with("k", a.finish().unwrap());
+        let v = m.call_global(&Symbol::new("k"), vec![]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(42)));
+    }
+
+    #[test]
+    fn locals_and_prims() {
+        // (define (add1 x) (+ x 1))
+        let mut a = Asm::new(Symbol::new("add1"), 1, 0);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        a.emit(Instr::Return);
+        let mut m = machine_with("add1", a.finish().unwrap());
+        let v = m
+            .call_global(&Symbol::new("add1"), vec![Value::Int(41)])
+            .unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(42)));
+    }
+
+    #[test]
+    fn conditional_with_labels() {
+        // (define (f b) (if b 1 2))
+        let mut a = Asm::new(Symbol::new("f"), 1, 0);
+        let alt = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit_jump_if_false(alt);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Return);
+        a.attach_label(alt);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Return);
+        let mut m = machine_with("f", a.finish().unwrap());
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Bool(true)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(1))
+        );
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Bool(false)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(2))
+        );
+    }
+
+    #[test]
+    fn closures_capture_values() {
+        // inner template: (lambda (x) (+ x n))  with n captured
+        let mut inner = Asm::new(Symbol::new("inner"), 1, 1);
+        inner.emit(Instr::Local(0));
+        inner.emit(Instr::Push);
+        inner.emit(Instr::Captured(0));
+        inner.emit(Instr::Push);
+        inner.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        inner.emit(Instr::Return);
+        let inner_t = inner.finish().unwrap();
+
+        // (define (adder n) (lambda (x) (+ x n)))
+        let mut outer = Asm::new(Symbol::new("adder"), 1, 0);
+        let ti = outer.template_index(inner_t).unwrap();
+        outer.emit(Instr::Local(0));
+        outer.emit(Instr::Push);
+        outer.emit(Instr::MakeClosure {
+            template: ti,
+            nfree: 1,
+        });
+        outer.emit(Instr::Return);
+        let mut m = machine_with("adder", outer.finish().unwrap());
+        let add3 = m
+            .call_global(&Symbol::new("adder"), vec![Value::Int(3)])
+            .unwrap();
+        let v = m.call_value(add3, vec![Value::Int(4)]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(7)));
+    }
+
+    #[test]
+    fn tail_calls_run_in_constant_frames() {
+        // (define (loop i) (if (= i 0) 'done (loop (- i 1))))
+        let mut a = Asm::new(Symbol::new("loop"), 1, 0);
+        let alt = a.make_label();
+        let zero = a.const_index(&Datum::Int(0)).unwrap();
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        a.emit(Instr::Const(zero));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::NumEq,
+            nargs: 2,
+        });
+        a.emit_jump_if_false(alt);
+        let done = a.const_index(&Datum::sym("done")).unwrap();
+        a.emit(Instr::Const(done));
+        a.emit(Instr::Return);
+        a.attach_label(alt);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Sub,
+            nargs: 2,
+        });
+        a.emit(Instr::Push);
+        let g = a.global_index(&Symbol::new("loop")).unwrap();
+        a.emit(Instr::Global(g));
+        a.emit(Instr::TailCall { nargs: 1 });
+        let mut m = machine_with("loop", a.finish().unwrap());
+        let v = m
+            .call_global(&Symbol::new("loop"), vec![Value::Int(1_000_000)])
+            .unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::sym("done")));
+    }
+
+    #[test]
+    fn errors_unwind_cleanly() {
+        let mut a = Asm::new(Symbol::new("boom"), 0, 0);
+        let k = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(k));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Car,
+            nargs: 1,
+        });
+        a.emit(Instr::Return);
+        let mut m = machine_with("boom", a.finish().unwrap());
+        let e = m.call_global(&Symbol::new("boom"), vec![]).unwrap_err();
+        assert!(matches!(e, VmError::Prim(_)));
+        // Machine remains usable.
+        let e2 = m.call_global(&Symbol::new("boom"), vec![]).unwrap_err();
+        assert!(matches!(e2, VmError::Prim(_)));
+    }
+
+    #[test]
+    fn arity_and_unknown_global_errors() {
+        let mut a = Asm::new(Symbol::new("id"), 1, 0);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Return);
+        let mut m = machine_with("id", a.finish().unwrap());
+        assert!(matches!(
+            m.call_global(&Symbol::new("id"), vec![]).unwrap_err(),
+            VmError::BadArity { .. }
+        ));
+        assert!(matches!(
+            m.call_global(&Symbol::new("zzz"), vec![]).unwrap_err(),
+            VmError::UnknownGlobal(_)
+        ));
+        m.define(Symbol::new("n"), Value::Int(5));
+        let e = m.call_global(&Symbol::new("n"), vec![]).unwrap_err();
+        assert!(matches!(e, VmError::NotAProcedure(_)));
+    }
+
+    #[test]
+    fn trim_truncates_locals() {
+        // f(x): bind two extra locals, trim back to 1, then read local 0.
+        let mut a = Asm::new(Symbol::new("f"), 1, 0);
+        let k = a.const_index(&Datum::Int(7)).unwrap();
+        a.emit(Instr::Const(k));
+        a.emit(Instr::Bind);
+        a.emit(Instr::Const(k));
+        a.emit(Instr::Bind);
+        a.emit(Instr::Trim(1));
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Return);
+        let mut m = machine_with("f", a.finish().unwrap());
+        let v = m.call_global(&Symbol::new("f"), vec![Value::Int(3)]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(3)));
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let mut a = Asm::new(Symbol::new("spin"), 0, 0);
+        let top = a.make_label();
+        a.attach_label(top);
+        let g = a.global_index(&Symbol::new("spin")).unwrap();
+        a.emit(Instr::Global(g));
+        a.emit(Instr::TailCall { nargs: 0 });
+        let mut m = machine_with("spin", a.finish().unwrap()).with_fuel(10_000);
+        let e = m.call_global(&Symbol::new("spin"), vec![]).unwrap_err();
+        assert_eq!(e, VmError::FuelExhausted);
+    }
+}

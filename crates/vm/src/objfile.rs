@@ -1,0 +1,445 @@
+//! Object-file serialization for [`Image`]s.
+//!
+//! The point of generating object code is keeping it; this module gives
+//! templates a compact, versioned binary encoding so generated code can be
+//! written to disk and loaded back without recompilation — the moral
+//! equivalent of Scheme 48's heap images for our templates.
+//!
+//! The format is deliberately simple: a magic/version header, then a
+//! length-prefixed tree encoding of templates (instructions, constant
+//! data, global names, sub-templates). Everything is little-endian;
+//! symbols and strings are UTF-8 with `u32` length prefixes.
+
+use crate::{Image, Instr, Template};
+use std::fmt;
+use std::rc::Rc;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::prim::Prim;
+use two4one_syntax::symbol::Symbol;
+
+const MAGIC: &[u8; 8] = b"two4one\0";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding an object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// Not a two4one object file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended prematurely.
+    Truncated,
+    /// An unknown tag byte.
+    BadTag(&'static str, u8),
+    /// An unknown primitive name.
+    BadPrim(String),
+    /// Malformed UTF-8 in a symbol or string.
+    BadUtf8,
+    /// Trailing bytes after the image.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::BadMagic => write!(f, "not a two4one object file"),
+            ObjError::BadVersion(v) => write!(f, "unsupported object version {v}"),
+            ObjError::Truncated => write!(f, "object file truncated"),
+            ObjError::BadTag(what, t) => write!(f, "bad {what} tag {t:#x}"),
+            ObjError::BadPrim(n) => write!(f, "unknown primitive `{n}`"),
+            ObjError::BadUtf8 => write!(f, "malformed UTF-8"),
+            ObjError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Serializes an image to bytes.
+pub fn encode(image: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_sym(&mut out, &image.entry);
+    put_u32(&mut out, image.templates.len() as u32);
+    for (name, t) in &image.templates {
+        put_sym(&mut out, name);
+        put_template(&mut out, t);
+    }
+    out
+}
+
+/// Deserializes an image from bytes.
+///
+/// # Errors
+///
+/// Returns an [`ObjError`] on malformed input.
+pub fn decode(bytes: &[u8]) -> Result<Image, ObjError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(ObjError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(ObjError::BadVersion(version));
+    }
+    let entry = r.sym()?;
+    let n = r.u32()? as usize;
+    let mut templates = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.sym()?;
+        let t = r.template()?;
+        templates.push((name, t));
+    }
+    if r.pos != bytes.len() {
+        return Err(ObjError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(Image { templates, entry })
+}
+
+// ----- encoding -------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_sym(out: &mut Vec<u8>, s: &Symbol) {
+    put_str(out, s.as_str());
+}
+
+fn put_datum(out: &mut Vec<u8>, d: &Datum) {
+    match d {
+        Datum::Nil => out.push(0),
+        Datum::Unspec => out.push(1),
+        Datum::Bool(false) => out.push(2),
+        Datum::Bool(true) => out.push(3),
+        Datum::Int(n) => {
+            out.push(4);
+            put_i64(out, *n);
+        }
+        Datum::Char(c) => {
+            out.push(5);
+            put_u32(out, *c as u32);
+        }
+        Datum::Str(s) => {
+            out.push(6);
+            put_str(out, s);
+        }
+        Datum::Sym(s) => {
+            out.push(7);
+            put_sym(out, s);
+        }
+        Datum::Pair(p) => {
+            out.push(8);
+            put_datum(out, &p.0);
+            put_datum(out, &p.1);
+        }
+    }
+}
+
+fn put_instr(out: &mut Vec<u8>, i: &Instr) {
+    match i {
+        Instr::Const(k) => {
+            out.push(0);
+            put_u16(out, *k);
+        }
+        Instr::Global(g) => {
+            out.push(1);
+            put_u16(out, *g);
+        }
+        Instr::Local(n) => {
+            out.push(2);
+            put_u16(out, *n);
+        }
+        Instr::Captured(n) => {
+            out.push(3);
+            put_u16(out, *n);
+        }
+        Instr::Push => out.push(4),
+        Instr::Bind => out.push(5),
+        Instr::Trim(n) => {
+            out.push(6);
+            put_u16(out, *n);
+        }
+        Instr::MakeClosure { template, nfree } => {
+            out.push(7);
+            put_u16(out, *template);
+            put_u16(out, *nfree);
+        }
+        Instr::Call { nargs } => {
+            out.push(8);
+            out.push(*nargs);
+        }
+        Instr::TailCall { nargs } => {
+            out.push(9);
+            out.push(*nargs);
+        }
+        Instr::Return => out.push(10),
+        Instr::Jump(t) => {
+            out.push(11);
+            put_u32(out, *t);
+        }
+        Instr::JumpIfFalse(t) => {
+            out.push(12);
+            put_u32(out, *t);
+        }
+        Instr::Prim { prim, nargs } => {
+            out.push(13);
+            put_str(out, prim.name());
+            out.push(*nargs);
+        }
+    }
+}
+
+fn put_template(out: &mut Vec<u8>, t: &Template) {
+    put_sym(out, &t.name);
+    out.push(t.arity);
+    put_u16(out, t.nfree);
+    put_u32(out, t.code.len() as u32);
+    for i in &t.code {
+        put_instr(out, i);
+    }
+    put_u32(out, t.consts.len() as u32);
+    for d in &t.consts {
+        put_datum(out, d);
+    }
+    put_u32(out, t.globals.len() as u32);
+    for g in &t.globals {
+        put_sym(out, g);
+    }
+    put_u32(out, t.templates.len() as u32);
+    for sub in &t.templates {
+        put_template(out, sub);
+    }
+}
+
+// ----- decoding -------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ObjError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ObjError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ObjError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ObjError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ObjError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn str(&mut self) -> Result<String, ObjError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ObjError::BadUtf8)
+    }
+
+    fn sym(&mut self) -> Result<Symbol, ObjError> {
+        Ok(Symbol::new(&self.str()?))
+    }
+
+    fn datum(&mut self) -> Result<Datum, ObjError> {
+        Ok(match self.u8()? {
+            0 => Datum::Nil,
+            1 => Datum::Unspec,
+            2 => Datum::Bool(false),
+            3 => Datum::Bool(true),
+            4 => Datum::Int(self.i64()?),
+            5 => {
+                let c = self.u32()?;
+                Datum::Char(char::from_u32(c).ok_or(ObjError::BadTag("char", 5))?)
+            }
+            6 => Datum::string(&self.str()?),
+            7 => Datum::Sym(self.sym()?),
+            8 => {
+                let car = self.datum()?;
+                let cdr = self.datum()?;
+                Datum::cons(car, cdr)
+            }
+            t => return Err(ObjError::BadTag("datum", t)),
+        })
+    }
+
+    fn instr(&mut self) -> Result<Instr, ObjError> {
+        Ok(match self.u8()? {
+            0 => Instr::Const(self.u16()?),
+            1 => Instr::Global(self.u16()?),
+            2 => Instr::Local(self.u16()?),
+            3 => Instr::Captured(self.u16()?),
+            4 => Instr::Push,
+            5 => Instr::Bind,
+            6 => Instr::Trim(self.u16()?),
+            7 => Instr::MakeClosure {
+                template: self.u16()?,
+                nfree: self.u16()?,
+            },
+            8 => Instr::Call { nargs: self.u8()? },
+            9 => Instr::TailCall { nargs: self.u8()? },
+            10 => Instr::Return,
+            11 => Instr::Jump(self.u32()?),
+            12 => Instr::JumpIfFalse(self.u32()?),
+            13 => {
+                let name = self.str()?;
+                let prim =
+                    Prim::from_name(&name).ok_or(ObjError::BadPrim(name.clone()))?;
+                Instr::Prim {
+                    prim,
+                    nargs: self.u8()?,
+                }
+            }
+            t => return Err(ObjError::BadTag("instr", t)),
+        })
+    }
+
+    fn template(&mut self) -> Result<Rc<Template>, ObjError> {
+        let name = self.sym()?;
+        let arity = self.u8()?;
+        let nfree = self.u16()?;
+        let ncode = self.u32()? as usize;
+        let mut code = Vec::with_capacity(ncode);
+        for _ in 0..ncode {
+            code.push(self.instr()?);
+        }
+        let nconsts = self.u32()? as usize;
+        let mut consts = Vec::with_capacity(nconsts);
+        for _ in 0..nconsts {
+            consts.push(self.datum()?);
+        }
+        let nglobals = self.u32()? as usize;
+        let mut globals = Vec::with_capacity(nglobals);
+        for _ in 0..nglobals {
+            globals.push(self.sym()?);
+        }
+        let nsubs = self.u32()? as usize;
+        let mut templates = Vec::with_capacity(nsubs);
+        for _ in 0..nsubs {
+            templates.push(self.template()?);
+        }
+        Ok(Rc::new(Template {
+            name,
+            arity,
+            nfree,
+            code,
+            consts,
+            globals,
+            templates,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::Machine;
+
+    fn sample_image() -> Image {
+        let mut inner = Asm::new(Symbol::new("inner"), 1, 1);
+        inner.emit(Instr::Local(0));
+        inner.emit(Instr::Push);
+        inner.emit(Instr::Captured(0));
+        inner.emit(Instr::Push);
+        inner.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        inner.emit(Instr::Return);
+        let inner_t = inner.finish().unwrap();
+
+        let mut outer = Asm::new(Symbol::new("mk"), 1, 0);
+        let ti = outer.template_index(inner_t).unwrap();
+        let label = outer.make_label();
+        outer.emit(Instr::Local(0));
+        outer.emit_jump_if_false(label);
+        outer.attach_label(label);
+        let k = outer
+            .const_index(&Datum::list([Datum::Int(1), Datum::sym("two")]))
+            .unwrap();
+        outer.emit(Instr::Const(k)); // exercises pair/symbol encoding
+        outer.emit(Instr::Local(0));
+        outer.emit(Instr::Push);
+        outer.emit(Instr::MakeClosure {
+            template: ti,
+            nfree: 1,
+        });
+        outer.emit(Instr::Return);
+        Image {
+            templates: vec![(Symbol::new("mk"), outer.finish().unwrap())],
+            entry: Symbol::new("mk"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let image = sample_image();
+        let bytes = encode(&image);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.entry, image.entry);
+        assert_eq!(back.templates.len(), image.templates.len());
+        for ((n1, t1), (n2, t2)) in image.templates.iter().zip(&back.templates) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn decoded_images_run() {
+        let image = sample_image();
+        let back = decode(&encode(&image)).unwrap();
+        let mut m = Machine::load(&back);
+        let f = m
+            .call_global(&Symbol::new("mk"), vec![crate::Value::Int(5)])
+            .unwrap();
+        let v = m.call_value(f, vec![crate::Value::Int(2)]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(7)));
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let image = sample_image();
+        let bytes = encode(&image);
+        assert_eq!(decode(b"not an object file").unwrap_err(), ObjError::BadMagic);
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            ObjError::Truncated
+        );
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert_eq!(decode(&extra).unwrap_err(), ObjError::TrailingBytes(1));
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 99;
+        assert_eq!(decode(&wrong_version).unwrap_err(), ObjError::BadVersion(99));
+    }
+}

@@ -1,0 +1,248 @@
+//! Peephole optimization on finished templates.
+//!
+//! The assembler emits exactly what the compilators say; two local
+//! cleanups are worthwhile afterwards, especially for the *generic*
+//! compiler whose control-flow merges produce jump chains:
+//!
+//! * **jump threading** — a jump whose target is an unconditional jump is
+//!   retargeted to the final destination (cycles are left alone);
+//! * **unreachable-code elimination** — instructions that no fall-through
+//!   or jump can reach are removed, and every jump target is remapped to
+//!   the compacted indices.
+//!
+//! The pass is semantics-preserving byte-code-to-byte-code; correctness is
+//! checked by running the cross-engine suite over optimized images and by
+//! idempotence tests.
+
+use crate::{Image, Instr, Template};
+use std::rc::Rc;
+
+/// Optimizes every template of an image.
+pub fn optimize_image(image: &Image) -> Image {
+    Image {
+        templates: image
+            .templates
+            .iter()
+            .map(|(n, t)| (n.clone(), optimize_template(t)))
+            .collect(),
+        entry: image.entry.clone(),
+    }
+}
+
+/// Optimizes one template (and its sub-templates) to a fixpoint.
+pub fn optimize_template(t: &Rc<Template>) -> Rc<Template> {
+    let mut code = t.code.clone();
+    loop {
+        let threaded = thread_jumps(&code);
+        let compacted = drop_unreachable(&threaded);
+        if compacted == code {
+            break;
+        }
+        code = compacted;
+    }
+    Rc::new(Template {
+        name: t.name.clone(),
+        arity: t.arity,
+        nfree: t.nfree,
+        code,
+        consts: t.consts.clone(),
+        globals: t.globals.clone(),
+        templates: t.templates.iter().map(optimize_template).collect(),
+    })
+}
+
+/// Final destination of a jump chain starting at `target`.
+fn chase(code: &[Instr], mut target: u32) -> u32 {
+    let mut hops = 0;
+    while let Some(Instr::Jump(next)) = code.get(target as usize) {
+        if *next == target || hops > code.len() {
+            break; // self-loop or pathological chain: leave as is
+        }
+        target = *next;
+        hops += 1;
+    }
+    target
+}
+
+fn thread_jumps(code: &[Instr]) -> Vec<Instr> {
+    code.iter()
+        .map(|i| match i {
+            Instr::Jump(t) => Instr::Jump(chase(code, *t)),
+            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(chase(code, *t)),
+            other => *other,
+        })
+        .collect()
+}
+
+/// Computes reachability from index 0 and compacts the code, remapping
+/// jump targets.
+fn drop_unreachable(code: &[Instr]) -> Vec<Instr> {
+    let n = code.len();
+    let mut reachable = vec![false; n];
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        if pc >= n || reachable[pc] {
+            continue;
+        }
+        reachable[pc] = true;
+        match code[pc] {
+            Instr::Jump(t) => work.push(t as usize),
+            Instr::JumpIfFalse(t) => {
+                work.push(t as usize);
+                work.push(pc + 1);
+            }
+            Instr::Return | Instr::TailCall { .. } => {}
+            _ => work.push(pc + 1),
+        }
+    }
+    if reachable.iter().all(|r| *r) {
+        return code.to_vec();
+    }
+    // Old index → new index.
+    let mut remap = vec![0u32; n];
+    let mut next = 0u32;
+    for (i, r) in reachable.iter().enumerate() {
+        remap[i] = next;
+        if *r {
+            next += 1;
+        }
+    }
+    code.iter()
+        .enumerate()
+        .filter(|(i, _)| reachable[*i])
+        .map(|(_, instr)| match instr {
+            Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
+            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
+            other => *other,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::{Machine, Value};
+    use two4one_syntax::datum::Datum;
+    use two4one_syntax::symbol::Symbol;
+
+    /// A template with a jump chain and dead code:
+    ///   0: jump 3        (threads through 3 → 5)
+    ///   1: const 1       (dead)
+    ///   2: return        (dead)
+    ///   3: jump 5        (dead after threading)
+    ///   4: push          (dead)
+    ///   5: const 2
+    ///   6: return
+    fn chained() -> Rc<Template> {
+        let mut a = Asm::new(Symbol::new("t"), 0, 0);
+        let l3 = a.make_label();
+        let l5 = a.make_label();
+        a.emit_jump(l3);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Return);
+        a.attach_label(l3);
+        a.emit_jump(l5);
+        a.emit(Instr::Push);
+        a.attach_label(l5);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Return);
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn jump_chains_thread_and_dead_code_drops() {
+        let t = chained();
+        assert_eq!(t.code.len(), 7);
+        let o = optimize_template(&t);
+        // Only: jump → const 2 → return remain; and the leading jump now
+        // points at the compacted const.
+        assert_eq!(o.code, vec![Instr::Jump(1), Instr::Const(1), Instr::Return],
+                   "{}", o.disassemble());
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("t"), o);
+        let v = m.call_global(&Symbol::new("t"), vec![]).unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(2)));
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let o1 = optimize_template(&chained());
+        let o2 = optimize_template(&o1);
+        assert_eq!(o1.code, o2.code);
+    }
+
+    #[test]
+    fn straightline_code_is_untouched() {
+        let mut a = Asm::new(Symbol::new("id"), 1, 0);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o = optimize_template(&t);
+        assert_eq!(o.code, t.code);
+    }
+
+    #[test]
+    fn conditional_targets_are_remapped() {
+        // if x then 1 else 2, with padding dead code between the arms.
+        let mut a = Asm::new(Symbol::new("f"), 1, 0);
+        let alt = a.make_label();
+        let end_pad = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit_jump_if_false(alt);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Return);
+        // dead padding (never branched to)
+        a.attach_label(end_pad);
+        a.emit(Instr::Push);
+        a.emit(Instr::Push);
+        a.attach_label(alt);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o = optimize_template(&t);
+        assert!(o.code.len() < t.code.len(), "{}", o.disassemble());
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("f"), o);
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Bool(true)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(1))
+        );
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Bool(false)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(2))
+        );
+    }
+
+    #[test]
+    fn subtemplates_are_optimized_too() {
+        let mut inner = Asm::new(Symbol::new("inner"), 0, 0);
+        let l = inner.make_label();
+        inner.emit_jump(l);
+        inner.emit(Instr::Push); // dead
+        inner.attach_label(l);
+        let k = inner.const_index(&Datum::Int(9)).unwrap();
+        inner.emit(Instr::Const(k));
+        inner.emit(Instr::Return);
+        let inner_t = inner.finish().unwrap();
+
+        let mut outer = Asm::new(Symbol::new("outer"), 0, 0);
+        let ti = outer.template_index(inner_t).unwrap();
+        outer.emit(Instr::MakeClosure {
+            template: ti,
+            nfree: 0,
+        });
+        outer.emit(Instr::Return);
+        let t = outer.finish().unwrap();
+        let o = optimize_template(&t);
+        assert!(o.templates[0].code.len() < 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! Compiling a finite automaton by partial evaluation: the DFA interpreter
+//! is specialized over a static transition table, producing one residual
+//! function per state — a hard-coded matcher, emitted directly as object
+//! code.
+//!
+//! ```text
+//! cargo run --example automaton
+//! ```
+
+use two4one::{run_image, with_stack, Division, Pgg, BT};
+use two4one_langs as langs;
+
+fn main() -> Result<(), two4one::Error> {
+    with_stack(run)
+}
+
+fn run() -> Result<(), two4one::Error> {
+    let mut pgg = Pgg::new();
+    for (name, policy) in langs::dfa_policies() {
+        pgg = pgg.policy(name, policy);
+    }
+    let interp = pgg.parse(langs::DFA_INTERP)?;
+    let genext = pgg.cogen(&interp, "dfa-run", &Division::new([BT::Static, BT::Dynamic]))?;
+
+    let dfa = langs::dfa_aba();
+    println!("DFA (accepts words containing 'a b a'):\n{dfa}\n");
+
+    // The table disappears; each state becomes a residual function.
+    let residual = genext.specialize_source(&[dfa.clone()])?;
+    println!(
+        "residual matcher ({} state functions):\n{}",
+        residual.defs.len(),
+        residual.to_source()
+    );
+
+    let image = genext.specialize_object(&[dfa])?;
+    for word in ["(a b a)", "(b b a b a b)", "(a b b a)", "()", "(a a a b a)"] {
+        let w = two4one::reader::read_one(word).expect("word");
+        let out = run_image(&image, "dfa-run", &[w])?;
+        println!("accepts {word:16} => {}", out.value);
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Specializing the FCL flowchart interpreter — the original `mix`
+//! lineage: polyvariant program-point specialization turns a table-driven
+//! interpreter into one residual function per program point, here emitted
+//! straight to byte code.
+//!
+//! ```text
+//! cargo run --example flowchart
+//! ```
+
+use two4one::{interpret, run_image, with_stack, Datum, Division, Pgg, BT};
+use two4one_langs as langs;
+
+fn main() -> Result<(), two4one::Error> {
+    with_stack(run)
+}
+
+fn run() -> Result<(), two4one::Error> {
+    let mut pgg = Pgg::new();
+    for (name, policy) in langs::fcl_policies() {
+        pgg = pgg.policy(name, policy);
+    }
+    let interp = pgg.parse(langs::FCL_INTERP)?;
+    let program = langs::fcl_power();
+    println!("FCL program (iterative power):\n{program}\n");
+
+    let args = Datum::list([Datum::Int(3), Datum::Int(5)]);
+    let slow = interpret(&interp, "fcl-run", &[program.clone(), args.clone()])?;
+    println!("interpreted : 3^5 = {}", slow.value);
+
+    let genext = pgg.cogen(&interp, "fcl-run", &Division::new([BT::Static, BT::Dynamic]))?;
+    let residual = genext.specialize_source_optimized(&[program.clone()])?;
+    println!(
+        "\nresidual program — one function per program point:\n{}",
+        residual.to_source()
+    );
+
+    let image = genext.specialize_object(&[program])?;
+    let fast = run_image(&image, "fcl-run", &[args])?;
+    println!("compiled    : 3^5 = {}", fast.value);
+    assert_eq!(slow.value, fast.value);
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Incremental specialization (an application from Sec. 1/9): static
+//! inputs arrive in stages, and each stage's residual program is the
+//! subject of the next specialization. Because residual programs are
+//! ordinary programs, the PGG composes with itself.
+//!
+//! ```text
+//! cargo run --example incremental
+//! ```
+
+use two4one::{run_image, with_stack, Datum, Division, Pgg, BT};
+
+const LINEAR: &str = "(define (linear a b x) (+ (* a x) b))";
+
+fn main() -> Result<(), two4one::Error> {
+    with_stack(run)
+}
+
+fn run() -> Result<(), two4one::Error> {
+    let pgg = Pgg::new();
+    let program = pgg.parse(LINEAR)?;
+
+    // Stage 1: `a` arrives. Specialize with a static, b and x dynamic.
+    let g1 = pgg.cogen(
+        &program,
+        "linear",
+        &Division::new([BT::Static, BT::Dynamic, BT::Dynamic]),
+    )?;
+    let stage1 = g1.specialize_source(&[Datum::Int(3)])?;
+    println!("after a = 3:\n{}", stage1.to_source());
+
+    // Stage 2: `b` arrives. The stage-1 residual is re-analyzed with its
+    // first parameter static — incremental specialization is just running
+    // the PGG on the previous residual program.
+    let stage1_cs = pgg.parse(&stage1.to_source())?;
+    let params = stage1_cs.defs[0].params.len();
+    assert_eq!(params, 2, "stage-1 residual takes (b x)");
+    let g2 = pgg.cogen(
+        &stage1_cs,
+        "linear",
+        &Division::new([BT::Static, BT::Dynamic]),
+    )?;
+    let stage2 = g2.specialize_source(&[Datum::Int(10)])?;
+    println!("after b = 10:\n{}", stage2.to_source());
+
+    // Stage 3: `x` arrives at run time — generate and run object code.
+    let image = g2.specialize_object(&[Datum::Int(10)])?;
+    for x in [0, 1, 5] {
+        let out = run_image(&image, "linear", &[Datum::Int(x)])?;
+        println!("linear(3, 10, {x}) = {}", out.value);
+    }
+    Ok(())
+}

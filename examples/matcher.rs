@@ -1,0 +1,36 @@
+//! Specializing a naive matcher to a fixed pattern: the pattern dispatch
+//! disappears and the residual program hard-codes the comparisons — the
+//! classic "KMP by partial evaluation" demonstration, here with object
+//! code generated at run time.
+//!
+//! ```text
+//! cargo run --example matcher
+//! ```
+
+use two4one::{run_image, with_stack, Division, Pgg, BT};
+use two4one_langs::classics::MATCHER;
+
+fn main() -> Result<(), two4one::Error> {
+    with_stack(run)
+}
+
+fn run() -> Result<(), two4one::Error> {
+    let pgg = Pgg::new();
+    let program = pgg.parse(MATCHER)?;
+    let genext = pgg.cogen(&program, "match", &Division::new([BT::Static, BT::Dynamic]))?;
+
+    let pattern = two4one::reader::read_one("(a b a c)").expect("pattern");
+    println!("pattern: {pattern}\n");
+
+    let residual = genext.specialize_source(&[pattern.clone()])?;
+    println!("residual matcher:\n{}", residual.to_source());
+
+    // Generate object code at "run time" and match a few texts.
+    let image = genext.specialize_object(&[pattern])?;
+    for text in ["(x a b a c y)", "(a b a b a c)", "(a b a b)", "()"] {
+        let t = two4one::reader::read_one(text).expect("text");
+        let out = run_image(&image, "match", &[t])?;
+        println!("match {text:24} => {}", out.value);
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Deriving a MIXWELL compiler from the MIXWELL interpreter — the first
+//! Futamura projection, with object code falling out directly (Sec. 7's
+//! first benchmark subject).
+//!
+//! ```text
+//! cargo run --example mixwell_compiler
+//! ```
+
+use two4one::{interpret, run_image, with_stack, Datum, Division, Pgg, BT};
+use two4one_langs as langs;
+
+fn main() -> Result<(), two4one::Error> {
+    with_stack(run)
+}
+
+fn run() -> Result<(), two4one::Error> {
+    // Building the PGG for the interpreter: mw-call is the specialization
+    // point (one residual function per MIXWELL function).
+    let mut pgg = Pgg::new();
+    for (name, policy) in langs::mixwell_policies() {
+        pgg = pgg.policy(name, policy);
+    }
+    let interp = pgg.parse(langs::MIXWELL_INTERP)?;
+
+    // The generating extension of the interpreter *is* a compiler.
+    let compiler = pgg.cogen(
+        &interp,
+        "mixwell-run",
+        &Division::new([BT::Static, BT::Dynamic]),
+    )?;
+
+    let program = langs::mixwell_program();
+    println!("MIXWELL input program:\n{program}\n");
+
+    // Interpret (slow path).
+    let args = Datum::list([Datum::Int(30)]);
+    let slow = interpret(&interp, "mixwell-run", &[program.clone(), args.clone()])?;
+    println!("interpreted  : {}", slow.value);
+
+    // Compile by specialization — residual source first…
+    let residual = compiler.specialize_source(&[program.clone()])?;
+    println!(
+        "\nresidual (compiled) program, {} definitions:\n{}",
+        residual.defs.len(),
+        residual.to_source()
+    );
+
+    // …and then the fused path: object code directly.
+    let image = compiler.specialize_object(&[program])?;
+    let fast = run_image(&image, "mixwell-run", &[args])?;
+    println!("compiled     : {}", fast.value);
+    assert_eq!(slow.value, fast.value);
+    println!(
+        "\nobject code: {} templates, {} instructions total",
+        image.templates.len(),
+        image.code_size()
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: the classic `power` example, three ways.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use two4one::{compile, interpret, run_image, with_stack, Datum, Division, Pgg, BT};
+
+fn main() -> Result<(), two4one::Error> {
+    with_stack(run)
+}
+
+fn run() -> Result<(), two4one::Error> {
+    let pgg = Pgg::new();
+    let program = pgg.parse(
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+    )?;
+
+    // 0. Interpreted, as a baseline.
+    let base = interpret(&program, "power", &[Datum::Int(2), Datum::Int(13)])?;
+    println!("interpreted:      2^13 = {}", base.value);
+
+    // 1. Stock compilation: front end → ANF → byte code.
+    let image = compile(&program, "power")?;
+    let out = run_image(&image, "power", &[Datum::Int(2), Datum::Int(13)])?;
+    println!("stock compiled:   2^13 = {}", out.value);
+
+    // 2. Partial evaluation: specialize `power` to n = 13.
+    //    The division says: x dynamic, n static.
+    let genext = pgg.cogen(&program, "power", &Division::new([BT::Dynamic, BT::Static]))?;
+
+    //    2a. …to residual *source* (the classic PGG output):
+    let residual = genext.specialize_source(&[Datum::Int(13)])?;
+    println!("\nresidual source for n = 13:\n{}", residual.to_source());
+
+    //    2b. …directly to *object code* (the composed system of the paper):
+    let image13 = genext.specialize_object(&[Datum::Int(13)])?;
+    let out = run_image(&image13, "power", &[Datum::Int(2)])?;
+    println!("fused object code: 2^13 = {}", out.value);
+    println!("\ndisassembly of the specialized code:\n{}", image13.disassemble());
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests of the `t4o` command-line driver and the REPL,
+//! exercising the real binaries as a user would.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn t4o() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_t4o"))
+}
+
+fn tmp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("two4one-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn t4o_compile_run_spec_dis_workflow() {
+    let dir = tmp_dir();
+    let src = dir.join("pow.scm");
+    std::fs::write(
+        &src,
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+    )
+    .unwrap();
+    let obj = dir.join("pow.t4o");
+
+    // compile → object file
+    let out = t4o()
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "-o",
+            obj.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(obj.exists());
+
+    // run the object file
+    let out = t4o()
+        .args([
+            "run",
+            obj.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--arg",
+            "2",
+            "--arg",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1024");
+
+    // specialize to source on stdout
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--static",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("define"), "{text}");
+    assert!(!text.contains("power%0 x"), "{text}");
+
+    // specialize straight to an object file and run it
+    let spec_obj = dir.join("pow3.t4o");
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--static",
+            "3",
+            "-o",
+            spec_obj.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = t4o()
+        .args([
+            "run",
+            spec_obj.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--arg",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "125");
+
+    // disassemble
+    let out = t4o()
+        .args(["dis", obj.to_str().unwrap(), "--entry", "power"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("jump-if-false"));
+
+    // bad usage fails with a message
+    let out = t4o().args(["run", obj.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--entry"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_generic_compiler_flag() {
+    let dir = tmp_dir();
+    let src = dir.join("g.scm");
+    std::fs::write(&src, "(define (g a) (+ (if a 1 2) 10))").unwrap();
+    let out = t4o()
+        .args([
+            "run",
+            src.to_str().unwrap(),
+            "--entry",
+            "g",
+            "--generic",
+            "--arg",
+            "#f",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "12");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_session_compiles_and_specializes() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let script = "(define (sq x) (* x x))\n\
+                  (sq 9)\n\
+                  (define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))\n\
+                  ,spec power D S\n\
+                  4\n\
+                  (power 3)\n\
+                  ,quit\n";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("compiled `sq`"), "{text}");
+    assert!(text.contains("81"), "{text}");
+    assert!(text.contains("residual program"), "{text}");
+    assert!(text.contains("\n81\n") || text.contains("81"), "{text}");
+    // power specialized to n=4, then (power 3) = 81.
+    let after_spec = text.split("residual program").nth(1).unwrap_or("");
+    assert!(after_spec.contains("81"), "{text}");
+}

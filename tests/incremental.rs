@@ -1,0 +1,154 @@
+//! Incremental specialization and object-file persistence.
+//!
+//! The staging theorem behind incremental specialization: specializing to
+//! `a` and then specializing the residual to `b` computes the same function
+//! as specializing to `a` and `b` at once. Object files: generated code
+//! survives a serialization round trip byte-for-byte.
+
+use two4one::{
+    compile, incremental, run_image, with_stack, Datum, Division, Pgg, BT,
+};
+
+const CURVE: &str =
+    "(define (curve a b c x) (+ (* a (* x x)) (+ (* b x) c)))";
+
+#[test]
+fn staged_specialization_equals_joint_specialization() {
+    with_stack(|| {
+        let pgg = Pgg::new();
+        let p = pgg.parse(CURVE).unwrap();
+
+        // Joint: a, b, c static at once.
+        let joint = pgg
+            .cogen(
+                &p,
+                "curve",
+                &Division::new([BT::Static, BT::Static, BT::Static, BT::Dynamic]),
+            )
+            .unwrap()
+            .specialize_object(&[Datum::Int(2), Datum::Int(3), Datum::Int(5)])
+            .unwrap();
+
+        // Staged: a first, then b, then c.
+        let s1 = incremental::stage(
+            &pgg,
+            &p,
+            "curve",
+            &Division::new([BT::Static, BT::Dynamic, BT::Dynamic, BT::Dynamic]),
+            &[Datum::Int(2)],
+        )
+        .unwrap();
+        let s2 = incremental::stage(
+            &pgg,
+            &s1,
+            "curve",
+            &Division::new([BT::Static, BT::Dynamic, BT::Dynamic]),
+            &[Datum::Int(3)],
+        )
+        .unwrap();
+        let s3 = incremental::stage(
+            &pgg,
+            &s2,
+            "curve",
+            &Division::new([BT::Static, BT::Dynamic]),
+            &[Datum::Int(5)],
+        )
+        .unwrap();
+        let staged = compile(&s3, "curve").unwrap();
+
+        for x in [-3, 0, 1, 7, 100] {
+            let a = run_image(&joint, "curve", &[Datum::Int(x)]).unwrap().value;
+            let b = run_image(&staged, "curve", &[Datum::Int(x)]).unwrap().value;
+            assert_eq!(a, b, "x = {x}");
+            assert_eq!(a, Datum::Int(2 * x * x + 3 * x + 5), "x = {x}");
+        }
+    });
+}
+
+#[test]
+fn staging_an_interpreter_program_first_then_input_prefix() {
+    with_stack(|| {
+        // Stage 1: fix the pattern of the matcher; stage 2 is run time.
+        let pgg = Pgg::new();
+        let p = pgg.parse(two4one_langs::classics::MATCHER).unwrap();
+        let fixed = incremental::stage(
+            &pgg,
+            &p,
+            "match",
+            &Division::new([BT::Static, BT::Dynamic]),
+            &[two4one::reader::read_one("(a b)").unwrap()],
+        )
+        .unwrap();
+        let image = compile(&fixed, "match").unwrap();
+        let t = two4one::reader::read_one("(x a b y)").unwrap();
+        assert_eq!(
+            run_image(&image, "match", &[t]).unwrap().value,
+            Datum::Bool(true)
+        );
+    });
+}
+
+#[test]
+fn generated_code_round_trips_through_object_files() {
+    with_stack(|| {
+        let pgg = Pgg::new();
+        let p = pgg
+            .parse("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))")
+            .unwrap();
+        let genext = pgg
+            .cogen(&p, "power", &Division::new([BT::Dynamic, BT::Static]))
+            .unwrap();
+        let image = genext.specialize_object(&[Datum::Int(10)]).unwrap();
+
+        let dir = std::env::temp_dir().join("two4one-objfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("power10.t4o");
+        two4one::save_image(&image, &path).unwrap();
+        let loaded = two4one::load_image(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Structurally identical and behaviorally equivalent.
+        assert_eq!(loaded.entry, image.entry);
+        for ((n1, t1), (n2, t2)) in image.templates.iter().zip(&loaded.templates) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+        let out = run_image(&loaded, "power", &[Datum::Int(2)]).unwrap();
+        assert_eq!(out.value, Datum::Int(1024));
+    });
+}
+
+#[test]
+fn whole_interpreter_images_survive_serialization() {
+    with_stack(|| {
+        let mut pgg = Pgg::new();
+        for (n, pol) in two4one_langs::mixwell_policies() {
+            pgg = pgg.policy(n, pol);
+        }
+        let p = pgg.parse(two4one_langs::MIXWELL_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let image = genext
+            .specialize_object(&[two4one_langs::mixwell_program()])
+            .unwrap();
+        let bytes = two4one::encode_image(&image);
+        let loaded = two4one::decode_image(&bytes).unwrap();
+        let args = Datum::list([Datum::Int(12)]);
+        let a = run_image(&image, "mixwell-run", &[args.clone()]).unwrap();
+        let b = run_image(&loaded, "mixwell-run", &[args]).unwrap();
+        assert_eq!(a, b);
+        // The encoding is compact: smaller than the pretty-printed source.
+        let src_len = genext
+            .specialize_source(&[two4one_langs::mixwell_program()])
+            .unwrap()
+            .to_source()
+            .len();
+        assert!(
+            bytes.len() < src_len * 2,
+            "object file unexpectedly large: {} vs source {}",
+            bytes.len(),
+            src_len
+        );
+    });
+}

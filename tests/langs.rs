@@ -1,0 +1,312 @@
+//! The paper's benchmark subjects end to end: specializing the MIXWELL and
+//! LAZY interpreters over their input programs (the first Futamura
+//! projection) and checking every execution path against the interpreted
+//! baseline.
+
+use two4one::{
+    compile, interpret, run_image, with_stack, CallPolicy, Datum, Division, Pgg, BT,
+};
+use two4one_langs as langs;
+
+fn pgg_with(policies: &[(&'static str, CallPolicy)]) -> Pgg {
+    policies
+        .iter()
+        .fold(Pgg::new(), |p, (name, pol)| p.policy(name, *pol))
+}
+
+#[test]
+fn mixwell_interpreter_runs_directly() {
+    with_stack(|| {
+        let pgg = Pgg::new();
+        let p = pgg.parse(langs::MIXWELL_INTERP).unwrap();
+        let args = Datum::list([Datum::Int(20)]);
+        let out = interpret(&p, "mixwell-run", &[langs::mixwell_program(), args]).unwrap();
+        // primes up to 20 zipped with squares.
+        let text = out.value.to_string();
+        assert!(text.starts_with("((2 . 1) (3 . 4) (5 . 9) (7 . 16)"), "{text}");
+    });
+}
+
+#[test]
+fn mixwell_specializes_to_a_compiled_program() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::mixwell_policies());
+        let p = pgg.parse(langs::MIXWELL_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+
+        // Residual source: the interpretive layer is gone.
+        let residual = genext
+            .specialize_source(&[langs::mixwell_program()])
+            .unwrap();
+        let text = residual.to_source();
+        assert!(
+            !text.contains("mw-lookup"),
+            "interpretive overhead survived:\n{text}"
+        );
+        // One residual definition per reachable MIXWELL function + entry.
+        assert!(residual.defs.len() >= 8, "{}", residual.defs.len());
+
+        // The residual program computes what the interpreted program does.
+        let args = Datum::list([Datum::Int(25)]);
+        let expect = interpret(
+            &p,
+            "mixwell-run",
+            &[langs::mixwell_program(), args.clone()],
+        )
+        .unwrap()
+        .value;
+        let got = interpret(&residual.to_cs(), "mixwell-run", &[args.clone()])
+            .unwrap()
+            .value;
+        assert_eq!(got, expect);
+
+        // Fused object code computes the same.
+        let image = genext
+            .specialize_object(&[langs::mixwell_program()])
+            .unwrap();
+        let got_obj = run_image(&image, "mixwell-run", &[args]).unwrap().value;
+        assert_eq!(got_obj, expect);
+    });
+}
+
+#[test]
+fn mixwell_residual_equals_compiled_residual_source() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::mixwell_policies());
+        let p = pgg.parse(langs::MIXWELL_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let source = genext
+            .specialize_source(&[langs::mixwell_program()])
+            .unwrap();
+        let compiled = two4one::compile_program(&source, "mixwell-run").unwrap();
+        let fused = genext
+            .specialize_object(&[langs::mixwell_program()])
+            .unwrap();
+        assert_eq!(fused.templates.len(), compiled.templates.len());
+        for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2, "{n1}:\n{}\nvs\n{}", t1.disassemble(), t2.disassemble());
+        }
+    });
+}
+
+#[test]
+fn mixwell_ackermann_specializes_and_runs() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::mixwell_policies());
+        let p = pgg.parse(langs::MIXWELL_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let ack = two4one::reader::read_one(langs::MIXWELL_ACKERMANN).unwrap();
+        let image = genext.specialize_object(&[ack]).unwrap();
+        let args = Datum::list([Datum::Int(2), Datum::Int(3)]);
+        let out = run_image(&image, "mixwell-run", &[args]).unwrap();
+        assert_eq!(out.value, Datum::Int(9)); // ack(2,3) = 9
+    });
+}
+
+#[test]
+fn lazy_interpreter_runs_directly() {
+    with_stack(|| {
+        let pgg = Pgg::new();
+        let p = pgg.parse(langs::LAZY_INTERP).unwrap();
+        let args = Datum::list([Datum::Int(3), Datum::Int(4)]);
+        let out = interpret(&p, "lazy-run", &[langs::lazy_program(), args]).unwrap();
+        // squares of 3,4,5,6 = 9+16+25+36 = 86; only terminates lazily.
+        assert_eq!(out.value, Datum::Int(86));
+    });
+}
+
+#[test]
+fn lazy_specializes_and_stays_lazy() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::lazy_policies());
+        let p = pgg.parse(langs::LAZY_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "lazy-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+
+        let residual = genext.specialize_source(&[langs::lazy_program()]).unwrap();
+        let text = residual.to_source();
+        assert!(!text.contains("lz-lookup"), "{text}");
+        // Laziness is compiled into residual thunks.
+        assert!(text.contains("lambda"), "{text}");
+
+        let args = Datum::list([Datum::Int(3), Datum::Int(4)]);
+        let got = interpret(&residual.to_cs(), "lazy-run", &[args.clone()])
+            .unwrap()
+            .value;
+        assert_eq!(got, Datum::Int(86));
+
+        let image = genext.specialize_object(&[langs::lazy_program()]).unwrap();
+        let out = run_image(&image, "lazy-run", &[args]).unwrap();
+        assert_eq!(out.value, Datum::Int(86));
+    });
+}
+
+#[test]
+fn lazy_fusion_equivalence() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::lazy_policies());
+        let p = pgg.parse(langs::LAZY_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "lazy-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let source = genext.specialize_source(&[langs::lazy_program()]).unwrap();
+        let compiled = two4one::compile_program(&source, "lazy-run").unwrap();
+        let fused = genext.specialize_object(&[langs::lazy_program()]).unwrap();
+        assert_eq!(fused.templates.len(), compiled.templates.len());
+        for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2, "{n1}:\n{}\nvs\n{}", t1.disassemble(), t2.disassemble());
+        }
+    });
+}
+
+#[test]
+fn interpreters_also_compile_with_the_stock_compiler() {
+    // The "Compile" column of Fig. 8: the interpreter itself, compiled.
+    with_stack(|| {
+        let pgg = Pgg::new();
+        for (src, entry, prog, args, spot) in [
+            (
+                langs::MIXWELL_INTERP,
+                "mixwell-run",
+                langs::mixwell_program(),
+                Datum::list([Datum::Int(15)]),
+                None,
+            ),
+            (
+                langs::LAZY_INTERP,
+                "lazy-run",
+                langs::lazy_program(),
+                Datum::list([Datum::Int(2), Datum::Int(3)]),
+                Some(Datum::Int(4 + 9 + 16)),
+            ),
+        ] {
+            let p = pgg.parse(src).unwrap();
+            let image = compile(&p, entry).unwrap();
+            let expect = interpret(&p, entry, &[prog.clone(), args.clone()])
+                .unwrap()
+                .value;
+            let got = run_image(&image, entry, &[prog, args]).unwrap().value;
+            assert_eq!(got, expect);
+            if let Some(s) = spot {
+                assert_eq!(got, s);
+            }
+        }
+    });
+}
+
+#[test]
+fn dfa_specializes_to_state_functions() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::dfa_policies());
+        let p = pgg.parse(langs::DFA_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "dfa-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let residual = genext.specialize_source(&[langs::dfa_aba()]).unwrap();
+        // Four states reachable + the entry = 5 definitions, no table walk.
+        assert_eq!(residual.defs.len(), 5, "{}", residual.to_source());
+        assert!(!residual.to_source().contains("dfa-dispatch"));
+
+        let image = genext.specialize_object(&[langs::dfa_aba()]).unwrap();
+        for (word, expect) in [
+            ("(a b a)", true),
+            ("(b b a b a b)", true),
+            ("(a b b a)", false),
+            ("()", false),
+            ("(a a a b a)", true),
+            ("(b a b)", false),
+        ] {
+            let w = two4one::reader::read_one(word).unwrap();
+            let got = run_image(&image, "dfa-run", &[w.clone()]).unwrap().value;
+            assert_eq!(got, Datum::Bool(expect), "{word}");
+            // Agrees with the interpreted interpreter.
+            let base = interpret(&p, "dfa-run", &[langs::dfa_aba(), w])
+                .unwrap()
+                .value;
+            assert_eq!(got, base, "{word}");
+        }
+    });
+}
+
+#[test]
+fn optimizer_shrinks_interpreter_residuals() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::mixwell_policies());
+        let p = pgg.parse(langs::MIXWELL_INTERP).unwrap();
+        let genext = pgg
+            .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let residual = genext
+            .specialize_source(&[langs::mixwell_program()])
+            .unwrap();
+        let optimized = genext
+            .specialize_source_optimized(&[langs::mixwell_program()])
+            .unwrap();
+        assert!(
+            optimized.size() <= residual.size(),
+            "optimizer grew the program: {} -> {}",
+            residual.size(),
+            optimized.size()
+        );
+        // Semantics preserved.
+        let args = Datum::list([Datum::Int(12)]);
+        let a = interpret(&residual.to_cs(), "mixwell-run", &[args.clone()])
+            .unwrap()
+            .value;
+        let b = interpret(&optimized.to_cs(), "mixwell-run", &[args])
+            .unwrap()
+            .value;
+        assert_eq!(a, b);
+    });
+}
+
+#[test]
+fn fcl_flowchart_specializes_to_program_point_functions() {
+    with_stack(|| {
+        let pgg = pgg_with(&langs::fcl_policies());
+        let p = pgg.parse(langs::FCL_INTERP).unwrap();
+
+        // Run interpreted first: 3^5 = 243.
+        let args = Datum::list([Datum::Int(3), Datum::Int(5)]);
+        let base = interpret(&p, "fcl-run", &[langs::fcl_power(), args.clone()])
+            .unwrap()
+            .value;
+        assert_eq!(base, Datum::Int(243));
+
+        let genext = pgg
+            .cogen(&p, "fcl-run", &Division::new([BT::Static, BT::Dynamic]))
+            .unwrap();
+        let residual = genext.specialize_source(&[langs::fcl_power()]).unwrap();
+        let text = residual.to_source();
+        // Polyvariant program-point specialization: one residual function
+        // per reachable block (start/test/loop/done fold into the blocks
+        // that end in dynamic control; at least the loop head survives).
+        assert!(text.contains("fcl-block%"), "{text}");
+        // The dispatch machinery is gone.
+        assert!(!text.contains("fcl-find-block"), "{text}");
+        assert!(!text.contains("fcl-lookup"), "{text}");
+
+        let got = interpret(&residual.to_cs(), "fcl-run", &[args.clone()])
+            .unwrap()
+            .value;
+        assert_eq!(got, base);
+
+        // Fused object code agrees, and matches compiled residual source.
+        let image = genext.specialize_object(&[langs::fcl_power()]).unwrap();
+        assert_eq!(run_image(&image, "fcl-run", &[args]).unwrap().value, base);
+        let compiled = two4one::compile_program(&residual, "fcl-run").unwrap();
+        for ((n1, t1), (n2, t2)) in image.templates.iter().zip(&compiled.templates) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+    });
+}

@@ -1,0 +1,183 @@
+//! Property-based tests over random programs and data.
+//!
+//! Programs are generated as `Send`-able sketches and materialized inside
+//! a large-stack worker thread (syntax trees use `Rc` internally and the
+//! engines recurse deeply). Random programs can diverge, so every engine
+//! runs with fuel; a case where any engine times out is skipped — the
+//! properties quantify over the *decidable* cases.
+
+use proptest::prelude::*;
+use two4one::{compile, with_stack_size, Datum, Image, Interp, Machine, Symbol};
+use two4one_testkit::{arb_datum, arb_sketch, program_from_sketch, Sketch};
+
+// The tree-walking interpreter nests a Rust frame per non-tail call, so
+// divergent non-tail recursion consumes stack proportional to fuel; keep
+// fuel small enough to hit the meter before the 2 GiB worker stack.
+const INTERP_FUEL: u64 = 100_000;
+const VM_FUEL: u64 = 2_000_000;
+// Debug-build CPS frames are large; keep unfold depth well under the
+// 512 MiB worker stack.
+const PE_FUEL: u64 = 6_000;
+
+/// Outcome of running a program under some engine.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    /// Value plus collected output.
+    Val(Option<Datum>, String),
+    /// A runtime error.
+    Fault,
+    /// Fuel ran out — undecidable, skip.
+    Timeout,
+}
+
+fn run_interp(p: &two4one::cs::Program, args: &[Datum]) -> Outcome {
+    let mut i = Interp::new(p).with_fuel(INTERP_FUEL);
+    let argv = args.iter().map(two4one_interp_value).collect();
+    match i.call_global(&Symbol::new("main"), argv) {
+        Ok(v) => Outcome::Val(v.to_datum(), i.output),
+        Err(two4one::RtError::FuelExhausted) => Outcome::Timeout,
+        Err(_) => Outcome::Fault,
+    }
+}
+
+fn two4one_interp_value(d: &Datum) -> two4one::InterpValue {
+    two4one::InterpValue::from(d)
+}
+
+fn run_vm(image: &Image, args: &[Datum]) -> Outcome {
+    let mut m = Machine::load(image).with_fuel(VM_FUEL);
+    let argv = args.iter().map(two4one::Value::from).collect();
+    match m.call_global(&Symbol::new("main"), argv) {
+        Ok(v) => Outcome::Val(v.to_datum(), m.output),
+        Err(two4one::VmError::FuelExhausted) => Outcome::Timeout,
+        Err(_) => Outcome::Fault,
+    }
+}
+
+fn agree(name: &str, a: &Outcome, b: &Outcome) -> Result<(), String> {
+    match (a, b) {
+        (Outcome::Timeout, _) | (_, Outcome::Timeout) => Ok(()),
+        _ if a == b => Ok(()),
+        _ => Err(format!("{name}: {a:?} vs {b:?}")),
+    }
+}
+
+/// Engine agreement on random programs.
+fn check_engines_agree(m: Sketch, g: Sketch, a: i64, b: i64) -> Result<(), String> {
+    with_stack_size(2 * 1024 * 1024 * 1024, move || {
+        let p = program_from_sketch(&m, &g);
+        let args = [Datum::Int(a), Datum::Int(b)];
+        let expect = run_interp(&p, &args);
+        let image = compile(&p, "main").map_err(|e| format!("compile: {e}"))?;
+        let got = run_vm(&image, &args);
+        agree("interp-vs-vm", &expect, &got)
+    })
+}
+
+fn check_normalizer(m: Sketch, g: Sketch) -> Result<(), String> {
+    with_stack_size(2 * 1024 * 1024 * 1024, move || {
+        let p = program_from_sketch(&m, &g);
+        let anf = two4one::anf::normalize(&p);
+        for d in &anf.defs {
+            if !two4one::anf::cs_is_anf(&d.body.to_cs()) {
+                return Err(format!("not ANF: {}", d.body));
+            }
+        }
+        let args = [Datum::Int(3), Datum::Int(4)];
+        agree(
+            "normalize",
+            &run_interp(&p, &args),
+            &run_interp(&anf.to_cs(), &args),
+        )?;
+        // The optimizer must preserve semantics and the ANF grammar.
+        let opt = two4one::anf::optimize(&anf);
+        for d in &opt.defs {
+            if !two4one::anf::cs_is_anf(&d.body.to_cs()) {
+                return Err(format!("optimizer broke ANF: {}", d.body));
+            }
+        }
+        agree(
+            "optimize",
+            &run_interp(&anf.to_cs(), &args),
+            &run_interp(&opt.to_cs(), &args),
+        )
+    })
+}
+
+fn check_all_dynamic_pe(m: Sketch, g: Sketch, a: i64, b: i64) -> Result<(), String> {
+    // Debug builds spend ~10 large CPS frames per unfold; give this worker
+    // extra address space on top of the lowered fuel.
+    with_stack_size(2 * 1024 * 1024 * 1024, move || {
+        let p = program_from_sketch(&m, &g);
+        let pgg = two4one::Pgg::new().unfold_fuel(PE_FUEL).spec_depth(30_000);
+        let genext = pgg
+            .cogen(&p, "main", &two4one::Division::all_dynamic(2))
+            .map_err(|e| format!("cogen: {e}"))?;
+        let args = [Datum::Int(a), Datum::Int(b)];
+        let expect = run_interp(&p, &args);
+        match genext.specialize_object(&[]) {
+            Ok(image) => agree("pe", &expect, &run_vm(&image, &args)),
+            // Unfold-fuel/depth exhaustion = spec-time divergence or
+            // work exceeding the test budget: undecidable, skip.
+            Err(two4one::Error::Pe(two4one::PeError::UnfoldLimit(_)))
+            | Err(two4one::Error::Pe(two4one::PeError::DepthLimit { .. })) => Ok(()),
+            // Speculative static evaluation may fault where the program
+            // faults at run time.
+            Err(e) => {
+                if matches!(expect, Outcome::Fault | Outcome::Timeout) {
+                    Ok(())
+                } else {
+                    Err(format!("specializer failed ({e}) on a healthy program"))
+                }
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interpreter_and_vm_agree_on_random_programs(
+        m in arb_sketch(),
+        g in arb_sketch(),
+        a in -50i64..50,
+        b in -50i64..50,
+    ) {
+        let r = check_engines_agree(m, g, a, b);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn normalizer_output_is_valid_anf(m in arb_sketch(), g in arb_sketch()) {
+        let r = check_normalizer(m, g);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn all_dynamic_specialization_preserves_semantics(
+        m in arb_sketch(),
+        g in arb_sketch(),
+        a in -20i64..20,
+        b in -20i64..20,
+    ) {
+        let r = check_all_dynamic_pe(m, g, a, b);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    #[test]
+    fn reader_printer_roundtrip(d in arb_datum()) {
+        let text = d.to_string();
+        let back = two4one::reader::read_one(&text)
+            .unwrap_or_else(|e| panic!("reparse `{text}`: {e}"));
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn pretty_printer_roundtrip(d in arb_datum()) {
+        let text = two4one::printer::pretty(&d, 30);
+        let back = two4one::reader::read_one(&text)
+            .unwrap_or_else(|e| panic!("reparse pretty `{text}`: {e}"));
+        prop_assert_eq!(back, d);
+    }
+}
