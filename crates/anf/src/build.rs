@@ -93,6 +93,14 @@ pub trait CodeBuilder {
 
     /// Finishes the program; `entry` names the main residual definition.
     fn finish(self, entry: &Symbol) -> Self::Program;
+
+    /// A monotone measure of the residual code built so far, in
+    /// backend-specific units (syntax nodes for the source backend,
+    /// emitted instructions for the object backend). The specializer
+    /// polls this to enforce [`Limits::code_cap`]
+    /// (`two4one_syntax::limits::Limits`) — run-time code generation must
+    /// not fill memory with residual code before anyone runs it.
+    fn code_size(&self) -> usize;
 }
 
 /// The source backend: builds residual ANF syntax, printable as Scheme.
@@ -116,12 +124,20 @@ pub trait CodeBuilder {
 #[derive(Debug, Default)]
 pub struct SourceBuilder {
     defs: Vec<Def>,
+    ops: usize,
 }
 
 impl SourceBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        SourceBuilder { defs: Vec::new() }
+        SourceBuilder {
+            defs: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    fn count(&mut self) {
+        self.ops += 1;
     }
 }
 
@@ -132,18 +148,22 @@ impl CodeBuilder for SourceBuilder {
     type Program = Program;
 
     fn const_(&mut self, d: &Datum) -> Triv {
+        self.count();
         Triv::Const(d.clone())
     }
 
     fn var(&mut self, x: &Symbol) -> Triv {
+        self.count();
         Triv::Var(x.clone())
     }
 
     fn global(&mut self, x: &Symbol) -> Triv {
+        self.count();
         Triv::Var(x.clone())
     }
 
     fn lambda(&mut self, name: &Symbol, params: &[Symbol], _free: &[Symbol], body: Expr) -> Triv {
+        self.count();
         Triv::Lambda(Rc::new(Lambda {
             name: name.clone(),
             params: params.to_vec(),
@@ -152,38 +172,47 @@ impl CodeBuilder for SourceBuilder {
     }
 
     fn call(&mut self, f: Triv, args: Vec<Triv>) -> App {
+        self.count();
         App::Call(f, args)
     }
 
     fn call_global(&mut self, g: &Symbol, args: Vec<Triv>) -> App {
+        self.count();
         App::Call(Triv::Var(g.clone()), args)
     }
 
     fn prim(&mut self, p: Prim, args: Vec<Triv>) -> App {
+        self.count();
         App::Prim(p, args)
     }
 
     fn ret(&mut self, t: Triv) -> Expr {
+        self.count();
         Expr::Ret(t)
     }
 
     fn tail(&mut self, s: App) -> Expr {
+        self.count();
         Expr::Tail(s)
     }
 
     fn let_serious(&mut self, x: &Symbol, rhs: App, body: Expr) -> Expr {
+        self.count();
         Expr::Let(x.clone(), Rhs::App(rhs), Box::new(body))
     }
 
     fn let_triv(&mut self, x: &Symbol, rhs: Triv, body: Expr) -> Expr {
+        self.count();
         Expr::Let(x.clone(), Rhs::Triv(rhs), Box::new(body))
     }
 
     fn if_(&mut self, t: Triv, then: Expr, els: Expr) -> Expr {
+        self.count();
         Expr::If(t, Box::new(then), Box::new(els))
     }
 
     fn define(&mut self, name: &Symbol, params: &[Symbol], body: Expr) {
+        self.count();
         self.defs.push(Def {
             name: name.clone(),
             params: params.to_vec(),
@@ -198,6 +227,10 @@ impl CodeBuilder for SourceBuilder {
             self.defs.insert(0, d);
         }
         Program { defs: self.defs }
+    }
+
+    fn code_size(&self) -> usize {
+        self.ops
     }
 }
 

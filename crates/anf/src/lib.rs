@@ -135,12 +135,8 @@ impl App {
     /// Embeds back into Core Scheme.
     pub fn to_cs(&self) -> cs::Expr {
         match self {
-            App::Call(f, args) => {
-                cs::Expr::app(f.to_cs(), args.iter().map(Triv::to_cs).collect())
-            }
-            App::Prim(p, args) => {
-                cs::Expr::PrimApp(*p, args.iter().map(Triv::to_cs).collect())
-            }
+            App::Call(f, args) => cs::Expr::app(f.to_cs(), args.iter().map(Triv::to_cs).collect()),
+            App::Prim(p, args) => cs::Expr::PrimApp(*p, args.iter().map(Triv::to_cs).collect()),
         }
     }
 
@@ -320,7 +316,10 @@ mod tests {
     fn embedding_matches_display() {
         let e = Expr::Let(
             Symbol::new("t"),
-            Rhs::App(App::Prim(Prim::Add, vec![Triv::Var(Symbol::new("x")), Triv::Const(Datum::Int(1))])),
+            Rhs::App(App::Prim(
+                Prim::Add,
+                vec![Triv::Var(Symbol::new("x")), Triv::Const(Datum::Int(1))],
+            )),
             Box::new(Expr::Ret(Triv::Var(Symbol::new("t")))),
         );
         assert_eq!(e.to_string(), "(let ((t (+ x 1))) t)");
@@ -331,7 +330,10 @@ mod tests {
     fn free_vars_of_anf() {
         let e = Expr::Let(
             Symbol::new("t"),
-            Rhs::App(App::Call(Triv::Var(Symbol::new("f")), vec![Triv::Var(Symbol::new("x"))])),
+            Rhs::App(App::Call(
+                Triv::Var(Symbol::new("f")),
+                vec![Triv::Var(Symbol::new("x"))],
+            )),
             Box::new(Expr::Ret(Triv::Var(Symbol::new("t")))),
         );
         let fv: Vec<String> = e.free_vars().iter().map(|s| s.to_string()).collect();

@@ -41,6 +41,7 @@ struct Norm<'g> {
 }
 
 type K<'a> = Box<dyn FnOnce(&mut Norm, Triv) -> Expr + 'a>;
+type KSeq<'a> = Box<dyn FnOnce(&mut Norm, Vec<Triv>) -> Expr + 'a>;
 
 impl Norm<'_> {
     /// Normalizes `e` in tail position.
@@ -50,22 +51,30 @@ impl Norm<'_> {
                 let t = self.triv(e);
                 Expr::Ret(t)
             }
-            cs::Expr::If(t, c, a) => self.name(t, Box::new(move |s, tv| {
-                Expr::If(tv, Box::new(s.tail(c)), Box::new(s.tail(a)))
-            })),
+            cs::Expr::If(t, c, a) => self.name(
+                t,
+                Box::new(move |s, tv| Expr::If(tv, Box::new(s.tail(c)), Box::new(s.tail(a)))),
+            ),
             cs::Expr::Let(x, rhs, body) => {
                 self.named(x.clone(), rhs, Box::new(move |s| s.tail(body)))
             }
-            cs::Expr::App(f, args) => self.name(f, Box::new(move |s, ft| {
-                s.name_seq(args, Vec::new(), Box::new(move |_, argts| {
-                    Expr::Tail(App::Call(ft, argts))
-                }))
-            })),
+            cs::Expr::App(f, args) => self.name(
+                f,
+                Box::new(move |s, ft| {
+                    s.name_seq(
+                        args,
+                        Vec::new(),
+                        Box::new(move |_, argts| Expr::Tail(App::Call(ft, argts))),
+                    )
+                }),
+            ),
             cs::Expr::PrimApp(p, args) => {
                 let p = *p;
-                self.name_seq(args, Vec::new(), Box::new(move |_, argts| {
-                    Expr::Tail(App::Prim(p, argts))
-                }))
+                self.name_seq(
+                    args,
+                    Vec::new(),
+                    Box::new(move |_, argts| Expr::Tail(App::Prim(p, argts))),
+                )
             }
         }
     }
@@ -88,15 +97,17 @@ impl Norm<'_> {
                     k(self, rv)
                 };
                 let jump = move |s: &mut Norm, br: &cs::Expr, j: Symbol| {
-                    s.name(br, Box::new(move |_, bt| {
-                        Expr::Tail(App::Call(Triv::Var(j), vec![bt]))
-                    }))
+                    s.name(
+                        br,
+                        Box::new(move |_, bt| Expr::Tail(App::Call(Triv::Var(j), vec![bt]))),
+                    )
                 };
                 let jc = jump(self, c, j.clone());
                 let ja = jump(self, a, j.clone());
-                let test_and_branch = self.name(t, Box::new(move |_, tv| {
-                    Expr::If(tv, Box::new(jc), Box::new(ja))
-                }));
+                let test_and_branch = self.name(
+                    t,
+                    Box::new(move |_, tv| Expr::If(tv, Box::new(jc), Box::new(ja))),
+                );
                 Expr::Let(
                     jt,
                     Rhs::Triv(Triv::Lambda(Rc::new(Lambda {
@@ -113,70 +124,94 @@ impl Norm<'_> {
             cs::Expr::App(f, args) => {
                 let tmp = self.gensym.fresh("t");
                 let tmp2 = tmp.clone();
-                self.name(f, Box::new(move |s, ft| {
-                    s.name_seq(args, Vec::new(), Box::new(move |s, argts| {
-                        let rest = k(s, Triv::Var(tmp2.clone()));
-                        Expr::Let(tmp2, Rhs::App(App::Call(ft, argts)), Box::new(rest))
-                    }))
-                }))
+                self.name(
+                    f,
+                    Box::new(move |s, ft| {
+                        s.name_seq(
+                            args,
+                            Vec::new(),
+                            Box::new(move |s, argts| {
+                                let rest = k(s, Triv::Var(tmp2.clone()));
+                                Expr::Let(tmp2, Rhs::App(App::Call(ft, argts)), Box::new(rest))
+                            }),
+                        )
+                    }),
+                )
             }
             cs::Expr::PrimApp(p, args) => {
                 let p = *p;
                 let tmp = self.gensym.fresh("t");
-                self.name_seq(args, Vec::new(), Box::new(move |s, argts| {
-                    let rest = k(s, Triv::Var(tmp.clone()));
-                    Expr::Let(tmp, Rhs::App(App::Prim(p, argts)), Box::new(rest))
-                }))
+                self.name_seq(
+                    args,
+                    Vec::new(),
+                    Box::new(move |s, argts| {
+                        let rest = k(s, Triv::Var(tmp.clone()));
+                        Expr::Let(tmp, Rhs::App(App::Prim(p, argts)), Box::new(rest))
+                    }),
+                )
             }
         }
     }
 
     /// Normalizes a list of expressions left-to-right into trivials.
-    fn name_seq<'a>(
-        &mut self,
-        es: &'a [cs::Expr],
-        mut acc: Vec<Triv>,
-        k: Box<dyn FnOnce(&mut Norm, Vec<Triv>) -> Expr + 'a>,
-    ) -> Expr {
+    fn name_seq<'a>(&mut self, es: &'a [cs::Expr], mut acc: Vec<Triv>, k: KSeq<'a>) -> Expr {
         match es.split_first() {
             None => k(self, acc),
-            Some((first, rest)) => self.name(first, Box::new(move |s, t| {
-                acc.push(t);
-                s.name_seq(rest, acc, k)
-            })),
+            Some((first, rest)) => self.name(
+                first,
+                Box::new(move |s, t| {
+                    acc.push(t);
+                    s.name_seq(rest, acc, k)
+                }),
+            ),
         }
     }
 
     /// Normalizes `(let (x rhs) …)` keeping the binding structure: serious
     /// right-hand sides bind directly without an extra temporary.
-    fn named(&mut self, x: Symbol, rhs: &cs::Expr, then: Box<dyn FnOnce(&mut Norm) -> Expr + '_>) -> Expr {
+    fn named(
+        &mut self,
+        x: Symbol,
+        rhs: &cs::Expr,
+        then: Box<dyn FnOnce(&mut Norm) -> Expr + '_>,
+    ) -> Expr {
         match rhs {
             cs::Expr::Const(_) | cs::Expr::Var(_) | cs::Expr::Lambda(_) => {
                 let t = self.triv(rhs);
                 Expr::Let(x, Rhs::Triv(t), Box::new(then(self)))
             }
-            cs::Expr::App(f, args) => self.name(f, Box::new(move |s, ft| {
-                s.name_seq(args, Vec::new(), Box::new(move |s, argts| {
-                    Expr::Let(x, Rhs::App(App::Call(ft, argts)), Box::new(then(s)))
-                }))
-            })),
+            cs::Expr::App(f, args) => self.name(
+                f,
+                Box::new(move |s, ft| {
+                    s.name_seq(
+                        args,
+                        Vec::new(),
+                        Box::new(move |s, argts| {
+                            Expr::Let(x, Rhs::App(App::Call(ft, argts)), Box::new(then(s)))
+                        }),
+                    )
+                }),
+            ),
             cs::Expr::PrimApp(p, args) => {
                 let p = *p;
-                self.name_seq(args, Vec::new(), Box::new(move |s, argts| {
-                    Expr::Let(x, Rhs::App(App::Prim(p, argts)), Box::new(then(s)))
-                }))
+                self.name_seq(
+                    args,
+                    Vec::new(),
+                    Box::new(move |s, argts| {
+                        Expr::Let(x, Rhs::App(App::Prim(p, argts)), Box::new(then(s)))
+                    }),
+                )
             }
             cs::Expr::Let(y, rhs2, body2) => {
-                self.named(y.clone(), rhs2, Box::new(move |s| {
-                    s.named(x, body2, then)
-                }))
+                self.named(y.clone(), rhs2, Box::new(move |s| s.named(x, body2, then)))
             }
             cs::Expr::If(..) => {
                 // General case: produce a trivial for the conditional
                 // (introduces a join point) and bind it.
-                self.name(rhs, Box::new(move |s, t| {
-                    Expr::Let(x, Rhs::Triv(t), Box::new(then(s)))
-                }))
+                self.name(
+                    rhs,
+                    Box::new(move |s, t| Expr::Let(x, Rhs::Triv(t), Box::new(then(s)))),
+                )
             }
         }
     }
@@ -279,7 +314,7 @@ mod tests {
         // duplication of the continuation).
         let e = norm("(+ (if a 1 2) (if b 3 4))");
         let text = e.to_string();
-        assert_eq!(text.matches("join").count() >= 2, true);
+        assert!(text.matches("join").count() >= 2);
         assert!(cs_is_anf(&e.to_cs()));
     }
 

@@ -203,9 +203,7 @@ fn uses_in_expr(e: &Expr, x: &Symbol) -> usize {
             // Names are unique, so shadowing cannot occur, but guard anyway.
             rhs_uses + if y == x { 0 } else { uses_in_expr(body, x) }
         }
-        Expr::If(t, c, a) => {
-            uses_in_triv(t, x) + uses_in_expr(c, x) + uses_in_expr(a, x)
-        }
+        Expr::If(t, c, a) => uses_in_triv(t, x) + uses_in_expr(c, x) + uses_in_expr(a, x),
     }
 }
 
@@ -234,11 +232,7 @@ fn pass(e: &Expr, s: &mut Subst, aggressive: bool) -> Expr {
                         s.insert(x.clone(), t);
                         pass(body, s, aggressive)
                     } else {
-                        Expr::Let(
-                            x.clone(),
-                            Rhs::Triv(t),
-                            Box::new(pass(body, s, aggressive)),
-                        )
+                        Expr::Let(x.clone(), Rhs::Triv(t), Box::new(pass(body, s, aggressive)))
                     }
                 }
                 Rhs::App(a) => {

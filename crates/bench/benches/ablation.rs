@@ -10,15 +10,16 @@
 //!   the interpreter vs. running the code generated for it at run time,
 //!   the end-to-end payoff of the whole system.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 use two4one::{
-    compile_source_text, interpret, run_image, with_stack, CallPolicy, Datum, Division,
-    Machine, Pgg, Symbol, Value, BT,
+    compile_source_text, interpret, run_image, with_stack, CallPolicy, Datum, Division, Machine,
+    Pgg, Symbol, Value, BT,
 };
-use two4one_compiler::compile_program_generic;
+use two4one_bench::harness::Criterion;
 use two4one_bench::subjects;
+use two4one_bench::{criterion_group, criterion_main};
+use two4one_compiler::compile_program_generic;
 
 fn bench_fused_vs_staged(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_fused_vs_staged");
@@ -172,9 +173,11 @@ fn bench_interp_vs_rtcg_execution(c: &mut Criterion) {
             with_stack(move || {
                 let t0 = Instant::now();
                 for _ in 0..iters {
-                    let image = g.specialize_object(&[prog.clone()]).expect("generate");
+                    let image = g
+                        .specialize_object(std::slice::from_ref(&prog))
+                        .expect("generate");
                     black_box(
-                        run_image(&image, "mixwell-run", &[a.clone()])
+                        run_image(&image, "mixwell-run", std::slice::from_ref(&a))
                             .expect("run")
                             .value,
                     );
@@ -202,19 +205,26 @@ fn bench_compilers(c: &mut Criterion) {
         group.bench_function(format!("{}/anf-compilators", subject.name), move |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    two4one::compile_program(&a, entry).expect("anf").code_size(),
+                    two4one::compile_program(&a, entry)
+                        .expect("anf")
+                        .code_size(),
                 )
             })
         });
 
         let g = anf_cs.clone();
-        group.bench_function(format!("{}/generic-ct-continuation", subject.name), move |b| {
-            b.iter(|| {
-                std::hint::black_box(
-                    compile_program_generic(&g, entry).expect("generic").code_size(),
-                )
-            })
-        });
+        group.bench_function(
+            format!("{}/generic-ct-continuation", subject.name),
+            move |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        compile_program_generic(&g, entry)
+                            .expect("generic")
+                            .code_size(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

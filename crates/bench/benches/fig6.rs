@@ -7,11 +7,12 @@
 //! representation being converted to byte codes, which our assembler also
 //! models via template construction).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 use two4one::with_stack;
+use two4one_bench::harness::Criterion;
 use two4one_bench::subjects;
+use two4one_bench::{criterion_group, criterion_main};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_generation_speed");

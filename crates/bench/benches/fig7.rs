@@ -9,11 +9,12 @@
 //! source-generation (Fig. 6) *plus* this compilation time, while the
 //! fused system pays only its (slightly higher) generation time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 use two4one::{compile_source_text, with_stack};
+use two4one_bench::harness::Criterion;
 use two4one_bench::subjects;
+use two4one_bench::{criterion_group, criterion_main};
 
 fn bench_load_residual(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_compile_residual");
@@ -36,9 +37,7 @@ fn bench_load_residual(c: &mut Criterion) {
                 with_stack(move || {
                     let t0 = Instant::now();
                     for _ in 0..iters {
-                        black_box(
-                            compile_source_text(&t, entry).expect("compile").code_size(),
-                        );
+                        black_box(compile_source_text(&t, entry).expect("compile").code_size());
                     }
                     t0.elapsed()
                 })

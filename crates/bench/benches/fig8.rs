@@ -10,11 +10,12 @@
 //! generator with the stock compiler; our generating extensions are
 //! in-memory closures, so there is nothing to load — see EXPERIMENTS.md.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 use two4one::{compile_source_text, with_stack, Division};
+use two4one_bench::harness::Criterion;
 use two4one_bench::subjects;
+use two4one_bench::{criterion_group, criterion_main};
 
 fn bench_normal_compilation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_rtcg_as_compiler");

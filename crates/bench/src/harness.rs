@@ -1,0 +1,155 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The workspace builds offline, so the usual benchmarking crates are
+//! unavailable. This module reproduces exactly the slice of their API the
+//! `benches/` files use — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`/`iter_custom`, and the
+//! [`criterion_group!`](crate::criterion_group)/
+//! [`criterion_main!`](crate::criterion_main) macros — and reports the
+//! median and minimum per-iteration time for each benchmark.
+//!
+//! Set `T4O_BENCH_SAMPLES` to override the sample count (e.g. `=3` for a
+//! smoke run in CI).
+
+use std::time::{Duration, Instant};
+
+/// Harness entry point; one per benchmark binary.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            samples: default_samples(),
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("T4O_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+/// A group of measurements sharing a heading and sample count.
+pub struct Group {
+    samples: usize,
+}
+
+impl Group {
+    /// Sets how many samples to take per benchmark (the env override
+    /// `T4O_BENCH_SAMPLES` wins).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var_os("T4O_BENCH_SAMPLES").is_none() && n > 0 {
+            self.samples = n;
+        }
+        self
+    }
+
+    /// Measures one benchmark: runs `f` once per sample and prints the
+    /// median and minimum per-iteration time.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher { per_iter: None };
+            f(&mut b);
+            if let Some(d) = b.per_iter {
+                times.push(d);
+            }
+        }
+        if times.is_empty() {
+            println!("  {id}: no measurement");
+            return self;
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let min = times[0];
+        println!("  {id}: median {}  min {}", fmt(median), fmt(min));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing is eager).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Passed to the benchmark closure; records one sample.
+pub struct Bencher {
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` directly, auto-scaling the iteration count so one sample
+    /// takes at least ~2 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.per_iter = Some(elapsed / iters.max(1) as u32);
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    /// Lets the closure time `iters` iterations itself (for setup-heavy
+    /// benchmarks) and records the per-iteration cost.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.per_iter = Some(elapsed / iters.max(1) as u32);
+                return;
+            }
+            iters *= 4;
+        }
+    }
+}
+
+/// Builds the function `criterion_group!` names from a list of benchmark
+/// functions, mirroring the classic macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary, mirroring the classic macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            $name();
+        }
+    };
+}

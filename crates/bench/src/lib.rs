@@ -10,6 +10,8 @@ use std::time::{Duration, Instant};
 use two4one::{with_stack, CallPolicy, Datum, Division, GenExt, Pgg, BT};
 use two4one_langs as langs;
 
+pub mod harness;
+
 /// A benchmark subject: an interpreter plus the static program it is
 /// specialized over (the paper's MIXWELL and LAZY rows).
 pub struct Subject {
@@ -59,7 +61,9 @@ impl Subject {
 
     /// The interpreter as Core Scheme.
     pub fn parsed(&self) -> two4one::cs::Program {
-        self.pgg().parse(self.interp_src).expect("interpreter parses")
+        self.pgg()
+            .parse(self.interp_src)
+            .expect("interpreter parses")
     }
 
     /// The generating extension under the compilation division
@@ -107,8 +111,7 @@ where
 /// The numbers published in the paper, for side-by-side printing.
 pub mod paper {
     /// Fig. 6 "Generation speed" (seconds, cumulative): (source, object).
-    pub const FIG6: &[(&str, f64, f64)] =
-        &[("MIXWELL", 3.072, 3.770), ("LAZY", 1.832, 3.451)];
+    pub const FIG6: &[(&str, f64, f64)] = &[("MIXWELL", 3.072, 3.770), ("LAZY", 1.832, 3.451)];
 
     /// Fig. 8 "Using RTCG for normal compilation":
     /// (name, BTA, Load, Generate, Compile).
@@ -127,7 +130,9 @@ mod tests {
         with_stack(|| {
             for s in subjects() {
                 let g = s.genext();
-                let img = g.specialize_object(&[s.program.clone()]).unwrap();
+                let img = g
+                    .specialize_object(std::slice::from_ref(&s.program))
+                    .unwrap();
                 assert!(img.code_size() > 0);
                 let gd = s.genext_all_dynamic();
                 let img = gd.specialize_object(&[]).unwrap();

@@ -13,6 +13,7 @@ use std::collections::{BTreeSet, HashMap};
 use two4one_syntax::acs::{CallPolicy, BT};
 use two4one_syntax::cs;
 use two4one_syntax::datum::Datum;
+use two4one_syntax::limits::{Deadline, LimitExceeded};
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
 
@@ -189,11 +190,9 @@ impl Analysis {
                 self.load(c, owner),
                 self.load(alt, owner),
             ),
-            cs::Expr::Let(x, rhs, body) => Node::Let(
-                x.clone(),
-                self.load(rhs, owner),
-                self.load(body, owner),
-            ),
+            cs::Expr::Let(x, rhs, body) => {
+                Node::Let(x.clone(), self.load(rhs, owner), self.load(body, owner))
+            }
             cs::Expr::App(f, args) => {
                 let f = self.load(f, owner);
                 let args = args.iter().map(|x| self.load(x, owner)).collect();
@@ -223,20 +222,30 @@ impl Analysis {
     }
 
     /// Runs CFA, the recursion analysis, and the binding-time fixpoint.
-    pub fn run(&mut self) {
-        self.cfa();
+    ///
+    /// All three fixpoints are monotone over finite lattices, so they
+    /// terminate; the deadline bounds their wall-clock cost on very large
+    /// programs (checked once per outer iteration — the granularity at
+    /// which the loops are restartable anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns the deadline fault if the wall-clock budget runs out.
+    pub fn run(&mut self, deadline: &Deadline) -> Result<(), LimitExceeded> {
+        self.cfa(deadline)?;
         self.find_recursion();
-        self.find_never();
-        self.bt_fixpoint();
+        self.find_never(deadline)?;
+        self.bt_fixpoint(deadline)
     }
 
     /// Least fixpoint of "this node never returns a value": `error`
     /// applications, conditionals whose branches all diverge, lets whose
     /// right-hand side or body diverges, and applications all of whose
     /// callees' bodies diverge.
-    fn find_never(&mut self) {
+    fn find_never(&mut self, deadline: &Deadline) -> Result<(), LimitExceeded> {
         self.never = vec![false; self.nodes.len()];
         loop {
+            deadline.check()?;
             let mut changed = false;
             for n in 0..self.nodes.len() {
                 let new = match &self.nodes[n] {
@@ -259,15 +268,16 @@ impl Analysis {
                 }
             }
             if !changed {
-                break;
+                return Ok(());
             }
         }
     }
 
     // ----- control-flow analysis ---------------------------------------
 
-    fn cfa(&mut self) {
+    fn cfa(&mut self, deadline: &Deadline) -> Result<(), LimitExceeded> {
         loop {
+            deadline.check()?;
             let mut changed = false;
             for n in 0..self.nodes.len() {
                 let add: BTreeSet<ProcId> = match &self.nodes[n] {
@@ -299,12 +309,8 @@ impl Analysis {
                         let mut result = BTreeSet::new();
                         for callee in callees {
                             let (params, body) = match callee {
-                                ProcId::Lam(l) => {
-                                    (self.lams[l].params.clone(), self.lams[l].body)
-                                }
-                                ProcId::Fn(g) => {
-                                    (self.fns[g].params.clone(), self.fns[g].body)
-                                }
+                                ProcId::Lam(l) => (self.lams[l].params.clone(), self.lams[l].body),
+                                ProcId::Fn(g) => (self.fns[g].params.clone(), self.fns[g].body),
                             };
                             for (p, arg) in params.iter().zip(&args) {
                                 let arg_flow = self.flow_node[*arg].clone();
@@ -323,7 +329,7 @@ impl Analysis {
                 changed |= self.flow_node[n].len() != before;
             }
             if !changed {
-                break;
+                return Ok(());
             }
         }
     }
@@ -441,8 +447,9 @@ impl Analysis {
         bt
     }
 
-    fn bt_fixpoint(&mut self) {
+    fn bt_fixpoint(&mut self, deadline: &Deadline) -> Result<(), LimitExceeded> {
         loop {
+            deadline.check()?;
             let mut changed = false;
 
             // Demand: entry result is residual code.
@@ -468,9 +475,7 @@ impl Analysis {
                         } else {
                             // Diverging branches do not contribute a value.
                             match (self.never[c], self.never[a]) {
-                                (false, false) => {
-                                    self.bt_node[c].lub(self.bt_node[a])
-                                }
+                                (false, false) => self.bt_node[c].lub(self.bt_node[a]),
                                 (false, true) => self.bt_node[c],
                                 (true, false) => self.bt_node[a],
                                 (true, true) => BT::Dynamic,
@@ -502,11 +507,7 @@ impl Analysis {
                                         ProcId::Fn(g) => self.fns[*g].params.clone(),
                                     };
                                     if let Some(p) = params.get(i) {
-                                        self.raise_var(
-                                            p,
-                                            self.bt_node[*arg],
-                                            &mut changed,
-                                        );
+                                        self.raise_var(p, self.bt_node[*arg], &mut changed);
                                     }
                                 }
                                 // …and dynamic parameter positions demand
@@ -525,8 +526,7 @@ impl Analysis {
                         for a in &args {
                             self.escape_flow(*a, &mut changed);
                         }
-                        let all_static =
-                            args.iter().all(|a| !self.bt_node[*a].is_dynamic());
+                        let all_static = args.iter().all(|a| !self.bt_node[*a].is_dynamic());
                         if p.is_pure() && all_static {
                             BT::Static
                         } else {
@@ -582,8 +582,7 @@ impl Analysis {
                     Some(CallPolicy::Memoize) => true,
                     Some(CallPolicy::Unfold) => false,
                     None => {
-                        self.memo_fn[g]
-                            || (self.recursive_fn[g] && self.fn_has_dynamic_control(g))
+                        self.memo_fn[g] || (self.recursive_fn[g] && self.fn_has_dynamic_control(g))
                     }
                 };
                 if decided != self.memo_fn[g] {
@@ -605,10 +604,7 @@ impl Analysis {
                     let params = self.fns[g].params.clone();
                     for p in params {
                         if !self.var_bt(&p).is_dynamic() {
-                            let has_procs = self
-                                .flow_var
-                                .get(&p)
-                                .is_some_and(|s| !s.is_empty());
+                            let has_procs = self.flow_var.get(&p).is_some_and(|s| !s.is_empty());
                             if has_procs {
                                 let procs: Vec<ProcId> =
                                     self.flow_var[&p].iter().cloned().collect();
@@ -638,7 +634,7 @@ impl Analysis {
             }
 
             if !changed {
-                break;
+                return Ok(());
             }
         }
     }

@@ -8,7 +8,7 @@
 
 use crate::analysis::{Analysis, Node, NodeId};
 use std::sync::Arc;
-use two4one_syntax::acs::{ADef, ALambda, AParam, AProgram, AExpr, CallPolicy, BT};
+use two4one_syntax::acs::{ADef, AExpr, ALambda, AParam, AProgram, CallPolicy, BT};
 
 /// Builds the annotated program from a finished analysis.
 pub fn reconstruct(a: &Analysis) -> AProgram {
@@ -101,7 +101,9 @@ fn annotate(a: &Analysis, n: NodeId, demand: bool) -> AExpr {
             if a.bt_node[*f].is_dynamic() {
                 AExpr::AppD(
                     Arc::new(annotate(a, *f, true)),
-                    args.iter().map(|x| Arc::new(annotate(a, *x, true))).collect(),
+                    args.iter()
+                        .map(|x| Arc::new(annotate(a, *x, true)))
+                        .collect(),
                 )
             } else {
                 let callees = a.callees(*f);
@@ -111,7 +113,9 @@ fn annotate(a: &Analysis, n: NodeId, demand: bool) -> AExpr {
                     // Residualize conservatively.
                     return AExpr::AppD(
                         Arc::new(annotate(a, *f, true)),
-                        args.iter().map(|x| Arc::new(annotate(a, *x, true))).collect(),
+                        args.iter()
+                            .map(|x| Arc::new(annotate(a, *x, true)))
+                            .collect(),
                     );
                 }
                 AExpr::App(
@@ -128,9 +132,19 @@ fn annotate(a: &Analysis, n: NodeId, demand: bool) -> AExpr {
         Node::Prim(p, args) => {
             let all_static = args.iter().all(|x| !a.bt_node[*x].is_dynamic());
             if p.is_pure() && all_static {
-                AExpr::Prim(*p, args.iter().map(|x| Arc::new(annotate(a, *x, false))).collect())
+                AExpr::Prim(
+                    *p,
+                    args.iter()
+                        .map(|x| Arc::new(annotate(a, *x, false)))
+                        .collect(),
+                )
             } else {
-                AExpr::PrimD(*p, args.iter().map(|x| Arc::new(annotate(a, *x, true))).collect())
+                AExpr::PrimD(
+                    *p,
+                    args.iter()
+                        .map(|x| Arc::new(annotate(a, *x, true)))
+                        .collect(),
+                )
             }
         }
     }
@@ -186,13 +200,10 @@ mod tests {
             ),
         ] {
             let p = frontend(src).unwrap();
-            let mut a = Analysis::build(
-                &p,
-                &entry.into(),
-                &Division::new(div),
-                &Options::default(),
-            );
-            a.run();
+            let mut a =
+                Analysis::build(&p, &entry.into(), &Division::new(div), &Options::default());
+            a.run(&two4one_syntax::limits::Deadline::unlimited())
+                .unwrap();
             let prog = reconstruct(&a);
             assert!(well_formed(&a, &prog), "{src}\n{prog}");
         }

@@ -45,6 +45,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use two4one_syntax::acs::{AProgram, CallPolicy, BT};
 use two4one_syntax::cs;
+use two4one_syntax::limits::{LimitExceeded, Limits};
 use two4one_syntax::symbol::Symbol;
 
 /// The binding times of the entry point's parameters.
@@ -83,6 +84,9 @@ impl Division {
 pub struct Options {
     /// Per-function unfold/memoize overrides (by top-level name).
     pub policy_overrides: HashMap<Symbol, CallPolicy>,
+    /// Resource limits; only [`Limits::timeout`] is relevant here (the
+    /// fixpoints are finite but can be slow on huge programs).
+    pub limits: Limits,
 }
 
 /// Errors from the analysis.
@@ -102,6 +106,9 @@ pub enum BtaError {
     /// The program is not alpha-renamed (duplicate binder); run the front
     /// end first.
     NonUniqueBinder(Symbol),
+    /// A resource limit was hit (wall-clock deadline of
+    /// [`Options::limits`]).
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for BtaError {
@@ -121,6 +128,7 @@ impl fmt::Display for BtaError {
                 "binder `{x}` is not unique; binding-time analysis requires \
                  alpha-renamed input (run the front end)"
             ),
+            BtaError::Limit(l) => write!(f, "binding-time analysis: {l}"),
         }
     }
 }
@@ -160,7 +168,7 @@ pub fn bta_with(
     }
     check_unique_binders(prog)?;
     let mut a = analysis::Analysis::build(prog, &entry_sym, division, options);
-    a.run();
+    a.run(&options.limits.deadline()).map_err(BtaError::Limit)?;
     Ok(annotate::reconstruct(&a))
 }
 
@@ -188,7 +196,7 @@ fn check_unique_binders(prog: &cs::Program) -> Result<(), BtaError> {
             }
             cs::Expr::Let(x, rhs, body) => {
                 walk(rhs, seen)?;
-add(x, seen)?;
+                add(x, seen)?;
                 walk(body, seen)
             }
             cs::Expr::App(f, args) => {
@@ -323,11 +331,7 @@ mod tests {
     fn lambda_escaping_into_dynamic_context_becomes_dynamic() {
         // The lambda is returned as the (dynamic) result of the entry, so
         // it must be residualized.
-        let a = analyze(
-            "(define (mk n) (lambda (x) (+ x n)))",
-            "mk",
-            &[BT::Dynamic],
-        );
+        let a = analyze("(define (mk n) (lambda (x) (+ x n)))", "mk", &[BT::Dynamic]);
         let d = a.def(&"mk".into()).unwrap();
         fn has_dynamic_lam(e: &AExpr) -> bool {
             match e {

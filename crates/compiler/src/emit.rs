@@ -93,8 +93,7 @@ pub fn emit_make_closure(
         load_var(asm, v)?;
         emit_push(asm);
     }
-    let nfree =
-        u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
+    let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
     let ti = asm.template_index(template)?;
     asm.emit(Instr::MakeClosure {
         template: ti,

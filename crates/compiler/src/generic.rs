@@ -166,8 +166,7 @@ fn compile(
             // append-only within a straight-line region.
         }
         Expr::App(f, args) => {
-            let n = u8::try_from(args.len())
-                .map_err(|_| CompileError::TooManyArgs(args.len()))?;
+            let n = u8::try_from(args.len()).map_err(|_| CompileError::TooManyArgs(args.len()))?;
             for a in args {
                 compile(a, asm, cenv, depth, globals, Cont::Next)?;
                 emit::emit_push(asm);
@@ -180,8 +179,7 @@ fn compile(
             Ok(())
         }
         Expr::PrimApp(p, args) => {
-            let n = u8::try_from(args.len())
-                .map_err(|_| CompileError::TooManyArgs(args.len()))?;
+            let n = u8::try_from(args.len()).map_err(|_| CompileError::TooManyArgs(args.len()))?;
             for a in args {
                 compile(a, asm, cenv, depth, globals, Cont::Next)?;
                 emit::emit_push(asm);
@@ -200,8 +198,7 @@ fn compile_lambda_generic(
 ) -> Result<Rc<Template>, CompileError> {
     let arity =
         u8::try_from(l.params.len()).map_err(|_| CompileError::TooManyArgs(l.params.len()))?;
-    let nfree =
-        u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
+    let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
     let mut asm = Asm::new(l.name.clone(), arity, nfree);
     let mut cenv = CEnv::empty();
     for (i, p) in l.params.iter().enumerate() {
@@ -278,8 +275,14 @@ mod tests {
                      (let ((r (if c (let ((a 1)) (let ((b 2)) (+ a b))) 0)))
                        (let ((z 100))
                          (+ r z))))";
-        assert_eq!(run_generic(src, "g", &[Datum::Bool(true)]).unwrap(), Datum::Int(103));
-        assert_eq!(run_generic(src, "g", &[Datum::Bool(false)]).unwrap(), Datum::Int(100));
+        assert_eq!(
+            run_generic(src, "g", &[Datum::Bool(true)]).unwrap(),
+            Datum::Int(103)
+        );
+        assert_eq!(
+            run_generic(src, "g", &[Datum::Bool(false)]).unwrap(),
+            Datum::Int(100)
+        );
     }
 
     #[test]

@@ -107,10 +107,7 @@ pub fn compile_program(p: &anf::Program, entry: &str) -> Result<Image, CompileEr
 /// # Errors
 ///
 /// Returns a [`CompileError`] on unbound variables or encoding overflows.
-pub fn compile_def(
-    d: &anf::Def,
-    globals: &BTreeSet<Symbol>,
-) -> Result<Rc<Template>, CompileError> {
+pub fn compile_def(d: &anf::Def, globals: &BTreeSet<Symbol>) -> Result<Rc<Template>, CompileError> {
     let arity =
         u8::try_from(d.params.len()).map_err(|_| CompileError::TooManyArgs(d.params.len()))?;
     let mut asm = Asm::new(d.name.clone(), arity, 0);
@@ -265,8 +262,7 @@ pub fn compile_lambda(
 ) -> Result<Rc<Template>, CompileError> {
     let arity =
         u8::try_from(l.params.len()).map_err(|_| CompileError::TooManyArgs(l.params.len()))?;
-    let nfree =
-        u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
+    let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
     let mut asm = Asm::new(l.name.clone(), arity, nfree);
     let mut cenv = CEnv::empty();
     for (i, p) in l.params.iter().enumerate() {
@@ -342,7 +338,8 @@ mod tests {
 
     #[test]
     fn data_and_quasiquote() {
-        let src = "(define (pairup xs) (if (null? xs) '() (cons `(v ,(car xs)) (pairup (cdr xs)))))";
+        let src =
+            "(define (pairup xs) (if (null? xs) '() (cons `(v ,(car xs)) (pairup (cdr xs)))))";
         let xs = Datum::list([Datum::Int(1), Datum::Int(2)]);
         assert_eq!(
             run(src, "pairup", &[xs]).unwrap(),

@@ -63,8 +63,10 @@ pub enum ObjSerious {
 /// A residual body: an emission function over assembler, compile-time
 /// environment, and stack depth — the exact parameter list of the paper's
 /// compilators.
+type EmitFn = dyn Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError>;
+
 #[derive(Clone)]
-pub struct ObjCode(Rc<dyn Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError>>);
+pub struct ObjCode(Rc<EmitFn>);
 
 impl ObjCode {
     fn new(f: impl Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError> + 'static) -> Self {
@@ -89,14 +91,12 @@ fn emit_triv(t: &ObjTriv, asm: &mut Asm, cenv: &CEnv) -> Result<(), CompileError
         },
         ObjTriv::Global(g) => emit::emit_global(asm, g),
         ObjTriv::Closure { template, free } => {
-            emit::emit_make_closure(asm, template.clone(), free, |asm, x| {
-                match cenv.lookup(x) {
-                    Some(loc) => {
-                        emit::emit_var(asm, loc);
-                        Ok(())
-                    }
-                    None => Err(CompileError::Unbound(x.clone())),
+            emit::emit_make_closure(asm, template.clone(), free, |asm, x| match cenv.lookup(x) {
+                Some(loc) => {
+                    emit::emit_var(asm, loc);
+                    Ok(())
                 }
+                None => Err(CompileError::Unbound(x.clone())),
             })
         }
     }
@@ -153,6 +153,7 @@ fn emit_serious(
 pub struct ObjectBuilder {
     defs: Vec<(Symbol, Rc<Template>)>,
     error: Option<CompileError>,
+    ops: usize,
 }
 
 impl ObjectBuilder {
@@ -161,7 +162,12 @@ impl ObjectBuilder {
         ObjectBuilder {
             defs: Vec::new(),
             error: None,
+            ops: 0,
         }
+    }
+
+    fn count(&mut self) {
+        self.ops += 1;
     }
 
     fn record(&mut self, e: CompileError) {
@@ -205,7 +211,13 @@ impl ObjectBuilder {
             .emit(&mut asm, &cenv, params.len() as u16)
             .and_then(|()| asm.finish().map_err(CompileError::from))
         {
-            Ok(t) => Some(t),
+            Ok(t) => {
+                // Templates are real emitted code; weigh them by length so
+                // code_size tracks actual object-code growth, not just
+                // constructor traffic.
+                self.ops += t.code.len();
+                Some(t)
+            }
             Err(e) => {
                 self.record(e);
                 None
@@ -223,14 +235,17 @@ impl CodeBuilder for ObjectBuilder {
     type Program = Result<Image, CompileError>;
 
     fn const_(&mut self, d: &Datum) -> ObjTriv {
+        self.count();
         ObjTriv::Const(d.clone())
     }
 
     fn var(&mut self, x: &Symbol) -> ObjTriv {
+        self.count();
         ObjTriv::Var(x.clone())
     }
 
     fn global(&mut self, x: &Symbol) -> ObjTriv {
+        self.count();
         ObjTriv::Global(x.clone())
     }
 
@@ -241,6 +256,7 @@ impl CodeBuilder for ObjectBuilder {
         free: &[Symbol],
         body: ObjCode,
     ) -> ObjTriv {
+        self.count();
         match self.compile_closed(name, params, free, &body) {
             Some(template) => ObjTriv::Closure {
                 template,
@@ -251,18 +267,22 @@ impl CodeBuilder for ObjectBuilder {
     }
 
     fn call(&mut self, f: ObjTriv, args: Vec<ObjTriv>) -> ObjSerious {
+        self.count();
         ObjSerious::Call(f, args)
     }
 
     fn call_global(&mut self, g: &Symbol, args: Vec<ObjTriv>) -> ObjSerious {
+        self.count();
         ObjSerious::CallGlobal(g.clone(), args)
     }
 
     fn prim(&mut self, p: Prim, args: Vec<ObjTriv>) -> ObjSerious {
+        self.count();
         ObjSerious::Prim(p, args)
     }
 
     fn ret(&mut self, t: ObjTriv) -> ObjCode {
+        self.count();
         ObjCode::new(move |asm, cenv, _depth| {
             emit_triv(&t, asm, cenv)?;
             emit::emit_return(asm);
@@ -271,10 +291,12 @@ impl CodeBuilder for ObjectBuilder {
     }
 
     fn tail(&mut self, s: ObjSerious) -> ObjCode {
+        self.count();
         ObjCode::new(move |asm, cenv, _depth| emit_serious(&s, asm, cenv, true))
     }
 
     fn let_serious(&mut self, x: &Symbol, rhs: ObjSerious, body: ObjCode) -> ObjCode {
+        self.count();
         let x = x.clone();
         ObjCode::new(move |asm, cenv, depth| {
             emit_serious(&rhs, asm, cenv, false)?;
@@ -285,6 +307,7 @@ impl CodeBuilder for ObjectBuilder {
     }
 
     fn let_triv(&mut self, x: &Symbol, rhs: ObjTriv, body: ObjCode) -> ObjCode {
+        self.count();
         let x = x.clone();
         ObjCode::new(move |asm, cenv, depth| {
             emit_triv(&rhs, asm, cenv)?;
@@ -295,6 +318,7 @@ impl CodeBuilder for ObjectBuilder {
     }
 
     fn if_(&mut self, t: ObjTriv, then: ObjCode, els: ObjCode) -> ObjCode {
+        self.count();
         ObjCode::new(move |asm, cenv, depth| {
             emit_triv(&t, asm, cenv)?;
             let alt = emit::emit_branch_false(asm);
@@ -305,6 +329,7 @@ impl CodeBuilder for ObjectBuilder {
     }
 
     fn define(&mut self, name: &Symbol, params: &[Symbol], body: ObjCode) {
+        self.count();
         if let Some(t) = self.compile_closed(name, params, &[], &body) {
             self.defs.push((name.clone(), t));
         }
@@ -323,6 +348,10 @@ impl CodeBuilder for ObjectBuilder {
             templates: self.defs,
             entry: entry.clone(),
         })
+    }
+
+    fn code_size(&self) -> usize {
+        self.ops
     }
 }
 
@@ -389,7 +418,13 @@ mod tests {
         assert_eq!(fused.templates.len(), compiled.templates.len());
         for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
             assert_eq!(n1, n2);
-            assert_eq!(t1, t2, "template mismatch:\n{}\nvs\n{}", t1.disassemble(), t2.disassemble());
+            assert_eq!(
+                t1,
+                t2,
+                "template mismatch:\n{}\nvs\n{}",
+                t1.disassemble(),
+                t2.disassemble()
+            );
         }
     }
 
@@ -406,7 +441,12 @@ mod tests {
             let s = b.prim(Prim::Add, vec![xv, nv]);
             b.tail(s)
         };
-        let lam = b.lambda(&Symbol::new("adder"), &[x.clone()], &[n.clone()], lam_body);
+        let lam = b.lambda(
+            &Symbol::new("adder"),
+            std::slice::from_ref(&x),
+            std::slice::from_ref(&n),
+            lam_body,
+        );
         let body = b.ret(lam);
         b.define(&mk, &[n], body);
         let image = b.finish(&mk).unwrap();

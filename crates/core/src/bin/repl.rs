@@ -24,9 +24,7 @@
 //! * `,quit` — exit.
 
 use std::io::Write as _;
-use two4one::{
-    compile, reader, with_stack, Datum, Division, Machine, Pgg, Symbol, BT,
-};
+use two4one::{compile, reader, with_stack, Datum, Division, Machine, Pgg, Symbol, BT};
 
 fn main() {
     with_stack(|| {
@@ -126,9 +124,10 @@ impl Repl {
         self.defs.retain(|(n, _)| n != &name);
         self.defs.push((name.clone(), src.to_string()));
         // Compile eagerly so errors surface now — the "online compiler".
-        match Pgg::new().parse(&self.program_text()).and_then(|p| {
-            compile(&p, name.as_str())
-        }) {
+        match Pgg::new()
+            .parse(&self.program_text())
+            .and_then(|p| compile(&p, name.as_str()))
+        {
             Ok(image) => println!(
                 ";; compiled `{name}` ({} instructions total)",
                 image.code_size()

@@ -3,17 +3,26 @@
 //! ```text
 //! t4o compile <file.scm> --entry <name> [-o out.t4o] [--generic]
 //! t4o run <file.scm|file.t4o> --entry <name> [--arg <datum>]...
+//!         [--fuel <steps>] [--timeout-ms <ms>]
 //! t4o spec <file.scm> --entry <name> --division SDSD
 //!          [--static <datum>]... [-o out.t4o | --source] [--optimize]
+//!          [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]
 //! t4o dis <file.scm|file.t4o> --entry <name>
 //! ```
 //!
 //! Data arguments are written as Scheme literals, e.g. `--arg '(1 2 3)'`.
+//!
+//! Resource governance: `--fuel` meters execution steps, `--timeout-ms`
+//! bounds wall-clock time (specialization and runs), `--unfold-fuel`
+//! bounds specialization effort. By default a starved specialization
+//! degrades to generic code (and says so); `--strict` makes it fail with
+//! the limit error instead.
 
 use std::process::ExitCode;
+use std::time::Duration;
 use two4one::{
-    compile, load_image, reader, run_image, save_image, with_stack, Datum, Division,
-    Image, Pgg, BT,
+    compile, load_image, reader, run_image_with, save_image, with_stack, Datum, Division, Image,
+    Limits, Pgg, BT,
 };
 
 fn main() -> ExitCode {
@@ -37,6 +46,41 @@ struct Opts {
     source: bool,
     optimize: bool,
     generic: bool,
+    fuel: Option<u64>,
+    timeout_ms: Option<u64>,
+    unfold_fuel: Option<u64>,
+    strict: bool,
+}
+
+impl Opts {
+    /// Limits for *running* a program: step fuel and deadline.
+    fn run_limits(&self) -> Limits {
+        let mut l = Limits::none();
+        if let Some(fuel) = self.fuel {
+            l = l.with_step_fuel(fuel);
+        }
+        if let Some(ms) = self.timeout_ms {
+            l = l.with_timeout(Duration::from_millis(ms));
+        }
+        l
+    }
+
+    /// Limits for *specializing*: the governed defaults plus overrides.
+    fn spec_limits(&self) -> Limits {
+        let mut l = Limits::default();
+        if let Some(fuel) = self.unfold_fuel {
+            l = l.with_unfold_fuel(fuel);
+        }
+        if let Some(ms) = self.timeout_ms {
+            l = l.with_timeout(Duration::from_millis(ms));
+        }
+        l
+    }
+}
+
+fn parse_u64(name: &str, text: &str) -> Result<u64, String> {
+    text.parse()
+        .map_err(|_| format!("`{name}` needs a non-negative integer, got `{text}`"))
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -50,6 +94,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         source: false,
         optimize: false,
         generic: false,
+        fuel: None,
+        timeout_ms: None,
+        unfold_fuel: None,
+        strict: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -67,9 +115,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--source" => o.source = true,
             "--optimize" => o.optimize = true,
             "--generic" => o.generic = true,
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option `{other}`"))
+            "--fuel" => o.fuel = Some(parse_u64("--fuel", &take("--fuel")?)?),
+            "--timeout-ms" => {
+                o.timeout_ms = Some(parse_u64("--timeout-ms", &take("--timeout-ms")?)?)
             }
+            "--unfold-fuel" => {
+                o.unfold_fuel = Some(parse_u64("--unfold-fuel", &take("--unfold-fuel")?)?)
+            }
+            "--strict" => o.strict = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
         }
     }
@@ -97,9 +151,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  \
      t4o compile <file.scm> --entry <name> [-o out.t4o] [--generic]\n  \
-     t4o run <file.scm|file.t4o> --entry <name> [--arg <datum>]...\n  \
+     t4o run <file.scm|file.t4o> --entry <name> [--arg <datum>]... \
+     [--fuel <steps>] [--timeout-ms <ms>]\n  \
      t4o spec <file.scm> --entry <name> --division <S|D letters> \
-     [--static <datum>]... [-o out.t4o | --source] [--optimize]\n  \
+     [--static <datum>]... [-o out.t4o | --source] [--optimize] \
+     [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]\n  \
      t4o dis <file.scm|file.t4o> --entry <name>"
         .to_string()
 }
@@ -160,7 +216,7 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
     let entry = need_entry(o)?;
     let image = load_or_compile(file, entry, o.generic)?;
     let args = read_data(&o.args)?;
-    let out = run_image(&image, entry, &args).map_err(|e| e.to_string())?;
+    let out = run_image_with(&image, entry, &args, &o.run_limits()).map_err(|e| e.to_string())?;
     print!("{}", out.output);
     println!("{}", out.value);
     Ok(())
@@ -182,29 +238,42 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
         }
     }
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-    let program = Pgg::new().parse(&src).map_err(|e| e.to_string())?;
-    let genext = Pgg::new()
+    let pgg = Pgg::new().limits(o.spec_limits()).fallback(!o.strict);
+    let program = pgg.parse(&src).map_err(|e| e.to_string())?;
+    let genext = pgg
         .cogen(&program, entry, &Division::new(division))
         .map_err(|e| e.to_string())?;
     let statics = read_data(&o.statics)?;
+    let mut degraded = false;
     if o.source || o.output.is_none() {
+        let (residual, stats) = genext
+            .specialize_source_with_stats(&statics)
+            .map_err(|e| e.to_string())?;
+        degraded |= stats.degraded();
         let residual = if o.optimize {
-            genext.specialize_source_optimized(&statics)
+            two4one::anf::optimize(&residual)
         } else {
-            genext.specialize_source(&statics)
-        }
-        .map_err(|e| e.to_string())?;
+            residual
+        };
         println!("{}", residual.to_source());
     }
     if let Some(out) = &o.output {
-        let image = genext
-            .specialize_object(&statics)
+        let (image, stats) = genext
+            .specialize_object_with_stats(&statics)
             .map_err(|e| e.to_string())?;
+        degraded |= stats.degraded();
         save_image(&image, out).map_err(|e| e.to_string())?;
         println!(
             ";; wrote {out} ({} templates, {} instructions)",
             image.templates.len(),
             image.code_size()
+        );
+    }
+    if degraded {
+        eprintln!(
+            "t4o: note: specialization hit a resource limit and emitted \
+             generic fallback code (raise --unfold-fuel/--timeout-ms, or \
+             pass --strict to fail instead)"
         );
     }
     Ok(())

@@ -47,6 +47,7 @@
 //! | `two4one-compiler` | the ANF compiler and its combinator form (`ObjectBuilder`) |
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub use two4one_anf::{self as anf, Program as AnfProgram, SourceBuilder};
 pub use two4one_bta::{Division, Options as BtaOptions};
@@ -56,11 +57,14 @@ pub use two4one_pe::{PeError, SpecOptions, SpecStats};
 pub use two4one_syntax::acs::{AProgram, CallPolicy, BT};
 pub use two4one_syntax::cs;
 pub use two4one_syntax::datum::Datum;
+pub use two4one_syntax::limits::{LimitExceeded, LimitKind, Limits};
 pub use two4one_syntax::printer;
 pub use two4one_syntax::reader;
 pub use two4one_syntax::stack::{with_stack, with_stack_size};
 pub use two4one_syntax::symbol::Symbol;
-pub use two4one_vm::{decode_image, encode_image, optimize_image, Image, Machine, ObjError, Value, VmError};
+pub use two4one_vm::{
+    decode_image, encode_image, optimize_image, Image, Machine, ObjError, Value, VmError,
+};
 
 /// Any error the pipeline can produce.
 #[derive(Debug)]
@@ -79,6 +83,10 @@ pub enum Error {
     Interp(RtError),
     /// Result was not first-order data (a procedure or cell).
     NonDatumResult(String),
+    /// A panic escaped an engine component. The panic was caught at the
+    /// facade boundary, so the process survives; this always indicates a
+    /// bug worth reporting.
+    Panicked(String),
 }
 
 impl fmt::Display for Error {
@@ -93,6 +101,9 @@ impl fmt::Display for Error {
             Error::NonDatumResult(v) => {
                 write!(f, "result is not first-order data: {v}")
             }
+            Error::Panicked(m) => {
+                write!(f, "internal engine panic (caught): {m}")
+            }
         }
     }
 }
@@ -106,7 +117,25 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Vm(e) => Some(e),
             Error::Interp(e) => Some(e),
-            Error::NonDatumResult(_) => None,
+            Error::NonDatumResult(_) | Error::Panicked(_) => None,
+        }
+    }
+}
+
+/// Runs `f`, converting an escaped panic into [`Error::Panicked`]. The
+/// library crates are written to return typed errors instead of
+/// panicking; this is the belt-and-braces boundary that keeps a missed
+/// invariant from tearing down an embedding application.
+fn catching<T>(f: impl FnOnce() -> Result<T, Error>) -> Result<T, Error> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(Error::Panicked(msg))
         }
     }
 }
@@ -130,14 +159,22 @@ from_error!(Interp, RtError);
 
 /// The program-generator generator: front end + BTA + specializer engine,
 /// with configuration.
+///
+/// One [`Limits`] record governs every stage derived from a `Pgg`: the
+/// reader (input size/nesting), the binding-time analysis (deadline), the
+/// specializer (unfold fuel, recursion depth, memo cap, code cap,
+/// deadline), and — through [`run_image_with`] / [`interpret_with`] —
+/// execution of the result (step fuel, deadline). The default limits are
+/// generous but finite; use [`Limits::none()`] to switch them all off.
 #[derive(Debug, Clone, Default)]
 pub struct Pgg {
     bta_options: BtaOptions,
     spec_options: SpecOptions,
+    limits: Limits,
 }
 
 impl Pgg {
-    /// A PGG with default options.
+    /// A PGG with default (governed, graceful-fallback) options.
     pub fn new() -> Self {
         Pgg::default()
     }
@@ -150,25 +187,50 @@ impl Pgg {
         self
     }
 
+    /// Replaces the whole limit record.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The current limit record.
+    pub fn limits_ref(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Sets the wall-clock budget for analysis and specialization.
+    pub fn timeout(mut self, d: std::time::Duration) -> Self {
+        self.limits = self.limits.with_timeout(d);
+        self
+    }
+
     /// Sets the unfold fuel.
     pub fn unfold_fuel(mut self, fuel: u64) -> Self {
-        self.spec_options.unfold_fuel = fuel;
+        self.limits = self.limits.with_unfold_fuel(fuel);
         self
     }
 
     /// Sets the specializer recursion-depth limit.
     pub fn spec_depth(mut self, depth: usize) -> Self {
-        self.spec_options.max_depth = depth;
+        self.limits = self.limits.with_max_depth(depth);
         self
     }
 
-    /// Parses and lowers source text into Core Scheme.
+    /// Enables or disables graceful degradation at recoverable limits
+    /// (see [`SpecOptions`]); enabled by default.
+    pub fn fallback(mut self, on: bool) -> Self {
+        self.spec_options.fallback = on;
+        self
+    }
+
+    /// Parses and lowers source text into Core Scheme, enforcing the
+    /// reader limits.
     ///
     /// # Errors
     ///
-    /// Fails on read, syntax, or scope errors.
+    /// Fails on read, syntax, scope, or over-limit input.
     pub fn parse(&self, src: &str) -> Result<cs::Program, Error> {
-        Ok(two4one_frontend::frontend(src)?)
+        catching(|| Ok(two4one_frontend::frontend_with(src, &self.limits)?))
     }
 
     /// Builds a *generating extension* for `entry` under `division`: the
@@ -184,11 +246,17 @@ impl Pgg {
         entry: &str,
         division: &Division,
     ) -> Result<GenExt, Error> {
-        let aprog = two4one_bta::bta_with(program, entry, division, &self.bta_options)?;
-        Ok(GenExt {
-            aprog,
-            entry: Symbol::new(entry),
-            options: self.spec_options.clone(),
+        catching(|| {
+            let mut bta_options = self.bta_options.clone();
+            bta_options.limits = self.limits.clone();
+            let aprog = two4one_bta::bta_with(program, entry, division, &bta_options)?;
+            let mut options = self.spec_options.clone();
+            options.limits = self.limits.clone();
+            Ok(GenExt {
+                aprog,
+                entry: Symbol::new(entry),
+                options,
+            })
         })
     }
 }
@@ -232,13 +300,15 @@ impl GenExt {
         &self,
         statics: &[Datum],
     ) -> Result<(AnfProgram, SpecStats), Error> {
-        Ok(two4one_pe::specialize(
-            &self.aprog,
-            &self.entry,
-            statics,
-            SourceBuilder::new(),
-            &self.options,
-        )?)
+        catching(|| {
+            Ok(two4one_pe::specialize(
+                &self.aprog,
+                &self.entry,
+                statics,
+                SourceBuilder::new(),
+                &self.options,
+            )?)
+        })
     }
 
     /// Specializes to residual source and then runs the ANF optimizer
@@ -270,14 +340,22 @@ impl GenExt {
         &self,
         statics: &[Datum],
     ) -> Result<(Image, SpecStats), Error> {
-        let (image, stats) = two4one_pe::specialize(
-            &self.aprog,
-            &self.entry,
-            statics,
-            ObjectBuilder::new(),
-            &self.options,
-        )?;
-        Ok((image?, stats))
+        catching(|| {
+            let (image, stats) = two4one_pe::specialize(
+                &self.aprog,
+                &self.entry,
+                statics,
+                ObjectBuilder::new(),
+                &self.options,
+            )?;
+            Ok((image?, stats))
+        })
+    }
+
+    /// The limits and fallback setting this generating extension runs
+    /// under.
+    pub fn options(&self) -> &SpecOptions {
+        &self.options
     }
 }
 
@@ -317,15 +395,34 @@ pub struct RunOutcome {
 ///
 /// Fails on VM errors or when the result is not first-order data.
 pub fn run_image(image: &Image, entry: &str, args: &[Datum]) -> Result<RunOutcome, Error> {
-    let mut m = Machine::load(image);
-    let argv = args.iter().map(two4one_vm::Value::from).collect();
-    let v = m.call_global(&Symbol::new(entry), argv)?;
-    let value = v
-        .to_datum()
-        .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
-    Ok(RunOutcome {
-        value,
-        output: m.output,
+    run_image_with(image, entry, args, &Limits::none())
+}
+
+/// Like [`run_image`], but executing under `limits`: step fuel
+/// ([`Limits::step_fuel`]) and wall-clock deadline ([`Limits::timeout`])
+/// bound the run.
+///
+/// # Errors
+///
+/// Fails on VM errors (including [`VmError`] limit overruns) or when the
+/// result is not first-order data.
+pub fn run_image_with(
+    image: &Image,
+    entry: &str,
+    args: &[Datum],
+    limits: &Limits,
+) -> Result<RunOutcome, Error> {
+    catching(|| {
+        let mut m = Machine::load(image).with_limits(limits);
+        let argv = args.iter().map(two4one_vm::Value::from).collect();
+        let v = m.call_global(&Symbol::new(entry), argv)?;
+        let value = v
+            .to_datum()
+            .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
+        Ok(RunOutcome {
+            value,
+            output: m.output,
+        })
     })
 }
 
@@ -383,11 +480,29 @@ pub mod incremental {
 ///
 /// Fails on interpreter errors or when the result is not first-order data.
 pub fn interpret(program: &cs::Program, entry: &str, args: &[Datum]) -> Result<RunOutcome, Error> {
-    let (v, output) = two4one_interp::run_program(program, entry, args)?;
-    let value = v
-        .to_datum()
-        .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
-    Ok(RunOutcome { value, output })
+    interpret_with(program, entry, args, &Limits::none())
+}
+
+/// Like [`interpret`], but executing under `limits` (step fuel and
+/// wall-clock deadline).
+///
+/// # Errors
+///
+/// Fails on interpreter errors (including limit overruns) or when the
+/// result is not first-order data.
+pub fn interpret_with(
+    program: &cs::Program,
+    entry: &str,
+    args: &[Datum],
+    limits: &Limits,
+) -> Result<RunOutcome, Error> {
+    catching(|| {
+        let (v, output) = two4one_interp::run_program_with(program, entry, args, limits)?;
+        let value = v
+            .to_datum()
+            .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
+        Ok(RunOutcome { value, output })
+    })
 }
 
 #[cfg(test)]
@@ -441,7 +556,9 @@ mod tests {
         let pgg = Pgg::new();
         assert!(pgg.parse("(define (f").is_err());
         let p = pgg.parse("(define (f x) x)").unwrap();
-        let e = pgg.cogen(&p, "g", &Division::new([BT::Static])).unwrap_err();
+        let e = pgg
+            .cogen(&p, "g", &Division::new([BT::Static]))
+            .unwrap_err();
         assert!(e.to_string().contains("g"));
     }
 }

@@ -133,9 +133,9 @@ fn rewrite(e: SExpr, cellified: &mut HashSet<Symbol>, gensym: &mut Gensym) -> SE
             SExpr::Let(bs, Box::new(rewrite(*body, cellified, gensym)))
         }
         SExpr::Letrec(bs, body) => {
-            let keep = bs.iter().all(|(x, rhs)| {
-                matches!(rhs, SExpr::Lambda { .. }) && !cellified.contains(x)
-            });
+            let keep = bs
+                .iter()
+                .all(|(x, rhs)| matches!(rhs, SExpr::Lambda { .. }) && !cellified.contains(x));
             if keep {
                 let bs = bs
                     .into_iter()
@@ -153,10 +153,7 @@ fn rewrite(e: SExpr, cellified: &mut HashSet<Symbol>, gensym: &mut Gensym) -> SE
                     .map(|(x, _)| {
                         (
                             x.clone(),
-                            SExpr::Prim(
-                                Prim::BoxNew,
-                                vec![SExpr::Const(Datum::Bool(false))],
-                            ),
+                            SExpr::Prim(Prim::BoxNew, vec![SExpr::Const(Datum::Bool(false))]),
                         )
                     })
                     .collect();
@@ -204,9 +201,7 @@ pub fn has_assignments(e: &SExpr) -> bool {
                 || has_assignments(body)
         }
         SExpr::Lambda { body, .. } => has_assignments(body),
-        SExpr::If(a, b, c) => {
-            has_assignments(a) || has_assignments(b) || has_assignments(c)
-        }
+        SExpr::If(a, b, c) => has_assignments(a) || has_assignments(b) || has_assignments(c),
         SExpr::Let(bs, body) => {
             bs.iter().any(|(_, rhs)| has_assignments(rhs)) || has_assignments(body)
         }

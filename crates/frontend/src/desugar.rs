@@ -129,10 +129,7 @@ pub fn desugar_body(forms: &[Datum]) -> Res<SExpr> {
     if exprs.is_empty() {
         return err("body consists only of definitions");
     }
-    let mut seq = exprs
-        .iter()
-        .map(desugar_expr)
-        .collect::<Res<Vec<_>>>()?;
+    let mut seq = exprs.iter().map(desugar_expr).collect::<Res<Vec<_>>>()?;
     let body = if seq.len() == 1 {
         seq.pop().expect("one element")
     } else {
@@ -233,9 +230,10 @@ pub fn desugar_expr(d: &Datum) -> Res<SExpr> {
                     }
                     let bindings = desugar_bindings(&items[1])?;
                     let body = desugar_body(&items[2..])?;
-                    Ok(bindings.into_iter().rev().fold(body, |acc, b| {
-                        SExpr::Let(vec![b], Box::new(acc))
-                    }))
+                    Ok(bindings
+                        .into_iter()
+                        .rev()
+                        .fold(body, |acc, b| SExpr::Let(vec![b], Box::new(acc))))
                 }
                 Some("letrec") | Some("letrec*") => {
                     if items.len() < 3 {
@@ -602,9 +600,7 @@ mod tests {
         fn has_var(e: &SExpr, name: &str) -> bool {
             match e {
                 SExpr::Var(s) => s.as_str() == name,
-                SExpr::App(f, args) => {
-                    has_var(f, name) || args.iter().any(|a| has_var(a, name))
-                }
+                SExpr::App(f, args) => has_var(f, name) || args.iter().any(|a| has_var(a, name)),
                 SExpr::Const(_) => false,
                 _ => false,
             }
@@ -614,8 +610,9 @@ mod tests {
 
     #[test]
     fn program_shapes() {
-        let tops = desugar_program(&read_all("(define (f x) x) (define g (lambda (y) y))").unwrap())
-            .unwrap();
+        let tops =
+            desugar_program(&read_all("(define (f x) x) (define g (lambda (y) y))").unwrap())
+                .unwrap();
         assert_eq!(tops.len(), 2);
         assert_eq!(tops[1].name, Symbol::new("g"));
         assert_eq!(tops[1].params.len(), 1);

@@ -42,7 +42,8 @@ pub mod surface;
 use std::fmt;
 use two4one_syntax::cs;
 use two4one_syntax::datum::Datum;
-use two4one_syntax::reader::{read_all, ReadError};
+use two4one_syntax::limits::Limits;
+use two4one_syntax::reader::{read_all, read_all_with, ReadError};
 use two4one_syntax::symbol::Gensym;
 
 /// Errors from the front end.
@@ -88,6 +89,18 @@ impl From<ReadError> for FrontError {
 /// Returns a [`FrontError`] on read, syntax, or scope errors.
 pub fn frontend(src: &str) -> Result<cs::Program, FrontError> {
     frontend_data(&read_all(src)?)
+}
+
+/// Like [`frontend`], but enforcing the reader caps of `limits`
+/// ([`Limits::input_node_cap`] / [`Limits::input_depth_cap`]). Since every
+/// later phase is syntax-directed, bounding the input tree bounds the
+/// whole front end.
+///
+/// # Errors
+///
+/// Returns a [`FrontError`] on read, syntax, scope, or over-limit input.
+pub fn frontend_with(src: &str, limits: &Limits) -> Result<cs::Program, FrontError> {
+    frontend_data(&read_all_with(src, limits)?)
 }
 
 /// Runs the whole front end on already-read top-level data.

@@ -126,11 +126,7 @@ impl Lifter<'_> {
                 params,
                 body: Box::new(self.expr(*body)?),
             }),
-            SExpr::If(a, b, c) => Ok(SExpr::if_(
-                self.expr(*a)?,
-                self.expr(*b)?,
-                self.expr(*c)?,
-            )),
+            SExpr::If(a, b, c) => Ok(SExpr::if_(self.expr(*a)?, self.expr(*b)?, self.expr(*c)?)),
             SExpr::Let(bs, body) => Ok(SExpr::Let(
                 bs.into_iter()
                     .map(|(x, rhs)| Ok((x, self.expr(rhs)?)))
@@ -161,11 +157,7 @@ impl Lifter<'_> {
         }
     }
 
-    fn lift_group(
-        &mut self,
-        bs: Vec<(Symbol, SExpr)>,
-        body: SExpr,
-    ) -> Result<SExpr, FrontError> {
+    fn lift_group(&mut self, bs: Vec<(Symbol, SExpr)>, body: SExpr) -> Result<SExpr, FrontError> {
         // 1. Recurse first so inner letrecs are already lifted and free
         //    variables are accurate.
         let group_names: Vec<Symbol> = bs.iter().map(|(x, _)| x.clone()).collect();
@@ -201,7 +193,12 @@ impl Lifter<'_> {
             .collect();
         let mut extras: Vec<BTreeSet<Symbol>> = fvs
             .iter()
-            .map(|fv| fv.iter().filter(|v| !group_set.contains(*v)).cloned().collect())
+            .map(|fv| {
+                fv.iter()
+                    .filter(|v| !group_set.contains(*v))
+                    .cloned()
+                    .collect()
+            })
             .collect();
         loop {
             let mut changed = false;
@@ -261,10 +258,8 @@ fn rewrite_refs(e: SExpr, table: &HashMap<Symbol, Lifted>, gensym: &mut Gensym) 
         SExpr::Var(x) => match table.get(&x) {
             None => SExpr::Var(x),
             Some(info) => {
-                let params: Vec<Symbol> =
-                    (0..info.arity).map(|_| gensym.fresh("e")).collect();
-                let mut args: Vec<SExpr> =
-                    info.extras.iter().cloned().map(SExpr::Var).collect();
+                let params: Vec<Symbol> = (0..info.arity).map(|_| gensym.fresh("e")).collect();
+                let mut args: Vec<SExpr> = info.extras.iter().cloned().map(SExpr::Var).collect();
                 args.extend(params.iter().cloned().map(SExpr::Var));
                 SExpr::Lambda {
                     name: x,
@@ -346,9 +341,7 @@ mod tests {
             SExpr::Letrec(..) => false,
             SExpr::Lambda { body, .. } => no_letrec(body),
             SExpr::If(a, b, c) => no_letrec(a) && no_letrec(b) && no_letrec(c),
-            SExpr::Let(bs, body) => {
-                bs.iter().all(|(_, r)| no_letrec(r)) && no_letrec(body)
-            }
+            SExpr::Let(bs, body) => bs.iter().all(|(_, r)| no_letrec(r)) && no_letrec(body),
             SExpr::Begin(es) => es.iter().all(no_letrec),
             SExpr::App(f, args) => no_letrec(f) && args.iter().all(no_letrec),
             SExpr::Prim(_, args) => args.iter().all(no_letrec),
@@ -377,7 +370,10 @@ mod tests {
                (letrec ((go (lambda (l) (if (null? l) '() (cons (* k (car l)) (go (cdr l)))))))
                  (go xs)))",
         );
-        let lifted = tops.iter().find(|t| t.name.as_str().starts_with("go%")).unwrap();
+        let lifted = tops
+            .iter()
+            .find(|t| t.name.as_str().starts_with("go%"))
+            .unwrap();
         // extras = [k], params = [k, l]
         assert_eq!(lifted.params.len(), 2);
         // The call site passes k explicitly.
@@ -437,7 +433,10 @@ mod tests {
         );
         assert_eq!(tops.len(), 3);
         assert!(tops.iter().all(|t| no_letrec(&t.body)));
-        let inner = tops.iter().find(|t| t.name.as_str().starts_with("inner%")).unwrap();
+        let inner = tops
+            .iter()
+            .find(|t| t.name.as_str().starts_with("inner%"))
+            .unwrap();
         assert_eq!(inner.params.len(), 2); // a + y
     }
 }

@@ -53,8 +53,7 @@ pub fn lower_expr(e: SExpr, gensym: &mut Gensym) -> cs::Expr {
             acc
         }
         SExpr::Begin(es) => {
-            let mut es: Vec<cs::Expr> =
-                es.into_iter().map(|e| lower_expr(e, gensym)).collect();
+            let mut es: Vec<cs::Expr> = es.into_iter().map(|e| lower_expr(e, gensym)).collect();
             let last = es.pop().expect("begin is non-empty");
             es.into_iter().rev().fold(last, |acc, e| {
                 cs::Expr::let_(gensym.fresh("ignore"), e, acc)
@@ -64,10 +63,9 @@ pub fn lower_expr(e: SExpr, gensym: &mut Gensym) -> cs::Expr {
             lower_expr(*f, gensym),
             args.into_iter().map(|a| lower_expr(a, gensym)).collect(),
         ),
-        SExpr::Prim(p, args) => cs::Expr::PrimApp(
-            p,
-            args.into_iter().map(|a| lower_expr(a, gensym)).collect(),
-        ),
+        SExpr::Prim(p, args) => {
+            cs::Expr::PrimApp(p, args.into_iter().map(|a| lower_expr(a, gensym)).collect())
+        }
         SExpr::Set(..) | SExpr::Letrec(..) => {
             unreachable!("set!/letrec must be eliminated before lowering")
         }

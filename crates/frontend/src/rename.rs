@@ -181,10 +181,10 @@ impl Renamer<'_> {
                                     args.len()
                                 )));
                             }
-                            let arg =
-                                args.into_iter().next().expect("checked length");
-                            return Ok(cxr_chain(x.as_str(), arg)
-                                .expect("is_cxr implies expansion"));
+                            let arg = args.into_iter().next().expect("checked length");
+                            return Ok(
+                                cxr_chain(x.as_str(), arg).expect("is_cxr implies expansion")
+                            );
                         }
                     }
                 }
@@ -210,8 +210,7 @@ impl Renamer<'_> {
         if let Some(p) = Prim::from_name(x.as_str()) {
             return match p.arity() {
                 Arity::Exact(n) => {
-                    let params: Vec<Symbol> =
-                        (0..n).map(|_| self.gensym.fresh("a")).collect();
+                    let params: Vec<Symbol> = (0..n).map(|_| self.gensym.fresh("a")).collect();
                     Ok(SExpr::Lambda {
                         name: x.clone(),
                         params: params.clone(),
@@ -232,9 +231,7 @@ impl Renamer<'_> {
             return Ok(SExpr::Lambda {
                 name: x.clone(),
                 params: vec![param.clone()],
-                body: Box::new(
-                    cxr_chain(x.as_str(), SExpr::Var(param)).expect("is_cxr"),
-                ),
+                body: Box::new(cxr_chain(x.as_str(), SExpr::Var(param)).expect("is_cxr")),
             });
         }
         Err(FrontError::Unbound(x.to_string()))

@@ -65,11 +65,9 @@ impl SExpr {
                 params,
                 body: Box::new(body.map_subexprs(f)),
             },
-            SExpr::If(a, b, c) => SExpr::if_(
-                a.map_subexprs(f),
-                b.map_subexprs(f),
-                c.map_subexprs(f),
-            ),
+            SExpr::If(a, b, c) => {
+                SExpr::if_(a.map_subexprs(f), b.map_subexprs(f), c.map_subexprs(f))
+            }
             SExpr::Let(bs, body) => SExpr::Let(
                 bs.into_iter()
                     .map(|(x, e)| (x, e.map_subexprs(f)))
@@ -83,9 +81,7 @@ impl SExpr {
                 Box::new(body.map_subexprs(f)),
             ),
             SExpr::Set(x, e) => SExpr::Set(x, Box::new(e.map_subexprs(f))),
-            SExpr::Begin(es) => {
-                SExpr::Begin(es.into_iter().map(|e| e.map_subexprs(f)).collect())
-            }
+            SExpr::Begin(es) => SExpr::Begin(es.into_iter().map(|e| e.map_subexprs(f)).collect()),
             SExpr::App(g, args) => SExpr::app(
                 g.map_subexprs(f),
                 args.into_iter().map(|e| e.map_subexprs(f)).collect(),

@@ -41,7 +41,6 @@ impl<V> Env<V> {
 }
 
 impl<V: Clone> Env<V> {
-
     /// Extends with one binding, returning the new environment.
     pub fn extend(&self, name: Symbol, value: V) -> Env<V> {
         Env(Some(Rc::new(Node {

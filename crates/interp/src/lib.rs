@@ -34,6 +34,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use two4one_syntax::cs::{Def, Expr, Lambda, Program};
 use two4one_syntax::datum::Datum;
+use two4one_syntax::limits::{Deadline, LimitExceeded, Limits};
 use two4one_syntax::symbol::Symbol;
 use two4one_syntax::value::{apply_prim, PrimError, ProcRepr};
 
@@ -96,6 +97,8 @@ pub enum RtError {
     Prim(PrimError),
     /// The fuel limit was reached.
     FuelExhausted,
+    /// A resource limit (wall-clock deadline) was hit.
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for RtError {
@@ -111,6 +114,7 @@ impl fmt::Display for RtError {
             RtError::NoSuchGlobal(g) => write!(f, "no top-level definition `{g}`"),
             RtError::Prim(e) => write!(f, "{e}"),
             RtError::FuelExhausted => write!(f, "fuel exhausted"),
+            RtError::Limit(l) => write!(f, "{l}"),
         }
     }
 }
@@ -137,6 +141,8 @@ pub struct Interp {
     /// Output produced by `display`/`write`/`newline`.
     pub output: String,
     fuel: Option<u64>,
+    deadline: Deadline,
+    ticks: u64,
 }
 
 enum Step {
@@ -155,12 +161,24 @@ impl Interp {
                 .collect(),
             output: String::new(),
             fuel: None,
+            deadline: Deadline::unlimited(),
+            ticks: 0,
         }
     }
 
     /// Limits execution to roughly `fuel` evaluation steps.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Applies the step fuel and wall-clock budget of `limits`. The
+    /// deadline starts now; the clock is consulted every 4096 steps.
+    pub fn with_limits(mut self, limits: &Limits) -> Self {
+        if let Some(f) = limits.step_fuel {
+            self.fuel = Some(f);
+        }
+        self.deadline = limits.deadline();
         self
     }
 
@@ -171,7 +189,9 @@ impl Interp {
             }
             *f -= 1;
         }
-        Ok(())
+        self.deadline
+            .check_every(&mut self.ticks, 4096)
+            .map_err(RtError::Limit)
     }
 
     /// Calls the top-level function `entry` with the given arguments.
@@ -180,6 +200,9 @@ impl Interp {
     ///
     /// Returns an [`RtError`] on any runtime fault.
     pub fn call_global(&mut self, entry: &Symbol, args: Vec<Value>) -> Result<Value, RtError> {
+        // Catch an already-expired deadline before doing any work (the
+        // in-loop check is amortized and may lag by a few thousand steps).
+        self.deadline.check().map_err(RtError::Limit)?;
         self.apply(Proc::Global(entry.clone()), args)
     }
 
@@ -236,9 +259,9 @@ impl Interp {
                 }
                 match fv {
                     Value::Proc(p) => Ok(Step::Call(p, argv)),
-                    other => Err(RtError::NotAProcedure(
-                        two4one_syntax::value::write_string(&other),
-                    )),
+                    other => Err(RtError::NotAProcedure(two4one_syntax::value::write_string(
+                        &other,
+                    ))),
                 }
             }
             Expr::PrimApp(p, args) => {
@@ -306,7 +329,22 @@ pub fn run_program(
     entry: &str,
     args: &[Datum],
 ) -> Result<(Value, String), RtError> {
-    let mut interp = Interp::new(prog);
+    run_program_with(prog, entry, args, &Limits::none())
+}
+
+/// Like [`run_program`], but executing under `limits` (step fuel and
+/// wall-clock deadline).
+///
+/// # Errors
+///
+/// Returns an [`RtError`] on runtime faults or limit overruns.
+pub fn run_program_with(
+    prog: &Program,
+    entry: &str,
+    args: &[Datum],
+    limits: &Limits,
+) -> Result<(Value, String), RtError> {
+    let mut interp = Interp::new(prog).with_limits(limits);
     let argv = args.iter().map(Value::from).collect();
     let v = interp.call_global(&Symbol::new(entry), argv)?;
     Ok((v, interp.output))
@@ -439,9 +477,18 @@ mod tests {
             run_d(src, "classify", &[Datum::Int(5)]),
             two4one_syntax::reader::read_one("(num 5)").unwrap()
         );
-        assert_eq!(run_d(src, "classify", &[Datum::sym("a")]), Datum::sym("letter"));
-        assert_eq!(run_d(src, "classify", &[Datum::sym("z")]), Datum::sym("other"));
-        assert_eq!(run_d(src, "classify", &[Datum::Bool(true)]), Datum::sym("unknown"));
+        assert_eq!(
+            run_d(src, "classify", &[Datum::sym("a")]),
+            Datum::sym("letter")
+        );
+        assert_eq!(
+            run_d(src, "classify", &[Datum::sym("z")]),
+            Datum::sym("other")
+        );
+        assert_eq!(
+            run_d(src, "classify", &[Datum::Bool(true)]),
+            Datum::sym("unknown")
+        );
     }
 
     #[test]
@@ -461,8 +508,7 @@ mod tests {
         let d = run_d(src, "main", &[]);
         assert_eq!(
             d,
-            two4one_syntax::reader::read_one("(a 3 (quasiquote (b (unquote (+ 1 2)))))")
-                .unwrap()
+            two4one_syntax::reader::read_one("(a 3 (quasiquote (b (unquote (+ 1 2)))))").unwrap()
         );
     }
 
@@ -484,8 +530,14 @@ mod tests {
                        ((a e i o u) 'vowel)
                        ((w y) 'semivowel)
                        (else 'consonant)))";
-        assert_eq!(run_d(src, "main", &[Datum::sym("y")]), Datum::sym("semivowel"));
-        assert_eq!(run_d(src, "main", &[Datum::sym("k")]), Datum::sym("consonant"));
+        assert_eq!(
+            run_d(src, "main", &[Datum::sym("y")]),
+            Datum::sym("semivowel")
+        );
+        assert_eq!(
+            run_d(src, "main", &[Datum::sym("k")]),
+            Datum::sym("consonant")
+        );
     }
 
     #[test]

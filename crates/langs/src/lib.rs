@@ -330,8 +330,7 @@ pub const MIXWELL_ACKERMANN: &str = r#"
 /// Classic specialization subjects used across examples and benches.
 pub mod classics {
     /// Power: the canonical partial-evaluation example.
-    pub const POWER: &str =
-        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
+    pub const POWER: &str = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))";
 
     /// A naive string/list matcher; specializing it to a fixed pattern
     /// yields a hard-coded matcher (the KMP-by-PE tradition).

@@ -24,27 +24,55 @@ pub mod spec;
 pub use spec::{specialize, Spec, SpecStats};
 
 use std::fmt;
+use two4one_syntax::limits::{LimitExceeded, LimitKind, Limits};
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
 use two4one_syntax::value::PrimError;
 
 /// Tuning knobs for specialization.
+///
+/// The resource knobs live in [`Limits`] (shared with the rest of the
+/// engine): [`Limits::unfold_fuel`] meters call unfolding,
+/// [`Limits::max_depth`] bounds the specializer's own recursion,
+/// [`Limits::memo_cap`] bounds the memoization cache,
+/// [`Limits::code_cap`] bounds emitted residual code, and
+/// [`Limits::timeout`] bounds wall-clock time.
+///
+/// `fallback` selects what happens when a *recoverable* limit is hit at a
+/// call: with `true` (the default) the specializer degrades gracefully,
+/// residualizing the call against a generically-compiled (all-dynamic)
+/// version of the callee; with `false` it aborts with the corresponding
+/// [`PeError`], which is useful in tests and when a limit overrun should
+/// be loud.
 #[derive(Debug, Clone)]
 pub struct SpecOptions {
-    /// Maximum number of call unfoldings before specialization is aborted
-    /// (a fuel meter against unbounded static recursion).
-    pub unfold_fuel: u64,
-    /// Maximum recursion depth of the specializer itself (the CPS engine
-    /// nests one Rust activation per residual binding, so this bounds both
-    /// stack usage and residual-code depth).
-    pub max_depth: usize,
+    /// Resource limits (see [`Limits`]).
+    pub limits: Limits,
+    /// Degrade gracefully at recoverable limits instead of aborting.
+    pub fallback: bool,
 }
 
 impl Default for SpecOptions {
     fn default() -> Self {
+        SpecOptions::new()
+    }
+}
+
+impl SpecOptions {
+    /// Governed limits with graceful fallback — the production default.
+    pub fn new() -> Self {
         SpecOptions {
-            unfold_fuel: 2_000_000,
-            max_depth: 400_000,
+            limits: Limits::default(),
+            fallback: true,
+        }
+    }
+
+    /// The given limits with fallback disabled: limit overruns abort with
+    /// a typed error instead of degrading.
+    pub fn strict(limits: Limits) -> Self {
+        SpecOptions {
+            limits,
+            fallback: false,
         }
     }
 }
@@ -98,8 +126,29 @@ pub enum PeError {
         /// Unfolds performed when the limit was hit.
         unfolds: u64,
     },
+    /// A resource limit other than unfold fuel or depth was exceeded
+    /// (deadline, memoization-cache cap, or emitted-code cap).
+    Limit(LimitExceeded),
     /// Invariant violation (an annotation or specializer bug).
     Internal(String),
+}
+
+impl PeError {
+    /// True for limit overruns the specializer can recover from at a
+    /// top-level call boundary by residualizing the call against a
+    /// generically-compiled version of the callee: unfold fuel, the memo
+    /// cap, the code cap, and the deadline. Depth overruns (Rust-stack
+    /// exhaustion) and genuine specialization errors are not recoverable.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            PeError::UnfoldLimit(_) => true,
+            PeError::Limit(l) => matches!(
+                l.kind,
+                LimitKind::Deadline | LimitKind::MemoEntries | LimitKind::CodeSize
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for PeError {
@@ -140,6 +189,7 @@ impl fmt::Display for PeError {
                 "specializer depth limit ({limit}) exceeded after {unfolds} \
                  unfolds"
             ),
+            PeError::Limit(l) => write!(f, "specialization limit: {l}"),
             PeError::Internal(m) => write!(f, "internal specializer error: {m}"),
         }
     }

@@ -6,8 +6,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 use two4one_anf::build::CodeBuilder;
 use two4one_interp::env::Env;
-use two4one_syntax::acs::{ADef, ALambda, AExpr, AProgram, CallPolicy, BT};
+use two4one_syntax::acs::{ADef, AExpr, ALambda, AProgram, CallPolicy, BT};
 use two4one_syntax::datum::Datum;
+use two4one_syntax::limits::{Deadline, LimitExceeded, LimitKind};
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::{Gensym, Symbol};
 use two4one_syntax::value::{apply_prim_datum, PrimError};
@@ -77,10 +78,8 @@ pub struct RCode<B: CodeBuilder> {
     pub fv: BTreeSet<Symbol>,
 }
 
-type KontFn<'p, B> =
-    dyn Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p;
-type ListKontFn<'p, B> =
-    dyn Fn(&mut Spec<'p, B>, Vec<SVal<B>>) -> Result<RCode<B>, PeError> + 'p;
+type KontFn<'p, B> = dyn Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p;
+type ListKontFn<'p, B> = dyn Fn(&mut Spec<'p, B>, Vec<SVal<B>>) -> Result<RCode<B>, PeError> + 'p;
 
 /// The specialization continuation. `Tail` marks the boundary of a
 /// residual function body; delivering a serious computation there produces
@@ -102,9 +101,7 @@ impl<'p, B: CodeBuilder> Clone for Kont<'p, B> {
 }
 
 impl<'p, B: CodeBuilder + 'p> Kont<'p, B> {
-    fn op(
-        f: impl Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p,
-    ) -> Self {
+    fn op(f: impl Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p) -> Self {
         Kont::Op(Rc::new(f))
     }
 }
@@ -139,6 +136,18 @@ pub struct SpecStats {
     pub memo_misses: u64,
     /// Residual definitions emitted.
     pub residual_defs: u64,
+    /// Calls downgraded to a generic version after a recoverable limit.
+    pub fallbacks: u64,
+    /// Generic (all-dynamic) residual definitions emitted for fallback.
+    pub generic_defs: u64,
+}
+
+impl SpecStats {
+    /// True when specialization hit a resource limit somewhere and
+    /// degraded to generic residual code instead of aborting.
+    pub fn degraded(&self) -> bool {
+        self.fallbacks > 0 || self.generic_defs > 0
+    }
 }
 
 /// The specializer state.
@@ -149,9 +158,23 @@ pub struct Spec<'p, B: CodeBuilder> {
     gensym: Gensym,
     cache: HashMap<MemoKey, Symbol>,
     pending: VecDeque<Pending<B>>,
+    /// Per source function: the name of its generic (all-dynamic) residual
+    /// version, if one has been requested by a fallback.
+    generic: HashMap<Symbol, Symbol>,
+    pending_generic: VecDeque<(Symbol, Symbol)>,
     fuel: u64,
     depth: usize,
     max_depth: usize,
+    memo_cap: usize,
+    code_cap: usize,
+    deadline: Deadline,
+    ticks: u64,
+    /// Degrade gracefully at recoverable limits (see [`SpecOptions`]).
+    fallback: bool,
+    /// True while emitting a generic fallback body. Generic emission does
+    /// no unfolding and is linear in the source, so resource checks are
+    /// suspended — the escape hatch must be allowed to finish.
+    in_generic: bool,
     /// Counters.
     pub stats: SpecStats,
 }
@@ -184,15 +207,24 @@ pub fn specialize<B: CodeBuilder>(
             got: static_args.len(),
         });
     }
+    let limits = &options.limits;
     let mut spec = Spec {
         prog,
         builder,
         gensym: Gensym::new(),
         cache: HashMap::new(),
         pending: VecDeque::new(),
-        fuel: options.unfold_fuel,
+        generic: HashMap::new(),
+        pending_generic: VecDeque::new(),
+        fuel: limits.unfold_fuel.unwrap_or(u64::MAX),
         depth: 0,
-        max_depth: options.max_depth,
+        max_depth: limits.max_depth.unwrap_or(usize::MAX),
+        memo_cap: limits.memo_cap.unwrap_or(usize::MAX),
+        code_cap: limits.code_cap.unwrap_or(usize::MAX),
+        deadline: limits.deadline(),
+        ticks: 0,
+        fallback: options.fallback,
+        in_generic: false,
         stats: SpecStats::default(),
     };
     let mut env = PEnv::<B>::empty();
@@ -211,7 +243,14 @@ pub fn specialize<B: CodeBuilder>(
             }
         }
     }
-    let body = spec.spec(&def.body, &env, Kont::Tail)?;
+    let body = match spec.spec(&def.body, &env, Kont::Tail) {
+        Ok(b) => b,
+        Err(e) if spec.fallback && e.is_recoverable() => {
+            spec.stats.fallbacks += 1;
+            spec.spec_generic_body(def, &env)?
+        }
+        Err(e) => return Err(e),
+    };
     debug_assert!(
         body.fv.iter().all(|v| fresh_params.contains(v)),
         "residual entry body not closed: free {:?}",
@@ -236,7 +275,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     }
 
     /// Coerces a specialization-time value to a residual trivial.
-    fn to_triv(&mut self, v: SVal<B>) -> Result<Resid<B::Triv>, PeError> {
+    fn triv_of(&mut self, v: SVal<B>) -> Result<Resid<B::Triv>, PeError> {
         match v {
             SVal::Dyn(r) => Ok(r),
             SVal::Data(d) => Ok(Resid {
@@ -255,23 +294,44 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
 
     /// Lifting a top-level function reference: reference the all-dynamic
     /// residual version of the function.
+    ///
+    /// With fallback enabled, a function that still has static parameters
+    /// (which happens inside generic fallback bodies, where the
+    /// binding-time division no longer applies) or whose all-dynamic
+    /// version cannot be scheduled because the memo cache is full is
+    /// redirected to its *generic* version instead.
     fn lift_fnref(&mut self, g: &Symbol) -> Result<Resid<B::Triv>, PeError> {
         let prog = self.prog;
         let def = prog
             .def(g)
             .ok_or_else(|| PeError::NoSuchFunction(g.clone()))?;
         if def.params.iter().any(|p| p.bt == BT::Static) {
+            if self.fallback {
+                let name = self.generic_name(def);
+                return Ok(self.global_ref(&name));
+            }
             return Err(PeError::Internal(format!(
                 "function `{g}` escapes into dynamic context but still has \
                  static parameters"
             )));
         }
-        let name = self.memo_name(def, Vec::new());
-        Ok(Resid {
-            triv: self.builder.global(&name),
+        let name = match self.memo_name(def, Vec::new()) {
+            Ok(n) => n,
+            Err(e) if self.fallback && e.is_recoverable() => {
+                self.stats.fallbacks += 1;
+                self.generic_name(def)
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(self.global_ref(&name))
+    }
+
+    fn global_ref(&mut self, name: &Symbol) -> Resid<B::Triv> {
+        Resid {
+            triv: self.builder.global(name),
             fv: Rc::new(BTreeSet::new()),
             simple: true,
-        })
+        }
     }
 
     // ----- continuation plumbing ----------------------------------------
@@ -279,7 +339,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     fn apply_kont(&mut self, k: &Kont<'p, B>, v: SVal<B>) -> Result<RCode<B>, PeError> {
         match k {
             Kont::Tail => {
-                let r = self.to_triv(v)?;
+                let r = self.triv_of(v)?;
                 Ok(RCode {
                     code: self.builder.ret(r.triv),
                     fv: (*r.fv).clone(),
@@ -348,15 +408,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 let rv = self.dyn_var(&r);
                 let jcode = f(self, rv)?;
                 let jname = self.gensym.fresh("join");
-                let frees: BTreeSet<Symbol> =
-                    jcode.fv.into_iter().filter(|v| v != &r).collect();
+                let frees: BTreeSet<Symbol> = jcode.fv.into_iter().filter(|v| v != &r).collect();
                 let free_list: Vec<Symbol> = frees.iter().cloned().collect();
-                let lam = self
-                    .builder
-                    .lambda(&jname, std::slice::from_ref(&r), &free_list, jcode.code);
+                let lam =
+                    self.builder
+                        .lambda(&jname, std::slice::from_ref(&r), &free_list, jcode.code);
                 let jn = jname.clone();
                 let jump = Kont::op(move |s: &mut Spec<'p, B>, v: SVal<B>| {
-                    let tr = s.to_triv(v)?;
+                    let tr = s.triv_of(v)?;
                     let jv = s.builder.var(&jn);
                     let serious = s.builder.call(jv, vec![tr.triv]);
                     let mut fv: BTreeSet<Symbol> = (*tr.fv).clone();
@@ -384,18 +443,20 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     // ----- the specializer proper (Fig. 3) ------------------------------
 
     /// Specializes `e` in environment `env`, delivering the result to `k`.
-    pub fn spec(
-        &mut self,
-        e: &AExpr,
-        env: &PEnv<B>,
-        k: Kont<'p, B>,
-    ) -> Result<RCode<B>, PeError> {
+    pub fn spec(&mut self, e: &AExpr, env: &PEnv<B>, k: Kont<'p, B>) -> Result<RCode<B>, PeError> {
         self.depth += 1;
         if self.depth > self.max_depth {
+            self.depth -= 1;
             return Err(PeError::DepthLimit {
                 limit: self.max_depth,
                 unfolds: self.stats.unfolds,
             });
+        }
+        if !self.in_generic {
+            if let Err(l) = self.deadline.check_every(&mut self.ticks, 4096) {
+                self.depth -= 1;
+                return Err(PeError::Limit(l));
+            }
         }
         let result = self.spec_inner(e, env, k);
         self.depth -= 1;
@@ -428,7 +489,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     &inner.clone(),
                     env,
                     Kont::op(move |s, v| {
-                        let r = s.to_triv(v)?;
+                        let r = s.triv_of(v)?;
                         s.apply_kont(&k, SVal::Dyn(r))
                     }),
                 )
@@ -453,15 +514,12 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     inner = inner.extend(p.clone(), v);
                 }
                 let body = self.spec(&lam.body, &inner, Kont::Tail)?;
-                let frees: BTreeSet<Symbol> = body
-                    .fv
-                    .into_iter()
-                    .filter(|v| !fresh.contains(v))
-                    .collect();
+                let frees: BTreeSet<Symbol> =
+                    body.fv.into_iter().filter(|v| !fresh.contains(v)).collect();
                 let free_list: Vec<Symbol> = frees.iter().cloned().collect();
-                let triv =
-                    self.builder
-                        .lambda(&lam.name, &fresh, &free_list, body.code);
+                let triv = self
+                    .builder
+                    .lambda(&lam.name, &fresh, &free_list, body.code);
                 self.apply_kont(
                     &k,
                     SVal::Dyn(Resid {
@@ -500,7 +558,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     t,
                     env,
                     Kont::op(move |s, v| {
-                        let tr = s.to_triv(v)?;
+                        let tr = s.triv_of(v)?;
                         s.residual_if(tr, &c, &a, &env2, k.clone())
                     }),
                 )
@@ -518,26 +576,20 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             }
             AExpr::App(f, args) => {
                 let args = Rc::new(args.clone());
-                self.spec(
-                    f,
-                    env,
-                    {
-                        let env2 = env.clone();
-                        Kont::op(move |s, fval| {
-                            let k2 = k.clone();
-                            let fval2 = fval.clone();
-                            s.spec_list(
-                                args.clone(),
-                                0,
-                                env2.clone(),
-                                Vec::new(),
-                                Rc::new(move |s, argvals| {
-                                    s.apply(fval2.clone(), argvals, k2.clone())
-                                }),
-                            )
-                        })
-                    },
-                )
+                self.spec(f, env, {
+                    let env2 = env.clone();
+                    Kont::op(move |s, fval| {
+                        let k2 = k.clone();
+                        let fval2 = fval.clone();
+                        s.spec_list(
+                            args.clone(),
+                            0,
+                            env2.clone(),
+                            Vec::new(),
+                            Rc::new(move |s, argvals| s.apply(fval2.clone(), argvals, k2.clone())),
+                        )
+                    })
+                })
             }
             AExpr::AppD(f, args) => {
                 let args = Rc::new(args.clone());
@@ -546,7 +598,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     f,
                     env,
                     Kont::op(move |s, fval| {
-                        let ftr = s.to_triv(fval)?;
+                        let ftr = s.triv_of(fval)?;
                         let k2 = k.clone();
                         s.spec_list(
                             args.clone(),
@@ -557,7 +609,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                                 let mut fv = (*ftr.fv).clone();
                                 let mut trivs = Vec::with_capacity(argvals.len());
                                 for a in argvals {
-                                    let r = s.to_triv(a)?;
+                                    let r = s.triv_of(a)?;
                                     fv.extend((*r.fv).iter().cloned());
                                     trivs.push(r.triv);
                                 }
@@ -592,7 +644,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             let mut fv = BTreeSet::new();
                             let mut trivs = Vec::with_capacity(argvals.len());
                             for a in argvals {
-                                let r = s.to_triv(a)?;
+                                let r = s.triv_of(a)?;
                                 fv.extend((*r.fv).iter().cloned());
                                 trivs.push(r.triv);
                             }
@@ -609,10 +661,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                                         error: PrimError::TypeError {
                                             prim: p,
                                             expected: "first-order data",
-                                            got: format!(
-                                                "#<closure {}>",
-                                                c.lam.name
-                                            ),
+                                            got: format!("#<closure {}>", c.lam.name),
                                         },
                                     })
                                 }
@@ -665,7 +714,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                         let mut fv = BTreeSet::new();
                         let mut trivs = Vec::with_capacity(argvals.len());
                         for a in argvals {
-                            let r = s.to_triv(a)?;
+                            let r = s.triv_of(a)?;
                             fv.extend((*r.fv).iter().cloned());
                             trivs.push(r.triv);
                         }
@@ -719,13 +768,30 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 let def = prog
                     .def(&g)
                     .ok_or_else(|| PeError::NoSuchFunction(g.clone()))?;
-                match def.policy {
+                // A top-level call is a *recoverable* position: if a
+                // resource limit fires while processing it (or anywhere
+                // downstream, since the continuation is woven into the
+                // callee's specialization), the call is residualized
+                // against the generic version of the callee instead.
+                let saved = if self.fallback {
+                    Some((args.clone(), k.clone()))
+                } else {
+                    None
+                };
+                let attempt = match def.policy {
                     CallPolicy::Unfold => {
                         let params: Vec<Symbol> =
                             def.params.iter().map(|p| p.name.clone()).collect();
                         self.unfold(&def.name, &params, &def.body, PEnv::empty(), args, k)
                     }
                     CallPolicy::Memoize => self.memo_call(def, args, k),
+                };
+                match (attempt, saved) {
+                    (Err(e), Some((args, k))) if e.is_recoverable() => {
+                        self.stats.fallbacks += 1;
+                        self.generic_call(def, args, &k)
+                    }
+                    (r, _) => r,
                 }
             }
             SVal::Dyn(r) => {
@@ -734,7 +800,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 let mut fv = (*r.fv).clone();
                 let mut trivs = Vec::with_capacity(args.len());
                 for a in args {
-                    let t = self.to_triv(a)?;
+                    let t = self.triv_of(a)?;
                     fv.extend((*t.fv).iter().cloned());
                     trivs.push(t.triv);
                 }
@@ -764,6 +830,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 got: args.len(),
             });
         }
+        self.check_call_limits()?;
         if self.fuel == 0 {
             return Err(PeError::UnfoldLimit(self.stats.unfolds));
         }
@@ -786,8 +853,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         }
         let mut r = self.spec(body, &env, k)?;
         for (x, triv) in rebinds.into_iter().rev() {
-            let mut fv: BTreeSet<Symbol> =
-                r.fv.into_iter().filter(|v| v != &x).collect();
+            let mut fv: BTreeSet<Symbol> = r.fv.into_iter().filter(|v| v != &x).collect();
             fv.extend((*triv.fv).iter().cloned());
             r = RCode {
                 code: self.builder.let_triv(&x, triv.triv, r.code),
@@ -797,11 +863,37 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         Ok(r)
     }
 
+    // ----- resource checks ----------------------------------------------
+
+    /// Limit checks performed at every call: wall-clock deadline and
+    /// emitted-code cap. Both are recoverable at a call boundary.
+    /// Suspended while emitting a generic fallback body, which must be
+    /// allowed to finish (it is linear in the source program).
+    fn check_call_limits(&self) -> Result<(), PeError> {
+        if self.in_generic {
+            return Ok(());
+        }
+        self.deadline.check().map_err(PeError::Limit)?;
+        if self.builder.code_size() > self.code_cap {
+            return Err(PeError::Limit(LimitExceeded {
+                kind: LimitKind::CodeSize,
+                limit: self.code_cap as u64,
+            }));
+        }
+        Ok(())
+    }
+
     // ----- memoization ---------------------------------------------------
 
     /// Returns the residual name for `def` specialized to `statics`,
     /// scheduling the specialization if it is new.
-    fn memo_name(&mut self, def: &ADef, statics: Vec<SVal<B>>) -> Symbol {
+    ///
+    /// # Errors
+    ///
+    /// [`LimitKind::MemoEntries`] if scheduling a *new* specialization
+    /// point would exceed the memo-table cap (hits on existing entries
+    /// always succeed).
+    fn memo_name(&mut self, def: &ADef, statics: Vec<SVal<B>>) -> Result<Symbol, PeError> {
         let keys: Vec<StaticKey> = statics
             .iter()
             .map(|v| match v {
@@ -816,7 +908,13 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         };
         if let Some(name) = self.cache.get(&key) {
             self.stats.memo_hits += 1;
-            return name.clone();
+            return Ok(name.clone());
+        }
+        if self.cache.len() >= self.memo_cap {
+            return Err(PeError::Limit(LimitExceeded {
+                kind: LimitKind::MemoEntries,
+                limit: self.memo_cap as u64,
+            }));
         }
         self.stats.memo_misses += 1;
         let res_name = self.gensym.fresh(def.name.as_str());
@@ -826,7 +924,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             res_name: res_name.clone(),
             statics,
         });
-        res_name
+        Ok(res_name)
     }
 
     fn memo_call(
@@ -842,15 +940,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 got: args.len(),
             });
         }
+        self.check_call_limits()?;
         let mut statics = Vec::new();
         let mut dyns: Vec<Resid<B::Triv>> = Vec::new();
         for (p, a) in def.params.iter().zip(args) {
             match p.bt {
                 BT::Static => match a {
                     SVal::Data(_) | SVal::FnRef(_) => statics.push(a),
-                    SVal::Clo(_) => {
-                        return Err(PeError::ClosureInMemoKey(def.name.clone()))
-                    }
+                    SVal::Clo(_) => return Err(PeError::ClosureInMemoKey(def.name.clone())),
                     SVal::Dyn(_) => {
                         return Err(PeError::Internal(format!(
                             "dynamic argument for static parameter `{}` of `{}`",
@@ -858,10 +955,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                         )))
                     }
                 },
-                BT::Dynamic => dyns.push(self.to_triv(a)?),
+                BT::Dynamic => dyns.push(self.triv_of(a)?),
             }
         }
-        let res_name = self.memo_name(def, statics);
+        let res_name = self.memo_name(def, statics)?;
         let mut fv = BTreeSet::new();
         let mut trivs = Vec::with_capacity(dyns.len());
         for r in dyns {
@@ -872,43 +969,177 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         self.deliver_serious(&k, serious, fv)
     }
 
-    /// Processes the pending queue: one residual definition per distinct
-    /// specialization point.
+    /// Processes the pending queues: one residual definition per distinct
+    /// specialization point, plus at most one generic definition per
+    /// source function requested by fallbacks.
     fn drain_pending(&mut self) -> Result<(), PeError> {
-        while let Some(p) = self.pending.pop_front() {
-            let prog = self.prog;
-            let def = prog
-                .def(&p.fn_name)
-                .ok_or_else(|| PeError::NoSuchFunction(p.fn_name.clone()))?;
-            let mut env = PEnv::<B>::empty();
-            let mut fresh_params = Vec::new();
-            let mut statics = p.statics.into_iter();
-            for param in &def.params {
-                match param.bt {
-                    BT::Static => {
-                        let v = statics.next().ok_or_else(|| {
-                            PeError::Internal("static argument count drift".into())
-                        })?;
-                        env = env.extend(param.name.clone(), v);
-                    }
-                    BT::Dynamic => {
-                        let fresh = self.gensym.fresh(param.name.as_str());
-                        let var = self.dyn_var(&fresh);
-                        env = env.extend(param.name.clone(), var);
-                        fresh_params.push(fresh);
-                    }
+        loop {
+            if let Some(p) = self.pending.pop_front() {
+                self.spec_pending(p)?;
+            } else if let Some((fn_name, res_name)) = self.pending_generic.pop_front() {
+                self.spec_generic(&fn_name, &res_name)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn spec_pending(&mut self, p: Pending<B>) -> Result<(), PeError> {
+        let prog = self.prog;
+        let def = prog
+            .def(&p.fn_name)
+            .ok_or_else(|| PeError::NoSuchFunction(p.fn_name.clone()))?;
+        let mut env = PEnv::<B>::empty();
+        let mut fresh_params = Vec::new();
+        let mut statics = p.statics.into_iter();
+        for param in &def.params {
+            match param.bt {
+                BT::Static => {
+                    let v = statics
+                        .next()
+                        .ok_or_else(|| PeError::Internal("static argument count drift".into()))?;
+                    env = env.extend(param.name.clone(), v);
+                }
+                BT::Dynamic => {
+                    let fresh = self.gensym.fresh(param.name.as_str());
+                    let var = self.dyn_var(&fresh);
+                    env = env.extend(param.name.clone(), var);
+                    fresh_params.push(fresh);
                 }
             }
-            let body = self.spec(&def.body, &env, Kont::Tail)?;
-            debug_assert!(
-                body.fv.iter().all(|v| fresh_params.contains(v)),
-                "residual `{}` not closed: free {:?}",
-                p.res_name,
-                body.fv
-            );
-            self.builder.define(&p.res_name, &fresh_params, body.code);
-            self.stats.residual_defs += 1;
         }
+        let body = match self.spec(&def.body, &env, Kont::Tail) {
+            Ok(b) => b,
+            Err(e) if self.fallback && e.is_recoverable() => {
+                self.stats.fallbacks += 1;
+                self.spec_generic_body(def, &env)?
+            }
+            Err(e) => return Err(e),
+        };
+        debug_assert!(
+            body.fv.iter().all(|v| fresh_params.contains(v)),
+            "residual `{}` not closed: free {:?}",
+            p.res_name,
+            body.fv
+        );
+        self.builder.define(&p.res_name, &fresh_params, body.code);
+        self.stats.residual_defs += 1;
         Ok(())
+    }
+
+    // ----- graceful fallback --------------------------------------------
+
+    /// Returns the name of the generic (all-dynamic) residual version of
+    /// `def`, scheduling its emission if this is the first request. At
+    /// most one generic version exists per source function, so fallback
+    /// cannot itself grow without bound.
+    fn generic_name(&mut self, def: &ADef) -> Symbol {
+        if let Some(n) = self.generic.get(&def.name) {
+            return n.clone();
+        }
+        let res_name = self.gensym.fresh(&format!("{}-generic", def.name));
+        self.generic.insert(def.name.clone(), res_name.clone());
+        self.pending_generic
+            .push_back((def.name.clone(), res_name.clone()));
+        res_name
+    }
+
+    /// Residualizes a call against the generic version of `def` — the
+    /// graceful-degradation path taken when a recoverable resource limit
+    /// fires at (or downstream of) a top-level call. All arguments,
+    /// static ones included, are lifted to residual trivials and passed
+    /// at run time.
+    fn generic_call(
+        &mut self,
+        def: &ADef,
+        args: Vec<SVal<B>>,
+        k: &Kont<'p, B>,
+    ) -> Result<RCode<B>, PeError> {
+        if def.params.len() != args.len() {
+            return Err(PeError::ArityMismatch {
+                name: def.name.clone(),
+                expected: def.params.len(),
+                got: args.len(),
+            });
+        }
+        let name = self.generic_name(def);
+        let mut fv = BTreeSet::new();
+        let mut trivs = Vec::with_capacity(args.len());
+        for a in args {
+            let r = self.triv_of(a)?;
+            fv.extend((*r.fv).iter().cloned());
+            trivs.push(r.triv);
+        }
+        let serious = self.builder.call_global(&name, trivs);
+        self.deliver_serious(k, serious, fv)
+    }
+
+    /// Emits the generic body of `def` under `env`: every annotation is
+    /// stripped to its dynamic form first, so specialization degenerates
+    /// to a single structural pass that residualizes everything —
+    /// equivalent to compiling the source unspecialized. Static values
+    /// already in `env` are lifted to constants at their use sites.
+    fn spec_generic_body(&mut self, def: &ADef, env: &PEnv<B>) -> Result<RCode<B>, PeError> {
+        let body = generize(&def.body);
+        let was = self.in_generic;
+        self.in_generic = true;
+        let r = self.spec(&body, env, Kont::Tail);
+        self.in_generic = was;
+        r
+    }
+
+    /// Emits one scheduled generic definition: all parameters dynamic,
+    /// body fully residualized.
+    fn spec_generic(&mut self, fn_name: &Symbol, res_name: &Symbol) -> Result<(), PeError> {
+        let prog = self.prog;
+        let def = prog
+            .def(fn_name)
+            .ok_or_else(|| PeError::NoSuchFunction(fn_name.clone()))?;
+        let mut env = PEnv::<B>::empty();
+        let mut fresh_params = Vec::new();
+        for param in &def.params {
+            let fresh = self.gensym.fresh(param.name.as_str());
+            let var = self.dyn_var(&fresh);
+            env = env.extend(param.name.clone(), var);
+            fresh_params.push(fresh);
+        }
+        let body = self.spec_generic_body(def, &env)?;
+        debug_assert!(
+            body.fv.iter().all(|v| fresh_params.contains(v)),
+            "generic `{res_name}` not closed: free {:?}",
+            body.fv
+        );
+        self.builder.define(res_name, &fresh_params, body.code);
+        self.stats.residual_defs += 1;
+        self.stats.generic_defs += 1;
+        Ok(())
+    }
+}
+
+/// Strips every binding-time annotation down to its dynamic form. The
+/// result specializes in one structural pass (no unfolding, no static
+/// evaluation) to residual code equivalent to the unspecialized source —
+/// the "generically compiled" fallback version of the paper's terminology.
+fn generize(e: &AExpr) -> AExpr {
+    fn garc(e: &AExpr) -> Arc<AExpr> {
+        Arc::new(generize(e))
+    }
+    match e {
+        AExpr::Const(_) | AExpr::Var(_) => e.clone(),
+        // Lifting is the identity once everything is dynamic.
+        AExpr::Lift(inner) => generize(inner),
+        AExpr::Lam(l) | AExpr::LamD(l) => AExpr::LamD(Arc::new(ALambda {
+            name: l.name.clone(),
+            params: l.params.clone(),
+            body: generize(&l.body),
+        })),
+        AExpr::If(t, c, a) | AExpr::IfD(t, c, a) => AExpr::IfD(garc(t), garc(c), garc(a)),
+        AExpr::Let(x, r, b) => AExpr::Let(x.clone(), garc(r), garc(b)),
+        AExpr::App(f, args) | AExpr::AppD(f, args) => {
+            AExpr::AppD(garc(f), args.iter().map(|a| garc(a)).collect())
+        }
+        AExpr::Prim(p, args) | AExpr::PrimD(p, args) => {
+            AExpr::PrimD(*p, args.iter().map(|a| garc(a)).collect())
+        }
     }
 }

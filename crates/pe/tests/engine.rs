@@ -5,17 +5,12 @@ use two4one_anf::build::SourceBuilder;
 use two4one_bta::{bta, bta_with, Division, Options};
 use two4one_compiler::ObjectBuilder;
 use two4one_pe::{specialize, PeError, SpecOptions};
-use two4one_syntax::acs::{BT, CallPolicy};
+use two4one_syntax::acs::{CallPolicy, BT};
 use two4one_syntax::datum::Datum;
 use two4one_syntax::symbol::Symbol;
 use two4one_vm::{Machine, Value};
 
-fn source(
-    src: &str,
-    entry: &str,
-    div: &[BT],
-    statics: &[Datum],
-) -> two4one_anf::Program {
+fn source(src: &str, entry: &str, div: &[BT], statics: &[Datum]) -> two4one_anf::Program {
     let p = two4one_frontend::frontend(src).unwrap();
     let aprog = bta(&p, entry, &Division::new(div.iter().copied())).unwrap();
     specialize(
@@ -41,7 +36,11 @@ fn nontail_dynamic_conditionals_get_join_points_not_duplication() {
     let joins = text.matches("join%").count();
     assert!(joins >= 2, "expected join points:\n{text}");
     // Linear size: well under the duplication blowup.
-    assert!(res.size() < 120, "residual too large ({}):\n{text}", res.size());
+    assert!(
+        res.size() < 120,
+        "residual too large ({}):\n{text}",
+        res.size()
+    );
     // And correct.
     let args: Vec<Datum> = vec![true, false, true, false]
         .into_iter()
@@ -73,8 +72,10 @@ fn depth_limit_body() {
         &[Datum::Int(0)],
         SourceBuilder::new(),
         &SpecOptions {
-            unfold_fuel: 1_000_000,
-            max_depth: 500,
+            limits: two4one_syntax::limits::Limits::default()
+                .with_unfold_fuel(1_000_000)
+                .with_max_depth(500),
+            fallback: true, // depth overrun is not recoverable even so
         },
     )
     .unwrap_err();
@@ -91,9 +92,11 @@ fn faulting_static_prims_residualize_instead_of_aborting() {
     let src = "(define (f d) (if d (car '()) 'safe))";
     let res = source(src, "f", &[BT::Dynamic], &[]);
     let text = res.to_source();
-    assert!(text.contains("(car '())") || text.contains("(car (quote ())"), "{text}");
-    let (v, _) =
-        two4one_interp::run_program(&res.to_cs(), "f", &[Datum::Bool(false)]).unwrap();
+    assert!(
+        text.contains("(car '())") || text.contains("(car (quote ())"),
+        "{text}"
+    );
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "f", &[Datum::Bool(false)]).unwrap();
     assert_eq!(v.to_datum(), Some(Datum::sym("safe")));
     let err = two4one_interp::run_program(&res.to_cs(), "f", &[Datum::Bool(true)]);
     assert!(err.is_err());
@@ -164,8 +167,7 @@ fn memo_key_distinguishes_function_references() {
     .unwrap();
     // Two (f, n)-keyed entry specializations plus their recursive chains.
     assert!(stats.memo_misses >= 2, "{stats:?}\n{}", res.to_source());
-    let (v, _) =
-        two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(10)]).unwrap();
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(10)]).unwrap();
     assert_eq!(v.to_datum(), Some(Datum::Int(13 + 40)));
 }
 
@@ -178,12 +180,8 @@ fn unfolding_does_not_duplicate_residual_lambdas() {
     let res = source(src, "main", &[BT::Dynamic, BT::Dynamic], &[]);
     let text = res.to_source();
     assert_eq!(text.matches("lambda").count(), 1, "{text}");
-    let (v, _) = two4one_interp::run_program(
-        &res.to_cs(),
-        "main",
-        &[Datum::Int(1), Datum::Int(2)],
-    )
-    .unwrap();
+    let (v, _) =
+        two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(1), Datum::Int(2)]).unwrap();
     assert_eq!(v.to_datum(), Some(Datum::Bool(true)));
 }
 

@@ -11,12 +11,7 @@ use two4one_syntax::reader::read_one;
 use two4one_syntax::symbol::Symbol;
 use two4one_vm::{Machine, Value};
 
-fn spec_source(
-    src: &str,
-    entry: &str,
-    div: &[BT],
-    statics: &[Datum],
-) -> two4one_anf::Program {
+fn spec_source(src: &str, entry: &str, div: &[BT], statics: &[Datum]) -> two4one_anf::Program {
     let p = two4one_frontend::frontend(src).unwrap();
     let aprog = bta(&p, entry, &Division::new(div.iter().copied())).unwrap();
     let (prog, _) = specialize(
@@ -30,12 +25,7 @@ fn spec_source(
     prog
 }
 
-fn spec_object(
-    src: &str,
-    entry: &str,
-    div: &[BT],
-    statics: &[Datum],
-) -> two4one_vm::Image {
+fn spec_object(src: &str, entry: &str, div: &[BT], statics: &[Datum]) -> two4one_vm::Image {
     let p = two4one_frontend::frontend(src).unwrap();
     let aprog = bta(&p, entry, &Division::new(div.iter().copied())).unwrap();
     let (image, _) = specialize(
@@ -66,7 +56,10 @@ fn power_specializes_to_straightline_code() {
     // One residual definition, no residual calls (fully unfolded).
     assert_eq!(res.defs.len(), 1);
     let text = res.to_source();
-    assert!(!text.contains("power%"), "unexpected residual call:\n{text}");
+    assert!(
+        !text.contains("power%"),
+        "unexpected residual call:\n{text}"
+    );
     assert!(text.matches('*').count() >= 5, "{text}");
     // Each residual body is valid ANF.
     for d in &res.defs {
@@ -79,9 +72,20 @@ fn power_specializes_to_straightline_code() {
 
 #[test]
 fn power_fused_object_code_runs() {
-    let image = spec_object(POWER, "power", &[BT::Dynamic, BT::Static], &[Datum::Int(13)]);
-    assert_eq!(run_image(&image, "power", &[Datum::Int(2)]), Datum::Int(8192));
-    assert_eq!(run_image(&image, "power", &[Datum::Int(3)]), Datum::Int(1594323));
+    let image = spec_object(
+        POWER,
+        "power",
+        &[BT::Dynamic, BT::Static],
+        &[Datum::Int(13)],
+    );
+    assert_eq!(
+        run_image(&image, "power", &[Datum::Int(2)]),
+        Datum::Int(8192)
+    );
+    assert_eq!(
+        run_image(&image, "power", &[Datum::Int(3)]),
+        Datum::Int(1594323)
+    );
 }
 
 #[test]
@@ -142,7 +146,10 @@ fn memoized_loop_produces_residual_recursion() {
     assert!(text.contains("walk%"), "{text}");
     let image = spec_object(src, "walk", &[BT::Dynamic, BT::Dynamic], &[]);
     let xs = Datum::list((0..100).map(Datum::Int).collect::<Vec<_>>());
-    assert_eq!(run_image(&image, "walk", &[xs, Datum::Int(0)]), Datum::Int(100));
+    assert_eq!(
+        run_image(&image, "walk", &[xs, Datum::Int(0)]),
+        Datum::Int(100)
+    );
 }
 
 #[test]
@@ -160,8 +167,7 @@ fn polyvariant_specialization_creates_one_def_per_static_tuple() {
         Symbol::new("scale"),
         two4one_syntax::acs::CallPolicy::Memoize,
     );
-    let aprog =
-        two4one_bta::bta_with(&p, "main", &Division::new([BT::Dynamic]), &opts).unwrap();
+    let aprog = two4one_bta::bta_with(&p, "main", &Division::new([BT::Dynamic]), &opts).unwrap();
     let (res, stats) = specialize(
         &aprog,
         &Symbol::new("main"),
@@ -219,8 +225,7 @@ fn static_closures_vanish_from_residual_code() {
     let text = res.to_source();
     // k = 16 is computed statically and inlined; no residual lambda.
     assert!(text.contains("16"), "{text}");
-    let (v, _) =
-        two4one_interp::run_program(&res.to_cs(), "entry", &[Datum::Int(10)]).unwrap();
+    let (v, _) = two4one_interp::run_program(&res.to_cs(), "entry", &[Datum::Int(10)]).unwrap();
     assert_eq!(v.to_datum(), Some(Datum::Int(26)));
 }
 
@@ -245,8 +250,7 @@ fn static_effects_stay_dynamic() {
     let res = spec_source(src, "main", &[BT::Static, BT::Dynamic], &[Datum::Int(42)]);
     let text = res.to_source();
     assert!(text.contains("display"), "{text}");
-    let (_, out) =
-        two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(1)]).unwrap();
+    let (_, out) = two4one_interp::run_program(&res.to_cs(), "main", &[Datum::Int(1)]).unwrap();
     assert_eq!(out, "42");
 }
 
@@ -263,7 +267,12 @@ fn mini_interpreter_compiles_by_specialization() {
               (else (error "bad expression" e))))
     "#;
     let prog = read_one("(inc (dbl (inc arg)))").unwrap();
-    let res = spec_source(src, "run", &[BT::Static, BT::Dynamic], &[prog.clone()]);
+    let res = spec_source(
+        src,
+        "run",
+        &[BT::Static, BT::Dynamic],
+        std::slice::from_ref(&prog),
+    );
     let text = res.to_source();
     // The interpretive overhead is gone: no eq?, car, or error in residual.
     assert!(!text.contains("car"), "{text}");
@@ -285,7 +294,9 @@ fn unfold_fuel_stops_static_divergence() {
         &Symbol::new("spin"),
         &[Datum::Int(0)],
         SourceBuilder::new(),
-        &SpecOptions { unfold_fuel: 64, ..SpecOptions::default() },
+        // Strict mode: the fuel overrun must surface as an error rather
+        // than degrade to a generic residual version.
+        &SpecOptions::strict(two4one_syntax::limits::Limits::default().with_unfold_fuel(64)),
     )
     .unwrap_err();
     assert!(matches!(err, two4one_pe::PeError::UnfoldLimit(_)));
@@ -316,15 +327,29 @@ fn residual_equivalence_random_inputs() {
                      (+ (* (car ws) (car xs)) (dot (cdr ws) (cdr xs)))))";
     let weights = read_one("(3 1 4 1 5)").unwrap();
     let cs = two4one_frontend::frontend(src).unwrap();
-    let res = spec_source(src, "dot", &[BT::Static, BT::Dynamic], &[weights.clone()]);
-    let image = spec_object(src, "dot", &[BT::Static, BT::Dynamic], &[weights.clone()]);
+    let res = spec_source(
+        src,
+        "dot",
+        &[BT::Static, BT::Dynamic],
+        std::slice::from_ref(&weights),
+    );
+    let image = spec_object(
+        src,
+        "dot",
+        &[BT::Static, BT::Dynamic],
+        std::slice::from_ref(&weights),
+    );
     for trial in 0..10 {
-        let xs = Datum::list((0..5).map(|i| Datum::Int(i * 7 + trial)).collect::<Vec<_>>());
+        let xs = Datum::list(
+            (0..5)
+                .map(|i| Datum::Int(i * 7 + trial))
+                .collect::<Vec<_>>(),
+        );
         let (expect, _) =
             two4one_interp::run_program(&cs, "dot", &[weights.clone(), xs.clone()]).unwrap();
         let expect = expect.to_datum().unwrap();
         let (got_src, _) =
-            two4one_interp::run_program(&res.to_cs(), "dot", &[xs.clone()]).unwrap();
+            two4one_interp::run_program(&res.to_cs(), "dot", std::slice::from_ref(&xs)).unwrap();
         assert_eq!(got_src.to_datum().unwrap(), expect);
         assert_eq!(run_image(&image, "dot", &[xs]), expect);
     }
@@ -333,7 +358,12 @@ fn residual_equivalence_random_inputs() {
 #[test]
 fn source_backend_output_is_always_anf() {
     for (src, entry, div, statics) in [
-        (POWER, "power", vec![BT::Dynamic, BT::Static], vec![Datum::Int(3)]),
+        (
+            POWER,
+            "power",
+            vec![BT::Dynamic, BT::Static],
+            vec![Datum::Int(3)],
+        ),
         (
             "(define (mk n) (lambda (x) (+ x n)))",
             "mk",

@@ -180,18 +180,12 @@ impl AExpr {
             AExpr::Lift(e) => Datum::list([Datum::sym("lift"), e.to_datum()]),
             AExpr::Lam(l) => lam("lambda", l),
             AExpr::LamD(l) => lam("_lambda", l),
-            AExpr::If(a, b, c) => Datum::list([
-                Datum::sym("if"),
-                a.to_datum(),
-                b.to_datum(),
-                c.to_datum(),
-            ]),
-            AExpr::IfD(a, b, c) => Datum::list([
-                Datum::sym("_if"),
-                a.to_datum(),
-                b.to_datum(),
-                c.to_datum(),
-            ]),
+            AExpr::If(a, b, c) => {
+                Datum::list([Datum::sym("if"), a.to_datum(), b.to_datum(), c.to_datum()])
+            }
+            AExpr::IfD(a, b, c) => {
+                Datum::list([Datum::sym("_if"), a.to_datum(), b.to_datum(), c.to_datum()])
+            }
             AExpr::Let(x, rhs, body) => Datum::list([
                 Datum::sym("let"),
                 Datum::list([Datum::list([Datum::Sym(x.clone()), rhs.to_datum()])]),

@@ -105,11 +105,7 @@ pub fn embed(layer: ExprF<Expr>) -> Expr {
     match layer {
         ExprF::Const(d) => Expr::Const(d),
         ExprF::Var(x) => Expr::Var(x),
-        ExprF::Lam { name, params, body } => Expr::Lambda(Arc::new(Lambda {
-            name,
-            params,
-            body,
-        })),
+        ExprF::Lam { name, params, body } => Expr::Lambda(Arc::new(Lambda { name, params, body })),
         ExprF::If(a, b, c) => Expr::If(Box::new(a), Box::new(b), Box::new(c)),
         ExprF::Let(x, rhs, body) => Expr::Let(x, Box::new(rhs), Box::new(body)),
         ExprF::App(f, args) => Expr::App(Box::new(f), args),

@@ -161,12 +161,9 @@ impl Expr {
                 Datum::list(l.params.iter().cloned().map(Datum::Sym).collect::<Vec<_>>()),
                 l.body.to_datum(),
             ]),
-            Expr::If(a, b, c) => Datum::list([
-                Datum::sym("if"),
-                a.to_datum(),
-                b.to_datum(),
-                c.to_datum(),
-            ]),
+            Expr::If(a, b, c) => {
+                Datum::list([Datum::sym("if"), a.to_datum(), b.to_datum(), c.to_datum()])
+            }
             Expr::Let(x, rhs, body) => Datum::list([
                 Datum::sym("let"),
                 Datum::list([Datum::list([Datum::Sym(x.clone()), rhs.to_datum()])]),
@@ -197,7 +194,11 @@ impl Def {
     pub fn to_datum(&self) -> Datum {
         let mut head = vec![Datum::Sym(self.name.clone())];
         head.extend(self.params.iter().cloned().map(Datum::Sym));
-        Datum::list([Datum::sym("define"), Datum::list(head), self.body.to_datum()])
+        Datum::list([
+            Datum::sym("define"),
+            Datum::list(head),
+            self.body.to_datum(),
+        ])
     }
 }
 
@@ -287,9 +288,7 @@ pub fn parse_expr(d: &Datum) -> Result<Expr, CsParseError> {
                         .to_vec()
                         .ok_or_else(|| CsParseError("bad let bindings".into()))?;
                     if bindings.len() != 1 {
-                        return Err(CsParseError(
-                            "core let has exactly one binding".into(),
-                        ));
+                        return Err(CsParseError("core let has exactly one binding".into()));
                     }
                     let b = bindings[0]
                         .to_vec()
@@ -361,7 +360,10 @@ pub fn parse_program(ds: &[Datum]) -> Result<Program, CsParseError> {
             return Err(CsParseError("empty definition head".into()));
         }
         let name = sym_of(&head[0])?;
-        let params = head[1..].iter().map(sym_of).collect::<Result<Vec<_>, _>>()?;
+        let params = head[1..]
+            .iter()
+            .map(sym_of)
+            .collect::<Result<Vec<_>, _>>()?;
         defs.push(Def {
             name,
             params,
@@ -424,10 +426,7 @@ mod tests {
 
     #[test]
     fn program_roundtrip_and_scoping() {
-        let ds = crate::reader::read_all(
-            "(define (f x) (g x)) (define (g y) (+ y free))",
-        )
-        .unwrap();
+        let ds = crate::reader::read_all("(define (f x) (g x)) (define (g y) (+ y free))").unwrap();
         let p = parse_program(&ds).unwrap();
         assert_eq!(p.defs.len(), 2);
         assert!(p.def(&Symbol::new("f")).is_some());

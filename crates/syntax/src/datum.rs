@@ -367,7 +367,10 @@ mod tests {
     fn quote_sugar_prints_back() {
         let d = l(&[Datum::sym("quote"), Datum::sym("x")]);
         assert_eq!(d.to_string(), "'x");
-        let d = l(&[Datum::sym("quasiquote"), l(&[Datum::sym("unquote"), Datum::sym("x")])]);
+        let d = l(&[
+            Datum::sym("quasiquote"),
+            l(&[Datum::sym("unquote"), Datum::sym("x")]),
+        ]);
         assert_eq!(d.to_string(), "`,x");
     }
 

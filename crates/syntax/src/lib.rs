@@ -34,6 +34,7 @@ pub mod acs;
 pub mod cata;
 pub mod cs;
 pub mod datum;
+pub mod limits;
 pub mod prim;
 pub mod printer;
 pub mod reader;
@@ -42,5 +43,6 @@ pub mod symbol;
 pub mod value;
 
 pub use datum::Datum;
+pub use limits::{Deadline, LimitExceeded, LimitKind, Limits};
 pub use prim::{Arity, Prim};
 pub use symbol::{Gensym, Symbol};

@@ -149,11 +149,26 @@ const TABLE: &[(Prim, &str, Arity, bool)] = &[
     (Prim::CharP, "char?", Arity::Exact(1), true),
     (Prim::ProcedureP, "procedure?", Arity::Exact(1), true),
     (Prim::ListP, "list?", Arity::Exact(1), true),
-    (Prim::SymbolToString, "symbol->string", Arity::Exact(1), true),
-    (Prim::StringToSymbol, "string->symbol", Arity::Exact(1), true),
+    (
+        Prim::SymbolToString,
+        "symbol->string",
+        Arity::Exact(1),
+        true,
+    ),
+    (
+        Prim::StringToSymbol,
+        "string->symbol",
+        Arity::Exact(1),
+        true,
+    ),
     (Prim::StringAppend, "string-append", Arity::AtLeast(0), true),
     (Prim::StringLength, "string-length", Arity::Exact(1), true),
-    (Prim::NumberToString, "number->string", Arity::Exact(1), true),
+    (
+        Prim::NumberToString,
+        "number->string",
+        Arity::Exact(1),
+        true,
+    ),
     (Prim::StringEqualP, "string=?", Arity::Exact(2), true),
     (Prim::CharToInteger, "char->integer", Arity::Exact(1), true),
     (Prim::IntegerToChar, "integer->char", Arity::Exact(1), true),

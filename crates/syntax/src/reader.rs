@@ -7,6 +7,7 @@
 //! comments (`#;`).
 
 use crate::datum::Datum;
+use crate::limits::{LimitExceeded, LimitKind, Limits};
 use crate::symbol::Symbol;
 use std::fmt;
 
@@ -53,6 +54,9 @@ pub enum ReadErrorKind {
     IntOverflow(String),
     /// Leftover text after the requested single datum.
     TrailingData,
+    /// A resource cap was hit ([`Limits::input_node_cap`] /
+    /// [`Limits::input_depth_cap`]).
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for ReadError {
@@ -66,6 +70,7 @@ impl fmt::Display for ReadError {
             ReadErrorKind::BadEscape(c) => format!("unknown string escape `\\{c}`"),
             ReadErrorKind::IntOverflow(s) => format!("integer literal `{s}` overflows"),
             ReadErrorKind::TrailingData => "trailing data after datum".to_string(),
+            ReadErrorKind::Limit(l) => l.to_string(),
         };
         write!(f, "read error at {}: {}", self.pos, msg)
     }
@@ -91,7 +96,18 @@ impl std::error::Error for ReadError {}
 /// # }
 /// ```
 pub fn read_all(src: &str) -> Result<Vec<Datum>, ReadError> {
-    let mut r = Reader::new(src);
+    read_all_with(src, &Limits::none())
+}
+
+/// Like [`read_all`], but enforcing the reader caps of `limits`
+/// ([`Limits::input_node_cap`] and [`Limits::input_depth_cap`]) so
+/// adversarial input cannot exhaust memory or the Rust stack.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed or over-limit input.
+pub fn read_all_with(src: &str, limits: &Limits) -> Result<Vec<Datum>, ReadError> {
+    let mut r = Reader::new(src, limits);
     let mut out = Vec::new();
     loop {
         r.skip_atmosphere()?;
@@ -108,7 +124,16 @@ pub fn read_all(src: &str) -> Result<Vec<Datum>, ReadError> {
 ///
 /// Returns a [`ReadError`] on malformed input or trailing data.
 pub fn read_one(src: &str) -> Result<Datum, ReadError> {
-    let mut r = Reader::new(src);
+    read_one_with(src, &Limits::none())
+}
+
+/// Like [`read_one`], but enforcing the reader caps of `limits`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed, trailing, or over-limit input.
+pub fn read_one_with(src: &str, limits: &Limits) -> Result<Datum, ReadError> {
+    let mut r = Reader::new(src, limits);
     r.skip_atmosphere()?;
     let d = r.read_datum()?;
     r.skip_atmosphere()?;
@@ -125,16 +150,26 @@ struct Reader<'a> {
     idx: usize,
     line: u32,
     col: u32,
+    /// Datum nodes constructed so far.
+    nodes: usize,
+    /// Current recursion depth of `read_datum`.
+    depth: usize,
+    node_cap: Option<usize>,
+    depth_cap: Option<usize>,
 }
 
 impl<'a> Reader<'a> {
-    fn new(src: &'a str) -> Self {
+    fn new(src: &'a str, limits: &Limits) -> Self {
         Reader {
             chars: src.chars().collect(),
             src,
             idx: 0,
             line: 1,
             col: 1,
+            nodes: 0,
+            depth: 0,
+            node_cap: limits.input_node_cap,
+            depth_cap: limits.input_depth_cap,
         }
     }
 
@@ -228,9 +263,38 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Guarded entry: accounts one node and one nesting level, then
+    /// dispatches. All recursive descent goes through here, so the caps
+    /// bound both total allocation and Rust stack depth.
     fn read_datum(&mut self) -> Result<Datum, ReadError> {
+        self.nodes += 1;
+        if let Some(cap) = self.node_cap {
+            if self.nodes > cap {
+                return Err(self.err(ReadErrorKind::Limit(LimitExceeded::new(
+                    LimitKind::InputNodes,
+                    cap as u64,
+                ))));
+            }
+        }
+        self.depth += 1;
+        if let Some(cap) = self.depth_cap {
+            if self.depth > cap {
+                return Err(self.err(ReadErrorKind::Limit(LimitExceeded::new(
+                    LimitKind::InputDepth,
+                    cap as u64,
+                ))));
+            }
+        }
+        let d = self.read_datum_inner();
+        self.depth -= 1;
+        d
+    }
+
+    fn read_datum_inner(&mut self) -> Result<Datum, ReadError> {
         self.skip_atmosphere()?;
-        let c = self.peek().ok_or_else(|| self.err(ReadErrorKind::UnexpectedEof))?;
+        let c = self
+            .peek()
+            .ok_or_else(|| self.err(ReadErrorKind::UnexpectedEof))?;
         match c {
             '(' | '[' => {
                 self.bump();
@@ -294,13 +358,18 @@ impl<'a> Reader<'a> {
                 Some(_) => items.push(self.read_datum()?),
             }
         }
-        Ok(items.into_iter().rev().fold(tail, |acc, d| Datum::cons(d, acc)))
+        Ok(items
+            .into_iter()
+            .rev()
+            .fold(tail, |acc, d| Datum::cons(d, acc)))
     }
 
     fn dot_is_standalone(&self) -> bool {
         match self.peek2() {
             None => true,
-            Some(c) => c.is_whitespace() || c == '(' || c == ')' || c == '[' || c == ']' || c == ';',
+            Some(c) => {
+                c.is_whitespace() || c == '(' || c == ')' || c == '[' || c == ']' || c == ';'
+            }
         }
     }
 
@@ -355,8 +424,13 @@ impl<'a> Reader<'a> {
                     "space" => ' ',
                     "newline" => '\n',
                     "tab" => '\t',
-                    s if s.chars().count() == 1 => s.chars().next().expect("one char"),
-                    s => return Err(self.err(ReadErrorKind::BadHash(format!("\\{s}")))),
+                    s => {
+                        let mut cs = s.chars();
+                        match (cs.next(), cs.next()) {
+                            (Some(c), None) => c,
+                            _ => return Err(self.err(ReadErrorKind::BadHash(format!("\\{s}")))),
+                        }
+                    }
                 };
                 Ok(Datum::Char(c))
             }
@@ -462,6 +536,31 @@ mod tests {
         assert_eq!(e.kind, ReadErrorKind::TrailingData);
         let e = read_one("(a\nb").unwrap_err();
         assert_eq!(e.pos.line, 2);
+    }
+
+    #[test]
+    fn node_cap_stops_large_input() {
+        let src = "(1 2 3 4 5 6 7 8 9 10)";
+        assert!(read_one_with(src, &Limits::none().with_input_node_cap(1000)).is_ok());
+        let e = read_one_with(src, &Limits::none().with_input_node_cap(4)).unwrap_err();
+        match e.kind {
+            ReadErrorKind::Limit(l) => assert_eq!(l.kind, LimitKind::InputNodes),
+            k => panic!("expected node-cap limit, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_cap_stops_deep_nesting() {
+        let deep = format!("{}42{}", "(".repeat(200), ")".repeat(200));
+        assert!(read_one_with(&deep, &Limits::none().with_input_depth_cap(1000)).is_ok());
+        let e = read_one_with(&deep, &Limits::none().with_input_depth_cap(50)).unwrap_err();
+        match e.kind {
+            ReadErrorKind::Limit(l) => assert_eq!(l.kind, LimitKind::InputDepth),
+            k => panic!("expected depth-cap limit, got {k:?}"),
+        }
+        // Flat width is not depth: a long flat list passes a small depth cap.
+        let flat = format!("({})", "x ".repeat(200));
+        assert!(read_one_with(&flat, &Limits::none().with_input_depth_cap(50)).is_ok());
     }
 
     #[test]

@@ -319,7 +319,9 @@ fn want_int<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<i64, PrimError> {
     }
 }
 
-fn want_pair<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<&Rc<(Value<P>, Value<P>)>, PrimError> {
+type PairRc<P> = Rc<(Value<P>, Value<P>)>;
+
+fn want_pair<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<&PairRc<P>, PrimError> {
     match v {
         Value::Pair(pr) => Ok(pr),
         other => Err(PrimError::TypeError {
@@ -553,8 +555,7 @@ pub fn apply_prim<P: ProcRepr>(
             }
         }
         Prim::Memq | Prim::Member => {
-            let same: fn(&Value<P>, &Value<P>) -> bool =
-                if p == Prim::Memq { eqv } else { equal };
+            let same: fn(&Value<P>, &Value<P>) -> bool = if p == Prim::Memq { eqv } else { equal };
             let mut cur = args[1].clone();
             loop {
                 match cur {
@@ -577,8 +578,7 @@ pub fn apply_prim<P: ProcRepr>(
             }
         }
         Prim::Assq | Prim::Assoc => {
-            let same: fn(&Value<P>, &Value<P>) -> bool =
-                if p == Prim::Assq { eqv } else { equal };
+            let same: fn(&Value<P>, &Value<P>) -> bool = if p == Prim::Assq { eqv } else { equal };
             let mut cur = args[1].clone();
             loop {
                 match cur {
@@ -637,9 +637,7 @@ pub fn apply_prim<P: ProcRepr>(
         }
         Prim::StringLength => Value::Int(want_str(p, &args[0])?.chars().count() as i64),
         Prim::NumberToString => Value::Str(Arc::from(int(&args[0])?.to_string().as_str())),
-        Prim::StringEqualP => {
-            Value::Bool(want_str(p, &args[0])? == want_str(p, &args[1])?)
-        }
+        Prim::StringEqualP => Value::Bool(want_str(p, &args[0])? == want_str(p, &args[1])?),
         Prim::CharToInteger => match &args[0] {
             Value::Char(c) => Value::Int(*c as i64),
             other => {
@@ -785,7 +783,10 @@ mod tests {
     fn comparisons_chain() {
         assert_eq!(run(Prim::Lt, &[v("1"), v("2"), v("3")]), Value::Bool(true));
         assert_eq!(run(Prim::Lt, &[v("1"), v("3"), v("2")]), Value::Bool(false));
-        assert_eq!(run(Prim::NumEq, &[v("2"), v("2"), v("2")]), Value::Bool(true));
+        assert_eq!(
+            run(Prim::NumEq, &[v("2"), v("2"), v("2")]),
+            Value::Bool(true)
+        );
         assert_eq!(run(Prim::ZeroP, &[v("0")]), Value::Bool(true));
     }
 
@@ -796,11 +797,17 @@ mod tests {
         assert_eq!(run(Prim::Cdr, &[v("(1 2)")]), v("(2)"));
         assert_eq!(run(Prim::Length, &[v("(a b c)")]), Value::Int(3));
         assert_eq!(run(Prim::Reverse, &[v("(1 2 3)")]), v("(3 2 1)"));
-        assert_eq!(run(Prim::Append, &[v("(1 2)"), v("(3)"), v("(4)")]), v("(1 2 3 4)"));
+        assert_eq!(
+            run(Prim::Append, &[v("(1 2)"), v("(3)"), v("(4)")]),
+            v("(1 2 3 4)")
+        );
         assert_eq!(run(Prim::Append, &[]), Value::Nil);
         assert_eq!(run(Prim::ListRef, &[v("(a b c)"), v("1")]), v("b"));
         assert_eq!(run(Prim::List, &[v("1"), v("2")]), v("(1 2)"));
-        assert!(matches!(run_err(Prim::Car, &[v("5")]), PrimError::TypeError { .. }));
+        assert!(matches!(
+            run_err(Prim::Car, &[v("5")]),
+            PrimError::TypeError { .. }
+        ));
         assert!(matches!(
             run_err(Prim::ListRef, &[v("(a)"), v("3")]),
             PrimError::OutOfRange(..)
@@ -821,7 +828,10 @@ mod tests {
     fn equality_flavours() {
         assert_eq!(run(Prim::EqP, &[v("a"), v("a")]), Value::Bool(true));
         assert_eq!(run(Prim::EqP, &[v("(1)"), v("(1)")]), Value::Bool(false));
-        assert_eq!(run(Prim::EqualP, &[v("(1 (2))"), v("(1 (2))")]), Value::Bool(true));
+        assert_eq!(
+            run(Prim::EqualP, &[v("(1 (2))"), v("(1 (2))")]),
+            Value::Bool(true)
+        );
         let shared = v("(1)");
         assert_eq!(run(Prim::EqP, &[shared.clone(), shared]), Value::Bool(true));
     }
@@ -834,7 +844,10 @@ mod tests {
         assert_eq!(run(Prim::BooleanP, &[v("#f")]), Value::Bool(true));
         assert_eq!(run(Prim::CharP, &[v("#\\a")]), Value::Bool(true));
         assert_eq!(run(Prim::ListP, &[v("(1 2)")]), Value::Bool(true));
-        assert_eq!(run(Prim::ListP, &[run(Prim::Cons, &[v("1"), v("2")])]), Value::Bool(false));
+        assert_eq!(
+            run(Prim::ListP, &[run(Prim::Cons, &[v("1"), v("2")])]),
+            Value::Bool(false)
+        );
         assert_eq!(run(Prim::NullP, &[v("()")]), Value::Bool(true));
         assert_eq!(run(Prim::Not, &[v("#f")]), Value::Bool(true));
         assert_eq!(run(Prim::Not, &[v("0")]), Value::Bool(false));
@@ -850,7 +863,10 @@ mod tests {
         assert_eq!(run(Prim::SymbolToString, &[v("abc")]), v("\"abc\""));
         assert_eq!(run(Prim::StringToSymbol, &[v("\"abc\"")]), v("abc"));
         assert_eq!(run(Prim::NumberToString, &[v("42")]), v("\"42\""));
-        assert_eq!(run(Prim::StringEqualP, &[v("\"a\""), v("\"a\"")]), Value::Bool(true));
+        assert_eq!(
+            run(Prim::StringEqualP, &[v("\"a\""), v("\"a\"")]),
+            Value::Bool(true)
+        );
         assert_eq!(run(Prim::CharToInteger, &[v("#\\a")]), Value::Int(97));
         assert_eq!(run(Prim::IntegerToChar, &[v("97")]), v("#\\a"));
         assert!(matches!(
@@ -877,7 +893,7 @@ mod tests {
     #[test]
     fn boxes() {
         let b = run(Prim::BoxNew, &[v("1")]);
-        assert_eq!(run(Prim::BoxRef, &[b.clone()]), v("1"));
+        assert_eq!(run(Prim::BoxRef, std::slice::from_ref(&b)), v("1"));
         run(Prim::BoxSet, &[b.clone(), v("2")]);
         assert_eq!(run(Prim::BoxRef, &[b]), v("2"));
     }

@@ -1,0 +1,177 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! Robustness tests need to answer one question for every way the engine
+//! can be starved or fed garbage: *does it return a typed error — never a
+//! panic, never a hang — and does it still work afterwards?* This module
+//! generates the "ways": resource-starvation faults expressed as
+//! [`Limits`] records (fuel exhaustion at step N, deadline expiry, memo
+//! and depth caps), and byte-level corruption of serialized images
+//! (bit flips, truncation, zeroed spans, garbage appends).
+//!
+//! Everything is derived from a [`Rng`] seed, so a failing case is
+//! reproducible by number.
+
+use crate::rng::Rng;
+use std::time::Duration;
+use two4one_syntax::limits::Limits;
+
+/// One injected resource-starvation fault: a limit tight enough that a
+/// non-trivial pipeline run will hit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Interpreter/VM step fuel runs out after `n` steps.
+    StepFuel(u64),
+    /// Wall-clock deadline expires after the given budget (often zero, so
+    /// expiry is immediate and the test is time-independent).
+    Deadline(Duration),
+    /// Specializer unfold fuel runs out after `n` unfoldings.
+    UnfoldFuel(u64),
+    /// Specializer memo table capped at `n` entries.
+    MemoCap(usize),
+    /// Specializer recursion depth capped at `n`.
+    SpecDepth(usize),
+    /// Reader nesting depth capped at `n`.
+    InputDepth(usize),
+    /// Reader node count capped at `n`.
+    InputNodes(usize),
+}
+
+impl Fault {
+    /// The `Limits` record that injects this fault (everything else
+    /// unlimited, so exactly one failure mode is exercised).
+    pub fn limits(&self) -> Limits {
+        let base = Limits::none();
+        match *self {
+            Fault::StepFuel(n) => base.with_step_fuel(n),
+            Fault::Deadline(d) => base.with_timeout(d),
+            Fault::UnfoldFuel(n) => base.with_unfold_fuel(n),
+            Fault::MemoCap(n) => base.with_memo_cap(n),
+            Fault::SpecDepth(n) => base.with_max_depth(n),
+            Fault::InputDepth(n) => base.with_input_depth_cap(n),
+            Fault::InputNodes(n) => base.with_input_node_cap(n),
+        }
+    }
+
+    /// A short label for failure messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::StepFuel(_) => "step-fuel",
+            Fault::Deadline(_) => "deadline",
+            Fault::UnfoldFuel(_) => "unfold-fuel",
+            Fault::MemoCap(_) => "memo-cap",
+            Fault::SpecDepth(_) => "spec-depth",
+            Fault::InputDepth(_) => "input-depth",
+            Fault::InputNodes(_) => "input-nodes",
+        }
+    }
+}
+
+/// Generates one starvation fault. Budgets are small but varied, so the
+/// limit trips at different points of the run from seed to seed.
+pub fn gen_fault(rng: &mut Rng) -> Fault {
+    match rng.index(7) {
+        0 => Fault::StepFuel(rng.below(200)),
+        // Zero-duration deadline: expires immediately, no sleeping needed.
+        1 => Fault::Deadline(Duration::ZERO),
+        2 => Fault::UnfoldFuel(rng.below(50)),
+        3 => Fault::MemoCap(rng.index(4)),
+        4 => Fault::SpecDepth(1 + rng.index(20)),
+        5 => Fault::InputDepth(1 + rng.index(10)),
+        _ => Fault::InputNodes(1 + rng.index(10)),
+    }
+}
+
+/// How a serialized image was damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// One bit flipped somewhere in the payload.
+    BitFlip,
+    /// The byte stream cut short.
+    Truncate,
+    /// A span of bytes zeroed.
+    ZeroSpan,
+    /// Garbage appended past the end.
+    Append,
+}
+
+/// Damages `bytes` in one seed-determined way. Never returns the input
+/// unchanged (on empty input it appends garbage).
+pub fn corrupt(bytes: &[u8], rng: &mut Rng) -> (Vec<u8>, Corruption) {
+    let mut out = bytes.to_vec();
+    let kind = if out.is_empty() {
+        Corruption::Append
+    } else {
+        *rng.pick(&[
+            Corruption::BitFlip,
+            Corruption::Truncate,
+            Corruption::ZeroSpan,
+            Corruption::Append,
+        ])
+    };
+    match kind {
+        Corruption::BitFlip => {
+            let i = rng.index(out.len());
+            out[i] ^= 1 << rng.index(8);
+        }
+        Corruption::Truncate => {
+            let keep = rng.index(out.len());
+            out.truncate(keep);
+        }
+        Corruption::ZeroSpan => {
+            let start = rng.index(out.len());
+            let len = 1 + rng.index((out.len() - start).min(16));
+            for b in &mut out[start..start + len] {
+                *b = 0;
+            }
+        }
+        Corruption::Append => {
+            for _ in 0..1 + rng.index(16) {
+                out.push(rng.below(256) as u8);
+            }
+        }
+    }
+    (out, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use two4one_syntax::limits::LimitKind;
+
+    #[test]
+    fn faults_map_to_single_limit() {
+        let l = Fault::UnfoldFuel(7).limits();
+        assert_eq!(l.unfold_fuel, Some(7));
+        assert_eq!(l.step_fuel, None);
+        assert_eq!(l.memo_cap, None);
+        let l = Fault::Deadline(Duration::ZERO).limits();
+        assert!(l.deadline().expired());
+        assert_eq!(l.deadline().fault().kind, LimitKind::Deadline);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_changes_bytes() {
+        let img: Vec<u8> = (0..64).collect();
+        for seed in 0..100 {
+            let (a, ka) = corrupt(&img, &mut Rng::new(seed));
+            let (b, kb) = corrupt(&img, &mut Rng::new(seed));
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(ka, kb);
+            assert_ne!(a, img, "seed {seed}: corruption must change the bytes");
+        }
+        // Empty input still yields damage.
+        let (e, k) = corrupt(&[], &mut Rng::new(3));
+        assert!(!e.is_empty());
+        assert_eq!(k, Corruption::Append);
+    }
+
+    #[test]
+    fn gen_fault_covers_all_kinds() {
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = Rng::new(0);
+        for _ in 0..200 {
+            seen.insert(gen_fault(&mut rng).label());
+        }
+        assert_eq!(seen.len(), 7, "{seen:?}");
+    }
+}

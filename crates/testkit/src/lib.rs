@@ -1,17 +1,26 @@
-//! Random-program generators for property-based testing.
+//! Random-program generators and fault injection for testing.
 //!
 //! The central oracle of the workspace is *engine agreement*: the
 //! tree-walking interpreter, the stock compiler + VM, and the specializer
 //! must compute the same function. This crate generates random but
 //! well-scoped Core Scheme programs (and random data) to drive those
-//! comparisons.
+//! comparisons, plus deterministic fault schedules ([`faults`]) for the
+//! robustness suite.
 //!
-//! Generation happens in two phases: first a *sketch* tree with de
+//! Everything is driven by the in-repo [`Rng`] (the workspace builds
+//! offline, with no property-testing dependency): a test picks a range of
+//! seeds, and each seed reproduces one case exactly.
+//!
+//! Program generation happens in two phases: first a *sketch* tree with de
 //! Bruijn-ish variable indices, then a resolution pass that maps indices to
 //! the variables actually in scope (or to literals when the scope is
 //! empty), guaranteeing closed programs with unique binders.
 
-use proptest::prelude::*;
+pub mod faults;
+pub mod rng;
+
+pub use rng::Rng;
+
 use std::sync::Arc;
 use two4one_syntax::cs::{Def, Expr, Lambda, Program};
 use two4one_syntax::datum::Datum;
@@ -44,46 +53,45 @@ pub enum Sketch {
     ConsCar(Box<Sketch>, Box<Sketch>),
 }
 
-/// Strategy for expression sketches.
-pub fn arb_sketch() -> impl Strategy<Value = Sketch> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(Sketch::Int),
-        any::<bool>().prop_map(Sketch::Bool),
-        (0usize..8).prop_map(Sketch::Var),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![Just(Prim::Add), Just(Prim::Sub), Just(Prim::Mul)],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(p, a, b)| Sketch::Arith(p, Box::new(a), Box::new(b))),
-            (
-                prop_oneof![
-                    Just(Prim::Lt),
-                    Just(Prim::Le),
-                    Just(Prim::NumEq),
-                    Just(Prim::EqualP)
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(p, a, b)| Sketch::Cmp(p, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(t, c, a)| {
-                Sketch::If(Box::new(t), Box::new(c), Box::new(a))
-            }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(r, b)| Sketch::Let(Box::new(r), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(b, a)| Sketch::ApplyLambda(Box::new(b), Box::new(a))),
-            (0usize..2, inner.clone(), inner.clone()).prop_map(|(g, a, b)| {
-                Sketch::CallGlobal(g, Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Sketch::ConsCar(Box::new(a), Box::new(b))),
-        ]
-    })
+const ARITH: &[Prim] = &[Prim::Add, Prim::Sub, Prim::Mul];
+const CMP: &[Prim] = &[Prim::Lt, Prim::Le, Prim::NumEq, Prim::EqualP];
+
+/// Generates a random sketch with at most `depth` levels of nesting.
+pub fn gen_sketch(rng: &mut Rng, depth: usize) -> Sketch {
+    if depth == 0 {
+        return match rng.index(3) {
+            0 => Sketch::Int(rng.range_i64(-20, 20)),
+            1 => Sketch::Bool(rng.flip()),
+            _ => Sketch::Var(rng.index(8)),
+        };
+    }
+    let d = depth - 1;
+    match rng.index(8) {
+        0 => Sketch::Int(rng.range_i64(-20, 20)),
+        1 => Sketch::Arith(
+            *rng.pick(ARITH),
+            Box::new(gen_sketch(rng, d)),
+            Box::new(gen_sketch(rng, d)),
+        ),
+        2 => Sketch::Cmp(
+            *rng.pick(CMP),
+            Box::new(gen_sketch(rng, d)),
+            Box::new(gen_sketch(rng, d)),
+        ),
+        3 => Sketch::If(
+            Box::new(gen_sketch(rng, d)),
+            Box::new(gen_sketch(rng, d)),
+            Box::new(gen_sketch(rng, d)),
+        ),
+        4 => Sketch::Let(Box::new(gen_sketch(rng, d)), Box::new(gen_sketch(rng, d))),
+        5 => Sketch::ApplyLambda(Box::new(gen_sketch(rng, d)), Box::new(gen_sketch(rng, d))),
+        6 => Sketch::CallGlobal(
+            rng.index(GLOBALS.len()),
+            Box::new(gen_sketch(rng, d)),
+            Box::new(gen_sketch(rng, d)),
+        ),
+        _ => Sketch::ConsCar(Box::new(gen_sketch(rng, d)), Box::new(gen_sketch(rng, d))),
+    }
 }
 
 /// Names and arities of the fixed global functions every generated program
@@ -111,14 +119,12 @@ impl Resolver {
                     Expr::Var(scope[i % scope.len()].clone())
                 }
             }
-            Sketch::Arith(p, a, b) => Expr::PrimApp(
-                *p,
-                vec![self.resolve(a, scope), self.resolve(b, scope)],
-            ),
-            Sketch::Cmp(p, a, b) => Expr::PrimApp(
-                *p,
-                vec![self.resolve(a, scope), self.resolve(b, scope)],
-            ),
+            Sketch::Arith(p, a, b) => {
+                Expr::PrimApp(*p, vec![self.resolve(a, scope), self.resolve(b, scope)])
+            }
+            Sketch::Cmp(p, a, b) => {
+                Expr::PrimApp(*p, vec![self.resolve(a, scope), self.resolve(b, scope)])
+            }
             Sketch::If(t, c, a) => Expr::if_(
                 self.resolve(t, scope),
                 self.resolve(c, scope),
@@ -197,80 +203,119 @@ pub fn program_from_sketch(main_body: &Sketch, gadd_body: &Sketch) -> Program {
     }
 }
 
-/// Strategy producing whole closed programs.
-pub fn arb_program() -> impl Strategy<Value = Program> {
-    (arb_sketch(), arb_sketch())
-        .prop_map(|(m, g)| program_from_sketch(&m, &g))
+/// Generates a whole closed program (main body and `gadd` body are
+/// independent random sketches).
+pub fn gen_program(rng: &mut Rng) -> Program {
+    let main = gen_sketch(rng, 5);
+    let gadd = gen_sketch(rng, 4);
+    program_from_sketch(&main, &gadd)
 }
 
-/// Strategy for random first-order data (for reader/printer round-trips).
-pub fn arb_datum() -> impl Strategy<Value = Datum> {
-    let leaf = prop_oneof![
-        Just(Datum::Nil),
-        any::<bool>().prop_map(Datum::Bool),
-        (-1000i64..1000).prop_map(Datum::Int),
-        "[a-z][a-z0-9!?<>=+*-]{0,6}".prop_map(|s| Datum::sym(&s)),
-        "[ -~]{0,8}".prop_map(|s| Datum::string(&s)),
-        prop_oneof![Just('a'), Just(' '), Just('\n'), Just('λ')].prop_map(Datum::Char),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Datum::cons(a, b)),
-            proptest::collection::vec(inner, 0..4).prop_map(Datum::list),
-        ]
-    })
+const SYM_HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const SYM_TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789!?<>=+*-";
+const CHARS: &[char] = &['a', ' ', '\n', 'λ'];
+
+/// Generates random first-order data (for reader/printer round-trips) with
+/// at most `depth` levels of nesting.
+pub fn gen_datum(rng: &mut Rng, depth: usize) -> Datum {
+    if depth > 0 && rng.chance(2, 5) {
+        return if rng.flip() {
+            Datum::cons(gen_datum(rng, depth - 1), gen_datum(rng, depth - 1))
+        } else {
+            let n = rng.index(4);
+            Datum::list(
+                (0..n)
+                    .map(|_| gen_datum(rng, depth - 1))
+                    .collect::<Vec<_>>(),
+            )
+        };
+    }
+    match rng.index(6) {
+        0 => Datum::Nil,
+        1 => Datum::Bool(rng.flip()),
+        2 => Datum::Int(rng.range_i64(-1000, 1000)),
+        3 => {
+            let mut s = String::new();
+            s.push(*rng.pick(SYM_HEAD) as char);
+            for _ in 0..rng.index(6) {
+                s.push(*rng.pick(SYM_TAIL) as char);
+            }
+            Datum::sym(&s)
+        }
+        4 => {
+            let mut s = String::new();
+            for _ in 0..rng.index(8) {
+                // Printable ASCII.
+                s.push((0x20 + rng.below(0x5f) as u8) as char);
+            }
+            Datum::string(&s)
+        }
+        _ => Datum::Char(*rng.pick(CHARS)),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    proptest! {
-        #[test]
-        fn generated_programs_are_closed(p in arb_program()) {
-            prop_assert!(p.unbound_vars().is_empty(), "{:?}", p.unbound_vars());
+    #[test]
+    fn generated_programs_are_closed() {
+        for seed in 0..200 {
+            let p = gen_program(&mut Rng::new(seed));
+            assert!(
+                p.unbound_vars().is_empty(),
+                "seed {seed}: {:?}",
+                p.unbound_vars()
+            );
         }
+    }
 
-        #[test]
-        fn generated_programs_have_unique_binders(p in arb_program()) {
-            // Collect all binders; uniqueness is what BTA requires.
-            fn binders(e: &Expr, out: &mut Vec<Symbol>) {
-                match e {
-                    Expr::Lambda(l) => {
-                        out.extend(l.params.iter().cloned());
-                        binders(&l.body, out);
-                    }
-                    Expr::Let(x, r, b) => {
-                        out.push(x.clone());
-                        binders(r, out);
-                        binders(b, out);
-                    }
-                    Expr::If(a, b, c) => {
-                        binders(a, out);
-                        binders(b, out);
-                        binders(c, out);
-                    }
-                    Expr::App(f, args) => {
-                        binders(f, out);
-                        args.iter().for_each(|a| binders(a, out));
-                    }
-                    Expr::PrimApp(_, args) => args.iter().for_each(|a| binders(a, out)),
-                    _ => {}
+    #[test]
+    fn generated_programs_have_unique_binders() {
+        // Collect all binders; uniqueness is what BTA requires.
+        fn binders(e: &Expr, out: &mut Vec<Symbol>) {
+            match e {
+                Expr::Lambda(l) => {
+                    out.extend(l.params.iter().cloned());
+                    binders(&l.body, out);
                 }
+                Expr::Let(x, r, b) => {
+                    out.push(x.clone());
+                    binders(r, out);
+                    binders(b, out);
+                }
+                Expr::If(a, b, c) => {
+                    binders(a, out);
+                    binders(b, out);
+                    binders(c, out);
+                }
+                Expr::App(f, args) => {
+                    binders(f, out);
+                    args.iter().for_each(|a| binders(a, out));
+                }
+                Expr::PrimApp(_, args) => args.iter().for_each(|a| binders(a, out)),
+                _ => {}
             }
+        }
+        for seed in 0..200 {
+            let p = gen_program(&mut Rng::new(seed));
             let mut all = Vec::new();
             for d in &p.defs {
                 all.extend(d.params.iter().cloned());
                 binders(&d.body, &mut all);
             }
             let set: std::collections::HashSet<_> = all.iter().collect();
-            prop_assert_eq!(set.len(), all.len());
+            assert_eq!(set.len(), all.len(), "seed {seed}");
         }
+    }
 
-        #[test]
-        fn datum_strategy_is_printable(d in arb_datum()) {
-            let _ = d.to_string();
+    #[test]
+    fn datum_generator_is_printable_and_deterministic() {
+        for seed in 0..200 {
+            let d1 = gen_datum(&mut Rng::new(seed), 4);
+            let d2 = gen_datum(&mut Rng::new(seed), 4);
+            assert_eq!(d1, d2, "seed {seed}");
+            let _ = d1.to_string();
         }
     }
 }

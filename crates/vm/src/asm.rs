@@ -152,8 +152,8 @@ impl Asm {
         if let Some(&i) = self.const_index.get(d) {
             return Ok(i);
         }
-        let i = u16::try_from(self.consts.len())
-            .map_err(|_| AsmError::TableOverflow("constant"))?;
+        let i =
+            u16::try_from(self.consts.len()).map_err(|_| AsmError::TableOverflow("constant"))?;
         self.consts.push(d.clone());
         self.const_index.insert(d.clone(), i);
         Ok(i)
@@ -168,8 +168,7 @@ impl Asm {
         if let Some(&i) = self.global_index.get(s) {
             return Ok(i);
         }
-        let i = u16::try_from(self.globals.len())
-            .map_err(|_| AsmError::TableOverflow("global"))?;
+        let i = u16::try_from(self.globals.len()).map_err(|_| AsmError::TableOverflow("global"))?;
         self.globals.push(s.clone());
         self.global_index.insert(s.clone(), i);
         Ok(i)
@@ -181,8 +180,8 @@ impl Asm {
     ///
     /// Fails if the template table exceeds 2¹⁶ entries.
     pub fn template_index(&mut self, t: Rc<Template>) -> Result<u16, AsmError> {
-        let i = u16::try_from(self.templates.len())
-            .map_err(|_| AsmError::TableOverflow("template"))?;
+        let i =
+            u16::try_from(self.templates.len()).map_err(|_| AsmError::TableOverflow("template"))?;
         self.templates.push(t);
         Ok(i)
     }
@@ -194,8 +193,8 @@ impl Asm {
     /// Fails if any referenced label was never attached.
     pub fn finish(mut self) -> Result<Rc<Template>, AsmError> {
         for (pos, label) in &self.fixups {
-            let target = self.labels[label.0 as usize]
-                .ok_or(AsmError::UnattachedLabel(label.0))? as u32;
+            let target =
+                self.labels[label.0 as usize].ok_or(AsmError::UnattachedLabel(label.0))? as u32;
             match &mut self.code[*pos] {
                 Instr::Jump(t) | Instr::JumpIfFalse(t) => *t = target,
                 other => unreachable!("fixup points at non-jump {other:?}"),

@@ -131,12 +131,7 @@ impl PartialEq for Template {
 impl Template {
     /// Total instruction count including sub-templates.
     pub fn code_size(&self) -> usize {
-        self.code.len()
-            + self
-                .templates
-                .iter()
-                .map(|t| t.code_size())
-                .sum::<usize>()
+        self.code.len() + self.templates.iter().map(|t| t.code_size()).sum::<usize>()
     }
 
     /// Renders a human-readable listing of this template and its children.
@@ -223,7 +218,10 @@ pub struct Image {
 impl Image {
     /// Looks up a template by name.
     pub fn template(&self, name: &Symbol) -> Option<&Rc<Template>> {
-        self.templates.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.templates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
     }
 
     /// Total code size in instructions.

@@ -4,6 +4,7 @@ use crate::{Closure, Image, Instr, Proc, Template, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use two4one_syntax::limits::{Deadline, LimitExceeded, Limits};
 use two4one_syntax::symbol::Symbol;
 use two4one_syntax::value::{apply_prim, write_string, PrimError};
 
@@ -27,7 +28,10 @@ pub enum VmError {
     Prim(PrimError),
     /// Fuel limit reached.
     FuelExhausted,
-    /// Internal invariant violation (a compiler or VM bug).
+    /// A resource limit (wall-clock deadline) was hit.
+    Limit(LimitExceeded),
+    /// Internal invariant violation (a compiler or VM bug, or a damaged
+    /// image that slipped past loading).
     Internal(&'static str),
 }
 
@@ -43,6 +47,7 @@ impl fmt::Display for VmError {
             } => write!(f, "`{name}` expects {expected} argument(s), got {got}"),
             VmError::Prim(e) => write!(f, "{e}"),
             VmError::FuelExhausted => write!(f, "fuel exhausted"),
+            VmError::Limit(l) => write!(f, "{l}"),
             VmError::Internal(m) => write!(f, "internal VM error: {m}"),
         }
     }
@@ -80,6 +85,8 @@ pub struct Machine {
     /// Output of `display`/`write`/`newline`.
     pub output: String,
     fuel: Option<u64>,
+    deadline: Deadline,
+    ticks: u64,
 }
 
 impl Default for Machine {
@@ -98,6 +105,8 @@ impl Machine {
             val: Value::Unspec,
             output: String::new(),
             fuel: None,
+            deadline: Deadline::unlimited(),
+            ticks: 0,
         }
     }
 
@@ -114,6 +123,16 @@ impl Machine {
     /// Limits execution to `fuel` instructions.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Applies the step fuel and wall-clock budget of `limits`. The
+    /// deadline starts now; the clock is consulted every 4096 instructions.
+    pub fn with_limits(mut self, limits: &Limits) -> Self {
+        if let Some(f) = limits.step_fuel {
+            self.fuel = Some(f);
+        }
+        self.deadline = limits.deadline();
         self
     }
 
@@ -157,6 +176,9 @@ impl Machine {
     ///
     /// Returns a [`VmError`] on any runtime fault.
     pub fn call_value(&mut self, f: Value, args: Vec<Value>) -> Result<Value, VmError> {
+        // Catch an already-expired deadline before doing any work (the
+        // in-loop check is amortized and may lag by a few thousand steps).
+        self.deadline.check().map_err(VmError::Limit)?;
         let depth = self.frames.len();
         let base = self.stack.len();
         self.stack.extend(args);
@@ -180,7 +202,20 @@ impl Machine {
             }
             *f -= 1;
         }
-        Ok(())
+        self.deadline
+            .check_every(&mut self.ticks, 4096)
+            .map_err(VmError::Limit)
+    }
+
+    /// The top `n` stack slots, detached — typed error instead of an
+    /// underflow panic on malformed code.
+    fn pop_args(&mut self, n: usize) -> Result<Vec<Value>, VmError> {
+        let at = self
+            .stack
+            .len()
+            .checked_sub(n)
+            .ok_or(VmError::Internal("operand stack underflow"))?;
+        Ok(self.stack.split_off(at))
     }
 
     /// Begins a call: `val` holds the procedure, the top `nargs` stack
@@ -198,8 +233,7 @@ impl Machine {
                 got: nargs,
             });
         }
-        let at = self.stack.len() - nargs as usize;
-        let locals: Vec<Value> = self.stack.split_off(at);
+        let locals: Vec<Value> = self.pop_args(nargs as usize)?;
         let frame = Frame {
             closure: proc.0,
             pc: 0,
@@ -211,12 +245,23 @@ impl Machine {
                 .frames
                 .last_mut()
                 .ok_or(VmError::Internal("tail call without frame"))?;
-            debug_assert_eq!(frame.stack_base, cur.stack_base, "unbalanced stack at tail call");
+            debug_assert_eq!(
+                frame.stack_base, cur.stack_base,
+                "unbalanced stack at tail call"
+            );
             *cur = frame;
         } else {
             self.frames.push(frame);
         }
         Ok(())
+    }
+
+    fn frame(&self) -> Result<&Frame, VmError> {
+        self.frames.last().ok_or(VmError::Internal("no frame"))
+    }
+
+    fn frame_mut(&mut self) -> Result<&mut Frame, VmError> {
+        self.frames.last_mut().ok_or(VmError::Internal("no frame"))
     }
 
     /// The main loop. Returns when the frame stack drops back to `floor`.
@@ -240,15 +285,25 @@ impl Machine {
             match instr {
                 Instr::Const(i) => {
                     let d = {
-                        let f = self.frames.last().expect("frame");
-                        f.closure.template.consts[i as usize].clone()
+                        let f = self.frame()?;
+                        f.closure
+                            .template
+                            .consts
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("constant index out of range"))?
                     };
                     self.val = Value::from(&d);
                 }
                 Instr::Global(i) => {
                     let name = {
-                        let f = self.frames.last().expect("frame");
-                        f.closure.template.globals[i as usize].clone()
+                        let f = self.frame()?;
+                        f.closure
+                            .template
+                            .globals
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("global index out of range"))?
                     };
                     self.val = self
                         .globals
@@ -257,35 +312,47 @@ impl Machine {
                         .ok_or(VmError::UnknownGlobal(name))?;
                 }
                 Instr::Local(i) => {
-                    let f = self.frames.last().expect("frame");
-                    self.val = f.locals[i as usize].clone();
+                    let f = self.frame()?;
+                    self.val = f
+                        .locals
+                        .get(i as usize)
+                        .cloned()
+                        .ok_or(VmError::Internal("local index out of range"))?;
                 }
                 Instr::Captured(i) => {
-                    let f = self.frames.last().expect("frame");
-                    self.val = f.closure.captured[i as usize].clone();
+                    let f = self.frame()?;
+                    self.val = f
+                        .closure
+                        .captured
+                        .get(i as usize)
+                        .cloned()
+                        .ok_or(VmError::Internal("capture index out of range"))?;
                 }
                 Instr::Push => {
                     self.stack.push(self.val.clone());
                 }
                 Instr::Bind => {
                     let v = self.val.clone();
-                    self.frames.last_mut().expect("frame").locals.push(v);
+                    self.frame_mut()?.locals.push(v);
                 }
                 Instr::Trim(n) => {
-                    self.frames
-                        .last_mut()
-                        .expect("frame")
-                        .locals
-                        .truncate(n as usize);
+                    self.frame_mut()?.locals.truncate(n as usize);
                 }
                 Instr::MakeClosure { template, nfree } => {
                     let t = {
-                        let f = self.frames.last().expect("frame");
-                        f.closure.template.templates[template as usize].clone()
+                        let f = self.frame()?;
+                        f.closure
+                            .template
+                            .templates
+                            .get(template as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("template index out of range"))?
                     };
-                    debug_assert_eq!(t.nfree, nfree, "closure capture count mismatch");
-                    let at = self.stack.len() - nfree as usize;
-                    let captured = self.stack.split_off(at);
+                    if t.nfree != nfree {
+                        debug_assert_eq!(t.nfree, nfree, "closure capture count mismatch");
+                        return Err(VmError::Internal("closure capture count mismatch"));
+                    }
+                    let captured = self.pop_args(nfree as usize)?;
                     self.val = Value::Proc(Proc(Rc::new(Closure {
                         template: t,
                         captured,
@@ -294,7 +361,7 @@ impl Machine {
                 Instr::Call { nargs } => self.enter_call(nargs, false)?,
                 Instr::TailCall { nargs } => self.enter_call(nargs, true)?,
                 Instr::Return => {
-                    let f = self.frames.pop().expect("frame");
+                    let f = self.frames.pop().ok_or(VmError::Internal("no frame"))?;
                     debug_assert_eq!(
                         self.stack.len(),
                         f.stack_base,
@@ -306,16 +373,15 @@ impl Machine {
                     }
                 }
                 Instr::Jump(t) => {
-                    self.frames.last_mut().expect("frame").pc = t as usize;
+                    self.frame_mut()?.pc = t as usize;
                 }
                 Instr::JumpIfFalse(t) => {
                     if !self.val.is_truthy() {
-                        self.frames.last_mut().expect("frame").pc = t as usize;
+                        self.frame_mut()?.pc = t as usize;
                     }
                 }
                 Instr::Prim { prim, nargs } => {
-                    let at = self.stack.len() - nargs as usize;
-                    let args = self.stack.split_off(at);
+                    let args = self.pop_args(nargs as usize)?;
                     self.val = apply_prim(prim, &args, &mut self.output)?;
                 }
             }
@@ -520,7 +586,9 @@ mod tests {
         a.emit(Instr::Local(0));
         a.emit(Instr::Return);
         let mut m = machine_with("f", a.finish().unwrap());
-        let v = m.call_global(&Symbol::new("f"), vec![Value::Int(3)]).unwrap();
+        let v = m
+            .call_global(&Symbol::new("f"), vec![Value::Int(3)])
+            .unwrap();
         assert_eq!(v.to_datum(), Some(Datum::Int(3)));
     }
 

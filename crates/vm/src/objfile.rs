@@ -5,10 +5,24 @@
 //! written to disk and loaded back without recompilation — the moral
 //! equivalent of Scheme 48's heap images for our templates.
 //!
-//! The format is deliberately simple: a magic/version header, then a
-//! length-prefixed tree encoding of templates (instructions, constant
-//! data, global names, sub-templates). Everything is little-endian;
-//! symbols and strings are UTF-8 with `u32` length prefixes.
+//! The format is deliberately simple: a magic/version header, a CRC-32
+//! of the payload, then a length-prefixed tree encoding of templates
+//! (instructions, constant data, global names, sub-templates). Everything
+//! is little-endian; symbols and strings are UTF-8 with `u32` length
+//! prefixes.
+//!
+//! # Integrity
+//!
+//! Version 2 of the format adds a CRC-32 (IEEE 802.3 polynomial) over the
+//! payload, stored right after the version word. [`decode`] verifies it
+//! before touching the payload, so a bit-flipped or truncated `.t4o` file
+//! is rejected with [`ObjError::BadChecksum`] (or
+//! [`ObjError::Truncated`]) instead of being structurally misparsed.
+//! Version-1 files (which lack the checksum) and unknown future versions
+//! are rejected with [`ObjError::BadVersion`]; regenerate object files
+//! with the current toolchain. Decoding additionally validates every
+//! length prefix against the bytes actually remaining, so hostile counts
+//! cannot trigger huge up-front allocations.
 
 use crate::{Image, Instr, Template};
 use std::fmt;
@@ -18,7 +32,23 @@ use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
 
 const MAGIC: &[u8; 8] = b"two4one\0";
-const VERSION: u32 = 1;
+/// Current object-file format version. Version 2 added the payload
+/// CRC-32; version-1 files are rejected.
+const VERSION: u32 = 2;
+
+/// Computes the CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`)
+/// of `bytes` — the same function as zlib's `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Errors produced when decoding an object file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +57,8 @@ pub enum ObjError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u32),
+    /// The payload checksum did not match.
+    BadChecksum { stored: u32, computed: u32 },
     /// Input ended prematurely.
     Truncated,
     /// An unknown tag byte.
@@ -37,35 +69,53 @@ pub enum ObjError {
     BadUtf8,
     /// Trailing bytes after the image.
     TrailingBytes(usize),
+    /// Pair or sub-template nesting exceeded the decoder's depth bound.
+    TooDeep,
 }
 
 impl fmt::Display for ObjError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ObjError::BadMagic => write!(f, "not a two4one object file"),
-            ObjError::BadVersion(v) => write!(f, "unsupported object version {v}"),
+            ObjError::BadVersion(v) => write!(
+                f,
+                "unsupported object version {v} (this build reads version \
+                 {VERSION}; regenerate the file with the current toolchain)"
+            ),
+            ObjError::BadChecksum { stored, computed } => write!(
+                f,
+                "object file corrupt: checksum {computed:#010x} does not \
+                 match stored {stored:#010x}"
+            ),
             ObjError::Truncated => write!(f, "object file truncated"),
             ObjError::BadTag(what, t) => write!(f, "bad {what} tag {t:#x}"),
             ObjError::BadPrim(n) => write!(f, "unknown primitive `{n}`"),
             ObjError::BadUtf8 => write!(f, "malformed UTF-8"),
             ObjError::TrailingBytes(n) => write!(f, "{n} trailing byte(s)"),
+            ObjError::TooDeep => write!(f, "object file nesting too deep"),
         }
     }
 }
 
 impl std::error::Error for ObjError {}
 
+/// Byte offset of the payload: magic (8) + version (4) + crc (4).
+const HEADER_LEN: usize = 16;
+
 /// Serializes an image to bytes.
 pub fn encode(image: &Image) -> Vec<u8> {
     let mut out = Vec::with_capacity(1024);
     out.extend_from_slice(MAGIC);
     put_u32(&mut out, VERSION);
+    put_u32(&mut out, 0); // checksum placeholder, patched below
     put_sym(&mut out, &image.entry);
     put_u32(&mut out, image.templates.len() as u32);
     for (name, t) in &image.templates {
         put_sym(&mut out, name);
         put_template(&mut out, t);
     }
+    let crc = crc32(&out[HEADER_LEN..]);
+    out[12..16].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -75,7 +125,11 @@ pub fn encode(image: &Image) -> Vec<u8> {
 ///
 /// Returns an [`ObjError`] on malformed input.
 pub fn decode(bytes: &[u8]) -> Result<Image, ObjError> {
-    let mut r = Reader { bytes, pos: 0 };
+    let mut r = Reader {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     let magic = r.take(8)?;
     if magic != MAGIC {
         return Err(ObjError::BadMagic);
@@ -84,8 +138,13 @@ pub fn decode(bytes: &[u8]) -> Result<Image, ObjError> {
     if version != VERSION {
         return Err(ObjError::BadVersion(version));
     }
+    let stored = r.u32()?;
+    let computed = crc32(&bytes[HEADER_LEN..]);
+    if stored != computed {
+        return Err(ObjError::BadChecksum { stored, computed });
+    }
     let entry = r.sym()?;
-    let n = r.u32()? as usize;
+    let n = r.vec_len()?;
     let mut templates = Vec::with_capacity(n);
     for _ in 0..n {
         let name = r.sym()?;
@@ -229,9 +288,15 @@ fn put_template(out: &mut Vec<u8>, t: &Template) {
 
 // ----- decoding -------------------------------------------------------
 
+/// Maximum nesting of pairs/sub-templates while decoding. Bounds the Rust
+/// stack against hostile deeply-nested encodings; real images are nowhere
+/// near this deep.
+const MAX_DECODE_DEPTH: usize = 8_192;
+
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -249,19 +314,36 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ObjError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, ObjError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn i64(&mut self) -> Result<i64, ObjError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u32` element count, rejecting counts larger than the
+    /// bytes remaining (every encoded element occupies at least one
+    /// byte). This bounds `Vec::with_capacity` by the input size, so a
+    /// corrupt count cannot force a huge allocation.
+    fn vec_len(&mut self) -> Result<usize, ObjError> {
+        let n = self.u32()? as usize;
+        if n > self.bytes.len() - self.pos {
+            return Err(ObjError::Truncated);
+        }
+        Ok(n)
     }
 
     fn str(&mut self) -> Result<String, ObjError> {
-        let n = self.u32()? as usize;
+        let n = self.vec_len()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| ObjError::BadUtf8)
     }
@@ -284,8 +366,10 @@ impl<'a> Reader<'a> {
             6 => Datum::string(&self.str()?),
             7 => Datum::Sym(self.sym()?),
             8 => {
+                self.enter()?;
                 let car = self.datum()?;
                 let cdr = self.datum()?;
+                self.depth -= 1;
                 Datum::cons(car, cdr)
             }
             t => return Err(ObjError::BadTag("datum", t)),
@@ -312,8 +396,7 @@ impl<'a> Reader<'a> {
             12 => Instr::JumpIfFalse(self.u32()?),
             13 => {
                 let name = self.str()?;
-                let prim =
-                    Prim::from_name(&name).ok_or(ObjError::BadPrim(name.clone()))?;
+                let prim = Prim::from_name(&name).ok_or(ObjError::BadPrim(name.clone()))?;
                 Instr::Prim {
                     prim,
                     nargs: self.u8()?,
@@ -323,30 +406,40 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn enter(&mut self) -> Result<(), ObjError> {
+        self.depth += 1;
+        if self.depth > MAX_DECODE_DEPTH {
+            return Err(ObjError::TooDeep);
+        }
+        Ok(())
+    }
+
     fn template(&mut self) -> Result<Rc<Template>, ObjError> {
+        self.enter()?;
         let name = self.sym()?;
         let arity = self.u8()?;
         let nfree = self.u16()?;
-        let ncode = self.u32()? as usize;
+        let ncode = self.vec_len()?;
         let mut code = Vec::with_capacity(ncode);
         for _ in 0..ncode {
             code.push(self.instr()?);
         }
-        let nconsts = self.u32()? as usize;
+        let nconsts = self.vec_len()?;
         let mut consts = Vec::with_capacity(nconsts);
         for _ in 0..nconsts {
             consts.push(self.datum()?);
         }
-        let nglobals = self.u32()? as usize;
+        let nglobals = self.vec_len()?;
         let mut globals = Vec::with_capacity(nglobals);
         for _ in 0..nglobals {
             globals.push(self.sym()?);
         }
-        let nsubs = self.u32()? as usize;
+        let nsubs = self.vec_len()?;
         let mut templates = Vec::with_capacity(nsubs);
         for _ in 0..nsubs {
             templates.push(self.template()?);
         }
+        self.depth -= 1;
         Ok(Rc::new(Template {
             name,
             arity,
@@ -430,16 +523,73 @@ mod tests {
     fn corrupt_inputs_are_rejected() {
         let image = sample_image();
         let bytes = encode(&image);
-        assert_eq!(decode(b"not an object file").unwrap_err(), ObjError::BadMagic);
         assert_eq!(
-            decode(&bytes[..bytes.len() - 1]).unwrap_err(),
-            ObjError::Truncated
+            decode(b"not an object file").unwrap_err(),
+            ObjError::BadMagic
         );
+        // Truncation and appended bytes both change the payload the CRC
+        // covers, so they surface as checksum failures.
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            ObjError::BadChecksum { .. }
+        ));
         let mut extra = bytes.clone();
         extra.push(0);
-        assert_eq!(decode(&extra).unwrap_err(), ObjError::TrailingBytes(1));
+        assert!(matches!(
+            decode(&extra).unwrap_err(),
+            ObjError::BadChecksum { .. }
+        ));
         let mut wrong_version = bytes.clone();
         wrong_version[8] = 99;
-        assert_eq!(decode(&wrong_version).unwrap_err(), ObjError::BadVersion(99));
+        assert_eq!(
+            decode(&wrong_version).unwrap_err(),
+            ObjError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn checksum_catches_payload_bit_flips() {
+        let bytes = encode(&sample_image());
+        for pos in [HEADER_LEN, HEADER_LEN + 7, bytes.len() - 1] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x40;
+            assert!(
+                matches!(decode(&flipped).unwrap_err(), ObjError::BadChecksum { .. }),
+                "flip at {pos} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn version_1_files_are_rejected_with_guidance() {
+        let mut bytes = encode(&sample_image());
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err, ObjError::BadVersion(1));
+        let msg = err.to_string();
+        assert!(msg.contains("version 1"), "{msg}");
+        assert!(msg.contains("regenerate"), "{msg}");
+    }
+
+    #[test]
+    fn huge_counts_do_not_allocate() {
+        // A payload claiming u32::MAX templates must be rejected by the
+        // length-vs-remaining-bytes check, not attempted.
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u32(&mut out, 0); // checksum placeholder
+        put_sym(&mut out, &Symbol::new("main"));
+        put_u32(&mut out, u32::MAX); // template count
+        let crc = crc32(&out[HEADER_LEN..]);
+        out[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&out).unwrap_err(), ObjError::Truncated);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

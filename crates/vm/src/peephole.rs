@@ -159,8 +159,12 @@ mod tests {
         let o = optimize_template(&t);
         // Only: jump → const 2 → return remain; and the leading jump now
         // points at the compacted const.
-        assert_eq!(o.code, vec![Instr::Jump(1), Instr::Const(1), Instr::Return],
-                   "{}", o.disassemble());
+        assert_eq!(
+            o.code,
+            vec![Instr::Jump(1), Instr::Const(1), Instr::Return],
+            "{}",
+            o.disassemble()
+        );
         let mut m = Machine::empty();
         m.define_template(Symbol::new("t"), o);
         let v = m.call_global(&Symbol::new("t"), vec![]).unwrap();

@@ -20,13 +20,17 @@ fn run() -> Result<(), two4one::Error> {
         pgg = pgg.policy(name, policy);
     }
     let interp = pgg.parse(langs::DFA_INTERP)?;
-    let genext = pgg.cogen(&interp, "dfa-run", &Division::new([BT::Static, BT::Dynamic]))?;
+    let genext = pgg.cogen(
+        &interp,
+        "dfa-run",
+        &Division::new([BT::Static, BT::Dynamic]),
+    )?;
 
     let dfa = langs::dfa_aba();
     println!("DFA (accepts words containing 'a b a'):\n{dfa}\n");
 
     // The table disappears; each state becomes a residual function.
-    let residual = genext.specialize_source(&[dfa.clone()])?;
+    let residual = genext.specialize_source(std::slice::from_ref(&dfa))?;
     println!(
         "residual matcher ({} state functions):\n{}",
         residual.defs.len(),

@@ -27,8 +27,12 @@ fn run() -> Result<(), two4one::Error> {
     let slow = interpret(&interp, "fcl-run", &[program.clone(), args.clone()])?;
     println!("interpreted : 3^5 = {}", slow.value);
 
-    let genext = pgg.cogen(&interp, "fcl-run", &Division::new([BT::Static, BT::Dynamic]))?;
-    let residual = genext.specialize_source_optimized(&[program.clone()])?;
+    let genext = pgg.cogen(
+        &interp,
+        "fcl-run",
+        &Division::new([BT::Static, BT::Dynamic]),
+    )?;
+    let residual = genext.specialize_source_optimized(std::slice::from_ref(&program))?;
     println!(
         "\nresidual program — one function per program point:\n{}",
         residual.to_source()

@@ -19,7 +19,11 @@ fn run() -> Result<(), two4one::Error> {
         pgg = pgg.policy(name, policy);
     }
     let interp = pgg.parse(langs::LAZY_INTERP)?;
-    let genext = pgg.cogen(&interp, "lazy-run", &Division::new([BT::Static, BT::Dynamic]))?;
+    let genext = pgg.cogen(
+        &interp,
+        "lazy-run",
+        &Division::new([BT::Static, BT::Dynamic]),
+    )?;
 
     let program = langs::lazy_program();
     println!("LAZY input program (an infinite stream pipeline):\n{program}\n");
@@ -31,7 +35,7 @@ fn run() -> Result<(), two4one::Error> {
     println!("interpreted : sum = {}", slow.value);
 
     // Residual source: thunks survive as residual lambdas.
-    let residual = genext.specialize_source(&[program.clone()])?;
+    let residual = genext.specialize_source(std::slice::from_ref(&program))?;
     println!(
         "\nresidual program ({} definitions) — note the residual thunks:\n{}",
         residual.defs.len(),

@@ -22,7 +22,7 @@ fn run() -> Result<(), two4one::Error> {
     let pattern = two4one::reader::read_one("(a b a c)").expect("pattern");
     println!("pattern: {pattern}\n");
 
-    let residual = genext.specialize_source(&[pattern.clone()])?;
+    let residual = genext.specialize_source(std::slice::from_ref(&pattern))?;
     println!("residual matcher:\n{}", residual.to_source());
 
     // Generate object code at "run time" and match a few texts.

@@ -38,7 +38,7 @@ fn run() -> Result<(), two4one::Error> {
     println!("interpreted  : {}", slow.value);
 
     // Compile by specialization — residual source first…
-    let residual = compiler.specialize_source(&[program.clone()])?;
+    let residual = compiler.specialize_source(std::slice::from_ref(&program))?;
     println!(
         "\nresidual (compiled) program, {} definitions:\n{}",
         residual.defs.len(),

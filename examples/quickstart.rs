@@ -12,9 +12,7 @@ fn main() -> Result<(), two4one::Error> {
 
 fn run() -> Result<(), two4one::Error> {
     let pgg = Pgg::new();
-    let program = pgg.parse(
-        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
-    )?;
+    let program = pgg.parse("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))")?;
 
     // 0. Interpreted, as a baseline.
     let base = interpret(&program, "power", &[Datum::Int(2), Datum::Int(13)])?;
@@ -37,6 +35,9 @@ fn run() -> Result<(), two4one::Error> {
     let image13 = genext.specialize_object(&[Datum::Int(13)])?;
     let out = run_image(&image13, "power", &[Datum::Int(2)])?;
     println!("fused object code: 2^13 = {}", out.value);
-    println!("\ndisassembly of the specialized code:\n{}", image13.disassemble());
+    println!(
+        "\ndisassembly of the specialized code:\n{}",
+        image13.disassemble()
+    );
     Ok(())
 }

@@ -37,7 +37,11 @@ fn t4o_compile_run_spec_dis_workflow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(obj.exists());
 
     // run the object file
@@ -54,7 +58,11 @@ fn t4o_compile_run_spec_dis_workflow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1024");
 
     // specialize to source on stdout
@@ -71,7 +79,11 @@ fn t4o_compile_run_spec_dis_workflow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("define"), "{text}");
     assert!(!text.contains("power%0 x"), "{text}");
@@ -93,7 +105,11 @@ fn t4o_compile_run_spec_dis_workflow() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = t4o()
         .args([
             "run",
@@ -141,9 +157,218 @@ fn t4o_generic_compiler_flag() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "12");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_rejects_malformed_inputs_with_a_message() {
+    let dir = tmp_dir();
+
+    // Unreadable source text: typed reader error, nonzero exit.
+    let bad_src = dir.join("broken.scm");
+    std::fs::write(&bad_src, "(define (f x").unwrap();
+    let out = t4o()
+        .args(["run", bad_src.to_str().unwrap(), "--entry", "f"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("t4o: "), "{err}");
+
+    // Garbage object file: rejected as not an object file.
+    let garbage = dir.join("garbage.t4o");
+    std::fs::write(&garbage, b"this is not an object file").unwrap();
+    let out = t4o()
+        .args(["run", garbage.to_str().unwrap(), "--entry", "f"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("object file"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Bit-flipped object file: the checksum catches it.
+    let good_src = dir.join("ok.scm");
+    std::fs::write(&good_src, "(define (f x) (* x x))").unwrap();
+    let obj = dir.join("ok.t4o");
+    let out = t4o()
+        .args([
+            "compile",
+            good_src.to_str().unwrap(),
+            "--entry",
+            "f",
+            "-o",
+            obj.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut bytes = std::fs::read(&obj).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&obj, &bytes).unwrap();
+    let out = t4o()
+        .args(["run", obj.to_str().unwrap(), "--entry", "f", "--arg", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checksum"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Malformed numeric flag value.
+    let out = t4o()
+        .args([
+            "run",
+            good_src.to_str().unwrap(),
+            "--entry",
+            "f",
+            "--fuel",
+            "lots",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--fuel"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_run_limits_and_spec_fallback() {
+    let dir = tmp_dir();
+    let src = dir.join("loop.scm");
+    std::fs::write(&src, "(define (spin n) (if (= n 0) 'done (spin (- n 1))))").unwrap();
+
+    // A metered run that cannot finish reports fuel exhaustion and fails.
+    let out = t4o()
+        .args([
+            "run",
+            src.to_str().unwrap(),
+            "--entry",
+            "spin",
+            "--arg",
+            "100000000",
+            "--fuel",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fuel"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Specialization starved of unfold fuel: default degrades (success plus
+    // a note), --strict fails with the limit error.
+    let pow = dir.join("pow.scm");
+    std::fs::write(
+        &pow,
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+    )
+    .unwrap();
+    let out = t4o()
+        .args([
+            "spec",
+            pow.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--static",
+            "40",
+            "--unfold-fuel",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("generic fallback"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = t4o()
+        .args([
+            "spec",
+            pow.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--static",
+            "40",
+            "--unfold-fuel",
+            "3",
+            "--strict",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unfold"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_survives_malformed_input() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // Unreadable form, unbound variable, bad ,spec usage — then a working
+    // definition and call, proving the session survived all of it.
+    let script = "(define (f\n\
+                  (no-such-function 1)\n\
+                  ,spec nothing Q\n\
+                  (define (sq x) (* x x))\n\
+                  (sq 6)\n\
+                  ,quit\n";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("read error") || text.contains("error"),
+        "{text}"
+    );
+    assert!(text.contains("compiled `sq`"), "{text}");
+    assert!(text.contains("36"), "{text}");
 }
 
 #[test]

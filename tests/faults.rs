@@ -1,0 +1,352 @@
+//! Fault injection across the whole pipeline: every way the engine can be
+//! starved (fuel, deadlines, caps) or fed garbage (corrupted object files,
+//! pathological nesting) must surface as a *typed error* or a graceful
+//! degradation — never a panic, never a hang — and the engine must remain
+//! usable afterwards.
+//!
+//! Fault schedules come from `two4one_testkit::faults`, driven by the
+//! in-repo deterministic [`Rng`]: a failure message names the seed that
+//! reproduces it.
+
+use std::time::Duration;
+use two4one::{
+    compile, decode_image, encode_image, interpret_with, run_image_with, with_stack,
+    with_stack_size, Datum, Division, Error, LimitKind, Limits, PeError, Pgg, RtError, VmError, BT,
+};
+use two4one_langs as langs;
+use two4one_testkit::faults::{corrupt, gen_fault, Fault};
+use two4one_testkit::{gen_program, Rng};
+
+const CASES: u64 = 64;
+/// Step fuel for oracle runs: generated programs can diverge, so every
+/// execution is metered and a fuel-out on either side skips the comparison.
+const RUN_FUEL: u64 = 100_000;
+const STACK: usize = 2 * 1024 * 1024 * 1024;
+
+/// Outcome of a metered program run, for equivalence checks.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    Val(Datum),
+    Fault,
+    Timeout,
+}
+
+fn run_source(p: &two4one::cs::Program, entry: &str, args: &[Datum]) -> Outcome {
+    match interpret_with(p, entry, args, &Limits::none().with_step_fuel(RUN_FUEL)) {
+        Ok(out) => Outcome::Val(out.value),
+        Err(Error::Interp(RtError::FuelExhausted)) => Outcome::Timeout,
+        Err(Error::Interp(RtError::Limit(_))) => Outcome::Timeout,
+        Err(_) => Outcome::Fault,
+    }
+}
+
+/// A source text whose body is `depth` levels of `(car (cons … '()))`
+/// around the first parameter — total but deeply nested.
+fn nested_source(depth: usize) -> String {
+    let mut s = String::from("(define (main a b) ");
+    for _ in 0..depth {
+        s.push_str("(car (cons ");
+    }
+    s.push('a');
+    for _ in 0..depth {
+        s.push_str(" '()))");
+    }
+    s.push(')');
+    s
+}
+
+/// The core property: one random program, one random starvation fault, the
+/// full pipeline. Every outcome must be typed (never `Error::Panicked`),
+/// recoverable faults must actually recover, a successful residual must
+/// agree with the source program, and a clean rerun afterwards must behave
+/// exactly like a clean run before.
+fn pipeline_under_fault(seed: u64) -> Result<(), String> {
+    with_stack_size(STACK, move || {
+        let mut rng = Rng::new(seed);
+        let prog = gen_program(&mut rng);
+        let fault = gen_fault(&mut rng);
+        let a = rng.range_i64(-10, 10);
+        let b = rng.range_i64(-10, 10);
+        let statics = [Datum::Int(a)];
+        let div = Division::new([BT::Static, BT::Dynamic]);
+        let label = fault.label();
+
+        // Reader faults gate `parse`; this pipeline starts from a syntax
+        // tree, so point them at a nested source text instead.
+        if matches!(fault, Fault::InputDepth(_) | Fault::InputNodes(_)) {
+            match Pgg::new().limits(fault.limits()).parse(&nested_source(64)) {
+                Err(Error::Panicked(m)) => return Err(format!("{label}: parse panicked: {m}")),
+                Err(_) => return Ok(()),
+                Ok(_) => return Err(format!("{label}: cap did not trip on nested input")),
+            }
+        }
+
+        // Baseline: same pipeline under test-sized limits. Debug-build CPS
+        // frames are large, so the unfold/depth guards stay well under the
+        // worker stack (cf. props.rs); random programs can statically
+        // diverge, and the guards turn that into fallback or a typed error.
+        let governed = Limits::default()
+            .with_unfold_fuel(6_000)
+            .with_max_depth(30_000);
+        let clean = Pgg::new()
+            .limits(governed.clone())
+            .cogen(&prog, "main", &div)
+            .and_then(|g| g.specialize_source(&statics));
+        if let Err(Error::Panicked(m)) = &clean {
+            return Err(format!("clean run panicked: {m}"));
+        }
+
+        // Starved run: the fault's single knob, plus the same stack/
+        // divergence guards on any knob the fault leaves unbounded.
+        let mut starved_limits = fault.limits();
+        if starved_limits.max_depth.is_none() {
+            starved_limits = starved_limits.with_max_depth(30_000);
+        }
+        if starved_limits.unfold_fuel.is_none() {
+            starved_limits = starved_limits.with_unfold_fuel(6_000);
+        }
+        let starved = Pgg::new()
+            .limits(starved_limits)
+            .cogen(&prog, "main", &div)
+            .and_then(|g| g.specialize_source(&statics));
+
+        match &starved {
+            Err(Error::Panicked(m)) => return Err(format!("{label}: panicked: {m}")),
+            Err(_) => {
+                // Unfold-fuel and memo-cap starvation is *recoverable*: if
+                // the program specializes cleanly, the starved run must
+                // degrade to a generic residual instead of failing.
+                if clean.is_ok() && matches!(fault, Fault::UnfoldFuel(_) | Fault::MemoCap(_)) {
+                    return Err(format!(
+                        "{label}: fallback should have recovered: {}",
+                        starved
+                            .as_ref()
+                            .err()
+                            .map(|e| e.to_string())
+                            .unwrap_or_default()
+                    ));
+                }
+            }
+            Ok(res) => {
+                // Whatever survived specialization must compute what the
+                // source program computes.
+                let expect = run_source(&prog, "main", &[Datum::Int(a), Datum::Int(b)]);
+                let got = run_source(&res.to_cs(), "main", &[Datum::Int(b)]);
+                match (&expect, &got) {
+                    (Outcome::Timeout, _) | (_, Outcome::Timeout) => {}
+                    (e, g) if e == g => {}
+                    (e, g) => {
+                        return Err(format!(
+                            "{label}: residual disagrees: {e:?} vs {g:?}\n{}",
+                            res.to_source()
+                        ))
+                    }
+                }
+            }
+        }
+
+        // Usable afterwards: a clean rerun in the same process behaves like
+        // the clean run before the fault.
+        let after = Pgg::new()
+            .limits(governed)
+            .cogen(&prog, "main", &div)
+            .and_then(|g| g.specialize_source(&statics));
+        if after.is_ok() != clean.is_ok() {
+            return Err(format!(
+                "{label}: engine state poisoned: clean {:?} vs after {:?}",
+                clean.map(|_| ()).map_err(|e| e.to_string()),
+                after.map(|_| ()).map_err(|e| e.to_string()),
+            ));
+        }
+        Ok(())
+    })
+}
+
+#[test]
+fn starvation_faults_yield_typed_errors_or_graceful_residuals() {
+    for seed in 0..CASES {
+        if let Err(e) = pipeline_under_fault(seed) {
+            panic!("seed {seed}: {e}");
+        }
+    }
+}
+
+#[test]
+fn corrupted_object_files_are_rejected_not_crashing() {
+    let pgg = Pgg::new();
+    let p = pgg
+        .parse("(define (f x) (* x x)) (define (main a b) (+ (f a) (f b)))")
+        .unwrap();
+    let image = compile(&p, "main").unwrap();
+    let bytes = encode_image(&image);
+    assert!(decode_image(&bytes).is_ok(), "pristine image must decode");
+    for seed in 0..200 {
+        let (bad, kind) = corrupt(&bytes, &mut Rng::new(seed));
+        if bad == bytes {
+            continue; // zero-span over zero bytes: no damage done
+        }
+        if decode_image(&bad).is_ok() {
+            panic!("seed {seed}: {kind:?}-corrupted image decoded successfully");
+        }
+    }
+}
+
+#[test]
+fn step_fuel_and_deadline_stop_runaway_programs() {
+    with_stack(|| {
+        let pgg = Pgg::new();
+        let p = pgg
+            .parse("(define (main n) (if (= n 0) 'done (main (- n 1))))")
+            .unwrap();
+        let image = compile(&p, "main").unwrap();
+        let big = [Datum::Int(10_000_000)];
+
+        match run_image_with(&image, "main", &big, &Limits::none().with_step_fuel(1_000)) {
+            Err(Error::Vm(VmError::FuelExhausted)) => {}
+            other => panic!("vm fuel: {other:?}"),
+        }
+        match run_image_with(
+            &image,
+            "main",
+            &big,
+            &Limits::none().with_timeout(Duration::ZERO),
+        ) {
+            Err(Error::Vm(VmError::Limit(l))) => assert_eq!(l.kind, LimitKind::Deadline),
+            other => panic!("vm deadline: {other:?}"),
+        }
+        match interpret_with(&p, "main", &big, &Limits::none().with_step_fuel(1_000)) {
+            Err(Error::Interp(RtError::FuelExhausted)) => {}
+            other => panic!("interp fuel: {other:?}"),
+        }
+        match interpret_with(
+            &p,
+            "main",
+            &big,
+            &Limits::none().with_timeout(Duration::ZERO),
+        ) {
+            Err(Error::Interp(RtError::Limit(l))) => assert_eq!(l.kind, LimitKind::Deadline),
+            other => panic!("interp deadline: {other:?}"),
+        }
+
+        // The same image still runs once the limits are lifted.
+        let out = run_image_with(&image, "main", &[Datum::Int(10)], &Limits::none()).unwrap();
+        assert_eq!(out.value, Datum::sym("done"));
+    });
+}
+
+#[test]
+fn pathological_nesting_trips_the_reader_cap_not_the_stack() {
+    with_stack(|| {
+        // 120k levels of nesting against the default 100k cap: the reader
+        // must return a typed over-limit error well before the OS stack is
+        // in danger.
+        let src = nested_source(120_000);
+        let err = Pgg::new().parse(&src).unwrap_err();
+        assert!(
+            err.to_string().contains("nesting"),
+            "expected a nesting-cap error, got: {err}"
+        );
+    });
+}
+
+#[test]
+fn strict_failures_leave_the_genext_usable() {
+    let pgg = Pgg::new().unfold_fuel(3).fallback(false);
+    let p = pgg
+        .parse("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))")
+        .unwrap();
+    let genext = pgg
+        .cogen(&p, "power", &Division::new([BT::Dynamic, BT::Static]))
+        .unwrap();
+    // Expensive static input: strict mode reports the starved resource.
+    match genext.specialize_source(&[Datum::Int(50)]) {
+        Err(Error::Pe(PeError::UnfoldLimit(_))) => {}
+        other => panic!("expected unfold-limit, got {other:?}"),
+    }
+    // The same generating extension still specializes cheap inputs.
+    let res = genext.specialize_source(&[Datum::Int(2)]).unwrap();
+    let got = interpret_with(&res.to_cs(), "power", &[Datum::Int(3)], &Limits::none()).unwrap();
+    assert_eq!(got.value, Datum::Int(9));
+    // With fallback on (the default), the expensive input degrades to a
+    // generic residual instead of failing.
+    let genext2 = Pgg::new()
+        .unfold_fuel(3)
+        .cogen(&p, "power", &Division::new([BT::Dynamic, BT::Static]))
+        .unwrap();
+    let (res2, stats) = genext2
+        .specialize_source_with_stats(&[Datum::Int(50)])
+        .unwrap();
+    assert!(stats.degraded(), "{stats:?}");
+    let got2 = interpret_with(&res2.to_cs(), "power", &[Datum::Int(2)], &Limits::none()).unwrap();
+    assert_eq!(got2.value, Datum::Int(1i64 << 50));
+}
+
+/// The acceptance scenario: the MIXWELL first Futamura projection under
+/// unfold-fuel and memo-cap starvation. Specialization must *complete* via
+/// the generic fallback, report the degradation, and the residual — both as
+/// source and as fused object code — must compute exactly what the
+/// unspecialized interpreter computes.
+#[test]
+fn mixwell_specialization_degrades_gracefully_under_starvation() {
+    with_stack(|| {
+        let policies = langs::mixwell_policies();
+        let base = policies
+            .iter()
+            .fold(Pgg::new(), |p, (name, pol)| p.policy(name, *pol));
+        let p = base.parse(langs::MIXWELL_INTERP).unwrap();
+        let args = Datum::list([Datum::Int(20)]);
+        let expect =
+            two4one::interpret(&p, "mixwell-run", &[langs::mixwell_program(), args.clone()])
+                .unwrap()
+                .value;
+
+        for (what, limits) in [
+            ("unfold fuel", Limits::default().with_unfold_fuel(40)),
+            ("memo cap", Limits::default().with_memo_cap(2)),
+        ] {
+            let pgg = policies
+                .iter()
+                .fold(Pgg::new(), |p, (name, pol)| p.policy(name, *pol))
+                .limits(limits.clone());
+            let genext = pgg
+                .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+                .unwrap();
+
+            // Strict mode under the same starvation fails with a typed
+            // limit error…
+            let strict = pgg
+                .clone()
+                .fallback(false)
+                .cogen(&p, "mixwell-run", &Division::new([BT::Static, BT::Dynamic]))
+                .unwrap()
+                .specialize_source(&[langs::mixwell_program()]);
+            match strict {
+                Err(Error::Pe(e)) => assert!(e.is_recoverable(), "{what}: {e}"),
+                other => panic!("{what}: strict mode should fail: {other:?}"),
+            }
+
+            // …while the default degrades gracefully and stays correct.
+            let (residual, stats) = genext
+                .specialize_source_with_stats(&[langs::mixwell_program()])
+                .unwrap();
+            assert!(stats.degraded(), "{what}: {stats:?}");
+            let got = two4one::interpret(
+                &residual.to_cs(),
+                "mixwell-run",
+                std::slice::from_ref(&args),
+            )
+            .unwrap()
+            .value;
+            assert_eq!(got, expect, "{what}: residual source");
+
+            let (image, ostats) = genext
+                .specialize_object_with_stats(&[langs::mixwell_program()])
+                .unwrap();
+            assert!(ostats.degraded(), "{what}: {ostats:?}");
+            let got_obj = two4one::run_image(&image, "mixwell-run", std::slice::from_ref(&args))
+                .unwrap()
+                .value;
+            assert_eq!(got_obj, expect, "{what}: fused object code");
+        }
+    });
+}

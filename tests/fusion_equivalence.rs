@@ -79,7 +79,11 @@ fn fused_object_code_is_identical_to_compiled_residual_source() {
         for case in cases() {
             let p = pgg.parse(case.src).unwrap();
             let genext = pgg
-                .cogen(&p, case.entry, &Division::new(case.division.iter().copied()))
+                .cogen(
+                    &p,
+                    case.entry,
+                    &Division::new(case.division.iter().copied()),
+                )
                 .unwrap();
             let source = genext.specialize_source(&case.statics).unwrap();
             let compiled = compile_program(&source, case.entry).unwrap();

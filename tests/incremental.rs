@@ -5,12 +5,9 @@
 //! as specializing to `a` and `b` at once. Object files: generated code
 //! survives a serialization round trip byte-for-byte.
 
-use two4one::{
-    compile, incremental, run_image, with_stack, Datum, Division, Pgg, BT,
-};
+use two4one::{compile, incremental, run_image, with_stack, Datum, Division, Pgg, BT};
 
-const CURVE: &str =
-    "(define (curve a b c x) (+ (* a (* x x)) (+ (* b x) c)))";
+const CURVE: &str = "(define (curve a b c x) (+ (* a (* x x)) (+ (* b x) c)))";
 
 #[test]
 fn staged_specialization_equals_joint_specialization() {
@@ -135,7 +132,7 @@ fn whole_interpreter_images_survive_serialization() {
         let bytes = two4one::encode_image(&image);
         let loaded = two4one::decode_image(&bytes).unwrap();
         let args = Datum::list([Datum::Int(12)]);
-        let a = run_image(&image, "mixwell-run", &[args.clone()]).unwrap();
+        let a = run_image(&image, "mixwell-run", std::slice::from_ref(&args)).unwrap();
         let b = run_image(&loaded, "mixwell-run", &[args]).unwrap();
         assert_eq!(a, b);
         // The encoding is compact: smaller than the pretty-printed source.

@@ -3,9 +3,7 @@
 //! projection) and checking every execution path against the interpreted
 //! baseline.
 
-use two4one::{
-    compile, interpret, run_image, with_stack, CallPolicy, Datum, Division, Pgg, BT,
-};
+use two4one::{compile, interpret, run_image, with_stack, CallPolicy, Datum, Division, Pgg, BT};
 use two4one_langs as langs;
 
 fn pgg_with(policies: &[(&'static str, CallPolicy)]) -> Pgg {
@@ -23,7 +21,10 @@ fn mixwell_interpreter_runs_directly() {
         let out = interpret(&p, "mixwell-run", &[langs::mixwell_program(), args]).unwrap();
         // primes up to 20 zipped with squares.
         let text = out.value.to_string();
-        assert!(text.starts_with("((2 . 1) (3 . 4) (5 . 9) (7 . 16)"), "{text}");
+        assert!(
+            text.starts_with("((2 . 1) (3 . 4) (5 . 9) (7 . 16)"),
+            "{text}"
+        );
     });
 }
 
@@ -50,16 +51,16 @@ fn mixwell_specializes_to_a_compiled_program() {
 
         // The residual program computes what the interpreted program does.
         let args = Datum::list([Datum::Int(25)]);
-        let expect = interpret(
-            &p,
+        let expect = interpret(&p, "mixwell-run", &[langs::mixwell_program(), args.clone()])
+            .unwrap()
+            .value;
+        let got = interpret(
+            &residual.to_cs(),
             "mixwell-run",
-            &[langs::mixwell_program(), args.clone()],
+            std::slice::from_ref(&args),
         )
         .unwrap()
         .value;
-        let got = interpret(&residual.to_cs(), "mixwell-run", &[args.clone()])
-            .unwrap()
-            .value;
         assert_eq!(got, expect);
 
         // Fused object code computes the same.
@@ -89,7 +90,13 @@ fn mixwell_residual_equals_compiled_residual_source() {
         assert_eq!(fused.templates.len(), compiled.templates.len());
         for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
             assert_eq!(n1, n2);
-            assert_eq!(t1, t2, "{n1}:\n{}\nvs\n{}", t1.disassemble(), t2.disassemble());
+            assert_eq!(
+                t1,
+                t2,
+                "{n1}:\n{}\nvs\n{}",
+                t1.disassemble(),
+                t2.disassemble()
+            );
         }
     });
 }
@@ -138,7 +145,7 @@ fn lazy_specializes_and_stays_lazy() {
         assert!(text.contains("lambda"), "{text}");
 
         let args = Datum::list([Datum::Int(3), Datum::Int(4)]);
-        let got = interpret(&residual.to_cs(), "lazy-run", &[args.clone()])
+        let got = interpret(&residual.to_cs(), "lazy-run", std::slice::from_ref(&args))
             .unwrap()
             .value;
         assert_eq!(got, Datum::Int(86));
@@ -163,7 +170,13 @@ fn lazy_fusion_equivalence() {
         assert_eq!(fused.templates.len(), compiled.templates.len());
         for ((n1, t1), (n2, t2)) in fused.templates.iter().zip(&compiled.templates) {
             assert_eq!(n1, n2);
-            assert_eq!(t1, t2, "{n1}:\n{}\nvs\n{}", t1.disassemble(), t2.disassemble());
+            assert_eq!(
+                t1,
+                t2,
+                "{n1}:\n{}\nvs\n{}",
+                t1.disassemble(),
+                t2.disassemble()
+            );
         }
     });
 }
@@ -226,7 +239,9 @@ fn dfa_specializes_to_state_functions() {
             ("(b a b)", false),
         ] {
             let w = two4one::reader::read_one(word).unwrap();
-            let got = run_image(&image, "dfa-run", &[w.clone()]).unwrap().value;
+            let got = run_image(&image, "dfa-run", std::slice::from_ref(&w))
+                .unwrap()
+                .value;
             assert_eq!(got, Datum::Bool(expect), "{word}");
             // Agrees with the interpreted interpreter.
             let base = interpret(&p, "dfa-run", &[langs::dfa_aba(), w])
@@ -259,9 +274,13 @@ fn optimizer_shrinks_interpreter_residuals() {
         );
         // Semantics preserved.
         let args = Datum::list([Datum::Int(12)]);
-        let a = interpret(&residual.to_cs(), "mixwell-run", &[args.clone()])
-            .unwrap()
-            .value;
+        let a = interpret(
+            &residual.to_cs(),
+            "mixwell-run",
+            std::slice::from_ref(&args),
+        )
+        .unwrap()
+        .value;
         let b = interpret(&optimized.to_cs(), "mixwell-run", &[args])
             .unwrap()
             .value;
@@ -295,7 +314,7 @@ fn fcl_flowchart_specializes_to_program_point_functions() {
         assert!(!text.contains("fcl-find-block"), "{text}");
         assert!(!text.contains("fcl-lookup"), "{text}");
 
-        let got = interpret(&residual.to_cs(), "fcl-run", &[args.clone()])
+        let got = interpret(&residual.to_cs(), "fcl-run", std::slice::from_ref(&args))
             .unwrap()
             .value;
         assert_eq!(got, base);

@@ -30,7 +30,11 @@ fn scenarios() -> Vec<Scenario> {
             entry: "power",
             division: vec![BT::Dynamic, BT::Static],
             statics: vec![Datum::Int(10)],
-            dynamics: vec![vec![Datum::Int(2)], vec![Datum::Int(3)], vec![Datum::Int(-1)]],
+            dynamics: vec![
+                vec![Datum::Int(2)],
+                vec![Datum::Int(3)],
+                vec![Datum::Int(-1)],
+            ],
         },
         Scenario {
             name: "dot-product",
@@ -97,7 +101,10 @@ fn scenarios() -> Vec<Scenario> {
             entry: "count",
             division: vec![BT::Dynamic, BT::Dynamic],
             statics: vec![],
-            dynamics: vec![vec![d("(a b c d)"), Datum::Int(0)], vec![d("()"), Datum::Int(7)]],
+            dynamics: vec![
+                vec![d("(a b c d)"), Datum::Int(0)],
+                vec![d("()"), Datum::Int(7)],
+            ],
         },
         Scenario {
             name: "closure-generator",
@@ -152,7 +159,11 @@ fn residual_programs_agree_with_originals() {
                 // 1. residual source, interpreted
                 let got = interpret(&residual.to_cs(), sc.entry, dyns).unwrap();
                 assert_eq!(got.value, expect.value, "{}: source/interp value", sc.name);
-                assert_eq!(got.output, expect.output, "{}: source/interp output", sc.name);
+                assert_eq!(
+                    got.output, expect.output,
+                    "{}: source/interp output",
+                    sc.name
+                );
 
                 // 2. residual source, compiled
                 let got = run_image(&compiled_residual, sc.entry, dyns).unwrap();

@@ -199,9 +199,7 @@ fn runtime_errors_agree_in_kind() {
 #[test]
 fn disassembly_is_printable() {
     let pgg = Pgg::new();
-    let p = pgg
-        .parse("(define (f x) (if x (f (cdr x)) '()))")
-        .unwrap();
+    let p = pgg.parse("(define (f x) (if x (f (cdr x)) '()))").unwrap();
     let image = compile(&p, "f").unwrap();
     let text = image.disassemble();
     assert!(text.contains("jump-if-false"), "{text}");

@@ -1,4 +1,7 @@
-//! Property-based tests over random programs and data.
+//! Property-based tests over random programs and data, driven by the
+//! in-repo deterministic generator (`two4one_testkit::Rng`): each test
+//! sweeps a fixed seed range, and any failure message names the seed that
+//! reproduces it.
 //!
 //! Programs are generated as `Send`-able sketches and materialized inside
 //! a large-stack worker thread (syntax trees use `Rc` internally and the
@@ -6,9 +9,8 @@
 //! runs with fuel; a case where any engine times out is skipped — the
 //! properties quantify over the *decidable* cases.
 
-use proptest::prelude::*;
 use two4one::{compile, with_stack_size, Datum, Image, Interp, Machine, Symbol};
-use two4one_testkit::{arb_datum, arb_sketch, program_from_sketch, Sketch};
+use two4one_testkit::{gen_datum, gen_sketch, program_from_sketch, Rng, Sketch};
 
 // The tree-walking interpreter nests a Rust frame per non-tail call, so
 // divergent non-tail recursion consumes stack proportional to fuel; keep
@@ -18,6 +20,8 @@ const VM_FUEL: u64 = 2_000_000;
 // Debug-build CPS frames are large; keep unfold depth well under the
 // 512 MiB worker stack.
 const PE_FUEL: u64 = 6_000;
+
+const CASES: u64 = 64;
 
 /// Outcome of running a program under some engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +64,16 @@ fn agree(name: &str, a: &Outcome, b: &Outcome) -> Result<(), String> {
         _ if a == b => Ok(()),
         _ => Err(format!("{name}: {a:?} vs {b:?}")),
     }
+}
+
+/// One generated case: two program sketches and two small integer args.
+fn gen_case(seed: u64) -> (Sketch, Sketch, i64, i64) {
+    let mut rng = Rng::new(seed);
+    let m = gen_sketch(&mut rng, 5);
+    let g = gen_sketch(&mut rng, 4);
+    let a = rng.range_i64(-50, 50);
+    let b = rng.range_i64(-50, 50);
+    (m, g, a, b)
 }
 
 /// Engine agreement on random programs.
@@ -134,50 +148,54 @@ fn check_all_dynamic_pe(m: Sketch, g: Sketch, a: i64, b: i64) -> Result<(), Stri
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn interpreter_and_vm_agree_on_random_programs(
-        m in arb_sketch(),
-        g in arb_sketch(),
-        a in -50i64..50,
-        b in -50i64..50,
-    ) {
-        let r = check_engines_agree(m, g, a, b);
-        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+#[test]
+fn interpreter_and_vm_agree_on_random_programs() {
+    for seed in 0..CASES {
+        let (m, g, a, b) = gen_case(seed);
+        if let Err(e) = check_engines_agree(m, g, a, b) {
+            panic!("seed {seed}: {e}");
+        }
     }
+}
 
-    #[test]
-    fn normalizer_output_is_valid_anf(m in arb_sketch(), g in arb_sketch()) {
-        let r = check_normalizer(m, g);
-        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+#[test]
+fn normalizer_output_is_valid_anf() {
+    for seed in 0..CASES {
+        let (m, g, _, _) = gen_case(seed);
+        if let Err(e) = check_normalizer(m, g) {
+            panic!("seed {seed}: {e}");
+        }
     }
+}
 
-    #[test]
-    fn all_dynamic_specialization_preserves_semantics(
-        m in arb_sketch(),
-        g in arb_sketch(),
-        a in -20i64..20,
-        b in -20i64..20,
-    ) {
-        let r = check_all_dynamic_pe(m, g, a, b);
-        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+#[test]
+fn all_dynamic_specialization_preserves_semantics() {
+    for seed in 0..CASES {
+        let (m, g, a, b) = gen_case(seed);
+        if let Err(e) = check_all_dynamic_pe(m, g, a / 3, b / 3) {
+            panic!("seed {seed}: {e}");
+        }
     }
+}
 
-    #[test]
-    fn reader_printer_roundtrip(d in arb_datum()) {
+#[test]
+fn reader_printer_roundtrip() {
+    for seed in 0..200 {
+        let d = gen_datum(&mut Rng::new(seed), 4);
         let text = d.to_string();
         let back = two4one::reader::read_one(&text)
-            .unwrap_or_else(|e| panic!("reparse `{text}`: {e}"));
-        prop_assert_eq!(back, d);
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse `{text}`: {e}"));
+        assert_eq!(back, d, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pretty_printer_roundtrip(d in arb_datum()) {
+#[test]
+fn pretty_printer_roundtrip() {
+    for seed in 0..200 {
+        let d = gen_datum(&mut Rng::new(seed), 4);
         let text = two4one::printer::pretty(&d, 30);
         let back = two4one::reader::read_one(&text)
-            .unwrap_or_else(|e| panic!("reparse pretty `{text}`: {e}"));
-        prop_assert_eq!(back, d);
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse pretty `{text}`: {e}"));
+        assert_eq!(back, d, "seed {seed}");
     }
 }
