@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Grep-lint: library crates must stay `Send + Sync` end-to-end.
+#
+# The serving layer (crates/server) shares specialized images across a
+# worker pool, so every type that crosses the cache — syntax values,
+# generating extensions, residual images — must be thread-safe. The
+# compile-time assertions in crates/core/src/lib.rs catch regressions on
+# the named top-level types; this lint catches the root cause earlier and
+# everywhere: a reintroduced `std::rc::Rc` (or a thread-unsafe `RefCell`
+# smuggled into shared data) anywhere in library source.
+#
+# Shared ownership belongs to `Arc`; interior mutability that is actually
+# shared belongs to `Mutex`/`RwLock`/atomics. `RefCell` is still fine in
+# code that never crosses a thread — add such a file to the allowlist
+# with a justification.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# `Rc<`, `Rc::`, or any `std::rc` path, outside comments.
+PATTERN='\bRc<|\bRc::|std::rc\b'
+
+# Files allowed to use single-threaded shared ownership (none today).
+declare -A ALLOW=()
+
+fail=0
+while IFS= read -r f; do
+  count=$(grep -vE '^\s*//' "$f" | grep -cE "$PATTERN" || true)
+  allowed=${ALLOW[$f]:-0}
+  if ((count > allowed)); then
+    echo "forbid_rc: $f: $count non-Sync shared-ownership site(s), budget $allowed:" >&2
+    grep -nE "$PATTERN" "$f" | grep -vE '^[0-9]+:\s*//' >&2 || true
+    fail=1
+  fi
+done < <(find crates -path '*/src/*' -name '*.rs' | sort)
+
+if ((fail)); then
+  echo "forbid_rc: FAILED — use Arc (and Mutex/RwLock/atomics) so values stay Send + Sync." >&2
+  exit 1
+fi
+echo "forbid_rc: ok"

@@ -22,7 +22,7 @@
 //! free variables of the residual body, which the specializer tracks.
 
 use crate::{App, Def, Expr, Lambda, Program, Rhs, Triv};
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
@@ -164,7 +164,7 @@ impl CodeBuilder for SourceBuilder {
 
     fn lambda(&mut self, name: &Symbol, params: &[Symbol], _free: &[Symbol], body: Expr) -> Triv {
         self.count();
-        Triv::Lambda(Rc::new(Lambda {
+        Triv::Lambda(Arc::new(Lambda {
             name: name.clone(),
             params: params.to_vec(),
             body,

@@ -20,7 +20,6 @@ pub use optimize::{optimize, optimize_aggressive, optimize_expr, optimize_expr_a
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 use two4one_syntax::cs;
 use two4one_syntax::datum::Datum;
@@ -36,7 +35,7 @@ pub enum Triv {
     /// A variable (local or top-level).
     Var(Symbol),
     /// A lambda whose body is again in ANF.
-    Lambda(Rc<Lambda>),
+    Lambda(Arc<Lambda>),
 }
 
 /// A lambda abstraction in ANF.
@@ -342,7 +341,7 @@ mod tests {
 
     #[test]
     fn size_accounts_lambdas() {
-        let lam = Triv::Lambda(Rc::new(Lambda {
+        let lam = Triv::Lambda(Arc::new(Lambda {
             name: Symbol::new("l"),
             params: vec![Symbol::new("x")],
             body: Expr::Ret(Triv::Var(Symbol::new("x"))),

@@ -11,7 +11,7 @@
 //! continuation at dynamic conditionals instead; both produce valid ANF.)
 
 use crate::{App, Def, Expr, Lambda, Program, Rhs, Triv};
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::cs;
 use two4one_syntax::symbol::{Gensym, Symbol};
 
@@ -110,7 +110,7 @@ impl Norm<'_> {
                 );
                 Expr::Let(
                     jt,
-                    Rhs::Triv(Triv::Lambda(Rc::new(Lambda {
+                    Rhs::Triv(Triv::Lambda(Arc::new(Lambda {
                         name: j,
                         params: vec![r],
                         body: join_body,
@@ -221,7 +221,7 @@ impl Norm<'_> {
         match e {
             cs::Expr::Const(d) => Triv::Const(d.clone()),
             cs::Expr::Var(x) => Triv::Var(x.clone()),
-            cs::Expr::Lambda(l) => Triv::Lambda(Rc::new(Lambda {
+            cs::Expr::Lambda(l) => Triv::Lambda(Arc::new(Lambda {
                 name: l.name.clone(),
                 params: l.params.clone(),
                 body: self.tail(&l.body),

@@ -26,7 +26,7 @@
 
 use crate::{App, Def, Expr, Lambda, Program, Rhs, Triv};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
@@ -104,7 +104,7 @@ fn subst_triv(t: &Triv, s: &Subst, aggressive: bool) -> Triv {
     match t {
         Triv::Var(x) => s.get(x).cloned().unwrap_or_else(|| t.clone()),
         Triv::Const(_) => t.clone(),
-        Triv::Lambda(l) => Triv::Lambda(Rc::new(Lambda {
+        Triv::Lambda(l) => Triv::Lambda(Arc::new(Lambda {
             name: l.name.clone(),
             params: l.params.clone(),
             body: pass(&l.body, &mut shadowed(s, &l.params), aggressive),

@@ -1,0 +1,118 @@
+//! Serving-layer throughput: requests/sec through the `SpecService`,
+//! cold (every request specializes) vs. warm (every request hits the
+//! cache), single-threaded vs. a 4-worker pool.
+//!
+//! The paper's economics (Sec. 7: specialization pays for itself after a
+//! handful of runs) scale across cores only if concurrent requests don't
+//! serialize and repeated requests don't re-specialize; this benchmark
+//! tracks both. Results land in `BENCH_serve.json` so successive PRs can
+//! compare trajectories.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use two4one::{Datum, Division, Pgg, BT};
+use two4one_bench::harness::{self, Criterion};
+use two4one_bench::{criterion_group, criterion_main};
+use two4one_server::{SpecRequest, SpecService};
+
+/// Distinct requests per batch: enough to keep 4 workers busy, small
+/// enough that a cold sample stays fast.
+const REQUESTS: i64 = 24;
+
+fn requests() -> Vec<SpecRequest> {
+    let pgg = Pgg::new();
+    let program = pgg
+        .parse("(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))")
+        .expect("parse power");
+    let ext = pgg
+        .cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
+        .expect("cogen power");
+    (1..=REQUESTS)
+        .map(|n| SpecRequest::new(ext.clone(), vec![Datum::Int(n)]))
+        .collect()
+}
+
+/// Drains `reqs` through a service with `jobs` workers; `fresh` controls
+/// cold (new service per drain) vs. warm (reuse one pre-filled service).
+fn drain(service: &SpecService, reqs: &[SpecRequest], jobs: usize) {
+    for r in service.specialize_many(reqs, jobs) {
+        black_box(r.expect("serve request"));
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    let reqs = requests();
+
+    // Cold cache: every request runs the specializer.
+    for jobs in [1usize, 4] {
+        let reqs = reqs.clone();
+        group.bench_function(format!("cold/{jobs}-thread"), move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let service = SpecService::new();
+                    let t0 = Instant::now();
+                    drain(&service, &reqs, jobs);
+                    total += t0.elapsed();
+                }
+                total
+            })
+        });
+    }
+
+    // Warm cache: the same batch again is pure cache traffic.
+    let warm_service = SpecService::new();
+    drain(&warm_service, &reqs, 4);
+    {
+        let reqs = reqs.clone();
+        group.bench_function("warm/4-thread", move |b| {
+            b.iter(|| drain(&warm_service, &reqs, 4))
+        });
+    }
+
+    report(&group);
+}
+
+/// Prints requests/sec, checks the scaling acceptance floor, and writes
+/// the trajectory file.
+fn report(group: &harness::Group) {
+    let rate = |id: &str| -> Option<f64> {
+        group
+            .results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| REQUESTS as f64 / r.median.as_secs_f64())
+    };
+    let cold1 = rate("cold/1-thread").expect("cold/1 result");
+    let cold4 = rate("cold/4-thread").expect("cold/4 result");
+    let warm4 = rate("warm/4-thread").expect("warm/4 result");
+    println!("  cold 1-thread: {cold1:.0} req/s");
+    println!("  cold 4-thread: {cold4:.0} req/s ({:.2}x)", cold4 / cold1);
+    println!(
+        "  warm 4-thread: {warm4:.0} req/s ({:.0}x cold)",
+        warm4 / cold1
+    );
+
+    // Anchor to the workspace root so the trajectory file lands in the
+    // same place regardless of cargo's bench working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    harness::write_json(path, group).expect("write BENCH_serve.json");
+    println!("  wrote BENCH_serve.json");
+
+    // Acceptance floor: 4 cold workers must not be slower than one
+    // (small tolerance for core-starved CI machines).
+    assert!(
+        cold4 >= cold1 * 0.9,
+        "4-thread cold throughput regressed below single-thread: {cold4:.0} vs {cold1:.0} req/s"
+    );
+    // The warm path does zero specializer work, so it must dominate cold.
+    assert!(
+        warm4 > cold4,
+        "warm cache no faster than cold: {warm4:.0} vs {cold4:.0} req/s"
+    );
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -22,9 +22,23 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> Group {
         println!("\n== {name} ==");
         Group {
+            name: name.to_string(),
             samples: default_samples(),
+            results: Vec::new(),
         }
     }
+}
+
+/// One finished measurement, for programmatic consumption (e.g. writing a
+/// trajectory JSON file next to the printed report).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id within its group.
+    pub id: String,
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Minimum per-iteration time across samples.
+    pub min: Duration,
 }
 
 fn default_samples() -> usize {
@@ -37,7 +51,9 @@ fn default_samples() -> usize {
 
 /// A group of measurements sharing a heading and sample count.
 pub struct Group {
+    name: String,
     samples: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Group {
@@ -73,11 +89,63 @@ impl Group {
         let median = times[times.len() / 2];
         let min = times[0];
         println!("  {id}: median {}  min {}", fmt(median), fmt(min));
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            median,
+            min,
+        });
         self
     }
 
     /// Ends the group (kept for API compatibility; printing is eager).
     pub fn finish(&mut self) {}
+
+    /// The group's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Measurements recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Writes a group's results as a small JSON trajectory file (one object
+/// per measurement), so successive runs can be compared across PRs.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing `path`.
+pub fn write_json(path: impl AsRef<std::path::Path>, group: &Group) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"group\": \"{}\",\n", escape(group.name())));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in group.results().iter().enumerate() {
+        let comma = if i + 1 == group.results().len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}}}{comma}\n",
+            escape(&r.id),
+            r.median.as_nanos(),
+            r.min.as_nanos()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt(d: Duration) -> String {

@@ -8,7 +8,7 @@
 //! The environment is persistent (an immutable linked list) because the
 //! fused code-generation combinators capture it inside closures.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::symbol::Symbol;
 
 /// Where a variable lives at run time.
@@ -22,7 +22,7 @@ pub enum Loc {
 
 /// A persistent compile-time environment.
 #[derive(Debug, Clone, Default)]
-pub struct CEnv(Option<Rc<Node>>);
+pub struct CEnv(Option<Arc<Node>>);
 
 #[derive(Debug)]
 struct Node {
@@ -39,7 +39,7 @@ impl CEnv {
 
     /// Extends with one binding.
     pub fn bind(&self, name: Symbol, loc: Loc) -> CEnv {
-        CEnv(Some(Rc::new(Node {
+        CEnv(Some(Arc::new(Node {
             name,
             loc,
             next: self.clone(),

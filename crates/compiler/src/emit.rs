@@ -9,7 +9,7 @@
 
 use crate::cenv::Loc;
 use crate::CompileError;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
@@ -85,7 +85,7 @@ pub fn attach(asm: &mut Asm, l: Label) {
 /// it, and emits `make-closure` over `template`.
 pub fn emit_make_closure(
     asm: &mut Asm,
-    template: Rc<Template>,
+    template: Arc<Template>,
     free: &[Symbol],
     mut load_var: impl FnMut(&mut Asm, &Symbol) -> Result<(), CompileError>,
 ) -> Result<(), CompileError> {

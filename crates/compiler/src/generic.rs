@@ -27,7 +27,7 @@
 use crate::cenv::{CEnv, Loc};
 use crate::{emit, CompileError};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::cs::{Def, Expr, Lambda, Program};
 use two4one_syntax::symbol::Symbol;
 use two4one_vm::{Asm, Image, Instr, Template};
@@ -69,7 +69,7 @@ pub fn compile_program_generic(p: &Program, entry: &str) -> Result<Image, Compil
 pub fn compile_def_generic(
     d: &Def,
     globals: &BTreeSet<Symbol>,
-) -> Result<Rc<Template>, CompileError> {
+) -> Result<Arc<Template>, CompileError> {
     let arity =
         u8::try_from(d.params.len()).map_err(|_| CompileError::TooManyArgs(d.params.len()))?;
     let mut asm = Asm::new(d.name.clone(), arity, 0);
@@ -195,7 +195,7 @@ fn compile_lambda_generic(
     l: &Lambda,
     free: &[Symbol],
     globals: &BTreeSet<Symbol>,
-) -> Result<Rc<Template>, CompileError> {
+) -> Result<Arc<Template>, CompileError> {
     let arity =
         u8::try_from(l.params.len()).map_err(|_| CompileError::TooManyArgs(l.params.len()))?;
     let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;

@@ -25,7 +25,7 @@ pub use object::ObjectBuilder;
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_anf as anf;
 use two4one_syntax::symbol::Symbol;
 use two4one_vm::{Asm, AsmError, Image, Template};
@@ -107,7 +107,10 @@ pub fn compile_program(p: &anf::Program, entry: &str) -> Result<Image, CompileEr
 /// # Errors
 ///
 /// Returns a [`CompileError`] on unbound variables or encoding overflows.
-pub fn compile_def(d: &anf::Def, globals: &BTreeSet<Symbol>) -> Result<Rc<Template>, CompileError> {
+pub fn compile_def(
+    d: &anf::Def,
+    globals: &BTreeSet<Symbol>,
+) -> Result<Arc<Template>, CompileError> {
     let arity =
         u8::try_from(d.params.len()).map_err(|_| CompileError::TooManyArgs(d.params.len()))?;
     let mut asm = Asm::new(d.name.clone(), arity, 0);
@@ -259,7 +262,7 @@ pub fn compile_lambda(
     l: &anf::Lambda,
     free: &[Symbol],
     globals: &BTreeSet<Symbol>,
-) -> Result<Rc<Template>, CompileError> {
+) -> Result<Arc<Template>, CompileError> {
     let arity =
         u8::try_from(l.params.len()).map_err(|_| CompileError::TooManyArgs(l.params.len()))?;
     let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;

@@ -23,7 +23,7 @@
 
 use crate::cenv::{CEnv, Loc};
 use crate::{emit, CompileError};
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_anf::build::CodeBuilder;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::prim::Prim;
@@ -44,7 +44,7 @@ pub enum ObjTriv {
     /// variables to capture at the construction site.
     Closure {
         /// Sub-template for the lambda body.
-        template: Rc<Template>,
+        template: Arc<Template>,
         /// Free variables to load and capture, in template order.
         free: Vec<Symbol>,
     },
@@ -63,14 +63,16 @@ pub enum ObjSerious {
 /// A residual body: an emission function over assembler, compile-time
 /// environment, and stack depth — the exact parameter list of the paper's
 /// compilators.
-type EmitFn = dyn Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError>;
+type EmitFn = dyn Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError> + Send + Sync;
 
 #[derive(Clone)]
-pub struct ObjCode(Rc<EmitFn>);
+pub struct ObjCode(Arc<EmitFn>);
 
 impl ObjCode {
-    fn new(f: impl Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError> + 'static) -> Self {
-        ObjCode(Rc::new(f))
+    fn new(
+        f: impl Fn(&mut Asm, &CEnv, u16) -> Result<(), CompileError> + Send + Sync + 'static,
+    ) -> Self {
+        ObjCode(Arc::new(f))
     }
 
     /// Runs the emission function.
@@ -151,7 +153,7 @@ fn emit_serious(
 /// The object-code backend for the specializer.
 #[derive(Default)]
 pub struct ObjectBuilder {
-    defs: Vec<(Symbol, Rc<Template>)>,
+    defs: Vec<(Symbol, Arc<Template>)>,
     error: Option<CompileError>,
     ops: usize,
 }
@@ -184,7 +186,7 @@ impl ObjectBuilder {
         params: &[Symbol],
         free: &[Symbol],
         body: &ObjCode,
-    ) -> Option<Rc<Template>> {
+    ) -> Option<Arc<Template>> {
         let arity = match u8::try_from(params.len()) {
             Ok(a) => a,
             Err(_) => {

@@ -505,6 +505,24 @@ pub fn interpret_with(
     })
 }
 
+// Compile-time proof that the pipeline is thread-safe end-to-end: every
+// type that crosses the serving layer's thread boundaries must be
+// `Send + Sync`. A regression (e.g. an `Rc` sneaking back in) fails to
+// compile rather than failing at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pgg>();
+    assert_send_sync::<GenExt>();
+    assert_send_sync::<Image>();
+    assert_send_sync::<Datum>();
+    assert_send_sync::<AnfProgram>();
+    assert_send_sync::<AProgram>();
+    assert_send_sync::<Symbol>();
+    assert_send_sync::<Limits>();
+    assert_send_sync::<SpecStats>();
+    assert_send_sync::<Error>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 //! Shared by the interpreter and the specializer (which stores
 //! partial-evaluation-time values in the same shape).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::symbol::Symbol;
 
 /// A persistent environment mapping symbols to values of type `V`.
@@ -12,7 +12,7 @@ use two4one_syntax::symbol::Symbol;
 /// lookup is O(depth). Scopes in Core Scheme are shallow, so this is both
 /// simple and fast.
 #[derive(Debug)]
-pub struct Env<V>(Option<Rc<Node<V>>>);
+pub struct Env<V>(Option<Arc<Node<V>>>);
 
 #[derive(Debug)]
 struct Node<V> {
@@ -43,7 +43,7 @@ impl<V> Env<V> {
 impl<V: Clone> Env<V> {
     /// Extends with one binding, returning the new environment.
     pub fn extend(&self, name: Symbol, value: V) -> Env<V> {
-        Env(Some(Rc::new(Node {
+        Env(Some(Arc::new(Node {
             name,
             value,
             next: self.clone(),

@@ -30,7 +30,6 @@ pub mod env;
 use env::Env;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 use two4one_syntax::cs::{Def, Expr, Lambda, Program};
 use two4one_syntax::datum::Datum;
@@ -42,7 +41,7 @@ use two4one_syntax::value::{apply_prim, PrimError, ProcRepr};
 #[derive(Clone)]
 pub enum Proc {
     /// A closure: lambda plus captured environment.
-    Closure(Rc<Closure>),
+    Closure(Arc<Closure>),
     /// A top-level function used as a value.
     Global(Symbol),
 }
@@ -58,7 +57,7 @@ pub struct Closure {
 impl ProcRepr for Proc {
     fn ptr_eq(&self, other: &Self) -> bool {
         match (self, other) {
-            (Proc::Closure(a), Proc::Closure(b)) => Rc::ptr_eq(a, b),
+            (Proc::Closure(a), Proc::Closure(b)) => Arc::ptr_eq(a, b),
             (Proc::Global(a), Proc::Global(b)) => a == b,
             _ => false,
         }
@@ -137,7 +136,7 @@ impl From<PrimError> for RtError {
 /// The interpreter. Holds the program's global table, captured output, and
 /// an optional fuel meter.
 pub struct Interp {
-    globals: HashMap<Symbol, Rc<Def>>,
+    globals: HashMap<Symbol, Arc<Def>>,
     /// Output produced by `display`/`write`/`newline`.
     pub output: String,
     fuel: Option<u64>,
@@ -157,7 +156,7 @@ impl Interp {
             globals: prog
                 .defs
                 .iter()
-                .map(|d| (d.name.clone(), Rc::new(d.clone())))
+                .map(|d| (d.name.clone(), Arc::new(d.clone())))
                 .collect(),
             output: String::new(),
             fuel: None,
@@ -234,7 +233,7 @@ impl Interp {
                     }
                 }
             },
-            Expr::Lambda(l) => Ok(Step::Done(Value::Proc(Proc::Closure(Rc::new(Closure {
+            Expr::Lambda(l) => Ok(Step::Done(Value::Proc(Proc::Closure(Arc::new(Closure {
                 lambda: l.clone(),
                 env: env.clone(),
             }))))),

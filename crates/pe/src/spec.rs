@@ -2,7 +2,6 @@
 
 use crate::{PeError, SpecOptions};
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
 use two4one_anf::build::CodeBuilder;
 use two4one_interp::env::Env;
@@ -21,7 +20,7 @@ pub struct Resid<T> {
     /// The backend trivial.
     pub triv: T,
     /// Free (dynamic) variables.
-    pub fv: Rc<BTreeSet<Symbol>>,
+    pub fv: Arc<BTreeSet<Symbol>>,
     /// True for variables and constants, false for compiled lambdas.
     pub simple: bool,
 }
@@ -41,7 +40,7 @@ pub enum SVal<B: CodeBuilder> {
     /// Static first-order data.
     Data(Datum),
     /// A specialization-time closure.
-    Clo(Rc<PClosure<B>>),
+    Clo(Arc<PClosure<B>>),
     /// A top-level function used as a value.
     FnRef(Symbol),
     /// A dynamic value: residual code.
@@ -88,7 +87,7 @@ pub enum Kont<'p, B: CodeBuilder> {
     /// Body boundary.
     Tail,
     /// An ordinary continuation.
-    Op(Rc<KontFn<'p, B>>),
+    Op(Arc<KontFn<'p, B>>),
 }
 
 impl<'p, B: CodeBuilder> Clone for Kont<'p, B> {
@@ -102,7 +101,7 @@ impl<'p, B: CodeBuilder> Clone for Kont<'p, B> {
 
 impl<'p, B: CodeBuilder + 'p> Kont<'p, B> {
     fn op(f: impl Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p) -> Self {
-        Kont::Op(Rc::new(f))
+        Kont::Op(Arc::new(f))
     }
 }
 
@@ -269,7 +268,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     fn dyn_var(&mut self, x: &Symbol) -> SVal<B> {
         SVal::Dyn(Resid {
             triv: self.builder.var(x),
-            fv: Rc::new([x.clone()].into_iter().collect()),
+            fv: Arc::new([x.clone()].into_iter().collect()),
             simple: true,
         })
     }
@@ -280,7 +279,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             SVal::Dyn(r) => Ok(r),
             SVal::Data(d) => Ok(Resid {
                 triv: self.builder.const_(&d),
-                fv: Rc::new(BTreeSet::new()),
+                fv: Arc::new(BTreeSet::new()),
                 simple: true,
             }),
             SVal::FnRef(g) => self.lift_fnref(&g),
@@ -329,7 +328,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     fn global_ref(&mut self, name: &Symbol) -> Resid<B::Triv> {
         Resid {
             triv: self.builder.global(name),
-            fv: Rc::new(BTreeSet::new()),
+            fv: Arc::new(BTreeSet::new()),
             simple: true,
         }
     }
@@ -495,7 +494,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 )
             }
             AExpr::Lam(l) => {
-                let clo = SVal::Clo(Rc::new(PClosure {
+                let clo = SVal::Clo(Arc::new(PClosure {
                     lam: l.clone(),
                     env: env.clone(),
                 }));
@@ -524,7 +523,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     &k,
                     SVal::Dyn(Resid {
                         triv,
-                        fv: Rc::new(frees),
+                        fv: Arc::new(frees),
                         simple: false,
                     }),
                 )
@@ -575,7 +574,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 )
             }
             AExpr::App(f, args) => {
-                let args = Rc::new(args.clone());
+                let args = Arc::new(args.clone());
                 self.spec(f, env, {
                     let env2 = env.clone();
                     Kont::op(move |s, fval| {
@@ -586,13 +585,13 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             0,
                             env2.clone(),
                             Vec::new(),
-                            Rc::new(move |s, argvals| s.apply(fval2.clone(), argvals, k2.clone())),
+                            Arc::new(move |s, argvals| s.apply(fval2.clone(), argvals, k2.clone())),
                         )
                     })
                 })
             }
             AExpr::AppD(f, args) => {
-                let args = Rc::new(args.clone());
+                let args = Arc::new(args.clone());
                 let env2 = env.clone();
                 self.spec(
                     f,
@@ -605,7 +604,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             0,
                             env2.clone(),
                             Vec::new(),
-                            Rc::new(move |s, argvals| {
+                            Arc::new(move |s, argvals| {
                                 let mut fv = (*ftr.fv).clone();
                                 let mut trivs = Vec::with_capacity(argvals.len());
                                 for a in argvals {
@@ -622,14 +621,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             }
             AExpr::Prim(p, args) => {
                 let p = *p;
-                let args = Rc::new(args.clone());
+                let args = Arc::new(args.clone());
                 let k2 = k;
                 self.spec_list(
                     args,
                     0,
                     env.clone(),
                     Vec::new(),
-                    Rc::new(move |s, argvals| {
+                    Arc::new(move |s, argvals| {
                         // `procedure?` is the one primitive meaningful on
                         // specialization-time procedures.
                         if p == Prim::ProcedureP
@@ -703,14 +702,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             }
             AExpr::PrimD(p, args) => {
                 let p = *p;
-                let args = Rc::new(args.clone());
+                let args = Arc::new(args.clone());
                 let k2 = k;
                 self.spec_list(
                     args,
                     0,
                     env.clone(),
                     Vec::new(),
-                    Rc::new(move |s, argvals| {
+                    Arc::new(move |s, argvals| {
                         let mut fv = BTreeSet::new();
                         let mut trivs = Vec::with_capacity(argvals.len());
                         for a in argvals {
@@ -729,11 +728,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// Specializes a list of expressions left to right.
     fn spec_list(
         &mut self,
-        args: Rc<Vec<Arc<AExpr>>>,
+        args: Arc<Vec<Arc<AExpr>>>,
         i: usize,
         env: PEnv<B>,
         acc: Vec<SVal<B>>,
-        k: Rc<ListKontFn<'p, B>>,
+        k: Arc<ListKontFn<'p, B>>,
     ) -> Result<RCode<B>, PeError> {
         if i == args.len() {
             return k.clone()(self, acc);

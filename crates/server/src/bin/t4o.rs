@@ -7,6 +7,7 @@
 //! t4o spec <file.scm> --entry <name> --division SDSD
 //!          [--static <datum>]... [-o out.t4o | --source] [--optimize]
 //!          [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]
+//!          [--jobs <n>] [--batch '(<datum>...)']...
 //! t4o dis <file.scm|file.t4o> --entry <name>
 //! ```
 //!
@@ -17,6 +18,13 @@
 //! bounds specialization effort. By default a starved specialization
 //! degrades to generic code (and says so); `--strict` makes it fail with
 //! the limit error instead.
+//!
+//! Batch serving: `--jobs N` routes `spec` through the concurrent
+//! [`SpecService`], which caches residual code and deduplicates repeated
+//! requests. Each `--batch '(<datum>...)'` is one request's static
+//! argument list; without `--batch`, the `--static` arguments form the
+//! single request. With `-o out`, batch results are written to
+//! `out.0.t4o`, `out.1.t4o`, ....
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,6 +32,7 @@ use two4one::{
     compile, load_image, reader, run_image_with, save_image, with_stack, Datum, Division, Image,
     Limits, Pgg, BT,
 };
+use two4one_server::{SpecRequest, SpecService};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +59,8 @@ struct Opts {
     timeout_ms: Option<u64>,
     unfold_fuel: Option<u64>,
     strict: bool,
+    jobs: Option<usize>,
+    batches: Vec<String>,
 }
 
 impl Opts {
@@ -98,6 +109,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         timeout_ms: None,
         unfold_fuel: None,
         strict: false,
+        jobs: None,
+        batches: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -123,6 +136,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.unfold_fuel = Some(parse_u64("--unfold-fuel", &take("--unfold-fuel")?)?)
             }
             "--strict" => o.strict = true,
+            "--jobs" | "-j" => {
+                let n = parse_u64("--jobs", &take("--jobs")?)?;
+                if n == 0 {
+                    return Err("`--jobs` needs at least 1".to_string());
+                }
+                o.jobs = Some(n as usize);
+            }
+            "--batch" | "-b" => o.batches.push(take("--batch")?),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -155,7 +176,8 @@ fn usage() -> String {
      [--fuel <steps>] [--timeout-ms <ms>]\n  \
      t4o spec <file.scm> --entry <name> --division <S|D letters> \
      [--static <datum>]... [-o out.t4o | --source] [--optimize] \
-     [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]\n  \
+     [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict] \
+     [--jobs <n>] [--batch '(<datum>...)']...\n  \
      t4o dis <file.scm|file.t4o> --entry <name>"
         .to_string()
 }
@@ -243,6 +265,9 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
     let genext = pgg
         .cogen(&program, entry, &Division::new(division))
         .map_err(|e| e.to_string())?;
+    if o.jobs.is_some() || !o.batches.is_empty() {
+        return cmd_spec_serve(o, genext);
+    }
     let statics = read_data(&o.statics)?;
     let mut degraded = false;
     if o.source || o.output.is_none() {
@@ -277,6 +302,100 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Converts a read `(a b c)` literal into its element data.
+fn datum_list(d: &Datum) -> Result<Vec<Datum>, String> {
+    let mut items = Vec::new();
+    let mut cur = d;
+    loop {
+        match cur {
+            Datum::Nil => return Ok(items),
+            Datum::Pair(p) => {
+                items.push(p.0.clone());
+                cur = &p.1;
+            }
+            other => return Err(format!("`--batch` needs a proper list, got `{other}`")),
+        }
+    }
+}
+
+/// The `spec --jobs/--batch` path: a request per batch (or one request
+/// from `--static`), served through the concurrent `SpecService` over a
+/// bounded worker pool.
+fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
+    if o.source {
+        return Err("`--source` cannot be combined with `--jobs`/`--batch` \
+                    (the service caches object code)"
+            .to_string());
+    }
+    let jobs = o.jobs.unwrap_or(1);
+    let batches: Vec<Vec<Datum>> = if o.batches.is_empty() {
+        vec![read_data(&o.statics)?]
+    } else {
+        o.batches
+            .iter()
+            .map(|text| {
+                let d = reader::read_one(text).map_err(|e| e.to_string())?;
+                datum_list(&d)
+            })
+            .collect::<Result<_, String>>()?
+    };
+    let requests: Vec<SpecRequest> = batches
+        .iter()
+        .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
+        .collect();
+
+    let service = SpecService::new();
+    let results = service.specialize_many(&requests, jobs);
+
+    let mut degraded = false;
+    let mut failures = 0usize;
+    for (i, (result, statics)) in results.iter().zip(&batches).enumerate() {
+        let rendered: Vec<String> = statics.iter().map(Datum::to_string).collect();
+        let rendered = rendered.join(" ");
+        match result {
+            Ok(outcome) => {
+                degraded |= outcome.stats.degraded();
+                if let Some(prefix) = &o.output {
+                    let path = if requests.len() == 1 {
+                        prefix.clone()
+                    } else {
+                        format!("{}.{i}.t4o", prefix.trim_end_matches(".t4o"))
+                    };
+                    save_image(&outcome.image, &path).map_err(|e| e.to_string())?;
+                    println!(
+                        ";; [{i}] ({rendered}) -> {path} ({} templates, {} instructions)",
+                        outcome.image.templates.len(),
+                        outcome.code_size()
+                    );
+                } else {
+                    println!(
+                        ";; [{i}] ({rendered}) {} templates, {} instructions",
+                        outcome.image.templates.len(),
+                        outcome.code_size()
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("t4o: request {i} ({rendered}): {e}");
+            }
+        }
+    }
+    println!(";; serve: jobs={jobs} {}", service.stats());
+    if degraded {
+        eprintln!(
+            "t4o: note: specialization hit a resource limit and emitted \
+             generic fallback code (raise --unfold-fuel/--timeout-ms, or \
+             pass --strict to fail instead)"
+        );
+    }
+    if failures > 0 {
+        Err(format!("{failures} of {} requests failed", requests.len()))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_dis(o: &Opts) -> Result<(), String> {

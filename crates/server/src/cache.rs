@@ -1,0 +1,294 @@
+//! The sharded specialization-result cache.
+//!
+//! Layout: `shards` independent hash maps, each behind its own mutex, so
+//! concurrent requests for different keys proceed without contention.
+//! A shard is picked by the key's 64-bit digest; *within* a shard the map
+//! is keyed by the **full** key (rendered program, entry, rendered static
+//! arguments), so two different programs whose digests happen to collide
+//! can never alias each other's residual code — the digest is a routing
+//! and hashing accelerator, never an identity.
+//!
+//! Each occupied slot is either `Ready` (a finished result plus LRU
+//! bookkeeping) or `InFlight` (a single-flight rendezvous: the first
+//! requester of a key specializes, everyone else arriving before it
+//! finishes blocks on the flight's condvar and shares the one result).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::SpecOutcome;
+
+/// Locks a mutex, recovering from poisoning (shard state is always
+/// consistent: every mutation happens fully inside one critical section).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// 64-bit FNV-1a over the given byte strings, with a separator between
+/// parts so `("ab","c")` and `("a","bc")` differ.
+pub(crate) fn digest64<'a>(parts: impl IntoIterator<Item = &'a str>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Full identity of a specialization request.
+///
+/// Equality compares every field; the precomputed digest only serves as
+/// the hash and the shard selector.
+#[derive(Debug, Clone)]
+pub(crate) struct Key {
+    pub(crate) digest: u64,
+    pub(crate) program: Arc<str>,
+    pub(crate) entry: Arc<str>,
+    pub(crate) statics: Arc<str>,
+}
+
+impl Key {
+    pub(crate) fn new(program: &str, entry: &str, statics: &str) -> Self {
+        Key {
+            digest: digest64([program, entry, statics]),
+            program: Arc::from(program),
+            entry: Arc::from(entry),
+            statics: Arc::from(statics),
+        }
+    }
+
+    /// A key with a caller-chosen digest, for exercising the
+    /// collision-safety of full-key equality in tests.
+    #[cfg(test)]
+    pub(crate) fn with_digest(digest: u64, program: &str, entry: &str, statics: &str) -> Self {
+        Key {
+            digest,
+            program: Arc::from(program),
+            entry: Arc::from(entry),
+            statics: Arc::from(statics),
+        }
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest
+            && self.entry == other.entry
+            && self.statics == other.statics
+            && self.program == other.program
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+/// Single-flight rendezvous for one in-progress specialization.
+#[derive(Debug, Default)]
+pub(crate) struct Flight {
+    /// `None` while the leader is still working; then the shared result
+    /// (errors travel as rendered messages, since engine errors are not
+    /// `Clone`).
+    result: Mutex<Option<Result<Arc<SpecOutcome>, String>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    /// Publishes the leader's result and wakes all waiters.
+    pub(crate) fn complete(&self, r: Result<Arc<SpecOutcome>, String>) {
+        *lock(&self.result) = Some(r);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the leader publishes, then returns a shared copy.
+    pub(crate) fn wait(&self) -> Result<Arc<SpecOutcome>, String> {
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return r.clone();
+            }
+            guard = self
+                .done
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A finished, cached result.
+#[derive(Debug)]
+pub(crate) struct Entry {
+    pub(crate) outcome: Arc<SpecOutcome>,
+    /// Logical access time (global ticket counter), for LRU-ish eviction.
+    pub(crate) last_access: u64,
+    /// Code-size units this entry charges against the shard budget.
+    pub(crate) size: usize,
+}
+
+#[derive(Debug)]
+pub(crate) enum Slot {
+    Ready(Entry),
+    InFlight(Arc<Flight>),
+}
+
+/// One shard: a map plus the code-size total of its `Ready` entries.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    pub(crate) map: HashMap<Key, Slot>,
+    pub(crate) code_size: usize,
+}
+
+impl Shard {
+    fn ready_count(&self) -> usize {
+        self.map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Evicts least-recently-used `Ready` entries until the shard is
+    /// within `max_entries` and `code_budget`. A single entry larger than
+    /// the whole budget is kept (evicting it would make the hit rate zero
+    /// without freeing space for anything usable); in-flight slots are
+    /// never evicted. Returns the number of entries removed.
+    pub(crate) fn evict_to(&mut self, max_entries: usize, code_budget: Option<usize>) -> u64 {
+        let mut evicted = 0;
+        loop {
+            let ready = self.ready_count();
+            let over_count = ready > max_entries;
+            let over_size = match code_budget {
+                Some(b) => self.code_size > b && ready > 1,
+                None => false,
+            };
+            if !over_count && !over_size {
+                return evicted;
+            }
+            let victim = self
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(e) => Some((k.clone(), e.last_access)),
+                    Slot::InFlight(_) => None,
+                })
+                .min_by_key(|(_, t)| *t)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    if let Some(Slot::Ready(e)) = self.map.remove(&k) {
+                        self.code_size -= e.size.min(self.code_size);
+                    }
+                    evicted += 1;
+                }
+                None => return evicted,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use two4one::SpecStats;
+    use two4one::{Image, Symbol};
+
+    fn dummy_outcome() -> Arc<SpecOutcome> {
+        Arc::new(SpecOutcome {
+            image: Arc::new(Image {
+                templates: Vec::new(),
+                entry: Symbol::new("e"),
+            }),
+            stats: SpecStats::default(),
+        })
+    }
+
+    fn ready(tick: u64, size: usize) -> Slot {
+        Slot::Ready(Entry {
+            outcome: dummy_outcome(),
+            last_access: tick,
+            size,
+        })
+    }
+
+    #[test]
+    fn digest_separates_parts() {
+        assert_ne!(digest64(["ab", "c"]), digest64(["a", "bc"]));
+        assert_eq!(digest64(["x", "y"]), digest64(["x", "y"]));
+    }
+
+    #[test]
+    fn equal_digests_do_not_collide_in_a_shard() {
+        // Two different programs forced onto the same digest: the map must
+        // keep them apart because Key equality compares full contents.
+        let a = Key::with_digest(42, "(define (f x) x)", "f", "(1)");
+        let b = Key::with_digest(42, "(define (f x) (+ x 1))", "f", "(1)");
+        assert_ne!(a, b);
+        let mut shard = Shard::default();
+        shard.map.insert(a.clone(), ready(0, 1));
+        shard.map.insert(b.clone(), ready(1, 1));
+        assert_eq!(shard.map.len(), 2);
+        assert!(matches!(shard.map.get(&a), Some(Slot::Ready(_))));
+        assert!(matches!(shard.map.get(&b), Some(Slot::Ready(_))));
+    }
+
+    #[test]
+    fn same_program_different_statics_are_different_keys() {
+        let a = Key::new("(define (f s d) s)", "f", "(1)");
+        let b = Key::new("(define (f s d) s)", "f", "(2)");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eviction_removes_oldest_ready_first() {
+        let mut shard = Shard::default();
+        shard.map.insert(Key::new("p1", "e", "()"), ready(5, 10));
+        shard.map.insert(Key::new("p2", "e", "()"), ready(1, 10));
+        shard.map.insert(Key::new("p3", "e", "()"), ready(9, 10));
+        shard.code_size = 30;
+        let n = shard.evict_to(2, None);
+        assert_eq!(n, 1);
+        assert!(!shard.map.contains_key(&Key::new("p2", "e", "()")));
+        assert_eq!(shard.code_size, 20);
+    }
+
+    #[test]
+    fn eviction_never_removes_inflight() {
+        let mut shard = Shard::default();
+        shard
+            .map
+            .insert(Key::new("p1", "e", "()"), Slot::InFlight(Arc::default()));
+        shard.map.insert(Key::new("p2", "e", "()"), ready(1, 10));
+        shard.code_size = 10;
+        shard.evict_to(0, None);
+        assert!(shard.map.contains_key(&Key::new("p1", "e", "()")));
+        assert!(!shard.map.contains_key(&Key::new("p2", "e", "()")));
+    }
+
+    #[test]
+    fn oversized_single_entry_survives() {
+        let mut shard = Shard::default();
+        shard.map.insert(Key::new("p1", "e", "()"), ready(1, 100));
+        shard.code_size = 100;
+        assert_eq!(shard.evict_to(8, Some(10)), 0);
+        assert_eq!(shard.map.len(), 1);
+    }
+
+    #[test]
+    fn flight_rendezvous_shares_result() {
+        let f = Arc::new(Flight::default());
+        let f2 = f.clone();
+        let waiter = std::thread::spawn(move || f2.wait());
+        f.complete(Ok(dummy_outcome()));
+        assert!(waiter.join().expect("waiter thread").is_ok());
+        // Late arrivals see the published result immediately.
+        assert!(f.wait().is_ok());
+    }
+}

@@ -1,0 +1,451 @@
+//! A concurrent specialization service over the two4one engine.
+//!
+//! The paper's economics — run-time code generation cheap enough to pay
+//! for itself after a handful of runs — only materialize in a serving
+//! system if identical requests share one specialization. [`SpecService`]
+//! provides exactly that: a sharded, capacity-bounded cache of residual
+//! [`Image`]s keyed by *(program, entry, static arguments)*, with
+//! single-flight deduplication of concurrent misses and a bounded pool of
+//! large-stack workers for batch traffic.
+//!
+//! # Quick start
+//!
+//! ```
+//! use two4one::{Division, Pgg, reader, BT};
+//! use two4one_server::{SpecRequest, SpecService};
+//!
+//! let pgg = Pgg::new();
+//! let program = pgg.parse("(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))")?;
+//! let ext = pgg.cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))?;
+//!
+//! let service = SpecService::new();
+//! let five = reader::read_one("5")?;
+//! let cold = service.specialize(&ext, std::slice::from_ref(&five))?;
+//! let warm = service.specialize(&ext, std::slice::from_ref(&five))?;
+//! // Same residual object code, shared — not re-specialized, not copied.
+//! assert!(std::sync::Arc::ptr_eq(&cold.image, &warm.image));
+//! assert_eq!(service.stats().spec_runs, 1);
+//!
+//! // Batch API: four workers drain the request list in parallel.
+//! let reqs: Vec<SpecRequest> = (1..=8)
+//!     .map(|n| SpecRequest::new(ext.clone(), vec![two4one::Datum::Int(n)]))
+//!     .collect();
+//! for r in service.specialize_many(&reqs, 4) {
+//!     r?;
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # What is shared, what is per-request
+//!
+//! The service owns only the cache and its counters. Each specialization
+//! runs on its own large-stack thread with a private specializer state
+//! (memo tables, gensym, fuel), so requests never contend except on the
+//! shard mutex for the few microseconds of a lookup or fill. Results are
+//! handed out as `Arc<SpecOutcome>`: a warm hit is one shard-mutex
+//! acquisition and one atomic refcount increment.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod stats;
+
+pub use stats::ServeSnapshot;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cache::{lock, Entry, Flight, Key, Shard, Slot};
+use stats::ServeStats;
+use two4one::{Datum, Error, GenExt, Image, Limits, SpecStats};
+use two4one_syntax::stack::DEFAULT_STACK_BYTES;
+
+/// What every serving entry point returns for one request.
+pub type ServeResult = Result<Arc<SpecOutcome>, ServeError>;
+
+/// Errors returned by the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The specialization pipeline failed; this requester led the flight
+    /// and holds the original error.
+    Spec(Error),
+    /// Another requester led the flight for the same key and failed; the
+    /// leader's error is shared as a rendered message (engine errors are
+    /// not cloneable).
+    Shared(String),
+    /// A worker thread could not be spawned.
+    Spawn(String),
+    /// A worker thread died without reporting a result. The engine
+    /// catches panics at its facade, so this indicates a bug.
+    Worker(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(e) => write!(f, "{e}"),
+            ServeError::Shared(msg) => write!(f, "shared specialization failed: {msg}"),
+            ServeError::Spawn(msg) => write!(f, "cannot spawn worker: {msg}"),
+            ServeError::Worker(msg) => write!(f, "worker died: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A finished specialization: the residual object code and the
+/// specializer's own statistics from the run that produced it.
+///
+/// Outcomes are shared (`Arc`) between the cache and all requesters, and
+/// the [`Image`] itself holds its templates behind `Arc`, so a cache hit
+/// costs no deep copy anywhere.
+#[derive(Debug)]
+pub struct SpecOutcome {
+    /// The residual program as loadable object code.
+    pub image: Arc<Image>,
+    /// Statistics from the specializer run that built `image`.
+    pub stats: SpecStats,
+}
+
+impl SpecOutcome {
+    /// Code size of the residual image, in instructions.
+    pub fn code_size(&self) -> usize {
+        self.image.code_size()
+    }
+}
+
+/// One unit of batch work for [`SpecService::specialize_many`].
+#[derive(Debug, Clone)]
+pub struct SpecRequest {
+    /// The generating extension to apply.
+    pub ext: GenExt,
+    /// Static arguments, one per `BT::S` slot of the division.
+    pub statics: Vec<Datum>,
+}
+
+impl SpecRequest {
+    /// Creates a request.
+    pub fn new(ext: GenExt, statics: Vec<Datum>) -> Self {
+        SpecRequest { ext, statics }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of independent cache shards (lock granularity). Clamped to
+    /// at least 1.
+    pub shards: usize,
+    /// Maximum cached entries across all shards.
+    pub max_entries: usize,
+    /// Limit record; its `code_cap` bounds the *total* residual code the
+    /// cache may hold (LRU-ish eviction keeps the cache under it).
+    pub limits: Limits,
+    /// Stack size for specialization workers.
+    pub stack_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 8,
+            max_entries: 1024,
+            limits: Limits::default(),
+            stack_bytes: DEFAULT_STACK_BYTES,
+        }
+    }
+}
+
+/// A concurrent, caching specialization service. See the crate docs for
+/// an overview and example.
+#[derive(Debug)]
+pub struct SpecService {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_entries: usize,
+    per_shard_code: Option<usize>,
+    stack_bytes: usize,
+    ticket: AtomicU64,
+    stats: ServeStats,
+}
+
+impl Default for SpecService {
+    fn default() -> Self {
+        SpecService::new()
+    }
+}
+
+impl SpecService {
+    /// A service with [`ServeConfig::default`].
+    pub fn new() -> Self {
+        SpecService::with_config(ServeConfig::default())
+    }
+
+    /// A service with explicit configuration.
+    pub fn with_config(config: ServeConfig) -> Self {
+        let nshards = config.shards.max(1);
+        let shards = (0..nshards).map(|_| Mutex::new(Shard::default())).collect();
+        SpecService {
+            shards,
+            per_shard_entries: config.max_entries.div_ceil(nshards).max(1),
+            per_shard_code: config.limits.code_cap.map(|c| c.div_ceil(nshards).max(1)),
+            stack_bytes: config.stack_bytes,
+            ticket: AtomicU64::new(0),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of `Ready` entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(s)
+                    .map
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Specializes `ext` to `statics`, answering from the cache when the
+    /// identical request has been served before. Concurrent misses for
+    /// the same key are deduplicated: one requester runs the specializer
+    /// (on a dedicated large-stack thread), the rest wait and share its
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates specialization failures ([`ServeError::Spec`] for the
+    /// leading requester, [`ServeError::Shared`] for coalesced waiters).
+    /// Errors are never cached: the next request for the key retries.
+    pub fn specialize(&self, ext: &GenExt, statics: &[Datum]) -> ServeResult {
+        self.serve(ext, statics, true)
+    }
+
+    /// Runs a batch of requests over a bounded pool of `jobs` large-stack
+    /// worker threads, returning one result per request, in order.
+    /// Identical requests inside (or across) batches are deduplicated by
+    /// the cache exactly as in [`SpecService::specialize`].
+    pub fn specialize_many(&self, requests: &[SpecRequest], jobs: usize) -> Vec<ServeResult> {
+        let jobs = jobs.max(1).min(requests.len().max(1));
+        if jobs == 1 {
+            return requests
+                .iter()
+                .map(|r| self.specialize(&r.ext, &r.statics))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<ServeResult>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        let mut spawn_error: Option<String> = None;
+        std::thread::scope(|scope| {
+            let mut workers = 0;
+            for w in 0..jobs {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("two4one-serve-{w}"))
+                    .stack_size(self.stack_bytes)
+                    .spawn_scoped(scope, || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(req) = requests.get(i) else { break };
+                        // Workers already run on big stacks, so serve
+                        // misses inline instead of re-spawning.
+                        let r = self.serve(&req.ext, &req.statics, false);
+                        if let Some(slot) = results.get(i) {
+                            *lock(slot) = Some(r);
+                        }
+                    });
+                match spawned {
+                    Ok(_) => workers += 1,
+                    Err(e) => spawn_error = Some(e.to_string()),
+                }
+            }
+            if workers == 0 {
+                // Degenerate fallback: no pool, serve sequentially (each
+                // miss still gets its own large-stack thread).
+                for (req, slot) in requests.iter().zip(&results) {
+                    *lock(slot) = Some(self.specialize(&req.ext, &req.statics));
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                lock(&slot).take().unwrap_or_else(|| {
+                    Err(match &spawn_error {
+                        Some(msg) => ServeError::Spawn(msg.clone()),
+                        None => ServeError::Worker("result never delivered".to_string()),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// Cache lookup / single-flight fill. `spawn_stack` selects whether a
+    /// miss runs on a fresh large-stack thread (`true`, for callers on an
+    /// ordinary stack) or inline (`false`, for pool workers that already
+    /// have one).
+    fn serve(&self, ext: &GenExt, statics: &[Datum], spawn_stack: bool) -> ServeResult {
+        let key = request_key(ext, statics);
+        let shard = &self.shards[(key.digest as usize) % self.shards.len()];
+
+        enum Plan {
+            Hit(Arc<SpecOutcome>),
+            Wait(Arc<Flight>),
+            Lead(Arc<Flight>),
+        }
+
+        let plan = {
+            let mut guard = lock(shard);
+            match guard.map.get_mut(&key) {
+                Some(Slot::Ready(entry)) => {
+                    entry.last_access = self.ticket.fetch_add(1, Ordering::Relaxed);
+                    ServeStats::bump(&self.stats.hits);
+                    Plan::Hit(entry.outcome.clone())
+                }
+                Some(Slot::InFlight(flight)) => Plan::Wait(flight.clone()),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    guard
+                        .map
+                        .insert(key.clone(), Slot::InFlight(flight.clone()));
+                    Plan::Lead(flight)
+                }
+            }
+        };
+
+        match plan {
+            Plan::Hit(outcome) => Ok(outcome),
+            Plan::Wait(flight) => {
+                ServeStats::bump(&self.stats.coalesced);
+                match flight.wait() {
+                    Ok(outcome) => {
+                        ServeStats::bump(&self.stats.hits);
+                        Ok(outcome)
+                    }
+                    Err(msg) => {
+                        ServeStats::bump(&self.stats.errors);
+                        Err(ServeError::Shared(msg))
+                    }
+                }
+            }
+            Plan::Lead(flight) => {
+                let result = if spawn_stack {
+                    run_on_stack(self.stack_bytes, || {
+                        ext.specialize_object_with_stats(statics)
+                    })
+                } else {
+                    Ok(ext.specialize_object_with_stats(statics))
+                };
+                self.finish_flight(&key, shard, &flight, result)
+            }
+        }
+    }
+
+    /// Publishes the leader's result: fills the cache on success, removes
+    /// the in-flight slot on failure, and wakes waiters either way.
+    fn finish_flight(
+        &self,
+        key: &Key,
+        shard: &Mutex<Shard>,
+        flight: &Flight,
+        result: Result<Result<(Image, SpecStats), Error>, ServeError>,
+    ) -> ServeResult {
+        match result {
+            Ok(Ok((image, spec_stats))) => {
+                let outcome = Arc::new(SpecOutcome {
+                    image: Arc::new(image),
+                    stats: spec_stats,
+                });
+                let size = outcome.code_size().max(1);
+                let evicted = {
+                    let mut guard = lock(shard);
+                    guard.map.insert(
+                        key.clone(),
+                        Slot::Ready(Entry {
+                            outcome: outcome.clone(),
+                            last_access: self.ticket.fetch_add(1, Ordering::Relaxed),
+                            size,
+                        }),
+                    );
+                    guard.code_size += size;
+                    guard.evict_to(self.per_shard_entries, self.per_shard_code)
+                };
+                ServeStats::bump(&self.stats.misses);
+                ServeStats::bump(&self.stats.spec_runs);
+                ServeStats::add(&self.stats.evictions, evicted);
+                if outcome.stats.degraded() {
+                    ServeStats::bump(&self.stats.degraded);
+                }
+                flight.complete(Ok(outcome.clone()));
+                Ok(outcome)
+            }
+            Ok(Err(engine_err)) => {
+                lock(shard).map.remove(key);
+                ServeStats::bump(&self.stats.spec_runs);
+                ServeStats::bump(&self.stats.errors);
+                flight.complete(Err(engine_err.to_string()));
+                Err(ServeError::Spec(engine_err))
+            }
+            Err(serve_err) => {
+                lock(shard).map.remove(key);
+                ServeStats::bump(&self.stats.errors);
+                flight.complete(Err(serve_err.to_string()));
+                Err(serve_err)
+            }
+        }
+    }
+}
+
+/// Builds the full cache key for a request: the rendered annotated
+/// program plus its specialization options (two extensions differing only
+/// in, say, fuel must not share residual code), the entry name, and the
+/// rendered static arguments.
+fn request_key(ext: &GenExt, statics: &[Datum]) -> Key {
+    let program = format!("{}\u{0}{:?}", ext.annotated(), ext.options());
+    let rendered: Vec<String> = statics.iter().map(|d| d.to_string()).collect();
+    Key::new(&program, ext.entry().as_str(), &rendered.join(" "))
+}
+
+/// Runs `f` on a dedicated thread with `bytes` of stack, for the deeply
+/// recursive specializer phases.
+fn run_on_stack<T: Send>(bytes: usize, f: impl FnOnce() -> T + Send) -> Result<T, ServeError> {
+    std::thread::scope(|scope| {
+        let handle = std::thread::Builder::new()
+            .name("two4one-spec".into())
+            .stack_size(bytes)
+            .spawn_scoped(scope, f)
+            .map_err(|e| ServeError::Spawn(e.to_string()))?;
+        handle
+            .join()
+            .map_err(|_| ServeError::Worker("specialization worker panicked".to_string()))
+    })
+}
+
+// The service is shared by reference across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SpecService>();
+    assert_send_sync::<SpecOutcome>();
+    assert_send_sync::<SpecRequest>();
+    assert_send_sync::<ServeError>();
+    assert_send_sync::<ServeSnapshot>();
+};

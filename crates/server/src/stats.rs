@@ -1,0 +1,103 @@
+//! Serving-layer counters.
+//!
+//! One [`ServeStats`] cell lives inside each [`SpecService`](crate::SpecService)
+//! and is updated with relaxed atomics from every worker thread; a
+//! [`ServeSnapshot`] is a coherent-enough copy for monitoring and tests.
+//! `spec_runs` is the load-bearing counter for correctness tests: a
+//! warm-cache hit must leave it unchanged, proving the specializer did no
+//! work.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters maintained by the service (shared across workers).
+#[derive(Debug, Default)]
+pub(crate) struct ServeStats {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) coalesced: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) spec_runs: AtomicU64,
+    pub(crate) errors: AtomicU64,
+}
+
+impl ServeStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            spec_runs: self.spec_runs.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// Requests answered from the cache (including single-flight waiters
+    /// that received the leader's successful result).
+    pub hits: u64,
+    /// Requests that had to run the specializer and filled the cache.
+    pub misses: u64,
+    /// Requests that found another worker already specializing the same
+    /// key and waited for its result instead of duplicating the work.
+    pub coalesced: u64,
+    /// Cached entries discarded to stay within the configured capacity
+    /// and code budget.
+    pub evictions: u64,
+    /// Cache fills whose specialization degraded to generic code after a
+    /// recoverable resource limit (see `SpecStats::degraded`).
+    pub degraded: u64,
+    /// Times the specializer actually ran. Warm-cache traffic must not
+    /// move this counter.
+    pub spec_runs: u64,
+    /// Requests that ended in an error (errors are not cached).
+    pub errors: u64,
+}
+
+impl fmt::Display for ServeSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} coalesced={} evictions={} degraded={} spec_runs={} errors={}",
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.evictions,
+            self.degraded,
+            self.spec_runs,
+            self.errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = ServeStats::default();
+        ServeStats::bump(&s.hits);
+        ServeStats::bump(&s.hits);
+        ServeStats::add(&s.evictions, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.evictions, 3);
+        assert_eq!(snap.misses, 0);
+        assert!(snap.to_string().contains("hits=2"));
+    }
+}

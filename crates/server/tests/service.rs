@@ -1,0 +1,308 @@
+//! Integration tests for the concurrent specialization service: cache
+//! correctness (keying, eviction, error paths), single-flight dedup, and
+//! the zero-work warm path.
+
+use std::sync::Arc;
+
+use two4one::{Datum, Division, Limits, Pgg, BT};
+use two4one_server::{ServeConfig, ServeError, SpecRequest, SpecService};
+use two4one_testkit::rng::Rng;
+
+const POWER: &str = "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))";
+
+fn power_ext(pgg: &Pgg) -> two4one::GenExt {
+    let program = pgg.parse(POWER).expect("parse power");
+    pgg.cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
+        .expect("cogen power")
+}
+
+fn int(n: i64) -> Vec<Datum> {
+    vec![Datum::Int(n)]
+}
+
+#[test]
+fn warm_hit_runs_zero_specializer_work() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+
+    let cold = service.specialize(&ext, &int(5)).expect("cold");
+    let after_cold = service.stats();
+    assert_eq!(after_cold.misses, 1);
+    assert_eq!(after_cold.spec_runs, 1);
+    assert_eq!(after_cold.hits, 0);
+
+    let warm = service.specialize(&ext, &int(5)).expect("warm");
+    let after_warm = service.stats();
+    // Zero specializer work: the run counter did not move, and the handle
+    // is the very same image (templates shared via Arc, no deep copy).
+    assert_eq!(after_warm.spec_runs, 1);
+    assert_eq!(after_warm.misses, 1);
+    assert_eq!(after_warm.hits, 1);
+    assert!(Arc::ptr_eq(&cold.image, &warm.image));
+
+    // The cached residual code actually works.
+    let out =
+        two4one::run_image(&warm.image, warm.image.entry.as_str(), &int(2)).expect("run residual");
+    assert_eq!(out.value, Datum::Int(32));
+}
+
+#[test]
+fn differing_static_args_miss() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+    let a = service.specialize(&ext, &int(3)).expect("n=3");
+    let b = service.specialize(&ext, &int(4)).expect("n=4");
+    assert!(!Arc::ptr_eq(&a.image, &b.image));
+    let stats = service.stats();
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.spec_runs, 2);
+}
+
+/// Renders a random near-miss sibling of `POWER`: same shape, one token
+/// nudged. Textually different programs must never share cache entries,
+/// however similar they look — even inside a single shard, where any
+/// digest collision would land.
+fn near_miss_program(rng: &mut Rng) -> String {
+    let base = 1 + rng.range_i64(1, 9);
+    let op = *rng.pick(&["*", "+"]);
+    format!("(define (power n x) (if (= n 0) {base} ({op} x (power (- n 1) x))))")
+}
+
+#[test]
+fn near_miss_programs_do_not_collide() {
+    // One shard: every key routes to the same map, so this exercises the
+    // full-key comparison rather than shard separation.
+    let service = SpecService::with_config(ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    });
+    let pgg = Pgg::new();
+    let mut rng = Rng::new(0x5e1f_c0de);
+
+    let mut programs: Vec<String> = vec![POWER.to_string()];
+    while programs.len() < 8 {
+        let candidate = near_miss_program(&mut rng);
+        if !programs.contains(&candidate) {
+            programs.push(candidate);
+        }
+    }
+
+    let mut images = Vec::new();
+    for src in &programs {
+        let program = pgg.parse(src).expect("parse near-miss");
+        let ext = pgg
+            .cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
+            .expect("cogen near-miss");
+        images.push(service.specialize(&ext, &int(4)).expect("specialize"));
+    }
+
+    // Every program got its own entry and its own specializer run.
+    let stats = service.stats();
+    assert_eq!(stats.misses, programs.len() as u64);
+    assert_eq!(stats.spec_runs, programs.len() as u64);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(service.len(), programs.len());
+    for (i, a) in images.iter().enumerate() {
+        for b in &images[i + 1..] {
+            assert!(!Arc::ptr_eq(&a.image, &b.image));
+        }
+    }
+
+    // And the variants compute what their source says, not what a cache
+    // collision would have handed them: (power 4 x) with `+` and base b
+    // is b + 4x; with `*` it is b * x^4.
+    for (src, outcome) in programs.iter().zip(&images) {
+        let result = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(3))
+            .expect("run variant")
+            .value;
+        let expected = expected_power4(src);
+        assert_eq!(result, Datum::Int(expected), "program: {src}");
+    }
+}
+
+/// Ground truth for `(power 4 3)` under the near-miss grammar.
+fn expected_power4(src: &str) -> i64 {
+    let base: i64 = src
+        .split("(= n 0) ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse base from source");
+    if src.contains("(+ x (power") {
+        base + 3 * 4
+    } else {
+        base * 3_i64.pow(4)
+    }
+}
+
+#[test]
+fn concurrent_same_key_specializes_once() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+    const THREADS: usize = 8;
+
+    let images: Vec<Arc<two4one::Image>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let ext = &ext;
+                let service = &service;
+                s.spawn(move || {
+                    service
+                        .specialize(ext, &int(6))
+                        .expect("specialize")
+                        .image
+                        .clone()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("requester thread"))
+            .collect()
+    });
+
+    let stats = service.stats();
+    // Single-flight: exactly one specializer run however the threads
+    // interleave; everyone else hit the cache or joined the flight.
+    assert_eq!(stats.spec_runs, 1);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, THREADS as u64 - 1);
+    for img in &images[1..] {
+        assert!(Arc::ptr_eq(&images[0], img));
+    }
+}
+
+#[test]
+fn batch_api_dedups_and_preserves_order() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+    let requests: Vec<SpecRequest> = [2, 3, 2, 4, 3, 2]
+        .into_iter()
+        .map(|n| SpecRequest::new(ext.clone(), int(n)))
+        .collect();
+
+    let results = service.specialize_many(&requests, 4);
+    assert_eq!(results.len(), requests.len());
+    let outcomes: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("batch result"))
+        .collect();
+
+    // Three distinct keys → exactly three specializer runs.
+    assert_eq!(service.stats().spec_runs, 3);
+    // Order is preserved: duplicates share the same image.
+    assert!(Arc::ptr_eq(&outcomes[0].image, &outcomes[2].image));
+    assert!(Arc::ptr_eq(&outcomes[0].image, &outcomes[5].image));
+    assert!(Arc::ptr_eq(&outcomes[1].image, &outcomes[4].image));
+    assert!(!Arc::ptr_eq(&outcomes[0].image, &outcomes[1].image));
+    assert!(!Arc::ptr_eq(&outcomes[0].image, &outcomes[3].image));
+
+    // Warm batch: all hits, no new runs.
+    let again = service.specialize_many(&requests, 2);
+    assert!(again.iter().all(|r| r.is_ok()));
+    assert_eq!(service.stats().spec_runs, 3);
+}
+
+#[test]
+fn eviction_keeps_cache_bounded() {
+    let service = SpecService::with_config(ServeConfig {
+        shards: 1,
+        max_entries: 3,
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+    for n in 1..=6 {
+        service.specialize(&ext, &int(n)).expect("fill");
+    }
+    assert!(service.len() <= 3);
+    let stats = service.stats();
+    assert_eq!(stats.spec_runs, 6);
+    assert_eq!(stats.evictions, 3);
+
+    // The most recent keys survived; an evicted key is a fresh miss.
+    service.specialize(&ext, &int(6)).expect("warm recent");
+    assert_eq!(service.stats().spec_runs, 6);
+    service.specialize(&ext, &int(1)).expect("refill evicted");
+    assert_eq!(service.stats().spec_runs, 7);
+}
+
+#[test]
+fn code_budget_evicts_lru() {
+    // A tiny code cap (in instructions) forces size-based eviction.
+    let service = SpecService::with_config(ServeConfig {
+        shards: 1,
+        max_entries: 1024,
+        limits: Limits::default().with_code_cap(1),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+    service.specialize(&ext, &int(2)).expect("first");
+    service.specialize(&ext, &int(3)).expect("second");
+    // Budget of 1 instruction cannot hold two images; the older one went.
+    assert_eq!(service.len(), 1);
+    assert!(service.stats().evictions >= 1);
+}
+
+#[test]
+fn errors_are_reported_and_not_cached() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+
+    // Wrong number of static arguments → specialization error.
+    let err = service
+        .specialize(&ext, &[Datum::Int(1), Datum::Int(2)])
+        .expect_err("arity mismatch must fail");
+    assert!(matches!(err, ServeError::Spec(_)));
+    let stats = service.stats();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.misses, 0);
+    assert!(service.is_empty());
+
+    // Errors are not cached: the same request fails afresh (and the
+    // specializer runs again), rather than serving a poisoned entry.
+    let _ = service
+        .specialize(&ext, &[Datum::Int(1), Datum::Int(2)])
+        .expect_err("still fails");
+    assert_eq!(service.stats().errors, 2);
+
+    // The service remains fully usable afterwards.
+    let ok = service.specialize(&ext, &int(3)).expect("healthy request");
+    let out =
+        two4one::run_image(&ok.image, ok.image.entry.as_str(), &int(2)).expect("run residual");
+    assert_eq!(out.value, Datum::Int(8));
+}
+
+#[test]
+fn degraded_fills_are_counted() {
+    // Starve the specializer of unfold fuel so it falls back to generic
+    // code (PR 1 machinery), and check the service surfaces that.
+    let pgg = Pgg::new().unfold_fuel(1);
+    let ext = power_ext(&pgg);
+    let service = SpecService::new();
+    let outcome = service.specialize(&ext, &int(40)).expect("degraded fill");
+    assert!(outcome.stats.degraded());
+    let stats = service.stats();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.spec_runs, 1);
+
+    // Degraded residual code is still correct.
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run degraded");
+    assert_eq!(out.value, Datum::Int(1_099_511_627_776));
+}
+
+#[test]
+fn distinct_options_do_not_share_entries() {
+    // Same program, same statics, different limits: the key must differ,
+    // because the residual code can differ (e.g. degraded vs. full).
+    let service = SpecService::new();
+    let full = power_ext(&Pgg::new());
+    let starved = power_ext(&Pgg::new().unfold_fuel(1));
+    let a = service.specialize(&full, &int(10)).expect("full");
+    let b = service.specialize(&starved, &int(10)).expect("starved");
+    assert_eq!(service.stats().spec_runs, 2);
+    assert!(!Arc::ptr_eq(&a.image, &b.image));
+    assert!(!a.stats.degraded());
+    assert!(b.stats.degraded());
+}

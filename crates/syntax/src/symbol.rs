@@ -2,6 +2,7 @@
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An identifier in source programs, abstract syntax, and generated code.
@@ -76,43 +77,57 @@ impl AsRef<str> for Symbol {
 /// produces inside identifiers read from source text that follows the
 /// conventions of this workspace, so fresh names cannot capture user names.
 ///
+/// The counter is atomic, so a single generator can be shared by reference
+/// across threads and still never hand out the same name twice. Draws from
+/// a single thread remain deterministic (`x%0`, `x%1`, ...).
+///
 /// # Example
 ///
 /// ```
 /// use two4one_syntax::Gensym;
-/// let mut g = Gensym::new();
+/// let g = Gensym::new();
 /// let a = g.fresh("x");
 /// let b = g.fresh("x");
 /// assert_ne!(a, b);
 /// assert!(a.as_str().starts_with("x%"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Gensym {
-    counter: u64,
+    counter: AtomicU64,
+}
+
+impl Clone for Gensym {
+    /// Snapshots the current counter; the clone continues independently.
+    fn clone(&self) -> Self {
+        Gensym {
+            counter: AtomicU64::new(self.counter.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Gensym {
     /// Creates a generator starting at zero.
     pub fn new() -> Self {
-        Gensym { counter: 0 }
+        Gensym {
+            counter: AtomicU64::new(0),
+        }
     }
 
     /// Returns a fresh symbol whose name starts with `base`.
-    pub fn fresh(&mut self, base: &str) -> Symbol {
+    pub fn fresh(&self, base: &str) -> Symbol {
         // Strip an existing `%NNN` suffix so repeated renaming does not grow
         // names without bound.
         let stem = match base.find('%') {
             Some(i) => &base[..i],
             None => base,
         };
-        let n = self.counter;
-        self.counter += 1;
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
         Symbol::new(&format!("{stem}%{n}"))
     }
 
     /// The number of names generated so far.
     pub fn count(&self) -> u64 {
-        self.counter
+        self.counter.load(Ordering::Relaxed)
     }
 }
 
@@ -135,20 +150,48 @@ mod tests {
 
     #[test]
     fn gensym_is_fresh_and_deterministic() {
-        let mut g = Gensym::new();
+        let g = Gensym::new();
         let names: HashSet<_> = (0..100).map(|_| g.fresh("tmp")).collect();
         assert_eq!(names.len(), 100);
-        let mut g2 = Gensym::new();
+        let g2 = Gensym::new();
         assert_eq!(g2.fresh("tmp"), Symbol::new("tmp%0"));
         assert_eq!(g2.fresh("tmp"), Symbol::new("tmp%1"));
     }
 
     #[test]
     fn gensym_strips_previous_suffix() {
-        let mut g = Gensym::new();
+        let g = Gensym::new();
         let a = g.fresh("x");
         let b = g.fresh(a.as_str());
         assert_eq!(b.as_str(), "x%1");
+    }
+
+    #[test]
+    fn gensym_clone_snapshots_counter() {
+        let g = Gensym::new();
+        g.fresh("a");
+        let h = g.clone();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.fresh("a"), Symbol::new("a%1"));
+    }
+
+    #[test]
+    fn gensym_is_unique_across_threads() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 1000;
+        let g = Gensym::new();
+        let names: Vec<Symbol> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| s.spawn(|| (0..PER_THREAD).map(|_| g.fresh("t")).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("gensym thread"))
+                .collect()
+        });
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), THREADS * PER_THREAD);
+        assert_eq!(g.count(), (THREADS * PER_THREAD) as u64);
     }
 
     #[test]

@@ -10,10 +10,8 @@
 use crate::datum::Datum;
 use crate::prim::{Arity, Prim};
 use crate::symbol::Symbol;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Procedure representation used inside a [`Value`].
 pub trait ProcRepr: Clone {
@@ -56,9 +54,9 @@ pub enum Value<P> {
     /// The unspecified value.
     Unspec,
     /// An immutable pair.
-    Pair(Rc<(Value<P>, Value<P>)>),
+    Pair(Arc<(Value<P>, Value<P>)>),
     /// A mutable cell (the target of assignment elimination).
-    Cell(Rc<RefCell<Value<P>>>),
+    Cell(Arc<Mutex<Value<P>>>),
     /// A procedure.
     Proc(P),
 }
@@ -66,7 +64,7 @@ pub enum Value<P> {
 impl<P> Value<P> {
     /// Constructs a pair.
     pub fn cons(car: Value<P>, cdr: Value<P>) -> Value<P> {
-        Value::Pair(Rc::new((car, cdr)))
+        Value::Pair(Arc::new((car, cdr)))
     }
 
     /// Constructs a proper list.
@@ -155,6 +153,13 @@ impl<P: ProcRepr> PartialEq for Value<P> {
     }
 }
 
+/// Locks a mutable cell, recovering the guard even if a panicking thread
+/// poisoned the lock (cell contents are always in a consistent state: the
+/// only writes are whole-value replacement via `set-box!`).
+fn lock_cell<P>(c: &Mutex<Value<P>>) -> MutexGuard<'_, Value<P>> {
+    c.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn fmt_value<P: ProcRepr>(v: &Value<P>, write: bool, out: &mut String) {
     match v {
         Value::Str(s) if !write => out.push_str(s),
@@ -203,7 +208,8 @@ fn fmt_value<P: ProcRepr>(v: &Value<P>, write: bool, out: &mut String) {
         }
         Value::Cell(c) => {
             out.push_str("#<cell ");
-            fmt_value(&c.borrow(), write, out);
+            let inner = lock_cell(c).clone();
+            fmt_value(&inner, write, out);
             out.push('>');
         }
         Value::Proc(p) => {
@@ -292,8 +298,8 @@ pub fn eqv<P: ProcRepr>(a: &Value<P>, b: &Value<P>) -> bool {
         (Value::Nil, Value::Nil) => true,
         (Value::Unspec, Value::Unspec) => true,
         (Value::Str(x), Value::Str(y)) => Arc::ptr_eq(x, y),
-        (Value::Pair(x), Value::Pair(y)) => Rc::ptr_eq(x, y),
-        (Value::Cell(x), Value::Cell(y)) => Rc::ptr_eq(x, y),
+        (Value::Pair(x), Value::Pair(y)) => Arc::ptr_eq(x, y),
+        (Value::Cell(x), Value::Cell(y)) => Arc::ptr_eq(x, y),
         (Value::Proc(x), Value::Proc(y)) => x.ptr_eq(y),
         _ => false,
     }
@@ -319,9 +325,9 @@ fn want_int<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<i64, PrimError> {
     }
 }
 
-type PairRc<P> = Rc<(Value<P>, Value<P>)>;
+type PairRef<P> = Arc<(Value<P>, Value<P>)>;
 
-fn want_pair<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<&PairRc<P>, PrimError> {
+fn want_pair<P: ProcRepr>(p: Prim, v: &Value<P>) -> Result<&PairRef<P>, PrimError> {
     match v {
         Value::Pair(pr) => Ok(pr),
         other => Err(PrimError::TypeError {
@@ -676,9 +682,9 @@ pub fn apply_prim<P: ProcRepr>(
             }
             return Err(PrimError::User(msg));
         }
-        Prim::BoxNew => Value::Cell(Rc::new(RefCell::new(args[0].clone()))),
+        Prim::BoxNew => Value::Cell(Arc::new(Mutex::new(args[0].clone()))),
         Prim::BoxRef => match &args[0] {
-            Value::Cell(c) => c.borrow().clone(),
+            Value::Cell(c) => lock_cell(c).clone(),
             other => {
                 return Err(PrimError::TypeError {
                     prim: p,
@@ -689,7 +695,7 @@ pub fn apply_prim<P: ProcRepr>(
         },
         Prim::BoxSet => match &args[0] {
             Value::Cell(c) => {
-                *c.borrow_mut() = args[1].clone();
+                *lock_cell(c) = args[1].clone();
                 Value::Unspec
             }
             other => {

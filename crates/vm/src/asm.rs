@@ -12,7 +12,7 @@
 use crate::{Instr, Template};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::symbol::Symbol;
 
@@ -80,7 +80,7 @@ pub struct Asm {
     const_index: HashMap<Datum, u16>,
     globals: Vec<Symbol>,
     global_index: HashMap<Symbol, u16>,
-    templates: Vec<Rc<Template>>,
+    templates: Vec<Arc<Template>>,
     labels: Vec<Option<usize>>,
     fixups: Vec<(usize, Label)>,
 }
@@ -179,7 +179,7 @@ impl Asm {
     /// # Errors
     ///
     /// Fails if the template table exceeds 2¹⁶ entries.
-    pub fn template_index(&mut self, t: Rc<Template>) -> Result<u16, AsmError> {
+    pub fn template_index(&mut self, t: Arc<Template>) -> Result<u16, AsmError> {
         let i =
             u16::try_from(self.templates.len()).map_err(|_| AsmError::TableOverflow("template"))?;
         self.templates.push(t);
@@ -191,7 +191,7 @@ impl Asm {
     /// # Errors
     ///
     /// Fails if any referenced label was never attached.
-    pub fn finish(mut self) -> Result<Rc<Template>, AsmError> {
+    pub fn finish(mut self) -> Result<Arc<Template>, AsmError> {
         for (pos, label) in &self.fixups {
             let target =
                 self.labels[label.0 as usize].ok_or(AsmError::UnattachedLabel(label.0))? as u32;
@@ -200,7 +200,7 @@ impl Asm {
                 other => unreachable!("fixup points at non-jump {other:?}"),
             }
         }
-        Ok(Rc::new(Template {
+        Ok(Arc::new(Template {
             name: self.name,
             arity: self.arity,
             nfree: self.nfree,

@@ -29,7 +29,7 @@ pub use objfile::{decode as decode_image, encode as encode_image, ObjError};
 pub use peephole::{optimize_image, optimize_template};
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
@@ -105,7 +105,7 @@ pub struct Template {
     /// Global-name table.
     pub globals: Vec<Symbol>,
     /// Sub-templates for nested lambdas.
-    pub templates: Vec<Rc<Template>>,
+    pub templates: Vec<Arc<Template>>,
 }
 
 impl fmt::Debug for Template {
@@ -180,18 +180,18 @@ impl Template {
 /// A closure: a template plus the values of its free variables.
 pub struct Closure {
     /// The code.
-    pub template: Rc<Template>,
+    pub template: Arc<Template>,
     /// Captured values (flat closure representation).
     pub captured: Vec<Value>,
 }
 
 /// Procedure representation of the VM.
 #[derive(Clone)]
-pub struct Proc(pub Rc<Closure>);
+pub struct Proc(pub Arc<Closure>);
 
 impl ProcRepr for Proc {
     fn ptr_eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     fn describe(&self) -> String {
@@ -210,14 +210,14 @@ pub type Value = two4one_syntax::value::Value<Proc>;
 pub struct Image {
     /// Top-level templates, in definition order (entry first for residual
     /// programs).
-    pub templates: Vec<(Symbol, Rc<Template>)>,
+    pub templates: Vec<(Symbol, Arc<Template>)>,
     /// Name of the entry definition.
     pub entry: Symbol,
 }
 
 impl Image {
     /// Looks up a template by name.
-    pub fn template(&self, name: &Symbol) -> Option<&Rc<Template>> {
+    pub fn template(&self, name: &Symbol) -> Option<&Arc<Template>> {
         self.templates
             .iter()
             .find(|(n, _)| n == name)

@@ -3,7 +3,7 @@
 use crate::{Closure, Image, Instr, Proc, Template, Value};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::limits::{Deadline, LimitExceeded, Limits};
 use two4one_syntax::symbol::Symbol;
 use two4one_syntax::value::{apply_prim, write_string, PrimError};
@@ -69,7 +69,7 @@ impl From<PrimError> for VmError {
 }
 
 struct Frame {
-    closure: Rc<Closure>,
+    closure: Arc<Closure>,
     pc: usize,
     locals: Vec<Value>,
     stack_base: usize,
@@ -142,9 +142,9 @@ impl Machine {
     }
 
     /// Defines a global procedure from a top-level (zero-capture) template.
-    pub fn define_template(&mut self, name: Symbol, t: Rc<Template>) {
+    pub fn define_template(&mut self, name: Symbol, t: Arc<Template>) {
         debug_assert_eq!(t.nfree, 0, "top-level template must capture nothing");
-        let clo = Value::Proc(Proc(Rc::new(Closure {
+        let clo = Value::Proc(Proc(Arc::new(Closure {
             template: t,
             captured: Vec::new(),
         })));
@@ -353,7 +353,7 @@ impl Machine {
                         return Err(VmError::Internal("closure capture count mismatch"));
                     }
                     let captured = self.pop_args(nfree as usize)?;
-                    self.val = Value::Proc(Proc(Rc::new(Closure {
+                    self.val = Value::Proc(Proc(Arc::new(Closure {
                         template: t,
                         captured,
                     })));
@@ -396,7 +396,7 @@ mod tests {
     use two4one_syntax::datum::Datum;
     use two4one_syntax::prim::Prim;
 
-    fn machine_with(name: &str, t: Rc<Template>) -> Machine {
+    fn machine_with(name: &str, t: Arc<Template>) -> Machine {
         let mut m = Machine::empty();
         m.define_template(Symbol::new(name), t);
         m

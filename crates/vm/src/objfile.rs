@@ -26,7 +26,7 @@
 
 use crate::{Image, Instr, Template};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::Symbol;
@@ -414,7 +414,7 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
-    fn template(&mut self) -> Result<Rc<Template>, ObjError> {
+    fn template(&mut self) -> Result<Arc<Template>, ObjError> {
         self.enter()?;
         let name = self.sym()?;
         let arity = self.u8()?;
@@ -440,7 +440,7 @@ impl<'a> Reader<'a> {
             templates.push(self.template()?);
         }
         self.depth -= 1;
-        Ok(Rc::new(Template {
+        Ok(Arc::new(Template {
             name,
             arity,
             nfree,

@@ -15,7 +15,7 @@
 //! idempotence tests.
 
 use crate::{Image, Instr, Template};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Optimizes every template of an image.
 pub fn optimize_image(image: &Image) -> Image {
@@ -30,7 +30,7 @@ pub fn optimize_image(image: &Image) -> Image {
 }
 
 /// Optimizes one template (and its sub-templates) to a fixpoint.
-pub fn optimize_template(t: &Rc<Template>) -> Rc<Template> {
+pub fn optimize_template(t: &Arc<Template>) -> Arc<Template> {
     let mut code = t.code.clone();
     loop {
         let threaded = thread_jumps(&code);
@@ -40,7 +40,7 @@ pub fn optimize_template(t: &Rc<Template>) -> Rc<Template> {
         }
         code = compacted;
     }
-    Rc::new(Template {
+    Arc::new(Template {
         name: t.name.clone(),
         arity: t.arity,
         nfree: t.nfree,
@@ -134,7 +134,7 @@ mod tests {
     ///   4: push          (dead)
     ///   5: const 2
     ///   6: return
-    fn chained() -> Rc<Template> {
+    fn chained() -> Arc<Template> {
         let mut a = Asm::new(Symbol::new("t"), 0, 0);
         let l3 = a.make_label();
         let l5 = a.make_label();

@@ -9,7 +9,12 @@ fn t4o() -> Command {
 }
 
 fn tmp_dir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("two4one-cli-{}", std::process::id()));
+    // Tests run in parallel within one process, so a pid-only name would
+    // be shared — and deleted out from under still-running tests. A
+    // per-call counter keeps every test in its own directory.
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("two4one-cli-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
@@ -331,6 +336,126 @@ fn t4o_run_limits_and_spec_fallback() {
     assert!(!out.status.success());
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("unfold"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_spec_jobs_serves_batches_through_the_cache() {
+    let dir = tmp_dir();
+    let src = dir.join("powj.scm");
+    std::fs::write(
+        &src,
+        "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    let prefix = dir.join("powj.t4o");
+
+    // Four requests (one duplicated) over two workers, written to
+    // numbered object files.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--jobs",
+            "2",
+            "--batch",
+            "(2)",
+            "--batch",
+            "(3)",
+            "--batch",
+            "(2)",
+            "--batch",
+            "(5)",
+            "-o",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+
+    // One line per request, in order, plus a serve-stats summary showing
+    // the duplicate was a cache hit (3 runs for 4 requests).
+    for i in 0..4 {
+        assert!(stdout.contains(&format!(";; [{i}] ")), "{stdout}");
+        assert!(dir.join(format!("powj.{i}.t4o")).exists(), "{stdout}");
+    }
+    assert!(stdout.contains("spec_runs=3"), "{stdout}");
+    assert!(stdout.contains("hits=1"), "{stdout}");
+    assert!(stdout.contains("jobs=2"), "{stdout}");
+
+    // A specialized image actually runs: 3^4 = 81.
+    let out = t4o()
+        .args([
+            "run",
+            dir.join("powj.3.t4o").to_str().unwrap(),
+            "--entry",
+            "power",
+            "--arg",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("243"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // --jobs with a single --static tuple (no --batch) also serves.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--jobs",
+            "4",
+            "--static",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("spec_runs=1"), "{stdout}");
+
+    // --source is incompatible with batch serving and says so.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--jobs",
+            "2",
+            "--static",
+            "3",
+            "--source",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--source"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
