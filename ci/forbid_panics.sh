@@ -42,6 +42,11 @@ declare -A ALLOW=(
   [crates/anf/src/normalize.rs]=1
   # Embedded benchmark programs are compile-time constants.
   [crates/langs/src/lib.rs]=4
+  # Serving layer (crates/server/src/*.rs — admission, breaker, cache,
+  # persist, stats, lib): deliberately ZERO budget. The fault-tolerance
+  # contract is that overload, deadlines, corrupt snapshots, and poisoned
+  # locks all surface as typed errors/counters; a panic-capable site here
+  # would undermine exactly the machinery that contains panics elsewhere.
 )
 
 fail=0

@@ -9,11 +9,13 @@
 //! compare trajectories.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use two4one::{Datum, Division, Pgg, BT};
 use two4one_bench::harness::{self, Criterion};
 use two4one_bench::{criterion_group, criterion_main};
-use two4one_server::{SpecRequest, SpecService};
+use two4one_server::{FillHook, ServeConfig, ServeError, SpecRequest, SpecService};
 
 /// Distinct requests per batch: enough to keep 4 workers busy, small
 /// enough that a cold sample stays fast.
@@ -72,6 +74,77 @@ fn bench_serve(c: &mut Criterion) {
         });
     }
 
+    // Warm restart: a fresh service revived from a crash-safe snapshot
+    // serves the whole batch as cache hits — restore cost included.
+    let snapshot = {
+        let filled = SpecService::new();
+        drain(&filled, &reqs, 4);
+        filled.snapshot_bytes()
+    };
+    {
+        let reqs = reqs.clone();
+        group.bench_function("warm-restart/4-thread", move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let service = SpecService::new();
+                    let t0 = Instant::now();
+                    let report = service.restore_bytes(&snapshot);
+                    drain(&service, &reqs, 4);
+                    total += t0.elapsed();
+                    assert_eq!(report.restored, REQUESTS as u64);
+                    assert_eq!(service.stats().spec_runs, 0);
+                }
+                total
+            })
+        });
+    }
+
+    // Overload shedding: with the gate saturated, rejecting the excess
+    // must stay cheap — shedding is the mechanism that protects latency.
+    {
+        let latch = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new(AtomicBool::new(false));
+        let hook_latch = latch.clone();
+        let hook_entered = entered.clone();
+        let service = SpecService::with_config(ServeConfig {
+            max_inflight: 1,
+            queue_bound: 0,
+            fill_hook: Some(FillHook::new(move || {
+                hook_entered.store(true, Ordering::SeqCst);
+                let (open, cv) = &*hook_latch;
+                let mut open = open.lock().expect("latch lock");
+                while !*open {
+                    open = cv.wait(open).expect("latch wait");
+                }
+            })),
+            ..ServeConfig::default()
+        });
+        let burst = requests();
+        std::thread::scope(|scope| {
+            let svc = &service;
+            let blocker = &burst[0];
+            scope.spawn(move || {
+                let _ = svc.specialize(&blocker.ext, &blocker.statics);
+            });
+            while !entered.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let excess = &burst[1..];
+            group.bench_function("overload-shed/reject", |b| {
+                b.iter(|| {
+                    for r in excess {
+                        let e = svc.specialize(&r.ext, &r.statics).expect_err("gate full");
+                        black_box(matches!(e, ServeError::Overloaded { .. }));
+                    }
+                })
+            });
+            let (open, cv) = &*latch;
+            *open.lock().expect("latch lock") = true;
+            cv.notify_all();
+        });
+    }
+
     report(&group);
 }
 
@@ -88,12 +161,19 @@ fn report(group: &harness::Group) {
     let cold1 = rate("cold/1-thread").expect("cold/1 result");
     let cold4 = rate("cold/4-thread").expect("cold/4 result");
     let warm4 = rate("warm/4-thread").expect("warm/4 result");
+    let restart4 = rate("warm-restart/4-thread").expect("warm-restart result");
+    let shed = rate("overload-shed/reject").expect("overload-shed result");
     println!("  cold 1-thread: {cold1:.0} req/s");
     println!("  cold 4-thread: {cold4:.0} req/s ({:.2}x)", cold4 / cold1);
     println!(
         "  warm 4-thread: {warm4:.0} req/s ({:.0}x cold)",
         warm4 / cold1
     );
+    println!(
+        "  warm restart (restore + serve): {restart4:.0} req/s ({:.0}x cold)",
+        restart4 / cold1
+    );
+    println!("  overload shed: {shed:.0} rejections/s");
 
     // Anchor to the workspace root so the trajectory file lands in the
     // same place regardless of cargo's bench working directory.
@@ -111,6 +191,18 @@ fn report(group: &harness::Group) {
     assert!(
         warm4 > cold4,
         "warm cache no faster than cold: {warm4:.0} vs {cold4:.0} req/s"
+    );
+    // A snapshot-restored cache also skips the specializer entirely;
+    // restore cost must not eat the advantage.
+    assert!(
+        restart4 > cold4,
+        "warm restart no faster than cold: {restart4:.0} vs {cold4:.0} req/s"
+    );
+    // Shedding is the overload safety valve: rejections must be at least
+    // as cheap as cold specialization by a wide margin.
+    assert!(
+        shed > cold1 * 10.0,
+        "overload shedding too slow: {shed:.0} rejections/s vs cold {cold1:.0} req/s"
     );
 }
 

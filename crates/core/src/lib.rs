@@ -57,7 +57,7 @@ pub use two4one_pe::{PeError, SpecOptions, SpecStats};
 pub use two4one_syntax::acs::{AProgram, CallPolicy, BT};
 pub use two4one_syntax::cs;
 pub use two4one_syntax::datum::Datum;
-pub use two4one_syntax::limits::{LimitExceeded, LimitKind, Limits};
+pub use two4one_syntax::limits::{CancelToken, Deadline, LimitExceeded, LimitKind, Limits};
 pub use two4one_syntax::printer;
 pub use two4one_syntax::reader;
 pub use two4one_syntax::stack::{with_stack, with_stack_size};
@@ -340,13 +340,39 @@ impl GenExt {
         &self,
         statics: &[Datum],
     ) -> Result<(Image, SpecStats), Error> {
+        self.specialize_object_governed(statics, &self.options, None)
+    }
+
+    /// The fully-governed object-code path: specializes under explicit
+    /// `options` (which may differ from this extension's own, e.g. a
+    /// serving layer retrying with an escalated budget) and an optional
+    /// caller-side [`CancelToken`]. The token — which may carry a
+    /// per-request deadline — is checked cooperatively at the
+    /// specializer's memo/unfold points, so firing it stops a run
+    /// mid-specialization with [`LimitKind::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization or code-generation errors; a fired token
+    /// surfaces as `Error::Pe(PeError::Limit(..))` with kind `Cancelled`.
+    pub fn specialize_object_governed(
+        &self,
+        statics: &[Datum],
+        options: &SpecOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Image, SpecStats), Error> {
         catching(|| {
-            let (image, stats) = two4one_pe::specialize(
+            let mut deadline = options.limits.deadline();
+            if let Some(token) = cancel {
+                deadline = deadline.with_cancel(token.clone());
+            }
+            let (image, stats) = two4one_pe::specialize_with_deadline(
                 &self.aprog,
                 &self.entry,
                 statics,
                 ObjectBuilder::new(),
-                &self.options,
+                options,
+                deadline,
             )?;
             Ok((image?, stats))
         })
@@ -356,6 +382,17 @@ impl GenExt {
     /// under.
     pub fn options(&self) -> &SpecOptions {
         &self.options
+    }
+
+    /// A copy of this generating extension running under different
+    /// options (limits / fallback). The annotated program is shared work:
+    /// binding-time analysis is *not* redone.
+    pub fn with_options(&self, options: SpecOptions) -> GenExt {
+        GenExt {
+            aprog: self.aprog.clone(),
+            entry: self.entry.clone(),
+            options,
+        }
     }
 }
 

@@ -21,7 +21,7 @@
 
 pub mod spec;
 
-pub use spec::{specialize, Spec, SpecStats};
+pub use spec::{specialize, specialize_with_deadline, Spec, SpecStats};
 
 use std::fmt;
 use two4one_syntax::limits::{LimitExceeded, LimitKind, Limits};

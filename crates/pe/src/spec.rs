@@ -139,6 +139,10 @@ pub struct SpecStats {
     pub fallbacks: u64,
     /// Generic (all-dynamic) residual definitions emitted for fallback.
     pub generic_defs: u64,
+    /// The limit behind the *first* fallback, when any fired. Lets a
+    /// serving layer distinguish transient starvation (unfold fuel, memo
+    /// cap — worth retrying with a bigger budget) from structural limits.
+    pub fallback_kind: Option<LimitKind>,
 }
 
 impl SpecStats {
@@ -195,6 +199,26 @@ pub fn specialize<B: CodeBuilder>(
     builder: B,
     options: &SpecOptions,
 ) -> Result<(B::Program, SpecStats), PeError> {
+    let deadline = options.limits.deadline();
+    specialize_with_deadline(prog, entry, static_args, builder, options, deadline)
+}
+
+/// Like [`specialize`], but runs under a caller-supplied [`Deadline`]
+/// instead of starting one from `options.limits.timeout`. This is how a
+/// serving layer threads a per-request deadline or a [`CancelToken`]
+/// (see [`Deadline::with_cancel`]) into the specializer: the token is
+/// checked at the same amortized points as the wall clock, so a
+/// cancellation stops the run mid-specialization.
+///
+/// [`CancelToken`]: two4one_syntax::limits::CancelToken
+pub fn specialize_with_deadline<B: CodeBuilder>(
+    prog: &AProgram,
+    entry: &Symbol,
+    static_args: &[Datum],
+    builder: B,
+    options: &SpecOptions,
+    deadline: Deadline,
+) -> Result<(B::Program, SpecStats), PeError> {
     let def = prog
         .def(entry)
         .ok_or_else(|| PeError::NoSuchFunction(entry.clone()))?;
@@ -220,7 +244,7 @@ pub fn specialize<B: CodeBuilder>(
         max_depth: limits.max_depth.unwrap_or(usize::MAX),
         memo_cap: limits.memo_cap.unwrap_or(usize::MAX),
         code_cap: limits.code_cap.unwrap_or(usize::MAX),
-        deadline: limits.deadline(),
+        deadline,
         ticks: 0,
         fallback: options.fallback,
         in_generic: false,
@@ -245,7 +269,7 @@ pub fn specialize<B: CodeBuilder>(
     let body = match spec.spec(&def.body, &env, Kont::Tail) {
         Ok(b) => b,
         Err(e) if spec.fallback && e.is_recoverable() => {
-            spec.stats.fallbacks += 1;
+            spec.note_fallback(&e);
             spec.spec_generic_body(def, &env)?
         }
         Err(e) => return Err(e),
@@ -317,7 +341,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         let name = match self.memo_name(def, Vec::new()) {
             Ok(n) => n,
             Err(e) if self.fallback && e.is_recoverable() => {
-                self.stats.fallbacks += 1;
+                self.note_fallback(&e);
                 self.generic_name(def)
             }
             Err(e) => return Err(e),
@@ -787,7 +811,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 };
                 match (attempt, saved) {
                     (Err(e), Some((args, k))) if e.is_recoverable() => {
-                        self.stats.fallbacks += 1;
+                        self.note_fallback(&e);
                         self.generic_call(def, args, &k)
                     }
                     (r, _) => r,
@@ -863,6 +887,19 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     }
 
     // ----- resource checks ----------------------------------------------
+
+    /// Records one graceful fallback and which limit caused it (first
+    /// cause wins — later fallbacks are usually knock-on effects).
+    fn note_fallback(&mut self, e: &PeError) {
+        self.stats.fallbacks += 1;
+        if self.stats.fallback_kind.is_none() {
+            self.stats.fallback_kind = match e {
+                PeError::UnfoldLimit(_) => Some(LimitKind::UnfoldFuel),
+                PeError::Limit(l) => Some(l.kind),
+                _ => None,
+            };
+        }
+    }
 
     /// Limit checks performed at every call: wall-clock deadline and
     /// emitted-code cap. Both are recoverable at a call boundary.
@@ -1010,7 +1047,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         let body = match self.spec(&def.body, &env, Kont::Tail) {
             Ok(b) => b,
             Err(e) if self.fallback && e.is_recoverable() => {
-                self.stats.fallbacks += 1;
+                self.note_fallback(&e);
                 self.spec_generic_body(def, &env)?
             }
             Err(e) => return Err(e),

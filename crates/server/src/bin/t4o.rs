@@ -25,6 +25,12 @@
 //! argument list; without `--batch`, the `--static` arguments form the
 //! single request. With `-o out`, batch results are written to
 //! `out.0.t4o`, `out.1.t4o`, ....
+//!
+//! Serving robustness: `--deadline-ms` bounds each request end to end
+//! (queueing included), `--max-inflight` caps concurrent specializations
+//! (the batch must fit the admission queue behind it), and
+//! `--cache-file <f.t4os>` warm-starts the service from a crash-safe
+//! snapshot and re-snapshots it after serving.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -32,7 +38,7 @@ use two4one::{
     compile, load_image, reader, run_image_with, save_image, with_stack, Datum, Division, Image,
     Limits, Pgg, BT,
 };
-use two4one_server::{SpecRequest, SpecService};
+use two4one_server::{ServeConfig, SpecRequest, SpecService};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +67,9 @@ struct Opts {
     strict: bool,
     jobs: Option<usize>,
     batches: Vec<String>,
+    cache_file: Option<String>,
+    deadline_ms: Option<u64>,
+    max_inflight: Option<usize>,
 }
 
 impl Opts {
@@ -111,6 +120,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         strict: false,
         jobs: None,
         batches: Vec::new(),
+        cache_file: None,
+        deadline_ms: None,
+        max_inflight: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -144,6 +156,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.jobs = Some(n as usize);
             }
             "--batch" | "-b" => o.batches.push(take("--batch")?),
+            "--cache-file" => o.cache_file = Some(take("--cache-file")?),
+            "--deadline-ms" => {
+                o.deadline_ms = Some(parse_u64("--deadline-ms", &take("--deadline-ms")?)?)
+            }
+            "--max-inflight" => {
+                let n = parse_u64("--max-inflight", &take("--max-inflight")?)?;
+                if n == 0 {
+                    return Err("`--max-inflight` needs at least 1".to_string());
+                }
+                o.max_inflight = Some(n as usize);
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -177,7 +200,8 @@ fn usage() -> String {
      t4o spec <file.scm> --entry <name> --division <S|D letters> \
      [--static <datum>]... [-o out.t4o | --source] [--optimize] \
      [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict] \
-     [--jobs <n>] [--batch '(<datum>...)']...\n  \
+     [--jobs <n>] [--batch '(<datum>...)']... \
+     [--cache-file <f.t4os>] [--deadline-ms <ms>] [--max-inflight <n>]\n  \
      t4o dis <file.scm|file.t4o> --entry <name>"
         .to_string()
 }
@@ -346,7 +370,31 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
         .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
         .collect();
 
-    let service = SpecService::new();
+    let mut config = ServeConfig::default();
+    if let Some(n) = o.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(ms) = o.deadline_ms {
+        config.default_deadline = Some(Duration::from_millis(ms));
+    }
+    let service = SpecService::with_config(config);
+    if requests.len() > service.admission_capacity() {
+        return Err(format!(
+            "{} batch requests exceed the admission capacity of {} \
+             (raise --max-inflight or split the batch)",
+            requests.len(),
+            service.admission_capacity()
+        ));
+    }
+    if let Some(path) = &o.cache_file {
+        if std::path::Path::new(path).exists() {
+            let report = service.restore(path).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                ";; cache: restored {} entries from {path} ({} quarantined)",
+                report.restored, report.quarantined
+            );
+        }
+    }
     let results = service.specialize_many(&requests, jobs);
 
     let mut degraded = false;
@@ -384,6 +432,10 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
         }
     }
     println!(";; serve: jobs={jobs} {}", service.stats());
+    if let Some(path) = &o.cache_file {
+        service.snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+        println!(";; cache: snapshot written to {path}");
+    }
     if degraded {
         eprintln!(
             "t4o: note: specialization hit a resource limit and emitted \

@@ -1,0 +1,193 @@
+//! Per-program circuit breaking.
+//!
+//! A program whose specialization keeps failing hard (engine errors,
+//! dead workers, blown deadlines) would otherwise re-run the specializer
+//! on every request — errors are deliberately not cached. The breaker
+//! watches consecutive hard failures per *program* (program + entry
+//! digest, across all static arguments): after `threshold` of them it
+//! opens and the service answers with generically-compiled fallback code
+//! instead of specializing. After `cooldown`, exactly one request is let
+//! through as a half-open probe; success closes the breaker, failure
+//! re-opens it for another cooldown.
+//!
+//! State is only kept for failing programs and is dropped again on the
+//! first success, so the table cannot grow with healthy traffic.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::lock;
+
+/// Circuit-breaker tuning (see [`ServeConfig`](crate::ServeConfig)).
+#[derive(Debug, Clone)]
+pub struct BreakerPolicy {
+    /// Consecutive hard failures (per program) that trip the breaker.
+    /// `0` disables circuit breaking entirely.
+    pub threshold: u32,
+    /// How long a tripped breaker stays open before letting one half-open
+    /// probe through.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            threshold: 5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What the breaker says about an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Healthy (or unknown) program: proceed normally.
+    Pass,
+    /// The breaker is half-open and this request is the probe; its
+    /// outcome decides whether the breaker closes.
+    Probe,
+    /// The breaker is open: do not specialize, serve fallback code.
+    Fallback,
+}
+
+#[derive(Debug, Default)]
+struct BreakerEntry {
+    fails: u32,
+    open_until: Option<Instant>,
+    probing: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    policy: BreakerPolicy,
+    entries: Mutex<HashMap<u64, BreakerEntry>>,
+}
+
+impl Breaker {
+    pub(crate) fn new(policy: BreakerPolicy) -> Self {
+        Breaker {
+            policy,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn preflight(&self, program: u64) -> Verdict {
+        if self.policy.threshold == 0 {
+            return Verdict::Pass;
+        }
+        let mut map = lock(&self.entries);
+        let Some(e) = map.get_mut(&program) else {
+            return Verdict::Pass;
+        };
+        match e.open_until {
+            None => Verdict::Pass,
+            Some(t) if Instant::now() < t => Verdict::Fallback,
+            // Cooldown over: one probe at a time.
+            Some(_) if e.probing => Verdict::Fallback,
+            Some(_) => {
+                e.probing = true;
+                Verdict::Probe
+            }
+        }
+    }
+
+    /// A specialization for `program` succeeded: close the breaker and
+    /// forget the program.
+    pub(crate) fn record_success(&self, program: u64) {
+        if self.policy.threshold == 0 {
+            return;
+        }
+        lock(&self.entries).remove(&program);
+    }
+
+    /// A hard failure: count it, and (re-)open the breaker at threshold.
+    pub(crate) fn record_failure(&self, program: u64) {
+        if self.policy.threshold == 0 {
+            return;
+        }
+        let mut map = lock(&self.entries);
+        let e = map.entry(program).or_default();
+        e.fails = e.fails.saturating_add(1);
+        e.probing = false;
+        if e.fails >= self.policy.threshold {
+            e.open_until = Some(Instant::now() + self.policy.cooldown);
+        }
+    }
+
+    /// Neutral outcome (shed at admission, caller cancelled): the probe
+    /// slot is returned without judging the program.
+    pub(crate) fn release_probe(&self, program: u64) {
+        if self.policy.threshold == 0 {
+            return;
+        }
+        if let Some(e) = lock(&self.entries).get_mut(&program) {
+            e.probing = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(threshold: u32, cooldown_ms: u64) -> BreakerPolicy {
+        BreakerPolicy {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_and_probes_after_cooldown() {
+        let b = Breaker::new(policy(2, 0));
+        assert_eq!(b.preflight(7), Verdict::Pass);
+        b.record_failure(7);
+        assert_eq!(b.preflight(7), Verdict::Pass);
+        b.record_failure(7);
+        // Tripped; zero cooldown means the next preflight is the probe.
+        assert_eq!(b.preflight(7), Verdict::Probe);
+        // Only one probe at a time.
+        assert_eq!(b.preflight(7), Verdict::Fallback);
+        b.record_success(7);
+        assert_eq!(b.preflight(7), Verdict::Pass);
+    }
+
+    #[test]
+    fn open_breaker_serves_fallback_until_cooldown() {
+        let b = Breaker::new(policy(1, 60_000));
+        b.record_failure(3);
+        assert_eq!(b.preflight(3), Verdict::Fallback);
+        assert_eq!(b.preflight(3), Verdict::Fallback);
+        // Other programs are unaffected.
+        assert_eq!(b.preflight(4), Verdict::Pass);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = Breaker::new(policy(1, 0));
+        b.record_failure(9);
+        assert_eq!(b.preflight(9), Verdict::Probe);
+        b.record_failure(9);
+        // Re-opened (cooldown 0 → immediately probe-able again).
+        assert_eq!(b.preflight(9), Verdict::Probe);
+    }
+
+    #[test]
+    fn released_probe_lets_another_through() {
+        let b = Breaker::new(policy(1, 0));
+        b.record_failure(5);
+        assert_eq!(b.preflight(5), Verdict::Probe);
+        b.release_probe(5);
+        assert_eq!(b.preflight(5), Verdict::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let b = Breaker::new(policy(0, 0));
+        for _ in 0..10 {
+            b.record_failure(1);
+        }
+        assert_eq!(b.preflight(1), Verdict::Pass);
+    }
+}

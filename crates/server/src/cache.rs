@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use crate::SpecOutcome;
 
@@ -47,6 +48,10 @@ pub(crate) fn digest64<'a>(parts: impl IntoIterator<Item = &'a str>) -> u64 {
 #[derive(Debug, Clone)]
 pub(crate) struct Key {
     pub(crate) digest: u64,
+    /// Digest over (program, entry) only — shared by all static-argument
+    /// variants of one specialization target. The circuit breaker tracks
+    /// failure streaks at this granularity. Not part of identity.
+    pub(crate) program_digest: u64,
     pub(crate) program: Arc<str>,
     pub(crate) entry: Arc<str>,
     pub(crate) statics: Arc<str>,
@@ -56,6 +61,7 @@ impl Key {
     pub(crate) fn new(program: &str, entry: &str, statics: &str) -> Self {
         Key {
             digest: digest64([program, entry, statics]),
+            program_digest: digest64([program, entry]),
             program: Arc::from(program),
             entry: Arc::from(entry),
             statics: Arc::from(statics),
@@ -68,6 +74,7 @@ impl Key {
     pub(crate) fn with_digest(digest: u64, program: &str, entry: &str, statics: &str) -> Self {
         Key {
             digest,
+            program_digest: digest64([program, entry]),
             program: Arc::from(program),
             entry: Arc::from(entry),
             statics: Arc::from(statics),
@@ -120,6 +127,33 @@ impl Flight {
                 .done
                 .wait(guard)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`Flight::wait`], but gives up at `until`: returns `None` if
+    /// the leader has not published by then (the leader keeps running —
+    /// a waiter's deadline never cancels someone else's request).
+    pub(crate) fn wait_until(
+        &self,
+        until: Option<Instant>,
+    ) -> Option<Result<Arc<SpecOutcome>, String>> {
+        let Some(until) = until else {
+            return Some(self.wait());
+        };
+        let mut guard = lock(&self.result);
+        loop {
+            if let Some(r) = guard.as_ref() {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= until {
+                return None;
+            }
+            guard = self
+                .done
+                .wait_timeout(guard, until - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
 }
@@ -279,6 +313,36 @@ mod tests {
         shard.code_size = 100;
         assert_eq!(shard.evict_to(8, Some(10)), 0);
         assert_eq!(shard.map.len(), 1);
+    }
+
+    #[test]
+    fn lock_recovers_from_poisoning() {
+        // A panic while holding a shard lock poisons the mutex; `lock`
+        // must keep serving (shard mutations are single-critical-section,
+        // so the state behind a poisoned lock is still consistent).
+        let shard = Arc::new(Mutex::new(Shard::default()));
+        let poisoner = shard.clone();
+        let panicked = std::thread::spawn(move || {
+            let mut guard = poisoner.lock().expect("first lock");
+            guard.map.insert(Key::new("p", "e", "()"), ready(0, 1));
+            panic!("injected fault: die holding the shard lock");
+        })
+        .join();
+        assert!(panicked.is_err());
+        assert!(shard.is_poisoned());
+        let guard = lock(&shard);
+        assert!(guard.map.contains_key(&Key::new("p", "e", "()")));
+    }
+
+    #[test]
+    fn flight_wait_until_times_out_and_still_delivers_later() {
+        let f = Arc::new(Flight::default());
+        // Deadline already passed and nothing published: give up.
+        assert!(f.wait_until(Some(Instant::now())).is_none());
+        f.complete(Ok(dummy_outcome()));
+        // Published: even an expired deadline returns the result.
+        assert!(f.wait_until(Some(Instant::now())).is_some());
+        assert!(f.wait_until(None).is_some());
     }
 
     #[test]

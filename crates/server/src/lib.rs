@@ -47,25 +47,41 @@
 
 #![warn(missing_docs)]
 
+mod admission;
+mod breaker;
 mod cache;
+mod persist;
 mod stats;
 
+pub use breaker::BreakerPolicy;
 pub use stats::ServeSnapshot;
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use admission::{Admission, Gate};
+use breaker::{Breaker, Verdict};
 use cache::{lock, Entry, Flight, Key, Shard, Slot};
+use persist::SnapRecord;
 use stats::ServeStats;
-use two4one::{Datum, Error, GenExt, Image, Limits, SpecStats};
+use two4one::{
+    CancelToken, Datum, Error, GenExt, Image, LimitKind, Limits, PeError, SpecOptions, SpecStats,
+};
 use two4one_syntax::stack::DEFAULT_STACK_BYTES;
 
 /// What every serving entry point returns for one request.
 pub type ServeResult = Result<Arc<SpecOutcome>, ServeError>;
 
 /// Errors returned by the service.
+///
+/// Non-exhaustive: fault-tolerance work keeps adding operational states
+/// (overload, deadlines, circuit breaking), so downstream matches must
+/// carry a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The specialization pipeline failed; this requester led the flight
     /// and holds the original error.
@@ -79,6 +95,24 @@ pub enum ServeError {
     /// A worker thread died without reporting a result. The engine
     /// catches panics at its facade, so this indicates a bug.
     Worker(String),
+    /// The service shed the request at admission: the maximum number of
+    /// fills is in flight and the wait queue is full.
+    Overloaded {
+        /// Requests queued for admission when this one was shed.
+        queue_depth: usize,
+        /// A coarse hint for when capacity may free up, scaled by the
+        /// observed queue depth.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline passed — while queued for admission, while
+    /// waiting on another requester's flight, or mid-specialization (the
+    /// specializer is cancelled cooperatively at its memo/unfold checks).
+    DeadlineExceeded,
+    /// The request's [`CancelToken`] was fired explicitly.
+    Cancelled,
+    /// The circuit breaker for this program is open and no fallback
+    /// image could be produced.
+    BreakerOpen(String),
 }
 
 impl fmt::Display for ServeError {
@@ -88,6 +122,18 @@ impl fmt::Display for ServeError {
             ServeError::Shared(msg) => write!(f, "shared specialization failed: {msg}"),
             ServeError::Spawn(msg) => write!(f, "cannot spawn worker: {msg}"),
             ServeError::Worker(msg) => write!(f, "worker died: {msg}"),
+            ServeError::Overloaded {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "service overloaded (queue depth {queue_depth}); retry in ~{retry_after_ms} ms"
+            ),
+            ServeError::DeadlineExceeded => f.write_str("request deadline exceeded"),
+            ServeError::Cancelled => f.write_str("request cancelled"),
+            ServeError::BreakerOpen(msg) => {
+                write!(f, "circuit breaker open and no fallback available: {msg}")
+            }
         }
     }
 }
@@ -129,12 +175,83 @@ pub struct SpecRequest {
     pub ext: GenExt,
     /// Static arguments, one per `BT::S` slot of the division.
     pub statics: Vec<Datum>,
+    /// Per-request deadline; overrides [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+    /// Caller-side cancellation token; firing it stops the request (and,
+    /// when this request leads a fill, the specializer mid-run).
+    pub cancel: Option<CancelToken>,
 }
 
 impl SpecRequest {
     /// Creates a request.
     pub fn new(ext: GenExt, statics: Vec<Datum>) -> Self {
-        SpecRequest { ext, statics }
+        SpecRequest {
+            ext,
+            statics,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Sets a per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token the caller can fire.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Retry tuning for transient limit hits (see [`ServeConfig::retry`]).
+///
+/// A fill whose first attempt *degraded* because of unfold fuel or the
+/// memo cap (`SpecStats::fallback_kind`) may be retried once with those
+/// budgets multiplied by `escalation`, after a jittered `backoff`. The
+/// better of the two results is cached. Hard failures are never retried
+/// here — they feed the circuit breaker instead.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum escalated re-attempts per fill. `0` disables retry.
+    pub max_retries: u32,
+    /// Budget multiplier applied to `unfold_fuel` and `memo_cap` on
+    /// retry.
+    pub escalation: u64,
+    /// Base backoff before the retry; the actual sleep is jittered to
+    /// 50–150 % of this, deterministically per request key.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 1,
+            escalation: 4,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A test/diagnostics hook the service calls at the start of every cache
+/// fill, on the worker thread, inside the panic boundary. Lets fault
+/// tests inject delays or panics exactly where a real specializer run
+/// would fail.
+#[derive(Clone)]
+pub struct FillHook(Arc<dyn Fn() + Send + Sync>);
+
+impl FillHook {
+    /// Wraps a hook function.
+    pub fn new(f: impl Fn() + Send + Sync + 'static) -> Self {
+        FillHook(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for FillHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FillHook(..)")
     }
 }
 
@@ -151,6 +268,21 @@ pub struct ServeConfig {
     pub limits: Limits,
     /// Stack size for specialization workers.
     pub stack_bytes: usize,
+    /// Maximum concurrent specializer fills (admission gate). Clamped to
+    /// at least 1. Cache hits and coalesced waiters bypass the gate.
+    pub max_inflight: usize,
+    /// Requests allowed to queue for admission when `max_inflight` fills
+    /// are running; anything beyond is shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_bound: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Escalated-budget retry for transiently degraded fills.
+    pub retry: RetryPolicy,
+    /// Per-program circuit breaking for consecutive hard failures.
+    pub breaker: BreakerPolicy,
+    /// Called at the start of every fill (fault-injection tests).
+    pub fill_hook: Option<FillHook>,
 }
 
 impl Default for ServeConfig {
@@ -160,8 +292,25 @@ impl Default for ServeConfig {
             max_entries: 1024,
             limits: Limits::default(),
             stack_bytes: DEFAULT_STACK_BYTES,
+            max_inflight: 32,
+            queue_bound: 256,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            fill_hook: None,
         }
     }
+}
+
+/// What a [`SpecService::restore`] pass recovered from a snapshot file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Entries restored into the cache.
+    pub restored: u64,
+    /// Records rejected: bad checksum, torn tail, stale version, or an
+    /// undecodable payload. (A record whose key is already live in the
+    /// cache is skipped silently — it is valid, just outdated.)
+    pub quarantined: u64,
 }
 
 /// A concurrent, caching specialization service. See the crate docs for
@@ -174,6 +323,11 @@ pub struct SpecService {
     stack_bytes: usize,
     ticket: AtomicU64,
     stats: ServeStats,
+    gate: Gate,
+    breaker: Breaker,
+    default_deadline: Option<Duration>,
+    retry: RetryPolicy,
+    fill_hook: Option<FillHook>,
 }
 
 impl Default for SpecService {
@@ -199,7 +353,18 @@ impl SpecService {
             stack_bytes: config.stack_bytes,
             ticket: AtomicU64::new(0),
             stats: ServeStats::default(),
+            gate: Gate::new(config.max_inflight, config.queue_bound),
+            breaker: Breaker::new(config.breaker),
+            default_deadline: config.default_deadline,
+            retry: config.retry,
+            fill_hook: config.fill_hook,
         }
+    }
+
+    /// Total requests admission will hold at once (in-flight + queued);
+    /// a burst beyond this necessarily sheds.
+    pub fn admission_capacity(&self) -> usize {
+        self.gate.capacity()
     }
 
     /// A snapshot of the service counters.
@@ -230,27 +395,43 @@ impl SpecService {
     /// identical request has been served before. Concurrent misses for
     /// the same key are deduplicated: one requester runs the specializer
     /// (on a dedicated large-stack thread), the rest wait and share its
-    /// result.
+    /// result. Runs under [`ServeConfig::default_deadline`], if set.
     ///
     /// # Errors
     ///
     /// Propagates specialization failures ([`ServeError::Spec`] for the
-    /// leading requester, [`ServeError::Shared`] for coalesced waiters).
-    /// Errors are never cached: the next request for the key retries.
+    /// leading requester, [`ServeError::Shared`] for coalesced waiters),
+    /// sheds under overload ([`ServeError::Overloaded`]), and enforces
+    /// deadlines ([`ServeError::DeadlineExceeded`]). Errors are never
+    /// cached: the next request for the key retries.
     pub fn specialize(&self, ext: &GenExt, statics: &[Datum]) -> ServeResult {
-        self.serve(ext, statics, true)
+        self.serve(ext, statics, self.default_deadline, None, true)
+    }
+
+    /// Serves one [`SpecRequest`], honouring its deadline and
+    /// cancellation token (falling back to the service defaults).
+    pub fn specialize_request(&self, req: &SpecRequest) -> ServeResult {
+        self.serve(
+            &req.ext,
+            &req.statics,
+            req.deadline.or(self.default_deadline),
+            req.cancel.as_ref(),
+            true,
+        )
     }
 
     /// Runs a batch of requests over a bounded pool of `jobs` large-stack
     /// worker threads, returning one result per request, in order.
     /// Identical requests inside (or across) batches are deduplicated by
-    /// the cache exactly as in [`SpecService::specialize`].
+    /// the cache exactly as in [`SpecService::specialize`]; per-request
+    /// deadlines and tokens are honoured as in
+    /// [`SpecService::specialize_request`].
     pub fn specialize_many(&self, requests: &[SpecRequest], jobs: usize) -> Vec<ServeResult> {
         let jobs = jobs.max(1).min(requests.len().max(1));
         if jobs == 1 {
             return requests
                 .iter()
-                .map(|r| self.specialize(&r.ext, &r.statics))
+                .map(|r| self.specialize_request(r))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -268,7 +449,13 @@ impl SpecService {
                         let Some(req) = requests.get(i) else { break };
                         // Workers already run on big stacks, so serve
                         // misses inline instead of re-spawning.
-                        let r = self.serve(&req.ext, &req.statics, false);
+                        let r = self.serve(
+                            &req.ext,
+                            &req.statics,
+                            req.deadline.or(self.default_deadline),
+                            req.cancel.as_ref(),
+                            false,
+                        );
                         if let Some(slot) = results.get(i) {
                             *lock(slot) = Some(r);
                         }
@@ -282,7 +469,7 @@ impl SpecService {
                 // Degenerate fallback: no pool, serve sequentially (each
                 // miss still gets its own large-stack thread).
                 for (req, slot) in requests.iter().zip(&results) {
-                    *lock(slot) = Some(self.specialize(&req.ext, &req.statics));
+                    *lock(slot) = Some(self.specialize_request(req));
                 }
             }
         });
@@ -299,13 +486,150 @@ impl SpecService {
             .collect()
     }
 
-    /// Cache lookup / single-flight fill. `spawn_stack` selects whether a
-    /// miss runs on a fresh large-stack thread (`true`, for callers on an
-    /// ordinary stack) or inline (`false`, for pool workers that already
-    /// have one).
-    fn serve(&self, ext: &GenExt, statics: &[Datum], spawn_stack: bool) -> ServeResult {
+    // ----- snapshot / restore -------------------------------------------
+
+    /// Serializes every cached (`Ready`) entry into a `.t4os` snapshot:
+    /// CRC-32-checked records in a deterministic (sorted) order, so equal
+    /// cache contents produce identical bytes. In-flight fills are not
+    /// included.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut records: Vec<SnapRecord> = Vec::new();
+        for shard in &self.shards {
+            let guard = lock(shard);
+            for (key, slot) in &guard.map {
+                if let Slot::Ready(entry) = slot {
+                    records.push(SnapRecord {
+                        program: key.program.to_string(),
+                        entry: key.entry.to_string(),
+                        statics: key.statics.to_string(),
+                        stats: entry.outcome.stats.clone(),
+                        image: entry.outcome.image.clone(),
+                    });
+                }
+            }
+        }
+        records.sort_by(|a, b| {
+            (&a.program, &a.entry, &a.statics).cmp(&(&b.program, &b.entry, &b.statics))
+        });
+        persist::encode(&records)
+    }
+
+    /// Restores entries from snapshot bytes into the cache. Corrupt or
+    /// torn records are quarantined (skipped and counted), never fatal; a
+    /// key that is already live in the cache keeps its live entry. The
+    /// usual capacity/code budgets apply — restoring may evict.
+    pub fn restore_bytes(&self, bytes: &[u8]) -> RestoreReport {
+        let decoded = persist::decode(bytes);
+        let mut restored = 0u64;
+        for rec in decoded.records {
+            let key = Key::new(&rec.program, &rec.entry, &rec.statics);
+            let shard = &self.shards[(key.digest as usize) % self.shards.len()];
+            let outcome = Arc::new(SpecOutcome {
+                image: rec.image,
+                stats: rec.stats,
+            });
+            let size = outcome.code_size().max(1);
+            let evicted = {
+                let mut guard = lock(shard);
+                if guard.map.contains_key(&key) {
+                    continue;
+                }
+                guard.map.insert(
+                    key,
+                    Slot::Ready(Entry {
+                        outcome,
+                        last_access: self.ticket.fetch_add(1, Ordering::Relaxed),
+                        size,
+                    }),
+                );
+                guard.code_size += size;
+                guard.evict_to(self.per_shard_entries, self.per_shard_code)
+            };
+            ServeStats::add(&self.stats.evictions, evicted);
+            restored += 1;
+        }
+        ServeStats::add(&self.stats.restored, restored);
+        ServeStats::add(&self.stats.quarantined, decoded.quarantined);
+        RestoreReport {
+            restored,
+            quarantined: decoded.quarantined,
+        }
+    }
+
+    /// Snapshots the cache to `path` crash-safely: the bytes are written
+    /// to a sibling temp file and renamed into place, so a crash during
+    /// the write never leaves a torn file under the final name. (A torn
+    /// file from a crash *mid-record* is still recovered gracefully by
+    /// [`SpecService::restore`] — the tail is quarantined.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        std::fs::write(&tmp, self.snapshot_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Restores the cache from a `.t4os` snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (a *corrupt* file is not an error:
+    /// its bad records are quarantined and reported).
+    pub fn restore(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<RestoreReport> {
+        let bytes = std::fs::read(path)?;
+        Ok(self.restore_bytes(&bytes))
+    }
+
+    // ----- the serve path ------------------------------------------------
+
+    /// Cache lookup / single-flight fill, under admission control, the
+    /// per-request deadline, and the circuit breaker. `spawn_stack`
+    /// selects whether a miss runs on a fresh large-stack thread (`true`,
+    /// for callers on an ordinary stack) or inline (`false`, for pool
+    /// workers that already have one).
+    fn serve(
+        &self,
+        ext: &GenExt,
+        statics: &[Datum],
+        deadline: Option<Duration>,
+        cancel: Option<&CancelToken>,
+        spawn_stack: bool,
+    ) -> ServeResult {
+        // Arm the per-request clock. The token is shared with the caller
+        // (explicit cancellation) and threaded into the specializer.
+        let until = deadline.map(|d| Instant::now() + d);
+        let token = match (cancel, until) {
+            (None, None) => None,
+            (c, u) => {
+                let t = c.cloned().unwrap_or_default();
+                if let (Some(at), Some(d)) = (u, deadline) {
+                    t.expire_at(at, d);
+                }
+                Some(t)
+            }
+        };
+        if let Some(t) = &token {
+            if let Some(err) = self.stopped_error(t) {
+                return Err(err);
+            }
+        }
+
         let key = request_key(ext, statics);
         let shard = &self.shards[(key.digest as usize) % self.shards.len()];
+
+        // Circuit breaker first: a tripped program never reaches the
+        // cache-fill machinery (its errors are not cached, so without the
+        // breaker every request would re-run the failing specialization).
+        let verdict = self.breaker.preflight(key.program_digest);
+        if verdict == Verdict::Fallback {
+            ServeStats::bump(&self.stats.breaker_open);
+            return self.breaker_fallback(ext, statics, spawn_stack);
+        }
 
         enum Plan {
             Hit(Arc<SpecOutcome>),
@@ -333,30 +657,140 @@ impl SpecService {
         };
 
         match plan {
-            Plan::Hit(outcome) => Ok(outcome),
+            Plan::Hit(outcome) => {
+                if verdict == Verdict::Probe {
+                    self.breaker.record_success(key.program_digest);
+                }
+                Ok(outcome)
+            }
             Plan::Wait(flight) => {
                 ServeStats::bump(&self.stats.coalesced);
-                match flight.wait() {
-                    Ok(outcome) => {
+                let r = match flight.wait_until(until) {
+                    None => {
+                        ServeStats::bump(&self.stats.deadline_exceeded);
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                    Some(Ok(outcome)) => {
                         ServeStats::bump(&self.stats.hits);
                         Ok(outcome)
                     }
-                    Err(msg) => {
+                    Some(Err(msg)) => {
                         ServeStats::bump(&self.stats.errors);
                         Err(ServeError::Shared(msg))
                     }
+                };
+                // Waiters share the leader's run, which records its own
+                // breaker outcome; a probing waiter only settles its
+                // probe slot.
+                if verdict == Verdict::Probe {
+                    self.breaker_note(key.program_digest, &r);
                 }
+                r
             }
             Plan::Lead(flight) => {
-                let result = if spawn_stack {
-                    run_on_stack(self.stack_bytes, || {
-                        ext.specialize_object_with_stats(statics)
-                    })
-                } else {
-                    Ok(ext.specialize_object_with_stats(statics))
+                // From here the in-flight slot is our responsibility: the
+                // guard removes it and fails the flight if anything
+                // unwinds before `finish_flight` takes over, so waiters
+                // can never deadlock on an abandoned fill.
+                let mut guard = FlightGuard {
+                    shard,
+                    key: &key,
+                    flight: &flight,
+                    armed: true,
                 };
-                self.finish_flight(&key, shard, &flight, result)
+                let r = match self.gate.admit(until) {
+                    Admission::Shed { queue_depth } => {
+                        ServeStats::bump(&self.stats.shed);
+                        guard.abandon("request shed at admission (overload)");
+                        if verdict == Verdict::Probe {
+                            self.breaker.release_probe(key.program_digest);
+                        }
+                        return Err(ServeError::Overloaded {
+                            queue_depth,
+                            retry_after_ms: 10 * (queue_depth as u64 + 1),
+                        });
+                    }
+                    Admission::TimedOut => {
+                        ServeStats::bump(&self.stats.deadline_exceeded);
+                        guard.abandon("request deadline passed while queued for admission");
+                        if verdict == Verdict::Probe {
+                            self.breaker.release_probe(key.program_digest);
+                        }
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    Admission::Admitted(permit) => {
+                        let result = self.run_fill(ext, statics, &key, token.as_ref(), spawn_stack);
+                        drop(permit);
+                        guard.armed = false;
+                        self.finish_flight(&key, shard, &flight, result, token.as_ref())
+                    }
+                };
+                self.breaker_note(key.program_digest, &r);
+                r
             }
+        }
+    }
+
+    /// Runs one cache fill (with escalated-budget retry) on the right
+    /// stack, converting panics into [`ServeError::Worker`].
+    #[allow(clippy::type_complexity)]
+    fn run_fill(
+        &self,
+        ext: &GenExt,
+        statics: &[Datum],
+        key: &Key,
+        token: Option<&CancelToken>,
+        spawn_stack: bool,
+    ) -> Result<Result<(Image, SpecStats), Error>, ServeError> {
+        let fill = || -> Result<(Image, SpecStats), Error> {
+            if let Some(hook) = &self.fill_hook {
+                (hook.0)();
+            }
+            let mut result = ext.specialize_object_governed(statics, ext.options(), token);
+            let mut attempt: u32 = 0;
+            while attempt < self.retry.max_retries {
+                let transient = matches!(
+                    &result,
+                    Ok((_, stats)) if matches!(
+                        stats.fallback_kind,
+                        Some(LimitKind::UnfoldFuel | LimitKind::MemoEntries)
+                    )
+                );
+                if !transient || token.is_some_and(|t| t.is_stopped()) {
+                    break;
+                }
+                attempt += 1;
+                ServeStats::bump(&self.stats.retried);
+                std::thread::sleep(jittered(
+                    self.retry.backoff,
+                    key.digest ^ u64::from(attempt),
+                ));
+                let factor = self.retry.escalation.max(1).saturating_pow(attempt);
+                let escalated = escalate_options(ext.options(), factor);
+                match ext.specialize_object_governed(statics, &escalated, token) {
+                    // A bigger budget got at least as far: keep it. Stop
+                    // as soon as a run finishes without degrading.
+                    Ok((image, stats)) => {
+                        let done = !stats.degraded();
+                        result = Ok((image, stats));
+                        if done {
+                            break;
+                        }
+                    }
+                    // Escalation failing outright (it raced a deadline,
+                    // say) never discards the degraded-but-usable image.
+                    Err(_) => break,
+                }
+            }
+            result
+        };
+        if spawn_stack {
+            run_on_stack(self.stack_bytes, fill)
+        } else {
+            // Pool workers run fills inline; the panic boundary here
+            // mirrors the thread-join boundary of `run_on_stack`.
+            catch_unwind(AssertUnwindSafe(fill))
+                .map_err(|_| ServeError::Worker("specialization worker panicked".to_string()))
         }
     }
 
@@ -368,6 +802,7 @@ impl SpecService {
         shard: &Mutex<Shard>,
         flight: &Flight,
         result: Result<Result<(Image, SpecStats), Error>, ServeError>,
+        token: Option<&CancelToken>,
     ) -> ServeResult {
         match result {
             Ok(Ok((image, spec_stats))) => {
@@ -401,9 +836,20 @@ impl SpecService {
             Ok(Err(engine_err)) => {
                 lock(shard).map.remove(key);
                 ServeStats::bump(&self.stats.spec_runs);
-                ServeStats::bump(&self.stats.errors);
-                flight.complete(Err(engine_err.to_string()));
-                Err(ServeError::Spec(engine_err))
+                let serve_err = match cancellation_of(&engine_err, token) {
+                    Some(e) => {
+                        if matches!(e, ServeError::DeadlineExceeded) {
+                            ServeStats::bump(&self.stats.deadline_exceeded);
+                        }
+                        e
+                    }
+                    None => {
+                        ServeStats::bump(&self.stats.errors);
+                        ServeError::Spec(engine_err)
+                    }
+                };
+                flight.complete(Err(serve_err.to_string()));
+                Err(serve_err)
             }
             Err(serve_err) => {
                 lock(shard).map.remove(key);
@@ -413,6 +859,129 @@ impl SpecService {
             }
         }
     }
+
+    /// Serves generic (no-unfolding) fallback code for a program whose
+    /// breaker is open. The result is *not* cached: it must disappear the
+    /// moment the breaker closes, and producing it is linear in the
+    /// source program.
+    fn breaker_fallback(&self, ext: &GenExt, statics: &[Datum], spawn_stack: bool) -> ServeResult {
+        let mut options = ext.options().clone();
+        options.limits.unfold_fuel = Some(0);
+        options.fallback = true;
+        let run = || ext.specialize_object_governed(statics, &options, None);
+        let result = if spawn_stack {
+            run_on_stack(self.stack_bytes, run)
+        } else {
+            catch_unwind(AssertUnwindSafe(run))
+                .map_err(|_| ServeError::Worker("fallback worker panicked".to_string()))
+        };
+        match result {
+            Ok(Ok((image, stats))) => Ok(Arc::new(SpecOutcome {
+                image: Arc::new(image),
+                stats,
+            })),
+            Ok(Err(e)) => Err(ServeError::BreakerOpen(e.to_string())),
+            Err(e) => Err(ServeError::BreakerOpen(e.to_string())),
+        }
+    }
+
+    /// Maps a fired token to the corresponding request error, bumping the
+    /// deadline counter.
+    fn stopped_error(&self, token: &CancelToken) -> Option<ServeError> {
+        if token.is_cancelled() {
+            Some(ServeError::Cancelled)
+        } else if token.deadline_expired() {
+            ServeStats::bump(&self.stats.deadline_exceeded);
+            Some(ServeError::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+
+    /// Feeds a leader/probe outcome to the breaker. Hard failures
+    /// (specialization errors, dead workers, blown deadlines) count
+    /// toward tripping; overload sheds and explicit cancellations are
+    /// neutral.
+    fn breaker_note(&self, program: u64, result: &ServeResult) {
+        match result {
+            Ok(_) => self.breaker.record_success(program),
+            Err(
+                ServeError::Spec(_)
+                | ServeError::Worker(_)
+                | ServeError::Shared(_)
+                | ServeError::DeadlineExceeded,
+            ) => self.breaker.record_failure(program),
+            Err(_) => self.breaker.release_probe(program),
+        }
+    }
+}
+
+/// Removes the in-flight slot and fails the flight when a leader bails
+/// out before `finish_flight` — including by panic. Without this, a
+/// worker that dies mid-fill would leave an `InFlight` slot behind
+/// forever and every later requester for the key would block on it.
+struct FlightGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: &'a Key,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Controlled bail-out with a meaningful message for waiters.
+    fn abandon(&mut self, msg: &str) {
+        self.armed = false;
+        lock(self.shard).map.remove(self.key);
+        self.flight.complete(Err(msg.to_string()));
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(self.shard).map.remove(self.key);
+            self.flight.complete(Err(
+                "specialization fill abandoned (worker panicked)".to_string()
+            ));
+        }
+    }
+}
+
+/// Classifies an engine error as a request cancellation, if it is one.
+fn cancellation_of(err: &Error, token: Option<&CancelToken>) -> Option<ServeError> {
+    match err {
+        Error::Pe(PeError::Limit(l)) if l.kind == LimitKind::Cancelled => {
+            Some(if token.is_some_and(CancelToken::is_cancelled) {
+                ServeError::Cancelled
+            } else {
+                ServeError::DeadlineExceeded
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Multiplies the transient budgets (unfold fuel, memo cap) for a retry.
+fn escalate_options(options: &SpecOptions, factor: u64) -> SpecOptions {
+    let mut o = options.clone();
+    if let Some(fuel) = o.limits.unfold_fuel {
+        o.limits.unfold_fuel = Some(fuel.saturating_mul(factor));
+    }
+    if let Some(cap) = o.limits.memo_cap {
+        o.limits.memo_cap = Some(cap.saturating_mul(factor as usize));
+    }
+    o
+}
+
+/// Deterministic 50–150 % jitter around `base`, seeded by the request
+/// key (SplitMix64 scramble) so tests are reproducible.
+fn jittered(base: Duration, seed: u64) -> Duration {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let pct = 50 + (z % 101) as u32;
+    base * pct / 100
 }
 
 /// Builds the full cache key for a request: the rendered annotated

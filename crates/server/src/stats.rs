@@ -20,6 +20,12 @@ pub(crate) struct ServeStats {
     pub(crate) degraded: AtomicU64,
     pub(crate) spec_runs: AtomicU64,
     pub(crate) errors: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) deadline_exceeded: AtomicU64,
+    pub(crate) retried: AtomicU64,
+    pub(crate) breaker_open: AtomicU64,
+    pub(crate) restored: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
 }
 
 impl ServeStats {
@@ -40,6 +46,12 @@ impl ServeStats {
             degraded: self.degraded.load(Ordering::Relaxed),
             spec_runs: self.spec_runs.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            breaker_open: self.breaker_open.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -66,20 +78,46 @@ pub struct ServeSnapshot {
     pub spec_runs: u64,
     /// Requests that ended in an error (errors are not cached).
     pub errors: u64,
+    /// Requests shed at admission because the wait queue was full
+    /// (`ServeError::Overloaded`).
+    pub shed: u64,
+    /// Requests whose per-request deadline fired — while queued, while
+    /// coalesced on another leader's flight, or mid-specialization via
+    /// cooperative cancellation.
+    pub deadline_exceeded: u64,
+    /// Fills retried with an escalated budget after a transient limit
+    /// (unfold-fuel or memo-cap) degraded the first attempt.
+    pub retried: u64,
+    /// Requests answered by a tripped circuit breaker with generic
+    /// fallback code instead of running the (repeatedly failing)
+    /// specialization.
+    pub breaker_open: u64,
+    /// Cache entries restored from a snapshot file.
+    pub restored: u64,
+    /// Snapshot records rejected during restore (bad checksum, torn tail,
+    /// stale version, undecodable payload).
+    pub quarantined: u64,
 }
 
 impl fmt::Display for ServeSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hits={} misses={} coalesced={} evictions={} degraded={} spec_runs={} errors={}",
+            "hits={} misses={} coalesced={} evictions={} degraded={} spec_runs={} errors={} \
+             shed={} deadline_exceeded={} retried={} breaker_open={} restored={} quarantined={}",
             self.hits,
             self.misses,
             self.coalesced,
             self.evictions,
             self.degraded,
             self.spec_runs,
-            self.errors
+            self.errors,
+            self.shed,
+            self.deadline_exceeded,
+            self.retried,
+            self.breaker_open,
+            self.restored,
+            self.quarantined
         )
     }
 }

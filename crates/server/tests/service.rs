@@ -1,11 +1,18 @@
 //! Integration tests for the concurrent specialization service: cache
-//! correctness (keying, eviction, error paths), single-flight dedup, and
-//! the zero-work warm path.
+//! correctness (keying, eviction, error paths), single-flight dedup, the
+//! zero-work warm path, and the fault-tolerance layer (admission control,
+//! deadlines, retry, circuit breaking, crash-safe snapshots, and panic
+//! recovery).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use two4one::{Datum, Division, Limits, Pgg, BT};
-use two4one_server::{ServeConfig, ServeError, SpecRequest, SpecService};
+use two4one::{CancelToken, Datum, Division, Limits, Pgg, BT};
+use two4one_server::{
+    BreakerPolicy, FillHook, RetryPolicy, ServeConfig, ServeError, SpecRequest, SpecService,
+};
+use two4one_testkit::faults::{corrupt, PanicPlan};
 use two4one_testkit::rng::Rng;
 
 const POWER: &str = "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))";
@@ -305,4 +312,533 @@ fn distinct_options_do_not_share_entries() {
     assert!(!Arc::ptr_eq(&a.image, &b.image));
     assert!(!a.stats.degraded());
     assert!(b.stats.degraded());
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: admission control and load shedding
+// ---------------------------------------------------------------------
+
+/// A gate fill workers block on until the test opens it, so overload is
+/// reproducible rather than racing against specializer speed.
+#[derive(Default)]
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn wait(&self) {
+        let mut open = self.open.lock().expect("latch lock");
+        while !*open {
+            open = self.cv.wait(open).expect("latch wait");
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().expect("latch lock") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Polls `cond` until it holds or ~5 s pass.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    let give_up = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < give_up {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+#[test]
+fn overload_sheds_beyond_gate_capacity_and_recovers() {
+    const BURST: usize = 32;
+    const CAPACITY: usize = 6; // max_inflight 2 + queue_bound 4
+
+    let latch = Arc::new(Latch::default());
+    let hook_latch = latch.clone();
+    let service = SpecService::with_config(ServeConfig {
+        max_inflight: 2,
+        queue_bound: 4,
+        fill_hook: Some(FillHook::new(move || hook_latch.wait())),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+
+    let (admitted, shed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|n| {
+                let service = &service;
+                let ext = &ext;
+                // Distinct statics: every request is a leader, so each
+                // must pass the admission gate.
+                s.spawn(move || service.specialize(ext, &int(n as i64 + 1)))
+            })
+            .collect();
+        // The burst settles into: 2 filling (blocked on the latch),
+        // 4 queued for admission, everyone else shed immediately.
+        assert!(
+            eventually(|| service.stats().shed == (BURST - CAPACITY) as u64),
+            "expected {} sheds, saw {} ({})",
+            BURST - CAPACITY,
+            service.stats().shed,
+            service.stats()
+        );
+        latch.release();
+        let mut admitted = 0;
+        let mut shed = 0;
+        for h in handles {
+            match h.join().expect("request thread") {
+                Ok(_) => admitted += 1,
+                Err(ServeError::Overloaded {
+                    queue_depth,
+                    retry_after_ms,
+                }) => {
+                    shed += 1;
+                    assert_eq!(queue_depth, 4);
+                    assert!(retry_after_ms > 0);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        (admitted, shed)
+    });
+
+    // At most capacity requests were ever admitted (2 running + 4
+    // queued); the queued ones completed once the latch opened.
+    assert_eq!(admitted, CAPACITY);
+    assert_eq!(shed, BURST - CAPACITY);
+    let stats = service.stats();
+    assert_eq!(stats.shed, (BURST - CAPACITY) as u64);
+    assert_eq!(stats.spec_runs, CAPACITY as u64);
+
+    // The service is fully usable after the storm: shed keys are plain
+    // misses now, nothing is wedged.
+    let outcome = service.specialize(&ext, &int(40)).expect("after storm");
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(1))
+        .expect("run residual");
+    assert_eq!(out.value, Datum::Int(1));
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: deadlines and cancellation
+// ---------------------------------------------------------------------
+
+/// A program whose full specialization is far too slow for the tests'
+/// deadlines: each unfolding peels one recursion, and `SPIN_N` is huge.
+const SPIN: &str = "(define (spin n) (if (= n 0) 0 (spin (- n 1))))";
+const SPIN_N: i64 = 50_000_000;
+
+fn spin_ext(pgg: &Pgg) -> two4one::GenExt {
+    let program = pgg.parse(SPIN).expect("parse spin");
+    pgg.cogen(&program, "spin", &Division::new([BT::Static]))
+        .expect("cogen spin")
+}
+
+#[test]
+fn deadline_aborts_long_specialization_promptly() {
+    let service = SpecService::with_config(ServeConfig {
+        max_inflight: 1,
+        ..ServeConfig::default()
+    });
+    let ext = spin_ext(&Pgg::new());
+
+    let t0 = Instant::now();
+    let req = SpecRequest::new(ext.clone(), int(SPIN_N)).with_deadline(Duration::from_millis(20));
+    let err = service.specialize_request(&req).expect_err("must time out");
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got: {err}");
+    // Prompt: worst case is one deadline-check stride in the specializer,
+    // not the seconds the full 50M-unfold run would take.
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "deadline abort took {:?}",
+        t0.elapsed()
+    );
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert!(service.is_empty(), "aborted fill must not be cached");
+
+    // The worker and its admission permit were reclaimed: with
+    // max_inflight 1, a leaked permit would park this next fill in the
+    // admission queue until its deadline.
+    let ok =
+        SpecRequest::new(power_ext(&Pgg::new()), int(5)).with_deadline(Duration::from_secs(30));
+    let outcome = service.specialize_request(&ok).expect("service usable");
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run residual");
+    assert_eq!(out.value, Datum::Int(32));
+}
+
+#[test]
+fn explicit_cancellation_stops_a_running_fill() {
+    let service = SpecService::new();
+    let ext = spin_ext(&Pgg::new());
+    let token = CancelToken::new();
+    let req = SpecRequest::new(ext, int(SPIN_N)).with_cancel(token.clone());
+
+    let err = std::thread::scope(|s| {
+        let handle = s.spawn(|| service.specialize_request(&req));
+        // Let the fill get going, then pull the plug.
+        std::thread::sleep(Duration::from_millis(20));
+        token.cancel();
+        handle
+            .join()
+            .expect("request thread")
+            .expect_err("cancelled")
+    });
+    assert!(matches!(err, ServeError::Cancelled), "got: {err}");
+    assert!(service.is_empty());
+}
+
+#[test]
+fn waiter_deadline_does_not_cancel_the_leader() {
+    // A waiter with a short deadline gives up on a slow flight; the
+    // leader keeps running and its result lands in the cache.
+    let latch = Arc::new(Latch::default());
+    let hook_latch = latch.clone();
+    let entered = Arc::new(AtomicUsize::new(0));
+    let hook_entered = entered.clone();
+    let service = SpecService::with_config(ServeConfig {
+        fill_hook: Some(FillHook::new(move || {
+            hook_entered.fetch_add(1, Ordering::SeqCst);
+            hook_latch.wait();
+        })),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+
+    std::thread::scope(|s| {
+        let leader = s.spawn(|| service.specialize(&ext, &int(7)));
+        assert!(eventually(|| entered.load(Ordering::SeqCst) == 1));
+        // Same key, tight deadline: coalesces onto the flight, times out.
+        let req = SpecRequest::new(ext.clone(), int(7)).with_deadline(Duration::from_millis(20));
+        let err = service.specialize_request(&req).expect_err("waiter");
+        assert!(matches!(err, ServeError::DeadlineExceeded), "got: {err}");
+        latch.release();
+        leader
+            .join()
+            .expect("leader thread")
+            .expect("leader result");
+    });
+
+    // One run, cached: the waiter's deadline cost the system nothing.
+    let stats = service.stats();
+    assert_eq!(stats.spec_runs, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(service.len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: escalated-budget retry
+// ---------------------------------------------------------------------
+
+#[test]
+fn transient_starvation_is_retried_with_a_bigger_budget() {
+    // Fuel 4 cannot finish power^20 (21 unfoldings); the escalated retry
+    // at 4 * 16 = 64 can. The caller sees a clean, undegraded result.
+    let service = SpecService::with_config(ServeConfig {
+        retry: RetryPolicy {
+            max_retries: 1,
+            escalation: 16,
+            backoff: Duration::from_millis(1),
+        },
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new().unfold_fuel(4));
+    let outcome = service.specialize(&ext, &int(20)).expect("retried fill");
+    assert!(!outcome.stats.degraded(), "escalated retry should finish");
+    let stats = service.stats();
+    assert_eq!(stats.retried, 1);
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.spec_runs, 1, "retry happens inside one fill");
+
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run residual");
+    assert_eq!(out.value, Datum::Int(1 << 20));
+}
+
+#[test]
+fn retry_disabled_keeps_the_degraded_result() {
+    let service = SpecService::with_config(ServeConfig {
+        retry: RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new().unfold_fuel(4));
+    let outcome = service.specialize(&ext, &int(20)).expect("degraded fill");
+    assert!(outcome.stats.degraded());
+    assert_eq!(service.stats().retried, 0);
+    assert_eq!(service.stats().degraded, 1);
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: circuit breaker
+// ---------------------------------------------------------------------
+
+#[test]
+fn open_breaker_serves_generic_fallback_without_specializing() {
+    let service = SpecService::with_config(ServeConfig {
+        breaker: BreakerPolicy {
+            threshold: 2,
+            cooldown: Duration::from_secs(600),
+        },
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+    let bad = [Datum::Int(1), Datum::Int(2)]; // arity mismatch: hard failure
+
+    for _ in 0..2 {
+        let err = service.specialize(&ext, &bad).expect_err("arity mismatch");
+        assert!(matches!(err, ServeError::Spec(_)));
+    }
+
+    // Tripped: even a well-formed request is answered with generic
+    // fallback code instead of running the specializer.
+    let runs_before = service.stats().spec_runs;
+    let outcome = service.specialize(&ext, &int(5)).expect("fallback");
+    let stats = service.stats();
+    assert_eq!(stats.breaker_open, 1);
+    assert_eq!(stats.spec_runs, runs_before, "no specializer run");
+    assert!(service.is_empty(), "fallback code is never cached");
+
+    // Generic fallback is still *correct* code for these statics.
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run fallback");
+    assert_eq!(out.value, Datum::Int(32));
+}
+
+#[test]
+fn breaker_recovers_through_a_half_open_probe() {
+    let service = SpecService::with_config(ServeConfig {
+        breaker: BreakerPolicy {
+            threshold: 1,
+            cooldown: Duration::ZERO,
+        },
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+    let bad = [Datum::Int(1), Datum::Int(2)];
+
+    let _ = service.specialize(&ext, &bad).expect_err("trips breaker");
+    // Cooldown zero: the next request is the half-open probe. A failing
+    // probe re-opens the breaker...
+    let _ = service.specialize(&ext, &bad).expect_err("probe fails");
+    // ...and a succeeding probe closes it for good.
+    let ok = service.specialize(&ext, &int(3)).expect("probe succeeds");
+    assert!(!ok.stats.degraded());
+    let warm = service.specialize(&ext, &int(3)).expect("healthy again");
+    assert!(Arc::ptr_eq(&ok.image, &warm.image));
+    assert_eq!(service.stats().breaker_open, 0);
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: panic recovery (no deadlocked waiters, ever)
+// ---------------------------------------------------------------------
+
+#[test]
+fn panic_during_spawned_fill_is_an_error_not_a_deadlock() {
+    let plan = PanicPlan::once();
+    let hook_plan = plan.clone();
+    let service = SpecService::with_config(ServeConfig {
+        fill_hook: Some(FillHook::new(move || hook_plan.tick())),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+
+    let err = service.specialize(&ext, &int(9)).expect_err("worker died");
+    assert!(matches!(err, ServeError::Worker(_)), "got: {err}");
+    assert_eq!(service.stats().errors, 1);
+    assert!(service.is_empty(), "no stuck in-flight slot");
+
+    // The same key works on the next attempt (the plan only fires once).
+    let outcome = service.specialize(&ext, &int(9)).expect("recovered");
+    assert_eq!(plan.calls(), 2);
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run residual");
+    assert_eq!(out.value, Datum::Int(512));
+}
+
+#[test]
+fn panic_during_inline_pool_fill_fails_only_that_request() {
+    // Pool workers (specialize_many) run fills inline on their own big
+    // stacks; a panic there must convert to a Worker error for that one
+    // request, not tear down the batch.
+    let plan = PanicPlan::once();
+    let hook_plan = plan.clone();
+    let service = SpecService::with_config(ServeConfig {
+        fill_hook: Some(FillHook::new(move || hook_plan.tick())),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+    let requests: Vec<SpecRequest> = (1..=4)
+        .map(|n| SpecRequest::new(ext.clone(), int(n)))
+        .collect();
+
+    let results = service.specialize_many(&requests, 2);
+    let failed = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Worker(_))))
+        .count();
+    let succeeded = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(failed, 1, "exactly the injected panic fails");
+    assert_eq!(succeeded, 3);
+
+    // And the poisoned key is retryable afterwards.
+    let retry = service.specialize_many(&requests, 2);
+    assert!(retry.iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn waiters_on_a_panicking_leader_are_woken_with_an_error() {
+    // The leader panics mid-fill while others are coalesced on its
+    // flight: every waiter must come back (error or a successful
+    // re-lead), and a fresh request afterwards must succeed. Before the
+    // flight guard, this scenario deadlocked the waiters forever.
+    let entered = Arc::new(AtomicUsize::new(0));
+    let hook_entered = entered.clone();
+    let latch = Arc::new(Latch::default());
+    let hook_latch = latch.clone();
+    let service = SpecService::with_config(ServeConfig {
+        fill_hook: Some(FillHook::new(move || {
+            // First fill: wait until the test saw the waiters pile up,
+            // then panic. Later fills run clean.
+            if hook_entered.fetch_add(1, Ordering::SeqCst) == 0 {
+                hook_latch.wait();
+                panic!("injected fault: leader dies with waiters parked");
+            }
+        })),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+
+    std::thread::scope(|s| {
+        let leader = s.spawn(|| service.specialize(&ext, &int(11)));
+        assert!(eventually(|| entered.load(Ordering::SeqCst) == 1));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| s.spawn(|| service.specialize(&ext, &int(11))))
+            .collect();
+        assert!(eventually(|| service.stats().coalesced == 3));
+        latch.release();
+        let lead_result = leader.join().expect("leader thread");
+        assert!(
+            matches!(lead_result, Err(ServeError::Worker(_))),
+            "leader sees the panic"
+        );
+        for w in waiters {
+            // Waiters either shared the leader's error or re-led after
+            // the slot was cleaned up; both are fine — hanging is not.
+            let _ = w.join().expect("waiter thread returned");
+        }
+    });
+
+    let outcome = service.specialize(&ext, &int(11)).expect("usable after");
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run residual");
+    assert_eq!(out.value, Datum::Int(2048));
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: crash-safe snapshots
+// ---------------------------------------------------------------------
+
+#[test]
+fn snapshot_restore_round_trip_restores_warm_hits() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+    for n in [3, 5, 8] {
+        service.specialize(&ext, &int(n)).expect("fill");
+    }
+    let bytes = service.snapshot_bytes();
+    // Deterministic: equal cache contents, equal bytes.
+    assert_eq!(bytes, service.snapshot_bytes());
+    drop(service); // the "crash"
+
+    let revived = SpecService::new();
+    let report = revived.restore_bytes(&bytes);
+    assert_eq!(report.restored, 3);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(revived.len(), 3);
+
+    // First request after restart: warm hit, zero specializer work.
+    let outcome = revived.specialize(&ext, &int(5)).expect("warm restart");
+    let stats = revived.stats();
+    assert_eq!(stats.spec_runs, 0);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.restored, 3);
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(2))
+        .expect("run restored");
+    assert_eq!(out.value, Datum::Int(32));
+
+    // A restored snapshot re-snapshots bit-exactly.
+    assert_eq!(revived.snapshot_bytes(), bytes);
+}
+
+#[test]
+fn corrupted_snapshots_are_quarantined_never_fatal() {
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+    for n in [2, 4, 6, 9] {
+        service.specialize(&ext, &int(n)).expect("fill");
+    }
+    let good = service.snapshot_bytes();
+
+    for seed in 0..80 {
+        let mut rng = Rng::new(seed);
+        let (bad, kind) = corrupt(&good, &mut rng);
+        let revived = SpecService::new();
+        // Must never panic, whatever the damage; losses are counted.
+        let report = revived.restore_bytes(&bad);
+        assert!(
+            report.restored + report.quarantined > 0 || revived.is_empty(),
+            "seed {seed} ({kind:?}): empty report on damaged input"
+        );
+        assert!(
+            revived.len() as u64 == report.restored,
+            "seed {seed} ({kind:?}): cache size disagrees with report"
+        );
+        // Whatever survived must serve real hits afterwards.
+        let outcome = revived.specialize(&ext, &int(2)).expect("usable");
+        let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(3))
+            .expect("run after restore");
+        assert_eq!(out.value, Datum::Int(9));
+    }
+
+    // A wholesale-garbage file quarantines and leaves the service empty
+    // but healthy.
+    let revived = SpecService::new();
+    let report = revived.restore_bytes(b"not a snapshot at all");
+    assert_eq!(report.restored, 0);
+    assert!(report.quarantined > 0);
+    assert!(revived.is_empty());
+    assert!(revived.stats().quarantined > 0);
+    revived.specialize(&ext, &int(3)).expect("healthy");
+}
+
+#[test]
+fn snapshot_file_round_trip_via_tempfile() {
+    let dir = std::env::temp_dir().join(format!(
+        "t4o-snap-test-{}-{:x}",
+        std::process::id(),
+        Rng::new(0xfeed).next_u64()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("cache.t4os");
+
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+    service.specialize(&ext, &int(6)).expect("fill");
+    service.snapshot(&path).expect("snapshot to disk");
+
+    let revived = SpecService::new();
+    let report = revived.restore(&path).expect("restore from disk");
+    assert_eq!(report.restored, 1);
+    assert_eq!(report.quarantined, 0);
+    revived.specialize(&ext, &int(6)).expect("warm");
+    assert_eq!(revived.stats().spec_runs, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -43,6 +43,6 @@ pub mod symbol;
 pub mod value;
 
 pub use datum::Datum;
-pub use limits::{Deadline, LimitExceeded, LimitKind, Limits};
+pub use limits::{CancelToken, Deadline, LimitExceeded, LimitKind, Limits};
 pub use prim::{Arity, Prim};
 pub use symbol::{Gensym, Symbol};

@@ -27,6 +27,8 @@
 //! pre-governance behaviour).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Which limit was exceeded.
@@ -34,6 +36,11 @@ use std::time::{Duration, Instant};
 pub enum LimitKind {
     /// Wall-clock deadline (`timeout`).
     Deadline,
+    /// Caller-side cancellation (a [`CancelToken`] fired: an explicit
+    /// cancel or a per-request deadline). Unlike [`LimitKind::Deadline`]
+    /// this is *not* recoverable: the caller no longer wants the result,
+    /// so degrading to a fallback image would be wasted work.
+    Cancelled,
     /// Instruction/step fuel (`step_fuel`).
     StepFuel,
     /// Specializer unfold fuel (`unfold_fuel`).
@@ -55,6 +62,7 @@ impl LimitKind {
     pub fn describe(self) -> &'static str {
         match self {
             LimitKind::Deadline => "wall-clock deadline",
+            LimitKind::Cancelled => "request cancelled",
             LimitKind::StepFuel => "step fuel",
             LimitKind::UnfoldFuel => "unfold fuel",
             LimitKind::Depth => "recursion depth",
@@ -91,7 +99,15 @@ impl LimitExceeded {
 
 impl fmt::Display for LimitExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} exceeded (limit {})", self.kind, self.limit)
+        match self.kind {
+            // Cancellation is not a budget that ran out; `limit` carries
+            // the per-request deadline in ms when one was armed.
+            LimitKind::Cancelled if self.limit > 0 => {
+                write!(f, "request cancelled (deadline {} ms)", self.limit)
+            }
+            LimitKind::Cancelled => f.write_str("request cancelled"),
+            _ => write!(f, "{} exceeded (limit {})", self.kind, self.limit),
+        }
     }
 }
 
@@ -217,13 +233,86 @@ impl Limits {
     }
 }
 
+/// A shareable cancellation token: the caller-side half of cooperative
+/// cancellation. A token can be fired explicitly ([`CancelToken::cancel`])
+/// or armed with a per-request deadline ([`CancelToken::expire_at`]); the
+/// engine observes it through the [`Deadline`] it is attached to and
+/// aborts with [`LimitKind::Cancelled`] — a *non-recoverable* fault, so a
+/// cancelled specialization stops instead of degrading to fallback code.
+///
+/// Cloning is cheap (an `Arc`); all clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Per-request expiry instant; set at most once, when the serving
+    /// layer arms the request deadline.
+    expires: OnceLock<Instant>,
+    /// The armed deadline in milliseconds, for fault reporting.
+    deadline_ms: OnceLock<u64>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token with no expiry.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token: every holder observes cancellation from now on.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Arms a per-request expiry instant. The first call wins; later
+    /// calls are ignored (a token serves exactly one request).
+    pub fn expire_at(&self, at: Instant, timeout: Duration) {
+        let _ = self.inner.expires.set(at);
+        let _ = self.inner.deadline_ms.set(timeout.as_millis() as u64);
+    }
+
+    /// Convenience: arm an expiry `timeout` from now.
+    pub fn expire_after(&self, timeout: Duration) {
+        self.expire_at(Instant::now() + timeout, timeout);
+    }
+
+    /// Was the token fired explicitly (not via expiry)?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Has the armed per-request deadline passed?
+    pub fn deadline_expired(&self) -> bool {
+        match self.inner.expires.get() {
+            Some(t) => Instant::now() >= *t,
+            None => false,
+        }
+    }
+
+    /// Fired, either explicitly or by deadline expiry?
+    pub fn is_stopped(&self) -> bool {
+        self.is_cancelled() || self.deadline_expired()
+    }
+
+    /// The typed fault this token reports when it fires.
+    pub fn fault(&self) -> LimitExceeded {
+        let ms = self.inner.deadline_ms.get().copied().unwrap_or(0);
+        LimitExceeded::new(LimitKind::Cancelled, ms)
+    }
+}
+
 /// A started wall-clock deadline, derived from [`Limits::timeout`] at the
-/// beginning of an operation. Cheap to copy; `expired` costs one
-/// `Instant::now` — engines amortize it with [`Deadline::check_every`].
-#[derive(Debug, Clone, Copy)]
+/// beginning of an operation, optionally carrying a caller-side
+/// [`CancelToken`]. Cheap to clone; `expired` costs one `Instant::now` —
+/// engines amortize it with [`Deadline::check_every`].
+#[derive(Debug, Clone, Default)]
 pub struct Deadline {
     expires: Option<Instant>,
     timeout_ms: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl Deadline {
@@ -232,6 +321,7 @@ impl Deadline {
         Deadline {
             expires: timeout.map(|d| Instant::now() + d),
             timeout_ms: timeout.map_or(0, |d| d.as_millis() as u64),
+            cancel: None,
         }
     }
 
@@ -240,12 +330,21 @@ impl Deadline {
         Deadline::start(None)
     }
 
-    /// Is there a deadline at all?
-    pub fn is_limited(&self) -> bool {
-        self.expires.is_some()
+    /// Attaches a caller-side cancellation token. The engine then honours
+    /// whichever fires first: the wall-clock budget (recoverable,
+    /// [`LimitKind::Deadline`]) or the token ([`LimitKind::Cancelled`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
-    /// Has the deadline passed?
+    /// Is there a deadline or a cancellation token at all?
+    pub fn is_limited(&self) -> bool {
+        self.expires.is_some() || self.cancel.is_some()
+    }
+
+    /// Has the deadline passed? (Ignores the cancellation token; use
+    /// [`Deadline::check`] to observe both.)
     pub fn expired(&self) -> bool {
         match self.expires {
             Some(t) => Instant::now() >= t,
@@ -253,8 +352,15 @@ impl Deadline {
         }
     }
 
-    /// Returns the typed fault if the deadline has passed.
+    /// Returns the typed fault if the token fired or the deadline passed.
+    /// Cancellation is reported first: it is non-recoverable and must not
+    /// be masked by a concurrent (recoverable) engine timeout.
     pub fn check(&self) -> Result<(), LimitExceeded> {
+        if let Some(token) = &self.cancel {
+            if token.is_stopped() {
+                return Err(token.fault());
+            }
+        }
         if self.expired() {
             Err(LimitExceeded::new(LimitKind::Deadline, self.timeout_ms))
         } else {
@@ -266,7 +372,7 @@ impl Deadline {
     /// multiple of `stride` (use a power of two). Increments `counter`.
     pub fn check_every(&self, counter: &mut u64, stride: u64) -> Result<(), LimitExceeded> {
         *counter = counter.wrapping_add(1);
-        if self.expires.is_some() && (*counter).is_multiple_of(stride) {
+        if self.is_limited() && (*counter).is_multiple_of(stride) {
             self.check()
         } else {
             Ok(())
@@ -342,6 +448,42 @@ mod tests {
         assert!(d.check_every(&mut c, 4).is_ok());
         assert!(d.check_every(&mut c, 4).is_ok());
         assert!(d.check_every(&mut c, 4).is_err());
+    }
+
+    #[test]
+    fn cancel_token_fires_through_deadline() {
+        let token = CancelToken::new();
+        let d = Deadline::unlimited().with_cancel(token.clone());
+        assert!(d.is_limited());
+        assert!(d.check().is_ok());
+        token.cancel();
+        let e = d.check().unwrap_err();
+        assert_eq!(e.kind, LimitKind::Cancelled);
+        // Clones share state.
+        assert!(token.clone().is_stopped());
+    }
+
+    #[test]
+    fn cancel_token_deadline_expiry() {
+        let token = CancelToken::new();
+        token.expire_after(Duration::ZERO);
+        assert!(!token.is_cancelled());
+        assert!(token.deadline_expired());
+        assert!(token.is_stopped());
+        assert_eq!(token.fault().kind, LimitKind::Cancelled);
+        // A second arm attempt is ignored.
+        token.expire_after(Duration::from_secs(3600));
+        assert!(token.deadline_expired());
+    }
+
+    #[test]
+    fn cancellation_outranks_engine_timeout() {
+        let token = CancelToken::new();
+        token.cancel();
+        let d = Deadline::start(Some(Duration::ZERO)).with_cancel(token);
+        // Both fired; cancellation is reported (non-recoverable) rather
+        // than the engine's own (recoverable) deadline.
+        assert_eq!(d.check().unwrap_err().kind, LimitKind::Cancelled);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! reproducible by number.
 
 use crate::rng::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use two4one_syntax::limits::Limits;
 
@@ -78,6 +80,52 @@ pub fn gen_fault(rng: &mut Rng) -> Fault {
         4 => Fault::SpecDepth(1 + rng.index(20)),
         5 => Fault::InputDepth(1 + rng.index(10)),
         _ => Fault::InputNodes(1 + rng.index(10)),
+    }
+}
+
+/// Deterministic panic injection for worker-crash recovery tests.
+///
+/// Counts invocations of [`PanicPlan::tick`] and panics on exactly the
+/// chosen one (counted from 1; `0` never fires). Shared behind an `Arc`
+/// so a serving-layer hook and the test can both see the call count —
+/// the test asserts both that the crash happened *and* that the system
+/// stayed usable afterwards.
+#[derive(Debug)]
+pub struct PanicPlan {
+    calls: AtomicU64,
+    panic_on: u64,
+}
+
+impl PanicPlan {
+    /// A plan that panics on the `call`-th tick (`0` = never).
+    pub fn panic_on(call: u64) -> Arc<Self> {
+        Arc::new(PanicPlan {
+            calls: AtomicU64::new(0),
+            panic_on: call,
+        })
+    }
+
+    /// A plan that panics on the first tick only.
+    pub fn once() -> Arc<Self> {
+        Self::panic_on(1)
+    }
+
+    /// Registers one invocation; panics if this is the chosen one.
+    ///
+    /// # Panics
+    ///
+    /// On the configured invocation — that is the point.
+    pub fn tick(&self) {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.panic_on != 0 && n == self.panic_on {
+            panic!("injected fault: panic on call {n}");
+        }
+    }
+
+    /// How many times [`PanicPlan::tick`] has run (including the one
+    /// that panicked).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
     }
 }
 
@@ -163,6 +211,22 @@ mod tests {
         let (e, k) = corrupt(&[], &mut Rng::new(3));
         assert!(!e.is_empty());
         assert_eq!(k, Corruption::Append);
+    }
+
+    #[test]
+    fn panic_plan_fires_exactly_once_and_keeps_counting() {
+        let plan = PanicPlan::panic_on(2);
+        plan.tick();
+        let p = plan.clone();
+        let r = std::panic::catch_unwind(move || p.tick());
+        assert!(r.is_err(), "second tick must panic");
+        plan.tick(); // third tick is quiet again
+        assert_eq!(plan.calls(), 3);
+        let never = PanicPlan::panic_on(0);
+        for _ in 0..10 {
+            never.tick();
+        }
+        assert_eq!(never.calls(), 10);
     }
 
     #[test]

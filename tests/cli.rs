@@ -464,6 +464,202 @@ fn t4o_spec_jobs_serves_batches_through_the_cache() {
 }
 
 #[test]
+fn t4o_spec_rejects_zero_jobs_and_oversized_batches() {
+    let dir = tmp_dir();
+    let src = dir.join("powz.scm");
+    std::fs::write(
+        &src,
+        "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+
+    // --jobs 0 is a usage error, caught at parse time.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--jobs",
+            "0",
+            "--static",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --max-inflight 0 likewise.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--jobs",
+            "1",
+            "--max-inflight",
+            "0",
+            "--static",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--max-inflight"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A batch larger than the admission queue can hold is rejected up
+    // front instead of half-serving and shedding the rest: with
+    // --max-inflight 1 the capacity is 1 + queue_bound (256) = 257.
+    let mut args: Vec<String> = [
+        "spec",
+        src.to_str().unwrap(),
+        "--entry",
+        "power",
+        "--division",
+        "SD",
+        "--jobs",
+        "2",
+        "--max-inflight",
+        "1",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    for n in 0..258 {
+        args.push("--batch".to_string());
+        args.push(format!("({n})"));
+    }
+    let out = t4o().args(&args).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("admission capacity"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_spec_cache_file_warm_starts_across_processes() {
+    let dir = tmp_dir();
+    let src = dir.join("powc.scm");
+    std::fs::write(
+        &src,
+        "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    let snap = dir.join("cache.t4os");
+    let spec_args = |src: &std::path::Path, snap: &std::path::Path| {
+        vec![
+            "spec".to_string(),
+            src.to_str().unwrap().to_string(),
+            "--entry".to_string(),
+            "power".to_string(),
+            "--division".to_string(),
+            "SD".to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+            "--batch".to_string(),
+            "(4)".to_string(),
+            "--batch".to_string(),
+            "(6)".to_string(),
+            "--cache-file".to_string(),
+            snap.to_str().unwrap().to_string(),
+        ]
+    };
+
+    // Cold process: everything misses, then the cache is snapshotted.
+    let out = t4o().args(spec_args(&src, &snap)).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("spec_runs=2"), "{stdout}");
+    assert!(stdout.contains("snapshot written"), "{stdout}");
+    assert!(snap.exists());
+
+    // Fresh process ("after the crash"): restored entries serve every
+    // request as a hit — the specializer never runs.
+    let out = t4o().args(spec_args(&src, &snap)).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("restored 2 entries"), "{stdout}");
+    assert!(stdout.contains("spec_runs=0"), "{stdout}");
+    assert!(stdout.contains("hits=2"), "{stdout}");
+
+    // A corrupted snapshot is quarantined, not fatal: the run succeeds
+    // cold and rewrites a clean snapshot.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&snap, &bytes).unwrap();
+    let out = t4o().args(spec_args(&src, &snap)).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("quarantined"), "{stdout}");
+    assert!(stdout.contains("snapshot written"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_spec_deadline_flag_bounds_requests() {
+    let dir = tmp_dir();
+    let src = dir.join("spin.scm");
+    std::fs::write(&src, "(define (spin n) (if (= n 0) 0 (spin (- n 1))))").unwrap();
+
+    // A specialization that would unfold 50M times is cut off by the
+    // request deadline and reported as such.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "spin",
+            "--division",
+            "S",
+            "--jobs",
+            "1",
+            "--static",
+            "50000000",
+            "--deadline-ms",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn repl_survives_malformed_input() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_repl"))
         .stdin(Stdio::piped())
