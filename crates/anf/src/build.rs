@@ -154,18 +154,18 @@ impl CodeBuilder for SourceBuilder {
 
     fn var(&mut self, x: &Symbol) -> Triv {
         self.count();
-        Triv::Var(x.clone())
+        Triv::Var(*x)
     }
 
     fn global(&mut self, x: &Symbol) -> Triv {
         self.count();
-        Triv::Var(x.clone())
+        Triv::Var(*x)
     }
 
     fn lambda(&mut self, name: &Symbol, params: &[Symbol], _free: &[Symbol], body: Expr) -> Triv {
         self.count();
         Triv::Lambda(Arc::new(Lambda {
-            name: name.clone(),
+            name: *name,
             params: params.to_vec(),
             body,
         }))
@@ -178,7 +178,7 @@ impl CodeBuilder for SourceBuilder {
 
     fn call_global(&mut self, g: &Symbol, args: Vec<Triv>) -> App {
         self.count();
-        App::Call(Triv::Var(g.clone()), args)
+        App::Call(Triv::Var(*g), args)
     }
 
     fn prim(&mut self, p: Prim, args: Vec<Triv>) -> App {
@@ -198,12 +198,12 @@ impl CodeBuilder for SourceBuilder {
 
     fn let_serious(&mut self, x: &Symbol, rhs: App, body: Expr) -> Expr {
         self.count();
-        Expr::Let(x.clone(), Rhs::App(rhs), Box::new(body))
+        Expr::Let(*x, Rhs::App(rhs), Box::new(body))
     }
 
     fn let_triv(&mut self, x: &Symbol, rhs: Triv, body: Expr) -> Expr {
         self.count();
-        Expr::Let(x.clone(), Rhs::Triv(rhs), Box::new(body))
+        Expr::Let(*x, Rhs::Triv(rhs), Box::new(body))
     }
 
     fn if_(&mut self, t: Triv, then: Expr, els: Expr) -> Expr {
@@ -214,7 +214,7 @@ impl CodeBuilder for SourceBuilder {
     fn define(&mut self, name: &Symbol, params: &[Symbol], body: Expr) {
         self.count();
         self.defs.push(Def {
-            name: name.clone(),
+            name: *name,
             params: params.to_vec(),
             body,
         });

@@ -103,9 +103,9 @@ impl Triv {
     pub fn to_cs(&self) -> cs::Expr {
         match self {
             Triv::Const(d) => cs::Expr::Const(d.clone()),
-            Triv::Var(x) => cs::Expr::Var(x.clone()),
+            Triv::Var(x) => cs::Expr::Var(*x),
             Triv::Lambda(l) => cs::Expr::Lambda(Arc::new(cs::Lambda {
-                name: l.name.clone(),
+                name: l.name,
                 params: l.params.clone(),
                 body: l.body.to_cs(),
             })),
@@ -117,7 +117,7 @@ impl Triv {
             Triv::Const(_) => {}
             Triv::Var(x) => {
                 if !bound.contains(x) {
-                    acc.insert(x.clone());
+                    acc.insert(*x);
                 }
             }
             Triv::Lambda(l) => {
@@ -162,7 +162,7 @@ impl Expr {
                     Rhs::Triv(t) => t.to_cs(),
                     Rhs::App(a) => a.to_cs(),
                 };
-                cs::Expr::let_(x.clone(), rhs, body.to_cs())
+                cs::Expr::let_(*x, rhs, body.to_cs())
             }
             Expr::If(t, c, a) => cs::Expr::if_(t.to_cs(), c.to_cs(), a.to_cs()),
         }
@@ -177,7 +177,7 @@ impl Expr {
                     Rhs::Triv(t) => t.free_into(bound, acc),
                     Rhs::App(a) => a.free_into(bound, acc),
                 }
-                bound.push(x.clone());
+                bound.push(*x);
                 body.free_into(bound, acc);
                 bound.pop();
             }
@@ -240,7 +240,7 @@ impl Program {
                 .defs
                 .iter()
                 .map(|d| cs::Def {
-                    name: d.name.clone(),
+                    name: d.name,
                     params: d.params.clone(),
                     body: d.body.to_cs(),
                 })
@@ -335,7 +335,10 @@ mod tests {
             )),
             Box::new(Expr::Ret(Triv::Var(Symbol::new("t")))),
         );
-        let fv: Vec<String> = e.free_vars().iter().map(|s| s.to_string()).collect();
+        // Sets iterate in Symbol order (intern id, not name), so compare
+        // contents order-insensitively.
+        let mut fv: Vec<String> = e.free_vars().iter().map(|s| s.to_string()).collect();
+        fv.sort();
         assert_eq!(fv, vec!["f", "x"]);
     }
 

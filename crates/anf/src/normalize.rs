@@ -23,7 +23,7 @@ pub fn normalize(prog: &cs::Program) -> Program {
             .defs
             .iter()
             .map(|d| Def {
-                name: d.name.clone(),
+                name: d.name,
                 params: d.params.clone(),
                 body: normalize_expr(&d.body, &mut gensym),
             })
@@ -55,9 +55,7 @@ impl Norm<'_> {
                 t,
                 Box::new(move |s, tv| Expr::If(tv, Box::new(s.tail(c)), Box::new(s.tail(a)))),
             ),
-            cs::Expr::Let(x, rhs, body) => {
-                self.named(x.clone(), rhs, Box::new(move |s| s.tail(body)))
-            }
+            cs::Expr::Let(x, rhs, body) => self.named(*x, rhs, Box::new(move |s| s.tail(body))),
             cs::Expr::App(f, args) => self.name(
                 f,
                 Box::new(move |s, ft| {
@@ -91,9 +89,9 @@ impl Norm<'_> {
                 // Join point: (let ((j (lambda (r) K[r]))) (if t (j …) (j …)))
                 let j = self.gensym.fresh("join");
                 let r = self.gensym.fresh("r");
-                let jt = j.clone();
+                let jt = j;
                 let join_body = {
-                    let rv = Triv::Var(r.clone());
+                    let rv = Triv::Var(r);
                     k(self, rv)
                 };
                 let jump = move |s: &mut Norm, br: &cs::Expr, j: Symbol| {
@@ -102,8 +100,8 @@ impl Norm<'_> {
                         Box::new(move |_, bt| Expr::Tail(App::Call(Triv::Var(j), vec![bt]))),
                     )
                 };
-                let jc = jump(self, c, j.clone());
-                let ja = jump(self, a, j.clone());
+                let jc = jump(self, c, j);
+                let ja = jump(self, a, j);
                 let test_and_branch = self.name(
                     t,
                     Box::new(move |_, tv| Expr::If(tv, Box::new(jc), Box::new(ja))),
@@ -118,12 +116,10 @@ impl Norm<'_> {
                     Box::new(test_and_branch),
                 )
             }
-            cs::Expr::Let(x, rhs, body) => {
-                self.named(x.clone(), rhs, Box::new(move |s| s.name(body, k)))
-            }
+            cs::Expr::Let(x, rhs, body) => self.named(*x, rhs, Box::new(move |s| s.name(body, k))),
             cs::Expr::App(f, args) => {
                 let tmp = self.gensym.fresh("t");
-                let tmp2 = tmp.clone();
+                let tmp2 = tmp;
                 self.name(
                     f,
                     Box::new(move |s, ft| {
@@ -131,7 +127,7 @@ impl Norm<'_> {
                             args,
                             Vec::new(),
                             Box::new(move |s, argts| {
-                                let rest = k(s, Triv::Var(tmp2.clone()));
+                                let rest = k(s, Triv::Var(tmp2));
                                 Expr::Let(tmp2, Rhs::App(App::Call(ft, argts)), Box::new(rest))
                             }),
                         )
@@ -145,7 +141,7 @@ impl Norm<'_> {
                     args,
                     Vec::new(),
                     Box::new(move |s, argts| {
-                        let rest = k(s, Triv::Var(tmp.clone()));
+                        let rest = k(s, Triv::Var(tmp));
                         Expr::Let(tmp, Rhs::App(App::Prim(p, argts)), Box::new(rest))
                     }),
                 )
@@ -203,7 +199,7 @@ impl Norm<'_> {
                 )
             }
             cs::Expr::Let(y, rhs2, body2) => {
-                self.named(y.clone(), rhs2, Box::new(move |s| s.named(x, body2, then)))
+                self.named(*y, rhs2, Box::new(move |s| s.named(x, body2, then)))
             }
             cs::Expr::If(..) => {
                 // General case: produce a trivial for the conditional
@@ -220,9 +216,9 @@ impl Norm<'_> {
     fn triv(&mut self, e: &cs::Expr) -> Triv {
         match e {
             cs::Expr::Const(d) => Triv::Const(d.clone()),
-            cs::Expr::Var(x) => Triv::Var(x.clone()),
+            cs::Expr::Var(x) => Triv::Var(*x),
             cs::Expr::Lambda(l) => Triv::Lambda(Arc::new(Lambda {
-                name: l.name.clone(),
+                name: l.name,
                 params: l.params.clone(),
                 body: self.tail(&l.body),
             })),

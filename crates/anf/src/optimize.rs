@@ -67,7 +67,7 @@ fn optimize_with(p: &Program, aggressive: bool) -> Program {
             .defs
             .iter()
             .map(|d| Def {
-                name: d.name.clone(),
+                name: d.name,
                 params: d.params.clone(),
                 body: optimize_expr_with(&d.body, aggressive),
             })
@@ -105,7 +105,7 @@ fn subst_triv(t: &Triv, s: &Subst, aggressive: bool) -> Triv {
         Triv::Var(x) => s.get(x).cloned().unwrap_or_else(|| t.clone()),
         Triv::Const(_) => t.clone(),
         Triv::Lambda(l) => Triv::Lambda(Arc::new(Lambda {
-            name: l.name.clone(),
+            name: l.name,
             params: l.params.clone(),
             body: pass(&l.body, &mut shadowed(s, &l.params), aggressive),
         })),
@@ -229,17 +229,17 @@ fn pass(e: &Expr, s: &mut Subst, aggressive: bool) -> Expr {
                         Triv::Lambda(_) => uses_in_expr(body, x) <= 1,
                     };
                     if propagate {
-                        s.insert(x.clone(), t);
+                        s.insert(*x, t);
                         pass(body, s, aggressive)
                     } else {
-                        Expr::Let(x.clone(), Rhs::Triv(t), Box::new(pass(body, s, aggressive)))
+                        Expr::Let(*x, Rhs::Triv(t), Box::new(pass(body, s, aggressive)))
                     }
                 }
                 Rhs::App(a) => {
                     let a = subst_app(a, s, aggressive);
                     match simplify_app(&a, aggressive) {
                         Ok(t) => {
-                            s.insert(x.clone(), t);
+                            s.insert(*x, t);
                             pass(body, s, aggressive)
                         }
                         Err(a) => {
@@ -252,7 +252,7 @@ fn pass(e: &Expr, s: &mut Subst, aggressive: bool) -> Expr {
                             if droppable && uses_in_expr(&body2, x) == 0 {
                                 body2
                             } else {
-                                Expr::Let(x.clone(), Rhs::App(a), Box::new(body2))
+                                Expr::Let(*x, Rhs::App(a), Box::new(body2))
                             }
                         }
                     }

@@ -148,7 +148,6 @@ fn bench_interp_vs_rtcg_execution(c: &mut Criterion) {
             let g = genext.clone();
             let prog = prog.clone();
             let a = a.clone();
-            let entry = entry.clone();
             with_stack(move || {
                 // Code generation happens once; execution is measured.
                 let image = g.specialize_object(&[prog]).expect("generate");

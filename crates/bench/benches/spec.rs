@@ -1,0 +1,186 @@
+//! Cold-path phase split: where does a cold specialization request spend
+//! its time?
+//!
+//! The serving benchmarks (`serve.rs`) measure the cold path end to end;
+//! this file breaks it into its phases so an optimization PR can see
+//! *which* phase moved:
+//!
+//! * `read-front-end` — reader + desugaring + renaming + lambda lifting;
+//! * `bta` — binding-time analysis (building the generating extension);
+//! * `specialize` — the specializer producing residual ANF *source*;
+//! * `compile` — the stock byte-code compiler over that residual program;
+//! * `vm-exec` — executing the compiled residual code once;
+//! * `fused/spec-to-object` — specialize + compile as the single composed
+//!   pass of the paper, for comparison against `specialize` + `compile`.
+//!
+//! Subject: the MIXWELL interpreter specialized over its static program —
+//! the paper's headline workload. Results land in `BENCH_spec.json` so
+//! successive PRs can compare per-phase trajectories.
+
+use std::hint::black_box;
+use std::time::Instant;
+use two4one::{compile_program, with_stack, Machine, Value};
+use two4one_bench::harness::{self, Criterion};
+use two4one_bench::subjects;
+use two4one_bench::{criterion_group, criterion_main};
+
+fn bench_spec_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_phases");
+    group.sample_size(10);
+
+    let subject = subjects().remove(0); // MIXWELL
+    let src: &'static str = subject.interp_src;
+    let entry: &'static str = subject.entry;
+    let pgg = subject.pgg();
+    let parsed = subject.parsed();
+    let genext = subject.genext();
+    let statics = vec![subject.program.clone()];
+    let run_args = subject.run_args.clone();
+
+    // Phase 1: reader + front end.
+    {
+        let pgg = subject.pgg();
+        group.bench_function("read-front-end", move |b| {
+            b.iter(|| black_box(pgg.parse(src).expect("parse")))
+        });
+    }
+
+    // Phase 2: binding-time analysis (cogen builds the generating
+    // extension; the division is the compilation division of Sec. 7).
+    {
+        let parsed = parsed.clone();
+        let division = two4one::Division::new([two4one::BT::Static, two4one::BT::Dynamic]);
+        group.bench_function("bta", move |b| {
+            b.iter(|| black_box(pgg.cogen(&parsed, entry, &division).expect("cogen")))
+        });
+    }
+
+    // Phase 3: specialization to residual source (ANF). Runs on a big
+    // stack: the specializer recurses over the interpreter.
+    {
+        let g = genext.clone();
+        let s = statics.clone();
+        group.bench_function("specialize", move |b| {
+            b.iter_custom(|iters| {
+                let g = g.clone();
+                let s = s.clone();
+                with_stack(move || {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(g.specialize_source(&s).expect("specialize").size());
+                    }
+                    t0.elapsed()
+                })
+            })
+        });
+    }
+
+    // Phase 4: byte-code compilation of the residual program.
+    let residual = {
+        let g = genext.clone();
+        let s = statics.clone();
+        with_stack(move || g.specialize_source(&s).expect("residual"))
+    };
+    {
+        let residual = residual.clone();
+        group.bench_function("compile", move |b| {
+            b.iter(|| {
+                black_box(
+                    compile_program(&residual, entry)
+                        .expect("compile")
+                        .code_size(),
+                )
+            })
+        });
+    }
+
+    // Phase 5: one execution of the compiled residual code.
+    {
+        let image = compile_program(&residual, entry).expect("compile residual");
+        let args = run_args.clone();
+        group.bench_function("vm-exec", move |b| {
+            b.iter(|| {
+                let mut m = Machine::load(&image);
+                let argv = vec![Value::from(&args)];
+                black_box(m.call_global(&image.entry, argv).expect("run"))
+            })
+        });
+    }
+
+    // The composed pass: residual object code with no residual syntax
+    // tree in between — should beat `specialize` + `compile` run apart.
+    {
+        let g = genext.clone();
+        let s = statics.clone();
+        group.bench_function("fused/spec-to-object", move |b| {
+            b.iter_custom(|iters| {
+                let g = g.clone();
+                let s = s.clone();
+                with_stack(move || {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(g.specialize_object(&s).expect("fused").code_size());
+                    }
+                    t0.elapsed()
+                })
+            })
+        });
+    }
+
+    report(&group);
+}
+
+/// Prints the phase breakdown and writes the trajectory file.
+fn report(group: &harness::Group) {
+    let phase = |id: &str| -> f64 {
+        group
+            .results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median.as_secs_f64() * 1e3)
+            .unwrap_or_else(|| panic!("missing phase {id}"))
+    };
+    let read = phase("read-front-end");
+    let bta = phase("bta");
+    let spec = phase("specialize");
+    let compile = phase("compile");
+    let exec = phase("vm-exec");
+    let fused = phase("fused/spec-to-object");
+    let staged = spec + compile;
+    let total = read + bta + staged + exec;
+    println!("  cold path, MIXWELL (medians):");
+    for (name, ms) in [
+        ("read+front-end", read),
+        ("bta", bta),
+        ("specialize", spec),
+        ("compile", compile),
+        ("vm-exec", exec),
+    ] {
+        println!("    {name:<16} {ms:8.3} ms  ({:5.1}%)", 100.0 * ms / total);
+    }
+    println!("    staged spec+compile {staged:8.3} ms");
+    println!(
+        "    fused spec-to-object {fused:7.3} ms  ({:.2}x staged)",
+        staged / fused
+    );
+
+    // Anchor to the workspace root so the trajectory file lands in the
+    // same place regardless of cargo's bench working directory.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spec.json");
+    harness::write_json(path, group).expect("write BENCH_spec.json");
+    println!("  wrote BENCH_spec.json");
+
+    // Sanity floors, loose enough for a 1-sample CI smoke run: every
+    // phase must actually be measured, and the fused pass must not lose
+    // badly to running its two halves apart (it skips the residual tree).
+    for (name, ms) in [("read", read), ("bta", bta), ("spec", spec)] {
+        assert!(ms > 0.0, "phase {name} measured as zero");
+    }
+    assert!(
+        fused < staged * 1.5,
+        "fused generation ({fused:.3} ms) much slower than staged ({staged:.3} ms)"
+    );
+}
+
+criterion_group!(benches, bench_spec_phases);
+criterion_main!(benches);

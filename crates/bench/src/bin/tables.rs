@@ -24,6 +24,7 @@ fn main() {
     fig6();
     fig7();
     fig8();
+    trajectories();
 }
 
 fn measure_source(s: &Subject) -> Duration {
@@ -140,4 +141,80 @@ fn fig8() {
     println!("same order as stock Compile. The paper's Load column (compiling the");
     println!("object-code generator itself) has no analogue here: our generating");
     println!("extensions are in-memory closures and need no loading — see EXPERIMENTS.md.\n");
+}
+
+/// One row of a committed trajectory file.
+struct TrajRow {
+    id: String,
+    median_ns: u64,
+    min_ns: u64,
+}
+
+/// Parses the flat JSON the bench harness writes (one result object per
+/// line) without a JSON dependency. Lines that don't look like a result
+/// row are skipped, so a hand-edited file degrades to fewer rows, not a
+/// crash.
+fn parse_trajectory(text: &str) -> Vec<TrajRow> {
+    fn field(line: &str, key: &str) -> Option<u64> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let digits: String = rest
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit())
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+    text.lines()
+        .filter_map(|line| {
+            let rest = &line[line.find("\"id\": \"")? + 7..];
+            let id = rest[..rest.find('"')?].to_string();
+            Some(TrajRow {
+                id,
+                median_ns: field(line, "\"median_ns\":")?,
+                min_ns: field(line, "\"min_ns\":")?,
+            })
+        })
+        .collect()
+}
+
+/// Prints the committed benchmark trajectory files side by side: the
+/// cold-path phase split (`BENCH_spec.json`) and the serving throughput
+/// (`BENCH_serve.json`). Regenerate them with
+/// `cargo bench -p two4one-bench --bench spec` / `--bench serve`.
+fn trajectories() {
+    println!("## Benchmark trajectories (committed BENCH_*.json)\n");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for (file, title, note) in [
+        (
+            "BENCH_spec.json",
+            "cold-path phase split (MIXWELL)",
+            "`specialize` is the phase to watch; see DESIGN.md §10.",
+        ),
+        (
+            "BENCH_serve.json",
+            "serving throughput (24-request batches)",
+            "`cold/1-thread` is the cold-path acceptance row.",
+        ),
+    ] {
+        let path = format!("{root}/{file}");
+        let rows = match std::fs::read_to_string(&path) {
+            Ok(text) => parse_trajectory(&text),
+            Err(e) => {
+                println!("### {title}\n\n({file} unreadable: {e} — run the bench to create it)\n");
+                continue;
+            }
+        };
+        println!("### {title} — {file}\n");
+        println!("| id | median (ms) | min (ms) |");
+        println!("|---|---|---|");
+        for r in &rows {
+            println!(
+                "| {} | {:.3} | {:.3} |",
+                r.id,
+                r.median_ns as f64 / 1e6,
+                r.min_ns as f64 / 1e6,
+            );
+        }
+        println!("\n{note}\n");
+    }
 }

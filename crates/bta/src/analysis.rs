@@ -129,7 +129,7 @@ impl Analysis {
             .defs
             .iter()
             .enumerate()
-            .map(|(i, d)| (d.name.clone(), i))
+            .map(|(i, d)| (d.name, i))
             .collect();
         let mut a = Analysis {
             nodes: Vec::new(),
@@ -153,7 +153,7 @@ impl Analysis {
         for (i, d) in prog.defs.iter().enumerate() {
             let body = a.load(&d.body, i);
             a.fns.push(FnInfo {
-                name: d.name.clone(),
+                name: d.name,
                 params: d.params.clone(),
                 body,
             });
@@ -165,7 +165,7 @@ impl Analysis {
         // Seed the division.
         let entry_params = a.fns[a.entry].params.clone();
         for (p, bt) in entry_params.iter().zip(&division.params) {
-            a.bt_var.insert(p.clone(), *bt);
+            a.bt_var.insert(*p, *bt);
         }
         a
     }
@@ -173,11 +173,11 @@ impl Analysis {
     fn load(&mut self, e: &cs::Expr, owner: FnId) -> NodeId {
         let node = match e {
             cs::Expr::Const(d) => Node::Const(d.clone()),
-            cs::Expr::Var(x) => Node::Var(x.clone()),
+            cs::Expr::Var(x) => Node::Var(*x),
             cs::Expr::Lambda(l) => {
                 let body = self.load(&l.body, owner);
                 self.lams.push(LamInfo {
-                    name: l.name.clone(),
+                    name: l.name,
                     params: l.params.clone(),
                     body,
                     owner,
@@ -191,7 +191,7 @@ impl Analysis {
                 self.load(alt, owner),
             ),
             cs::Expr::Let(x, rhs, body) => {
-                Node::Let(x.clone(), self.load(rhs, owner), self.load(body, owner))
+                Node::Let(*x, self.load(rhs, owner), self.load(body, owner))
             }
             cs::Expr::App(f, args) => {
                 let f = self.load(f, owner);
@@ -297,7 +297,7 @@ impl Analysis {
                     }
                     Node::Let(x, rhs, body) => {
                         let rhs_flow = self.flow_node[*rhs].clone();
-                        let entry = self.flow_var.entry(x.clone()).or_default();
+                        let entry = self.flow_var.entry(*x).or_default();
                         let before = entry.len();
                         entry.extend(rhs_flow);
                         changed |= entry.len() != before;
@@ -314,7 +314,7 @@ impl Analysis {
                             };
                             for (p, arg) in params.iter().zip(&args) {
                                 let arg_flow = self.flow_node[*arg].clone();
-                                let entry = self.flow_var.entry(p.clone()).or_default();
+                                let entry = self.flow_var.entry(*p).or_default();
                                 let before = entry.len();
                                 entry.extend(arg_flow);
                                 changed |= entry.len() != before;
@@ -379,7 +379,7 @@ impl Analysis {
     }
 
     fn raise_var(&mut self, x: &Symbol, bt: BT, changed: &mut bool) {
-        let cur = self.bt_var.entry(x.clone()).or_insert(BT::Static);
+        let cur = self.bt_var.entry(*x).or_insert(BT::Static);
         let new = cur.lub(bt);
         if new != *cur {
             *cur = new;
@@ -483,7 +483,7 @@ impl Analysis {
                         }
                     }
                     Node::Let(x, rhs, body) => {
-                        let (x, rhs, body) = (x.clone(), *rhs, *body);
+                        let (x, rhs, body) = (*x, *rhs, *body);
                         self.raise_var(&x, self.bt_node[rhs], &mut changed);
                         self.bt_node[body]
                     }

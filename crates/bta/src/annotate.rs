@@ -26,12 +26,12 @@ pub fn reconstruct(a: &Analysis) -> AProgram {
             // Closures escaping through those boundaries are handled in
             // the analysis (escape rules), not by a syntactic lift.
             ADef {
-                name: f.name.clone(),
+                name: f.name,
                 params: f
                     .params
                     .iter()
                     .map(|p| AParam {
-                        name: p.clone(),
+                        name: *p,
                         bt: a.bt_var.get(p).copied().unwrap_or(BT::Static),
                     })
                     .collect(),
@@ -61,12 +61,12 @@ fn annotate(a: &Analysis, n: NodeId, demand: bool) -> AExpr {
     }
     match &a.nodes[n] {
         Node::Const(d) => AExpr::Const(d.clone()),
-        Node::Var(x) => AExpr::Var(x.clone()),
+        Node::Var(x) => AExpr::Var(*x),
         Node::Lam(l) => {
             let info = &a.lams[*l];
             let lam = |body| {
                 Arc::new(ALambda {
-                    name: info.name.clone(),
+                    name: info.name,
                     params: info.params.clone(),
                     body,
                 })
@@ -93,7 +93,7 @@ fn annotate(a: &Analysis, n: NodeId, demand: bool) -> AExpr {
             }
         }
         Node::Let(x, rhs, body) => AExpr::Let(
-            x.clone(),
+            *x,
             Arc::new(annotate(a, *rhs, false)),
             Arc::new(annotate(a, *body, demand)),
         ),

@@ -158,7 +158,7 @@ pub fn bta_with(
     let entry_sym = Symbol::new(entry);
     let edef = prog
         .def(&entry_sym)
-        .ok_or_else(|| BtaError::NoSuchEntry(entry_sym.clone()))?;
+        .ok_or(BtaError::NoSuchEntry(entry_sym))?;
     if edef.params.len() != division.params.len() {
         return Err(BtaError::DivisionArity {
             entry: entry_sym,
@@ -174,10 +174,10 @@ pub fn bta_with(
 
 fn check_unique_binders(prog: &cs::Program) -> Result<(), BtaError> {
     fn add(x: &Symbol, seen: &mut HashSet<Symbol>) -> Result<(), BtaError> {
-        if seen.insert(x.clone()) {
+        if seen.insert(*x) {
             Ok(())
         } else {
-            Err(BtaError::NonUniqueBinder(x.clone()))
+            Err(BtaError::NonUniqueBinder(*x))
         }
     }
     fn walk(e: &cs::Expr, seen: &mut HashSet<Symbol>) -> Result<(), BtaError> {
@@ -209,8 +209,8 @@ fn check_unique_binders(prog: &cs::Program) -> Result<(), BtaError> {
     let mut seen = HashSet::new();
     for d in &prog.defs {
         for p in &d.params {
-            if !seen.insert(p.clone()) {
-                return Err(BtaError::NonUniqueBinder(p.clone()));
+            if !seen.insert(*p) {
+                return Err(BtaError::NonUniqueBinder(*p));
             }
         }
         walk(&d.body, &mut seen)?;

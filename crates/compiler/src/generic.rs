@@ -50,10 +50,10 @@ pub enum Cont {
 ///
 /// Returns a [`CompileError`] on unbound variables or encoding overflows.
 pub fn compile_program_generic(p: &Program, entry: &str) -> Result<Image, CompileError> {
-    let globals: BTreeSet<Symbol> = p.defs.iter().map(|d| d.name.clone()).collect();
+    let globals: BTreeSet<Symbol> = p.defs.iter().map(|d| d.name).collect();
     let mut templates = Vec::with_capacity(p.defs.len());
     for d in &p.defs {
-        templates.push((d.name.clone(), compile_def_generic(d, &globals)?));
+        templates.push((d.name, compile_def_generic(d, &globals)?));
     }
     Ok(Image {
         templates,
@@ -72,10 +72,10 @@ pub fn compile_def_generic(
 ) -> Result<Arc<Template>, CompileError> {
     let arity =
         u8::try_from(d.params.len()).map_err(|_| CompileError::TooManyArgs(d.params.len()))?;
-    let mut asm = Asm::new(d.name.clone(), arity, 0);
+    let mut asm = Asm::new(d.name, arity, 0);
     let mut cenv = CEnv::empty();
     for (i, p) in d.params.iter().enumerate() {
-        cenv = cenv.bind(p.clone(), Loc::Local(i as u16));
+        cenv = cenv.bind(*p, Loc::Local(i as u16));
     }
     compile(
         &d.body,
@@ -108,7 +108,7 @@ fn compile(
             match cenv.lookup(x) {
                 Some(loc) => emit::emit_var(asm, loc),
                 None if globals.contains(x) => emit::emit_global(asm, x)?,
-                None => return Err(CompileError::Unbound(x.clone())),
+                None => return Err(CompileError::Unbound(*x)),
             }
             finish(asm, cont);
             Ok(())
@@ -126,7 +126,7 @@ fn compile(
                     emit::emit_var(asm, loc);
                     Ok(())
                 }
-                None => Err(CompileError::Unbound(x.clone())),
+                None => Err(CompileError::Unbound(*x)),
             })?;
             finish(asm, cont);
             Ok(())
@@ -159,7 +159,7 @@ fn compile(
         Expr::Let(x, rhs, body) => {
             compile(rhs, asm, cenv, depth, globals, Cont::Next)?;
             emit::emit_bind(asm);
-            let inner = cenv.bind(x.clone(), Loc::Local(depth));
+            let inner = cenv.bind(*x, Loc::Local(depth));
             compile(body, asm, &inner, depth + 1, globals, cont)
             // On `Cont::Next` the binding stays live until an enclosing
             // conditional trims or the frame returns; locals are
@@ -199,13 +199,13 @@ fn compile_lambda_generic(
     let arity =
         u8::try_from(l.params.len()).map_err(|_| CompileError::TooManyArgs(l.params.len()))?;
     let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
-    let mut asm = Asm::new(l.name.clone(), arity, nfree);
+    let mut asm = Asm::new(l.name, arity, nfree);
     let mut cenv = CEnv::empty();
     for (i, p) in l.params.iter().enumerate() {
-        cenv = cenv.bind(p.clone(), Loc::Local(i as u16));
+        cenv = cenv.bind(*p, Loc::Local(i as u16));
     }
     for (i, v) in free.iter().enumerate() {
-        cenv = cenv.bind(v.clone(), Loc::Captured(i as u16));
+        cenv = cenv.bind(*v, Loc::Captured(i as u16));
     }
     compile(
         &l.body,

@@ -91,10 +91,10 @@ impl From<AsmError> for CompileError {
 /// # }
 /// ```
 pub fn compile_program(p: &anf::Program, entry: &str) -> Result<Image, CompileError> {
-    let globals: BTreeSet<Symbol> = p.defs.iter().map(|d| d.name.clone()).collect();
+    let globals: BTreeSet<Symbol> = p.defs.iter().map(|d| d.name).collect();
     let mut templates = Vec::with_capacity(p.defs.len());
     for d in &p.defs {
-        templates.push((d.name.clone(), compile_def(d, &globals)?));
+        templates.push((d.name, compile_def(d, &globals)?));
     }
     Ok(Image {
         templates,
@@ -113,10 +113,10 @@ pub fn compile_def(
 ) -> Result<Arc<Template>, CompileError> {
     let arity =
         u8::try_from(d.params.len()).map_err(|_| CompileError::TooManyArgs(d.params.len()))?;
-    let mut asm = Asm::new(d.name.clone(), arity, 0);
+    let mut asm = Asm::new(d.name, arity, 0);
     let mut cenv = CEnv::empty();
     for (i, p) in d.params.iter().enumerate() {
-        cenv = cenv.bind(p.clone(), Loc::Local(i as u16));
+        cenv = cenv.bind(*p, Loc::Local(i as u16));
     }
     let depth = d.params.len() as u16;
     compile_body(&d.body, &mut asm, &cenv, depth, globals)?;
@@ -176,7 +176,7 @@ pub fn compile_body(
                 }
             }
             emit::emit_bind(asm);
-            let inner = cenv.bind(x.clone(), Loc::Local(depth));
+            let inner = cenv.bind(*x, Loc::Local(depth));
             compile_body(body, asm, &inner, depth + 1, globals)
         }
         anf::Expr::If(t, then, els) => {
@@ -227,7 +227,7 @@ pub fn compile_triv(
                 Ok(())
             }
             None if globals.contains(x) => emit::emit_global(asm, x),
-            None => Err(CompileError::Unbound(x.clone())),
+            None => Err(CompileError::Unbound(*x)),
         },
         anf::Triv::Lambda(l) => {
             let free = lambda_free_vars(l, globals);
@@ -237,7 +237,7 @@ pub fn compile_triv(
                     emit::emit_var(asm, loc);
                     Ok(())
                 }
-                None => Err(CompileError::Unbound(x.clone())),
+                None => Err(CompileError::Unbound(*x)),
             })
         }
     }
@@ -266,13 +266,13 @@ pub fn compile_lambda(
     let arity =
         u8::try_from(l.params.len()).map_err(|_| CompileError::TooManyArgs(l.params.len()))?;
     let nfree = u16::try_from(free.len()).map_err(|_| CompileError::TooManyArgs(free.len()))?;
-    let mut asm = Asm::new(l.name.clone(), arity, nfree);
+    let mut asm = Asm::new(l.name, arity, nfree);
     let mut cenv = CEnv::empty();
     for (i, p) in l.params.iter().enumerate() {
-        cenv = cenv.bind(p.clone(), Loc::Local(i as u16));
+        cenv = cenv.bind(*p, Loc::Local(i as u16));
     }
     for (i, v) in free.iter().enumerate() {
-        cenv = cenv.bind(v.clone(), Loc::Captured(i as u16));
+        cenv = cenv.bind(*v, Loc::Captured(i as u16));
     }
     compile_body(&l.body, &mut asm, &cenv, l.params.len() as u16, globals)?;
     Ok(asm.finish()?)

@@ -89,7 +89,7 @@ fn emit_triv(t: &ObjTriv, asm: &mut Asm, cenv: &CEnv) -> Result<(), CompileError
                 emit::emit_var(asm, loc);
                 Ok(())
             }
-            None => Err(CompileError::Unbound(x.clone())),
+            None => Err(CompileError::Unbound(*x)),
         },
         ObjTriv::Global(g) => emit::emit_global(asm, g),
         ObjTriv::Closure { template, free } => {
@@ -98,7 +98,7 @@ fn emit_triv(t: &ObjTriv, asm: &mut Asm, cenv: &CEnv) -> Result<(), CompileError
                     emit::emit_var(asm, loc);
                     Ok(())
                 }
-                None => Err(CompileError::Unbound(x.clone())),
+                None => Err(CompileError::Unbound(*x)),
             })
         }
     }
@@ -201,13 +201,13 @@ impl ObjectBuilder {
                 return None;
             }
         };
-        let mut asm = Asm::new(name.clone(), arity, nfree);
+        let mut asm = Asm::new(*name, arity, nfree);
         let mut cenv = CEnv::empty();
         for (i, p) in params.iter().enumerate() {
-            cenv = cenv.bind(p.clone(), Loc::Local(i as u16));
+            cenv = cenv.bind(*p, Loc::Local(i as u16));
         }
         for (i, v) in free.iter().enumerate() {
-            cenv = cenv.bind(v.clone(), Loc::Captured(i as u16));
+            cenv = cenv.bind(*v, Loc::Captured(i as u16));
         }
         match body
             .emit(&mut asm, &cenv, params.len() as u16)
@@ -243,12 +243,12 @@ impl CodeBuilder for ObjectBuilder {
 
     fn var(&mut self, x: &Symbol) -> ObjTriv {
         self.count();
-        ObjTriv::Var(x.clone())
+        ObjTriv::Var(*x)
     }
 
     fn global(&mut self, x: &Symbol) -> ObjTriv {
         self.count();
-        ObjTriv::Global(x.clone())
+        ObjTriv::Global(*x)
     }
 
     fn lambda(
@@ -275,7 +275,7 @@ impl CodeBuilder for ObjectBuilder {
 
     fn call_global(&mut self, g: &Symbol, args: Vec<ObjTriv>) -> ObjSerious {
         self.count();
-        ObjSerious::CallGlobal(g.clone(), args)
+        ObjSerious::CallGlobal(*g, args)
     }
 
     fn prim(&mut self, p: Prim, args: Vec<ObjTriv>) -> ObjSerious {
@@ -299,22 +299,22 @@ impl CodeBuilder for ObjectBuilder {
 
     fn let_serious(&mut self, x: &Symbol, rhs: ObjSerious, body: ObjCode) -> ObjCode {
         self.count();
-        let x = x.clone();
+        let x = *x;
         ObjCode::new(move |asm, cenv, depth| {
             emit_serious(&rhs, asm, cenv, false)?;
             emit::emit_bind(asm);
-            let inner = cenv.bind(x.clone(), Loc::Local(depth));
+            let inner = cenv.bind(x, Loc::Local(depth));
             body.emit(asm, &inner, depth + 1)
         })
     }
 
     fn let_triv(&mut self, x: &Symbol, rhs: ObjTriv, body: ObjCode) -> ObjCode {
         self.count();
-        let x = x.clone();
+        let x = *x;
         ObjCode::new(move |asm, cenv, depth| {
             emit_triv(&rhs, asm, cenv)?;
             emit::emit_bind(asm);
-            let inner = cenv.bind(x.clone(), Loc::Local(depth));
+            let inner = cenv.bind(x, Loc::Local(depth));
             body.emit(asm, &inner, depth + 1)
         })
     }
@@ -333,7 +333,7 @@ impl CodeBuilder for ObjectBuilder {
     fn define(&mut self, name: &Symbol, params: &[Symbol], body: ObjCode) {
         self.count();
         if let Some(t) = self.compile_closed(name, params, &[], &body) {
-            self.defs.push((name.clone(), t));
+            self.defs.push((*name, t));
         }
     }
 
@@ -348,7 +348,7 @@ impl CodeBuilder for ObjectBuilder {
         }
         Ok(Image {
             templates: self.defs,
-            entry: entry.clone(),
+            entry: *entry,
         })
     }
 

@@ -48,6 +48,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
 
 pub use two4one_anf::{self as anf, Program as AnfProgram, SourceBuilder};
 pub use two4one_bta::{Division, Options as BtaOptions};
@@ -256,6 +257,7 @@ impl Pgg {
                 aprog,
                 entry: Symbol::new(entry),
                 options,
+                identity: Arc::new(OnceLock::new()),
             })
         })
     }
@@ -269,6 +271,9 @@ pub struct GenExt {
     aprog: AProgram,
     entry: Symbol,
     options: SpecOptions,
+    /// Lazily rendered cache identity, shared by all clones of this
+    /// extension (see [`GenExt::cache_identity`]).
+    identity: Arc<OnceLock<Arc<str>>>,
 }
 
 impl GenExt {
@@ -280,6 +285,17 @@ impl GenExt {
     /// The entry point.
     pub fn entry(&self) -> &Symbol {
         &self.entry
+    }
+
+    /// The cache identity of this generating extension: the annotated
+    /// program rendered to text plus its specialization options (two
+    /// extensions differing only in, say, fuel must not share residual
+    /// code). Rendered **once** and shared by every clone, so a serving
+    /// layer can key its result cache per request without re-rendering
+    /// the program each time.
+    pub fn cache_identity(&self) -> &str {
+        self.identity
+            .get_or_init(|| format!("{}\u{0}{:?}", self.aprog, self.options).into())
     }
 
     /// Specializes to residual **source** (ANF Scheme).
@@ -390,8 +406,10 @@ impl GenExt {
     pub fn with_options(&self, options: SpecOptions) -> GenExt {
         GenExt {
             aprog: self.aprog.clone(),
-            entry: self.entry.clone(),
+            entry: self.entry,
             options,
+            // Fresh cell: options are part of the identity.
+            identity: Arc::new(OnceLock::new()),
         }
     }
 }

@@ -33,7 +33,7 @@ pub fn eliminate_assignments(tops: Vec<STop>, gensym: &mut Gensym) -> Vec<STop> 
                 if mutated.contains(&p) {
                     let raw = gensym.fresh(p.as_str());
                     body = SExpr::Let(
-                        vec![(p, SExpr::Prim(Prim::BoxNew, vec![SExpr::Var(raw.clone())]))],
+                        vec![(p, SExpr::Prim(Prim::BoxNew, vec![SExpr::Var(raw)]))],
                         Box::new(body),
                     );
                     params.push(raw);
@@ -54,7 +54,7 @@ pub fn eliminate_assignments(tops: Vec<STop>, gensym: &mut Gensym) -> Vec<STop> 
 fn collect_mutated(e: &SExpr, out: &mut HashSet<Symbol>) {
     match e {
         SExpr::Set(x, rhs) => {
-            out.insert(x.clone());
+            out.insert(*x);
             collect_mutated(rhs, out);
         }
         SExpr::Lambda { body, .. } => collect_mutated(body, out),
@@ -98,7 +98,7 @@ fn rewrite(e: SExpr, cellified: &mut HashSet<Symbol>, gensym: &mut Gensym) -> SE
                 if cellified.contains(&p) {
                     let raw = gensym.fresh(p.as_str());
                     body = SExpr::Let(
-                        vec![(p, SExpr::Prim(Prim::BoxNew, vec![SExpr::Var(raw.clone())]))],
+                        vec![(p, SExpr::Prim(Prim::BoxNew, vec![SExpr::Var(raw)]))],
                         Box::new(body),
                     );
                     new_params.push(raw);
@@ -146,13 +146,13 @@ fn rewrite(e: SExpr, cellified: &mut HashSet<Symbol>, gensym: &mut Gensym) -> SE
                 // Lower to cells:
                 //   (let ((x (box #f)) ...) (set-box! x rhs) ... body)
                 for (x, _) in &bs {
-                    cellified.insert(x.clone());
+                    cellified.insert(*x);
                 }
                 let binders: Vec<(Symbol, SExpr)> = bs
                     .iter()
                     .map(|(x, _)| {
                         (
-                            x.clone(),
+                            *x,
                             SExpr::Prim(Prim::BoxNew, vec![SExpr::Const(Datum::Bool(false))]),
                         )
                     })

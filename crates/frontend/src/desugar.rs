@@ -71,7 +71,7 @@ fn desugar_define(parts: &[Datum], whole: &Datum) -> Res<STop> {
             let rhs = desugar_expr(&parts[1])?;
             match rhs {
                 SExpr::Lambda { params, body, .. } => Ok(STop {
-                    name: name.clone(),
+                    name: *name,
                     params,
                     body: *body,
                 }),
@@ -103,7 +103,7 @@ pub fn desugar_body(forms: &[Datum]) -> Res<SExpr> {
                 Datum::Pair(_) => {
                     let top = desugar_define(&parts, &forms[i])?;
                     defs.push((
-                        top.name.clone(),
+                        top.name,
                         SExpr::Lambda {
                             name: top.name,
                             params: top.params,
@@ -116,7 +116,7 @@ pub fn desugar_body(forms: &[Datum]) -> Res<SExpr> {
                     if parts.len() != 2 {
                         return err(format!("bad definition `{}`", forms[i]));
                     }
-                    defs.push((name.clone(), desugar_expr(&parts[1])?));
+                    defs.push((*name, desugar_expr(&parts[1])?));
                 }
                 _ => return err(format!("bad definition `{}`", forms[i])),
             }
@@ -149,7 +149,7 @@ pub fn desugar_body(forms: &[Datum]) -> Res<SExpr> {
 /// Returns [`FrontError::Syntax`] on malformed special forms.
 pub fn desugar_expr(d: &Datum) -> Res<SExpr> {
     match d {
-        Datum::Sym(s) => Ok(SExpr::Var(s.clone())),
+        Datum::Sym(s) => Ok(SExpr::Var(*s)),
         _ if d.is_self_evaluating() => Ok(SExpr::Const(d.clone())),
         Datum::Nil => err("empty application `()`"),
         Datum::Pair(_) => {
@@ -300,13 +300,13 @@ fn desugar_let(args: &[Datum], whole: &Datum) -> Res<SExpr> {
         let body = desugar_body(&args[2..])?;
         let (params, inits): (Vec<_>, Vec<_>) = bindings.into_iter().unzip();
         let lambda = SExpr::Lambda {
-            name: loop_name.clone(),
+            name: *loop_name,
             params,
             body: Box::new(body),
         };
         return Ok(SExpr::Letrec(
-            vec![(loop_name.clone(), lambda)],
-            Box::new(SExpr::app(SExpr::Var(loop_name.clone()), inits)),
+            vec![(*loop_name, lambda)],
+            Box::new(SExpr::app(SExpr::Var(*loop_name), inits)),
         ));
     }
     let bindings = desugar_bindings(&args[0])?;
@@ -340,8 +340,8 @@ fn desugar_cond(clauses: &[Datum], whole: &Datum) -> Res<SExpr> {
         // because user identifiers never contain `%`.
         let tmp = Symbol::new("t%cond");
         Ok(SExpr::Let(
-            vec![(tmp.clone(), test)],
-            Box::new(SExpr::if_(SExpr::Var(tmp.clone()), SExpr::Var(tmp), rest)),
+            vec![(tmp, test)],
+            Box::new(SExpr::if_(SExpr::Var(tmp), SExpr::Var(tmp), rest)),
         ))
     } else {
         Ok(SExpr::if_(test, desugar_body(&clause[1..])?, rest))
@@ -371,7 +371,7 @@ fn desugar_case(args: &[Datum], whole: &Datum) -> Res<SExpr> {
             // (memv key '(d1 d2 ...)) — our memq uses eqv? semantics.
             let test = SExpr::app(
                 SExpr::var("memq"),
-                vec![SExpr::Var(tmp.clone()), SExpr::Const(parts[0].clone())],
+                vec![SExpr::Var(tmp), SExpr::Const(parts[0].clone())],
             );
             acc = SExpr::if_(test, body, acc);
         }
@@ -398,9 +398,9 @@ fn desugar_or(args: &[Datum]) -> Res<SExpr> {
         [e, rest @ ..] => {
             let tmp = Symbol::new("t%or");
             Ok(SExpr::Let(
-                vec![(tmp.clone(), desugar_expr(e)?)],
+                vec![(tmp, desugar_expr(e)?)],
                 Box::new(SExpr::if_(
-                    SExpr::Var(tmp.clone()),
+                    SExpr::Var(tmp),
                     SExpr::Var(tmp),
                     desugar_or(rest)?,
                 )),

@@ -29,7 +29,7 @@ struct Lifted {
 /// Returns [`FrontError::Syntax`] if a `letrec` with non-lambda right-hand
 /// sides survived assignment elimination (an internal invariant violation).
 pub fn lift_program(tops: Vec<STop>, gensym: &mut Gensym) -> Result<Vec<STop>, FrontError> {
-    let globals: HashSet<Symbol> = tops.iter().map(|t| t.name.clone()).collect();
+    let globals: HashSet<Symbol> = tops.iter().map(|t| t.name).collect();
     let mut out: Vec<STop> = Vec::new();
     let mut lifter = Lifter {
         gensym,
@@ -66,7 +66,7 @@ fn free_vars(e: &SExpr, globals: &HashSet<Symbol>) -> BTreeSet<Symbol> {
             SExpr::Const(_) => {}
             SExpr::Var(x) => {
                 if !bound.contains(x) && !globals.contains(x) {
-                    acc.insert(x.clone());
+                    acc.insert(*x);
                 }
             }
             SExpr::Lambda { params, body, .. } => {
@@ -85,13 +85,13 @@ fn free_vars(e: &SExpr, globals: &HashSet<Symbol>) -> BTreeSet<Symbol> {
                     go(rhs, bound, globals, acc);
                 }
                 let n = bound.len();
-                bound.extend(bs.iter().map(|(x, _)| x.clone()));
+                bound.extend(bs.iter().map(|(x, _)| *x));
                 go(body, bound, globals, acc);
                 bound.truncate(n);
             }
             SExpr::Letrec(bs, body) => {
                 let n = bound.len();
-                bound.extend(bs.iter().map(|(x, _)| x.clone()));
+                bound.extend(bs.iter().map(|(x, _)| *x));
                 for (_, rhs) in bs {
                     go(rhs, bound, globals, acc);
                 }
@@ -100,7 +100,7 @@ fn free_vars(e: &SExpr, globals: &HashSet<Symbol>) -> BTreeSet<Symbol> {
             }
             SExpr::Set(x, rhs) => {
                 if !bound.contains(x) && !globals.contains(x) {
-                    acc.insert(x.clone());
+                    acc.insert(*x);
                 }
                 go(rhs, bound, globals, acc);
             }
@@ -160,7 +160,7 @@ impl Lifter<'_> {
     fn lift_group(&mut self, bs: Vec<(Symbol, SExpr)>, body: SExpr) -> Result<SExpr, FrontError> {
         // 1. Recurse first so inner letrecs are already lifted and free
         //    variables are accurate.
-        let group_names: Vec<Symbol> = bs.iter().map(|(x, _)| x.clone()).collect();
+        let group_names: Vec<Symbol> = bs.iter().map(|(x, _)| *x).collect();
         let group_set: HashSet<Symbol> = group_names.iter().cloned().collect();
         let mut lambdas = Vec::with_capacity(bs.len());
         for (x, rhs) in bs {
@@ -223,9 +223,9 @@ impl Lifter<'_> {
         let mut table: HashMap<Symbol, Lifted> = HashMap::new();
         for (i, (x, _, params, _)) in lambdas.iter().enumerate() {
             let global = self.gensym.fresh(x.as_str());
-            self.globals.insert(global.clone());
+            self.globals.insert(global);
             table.insert(
-                x.clone(),
+                *x,
                 Lifted {
                     global,
                     extras: extras[i].iter().cloned().collect(),
@@ -264,7 +264,7 @@ fn rewrite_refs(e: SExpr, table: &HashMap<Symbol, Lifted>, gensym: &mut Gensym) 
                 SExpr::Lambda {
                     name: x,
                     params,
-                    body: Box::new(SExpr::app(SExpr::Var(info.global.clone()), args)),
+                    body: Box::new(SExpr::app(SExpr::Var(info.global), args)),
                 }
             }
         },
@@ -306,7 +306,7 @@ fn rewrite_refs(e: SExpr, table: &HashMap<Symbol, Lifted>, gensym: &mut Gensym) 
                     let mut full: Vec<SExpr> =
                         info.extras.iter().cloned().map(SExpr::Var).collect();
                     full.extend(args);
-                    return SExpr::app(SExpr::Var(info.global.clone()), full);
+                    return SExpr::app(SExpr::Var(info.global), full);
                 }
             }
             SExpr::app(rewrite_refs(*f, table, gensym), args)

@@ -32,7 +32,7 @@ type Env = HashMap<Symbol, Symbol>;
 pub fn rename_program(tops: Vec<STop>, gensym: &mut Gensym) -> Res<Vec<STop>> {
     let mut globals = HashSet::new();
     for t in &tops {
-        if !globals.insert(t.name.clone()) {
+        if !globals.insert(t.name) {
             return Err(FrontError::Syntax(format!(
                 "duplicate definition of `{}`",
                 t.name
@@ -48,7 +48,7 @@ pub fn rename_program(tops: Vec<STop>, gensym: &mut Gensym) -> Res<Vec<STop>> {
                 .iter()
                 .map(|p| {
                     let fresh = r.gensym.fresh(p.as_str());
-                    env.insert(p.clone(), fresh.clone());
+                    env.insert(*p, fresh);
                     fresh
                 })
                 .collect();
@@ -93,7 +93,7 @@ impl Renamer<'_> {
                     .iter()
                     .map(|p| {
                         let fresh = self.gensym.fresh(p.as_str());
-                        inner.insert(p.clone(), fresh.clone());
+                        inner.insert(*p, fresh);
                         fresh
                     })
                     .collect();
@@ -118,7 +118,7 @@ impl Renamer<'_> {
                     .collect::<Res<Vec<_>>>()?;
                 for (x, rhs) in renamed_rhs {
                     let fresh = self.gensym.fresh(x.as_str());
-                    inner.insert(x, fresh.clone());
+                    inner.insert(x, fresh);
                     out.push((fresh, rhs));
                 }
                 Ok(SExpr::Let(out, Box::new(self.expr(*body, &inner)?)))
@@ -129,7 +129,7 @@ impl Renamer<'_> {
                     .iter()
                     .map(|(x, _)| {
                         let fresh = self.gensym.fresh(x.as_str());
-                        inner.insert(x.clone(), fresh.clone());
+                        inner.insert(*x, fresh);
                         fresh
                     })
                     .collect();
@@ -143,7 +143,7 @@ impl Renamer<'_> {
             SExpr::Set(x, rhs) => {
                 let rhs = self.expr(*rhs, env)?;
                 match env.get(&x) {
-                    Some(fresh) => Ok(SExpr::Set(fresh.clone(), Box::new(rhs))),
+                    Some(fresh) => Ok(SExpr::Set(*fresh, Box::new(rhs))),
                     None if self.globals.contains(&x) => Err(FrontError::Syntax(format!(
                         "`set!` on top-level `{x}` is not supported"
                     ))),
@@ -201,7 +201,7 @@ impl Renamer<'_> {
 
     fn var_ref(&mut self, x: Symbol, env: &Env) -> Res<SExpr> {
         if let Some(fresh) = env.get(&x) {
-            return Ok(SExpr::Var(fresh.clone()));
+            return Ok(SExpr::Var(*fresh));
         }
         if self.globals.contains(&x) {
             return Ok(SExpr::Var(x));
@@ -212,7 +212,7 @@ impl Renamer<'_> {
                 Arity::Exact(n) => {
                     let params: Vec<Symbol> = (0..n).map(|_| self.gensym.fresh("a")).collect();
                     Ok(SExpr::Lambda {
-                        name: x.clone(),
+                        name: x,
                         params: params.clone(),
                         body: Box::new(SExpr::Prim(
                             p,
@@ -229,8 +229,8 @@ impl Renamer<'_> {
         if is_cxr(x.as_str()) {
             let param = self.gensym.fresh("a");
             return Ok(SExpr::Lambda {
-                name: x.clone(),
-                params: vec![param.clone()],
+                name: x,
+                params: vec![param],
                 body: Box::new(cxr_chain(x.as_str(), SExpr::Var(param)).expect("is_cxr")),
             });
         }
@@ -278,7 +278,7 @@ mod tests {
                 }
                 SExpr::Let(bs, body) | SExpr::Letrec(bs, body) => {
                     for (x, rhs) in bs {
-                        out.push(x.clone());
+                        out.push(*x);
                         collect_binders(rhs, out);
                     }
                     collect_binders(body, out);
@@ -369,7 +369,7 @@ mod tests {
         match &tops[0].body {
             SExpr::Let(bs, _) => {
                 let outer_x = &tops[0].params[0];
-                assert_eq!(bs[1].1, SExpr::Var(outer_x.clone()));
+                assert_eq!(bs[1].1, SExpr::Var(*outer_x));
             }
             other => panic!("{other:?}"),
         }
@@ -381,7 +381,7 @@ mod tests {
         match &tops[0].body {
             SExpr::Letrec(bs, _) => match &bs[0].1 {
                 SExpr::Lambda { body, .. } => match &**body {
-                    SExpr::App(f, _) => assert_eq!(**f, SExpr::Var(bs[0].0.clone())),
+                    SExpr::App(f, _) => assert_eq!(**f, SExpr::Var(bs[0].0)),
                     other => panic!("{other:?}"),
                 },
                 other => panic!("{other:?}"),

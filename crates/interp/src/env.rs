@@ -2,6 +2,11 @@
 //!
 //! Shared by the interpreter and the specializer (which stores
 //! partial-evaluation-time values in the same shape).
+//!
+//! A frame holds either a single binding or an inline slice of bindings
+//! ([`Env::extend_many`]): binding all parameters of a call or unfold in
+//! one frame costs one `Arc` instead of one per parameter, which matters
+//! to the specializer — it rebuilds environments at every unfold.
 
 use std::sync::Arc;
 use two4one_syntax::symbol::Symbol;
@@ -15,9 +20,16 @@ use two4one_syntax::symbol::Symbol;
 pub struct Env<V>(Option<Arc<Node<V>>>);
 
 #[derive(Debug)]
+enum Bindings<V> {
+    /// A single binding, stored inline.
+    One(Symbol, V),
+    /// A whole parameter list bound at once.
+    Many(Box<[(Symbol, V)]>),
+}
+
+#[derive(Debug)]
 struct Node<V> {
-    name: Symbol,
-    value: V,
+    binds: Bindings<V>,
     next: Env<V>,
 }
 
@@ -44,18 +56,45 @@ impl<V: Clone> Env<V> {
     /// Extends with one binding, returning the new environment.
     pub fn extend(&self, name: Symbol, value: V) -> Env<V> {
         Env(Some(Arc::new(Node {
-            name,
-            value,
+            binds: Bindings::One(name, value),
             next: self.clone(),
         })))
+    }
+
+    /// Extends with a whole group of bindings in **one frame** (one `Arc`).
+    /// Within the group, later bindings shadow earlier ones, exactly as if
+    /// they had been [`Env::extend`]ed left to right.
+    pub fn extend_many(&self, binds: impl IntoIterator<Item = (Symbol, V)>) -> Env<V> {
+        let mut binds: Vec<(Symbol, V)> = binds.into_iter().collect();
+        match binds.len() {
+            0 => self.clone(),
+            1 => {
+                let (name, value) = binds.remove(0);
+                self.extend(name, value)
+            }
+            _ => Env(Some(Arc::new(Node {
+                binds: Bindings::Many(binds.into_boxed_slice()),
+                next: self.clone(),
+            }))),
+        }
     }
 
     /// Looks up the innermost binding of `name`.
     pub fn lookup(&self, name: &Symbol) -> Option<V> {
         let mut cur = &self.0;
         while let Some(node) = cur {
-            if &node.name == name {
-                return Some(node.value.clone());
+            match &node.binds {
+                Bindings::One(n, v) => {
+                    if n == name {
+                        return Some(v.clone());
+                    }
+                }
+                Bindings::Many(bs) => {
+                    // Reverse: later bindings in the frame shadow earlier.
+                    if let Some((_, v)) = bs.iter().rev().find(|(n, _)| n == name) {
+                        return Some(v.clone());
+                    }
+                }
             }
             cur = &node.next.0;
         }
@@ -66,7 +105,11 @@ impl<V: Clone> Env<V> {
     pub fn contains(&self, name: &Symbol) -> bool {
         let mut cur = &self.0;
         while let Some(node) = cur {
-            if &node.name == name {
+            let found = match &node.binds {
+                Bindings::One(n, _) => n == name,
+                Bindings::Many(bs) => bs.iter().any(|(n, _)| n == name),
+            };
+            if found {
                 return true;
             }
             cur = &node.next.0;
@@ -79,7 +122,10 @@ impl<V: Clone> Env<V> {
         let mut n = 0;
         let mut cur = &self.0;
         while let Some(node) = cur {
-            n += 1;
+            n += match &node.binds {
+                Bindings::One(..) => 1,
+                Bindings::Many(bs) => bs.len(),
+            };
             cur = &node.next.0;
         }
         n
@@ -125,5 +171,51 @@ mod tests {
         assert!(base.contains(&Symbol::new("a")));
         assert!(!base.contains(&Symbol::new("b")));
         assert!(Env::<i32>::empty().is_empty());
+    }
+
+    #[test]
+    fn extend_many_binds_a_frame() {
+        let e = Env::empty().extend_many([
+            (Symbol::new("a"), 1),
+            (Symbol::new("b"), 2),
+            (Symbol::new("c"), 3),
+        ]);
+        assert_eq!(e.lookup(&Symbol::new("a")), Some(1));
+        assert_eq!(e.lookup(&Symbol::new("b")), Some(2));
+        assert_eq!(e.lookup(&Symbol::new("c")), Some(3));
+        assert_eq!(e.len(), 3);
+        assert!(e.contains(&Symbol::new("b")));
+        assert!(!e.contains(&Symbol::new("d")));
+    }
+
+    #[test]
+    fn extend_many_matches_sequential_shadowing() {
+        // Duplicate names within one frame: the later binding wins, same
+        // as chained extend.
+        let many = Env::empty().extend_many([(Symbol::new("x"), 1), (Symbol::new("x"), 2)]);
+        let seq = Env::empty()
+            .extend(Symbol::new("x"), 1)
+            .extend(Symbol::new("x"), 2);
+        assert_eq!(
+            many.lookup(&Symbol::new("x")),
+            seq.lookup(&Symbol::new("x"))
+        );
+    }
+
+    #[test]
+    fn extend_many_of_zero_and_one() {
+        let base = Env::empty().extend(Symbol::new("a"), 0);
+        let same = base.extend_many(std::iter::empty());
+        assert_eq!(same.len(), 1);
+        let one = base.extend_many([(Symbol::new("b"), 1)]);
+        assert_eq!(one.lookup(&Symbol::new("b")), Some(1));
+    }
+
+    #[test]
+    fn outer_frames_still_visible_past_many() {
+        let e = Env::empty()
+            .extend(Symbol::new("outer"), 10)
+            .extend_many([(Symbol::new("p"), 1), (Symbol::new("q"), 2)]);
+        assert_eq!(e.lookup(&Symbol::new("outer")), Some(10));
     }
 }

@@ -156,7 +156,7 @@ impl Interp {
             globals: prog
                 .defs
                 .iter()
-                .map(|d| (d.name.clone(), Arc::new(d.clone())))
+                .map(|d| (d.name, Arc::new(d.clone())))
                 .collect(),
             output: String::new(),
             fuel: None,
@@ -202,7 +202,7 @@ impl Interp {
         // Catch an already-expired deadline before doing any work (the
         // in-loop check is amortized and may lag by a few thousand steps).
         self.deadline.check().map_err(RtError::Limit)?;
-        self.apply(Proc::Global(entry.clone()), args)
+        self.apply(Proc::Global(*entry), args)
     }
 
     /// Evaluates an expression in the given environment.
@@ -227,9 +227,9 @@ impl Interp {
                 Some(v) => Ok(Step::Done(v)),
                 None => {
                     if self.globals.contains_key(x) {
-                        Ok(Step::Done(Value::Proc(Proc::Global(x.clone()))))
+                        Ok(Step::Done(Value::Proc(Proc::Global(*x))))
                     } else {
-                        Err(RtError::Unbound(x.clone()))
+                        Err(RtError::Unbound(*x))
                     }
                 }
             },
@@ -247,7 +247,7 @@ impl Interp {
             }
             Expr::Let(x, rhs, body) => {
                 let v = self.eval(rhs, env)?;
-                let inner = env.extend(x.clone(), v);
+                let inner = env.extend(*x, v);
                 self.eval_step(body, &inner)
             }
             Expr::App(f, args) => {
@@ -284,10 +284,10 @@ impl Interp {
                         .globals
                         .get(g)
                         .cloned()
-                        .ok_or_else(|| RtError::NoSuchGlobal(g.clone()))?;
+                        .ok_or(RtError::NoSuchGlobal(*g))?;
                     (
                         Arc::new(Lambda {
-                            name: def.name.clone(),
+                            name: def.name,
                             params: def.params.clone(),
                             body: def.body.clone(),
                         }),
@@ -297,14 +297,14 @@ impl Interp {
             };
             if lam.params.len() != args.len() {
                 return Err(RtError::BadArity {
-                    name: lam.name.clone(),
+                    name: lam.name,
                     expected: lam.params.len(),
                     got: args.len(),
                 });
             }
             let mut inner = env;
             for (x, v) in lam.params.iter().zip(args) {
-                inner = inner.extend(x.clone(), v);
+                inner = inner.extend(*x, v);
             }
             match self.eval_step(&lam.body, &inner)? {
                 Step::Done(v) => return Ok(v),

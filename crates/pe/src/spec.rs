@@ -1,7 +1,8 @@
 //! The specialization engine.
 
 use crate::{PeError, SpecOptions};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use two4one_anf::build::CodeBuilder;
 use two4one_interp::env::Env;
@@ -10,6 +11,7 @@ use two4one_syntax::datum::Datum;
 use two4one_syntax::limits::{Deadline, LimitExceeded, LimitKind};
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::{Gensym, Symbol};
+use two4one_syntax::symset::SymSet;
 use two4one_syntax::value::{apply_prim_datum, PrimError};
 
 /// A residual trivial term together with its free variables (the
@@ -19,8 +21,9 @@ use two4one_syntax::value::{apply_prim_datum, PrimError};
 pub struct Resid<T> {
     /// The backend trivial.
     pub triv: T,
-    /// Free (dynamic) variables.
-    pub fv: Arc<BTreeSet<Symbol>>,
+    /// Free (dynamic) variables. A [`SymSet`] clones by refcount, so
+    /// threading the set through continuations costs no tree copies.
+    pub fv: SymSet,
     /// True for variables and constants, false for compiled lambdas.
     pub simple: bool,
 }
@@ -52,7 +55,7 @@ impl<B: CodeBuilder> Clone for SVal<B> {
         match self {
             SVal::Data(d) => SVal::Data(d.clone()),
             SVal::Clo(c) => SVal::Clo(c.clone()),
-            SVal::FnRef(g) => SVal::FnRef(g.clone()),
+            SVal::FnRef(g) => SVal::FnRef(*g),
             SVal::Dyn(r) => SVal::Dyn(r.clone()),
         }
     }
@@ -74,7 +77,7 @@ pub struct RCode<B: CodeBuilder> {
     /// Backend code.
     pub code: B::Code,
     /// Free (dynamic) variables.
-    pub fv: BTreeSet<Symbol>,
+    pub fv: SymSet,
 }
 
 type KontFn<'p, B> = dyn Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p;
@@ -106,13 +109,46 @@ impl<'p, B: CodeBuilder + 'p> Kont<'p, B> {
 }
 
 /// Key of the memoization cache: callee plus the static argument tuple.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The 64-bit digest is sealed at construction from the callee's symbol
+/// digest and the (already hash-consed, see [`Datum::digest`]) digests of
+/// the static arguments, so a memo probe hashes one word no matter how
+/// large the static data is. Equality still compares the full tuple —
+/// the digest can route, never decide.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct MemoKey {
+    digest: u64,
     fn_name: Symbol,
     statics: Vec<StaticKey>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+impl MemoKey {
+    fn new(fn_name: Symbol, statics: Vec<StaticKey>) -> Self {
+        let mut d: u64 = 0xcbf2_9ce4_8422_2325 ^ fn_name.digest();
+        for k in &statics {
+            let w = match k {
+                StaticKey::Data(datum) => datum.digest(),
+                // Tag fn-refs apart from a datum that happens to share a
+                // symbol digest.
+                StaticKey::Fn(g) => g.digest() ^ 0x9e37_79b9_7f4a_7c15,
+            };
+            d = (d.rotate_left(5) ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        MemoKey {
+            digest: d,
+            fn_name,
+            statics,
+        }
+    }
+}
+
+impl Hash for MemoKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum StaticKey {
     Data(Datum),
     Fn(Symbol),
@@ -219,13 +255,11 @@ pub fn specialize_with_deadline<B: CodeBuilder>(
     options: &SpecOptions,
     deadline: Deadline,
 ) -> Result<(B::Program, SpecStats), PeError> {
-    let def = prog
-        .def(entry)
-        .ok_or_else(|| PeError::NoSuchFunction(entry.clone()))?;
+    let def = prog.def(entry).ok_or(PeError::NoSuchFunction(*entry))?;
     let n_static = def.params.iter().filter(|p| p.bt == BT::Static).count();
     if n_static != static_args.len() {
         return Err(PeError::StaticArgCount {
-            entry: entry.clone(),
+            entry: *entry,
             expected: n_static,
             got: static_args.len(),
         });
@@ -250,22 +284,24 @@ pub fn specialize_with_deadline<B: CodeBuilder>(
         in_generic: false,
         stats: SpecStats::default(),
     };
-    let mut env = PEnv::<B>::empty();
     let mut fresh_params = Vec::new();
     let mut statics = static_args.iter();
+    let mut binds = Vec::with_capacity(def.params.len());
     for p in &def.params {
         match p.bt {
             BT::Static => {
                 let d = statics.next().expect("counted above");
-                env = env.extend(p.name.clone(), SVal::Data(d.clone()));
+                binds.push((p.name, SVal::Data(d.clone())));
             }
             BT::Dynamic => {
                 let fresh = spec.gensym.fresh(p.name.as_str());
-                env = env.extend(p.name.clone(), spec.dyn_var(&fresh));
+                binds.push((p.name, spec.dyn_var(&fresh)));
                 fresh_params.push(fresh);
             }
         }
     }
+    // One frame for the whole parameter list: a single Arc.
+    let env = PEnv::<B>::empty().extend_many(binds);
     let body = match spec.spec(&def.body, &env, Kont::Tail) {
         Ok(b) => b,
         Err(e) if spec.fallback && e.is_recoverable() => {
@@ -292,7 +328,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     fn dyn_var(&mut self, x: &Symbol) -> SVal<B> {
         SVal::Dyn(Resid {
             triv: self.builder.var(x),
-            fv: Arc::new([x.clone()].into_iter().collect()),
+            fv: SymSet::singleton(*x),
             simple: true,
         })
     }
@@ -303,7 +339,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             SVal::Dyn(r) => Ok(r),
             SVal::Data(d) => Ok(Resid {
                 triv: self.builder.const_(&d),
-                fv: Arc::new(BTreeSet::new()),
+                fv: SymSet::new(),
                 simple: true,
             }),
             SVal::FnRef(g) => self.lift_fnref(&g),
@@ -325,9 +361,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// redirected to its *generic* version instead.
     fn lift_fnref(&mut self, g: &Symbol) -> Result<Resid<B::Triv>, PeError> {
         let prog = self.prog;
-        let def = prog
-            .def(g)
-            .ok_or_else(|| PeError::NoSuchFunction(g.clone()))?;
+        let def = prog.def(g).ok_or(PeError::NoSuchFunction(*g))?;
         if def.params.iter().any(|p| p.bt == BT::Static) {
             if self.fallback {
                 let name = self.generic_name(def);
@@ -352,7 +386,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     fn global_ref(&mut self, name: &Symbol) -> Resid<B::Triv> {
         Resid {
             triv: self.builder.global(name),
-            fv: Arc::new(BTreeSet::new()),
+            fv: SymSet::new(),
             simple: true,
         }
     }
@@ -365,7 +399,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 let r = self.triv_of(v)?;
                 Ok(RCode {
                     code: self.builder.ret(r.triv),
-                    fv: (*r.fv).clone(),
+                    fv: r.fv,
                 })
             }
             Kont::Op(f) => f.clone()(self, v),
@@ -378,7 +412,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         &mut self,
         k: &Kont<'p, B>,
         serious: B::Serious,
-        fv_args: BTreeSet<Symbol>,
+        fv_args: SymSet,
     ) -> Result<RCode<B>, PeError> {
         match k {
             Kont::Tail => Ok(RCode {
@@ -390,7 +424,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 let var = self.dyn_var(&x);
                 let rest = self.apply_kont(k, var)?;
                 let mut fv = fv_args;
-                fv.extend(rest.fv.into_iter().filter(|v| v != &x));
+                fv.union_with(&rest.fv.without(&x));
                 Ok(RCode {
                     code: self.builder.let_serious(&x, serious, rest.code),
                     fv,
@@ -418,9 +452,9 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             Kont::Tail => {
                 let then = self.spec(c, env, Kont::Tail)?;
                 let els = self.spec(a, env, Kont::Tail)?;
-                let mut fv = (*test.fv).clone();
-                fv.extend(then.fv);
-                fv.extend(els.fv);
+                let mut fv = test.fv;
+                fv.union_with(&then.fv);
+                fv.union_with(&els.fv);
                 Ok(RCode {
                     code: self.builder.if_(test.triv, then.code, els.code),
                     fv,
@@ -431,18 +465,20 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 let rv = self.dyn_var(&r);
                 let jcode = f(self, rv)?;
                 let jname = self.gensym.fresh("join");
-                let frees: BTreeSet<Symbol> = jcode.fv.into_iter().filter(|v| v != &r).collect();
-                let free_list: Vec<Symbol> = frees.iter().cloned().collect();
-                let lam =
-                    self.builder
-                        .lambda(&jname, std::slice::from_ref(&r), &free_list, jcode.code);
-                let jn = jname.clone();
+                let frees = jcode.fv.without(&r);
+                let lam = self.builder.lambda(
+                    &jname,
+                    std::slice::from_ref(&r),
+                    frees.as_slice(),
+                    jcode.code,
+                );
+                let jn = jname;
                 let jump = Kont::op(move |s: &mut Spec<'p, B>, v: SVal<B>| {
                     let tr = s.triv_of(v)?;
                     let jv = s.builder.var(&jn);
                     let serious = s.builder.call(jv, vec![tr.triv]);
-                    let mut fv: BTreeSet<Symbol> = (*tr.fv).clone();
-                    fv.insert(jn.clone());
+                    let mut fv = tr.fv;
+                    fv.insert(jn);
                     Ok(RCode {
                         code: s.builder.tail(serious),
                         fv,
@@ -450,10 +486,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 });
                 let then = self.spec(c, env, jump.clone())?;
                 let els = self.spec(a, env, jump)?;
-                let mut fv = (*test.fv).clone();
-                fv.extend(then.fv.into_iter().filter(|v| v != &jname));
-                fv.extend(els.fv.into_iter().filter(|v| v != &jname));
-                fv.extend(frees);
+                let mut fv = test.fv;
+                fv.union_with(&then.fv.without(&jname));
+                fv.union_with(&els.fv.without(&jname));
+                fv.union_with(&frees);
                 let iff = self.builder.if_(test.triv, then.code, els.code);
                 Ok(RCode {
                     code: self.builder.let_triv(&jname, lam, iff),
@@ -497,7 +533,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             AExpr::Var(x) => {
                 let v = match env.lookup(x) {
                     Some(v) => v,
-                    None if self.prog.def(x).is_some() => SVal::FnRef(x.clone()),
+                    None if self.prog.def(x).is_some() => SVal::FnRef(*x),
                     None => {
                         return Err(PeError::Internal(format!(
                             "unbound variable `{x}` at specialization time"
@@ -531,23 +567,22 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     .iter()
                     .map(|p| self.gensym.fresh(p.as_str()))
                     .collect();
-                let mut inner = env.clone();
+                let mut binds = Vec::with_capacity(fresh.len());
                 for (p, f) in lam.params.iter().zip(&fresh) {
-                    let v = self.dyn_var(f);
-                    inner = inner.extend(p.clone(), v);
+                    binds.push((*p, self.dyn_var(f)));
                 }
+                let inner = env.extend_many(binds);
                 let body = self.spec(&lam.body, &inner, Kont::Tail)?;
-                let frees: BTreeSet<Symbol> =
-                    body.fv.into_iter().filter(|v| !fresh.contains(v)).collect();
-                let free_list: Vec<Symbol> = frees.iter().cloned().collect();
+                let mut frees = body.fv;
+                frees.retain(|v| !fresh.contains(v));
                 let triv = self
                     .builder
-                    .lambda(&lam.name, &fresh, &free_list, body.code);
+                    .lambda(&lam.name, &fresh, frees.as_slice(), body.code);
                 self.apply_kont(
                     &k,
                     SVal::Dyn(Resid {
                         triv,
-                        fv: Arc::new(frees),
+                        fv: frees,
                         simple: false,
                     }),
                 )
@@ -587,12 +622,12 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 )
             }
             AExpr::Let(x, rhs, body) => {
-                let (x, body, env2) = (x.clone(), body.clone(), env.clone());
+                let (x, body, env2) = (*x, body.clone(), env.clone());
                 self.spec(
                     rhs,
                     env,
                     Kont::op(move |s, v| {
-                        let inner = env2.extend(x.clone(), v);
+                        let inner = env2.extend(x, v);
                         s.spec(&body, &inner, k.clone())
                     }),
                 )
@@ -629,11 +664,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             env2.clone(),
                             Vec::new(),
                             Arc::new(move |s, argvals| {
-                                let mut fv = (*ftr.fv).clone();
+                                let mut fv = ftr.fv.clone();
                                 let mut trivs = Vec::with_capacity(argvals.len());
                                 for a in argvals {
                                     let r = s.triv_of(a)?;
-                                    fv.extend((*r.fv).iter().cloned());
+                                    fv.union_with(&r.fv);
                                     trivs.push(r.triv);
                                 }
                                 let serious = s.builder.call(ftr.triv.clone(), trivs);
@@ -664,11 +699,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                         // downstream of a residualized `error` path; fall
                         // back to a residual application.
                         if argvals.iter().any(|v| matches!(v, SVal::Dyn(_))) {
-                            let mut fv = BTreeSet::new();
+                            let mut fv = SymSet::new();
                             let mut trivs = Vec::with_capacity(argvals.len());
                             for a in argvals {
                                 let r = s.triv_of(a)?;
-                                fv.extend((*r.fv).iter().cloned());
+                                fv.union_with(&r.fv);
                                 trivs.push(r.triv);
                             }
                             let serious = s.builder.prim(p, trivs);
@@ -718,7 +753,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                                     trivs.push(s.builder.const_(d));
                                 }
                                 let serious = s.builder.prim(p, trivs);
-                                s.deliver_serious(&k2, serious, BTreeSet::new())
+                                s.deliver_serious(&k2, serious, SymSet::new())
                             }
                         }
                     }),
@@ -734,11 +769,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     env.clone(),
                     Vec::new(),
                     Arc::new(move |s, argvals| {
-                        let mut fv = BTreeSet::new();
+                        let mut fv = SymSet::new();
                         let mut trivs = Vec::with_capacity(argvals.len());
                         for a in argvals {
                             let r = s.triv_of(a)?;
-                            fv.extend((*r.fv).iter().cloned());
+                            fv.union_with(&r.fv);
                             trivs.push(r.triv);
                         }
                         let serious = s.builder.prim(p, trivs);
@@ -788,9 +823,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             }
             SVal::FnRef(g) => {
                 let prog = self.prog;
-                let def = prog
-                    .def(&g)
-                    .ok_or_else(|| PeError::NoSuchFunction(g.clone()))?;
+                let def = prog.def(&g).ok_or(PeError::NoSuchFunction(g))?;
                 // A top-level call is a *recoverable* position: if a
                 // resource limit fires while processing it (or anywhere
                 // downstream, since the continuation is woven into the
@@ -803,8 +836,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 };
                 let attempt = match def.policy {
                     CallPolicy::Unfold => {
-                        let params: Vec<Symbol> =
-                            def.params.iter().map(|p| p.name.clone()).collect();
+                        let params: Vec<Symbol> = def.params.iter().map(|p| p.name).collect();
                         self.unfold(&def.name, &params, &def.body, PEnv::empty(), args, k)
                     }
                     CallPolicy::Memoize => self.memo_call(def, args, k),
@@ -820,11 +852,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             SVal::Dyn(r) => {
                 // The operator turned out to be residual code (conservative
                 // annotation): emit a residual call.
-                let mut fv = (*r.fv).clone();
+                let mut fv = r.fv.clone();
                 let mut trivs = Vec::with_capacity(args.len());
                 for a in args {
                     let t = self.triv_of(a)?;
-                    fv.extend((*t.fv).iter().cloned());
+                    fv.union_with(&t.fv);
                     trivs.push(t.triv);
                 }
                 let serious = self.builder.call(r.triv, trivs);
@@ -848,7 +880,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     ) -> Result<RCode<B>, PeError> {
         if params.len() != args.len() {
             return Err(PeError::ArityMismatch {
-                name: name.clone(),
+                name: *name,
                 expected: params.len(),
                 got: args.len(),
             });
@@ -859,25 +891,26 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         }
         self.fuel -= 1;
         self.stats.unfolds += 1;
-        let mut env = base_env;
         let mut rebinds: Vec<(Symbol, Resid<B::Triv>)> = Vec::new();
+        let mut binds = Vec::with_capacity(params.len());
         for (p, a) in params.iter().zip(args) {
             match a {
                 SVal::Dyn(r) if !r.simple => {
                     let fresh = self.gensym.fresh(p.as_str());
                     let var = self.dyn_var(&fresh);
-                    env = env.extend(p.clone(), var);
+                    binds.push((*p, var));
                     rebinds.push((fresh, r));
                 }
                 other => {
-                    env = env.extend(p.clone(), other);
+                    binds.push((*p, other));
                 }
             }
         }
+        let env = base_env.extend_many(binds);
         let mut r = self.spec(body, &env, k)?;
         for (x, triv) in rebinds.into_iter().rev() {
-            let mut fv: BTreeSet<Symbol> = r.fv.into_iter().filter(|v| v != &x).collect();
-            fv.extend((*triv.fv).iter().cloned());
+            let mut fv = r.fv.without(&x);
+            fv.union_with(&triv.fv);
             r = RCode {
                 code: self.builder.let_triv(&x, triv.triv, r.code),
                 fv,
@@ -934,17 +967,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             .iter()
             .map(|v| match v {
                 SVal::Data(d) => StaticKey::Data(d.clone()),
-                SVal::FnRef(g) => StaticKey::Fn(g.clone()),
+                SVal::FnRef(g) => StaticKey::Fn(*g),
                 _ => unreachable!("checked by caller"),
             })
             .collect();
-        let key = MemoKey {
-            fn_name: def.name.clone(),
-            statics: keys,
-        };
+        let key = MemoKey::new(def.name, keys);
         if let Some(name) = self.cache.get(&key) {
             self.stats.memo_hits += 1;
-            return Ok(name.clone());
+            return Ok(*name);
         }
         if self.cache.len() >= self.memo_cap {
             return Err(PeError::Limit(LimitExceeded {
@@ -954,10 +984,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         }
         self.stats.memo_misses += 1;
         let res_name = self.gensym.fresh(def.name.as_str());
-        self.cache.insert(key, res_name.clone());
+        self.cache.insert(key, res_name);
         self.pending.push_back(Pending {
-            fn_name: def.name.clone(),
-            res_name: res_name.clone(),
+            fn_name: def.name,
+            res_name,
             statics,
         });
         Ok(res_name)
@@ -971,7 +1001,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     ) -> Result<RCode<B>, PeError> {
         if def.params.len() != args.len() {
             return Err(PeError::ArityMismatch {
-                name: def.name.clone(),
+                name: def.name,
                 expected: def.params.len(),
                 got: args.len(),
             });
@@ -983,7 +1013,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             match p.bt {
                 BT::Static => match a {
                     SVal::Data(_) | SVal::FnRef(_) => statics.push(a),
-                    SVal::Clo(_) => return Err(PeError::ClosureInMemoKey(def.name.clone())),
+                    SVal::Clo(_) => return Err(PeError::ClosureInMemoKey(def.name)),
                     SVal::Dyn(_) => {
                         return Err(PeError::Internal(format!(
                             "dynamic argument for static parameter `{}` of `{}`",
@@ -995,10 +1025,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             }
         }
         let res_name = self.memo_name(def, statics)?;
-        let mut fv = BTreeSet::new();
+        let mut fv = SymSet::new();
         let mut trivs = Vec::with_capacity(dyns.len());
         for r in dyns {
-            fv.extend((*r.fv).iter().cloned());
+            fv.union_with(&r.fv);
             trivs.push(r.triv);
         }
         let serious = self.builder.call_global(&res_name, trivs);
@@ -1024,26 +1054,27 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         let prog = self.prog;
         let def = prog
             .def(&p.fn_name)
-            .ok_or_else(|| PeError::NoSuchFunction(p.fn_name.clone()))?;
-        let mut env = PEnv::<B>::empty();
+            .ok_or(PeError::NoSuchFunction(p.fn_name))?;
         let mut fresh_params = Vec::new();
         let mut statics = p.statics.into_iter();
+        let mut binds = Vec::with_capacity(def.params.len());
         for param in &def.params {
             match param.bt {
                 BT::Static => {
                     let v = statics
                         .next()
                         .ok_or_else(|| PeError::Internal("static argument count drift".into()))?;
-                    env = env.extend(param.name.clone(), v);
+                    binds.push((param.name, v));
                 }
                 BT::Dynamic => {
                     let fresh = self.gensym.fresh(param.name.as_str());
                     let var = self.dyn_var(&fresh);
-                    env = env.extend(param.name.clone(), var);
+                    binds.push((param.name, var));
                     fresh_params.push(fresh);
                 }
             }
         }
+        let env = PEnv::<B>::empty().extend_many(binds);
         let body = match self.spec(&def.body, &env, Kont::Tail) {
             Ok(b) => b,
             Err(e) if self.fallback && e.is_recoverable() => {
@@ -1071,12 +1102,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// cannot itself grow without bound.
     fn generic_name(&mut self, def: &ADef) -> Symbol {
         if let Some(n) = self.generic.get(&def.name) {
-            return n.clone();
+            return *n;
         }
         let res_name = self.gensym.fresh(&format!("{}-generic", def.name));
-        self.generic.insert(def.name.clone(), res_name.clone());
-        self.pending_generic
-            .push_back((def.name.clone(), res_name.clone()));
+        self.generic.insert(def.name, res_name);
+        self.pending_generic.push_back((def.name, res_name));
         res_name
     }
 
@@ -1093,17 +1123,17 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     ) -> Result<RCode<B>, PeError> {
         if def.params.len() != args.len() {
             return Err(PeError::ArityMismatch {
-                name: def.name.clone(),
+                name: def.name,
                 expected: def.params.len(),
                 got: args.len(),
             });
         }
         let name = self.generic_name(def);
-        let mut fv = BTreeSet::new();
+        let mut fv = SymSet::new();
         let mut trivs = Vec::with_capacity(args.len());
         for a in args {
             let r = self.triv_of(a)?;
-            fv.extend((*r.fv).iter().cloned());
+            fv.union_with(&r.fv);
             trivs.push(r.triv);
         }
         let serious = self.builder.call_global(&name, trivs);
@@ -1128,17 +1158,16 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// body fully residualized.
     fn spec_generic(&mut self, fn_name: &Symbol, res_name: &Symbol) -> Result<(), PeError> {
         let prog = self.prog;
-        let def = prog
-            .def(fn_name)
-            .ok_or_else(|| PeError::NoSuchFunction(fn_name.clone()))?;
-        let mut env = PEnv::<B>::empty();
+        let def = prog.def(fn_name).ok_or(PeError::NoSuchFunction(*fn_name))?;
         let mut fresh_params = Vec::new();
+        let mut binds = Vec::with_capacity(def.params.len());
         for param in &def.params {
             let fresh = self.gensym.fresh(param.name.as_str());
             let var = self.dyn_var(&fresh);
-            env = env.extend(param.name.clone(), var);
+            binds.push((param.name, var));
             fresh_params.push(fresh);
         }
+        let env = PEnv::<B>::empty().extend_many(binds);
         let body = self.spec_generic_body(def, &env)?;
         debug_assert!(
             body.fv.iter().all(|v| fresh_params.contains(v)),
@@ -1165,12 +1194,12 @@ fn generize(e: &AExpr) -> AExpr {
         // Lifting is the identity once everything is dynamic.
         AExpr::Lift(inner) => generize(inner),
         AExpr::Lam(l) | AExpr::LamD(l) => AExpr::LamD(Arc::new(ALambda {
-            name: l.name.clone(),
+            name: l.name,
             params: l.params.clone(),
             body: generize(&l.body),
         })),
         AExpr::If(t, c, a) | AExpr::IfD(t, c, a) => AExpr::IfD(garc(t), garc(c), garc(a)),
-        AExpr::Let(x, r, b) => AExpr::Let(x.clone(), garc(r), garc(b)),
+        AExpr::Let(x, r, b) => AExpr::Let(*x, garc(r), garc(b)),
         AExpr::App(f, args) | AExpr::AppD(f, args) => {
             AExpr::AppD(garc(f), args.iter().map(|a| garc(a)).collect())
         }

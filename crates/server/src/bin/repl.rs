@@ -111,7 +111,7 @@ impl Repl {
         let parts = d.as_form("define")?;
         match parts.first()? {
             Datum::Pair(_) => parts[0].car()?.as_sym().cloned(),
-            Datum::Sym(s) => Some(s.clone()),
+            Datum::Sym(s) => Some(*s),
             _ => None,
         }
     }
@@ -122,7 +122,7 @@ impl Repl {
             return;
         };
         self.defs.retain(|(n, _)| n != &name);
-        self.defs.push((name.clone(), src.to_string()));
+        self.defs.push((name, src.to_string()));
         // Compile eagerly so errors surface now — the "online compiler".
         match Pgg::new()
             .parse(&self.program_text())

@@ -336,8 +336,8 @@ fn datum_list(d: &Datum) -> Result<Vec<Datum>, String> {
         match cur {
             Datum::Nil => return Ok(items),
             Datum::Pair(p) => {
-                items.push(p.0.clone());
-                cur = &p.1;
+                items.push(p.car.clone());
+                cur = &p.cdr;
             }
             other => return Err(format!("`--batch` needs a proper list, got `{other}`")),
         }

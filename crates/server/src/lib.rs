@@ -426,14 +426,12 @@ impl SpecService {
     /// the cache exactly as in [`SpecService::specialize`]; per-request
     /// deadlines and tokens are honoured as in
     /// [`SpecService::specialize_request`].
+    ///
+    /// Even with `jobs == 1` the batch runs on a pooled worker: one
+    /// large-stack thread serves every miss inline, instead of paying a
+    /// fresh thread spawn per miss as [`SpecService::specialize`] would.
     pub fn specialize_many(&self, requests: &[SpecRequest], jobs: usize) -> Vec<ServeResult> {
         let jobs = jobs.max(1).min(requests.len().max(1));
-        if jobs == 1 {
-            return requests
-                .iter()
-                .map(|r| self.specialize_request(r))
-                .collect();
-        }
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<ServeResult>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
@@ -984,14 +982,19 @@ fn jittered(base: Duration, seed: u64) -> Duration {
     base * pct / 100
 }
 
-/// Builds the full cache key for a request: the rendered annotated
-/// program plus its specialization options (two extensions differing only
-/// in, say, fuel must not share residual code), the entry name, and the
-/// rendered static arguments.
+/// Builds the full cache key for a request: the extension's cache
+/// identity (annotated program + options, rendered once per extension and
+/// cached — see [`GenExt::cache_identity`]), the entry name, and the
+/// rendered static arguments. Only the statics are rendered per request.
 fn request_key(ext: &GenExt, statics: &[Datum]) -> Key {
-    let program = format!("{}\u{0}{:?}", ext.annotated(), ext.options());
-    let rendered: Vec<String> = statics.iter().map(|d| d.to_string()).collect();
-    Key::new(&program, ext.entry().as_str(), &rendered.join(" "))
+    let mut rendered = String::new();
+    for (i, d) in statics.iter().enumerate() {
+        if i > 0 {
+            rendered.push(' ');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut rendered, format_args!("{d}"));
+    }
+    Key::new(ext.cache_identity(), ext.entry().as_str(), &rendered)
 }
 
 /// Runs `f` on a dedicated thread with `bytes` of stack, for the deeply

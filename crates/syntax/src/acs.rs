@@ -176,7 +176,7 @@ impl AExpr {
                     Datum::list([Datum::sym("quote"), d.clone()])
                 }
             }
-            AExpr::Var(x) => Datum::Sym(x.clone()),
+            AExpr::Var(x) => Datum::Sym(*x),
             AExpr::Lift(e) => Datum::list([Datum::sym("lift"), e.to_datum()]),
             AExpr::Lam(l) => lam("lambda", l),
             AExpr::LamD(l) => lam("_lambda", l),
@@ -188,7 +188,7 @@ impl AExpr {
             }
             AExpr::Let(x, rhs, body) => Datum::list([
                 Datum::sym("let"),
-                Datum::list([Datum::list([Datum::Sym(x.clone()), rhs.to_datum()])]),
+                Datum::list([Datum::list([Datum::Sym(*x), rhs.to_datum()])]),
                 body.to_datum(),
             ]),
             AExpr::App(f, args) => {
@@ -224,7 +224,7 @@ impl fmt::Display for AExpr {
 impl ADef {
     /// Renders to concrete syntax: `(define[-memo] (f x:S y:D) body)`.
     pub fn to_datum(&self) -> Datum {
-        let mut head = vec![Datum::Sym(self.name.clone())];
+        let mut head = vec![Datum::Sym(self.name)];
         for p in &self.params {
             head.push(Datum::sym(&format!("{}:{}", p.name, p.bt)));
         }

@@ -87,14 +87,14 @@ impl<X> ExprF<X> {
 pub fn project(e: &Expr) -> ExprF<&Expr> {
     match e {
         Expr::Const(d) => ExprF::Const(d.clone()),
-        Expr::Var(x) => ExprF::Var(x.clone()),
+        Expr::Var(x) => ExprF::Var(*x),
         Expr::Lambda(l) => ExprF::Lam {
-            name: l.name.clone(),
+            name: l.name,
             params: l.params.clone(),
             body: &l.body,
         },
         Expr::If(a, b, c) => ExprF::If(a, b, c),
-        Expr::Let(x, rhs, body) => ExprF::Let(x.clone(), rhs, body),
+        Expr::Let(x, rhs, body) => ExprF::Let(*x, rhs, body),
         Expr::App(f, args) => ExprF::App(f, args.iter().collect()),
         Expr::PrimApp(p, args) => ExprF::Prim(*p, args.iter().collect()),
     }

@@ -95,7 +95,7 @@ impl Expr {
                 Expr::Const(_) => {}
                 Expr::Var(x) => {
                     if !bound.contains(x) {
-                        acc.insert(x.clone());
+                        acc.insert(*x);
                     }
                 }
                 Expr::Lambda(l) => {
@@ -111,7 +111,7 @@ impl Expr {
                 }
                 Expr::Let(x, rhs, body) => {
                     go(rhs, bound, acc);
-                    bound.push(x.clone());
+                    bound.push(*x);
                     go(body, bound, acc);
                     bound.pop();
                 }
@@ -155,7 +155,7 @@ impl Expr {
                     Datum::list([Datum::sym("quote"), d.clone()])
                 }
             }
-            Expr::Var(x) => Datum::Sym(x.clone()),
+            Expr::Var(x) => Datum::Sym(*x),
             Expr::Lambda(l) => Datum::list([
                 Datum::sym("lambda"),
                 Datum::list(l.params.iter().cloned().map(Datum::Sym).collect::<Vec<_>>()),
@@ -166,7 +166,7 @@ impl Expr {
             }
             Expr::Let(x, rhs, body) => Datum::list([
                 Datum::sym("let"),
-                Datum::list([Datum::list([Datum::Sym(x.clone()), rhs.to_datum()])]),
+                Datum::list([Datum::list([Datum::Sym(*x), rhs.to_datum()])]),
                 body.to_datum(),
             ]),
             Expr::App(f, args) => {
@@ -192,7 +192,7 @@ impl fmt::Display for Expr {
 impl Def {
     /// Renders back to a `(define (name params...) body)` datum.
     pub fn to_datum(&self) -> Datum {
-        let mut head = vec![Datum::Sym(self.name.clone())];
+        let mut head = vec![Datum::Sym(self.name)];
         head.extend(self.params.iter().cloned().map(Datum::Sym));
         Datum::list([
             Datum::sym("define"),
@@ -210,7 +210,7 @@ impl Program {
 
     /// The set of global (top-level) names.
     pub fn globals(&self) -> BTreeSet<Symbol> {
-        self.defs.iter().map(|d| d.name.clone()).collect()
+        self.defs.iter().map(|d| d.name).collect()
     }
 
     /// Renders the program back to concrete syntax.
@@ -268,7 +268,7 @@ fn sym_of(d: &Datum) -> Result<Symbol, CsParseError> {
 /// Returns a [`CsParseError`] for anything outside the core grammar.
 pub fn parse_expr(d: &Datum) -> Result<Expr, CsParseError> {
     match d {
-        Datum::Sym(s) => Ok(Expr::Var(s.clone())),
+        Datum::Sym(s) => Ok(Expr::Var(*s)),
         _ if d.is_self_evaluating() => Ok(Expr::Const(d.clone())),
         Datum::Nil => Err(CsParseError("empty application `()`".into())),
         Datum::Pair(_) => {

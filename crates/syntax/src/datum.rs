@@ -3,6 +3,7 @@
 
 use crate::symbol::Symbol;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// An s-expression datum.
@@ -11,6 +12,19 @@ use std::sync::Arc;
 /// (2) the domain of *static* first-order values inside the specializer,
 /// which is why it implements `Eq` and `Hash` (memoization keys are tuples
 /// of data).
+///
+/// # Hash-consed digests
+///
+/// Every pair caches a 64-bit structural digest computed at construction
+/// ([`Datum::digest`]), and `Hash` writes that single word. Hashing a
+/// datum is therefore O(1) in its size (amortized: the digest of a tree
+/// is assembled bottom-up as it is consed), which is what keeps the
+/// specializer's memoization probes — one per specialization point, each
+/// keyed by a tuple of static data — from rehashing whole static
+/// structures on every cache lookup. Digests are a pure function of
+/// structure (symbol digests come from names, not intern ids), so they
+/// are stable across processes; equality remains fully structural and is
+/// never decided by digest alone.
 ///
 /// Only exact integers are supported as numbers; the paper's benchmarks do
 /// not require inexact arithmetic.
@@ -23,7 +37,7 @@ use std::sync::Arc;
 /// assert_eq!(d.to_string(), "(1 2)");
 /// assert_eq!(d.list_len(), Some(2));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq)]
 pub enum Datum {
     /// The empty list `()`.
     Nil,
@@ -40,13 +54,80 @@ pub enum Datum {
     /// A symbol.
     Sym(Symbol),
     /// A pair.
-    Pair(Arc<(Datum, Datum)>),
+    Pair(Arc<Pair>),
 }
 
+/// A cons cell: two data plus the cached structural digest of the whole
+/// pair (see [`Datum::digest`]).
+pub struct Pair {
+    /// The first element.
+    pub car: Datum,
+    /// The rest.
+    pub cdr: Datum,
+    digest: u64,
+}
+
+impl PartialEq for Pair {
+    fn eq(&self, other: &Self) -> bool {
+        // Digest first: unequal digests prove structural inequality, so
+        // deep comparison only runs on (near-certain) matches.
+        self.digest == other.digest && self.car == other.car && self.cdr == other.cdr
+    }
+}
+
+impl Eq for Pair {}
+
+/// Mixes two digest words (SplitMix64-style finalization over the
+/// combination, cheap and well-distributed).
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Distinct seeds per constructor so `(1 . ())` and `1` (etc.) differ.
+const SEED_NIL: u64 = 0x7a4e_1b1f_0000_0001;
+const SEED_UNSPEC: u64 = 0x7a4e_1b1f_0000_0002;
+const SEED_BOOL: u64 = 0x7a4e_1b1f_0000_0003;
+const SEED_INT: u64 = 0x7a4e_1b1f_0000_0004;
+const SEED_CHAR: u64 = 0x7a4e_1b1f_0000_0005;
+const SEED_STR: u64 = 0x7a4e_1b1f_0000_0006;
+const SEED_SYM: u64 = 0x7a4e_1b1f_0000_0007;
+const SEED_PAIR: u64 = 0x7a4e_1b1f_0000_0008;
+
 impl Datum {
-    /// Constructs a pair.
+    /// Constructs a pair, sealing the structural digest of the new cell.
     pub fn cons(car: Datum, cdr: Datum) -> Datum {
-        Datum::Pair(Arc::new((car, cdr)))
+        let digest = mix(SEED_PAIR, mix(car.digest(), cdr.digest()));
+        Datum::Pair(Arc::new(Pair { car, cdr, digest }))
+    }
+
+    /// The 64-bit structural digest of this datum: a pure function of
+    /// structure, cached inside every pair at construction time, so
+    /// reading it is O(1) for pairs and O(1)–O(len) for atoms. Equal data
+    /// always have equal digests; the converse holds only probabilistically
+    /// (callers needing identity must compare structurally, as `Eq` does).
+    pub fn digest(&self) -> u64 {
+        match self {
+            Datum::Nil => SEED_NIL,
+            Datum::Unspec => SEED_UNSPEC,
+            Datum::Bool(b) => mix(SEED_BOOL, u64::from(*b)),
+            Datum::Int(n) => mix(SEED_INT, *n as u64),
+            Datum::Char(c) => mix(SEED_CHAR, u64::from(*c)),
+            Datum::Str(s) => {
+                // FNV-1a over the bytes; bare strings are rare as memo-key
+                // leaves, and string *contents* never change.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in s.as_bytes() {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                mix(SEED_STR, h)
+            }
+            Datum::Sym(s) => mix(SEED_SYM, s.digest()),
+            Datum::Pair(p) => p.digest,
+        }
     }
 
     /// Constructs a proper list from an iterator.
@@ -74,7 +155,7 @@ impl Datum {
     /// The `car` of a pair, if this is a pair.
     pub fn car(&self) -> Option<&Datum> {
         match self {
-            Datum::Pair(p) => Some(&p.0),
+            Datum::Pair(p) => Some(&p.car),
             _ => None,
         }
     }
@@ -82,7 +163,7 @@ impl Datum {
     /// The `cdr` of a pair, if this is a pair.
     pub fn cdr(&self) -> Option<&Datum> {
         match self {
-            Datum::Pair(p) => Some(&p.1),
+            Datum::Pair(p) => Some(&p.cdr),
             _ => None,
         }
     }
@@ -103,7 +184,7 @@ impl Datum {
         loop {
             match d {
                 Datum::Nil => return true,
-                Datum::Pair(p) => d = &p.1,
+                Datum::Pair(p) => d = &p.cdr,
                 _ => return false,
             }
         }
@@ -118,7 +199,7 @@ impl Datum {
                 Datum::Nil => return Some(n),
                 Datum::Pair(p) => {
                     n += 1;
-                    d = &p.1;
+                    d = &p.cdr;
                 }
                 _ => return None,
             }
@@ -190,9 +271,17 @@ impl Datum {
     /// code-growth accounting.
     pub fn size(&self) -> usize {
         match self {
-            Datum::Pair(p) => 1 + p.0.size() + p.1.size(),
+            Datum::Pair(p) => 1 + p.car.size() + p.cdr.size(),
             _ => 1,
         }
+    }
+}
+
+impl Hash for Datum {
+    /// Hashes the cached structural digest — one `u64` write, regardless
+    /// of how deep the datum is.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest());
     }
 }
 
@@ -247,8 +336,8 @@ impl<'a> Iterator for ListIter<'a> {
     fn next(&mut self) -> Option<&'a Datum> {
         match self.cur {
             Datum::Pair(p) => {
-                self.cur = &p.1;
-                Some(&p.0)
+                self.cur = &p.cdr;
+                Some(&p.car)
             }
             _ => None,
         }
@@ -402,5 +491,40 @@ mod tests {
     fn size_counts_pairs_and_atoms() {
         assert_eq!(Datum::from(1).size(), 1);
         assert_eq!(l(&[Datum::from(1), Datum::from(2)]).size(), 5);
+    }
+
+    #[test]
+    fn digest_is_structural() {
+        // Equal data have equal digests, however they were built.
+        let a = l(&[Datum::from(1), Datum::sym("x"), Datum::Nil]);
+        let b = Datum::cons(
+            Datum::from(1),
+            Datum::cons(Datum::sym("x"), Datum::cons(Datum::Nil, Datum::Nil)),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        // Different shapes differ (overwhelmingly likely).
+        assert_ne!(a.digest(), l(&[Datum::from(1), Datum::sym("y")]).digest());
+        assert_ne!(Datum::Nil.digest(), Datum::from(0).digest());
+        assert_ne!(Datum::from(1).digest(), l(&[Datum::from(1)]).digest());
+        // Symbol leaves digest by name, so the value is reproducible from
+        // structure alone (no dependence on interner insertion order).
+        assert_eq!(Datum::sym("abc").digest(), Datum::sym("abc").digest());
+    }
+
+    #[test]
+    fn digest_of_deep_pair_is_cached() {
+        // Building once then reading digest repeatedly must agree with a
+        // structural recomputation via a fresh identical tree.
+        let mut d = Datum::Nil;
+        for i in 0..200 {
+            d = Datum::cons(Datum::from(i), d);
+        }
+        let mut e = Datum::Nil;
+        for i in 0..200 {
+            e = Datum::cons(Datum::from(i), e);
+        }
+        assert_eq!(d.digest(), e.digest());
+        assert_eq!(d, e);
     }
 }

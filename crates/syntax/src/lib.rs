@@ -40,9 +40,11 @@ pub mod printer;
 pub mod reader;
 pub mod stack;
 pub mod symbol;
+pub mod symset;
 pub mod value;
 
 pub use datum::Datum;
 pub use limits::{CancelToken, Deadline, LimitExceeded, LimitKind, Limits};
 pub use prim::{Arity, Prim};
 pub use symbol::{Gensym, Symbol};
+pub use symset::SymSet;

@@ -1,15 +1,39 @@
-//! Symbols and fresh-name generation.
+//! Symbols, the global symbol interner, and fresh-name generation.
+//!
+//! A [`Symbol`] is a `NonZeroU32` id into a process-wide, append-only
+//! intern table. Interning happens once per distinct name; from then on
+//! every equality test, hash, ordering comparison, environment lookup,
+//! free-variable-set operation, and memoization probe works on the id —
+//! machine-word speed instead of string speed. This is what makes the
+//! specialization hot path cheap enough for run-time code generation
+//! (the paper's Sec. 6 economics): the specializer compares and hashes
+//! symbols constantly, and none of those operations should ever touch
+//! the characters of a name again after the first time it is seen.
+//!
+//! Names live for the lifetime of the process (the table is append-only
+//! and never shrinks), which is the standard compiler-interner trade-off:
+//! symbol universes are small — source identifiers plus gensyms — and the
+//! payoff is that [`Symbol::as_str`] can hand out `&'static str`.
+//!
+//! Ordering ([`Ord`]) is **by id**, i.e. by first-intern order, not
+//! lexicographic. It is deterministic for a deterministic program (the
+//! same sequence of interns yields the same ids) and consistent within a
+//! process, which is all the engine needs: sorted free-variable lists and
+//! B-tree iteration just need *a* total order that every pass agrees on.
+//! On-disk formats (`.t4o` object files, cache snapshots) store names,
+//! never ids, so ids are free to differ between processes.
 
-use std::borrow::Borrow;
 use std::fmt;
+use std::num::NonZeroU32;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// An identifier in source programs, abstract syntax, and generated code.
 ///
-/// Symbols are cheap to clone (an `Arc<str>` internally) and compare by
-/// string content. They are `Send + Sync` so syntax trees can be moved onto
-/// the large-stack worker threads used by the specializer.
+/// Symbols are `Copy`-cheap to clone (a 4-byte id internally) and compare
+/// by identity in the global intern table, which coincides with comparing
+/// by string content. They are `Send + Sync` so syntax trees can be moved
+/// onto the large-stack worker threads used by the specializer.
 ///
 /// # Example
 ///
@@ -20,30 +44,46 @@ use std::sync::Arc;
 /// assert_eq!(a, b);
 /// assert_eq!(a.as_str(), "eval");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Symbol(Arc<str>);
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(NonZeroU32);
 
 impl Symbol {
-    /// Creates a symbol with the given name.
+    /// Creates (interns) a symbol with the given name.
     pub fn new(name: &str) -> Self {
-        Symbol(Arc::from(name))
+        Symbol(global().intern(name))
     }
 
-    /// The symbol's name.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    /// The symbol's name. Interned names live as long as the process, so
+    /// the returned string needs no lifetime tie to `self`.
+    pub fn as_str(&self) -> &'static str {
+        global().name(self.0)
+    }
+
+    /// The raw intern id (stable within this process only; on-disk
+    /// formats must store [`Symbol::as_str`] instead).
+    pub fn id(&self) -> u32 {
+        self.0.get()
+    }
+
+    /// A process-independent 64-bit digest of the symbol's *name*
+    /// (FNV-1a over its bytes), computed once at intern time and cached.
+    /// Structural hashes of data containing symbols (see
+    /// `Datum::digest`) are built from this, so they depend only on
+    /// content, never on interning order.
+    pub fn digest(&self) -> u64 {
+        global().digest(self.0)
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "'{}", self.0)
+        write!(f, "'{}", self.as_str())
     }
 }
 
@@ -55,20 +95,142 @@ impl From<&str> for Symbol {
 
 impl From<String> for Symbol {
     fn from(s: String) -> Self {
-        Symbol(Arc::from(s.as_str()))
+        Symbol::new(&s)
     }
 }
 
-impl Borrow<str> for Symbol {
-    fn borrow(&self) -> &str {
-        self.as_str()
-    }
-}
+// NOTE: deliberately *no* `Borrow<str> for Symbol`. With id-based
+// hashing, `hash(Symbol) != hash(str)`, so a `HashMap<Symbol, _>` can
+// never be probed by `&str`; a `Borrow` impl would make such lookups
+// compile and then silently miss. Intern explicitly instead:
+// `map.get(&Symbol::new(name))`.
 
 impl AsRef<str> for Symbol {
     fn as_ref(&self) -> &str {
         self.as_str()
     }
+}
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One intern-table entry: the leaked name and its cached content digest.
+#[derive(Clone, Copy)]
+struct Entry {
+    name: &'static str,
+    digest: u64,
+}
+
+/// A thread-safe, append-only symbol interner.
+///
+/// The global instance backs [`Symbol`]; independent instances exist so
+/// tests can check determinism from a clean slate. Ids are handed out in
+/// first-intern order, starting at 1 (`NonZeroU32` lets `Option<Symbol>`
+/// stay 4 bytes).
+pub struct Interner {
+    /// name → id, for interning.
+    map: RwLock<std::collections::HashMap<&'static str, NonZeroU32>>,
+    /// id − 1 → entry, for `as_str`/`digest`. Entries are `Copy`, and the
+    /// names are leaked, so readers copy an entry out and drop the lock.
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            map: RwLock::new(std::collections::HashMap::new()),
+            entries: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Interns `name`, returning its id. The first intern of a name
+    /// assigns the next id; later interns (from any thread) return the
+    /// same id.
+    pub fn intern(&self, name: &str) -> NonZeroU32 {
+        if let Some(id) = read(&self.map).get(name) {
+            return *id;
+        }
+        // Slow path: take both write locks (map first, entries inside) and
+        // re-check — another thread may have interned `name` meanwhile.
+        let mut map = write(&self.map);
+        if let Some(id) = map.get(name) {
+            return *id;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let mut entries = write(&self.entries);
+        entries.push(Entry {
+            name: leaked,
+            digest: fnv1a(leaked.as_bytes()),
+        });
+        // Table position n-1 ⇒ id n; a symbol table big enough to overflow
+        // u32 is unreachable in practice (it would hold 4 billion names).
+        let id = NonZeroU32::new(entries.len() as u32).unwrap_or(NonZeroU32::MIN);
+        map.insert(leaked, id);
+        id
+    }
+
+    /// The name behind `id`.
+    fn name(&self, id: NonZeroU32) -> &'static str {
+        self.entry(id).name
+    }
+
+    /// The cached content digest behind `id`.
+    fn digest(&self, id: NonZeroU32) -> u64 {
+        self.entry(id).digest
+    }
+
+    fn entry(&self, id: NonZeroU32) -> Entry {
+        let entries = read(&self.entries);
+        match entries.get(id.get() as usize - 1) {
+            Some(e) => *e,
+            // Unreachable for ids produced by this interner; keep it
+            // panic-free anyway (robustness contract, DESIGN.md §7).
+            None => Entry {
+                name: "<bad-symbol-id>",
+                digest: 0,
+            },
+        }
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        read(&self.entries).len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lock helpers that recover from poisoning: the interner's state is
+/// always consistent (each mutation is completed inside one critical
+/// section), so a panicking writer elsewhere must not wedge the table.
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new)
 }
 
 /// A deterministic fresh-name generator.
@@ -122,12 +284,45 @@ impl Gensym {
             None => base,
         };
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // Format into a stack buffer: stems are short identifiers, and the
+        // specializer draws fresh names on its hot path.
+        let mut buf = [0u8; 96];
+        let mut w = Cursor {
+            buf: &mut buf,
+            at: 0,
+        };
+        use std::fmt::Write;
+        if write!(w, "{stem}%{n}").is_ok() {
+            let at = w.at;
+            if let Ok(s) = std::str::from_utf8(&buf[..at]) {
+                return Symbol::new(s);
+            }
+        }
+        // Oversized stem: fall back to the heap.
         Symbol::new(&format!("{stem}%{n}"))
     }
 
     /// The number of names generated so far.
     pub fn count(&self) -> u64 {
         self.counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Minimal `fmt::Write` adapter over a stack buffer.
+struct Cursor<'a> {
+    buf: &'a mut [u8],
+    at: usize,
+}
+
+impl fmt::Write for Cursor<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let bytes = s.as_bytes();
+        if self.at + bytes.len() > self.buf.len() {
+            return Err(fmt::Error);
+        }
+        self.buf[self.at..self.at + bytes.len()].copy_from_slice(bytes);
+        self.at += bytes.len();
+        Ok(())
     }
 }
 
@@ -140,12 +335,120 @@ mod tests {
     fn symbols_compare_by_content() {
         assert_eq!(Symbol::new("a"), Symbol::from("a"));
         assert_ne!(Symbol::new("a"), Symbol::new("b"));
-        assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_id_based() {
+        let a = Symbol::new("interner-ord-a");
+        let b = Symbol::new("interner-ord-b");
+        // First-intern order, not lexicographic: `a` was interned before
+        // `b` in this test, but other tests may have interned either
+        // earlier — the guarantee is a total order consistent with ids.
+        assert_eq!(a.cmp(&b), a.id().cmp(&b.id()));
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
     }
 
     #[test]
     fn symbol_display_is_bare_name() {
         assert_eq!(Symbol::new("lambda").to_string(), "lambda");
+    }
+
+    #[test]
+    fn symbol_is_small() {
+        assert_eq!(std::mem::size_of::<Symbol>(), 4);
+        assert_eq!(std::mem::size_of::<Option<Symbol>>(), 4);
+    }
+
+    #[test]
+    fn digest_depends_on_content_only() {
+        assert_eq!(Symbol::new("digest-probe").digest(), fnv1a(b"digest-probe"));
+        assert_ne!(
+            Symbol::new("digest-probe").digest(),
+            Symbol::new("digest-probe2").digest()
+        );
+    }
+
+    #[test]
+    fn fresh_interner_ids_are_deterministic() {
+        // The same sequence of interns yields the same ids — the property
+        // that makes symbol ids reproducible across runs of a
+        // deterministic program.
+        let names = ["eval", "apply", "x", "eval", "y%3", "apply"];
+        let a: Vec<u32> = {
+            let i = Interner::new();
+            names.iter().map(|n| i.intern(n).get()).collect()
+        };
+        let b: Vec<u32> = {
+            let i = Interner::new();
+            names.iter().map(|n| i.intern(n).get()).collect()
+        };
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2, 3, 1, 4, 2]);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_id_per_name() {
+        const THREADS: usize = 8;
+        const NAMES: usize = 400;
+        let interner = Interner::new();
+        // Every thread interns the same name set (racing on each name);
+        // all must agree on every id, and round-trip through the table.
+        let per_thread: Vec<Vec<(String, u32)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..NAMES)
+                            .map(|i| {
+                                let name = format!("sym-{i}");
+                                let id = interner.intern(&name).get();
+                                (name, id)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("interner thread"))
+                .collect()
+        });
+        let first = &per_thread[0];
+        for got in &per_thread {
+            assert_eq!(got, first, "threads disagree on interned ids");
+        }
+        let distinct: HashSet<u32> = first.iter().map(|(_, id)| *id).collect();
+        assert_eq!(distinct.len(), NAMES);
+        assert_eq!(interner.len(), NAMES);
+        for (name, id) in first {
+            let id = NonZeroU32::new(*id).expect("nonzero id");
+            assert_eq!(interner.name(id), name.as_str(), "as_str round-trip");
+        }
+    }
+
+    #[test]
+    fn global_concurrent_interning_round_trips() {
+        const THREADS: usize = 8;
+        let syms: Vec<Vec<Symbol>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..200)
+                            .map(|i| Symbol::new(&format!("global-race-{i}")))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("symbol thread"))
+                .collect()
+        });
+        for other in &syms[1..] {
+            assert_eq!(other, &syms[0]);
+        }
+        for (i, s) in syms[0].iter().enumerate() {
+            assert_eq!(s.as_str(), format!("global-race-{i}"));
+        }
     }
 
     #[test]
@@ -164,6 +467,15 @@ mod tests {
         let a = g.fresh("x");
         let b = g.fresh(a.as_str());
         assert_eq!(b.as_str(), "x%1");
+    }
+
+    #[test]
+    fn gensym_survives_oversized_stems() {
+        let g = Gensym::new();
+        let stem = "s".repeat(200);
+        let a = g.fresh(&stem);
+        assert!(a.as_str().starts_with(&stem));
+        assert!(a.as_str().ends_with("%0"));
     }
 
     #[test]
@@ -201,9 +513,10 @@ mod tests {
     }
 
     #[test]
-    fn borrow_str_allows_hashmap_lookup() {
+    fn hashmap_lookup_requires_explicit_interning() {
+        // `Borrow<str>` is gone on purpose: probe with an interned key.
         let mut m = std::collections::HashMap::new();
         m.insert(Symbol::new("k"), 1);
-        assert_eq!(m.get("k"), Some(&1));
+        assert_eq!(m.get(&Symbol::new("k")), Some(&1));
     }
 }

@@ -1,0 +1,264 @@
+//! Compact symbol sets: sorted-by-id vectors behind a copy-on-write `Arc`.
+//!
+//! The specializer threads free-variable sets through every continuation,
+//! join point, and unfold; with `BTreeSet` that meant a fresh tree clone
+//! (one allocation per node) at each step. A [`SymSet`] is a deduplicated
+//! `Vec<Symbol>` sorted by intern id inside an `Arc`: cloning is one
+//! refcount bump, unions are linear merges, and the common small sets live
+//! in a single contiguous allocation. Mutation copies only when the
+//! underlying vector is shared ([`Arc::make_mut`]).
+//!
+//! Iteration order is **id order** (interning order), not name order —
+//! deterministic within a process, which is all the residual-code
+//! bookkeeping needs.
+
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// A set of symbols, ordered by intern id, with O(1) clone.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SymSet(Arc<Vec<Symbol>>);
+
+fn shared_empty() -> &'static Arc<Vec<Symbol>> {
+    static EMPTY: OnceLock<Arc<Vec<Symbol>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
+
+impl SymSet {
+    /// The empty set. Allocation-free: all empty sets share one vector.
+    pub fn new() -> Self {
+        SymSet(shared_empty().clone())
+    }
+
+    /// A one-element set.
+    pub fn singleton(s: Symbol) -> Self {
+        SymSet(Arc::new(vec![s]))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search by id).
+    pub fn contains(&self, s: &Symbol) -> bool {
+        self.0.binary_search(s).is_ok()
+    }
+
+    /// Inserts `s`; returns true if it was new. Copies the backing vector
+    /// only if shared.
+    pub fn insert(&mut self, s: Symbol) -> bool {
+        match self.0.binary_search(&s) {
+            Ok(_) => false,
+            Err(i) => {
+                Arc::make_mut(&mut self.0).insert(i, s);
+                true
+            }
+        }
+    }
+
+    /// Removes `s`; returns true if it was present.
+    pub fn remove(&mut self, s: &Symbol) -> bool {
+        match self.0.binary_search(s) {
+            Ok(i) => {
+                Arc::make_mut(&mut self.0).remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// `self ∪ other`, in place. When `self` is empty this is a handle
+    /// copy of `other` (no allocation); otherwise a linear merge that
+    /// allocates only when something is actually added.
+    pub fn union_with(&mut self, other: &SymSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.0 = other.0.clone();
+            return;
+        }
+        // Fast path: nothing new to add.
+        if other.0.iter().all(|s| self.contains(s)) {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.0.len() + other.0.len());
+        let (a, b) = (&self.0, &other.0);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.0 = Arc::new(merged);
+    }
+
+    /// Keeps only elements satisfying `pred` (order preserved).
+    pub fn retain(&mut self, pred: impl FnMut(&Symbol) -> bool) {
+        let mut p = pred;
+        if self.0.iter().all(&mut p) {
+            return;
+        }
+        Arc::make_mut(&mut self.0).retain(|s| p(s));
+    }
+
+    /// `self ∖ {s}`, by value (convenience for the filter-one-binder
+    /// pattern at `let` and join points).
+    pub fn without(mut self, s: &Symbol) -> Self {
+        self.remove(s);
+        self
+    }
+
+    /// Iterates in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Symbol> {
+        self.0.iter()
+    }
+
+    /// The elements as a sorted slice — feeds `CodeBuilder::lambda`'s
+    /// free-variable list without an intermediate `Vec`.
+    pub fn as_slice(&self) -> &[Symbol] {
+        &self.0
+    }
+}
+
+impl Default for SymSet {
+    fn default() -> Self {
+        SymSet::new()
+    }
+}
+
+impl fmt::Debug for SymSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+impl FromIterator<Symbol> for SymSet {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        let mut v: Vec<Symbol> = iter.into_iter().collect();
+        if v.is_empty() {
+            return SymSet::new();
+        }
+        v.sort_unstable();
+        v.dedup();
+        SymSet(Arc::new(v))
+    }
+}
+
+impl Extend<Symbol> for SymSet {
+    fn extend<I: IntoIterator<Item = Symbol>>(&mut self, iter: I) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SymSet {
+    type Item = &'a Symbol;
+    type IntoIter = std::slice::Iter<'a, Symbol>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: &str) -> Symbol {
+        Symbol::new(n)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = SymSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(sym("a")));
+        assert!(!s.insert(sym("a")));
+        assert!(s.insert(sym("b")));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&sym("a")));
+        assert!(s.remove(&sym("a")));
+        assert!(!s.remove(&sym("a")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn cow_preserves_shared_copies() {
+        let mut a: SymSet = [sym("x"), sym("y")].into_iter().collect();
+        let b = a.clone();
+        a.insert(sym("z"));
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.len(), 3);
+        assert!(!b.contains(&sym("z")));
+    }
+
+    #[test]
+    fn union_merges_and_shares() {
+        let a: SymSet = [sym("p"), sym("q")].into_iter().collect();
+        let mut empty = SymSet::new();
+        empty.union_with(&a);
+        // Union into empty shares the source allocation.
+        assert!(Arc::ptr_eq(&empty.0, &a.0));
+        let mut c: SymSet = [sym("q"), sym("r")].into_iter().collect();
+        c.union_with(&a);
+        assert_eq!(c.len(), 3);
+        let names: Vec<&str> = c.iter().map(|s| s.as_str()).collect();
+        assert!(names.contains(&"p") && names.contains(&"q") && names.contains(&"r"));
+        // No-op union keeps the allocation.
+        let before = Arc::as_ptr(&c.0);
+        c.union_with(&a);
+        assert_eq!(Arc::as_ptr(&c.0), before);
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s: SymSet = [sym("m"), sym("k"), sym("m"), sym("k")]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+        // Sorted by id: strictly increasing.
+        assert!(s.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_sets_share_storage() {
+        let a = SymSet::new();
+        let b = SymSet::new();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn retain_and_without() {
+        let s: SymSet = [sym("a1"), sym("b1"), sym("c1")].into_iter().collect();
+        let t = s.clone().without(&sym("b1"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.contains(&sym("b1")));
+        let mut u = s;
+        u.retain(|x| x.as_str() != "a1");
+        assert!(!u.contains(&sym("a1")));
+        assert_eq!(u.len(), 2);
+    }
+}

@@ -109,7 +109,7 @@ impl<P: ProcRepr> Value<P> {
             Value::Int(n) => Datum::Int(*n),
             Value::Bool(b) => Datum::Bool(*b),
             Value::Char(c) => Datum::Char(*c),
-            Value::Sym(s) => Datum::Sym(s.clone()),
+            Value::Sym(s) => Datum::Sym(*s),
             Value::Str(s) => Datum::Str(s.clone()),
             Value::Nil => Datum::Nil,
             Value::Unspec => Datum::Unspec,
@@ -128,8 +128,8 @@ impl<P> From<&Datum> for Value<P> {
             Datum::Int(n) => Value::Int(*n),
             Datum::Char(c) => Value::Char(*c),
             Datum::Str(s) => Value::Str(s.clone()),
-            Datum::Sym(s) => Value::Sym(s.clone()),
-            Datum::Pair(p) => Value::cons(Value::from(&p.0), Value::from(&p.1)),
+            Datum::Sym(s) => Value::Sym(*s),
+            Datum::Pair(p) => Value::cons(Value::from(&p.car), Value::from(&p.cdr)),
         }
     }
 }
@@ -175,7 +175,7 @@ fn fmt_value<P: ProcRepr>(v: &Value<P>, write: bool, out: &mut String) {
                 Value::Int(n) => Datum::Int(*n),
                 Value::Bool(b) => Datum::Bool(*b),
                 Value::Char(c) => Datum::Char(*c),
-                Value::Sym(s) => Datum::Sym(s.clone()),
+                Value::Sym(s) => Datum::Sym(*s),
                 Value::Str(s) => Datum::Str(s.clone()),
                 Value::Nil => Datum::Nil,
                 _ => Datum::Unspec,

@@ -116,7 +116,7 @@ impl Resolver {
                 if scope.is_empty() {
                     Expr::Const(Datum::Int(*i as i64))
                 } else {
-                    Expr::Var(scope[i % scope.len()].clone())
+                    Expr::Var(scope[i % scope.len()])
                 }
             }
             Sketch::Arith(p, a, b) => {
@@ -134,13 +134,13 @@ impl Resolver {
                 let x = self.fresh();
                 let rhs = self.resolve(r, scope);
                 let mut inner = scope.to_vec();
-                inner.push(x.clone());
+                inner.push(x);
                 Expr::let_(x, rhs, self.resolve(b, &inner))
             }
             Sketch::ApplyLambda(body, arg) => {
                 let x = self.fresh();
                 let mut inner = scope.to_vec();
-                inner.push(x.clone());
+                inner.push(x);
                 let lam = Expr::Lambda(Arc::new(Lambda {
                     name: Symbol::new("anon"),
                     params: vec![x],
@@ -176,14 +176,14 @@ pub fn program_from_sketch(main_body: &Sketch, gadd_body: &Sketch) -> Program {
     let b = Symbol::new("b%main");
     let main = Def {
         name: Symbol::new("main"),
-        params: vec![a.clone(), b.clone()],
+        params: vec![a, b],
         body: r.resolve(main_body, &[a, b]),
     };
     let ga = Symbol::new("a%gadd");
     let gb = Symbol::new("b%gadd");
     let gadd = Def {
         name: Symbol::new("gadd"),
-        params: vec![ga.clone(), gb.clone()],
+        params: vec![ga, gb],
         body: r.resolve(gadd_body, &[ga, gb]),
     };
     // gsel: a higher-orderish selector on plain values.
@@ -191,9 +191,9 @@ pub fn program_from_sketch(main_body: &Sketch, gadd_body: &Sketch) -> Program {
     let sb = Symbol::new("b%gsel");
     let gsel = Def {
         name: Symbol::new("gsel"),
-        params: vec![sa.clone(), sb.clone()],
+        params: vec![sa, sb],
         body: Expr::if_(
-            Expr::PrimApp(Prim::Lt, vec![Expr::Var(sa.clone()), Expr::Var(sb.clone())]),
+            Expr::PrimApp(Prim::Lt, vec![Expr::Var(sa), Expr::Var(sb)]),
             Expr::Var(sa),
             Expr::Var(sb),
         ),
@@ -280,7 +280,7 @@ mod tests {
                     binders(&l.body, out);
                 }
                 Expr::Let(x, r, b) => {
-                    out.push(x.clone());
+                    out.push(*x);
                     binders(r, out);
                     binders(b, out);
                 }

@@ -169,8 +169,8 @@ impl Asm {
             return Ok(i);
         }
         let i = u16::try_from(self.globals.len()).map_err(|_| AsmError::TableOverflow("global"))?;
-        self.globals.push(s.clone());
-        self.global_index.insert(s.clone(), i);
+        self.globals.push(*s);
+        self.global_index.insert(*s, i);
         Ok(i)
     }
 

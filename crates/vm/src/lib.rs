@@ -87,6 +87,14 @@ pub enum Instr {
         /// Argument count.
         nargs: u8,
     },
+    /// Fused `Local i; Push` — the hottest pair the compilators emit
+    /// (argument loading). Loads local slot `i` into `val` *and* pushes it,
+    /// exactly like the two-instruction sequence. Produced only by the
+    /// peephole fuser; the compilators never emit it directly.
+    LocalPush(u16),
+    /// Fused `Const i; Push` (literal-argument loading); same contract as
+    /// [`Instr::LocalPush`].
+    ConstPush(u16),
 }
 
 /// A code object: instructions plus the constant, global, and sub-template
@@ -168,6 +176,8 @@ impl Template {
                 Instr::Jump(t) => format!("jump {t}"),
                 Instr::JumpIfFalse(t) => format!("jump-if-false {t}"),
                 Instr::Prim { prim, nargs } => format!("prim {prim}/{nargs}"),
+                Instr::LocalPush(i) => format!("local-push {i}"),
+                Instr::ConstPush(k) => format!("const-push {}", self.consts[*k as usize]),
             };
             out.push_str(&format!("{pad}  {i:4}  {text}\n"));
         }

@@ -115,7 +115,7 @@ impl Machine {
     pub fn load(image: &Image) -> Self {
         let mut m = Machine::empty();
         for (name, t) in &image.templates {
-            m.define_template(name.clone(), t.clone());
+            m.define_template(*name, t.clone());
         }
         m
     }
@@ -166,7 +166,7 @@ impl Machine {
             .globals
             .get(name)
             .cloned()
-            .ok_or_else(|| VmError::UnknownGlobal(name.clone()))?;
+            .ok_or(VmError::UnknownGlobal(*name))?;
         self.call_value(f, args)
     }
 
@@ -228,7 +228,7 @@ impl Machine {
         let t = &proc.0.template;
         if t.arity != nargs {
             return Err(VmError::BadArity {
-                name: t.name.clone(),
+                name: t.name,
                 expected: t.arity,
                 got: nargs,
             });
@@ -330,6 +330,33 @@ impl Machine {
                 }
                 Instr::Push => {
                     self.stack.push(self.val.clone());
+                }
+                Instr::LocalPush(i) => {
+                    // Fused `Local i; Push`: same observable effect,
+                    // including leaving the value in `val`.
+                    let v = {
+                        let f = self.frame()?;
+                        f.locals
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("local index out of range"))?
+                    };
+                    self.val = v.clone();
+                    self.stack.push(v);
+                }
+                Instr::ConstPush(i) => {
+                    let d = {
+                        let f = self.frame()?;
+                        f.closure
+                            .template
+                            .consts
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("constant index out of range"))?
+                    };
+                    let v = Value::from(&d);
+                    self.val = v.clone();
+                    self.stack.push(v);
                 }
                 Instr::Bind => {
                     let v = self.val.clone();

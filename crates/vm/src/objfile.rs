@@ -204,8 +204,8 @@ fn put_datum(out: &mut Vec<u8>, d: &Datum) {
         }
         Datum::Pair(p) => {
             out.push(8);
-            put_datum(out, &p.0);
-            put_datum(out, &p.1);
+            put_datum(out, &p.car);
+            put_datum(out, &p.cdr);
         }
     }
 }
@@ -255,6 +255,14 @@ fn put_instr(out: &mut Vec<u8>, i: &Instr) {
         Instr::JumpIfFalse(t) => {
             out.push(12);
             put_u32(out, *t);
+        }
+        Instr::LocalPush(n) => {
+            out.push(14);
+            put_u16(out, *n);
+        }
+        Instr::ConstPush(n) => {
+            out.push(15);
+            put_u16(out, *n);
         }
         Instr::Prim { prim, nargs } => {
             out.push(13);
@@ -402,6 +410,8 @@ impl<'a> Reader<'a> {
                     nargs: self.u8()?,
                 }
             }
+            14 => Instr::LocalPush(self.u16()?),
+            15 => Instr::ConstPush(self.u16()?),
             t => return Err(ObjError::BadTag("instr", t)),
         })
     }
@@ -505,6 +515,33 @@ mod tests {
             assert_eq!(n1, n2);
             assert_eq!(t1, t2);
         }
+    }
+
+    #[test]
+    fn symbols_travel_as_names_not_intern_ids() {
+        // Object files written before the interner change (and by other
+        // processes, whose interners assign different ids) must still
+        // decode: the wire format stores symbol *names*. Two checks:
+        // the raw bytes literally contain the names, and decoding after
+        // the interner has grown (shifting any would-be id mapping)
+        // resolves the same symbols.
+        let image = sample_image();
+        let bytes = encode(&image);
+        for name in ["mk", "inner", "two"] {
+            assert!(
+                bytes.windows(name.len()).any(|w| w == name.as_bytes()),
+                "name `{name}` not found in encoded bytes"
+            );
+        }
+        // Grow the interner between encode and decode; ids for any fresh
+        // name now differ from what an id-based format would expect.
+        for i in 0..64 {
+            let _ = Symbol::new(&format!("objfile-compat-shift-{i}"));
+        }
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.entry.as_str(), "mk");
+        assert_eq!(back.templates[0].0.as_str(), "mk");
+        assert_eq!(back.templates[0].1.templates[0].name.as_str(), "inner");
     }
 
     #[test]

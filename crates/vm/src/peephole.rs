@@ -8,7 +8,12 @@
 //!   retargeted to the final destination (cycles are left alone);
 //! * **unreachable-code elimination** — instructions that no fall-through
 //!   or jump can reach are removed, and every jump target is remapped to
-//!   the compacted indices.
+//!   the compacted indices;
+//! * **superinstruction fusion** — the two hottest pairs the compilators
+//!   emit (argument loading) become single instructions: `Local i; Push` →
+//!   `LocalPush i` and `Const i; Push` → `ConstPush i`. A pair is fused
+//!   only when nothing jumps *between* the two instructions, and all jump
+//!   targets are remapped to the shortened code.
 //!
 //! The pass is semantics-preserving byte-code-to-byte-code; correctness is
 //! checked by running the cross-engine suite over optimized images and by
@@ -23,9 +28,9 @@ pub fn optimize_image(image: &Image) -> Image {
         templates: image
             .templates
             .iter()
-            .map(|(n, t)| (n.clone(), optimize_template(t)))
+            .map(|(n, t)| (*n, optimize_template(t)))
             .collect(),
-        entry: image.entry.clone(),
+        entry: image.entry,
     }
 }
 
@@ -35,13 +40,14 @@ pub fn optimize_template(t: &Arc<Template>) -> Arc<Template> {
     loop {
         let threaded = thread_jumps(&code);
         let compacted = drop_unreachable(&threaded);
-        if compacted == code {
+        let fused = fuse_pairs(&compacted);
+        if fused == code {
             break;
         }
-        code = compacted;
+        code = fused;
     }
     Arc::new(Template {
-        name: t.name.clone(),
+        name: t.name,
         arity: t.arity,
         nfree: t.nfree,
         code,
@@ -111,6 +117,51 @@ fn drop_unreachable(code: &[Instr]) -> Vec<Instr> {
         .enumerate()
         .filter(|(i, _)| reachable[*i])
         .map(|(_, instr)| match instr {
+            Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
+            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
+            other => *other,
+        })
+        .collect()
+}
+
+/// Fuses `Local i; Push` → `LocalPush i` and `Const i; Push` →
+/// `ConstPush i`. The `Push` half must not itself be a jump target (a
+/// branch landing between the pair would skip the load); jump targets are
+/// remapped to the shortened indices afterwards.
+fn fuse_pairs(code: &[Instr]) -> Vec<Instr> {
+    let n = code.len();
+    let mut is_target = vec![false; n];
+    for i in code {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t) = i {
+            if (*t as usize) < n {
+                is_target[*t as usize] = true;
+            }
+        }
+    }
+    // Old index → new index. Index n maps too: a jump one past the end
+    // (never emitted, but cheap to stay total).
+    let mut remap = vec![0u32; n + 1];
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        remap[i] = out.len() as u32;
+        let fused = match (code[i], code.get(i + 1)) {
+            (Instr::Local(k), Some(Instr::Push)) if !is_target[i + 1] => Some(Instr::LocalPush(k)),
+            (Instr::Const(k), Some(Instr::Push)) if !is_target[i + 1] => Some(Instr::ConstPush(k)),
+            _ => None,
+        };
+        if let Some(f) = fused {
+            out.push(f);
+            remap[i + 1] = out.len() as u32;
+            i += 2;
+        } else {
+            out.push(code[i]);
+            i += 1;
+        }
+    }
+    remap[n] = out.len() as u32;
+    out.iter()
+        .map(|instr| match instr {
             Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
             Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
             other => *other,
@@ -224,6 +275,147 @@ mod tests {
                 .to_datum(),
             Some(Datum::Int(2))
         );
+    }
+
+    #[test]
+    fn argument_loads_fuse_into_superinstructions() {
+        use two4one_syntax::prim::Prim;
+        // (+ x 1): local 0; push; const 1; push; prim +/2; return
+        let mut a = Asm::new(Symbol::new("add1"), 1, 0);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        assert_eq!(t.code.len(), 6, "before fusion");
+        let o = optimize_template(&t);
+        assert_eq!(
+            o.code,
+            vec![
+                Instr::LocalPush(0),
+                Instr::ConstPush(one),
+                Instr::Prim {
+                    prim: Prim::Add,
+                    nargs: 2
+                },
+                Instr::Return,
+            ],
+            "{}",
+            o.disassemble()
+        );
+        assert_eq!(o.code.len(), 4, "after fusion");
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("add1"), o);
+        let v = m
+            .call_global(&Symbol::new("add1"), vec![Value::Int(41)])
+            .unwrap();
+        assert_eq!(v.to_datum(), Some(Datum::Int(42)));
+    }
+
+    #[test]
+    fn fusion_remaps_branch_targets() {
+        use two4one_syntax::prim::Prim;
+        // if x then (+ x 1) else (+ x 2): both arms start with fusable
+        // pairs, and the else-target index shrinks with the fused code.
+        let mut a = Asm::new(Symbol::new("f"), 1, 0);
+        let alt = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit_jump_if_false(alt);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        a.emit(Instr::Return);
+        a.attach_label(alt);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Push);
+        let forty = a.const_index(&Datum::Int(40)).unwrap();
+        a.emit(Instr::Const(forty));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        assert_eq!(t.code.len(), 14, "before fusion");
+        let o = optimize_template(&t);
+        assert_eq!(o.code.len(), 10, "after fusion");
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("f"), o);
+        // Numbers are truthy: then-branch computes x+1.
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Int(5)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(6))
+        );
+        // #f takes the (remapped) else-branch: 2+40.
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Bool(false)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(42))
+        );
+    }
+
+    #[test]
+    fn push_that_is_a_jump_target_stays_unfused() {
+        // `const 1` then a Push that a branch lands on: fusing would skip
+        // the load on the branch path, so the pair must survive.
+        let mut a = Asm::new(Symbol::new("g"), 1, 0);
+        let onto_push = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit_jump_if_false(onto_push);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.attach_label(onto_push);
+        a.emit(Instr::Push);
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o = optimize_template(&t);
+        assert!(
+            o.code.contains(&Instr::Push),
+            "target Push must not fuse:\n{}",
+            o.disassemble()
+        );
+        assert!(
+            !o.code.iter().any(|i| matches!(i, Instr::ConstPush(_))),
+            "{}",
+            o.disassemble()
+        );
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        use two4one_syntax::prim::Prim;
+        let mut a = Asm::new(Symbol::new("h"), 1, 0);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::Add,
+            nargs: 2,
+        });
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o1 = optimize_template(&t);
+        let o2 = optimize_template(&o1);
+        assert_eq!(o1.code, o2.code);
+        assert_eq!(o1.code.len(), 4);
     }
 
     #[test]
