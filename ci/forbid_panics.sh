@@ -47,6 +47,11 @@ declare -A ALLOW=(
   # contract is that overload, deadlines, corrupt snapshots, and poisoned
   # locks all surface as typed errors/counters; a panic-capable site here
   # would undermine exactly the machinery that contains panics elsewhere.
+  #
+  # Observability (crates/obs/src/*.rs — metrics, span, lib): also ZERO
+  # budget. Telemetry must never take the process down: poisoned registry
+  # locks are entered anyway, the trace ring uses try_with/try_borrow and
+  # drops events rather than panicking, and counters saturate at u64::MAX.
 )
 
 fail=0

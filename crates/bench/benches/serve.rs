@@ -68,9 +68,23 @@ fn bench_serve(c: &mut Criterion) {
     let warm_service = SpecService::new();
     drain(&warm_service, &reqs, 4);
     {
+        let warm_service = &warm_service;
         let reqs = reqs.clone();
         group.bench_function("warm/4-thread", move |b| {
-            b.iter(|| drain(&warm_service, &reqs, 4))
+            b.iter(|| drain(warm_service, &reqs, 4))
+        });
+    }
+
+    // Observability overhead: the same warm traffic with span/latency
+    // recording switched off. The gap between this row and the one above
+    // is what the metrics layer costs on the hottest path.
+    {
+        let warm_service = &warm_service;
+        let reqs = reqs.clone();
+        group.bench_function("warm-noobs/4-thread", move |b| {
+            two4one::obs::set_enabled(false);
+            b.iter(|| drain(warm_service, &reqs, 4));
+            two4one::obs::set_enabled(true);
         });
     }
 
@@ -161,6 +175,7 @@ fn report(group: &harness::Group) {
     let cold1 = rate("cold/1-thread").expect("cold/1 result");
     let cold4 = rate("cold/4-thread").expect("cold/4 result");
     let warm4 = rate("warm/4-thread").expect("warm/4 result");
+    let warm4_noobs = rate("warm-noobs/4-thread").expect("warm-noobs result");
     let restart4 = rate("warm-restart/4-thread").expect("warm-restart result");
     let shed = rate("overload-shed/reject").expect("overload-shed result");
     println!("  cold 1-thread: {cold1:.0} req/s");
@@ -168,6 +183,11 @@ fn report(group: &harness::Group) {
     println!(
         "  warm 4-thread: {warm4:.0} req/s ({:.0}x cold)",
         warm4 / cold1
+    );
+    println!(
+        "  warm 4-thread, metrics off: {warm4_noobs:.0} req/s \
+         (obs overhead {:.1}%)",
+        (1.0 - warm4 / warm4_noobs) * 100.0
     );
     println!(
         "  warm restart (restore + serve): {restart4:.0} req/s ({:.0}x cold)",
@@ -191,6 +211,14 @@ fn report(group: &harness::Group) {
     assert!(
         warm4 > cold4,
         "warm cache no faster than cold: {warm4:.0} vs {cold4:.0} req/s"
+    );
+    // Observability budget: warm-hit throughput with metrics recording
+    // on must stay within a small factor of the metrics-off rate (the
+    // tolerance is looser than the 5% design budget because both rows
+    // are short, noisy samples on shared CI hardware).
+    assert!(
+        warm4 >= warm4_noobs * 0.80,
+        "metrics overhead on the warm path too high: {warm4:.0} vs {warm4_noobs:.0} req/s"
     );
     // A snapshot-restored cache also skips the specializer entirely;
     // restore cost must not eat the advantage.

@@ -25,6 +25,26 @@ fn main() {
     fig7();
     fig8();
     trajectories();
+    metrics_snapshot();
+}
+
+/// Dumps the process-global metrics page after all the measurements
+/// above: every parse/BTA/specialize/compile the tables ran shows up in
+/// the phase histograms and specializer counters — the first-class
+/// replacement for the hand-rolled phase split this binary used to be
+/// the only source of.
+fn metrics_snapshot() {
+    println!("## Metrics snapshot (process-global registry)\n");
+    println!("```text");
+    let snap = two4one::obs::global().snapshot();
+    for line in snap.to_prometheus().lines() {
+        // The full histogram bucket dump is exposition-scraper food;
+        // keep the human page to counts, sums, and counters.
+        if !line.contains("_bucket{") {
+            println!("{line}");
+        }
+    }
+    println!("```");
 }
 
 fn measure_source(s: &Subject) -> Duration {

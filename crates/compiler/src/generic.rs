@@ -50,6 +50,7 @@ pub enum Cont {
 ///
 /// Returns a [`CompileError`] on unbound variables or encoding overflows.
 pub fn compile_program_generic(p: &Program, entry: &str) -> Result<Image, CompileError> {
+    let _span = two4one_obs::Span::enter(two4one_obs::Phase::Compile);
     let globals: BTreeSet<Symbol> = p.defs.iter().map(|d| d.name).collect();
     let mut templates = Vec::with_capacity(p.defs.len());
     for d in &p.defs {

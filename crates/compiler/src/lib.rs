@@ -91,6 +91,7 @@ impl From<AsmError> for CompileError {
 /// # }
 /// ```
 pub fn compile_program(p: &anf::Program, entry: &str) -> Result<Image, CompileError> {
+    let _span = two4one_obs::Span::enter(two4one_obs::Phase::Compile);
     let globals: BTreeSet<Symbol> = p.defs.iter().map(|d| d.name).collect();
     let mut templates = Vec::with_capacity(p.defs.len());
     for d in &p.defs {

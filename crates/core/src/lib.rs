@@ -54,6 +54,7 @@ pub use two4one_anf::{self as anf, Program as AnfProgram, SourceBuilder};
 pub use two4one_bta::{Division, Options as BtaOptions};
 pub use two4one_compiler::{compile_program, ObjectBuilder};
 pub use two4one_interp::{Interp, RtError, Value as InterpValue};
+pub use two4one_obs as obs;
 pub use two4one_pe::{PeError, SpecOptions, SpecStats};
 pub use two4one_syntax::acs::{AProgram, CallPolicy, BT};
 pub use two4one_syntax::cs;
@@ -158,6 +159,57 @@ from_error!(Compile, two4one_compiler::CompileError);
 from_error!(Vm, two4one_vm::VmError);
 from_error!(Interp, RtError);
 
+/// Process-wide counters the facade feeds from per-run [`SpecStats`]
+/// totals. The specializer's hot loop keeps its cheap local counters;
+/// the facade folds them into the shared registry once per run, so the
+/// registry sees every run without contended atomics inside the engine.
+struct SpecMetrics {
+    spec_runs: obs::Counter,
+    unfolds: obs::Counter,
+    memo_hits: obs::Counter,
+    memo_misses: obs::Counter,
+    fallbacks: [obs::Counter; LimitKind::ALL.len()],
+}
+
+fn spec_metrics() -> &'static SpecMetrics {
+    static M: OnceLock<SpecMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let g = obs::global();
+        SpecMetrics {
+            spec_runs: g.counter("t4o_spec_runs_total"),
+            unfolds: g.counter("t4o_spec_unfolds_total"),
+            memo_hits: g.counter("t4o_spec_memo_hits_total"),
+            memo_misses: g.counter("t4o_spec_memo_misses_total"),
+            fallbacks: LimitKind::ALL
+                .map(|k| g.counter_with("t4o_spec_fallbacks_total", Some(("kind", k.label())))),
+        }
+    })
+}
+
+fn note_spec_stats(stats: &SpecStats) {
+    let m = spec_metrics();
+    m.spec_runs.inc();
+    m.unfolds.add(stats.unfolds);
+    m.memo_hits.add(stats.memo_hits);
+    m.memo_misses.add(stats.memo_misses);
+    if stats.fallbacks > 0 {
+        let kind = stats.fallback_kind.unwrap_or(LimitKind::UnfoldFuel);
+        if let Some(idx) = LimitKind::ALL.iter().position(|k| *k == kind) {
+            m.fallbacks[idx].add(stats.fallbacks);
+        }
+    }
+}
+
+/// Forces registration of every pipeline metric family in the global
+/// registry — per-phase latency histograms, specializer run/unfold/memo
+/// counters, and the per-kind fallback counters — so an exposition page
+/// (`t4o stats`, `--metrics-file`) shows all families, zero-valued,
+/// before any workload has run.
+pub fn init_metrics() {
+    obs::touch_phase_metrics();
+    let _ = spec_metrics();
+}
+
 /// The program-generator generator: front end + BTA + specializer engine,
 /// with configuration.
 ///
@@ -231,7 +283,10 @@ impl Pgg {
     ///
     /// Fails on read, syntax, scope, or over-limit input.
     pub fn parse(&self, src: &str) -> Result<cs::Program, Error> {
-        catching(|| Ok(two4one_frontend::frontend_with(src, &self.limits)?))
+        catching(|| {
+            let _span = obs::Span::enter(obs::Phase::Frontend);
+            Ok(two4one_frontend::frontend_with(src, &self.limits)?)
+        })
     }
 
     /// Builds a *generating extension* for `entry` under `division`: the
@@ -248,6 +303,7 @@ impl Pgg {
         division: &Division,
     ) -> Result<GenExt, Error> {
         catching(|| {
+            let _span = obs::Span::enter(obs::Phase::Bta);
             let mut bta_options = self.bta_options.clone();
             bta_options.limits = self.limits.clone();
             let aprog = two4one_bta::bta_with(program, entry, division, &bta_options)?;
@@ -317,13 +373,16 @@ impl GenExt {
         statics: &[Datum],
     ) -> Result<(AnfProgram, SpecStats), Error> {
         catching(|| {
-            Ok(two4one_pe::specialize(
+            let _span = obs::Span::enter(obs::Phase::Specialize);
+            let (prog, stats) = two4one_pe::specialize(
                 &self.aprog,
                 &self.entry,
                 statics,
                 SourceBuilder::new(),
                 &self.options,
-            )?)
+            )?;
+            note_spec_stats(&stats);
+            Ok((prog, stats))
         })
     }
 
@@ -378,6 +437,7 @@ impl GenExt {
         cancel: Option<&CancelToken>,
     ) -> Result<(Image, SpecStats), Error> {
         catching(|| {
+            let _span = obs::Span::enter(obs::Phase::Specialize);
             let mut deadline = options.limits.deadline();
             if let Some(token) = cancel {
                 deadline = deadline.with_cancel(token.clone());
@@ -390,6 +450,7 @@ impl GenExt {
                 options,
                 deadline,
             )?;
+            note_spec_stats(&stats);
             Ok((image?, stats))
         })
     }

@@ -891,6 +891,13 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         }
         self.fuel -= 1;
         self.stats.unfolds += 1;
+        // Strided: one per-unfold trace event would flood the bounded ring
+        // (and cost a clock read per unfold on the hottest loop). The
+        // detail word carries the running total so the trace still shows
+        // unfold progress.
+        if self.stats.unfolds % 256 == 1 {
+            two4one_obs::event_with(two4one_obs::EventKind::Unfold, self.stats.unfolds);
+        }
         let mut rebinds: Vec<(Symbol, Resid<B::Triv>)> = Vec::new();
         let mut binds = Vec::with_capacity(params.len());
         for (p, a) in params.iter().zip(args) {
@@ -925,6 +932,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// cause wins — later fallbacks are usually knock-on effects).
     fn note_fallback(&mut self, e: &PeError) {
         self.stats.fallbacks += 1;
+        two4one_obs::event(two4one_obs::EventKind::Fallback);
         if self.stats.fallback_kind.is_none() {
             self.stats.fallback_kind = match e {
                 PeError::UnfoldLimit(_) => Some(LimitKind::UnfoldFuel),
@@ -974,6 +982,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         let key = MemoKey::new(def.name, keys);
         if let Some(name) = self.cache.get(&key) {
             self.stats.memo_hits += 1;
+            two4one_obs::event(two4one_obs::EventKind::MemoHit);
             return Ok(*name);
         }
         if self.cache.len() >= self.memo_cap {
@@ -983,6 +992,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
             }));
         }
         self.stats.memo_misses += 1;
+        two4one_obs::event(two4one_obs::EventKind::MemoMiss);
         let res_name = self.gensym.fresh(def.name.as_str());
         self.cache.insert(key, res_name);
         self.pending.push_back(Pending {

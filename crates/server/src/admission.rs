@@ -14,6 +14,8 @@
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
+use two4one::obs;
+
 use crate::cache::lock;
 
 /// The admission gate. One per service.
@@ -23,6 +25,10 @@ pub(crate) struct Gate {
     queue_bound: usize,
     state: Mutex<GateState>,
     freed: Condvar,
+    /// Mirrors `GateState::inflight` for the exposition page
+    /// (`t4o_serve_inflight`); the mutex-guarded count stays the source
+    /// of truth for admission decisions.
+    inflight_gauge: obs::Gauge,
 }
 
 #[derive(Debug, Default)]
@@ -45,12 +51,13 @@ pub(crate) enum Admission<'a> {
 }
 
 impl Gate {
-    pub(crate) fn new(max_inflight: usize, queue_bound: usize) -> Self {
+    pub(crate) fn new(max_inflight: usize, queue_bound: usize, inflight_gauge: obs::Gauge) -> Self {
         Gate {
             max_inflight: max_inflight.max(1),
             queue_bound,
             state: Mutex::new(GateState::default()),
             freed: Condvar::new(),
+            inflight_gauge,
         }
     }
 
@@ -66,6 +73,7 @@ impl Gate {
         let mut s = lock(&self.state);
         if s.inflight < self.max_inflight && s.queued == 0 {
             s.inflight += 1;
+            self.inflight_gauge.add(1);
             return Admission::Admitted(Permit { gate: self });
         }
         if s.queued >= self.queue_bound {
@@ -78,6 +86,7 @@ impl Gate {
             if s.inflight < self.max_inflight {
                 s.queued = s.queued.saturating_sub(1);
                 s.inflight += 1;
+                self.inflight_gauge.add(1);
                 return Admission::Admitted(Permit { gate: self });
             }
             match until {
@@ -103,6 +112,7 @@ impl Gate {
     fn release(&self) {
         let mut s = lock(&self.state);
         s.inflight = s.inflight.saturating_sub(1);
+        self.inflight_gauge.add(-1);
         drop(s);
         // Waiters race for the freed slot; wake them all so a timed-out
         // waiter cannot swallow the only wakeup.
@@ -130,7 +140,7 @@ mod tests {
 
     #[test]
     fn admits_up_to_max_inflight_without_queueing() {
-        let gate = Gate::new(2, 4);
+        let gate = Gate::new(2, 4, obs::Gauge::new());
         let a = gate.admit(None);
         let b = gate.admit(None);
         assert!(matches!(a, Admission::Admitted(_)));
@@ -141,7 +151,7 @@ mod tests {
 
     #[test]
     fn sheds_beyond_queue_bound() {
-        let gate = Gate::new(1, 0);
+        let gate = Gate::new(1, 0, obs::Gauge::new());
         let held = gate.admit(None);
         assert!(matches!(held, Admission::Admitted(_)));
         // Queue bound 0: a second requester is shed at once.
@@ -154,7 +164,7 @@ mod tests {
 
     #[test]
     fn queued_request_times_out_at_deadline() {
-        let gate = Gate::new(1, 4);
+        let gate = Gate::new(1, 4, obs::Gauge::new());
         let _held = gate.admit(None);
         let t0 = Instant::now();
         let r = gate.admit(Some(Instant::now() + Duration::from_millis(30)));
@@ -165,7 +175,7 @@ mod tests {
     #[test]
     fn burst_admits_at_most_capacity() {
         const BURST: usize = 32;
-        let gate = Gate::new(2, 4);
+        let gate = Gate::new(2, 4, obs::Gauge::new());
         let admitted = AtomicUsize::new(0);
         let shed = AtomicUsize::new(0);
         std::thread::scope(|scope| {

@@ -21,6 +21,9 @@
 //! * `,spec f S D …` — specialize `f` under the given division (then enter
 //!   the static arguments on the next line) and install the residual
 //!   definitions;
+//! * `,stats` — print the process metrics page (Prometheus text): phase
+//!   latency histograms and specializer counters for everything this
+//!   session has compiled, run, or specialized;
 //! * `,quit` — exit.
 
 use std::io::Write as _;
@@ -79,6 +82,10 @@ impl Repl {
         }
         if line == ",quit" {
             return false;
+        }
+        if line == ",stats" {
+            print!("{}", two4one::obs::global().snapshot().to_prometheus());
+            return true;
         }
         if line == ",defs" {
             for (name, _) in &self.defs {

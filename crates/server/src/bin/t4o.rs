@@ -8,6 +8,7 @@
 //!          [--static <datum>]... [-o out.t4o | --source] [--optimize]
 //!          [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]
 //!          [--jobs <n>] [--batch '(<datum>...)']...
+//! t4o stats [<file.scm> --entry <name> --division SDSD ...] [--json] [-o out]
 //! t4o dis <file.scm|file.t4o> --entry <name>
 //! ```
 //!
@@ -31,14 +32,21 @@
 //! (the batch must fit the admission queue behind it), and
 //! `--cache-file <f.t4os>` warm-starts the service from a crash-safe
 //! snapshot and re-snapshots it after serving.
+//!
+//! Observability: `t4o stats` prints the metrics exposition page
+//! (Prometheus text, or JSON with `--json`), optionally after serving a
+//! workload; `t4o spec --metrics-file <f>` dumps the same page after a
+//! spec run, and `--stats-json <f>` writes the final serve counters as
+//! JSON in serve mode.
 
 use std::process::ExitCode;
 use std::time::Duration;
+use two4one::obs;
 use two4one::{
     compile, load_image, reader, run_image_with, save_image, with_stack, Datum, Division, Image,
     Limits, Pgg, BT,
 };
-use two4one_server::{ServeConfig, SpecRequest, SpecService};
+use two4one_server::{serve_stats_line, ServeConfig, SpecRequest, SpecService};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +78,9 @@ struct Opts {
     cache_file: Option<String>,
     deadline_ms: Option<u64>,
     max_inflight: Option<usize>,
+    metrics_file: Option<String>,
+    stats_json: Option<String>,
+    json: bool,
 }
 
 impl Opts {
@@ -123,6 +134,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cache_file: None,
         deadline_ms: None,
         max_inflight: None,
+        metrics_file: None,
+        stats_json: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -157,6 +171,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--batch" | "-b" => o.batches.push(take("--batch")?),
             "--cache-file" => o.cache_file = Some(take("--cache-file")?),
+            "--metrics-file" => o.metrics_file = Some(take("--metrics-file")?),
+            "--stats-json" => o.stats_json = Some(take("--stats-json")?),
+            "--json" => o.json = true,
             "--deadline-ms" => {
                 o.deadline_ms = Some(parse_u64("--deadline-ms", &take("--deadline-ms")?)?)
             }
@@ -183,6 +200,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(&opts),
         "run" => cmd_run(&opts),
         "spec" => cmd_spec(&opts),
+        "stats" => cmd_stats(&opts),
         "dis" => cmd_dis(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -201,7 +219,11 @@ fn usage() -> String {
      [--static <datum>]... [-o out.t4o | --source] [--optimize] \
      [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict] \
      [--jobs <n>] [--batch '(<datum>...)']... \
-     [--cache-file <f.t4os>] [--deadline-ms <ms>] [--max-inflight <n>]\n  \
+     [--cache-file <f.t4os>] [--deadline-ms <ms>] [--max-inflight <n>] \
+     [--metrics-file <f.prom>] [--stats-json <f.json>]\n  \
+     t4o stats [<file.scm> --entry <name> --division <S|D letters> \
+     [--static <datum>]... [--batch '(<datum>...)']... [--jobs <n>]] \
+     [--json] [-o <file>]\n  \
      t4o dis <file.scm|file.t4o> --entry <name>"
         .to_string()
 }
@@ -268,29 +290,57 @@ fn cmd_run(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_spec(o: &Opts) -> Result<(), String> {
-    let file = need_file(o)?;
-    let entry = need_entry(o)?;
-    let division_text = o
-        .division
-        .as_deref()
-        .ok_or_else(|| "missing --division (e.g. `SD` or `DSS`)".to_string())?;
+/// Parses a division string like `SD` or `DSS` into binding times.
+fn parse_division(text: &str) -> Result<Vec<BT>, String> {
     let mut division = Vec::new();
-    for c in division_text.chars() {
+    for c in text.chars() {
         match c.to_ascii_uppercase() {
             'S' => division.push(BT::Static),
             'D' => division.push(BT::Dynamic),
             other => return Err(format!("bad division letter `{other}` (use S/D)")),
         }
     }
+    Ok(division)
+}
+
+/// Front-end + BTA for `spec`/`stats`: reads the file, parses, and runs
+/// cogen under the requested division, yielding the generating extension.
+fn build_genext(o: &Opts) -> Result<two4one::GenExt, String> {
+    let file = need_file(o)?;
+    let entry = need_entry(o)?;
+    let division_text = o
+        .division
+        .as_deref()
+        .ok_or_else(|| "missing --division (e.g. `SD` or `DSS`)".to_string())?;
+    let division = parse_division(division_text)?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let pgg = Pgg::new().limits(o.spec_limits()).fallback(!o.strict);
     let program = pgg.parse(&src).map_err(|e| e.to_string())?;
-    let genext = pgg
-        .cogen(&program, entry, &Division::new(division))
-        .map_err(|e| e.to_string())?;
+    pgg.cogen(&program, entry, &Division::new(division))
+        .map_err(|e| e.to_string())
+}
+
+/// Writes the Prometheus rendering of `snap` to `path`.
+fn write_metrics_file(path: &str, snap: &obs::MetricsSnapshot) -> Result<(), String> {
+    std::fs::write(path, snap.to_prometheus()).map_err(|e| format!("{path}: {e}"))?;
+    println!(";; metrics: written to {path}");
+    Ok(())
+}
+
+fn cmd_spec(o: &Opts) -> Result<(), String> {
+    let genext = build_genext(o)?;
     if o.jobs.is_some() || !o.batches.is_empty() {
         return cmd_spec_serve(o, genext);
+    }
+    if o.stats_json.is_some() {
+        return Err("`--stats-json` needs serve mode (`--jobs`/`--batch`); \
+                    single-shot spec has no serve counters"
+            .to_string());
+    }
+    // Register every pipeline-level family up front, so the metrics file
+    // is complete (zero-valued included) even for a trivial request.
+    if o.metrics_file.is_some() {
+        two4one::init_metrics();
     }
     let statics = read_data(&o.statics)?;
     let mut degraded = false;
@@ -325,6 +375,9 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
              pass --strict to fail instead)"
         );
     }
+    if let Some(path) = &o.metrics_file {
+        write_metrics_file(path, &obs::global().snapshot())?;
+    }
     Ok(())
 }
 
@@ -344,6 +397,33 @@ fn datum_list(d: &Datum) -> Result<Vec<Datum>, String> {
     }
 }
 
+/// One static-argument list per request: each `--batch '(<datum>...)'`,
+/// or the single `--static` list when no batches were given.
+fn build_batches(o: &Opts) -> Result<Vec<Vec<Datum>>, String> {
+    if o.batches.is_empty() {
+        return Ok(vec![read_data(&o.statics)?]);
+    }
+    o.batches
+        .iter()
+        .map(|text| {
+            let d = reader::read_one(text).map_err(|e| e.to_string())?;
+            datum_list(&d)
+        })
+        .collect()
+}
+
+/// A service configured from the CLI's serving flags.
+fn build_service(o: &Opts) -> SpecService {
+    let mut config = ServeConfig::default();
+    if let Some(n) = o.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(ms) = o.deadline_ms {
+        config.default_deadline = Some(Duration::from_millis(ms));
+    }
+    SpecService::with_config(config)
+}
+
 /// The `spec --jobs/--batch` path: a request per batch (or one request
 /// from `--static`), served through the concurrent `SpecService` over a
 /// bounded worker pool.
@@ -354,30 +434,13 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
             .to_string());
     }
     let jobs = o.jobs.unwrap_or(1);
-    let batches: Vec<Vec<Datum>> = if o.batches.is_empty() {
-        vec![read_data(&o.statics)?]
-    } else {
-        o.batches
-            .iter()
-            .map(|text| {
-                let d = reader::read_one(text).map_err(|e| e.to_string())?;
-                datum_list(&d)
-            })
-            .collect::<Result<_, String>>()?
-    };
+    let batches = build_batches(o)?;
     let requests: Vec<SpecRequest> = batches
         .iter()
         .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
         .collect();
 
-    let mut config = ServeConfig::default();
-    if let Some(n) = o.max_inflight {
-        config.max_inflight = n;
-    }
-    if let Some(ms) = o.deadline_ms {
-        config.default_deadline = Some(Duration::from_millis(ms));
-    }
-    let service = SpecService::with_config(config);
+    let service = build_service(o);
     if requests.len() > service.admission_capacity() {
         return Err(format!(
             "{} batch requests exceed the admission capacity of {} \
@@ -431,10 +494,17 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
             }
         }
     }
-    println!(";; serve: jobs={jobs} {}", service.stats());
+    println!("{}", serve_stats_line(jobs, &service.stats()));
     if let Some(path) = &o.cache_file {
         service.snapshot(path).map_err(|e| format!("{path}: {e}"))?;
         println!(";; cache: snapshot written to {path}");
+    }
+    if let Some(path) = &o.stats_json {
+        std::fs::write(path, service.stats().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!(";; stats: json written to {path}");
+    }
+    if let Some(path) = &o.metrics_file {
+        write_metrics_file(path, &service.metrics())?;
     }
     if degraded {
         eprintln!(
@@ -448,6 +518,52 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `t4o stats`: the metrics exposition page.
+///
+/// With no input file, a fresh service is constructed and its (zero-
+/// valued, but fully registered) exposition is printed — useful to see
+/// every metric family the system exports. With a `.scm` file plus
+/// `--entry`/`--division`, the requests (`--static` or `--batch`, under
+/// `--jobs`) are served first, so the page shows real traffic. Output is
+/// Prometheus text by default, JSON with `--json`; `-o` writes to a file
+/// instead of stdout.
+fn cmd_stats(o: &Opts) -> Result<(), String> {
+    let service = build_service(o);
+    if !o.positional.is_empty() {
+        let genext = build_genext(o)?;
+        let jobs = o.jobs.unwrap_or(1);
+        let batches = build_batches(o)?;
+        let requests: Vec<SpecRequest> = batches
+            .iter()
+            .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
+            .collect();
+        let results = service.specialize_many(&requests, jobs);
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        // Keep stdout pure exposition; the human summary goes to stderr.
+        eprintln!("{}", serve_stats_line(jobs, &service.stats()));
+        if failures > 0 {
+            eprintln!(
+                "t4o: note: {failures} of {} requests failed",
+                requests.len()
+            );
+        }
+    }
+    let snap = service.metrics();
+    let page = if o.json {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    match &o.output {
+        Some(path) => {
+            std::fs::write(path, &page).map_err(|e| format!("{path}: {e}"))?;
+            println!(";; metrics: written to {path}");
+        }
+        None => print!("{page}"),
+    }
+    Ok(())
 }
 
 fn cmd_dis(o: &Opts) -> Result<(), String> {

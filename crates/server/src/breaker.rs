@@ -17,6 +17,8 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use two4one::obs;
+
 use crate::cache::lock;
 
 /// Circuit-breaker tuning (see [`ServeConfig`](crate::ServeConfig)).
@@ -62,13 +64,17 @@ struct BreakerEntry {
 pub(crate) struct Breaker {
     policy: BreakerPolicy,
     entries: Mutex<HashMap<u64, BreakerEntry>>,
+    /// Number of currently open (tripped) breakers, for the exposition
+    /// page (`t4o_breaker_open`).
+    open_gauge: obs::Gauge,
 }
 
 impl Breaker {
-    pub(crate) fn new(policy: BreakerPolicy) -> Self {
+    pub(crate) fn new(policy: BreakerPolicy, open_gauge: obs::Gauge) -> Self {
         Breaker {
             policy,
             entries: Mutex::new(HashMap::new()),
+            open_gauge,
         }
     }
 
@@ -98,7 +104,11 @@ impl Breaker {
         if self.policy.threshold == 0 {
             return;
         }
-        lock(&self.entries).remove(&program);
+        if let Some(e) = lock(&self.entries).remove(&program) {
+            if e.open_until.is_some() {
+                self.open_gauge.add(-1);
+            }
+        }
     }
 
     /// A hard failure: count it, and (re-)open the breaker at threshold.
@@ -111,6 +121,9 @@ impl Breaker {
         e.fails = e.fails.saturating_add(1);
         e.probing = false;
         if e.fails >= self.policy.threshold {
+            if e.open_until.is_none() {
+                self.open_gauge.add(1);
+            }
             e.open_until = Some(Instant::now() + self.policy.cooldown);
         }
     }
@@ -140,7 +153,7 @@ mod tests {
 
     #[test]
     fn trips_after_threshold_and_probes_after_cooldown() {
-        let b = Breaker::new(policy(2, 0));
+        let b = Breaker::new(policy(2, 0), obs::Gauge::new());
         assert_eq!(b.preflight(7), Verdict::Pass);
         b.record_failure(7);
         assert_eq!(b.preflight(7), Verdict::Pass);
@@ -155,7 +168,7 @@ mod tests {
 
     #[test]
     fn open_breaker_serves_fallback_until_cooldown() {
-        let b = Breaker::new(policy(1, 60_000));
+        let b = Breaker::new(policy(1, 60_000), obs::Gauge::new());
         b.record_failure(3);
         assert_eq!(b.preflight(3), Verdict::Fallback);
         assert_eq!(b.preflight(3), Verdict::Fallback);
@@ -165,7 +178,7 @@ mod tests {
 
     #[test]
     fn failed_probe_reopens() {
-        let b = Breaker::new(policy(1, 0));
+        let b = Breaker::new(policy(1, 0), obs::Gauge::new());
         b.record_failure(9);
         assert_eq!(b.preflight(9), Verdict::Probe);
         b.record_failure(9);
@@ -175,7 +188,7 @@ mod tests {
 
     #[test]
     fn released_probe_lets_another_through() {
-        let b = Breaker::new(policy(1, 0));
+        let b = Breaker::new(policy(1, 0), obs::Gauge::new());
         b.record_failure(5);
         assert_eq!(b.preflight(5), Verdict::Probe);
         b.release_probe(5);
@@ -183,8 +196,24 @@ mod tests {
     }
 
     #[test]
+    fn open_gauge_tracks_trip_and_close() {
+        let g = obs::Gauge::new();
+        let b = Breaker::new(policy(1, 0), g.clone());
+        b.record_failure(11);
+        assert_eq!(g.get(), 1);
+        // Re-opening an already-open breaker must not double-count.
+        b.record_failure(11);
+        assert_eq!(g.get(), 1);
+        b.record_success(11);
+        assert_eq!(g.get(), 0);
+        // A success for an unknown program is a no-op.
+        b.record_success(11);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
     fn zero_threshold_disables() {
-        let b = Breaker::new(policy(0, 0));
+        let b = Breaker::new(policy(0, 0), obs::Gauge::new());
         for _ in 0..10 {
             b.record_failure(1);
         }

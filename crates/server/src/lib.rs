@@ -54,7 +54,7 @@ mod persist;
 mod stats;
 
 pub use breaker::BreakerPolicy;
-pub use stats::ServeSnapshot;
+pub use stats::{serve_stats_line, ServeSnapshot};
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,6 +67,7 @@ use breaker::{Breaker, Verdict};
 use cache::{lock, Entry, Flight, Key, Shard, Slot};
 use persist::SnapRecord;
 use stats::ServeStats;
+use two4one::obs;
 use two4one::{
     CancelToken, Datum, Error, GenExt, Image, LimitKind, Limits, PeError, SpecOptions, SpecStats,
 };
@@ -328,6 +329,13 @@ pub struct SpecService {
     default_deadline: Option<Duration>,
     retry: RetryPolicy,
     fill_hook: Option<FillHook>,
+    /// Private registry backing this service's counters, gauges, and
+    /// request-latency histogram. Private so each service's numbers start
+    /// at zero and die with it; [`SpecService::metrics`] merges in the
+    /// process-global pipeline metrics at exposition time.
+    registry: Arc<obs::MetricsRegistry>,
+    requests: obs::Counter,
+    request_latency: obs::Histogram,
 }
 
 impl Default for SpecService {
@@ -346,18 +354,30 @@ impl SpecService {
     pub fn with_config(config: ServeConfig) -> Self {
         let nshards = config.shards.max(1);
         let shards = (0..nshards).map(|_| Mutex::new(Shard::default())).collect();
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        // Ensure the global pipeline families (phase histograms, spec
+        // counters) exist too, so a freshly built service can expose the
+        // complete page before serving anything.
+        two4one::init_metrics();
         SpecService {
             shards,
             per_shard_entries: config.max_entries.div_ceil(nshards).max(1),
             per_shard_code: config.limits.code_cap.map(|c| c.div_ceil(nshards).max(1)),
             stack_bytes: config.stack_bytes,
             ticket: AtomicU64::new(0),
-            stats: ServeStats::default(),
-            gate: Gate::new(config.max_inflight, config.queue_bound),
-            breaker: Breaker::new(config.breaker),
+            stats: ServeStats::register(&registry),
+            gate: Gate::new(
+                config.max_inflight,
+                config.queue_bound,
+                registry.gauge("t4o_serve_inflight"),
+            ),
+            breaker: Breaker::new(config.breaker, registry.gauge("t4o_breaker_open")),
             default_deadline: config.default_deadline,
             retry: config.retry,
             fill_hook: config.fill_hook,
+            requests: registry.counter("t4o_serve_requests_total"),
+            request_latency: registry.histogram("t4o_serve_request_nanos"),
+            registry,
         }
     }
 
@@ -370,6 +390,16 @@ impl SpecService {
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServeSnapshot {
         self.stats.snapshot()
+    }
+
+    /// A full metrics snapshot for exposition: this service's private
+    /// series (`t4o_serve_*`, breaker/inflight gauges, request latency)
+    /// merged with the process-global pipeline series (per-phase latency
+    /// histograms, specializer decision counters). Render it with
+    /// [`obs::MetricsSnapshot::to_prometheus`] or
+    /// [`obs::MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        self.registry.snapshot().merge(obs::global().snapshot())
     }
 
     /// Number of `Ready` entries currently cached.
@@ -548,6 +578,12 @@ impl SpecService {
         }
         ServeStats::add(&self.stats.restored, restored);
         ServeStats::add(&self.stats.quarantined, decoded.quarantined);
+        if restored > 0 {
+            obs::event_with(obs::EventKind::Restored, restored);
+        }
+        if decoded.quarantined > 0 {
+            obs::event_with(obs::EventKind::Quarantined, decoded.quarantined);
+        }
         RestoreReport {
             restored,
             quarantined: decoded.quarantined,
@@ -598,6 +634,24 @@ impl SpecService {
         cancel: Option<&CancelToken>,
         spawn_stack: bool,
     ) -> ServeResult {
+        self.requests.inc();
+        let _span = obs::Span::enter(obs::Phase::Serve);
+        let start = Instant::now();
+        let r = self.serve_inner(ext, statics, deadline, cancel, spawn_stack);
+        if obs::enabled() {
+            self.request_latency.record_duration(start.elapsed());
+        }
+        r
+    }
+
+    fn serve_inner(
+        &self,
+        ext: &GenExt,
+        statics: &[Datum],
+        deadline: Option<Duration>,
+        cancel: Option<&CancelToken>,
+        spawn_stack: bool,
+    ) -> ServeResult {
         // Arm the per-request clock. The token is shared with the caller
         // (explicit cancellation) and threaded into the specializer.
         let until = deadline.map(|d| Instant::now() + d);
@@ -626,6 +680,7 @@ impl SpecService {
         let verdict = self.breaker.preflight(key.program_digest);
         if verdict == Verdict::Fallback {
             ServeStats::bump(&self.stats.breaker_open);
+            obs::event(obs::EventKind::BreakerOpen);
             return self.breaker_fallback(ext, statics, spawn_stack);
         }
 
@@ -641,6 +696,7 @@ impl SpecService {
                 Some(Slot::Ready(entry)) => {
                     entry.last_access = self.ticket.fetch_add(1, Ordering::Relaxed);
                     ServeStats::bump(&self.stats.hits);
+                    obs::event(obs::EventKind::CacheHit);
                     Plan::Hit(entry.outcome.clone())
                 }
                 Some(Slot::InFlight(flight)) => Plan::Wait(flight.clone()),
@@ -649,6 +705,7 @@ impl SpecService {
                     guard
                         .map
                         .insert(key.clone(), Slot::InFlight(flight.clone()));
+                    obs::event(obs::EventKind::CacheMiss);
                     Plan::Lead(flight)
                 }
             }
@@ -663,9 +720,11 @@ impl SpecService {
             }
             Plan::Wait(flight) => {
                 ServeStats::bump(&self.stats.coalesced);
+                obs::event(obs::EventKind::Coalesced);
                 let r = match flight.wait_until(until) {
                     None => {
                         ServeStats::bump(&self.stats.deadline_exceeded);
+                        obs::event(obs::EventKind::DeadlineExceeded);
                         Err(ServeError::DeadlineExceeded)
                     }
                     Some(Ok(outcome)) => {
@@ -699,6 +758,7 @@ impl SpecService {
                 let r = match self.gate.admit(until) {
                     Admission::Shed { queue_depth } => {
                         ServeStats::bump(&self.stats.shed);
+                        obs::event_with(obs::EventKind::Shed, queue_depth as u64);
                         guard.abandon("request shed at admission (overload)");
                         if verdict == Verdict::Probe {
                             self.breaker.release_probe(key.program_digest);
@@ -710,6 +770,7 @@ impl SpecService {
                     }
                     Admission::TimedOut => {
                         ServeStats::bump(&self.stats.deadline_exceeded);
+                        obs::event(obs::EventKind::DeadlineExceeded);
                         guard.abandon("request deadline passed while queued for admission");
                         if verdict == Verdict::Probe {
                             self.breaker.release_probe(key.program_digest);
@@ -759,6 +820,7 @@ impl SpecService {
                 }
                 attempt += 1;
                 ServeStats::bump(&self.stats.retried);
+                obs::event_with(obs::EventKind::Retry, u64::from(attempt));
                 std::thread::sleep(jittered(
                     self.retry.backoff,
                     key.digest ^ u64::from(attempt),
@@ -1004,11 +1066,18 @@ fn run_on_stack<T: Send>(bytes: usize, f: impl FnOnce() -> T + Send) -> Result<T
         let handle = std::thread::Builder::new()
             .name("two4one-spec".into())
             .stack_size(bytes)
-            .spawn_scoped(scope, f)
+            // Carry the worker's trace ring back so the request's spans
+            // and events stay on the requesting thread's trace.
+            .spawn_scoped(scope, move || {
+                let result = f();
+                (result, obs::take_trace())
+            })
             .map_err(|e| ServeError::Spawn(e.to_string()))?;
-        handle
+        let (result, trace) = handle
             .join()
-            .map_err(|_| ServeError::Worker("specialization worker panicked".to_string()))
+            .map_err(|_| ServeError::Worker("specialization worker panicked".to_string()))?;
+        obs::absorb_trace(trace);
+        Ok(result)
     })
 }
 

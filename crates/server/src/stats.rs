@@ -1,57 +1,85 @@
 //! Serving-layer counters.
 //!
 //! One [`ServeStats`] cell lives inside each [`SpecService`](crate::SpecService)
-//! and is updated with relaxed atomics from every worker thread; a
-//! [`ServeSnapshot`] is a coherent-enough copy for monitoring and tests.
-//! `spec_runs` is the load-bearing counter for correctness tests: a
-//! warm-cache hit must leave it unchanged, proving the specializer did no
-//! work.
+//! and is updated from every worker thread; a [`ServeSnapshot`] is a
+//! coherent-enough copy for monitoring and tests. `spec_runs` is the
+//! load-bearing counter for correctness tests: a warm-cache hit must
+//! leave it unchanged, proving the specializer did no work.
+//!
+//! Since the observability subsystem landed, the cells are
+//! [`obs::Counter`] handles registered in the service's private
+//! [`obs::MetricsRegistry`] — so the same numbers that feed
+//! [`ServeSnapshot`] appear, under `t4o_serve_*` families, in the
+//! Prometheus/JSON exposition ([`SpecService::metrics`](crate::SpecService::metrics)).
+//! `ServeSnapshot` stays the stable public view.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Atomic counters maintained by the service (shared across workers).
+use two4one::obs;
+
+/// Saturating counters maintained by the service (shared across workers),
+/// registered as `t4o_serve_*_total` families.
 #[derive(Debug, Default)]
 pub(crate) struct ServeStats {
-    pub(crate) hits: AtomicU64,
-    pub(crate) misses: AtomicU64,
-    pub(crate) coalesced: AtomicU64,
-    pub(crate) evictions: AtomicU64,
-    pub(crate) degraded: AtomicU64,
-    pub(crate) spec_runs: AtomicU64,
-    pub(crate) errors: AtomicU64,
-    pub(crate) shed: AtomicU64,
-    pub(crate) deadline_exceeded: AtomicU64,
-    pub(crate) retried: AtomicU64,
-    pub(crate) breaker_open: AtomicU64,
-    pub(crate) restored: AtomicU64,
-    pub(crate) quarantined: AtomicU64,
+    pub(crate) hits: obs::Counter,
+    pub(crate) misses: obs::Counter,
+    pub(crate) coalesced: obs::Counter,
+    pub(crate) evictions: obs::Counter,
+    pub(crate) degraded: obs::Counter,
+    pub(crate) spec_runs: obs::Counter,
+    pub(crate) errors: obs::Counter,
+    pub(crate) shed: obs::Counter,
+    pub(crate) deadline_exceeded: obs::Counter,
+    pub(crate) retried: obs::Counter,
+    pub(crate) breaker_open: obs::Counter,
+    pub(crate) restored: obs::Counter,
+    pub(crate) quarantined: obs::Counter,
 }
 
 impl ServeStats {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Counters registered in `registry`, so the service's exposition
+    /// shows every family (zero-valued) from construction.
+    pub(crate) fn register(registry: &obs::MetricsRegistry) -> Self {
+        ServeStats {
+            hits: registry.counter("t4o_serve_hits_total"),
+            misses: registry.counter("t4o_serve_misses_total"),
+            coalesced: registry.counter("t4o_serve_coalesced_total"),
+            evictions: registry.counter("t4o_serve_evictions_total"),
+            degraded: registry.counter("t4o_serve_degraded_total"),
+            spec_runs: registry.counter("t4o_serve_spec_runs_total"),
+            errors: registry.counter("t4o_serve_errors_total"),
+            shed: registry.counter("t4o_serve_shed_total"),
+            deadline_exceeded: registry.counter("t4o_serve_deadline_exceeded_total"),
+            retried: registry.counter("t4o_serve_retried_total"),
+            breaker_open: registry.counter("t4o_serve_breaker_open_total"),
+            restored: registry.counter("t4o_serve_restored_total"),
+            quarantined: registry.counter("t4o_serve_quarantined_total"),
+        }
     }
 
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn bump(counter: &obs::Counter) {
+        counter.inc();
+    }
+
+    pub(crate) fn add(counter: &obs::Counter, n: u64) {
+        counter.add(n);
     }
 
     pub(crate) fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            spec_runs: self.spec_runs.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            retried: self.retried.load(Ordering::Relaxed),
-            breaker_open: self.breaker_open.load(Ordering::Relaxed),
-            restored: self.restored.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+            evictions: self.evictions.get(),
+            degraded: self.degraded.get(),
+            spec_runs: self.spec_runs.get(),
+            errors: self.errors.get(),
+            shed: self.shed.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            retried: self.retried.get(),
+            breaker_open: self.breaker_open.get(),
+            restored: self.restored.get(),
+            quarantined: self.quarantined.get(),
         }
     }
 }
@@ -99,26 +127,56 @@ pub struct ServeSnapshot {
     pub quarantined: u64,
 }
 
+impl ServeSnapshot {
+    /// The `(name, value)` pairs of every counter, in declaration order —
+    /// the single source for both renderings below.
+    fn fields(&self) -> [(&'static str, u64); 13] {
+        [
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("coalesced", self.coalesced),
+            ("evictions", self.evictions),
+            ("degraded", self.degraded),
+            ("spec_runs", self.spec_runs),
+            ("errors", self.errors),
+            ("shed", self.shed),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("retried", self.retried),
+            ("breaker_open", self.breaker_open),
+            ("restored", self.restored),
+            ("quarantined", self.quarantined),
+        ]
+    }
+
+    /// Renders the snapshot as a JSON object (for `--stats-json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let fields = self.fields();
+        for (i, (name, value)) in fields.iter().enumerate() {
+            out.push_str(&format!("  \"{name}\": {value}"));
+            out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The one formatter for the human-readable serve-stats line printed by
+/// the CLI (`;; serve: jobs=N hits=… …`) — callers must not roll their
+/// own `format!` for this.
+pub fn serve_stats_line(jobs: usize, snapshot: &ServeSnapshot) -> String {
+    format!(";; serve: jobs={jobs} {snapshot}")
+}
+
 impl fmt::Display for ServeSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "hits={} misses={} coalesced={} evictions={} degraded={} spec_runs={} errors={} \
-             shed={} deadline_exceeded={} retried={} breaker_open={} restored={} quarantined={}",
-            self.hits,
-            self.misses,
-            self.coalesced,
-            self.evictions,
-            self.degraded,
-            self.spec_runs,
-            self.errors,
-            self.shed,
-            self.deadline_exceeded,
-            self.retried,
-            self.breaker_open,
-            self.restored,
-            self.quarantined
-        )
+        for (i, (name, value)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
     }
 }
 
@@ -128,7 +186,8 @@ mod tests {
 
     #[test]
     fn snapshot_reflects_bumps() {
-        let s = ServeStats::default();
+        let registry = obs::MetricsRegistry::new();
+        let s = ServeStats::register(&registry);
         ServeStats::bump(&s.hits);
         ServeStats::bump(&s.hits);
         ServeStats::add(&s.evictions, 3);
@@ -137,5 +196,35 @@ mod tests {
         assert_eq!(snap.evictions, 3);
         assert_eq!(snap.misses, 0);
         assert!(snap.to_string().contains("hits=2"));
+        // The same cells back the registry's exposition.
+        let exp = registry.snapshot();
+        assert_eq!(exp.counter_value("t4o_serve_hits_total", None), Some(2));
+        assert_eq!(
+            exp.counter_value("t4o_serve_evictions_total", None),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn counter_at_max_never_wraps() {
+        // The overflow-audit satellite: a counter pinned at u64::MAX
+        // stays there — no wrap, no panic (also under debug overflow
+        // checks, since the adds saturate).
+        let s = ServeStats::default();
+        ServeStats::add(&s.hits, u64::MAX);
+        ServeStats::bump(&s.hits);
+        ServeStats::add(&s.hits, 12345);
+        assert_eq!(s.snapshot().hits, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_json_lists_every_field() {
+        let s = ServeStats::default();
+        ServeStats::bump(&s.misses);
+        let json = s.snapshot().to_json();
+        assert!(json.contains("\"misses\": 1"));
+        assert!(json.contains("\"quarantined\": 0"));
+        assert_eq!(json.matches(':').count(), 13);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

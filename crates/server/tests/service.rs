@@ -842,3 +842,53 @@ fn snapshot_file_round_trip_via_tempfile() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn warm_hit_records_hit_metric_and_no_specializer_spans() {
+    use two4one::obs;
+
+    let service = SpecService::new();
+    let ext = power_ext(&Pgg::new());
+
+    // Cold fill: the request's trace (absorbed back from the big-stack
+    // worker) must contain a specialize-phase span.
+    obs::clear_trace();
+    service.specialize(&ext, &int(9)).expect("cold");
+    let cold_trace = obs::take_trace();
+    assert!(
+        cold_trace
+            .iter()
+            .any(|e| matches!(e.what, obs::TraceWhat::Enter(obs::Phase::Specialize))),
+        "cold fill should trace a specialize span: {}",
+        obs::render_trace(&cold_trace)
+    );
+
+    // Warm hit: a cache-hit event and not a single specializer span.
+    obs::clear_trace();
+    service.specialize(&ext, &int(9)).expect("warm");
+    let warm_trace = obs::take_trace();
+    assert!(
+        warm_trace
+            .iter()
+            .any(|e| matches!(e.what, obs::TraceWhat::Point(obs::EventKind::CacheHit, _))),
+        "warm hit should trace a cache-hit event: {}",
+        obs::render_trace(&warm_trace)
+    );
+    assert!(
+        !warm_trace.iter().any(|e| matches!(
+            e.what,
+            obs::TraceWhat::Enter(obs::Phase::Specialize)
+                | obs::TraceWhat::Exit {
+                    phase: obs::Phase::Specialize,
+                    ..
+                }
+        )),
+        "warm hit must not touch the specializer: {}",
+        obs::render_trace(&warm_trace)
+    );
+
+    // The same facts appear in the exposition page.
+    let page = service.metrics().to_prometheus();
+    assert!(page.contains("t4o_serve_hits_total 1\n"), "{page}");
+    assert!(page.contains("t4o_serve_requests_total 2\n"), "{page}");
+}

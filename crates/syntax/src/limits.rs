@@ -58,6 +58,36 @@ pub enum LimitKind {
 }
 
 impl LimitKind {
+    /// Every limit kind, in declaration order. Lets observability layers
+    /// pre-register one labeled counter per kind so "fallbacks by kind"
+    /// metric families appear (zero-valued) before any limit ever fires.
+    pub const ALL: [LimitKind; 9] = [
+        LimitKind::Deadline,
+        LimitKind::Cancelled,
+        LimitKind::StepFuel,
+        LimitKind::UnfoldFuel,
+        LimitKind::Depth,
+        LimitKind::MemoEntries,
+        LimitKind::CodeSize,
+        LimitKind::InputNodes,
+        LimitKind::InputDepth,
+    ];
+
+    /// A stable kebab-case identifier, suitable as a metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            LimitKind::Deadline => "deadline",
+            LimitKind::Cancelled => "cancelled",
+            LimitKind::StepFuel => "step-fuel",
+            LimitKind::UnfoldFuel => "unfold-fuel",
+            LimitKind::Depth => "depth",
+            LimitKind::MemoEntries => "memo-entries",
+            LimitKind::CodeSize => "code-size",
+            LimitKind::InputNodes => "input-nodes",
+            LimitKind::InputDepth => "input-depth",
+        }
+    }
+
     /// Human-readable name of the limit.
     pub fn describe(self) -> &'static str {
         match self {

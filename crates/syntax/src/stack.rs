@@ -37,13 +37,21 @@ where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    std::thread::Builder::new()
+    let (result, trace) = std::thread::Builder::new()
         .name("two4one-worker".into())
         .stack_size(bytes)
-        .spawn(f)
+        // Trace rings are per-thread; drain the worker's ring and carry it
+        // back so the request's trace stays continuous across the hop to
+        // the big-stack thread. (Lost on panic — the unwind payload wins.)
+        .spawn(move || {
+            let result = f();
+            (result, two4one_obs::take_trace())
+        })
         .expect("spawn two4one worker thread")
         .join()
-        .unwrap_or_else(|e| std::panic::resume_unwind(e))
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    two4one_obs::absorb_trace(trace);
+    result
 }
 
 #[cfg(test)]
@@ -71,5 +79,16 @@ mod tests {
     #[should_panic(expected = "boom")]
     fn panics_propagate() {
         with_stack(|| panic!("boom"));
+    }
+
+    #[test]
+    fn worker_trace_carries_back_to_caller() {
+        with_stack(|| two4one_obs::event(two4one_obs::EventKind::Unfold));
+        let tr = two4one_obs::trace();
+        assert!(tr.iter().any(|e| matches!(
+            e.what,
+            two4one_obs::TraceWhat::Point(two4one_obs::EventKind::Unfold, _)
+        )));
+        two4one_obs::clear_trace();
     }
 }

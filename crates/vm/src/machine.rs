@@ -162,6 +162,7 @@ impl Machine {
     ///
     /// Returns a [`VmError`] on any runtime fault.
     pub fn call_global(&mut self, name: &Symbol, args: Vec<Value>) -> Result<Value, VmError> {
+        let _span = two4one_obs::Span::enter(two4one_obs::Phase::VmExec);
         let f = self
             .globals
             .get(name)

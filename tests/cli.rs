@@ -723,3 +723,180 @@ fn repl_session_compiles_and_specializes() {
     let after_spec = text.split("residual program").nth(1).unwrap_or("");
     assert!(after_spec.contains("81"), "{text}");
 }
+
+#[test]
+fn t4o_stats_emits_the_full_prometheus_page() {
+    let dir = tmp_dir();
+    let src = dir.join("pow.scm");
+    std::fs::write(
+        &src,
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+    )
+    .unwrap();
+
+    // A workload run: the page must carry real serve traffic.
+    let out = t4o()
+        .args([
+            "stats",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--jobs",
+            "2",
+            "--batch",
+            "(2)",
+            "--batch",
+            "(3)",
+            "--batch",
+            "(2)",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let page = String::from_utf8_lossy(&out.stdout);
+    for family in [
+        "t4o_serve_requests_total 3",
+        "t4o_serve_misses_total 2",
+        "t4o_spec_fallbacks_total{kind=\"unfold-fuel\"} 0",
+        "t4o_breaker_open 0",
+        "t4o_phase_nanos_bucket{phase=\"specialize\",le=\"+Inf\"} 2",
+        "t4o_serve_request_nanos_count 3",
+    ] {
+        assert!(page.contains(family), "missing `{family}` in:\n{page}");
+    }
+    // The duplicate batch is a hit or (if it raced the first fill) a
+    // coalesced wait — either way exactly one request skipped the
+    // specializer.
+    let count_of = |name: &str| -> u64 {
+        page.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing `{name}` in:\n{page}"))
+    };
+    assert_eq!(
+        count_of("t4o_serve_hits_total") + count_of("t4o_serve_coalesced_total"),
+        1,
+        "{page}"
+    );
+    // Human summary goes to stderr, keeping stdout valid exposition.
+    assert!(String::from_utf8_lossy(&out.stderr).contains(";; serve: jobs=2"));
+    assert!(!page.contains(";;"));
+
+    // Without a workload, every family still appears (zero-valued), and
+    // --json switches the format.
+    let out = t4o().args(["stats", "--json"]).output().unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"t4o_serve_requests_total\": 0"), "{json}");
+    assert!(json.contains("t4o_phase_nanos{phase="), "{json}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_spec_metrics_file_and_stats_json() {
+    let dir = tmp_dir();
+    let src = dir.join("pow.scm");
+    std::fs::write(
+        &src,
+        "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+    )
+    .unwrap();
+    let metrics = dir.join("metrics.prom");
+    let stats = dir.join("stats.json");
+    let obj = dir.join("powj");
+
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--jobs",
+            "2",
+            "--batch",
+            "(4)",
+            "--batch",
+            "(4)",
+            "-o",
+            obj.to_str().unwrap(),
+            "--metrics-file",
+            metrics.to_str().unwrap(),
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let page = std::fs::read_to_string(&metrics).unwrap();
+    assert!(page.contains("t4o_serve_requests_total 2"), "{page}");
+    assert!(page.contains("t4o_serve_hits_total 1"), "{page}");
+    assert!(page.contains("# TYPE t4o_phase_nanos histogram"), "{page}");
+
+    let json = std::fs::read_to_string(&stats).unwrap();
+    assert!(json.contains("\"hits\": 1"), "{json}");
+    assert!(json.contains("\"spec_runs\": 1"), "{json}");
+
+    // --stats-json without serve mode is rejected with a clear message.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--static",
+            "3",
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve mode"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_stats_command_prints_metrics() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"(define (sq x) (* x x))\n(sq 6)\n,stats\n,quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The session compiled and ran code, so the page shows phase traffic.
+    assert!(
+        stdout.contains("# TYPE t4o_phase_nanos histogram"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("t4o_phase_nanos_count{phase=\"frontend\"}"),
+        "{stdout}"
+    );
+}
