@@ -43,10 +43,14 @@ declare -A ALLOW=(
   # Embedded benchmark programs are compile-time constants.
   [crates/langs/src/lib.rs]=4
   # Serving layer (crates/server/src/*.rs — admission, breaker, cache,
-  # persist, stats, lib): deliberately ZERO budget. The fault-tolerance
-  # contract is that overload, deadlines, corrupt snapshots, and poisoned
-  # locks all surface as typed errors/counters; a panic-capable site here
-  # would undermine exactly the machinery that contains panics elsewhere.
+  # persist, registry, stats, lib): deliberately ZERO budget. The
+  # fault-tolerance contract is that overload, deadlines, corrupt
+  # snapshots, poisoned locks, and program redefinition races all surface
+  # as typed errors/counters; a panic-capable site here would undermine
+  # exactly the machinery that contains panics elsewhere. The registry
+  # module (versioned programs + invalidation backedges) is explicitly
+  # included: a redefinition must never be able to panic a serving thread
+  # that is mid-publication for a dead epoch.
   #
   # Observability (crates/obs/src/*.rs — metrics, span, lib): also ZERO
   # budget. Telemetry must never take the process down: poisoned registry

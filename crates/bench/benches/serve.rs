@@ -114,6 +114,43 @@ fn bench_serve(c: &mut Criterion) {
         });
     }
 
+    // Redefinition: invalidating a fully-warm program (24 cached
+    // specializations) is backedge surgery on the registry and cache
+    // shards, not re-specialization — it must cost nothing next to the
+    // cold fills it obsoletes.
+    {
+        group.bench_function("redefine/24-entries", |b| {
+            b.iter_custom(|iters| {
+                let pgg = Pgg::new();
+                let generation = |e: u64| {
+                    let src =
+                        format!("(define (power n x) (if (= n 0) {e} (* x (power (- n 1) x))))");
+                    let program = pgg.parse(&src).expect("parse generation");
+                    pgg.cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
+                        .expect("cogen generation")
+                };
+                let service = SpecService::new();
+                service.register("bench", &generation(1));
+                let mut total = Duration::ZERO;
+                for epoch in 2..=(iters + 1) {
+                    // Untimed: warm every entry of the live generation,
+                    // and prepare the next one.
+                    for n in 1..=REQUESTS {
+                        service
+                            .specialize_named("bench", &[Datum::Int(n)])
+                            .expect("warm fill");
+                    }
+                    let next = generation(epoch);
+                    let t0 = Instant::now();
+                    let outcome = service.redefine("bench", &next);
+                    total += t0.elapsed();
+                    assert_eq!(outcome.invalidated, REQUESTS as u64);
+                }
+                total
+            })
+        });
+    }
+
     // Overload shedding: with the gate saturated, rejecting the excess
     // must stay cheap — shedding is the mechanism that protects latency.
     {
@@ -139,7 +176,7 @@ fn bench_serve(c: &mut Criterion) {
             let svc = &service;
             let blocker = &burst[0];
             scope.spawn(move || {
-                let _ = svc.specialize(&blocker.ext, &blocker.statics);
+                let _ = svc.specialize_request(blocker);
             });
             while !entered.load(Ordering::SeqCst) {
                 std::thread::sleep(Duration::from_millis(1));
@@ -148,7 +185,7 @@ fn bench_serve(c: &mut Criterion) {
             group.bench_function("overload-shed/reject", |b| {
                 b.iter(|| {
                     for r in excess {
-                        let e = svc.specialize(&r.ext, &r.statics).expect_err("gate full");
+                        let e = svc.specialize_request(r).expect_err("gate full");
                         black_box(matches!(e, ServeError::Overloaded { .. }));
                     }
                 })
@@ -177,6 +214,7 @@ fn report(group: &harness::Group) {
     let warm4 = rate("warm/4-thread").expect("warm/4 result");
     let warm4_noobs = rate("warm-noobs/4-thread").expect("warm-noobs result");
     let restart4 = rate("warm-restart/4-thread").expect("warm-restart result");
+    let redefine = rate("redefine/24-entries").expect("redefine result");
     let shed = rate("overload-shed/reject").expect("overload-shed result");
     println!("  cold 1-thread: {cold1:.0} req/s");
     println!("  cold 4-thread: {cold4:.0} req/s ({:.2}x)", cold4 / cold1);
@@ -193,6 +231,7 @@ fn report(group: &harness::Group) {
         "  warm restart (restore + serve): {restart4:.0} req/s ({:.0}x cold)",
         restart4 / cold1
     );
+    println!("  redefine (24-entry invalidation): {redefine:.0} entries/s");
     println!("  overload shed: {shed:.0} rejections/s");
 
     // Anchor to the workspace root so the trajectory file lands in the
@@ -225,6 +264,12 @@ fn report(group: &harness::Group) {
     assert!(
         restart4 > cold4,
         "warm restart no faster than cold: {restart4:.0} vs {cold4:.0} req/s"
+    );
+    // Redefinition is registry + cache surgery, never re-specialization:
+    // invalidating entries must beat cold-filling them by a wide margin.
+    assert!(
+        redefine > cold1 * 10.0,
+        "redefinition too slow: {redefine:.0} entries/s vs cold {cold1:.0} req/s"
     );
     // Shedding is the overload safety valve: rejections must be at least
     // as cheap as cold specialization by a wide margin.

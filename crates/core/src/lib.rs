@@ -210,6 +210,49 @@ pub fn init_metrics() {
     let _ = spec_metrics();
 }
 
+/// A monotonically increasing version of a logical program.
+///
+/// A serving layer that accepts program *redefinition* registers each
+/// program under a stable logical name and stamps every registration
+/// with an `Epoch`. Residual code is only valid relative to the exact
+/// source it was derived from (the derivation is a revocable artifact,
+/// not a permanent fact), so anything cached on behalf of a program —
+/// specializations, breaker state, snapshot records — carries the epoch
+/// it was derived under and dies with it. Epochs start at
+/// [`Epoch::FIRST`] and only move forward; they are per-name and
+/// per-process (snapshot restore compares program *identity*, not raw
+/// epoch numbers, across processes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The epoch of a program's first registration.
+    pub const FIRST: Epoch = Epoch(1);
+
+    /// Wraps a raw epoch number (used when decoding persisted state).
+    pub const fn from_raw(n: u64) -> Epoch {
+        Epoch(n)
+    }
+
+    /// The raw epoch number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch after this one (saturating — an epoch never wraps back
+    /// to an earlier generation).
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// The program-generator generator: front end + BTA + specializer engine,
 /// with configuration.
 ///

@@ -99,6 +99,17 @@ pub enum EventKind {
     Restored,
     /// A snapshot record was quarantined during restore.
     Quarantined,
+    /// A program was redefined; the detail word is the new epoch.
+    Redefined,
+    /// Cached specializations were invalidated by a redefinition; the
+    /// detail word is how many.
+    Invalidated,
+    /// Snapshot records were dropped on restore because their program was
+    /// redefined since the snapshot; the detail word is how many.
+    StaleDropped,
+    /// An in-flight fill finished for an epoch that died under it; the
+    /// result was served to its waiters but never cached.
+    EpochConflict,
 }
 
 impl EventKind {
@@ -118,6 +129,10 @@ impl EventKind {
             EventKind::BreakerOpen => "breaker-open",
             EventKind::Restored => "restored",
             EventKind::Quarantined => "quarantined",
+            EventKind::Redefined => "redefined",
+            EventKind::Invalidated => "invalidated",
+            EventKind::StaleDropped => "stale-dropped",
+            EventKind::EpochConflict => "epoch-conflict",
         }
     }
 }

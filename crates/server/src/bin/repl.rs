@@ -21,6 +21,13 @@
 //! * `,spec f S D …` — specialize `f` under the given division (then enter
 //!   the static arguments on the next line) and install the residual
 //!   definitions;
+//! * `,redefine (define (f …) …)` — replace `f` as a new *generation*:
+//!   every residual definition previously derived from `f` by `,spec` is
+//!   dropped (specialized code is only valid relative to the exact source
+//!   it came from), and `f`'s redefinition epoch is bumped. A plain
+//!   `(define …)` of the same name keeps the stale residuals and warns;
+//! * `,programs` — list definitions with their redefinition epochs and
+//!   what was derived from them;
 //! * `,stats` — print the process metrics page (Prometheus text): phase
 //!   latency histograms and specializer counters for everything this
 //!   session has compiled, run, or specialized;
@@ -55,6 +62,12 @@ struct Repl {
     /// Definition source text, by name (kept as text so redefinition and
     /// re-analysis stay trivial).
     defs: Vec<(Symbol, String)>,
+    /// Derivation backedges: residual definitions installed by `,spec`,
+    /// each pointing at the source function it was specialized from.
+    /// `,redefine` of that source drops exactly these.
+    derived: Vec<(Symbol, Symbol)>,
+    /// Redefinition epoch per user-defined function (starts at 1).
+    epochs: Vec<(Symbol, u64)>,
     counter: u64,
 }
 
@@ -62,7 +75,29 @@ impl Repl {
     fn new() -> Self {
         Repl {
             defs: Vec::new(),
+            derived: Vec::new(),
+            epochs: Vec::new(),
             counter: 0,
+        }
+    }
+
+    fn epoch_of(&self, name: &Symbol) -> u64 {
+        self.epochs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(1, |(_, e)| *e)
+    }
+
+    fn bump_epoch(&mut self, name: Symbol) -> u64 {
+        match self.epochs.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, e)) => {
+                *e += 1;
+                *e
+            }
+            None => {
+                self.epochs.push((name, 2));
+                2
+            }
         }
     }
 
@@ -91,6 +126,26 @@ impl Repl {
             for (name, _) in &self.defs {
                 println!("  {name}");
             }
+            return true;
+        }
+        if line == ",programs" {
+            for (name, _) in &self.defs {
+                let from: Vec<String> = self
+                    .derived
+                    .iter()
+                    .filter(|(residual, _)| residual == name)
+                    .map(|(_, source)| source.to_string())
+                    .collect();
+                if from.is_empty() {
+                    println!("  {name} (epoch {})", self.epoch_of(name));
+                } else {
+                    println!("  {name} (derived from {})", from.join(" "));
+                }
+            }
+            return true;
+        }
+        if let Some(rest) = line.strip_prefix(",redefine ") {
+            self.redefine(rest.trim());
             return true;
         }
         if let Some(rest) = line.strip_prefix(",dis ") {
@@ -123,25 +178,95 @@ impl Repl {
         }
     }
 
-    fn add_define(&mut self, src: &str, d: &Datum) {
+    fn add_define(&mut self, src: &str, d: &Datum) -> bool {
         let Some(name) = Self::define_name(d) else {
             println!("malformed definition");
-            return;
+            return false;
         };
+        let stale: Vec<String> = self
+            .derived
+            .iter()
+            .filter(|(_, source)| *source == name)
+            .map(|(residual, _)| residual.to_string())
+            .collect();
         self.defs.retain(|(n, _)| n != &name);
         self.defs.push((name, src.to_string()));
+        // A hand-typed definition is user-authored, whatever its history.
+        self.derived.retain(|(residual, _)| residual != &name);
         // Compile eagerly so errors surface now — the "online compiler".
         match Pgg::new()
             .parse(&self.program_text())
             .and_then(|p| compile(&p, name.as_str()))
         {
-            Ok(image) => println!(
-                ";; compiled `{name}` ({} instructions total)",
-                image.code_size()
-            ),
+            Ok(image) => {
+                println!(
+                    ";; compiled `{name}` ({} instructions total)",
+                    image.code_size()
+                );
+                if !stale.is_empty() {
+                    println!(
+                        ";; note: {} residual definition(s) derived from `{name}` \
+                         are now stale ({}); use ,redefine to drop them",
+                        stale.len(),
+                        stale.join(" ")
+                    );
+                }
+                true
+            }
             Err(e) => {
                 println!("error: {e}");
                 self.defs.retain(|(n, _)| n != &name);
+                false
+            }
+        }
+    }
+
+    /// `,redefine (define (f …) …)` — a new *generation* of `f`: residual
+    /// definitions derived from the old source are invalid by
+    /// construction, so they are dropped before the replacement is
+    /// installed, and the function's epoch is bumped.
+    fn redefine(&mut self, form: &str) {
+        let d = match reader::read_one(form) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("read error: {e}");
+                return;
+            }
+        };
+        if d.as_form("define").is_none() {
+            println!("usage: ,redefine (define (f ...) ...)");
+            return;
+        }
+        let Some(name) = Self::define_name(&d) else {
+            println!("malformed definition");
+            return;
+        };
+        if !self.defs.iter().any(|(n, _)| n == &name) {
+            println!(";; `{name}` was not yet defined; installing it fresh");
+            self.add_define(form, &d);
+            return;
+        }
+        let dropped: Vec<Symbol> = self
+            .derived
+            .iter()
+            .filter(|(_, source)| *source == name)
+            .map(|(residual, _)| *residual)
+            .collect();
+        self.defs.retain(|(n, _)| !dropped.contains(n));
+        self.derived
+            .retain(|(residual, source)| *source != name && !dropped.contains(residual));
+        if self.add_define(form, &d) {
+            let epoch = self.bump_epoch(name);
+            let names: Vec<String> = dropped.iter().map(Symbol::to_string).collect();
+            if names.is_empty() {
+                println!(";; redefined `{name}` (epoch {epoch})");
+            } else {
+                println!(
+                    ";; redefined `{name}` (epoch {epoch}, dropped {} derived \
+                     residual definition(s): {})",
+                    names.len(),
+                    names.join(" ")
+                );
             }
         }
     }
@@ -217,12 +342,19 @@ impl Repl {
             Ok(residual) => {
                 println!(";; residual program:");
                 println!("{}", residual.to_source());
-                // Install the residual definitions (entry keeps its name).
+                // Install the residual definitions (entry keeps its name),
+                // each recorded as derived from the specialized source so
+                // `,redefine` of that source can drop them.
+                let source = Symbol::new(name);
                 for (i, d) in residual.to_cs().to_data().iter().enumerate() {
                     let src = d.to_string();
                     if let Some(n) = Self::define_name(d) {
                         self.defs.retain(|(existing, _)| existing != &n);
                         self.defs.push((n, src));
+                        self.derived.retain(|(residual, _)| residual != &n);
+                        if n != source {
+                            self.derived.push((n, source));
+                        }
                     } else if i == 0 {
                         println!(";; (could not install entry definition)");
                     }

@@ -33,6 +33,14 @@
 //! `--cache-file <f.t4os>` warm-starts the service from a crash-safe
 //! snapshot and re-snapshots it after serving.
 //!
+//! Live redefinition: `--name <logical>` registers the program in the
+//! service's versioned registry (requests resolve by name, cache entries
+//! carry `(name, epoch)` backedges, and snapshot records from an older
+//! generation are dropped as stale on restore); `--redefine <file2.scm>`
+//! swaps in new source mid-run — the old generation's cached
+//! specializations are invalidated and the batch is served again from
+//! the new one.
+//!
 //! Observability: `t4o stats` prints the metrics exposition page
 //! (Prometheus text, or JSON with `--json`), optionally after serving a
 //! workload; `t4o spec --metrics-file <f>` dumps the same page after a
@@ -75,6 +83,8 @@ struct Opts {
     strict: bool,
     jobs: Option<usize>,
     batches: Vec<String>,
+    name: Option<String>,
+    redefine: Option<String>,
     cache_file: Option<String>,
     deadline_ms: Option<u64>,
     max_inflight: Option<usize>,
@@ -131,6 +141,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         strict: false,
         jobs: None,
         batches: Vec::new(),
+        name: None,
+        redefine: None,
         cache_file: None,
         deadline_ms: None,
         max_inflight: None,
@@ -170,6 +182,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.jobs = Some(n as usize);
             }
             "--batch" | "-b" => o.batches.push(take("--batch")?),
+            "--name" | "-n" => o.name = Some(take("--name")?),
+            "--redefine" => o.redefine = Some(take("--redefine")?),
             "--cache-file" => o.cache_file = Some(take("--cache-file")?),
             "--metrics-file" => o.metrics_file = Some(take("--metrics-file")?),
             "--stats-json" => o.stats_json = Some(take("--stats-json")?),
@@ -219,10 +233,12 @@ fn usage() -> String {
      [--static <datum>]... [-o out.t4o | --source] [--optimize] \
      [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict] \
      [--jobs <n>] [--batch '(<datum>...)']... \
+     [--name <logical> [--redefine <file2.scm>]] \
      [--cache-file <f.t4os>] [--deadline-ms <ms>] [--max-inflight <n>] \
      [--metrics-file <f.prom>] [--stats-json <f.json>]\n  \
      t4o stats [<file.scm> --entry <name> --division <S|D letters> \
-     [--static <datum>]... [--batch '(<datum>...)']... [--jobs <n>]] \
+     [--static <datum>]... [--batch '(<datum>...)']... [--jobs <n>] \
+     [--name <logical>] [--cache-file <f.t4os>]] \
      [--json] [-o <file>]\n  \
      t4o dis <file.scm|file.t4o> --entry <name>"
         .to_string()
@@ -306,7 +322,12 @@ fn parse_division(text: &str) -> Result<Vec<BT>, String> {
 /// Front-end + BTA for `spec`/`stats`: reads the file, parses, and runs
 /// cogen under the requested division, yielding the generating extension.
 fn build_genext(o: &Opts) -> Result<two4one::GenExt, String> {
-    let file = need_file(o)?;
+    build_genext_from(o, need_file(o)?)
+}
+
+/// Same pipeline against an explicit source path — `--redefine <file>`
+/// reuses the entry point and division of the original registration.
+fn build_genext_from(o: &Opts, file: &str) -> Result<two4one::GenExt, String> {
     let entry = need_entry(o)?;
     let division_text = o
         .division
@@ -328,8 +349,11 @@ fn write_metrics_file(path: &str, snap: &obs::MetricsSnapshot) -> Result<(), Str
 }
 
 fn cmd_spec(o: &Opts) -> Result<(), String> {
+    if o.redefine.is_some() && o.name.is_none() {
+        return Err("`--redefine` needs `--name <logical>` (the program to redefine)".to_string());
+    }
     let genext = build_genext(o)?;
-    if o.jobs.is_some() || !o.batches.is_empty() {
+    if o.jobs.is_some() || !o.batches.is_empty() || o.name.is_some() {
         return cmd_spec_serve(o, genext);
     }
     if o.stats_json.is_some() {
@@ -424,52 +448,23 @@ fn build_service(o: &Opts) -> SpecService {
     SpecService::with_config(config)
 }
 
-/// The `spec --jobs/--batch` path: a request per batch (or one request
-/// from `--static`), served through the concurrent `SpecService` over a
-/// bounded worker pool.
-fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
-    if o.source {
-        return Err("`--source` cannot be combined with `--jobs`/`--batch` \
-                    (the service caches object code)"
-            .to_string());
-    }
-    let jobs = o.jobs.unwrap_or(1);
-    let batches = build_batches(o)?;
-    let requests: Vec<SpecRequest> = batches
-        .iter()
-        .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
-        .collect();
-
-    let service = build_service(o);
-    if requests.len() > service.admission_capacity() {
-        return Err(format!(
-            "{} batch requests exceed the admission capacity of {} \
-             (raise --max-inflight or split the batch)",
-            requests.len(),
-            service.admission_capacity()
-        ));
-    }
-    if let Some(path) = &o.cache_file {
-        if std::path::Path::new(path).exists() {
-            let report = service.restore(path).map_err(|e| format!("{path}: {e}"))?;
-            println!(
-                ";; cache: restored {} entries from {path} ({} quarantined)",
-                report.restored, report.quarantined
-            );
-        }
-    }
-    let results = service.specialize_many(&requests, jobs);
-
+/// Prints (and with `-o`, writes) one serve pass's results; returns
+/// whether any specialization degraded and how many requests failed.
+fn report_results(
+    o: &Opts,
+    results: &[two4one_server::ServeResult],
+    batches: &[Vec<Datum>],
+) -> Result<(bool, usize), String> {
     let mut degraded = false;
     let mut failures = 0usize;
-    for (i, (result, statics)) in results.iter().zip(&batches).enumerate() {
+    for (i, (result, statics)) in results.iter().zip(batches).enumerate() {
         let rendered: Vec<String> = statics.iter().map(Datum::to_string).collect();
         let rendered = rendered.join(" ");
         match result {
             Ok(outcome) => {
                 degraded |= outcome.stats.degraded();
                 if let Some(prefix) = &o.output {
-                    let path = if requests.len() == 1 {
+                    let path = if results.len() == 1 {
                         prefix.clone()
                     } else {
                         format!("{}.{i}.t4o", prefix.trim_end_matches(".t4o"))
@@ -493,6 +488,81 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
                 eprintln!("t4o: request {i} ({rendered}): {e}");
             }
         }
+    }
+    Ok((degraded, failures))
+}
+
+/// The `spec --jobs/--batch/--name` path: a request per batch (or one
+/// request from `--static`), served through the concurrent `SpecService`
+/// over a bounded worker pool. With `--name` the program is registered
+/// in the service's versioned registry and requests resolve through it;
+/// `--redefine <file>` then swaps in the new source mid-run, invalidates
+/// every cached specialization of the old generation, and serves the
+/// same batch again from the new one (with `-o`, the second pass's
+/// object files overwrite the first — the live generation wins).
+fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
+    if o.source {
+        return Err("`--source` cannot be combined with `--jobs`/`--batch` \
+                    (the service caches object code)"
+            .to_string());
+    }
+    let jobs = o.jobs.unwrap_or(1);
+    let batches = build_batches(o)?;
+    let requests: Vec<SpecRequest> = match &o.name {
+        Some(name) => batches
+            .iter()
+            .map(|statics| SpecRequest::named(name, statics.clone()))
+            .collect(),
+        None => batches
+            .iter()
+            .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
+            .collect(),
+    };
+
+    let service = build_service(o);
+    if requests.len() > service.admission_capacity() {
+        return Err(format!(
+            "{} batch requests exceed the admission capacity of {} \
+             (raise --max-inflight or split the batch)",
+            requests.len(),
+            service.admission_capacity()
+        ));
+    }
+    // Register before restoring: snapshot records carry `(name, epoch)`
+    // backedges, and restore can only judge them stale or live against a
+    // populated registry.
+    if let Some(name) = &o.name {
+        let epoch = service.register(name, &genext);
+        println!(";; program: {name} registered (epoch {epoch})");
+    }
+    if let Some(path) = &o.cache_file {
+        if std::path::Path::new(path).exists() {
+            let report = service.restore(path).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                ";; cache: restored {} entries from {path} \
+                 ({} quarantined, {} stale dropped)",
+                report.restored, report.quarantined, report.stale_dropped
+            );
+        }
+    }
+    let results = service.specialize_many(&requests, jobs);
+    let (mut degraded, mut failures) = report_results(o, &results, &batches)?;
+
+    if let Some(path) = &o.redefine {
+        let name = o
+            .name
+            .as_ref()
+            .ok_or_else(|| "`--redefine` needs `--name <logical>`".to_string())?;
+        let next = build_genext_from(o, path)?;
+        let outcome = service.redefine(name, &next);
+        println!(
+            ";; program: {name} redefined (epoch {}, {} invalidated)",
+            outcome.epoch, outcome.invalidated
+        );
+        let results = service.specialize_many(&requests, jobs);
+        let (d, f) = report_results(o, &results, &batches)?;
+        degraded |= d;
+        failures += f;
     }
     println!("{}", serve_stats_line(jobs, &service.stats()));
     if let Some(path) = &o.cache_file {
@@ -535,10 +605,32 @@ fn cmd_stats(o: &Opts) -> Result<(), String> {
         let genext = build_genext(o)?;
         let jobs = o.jobs.unwrap_or(1);
         let batches = build_batches(o)?;
-        let requests: Vec<SpecRequest> = batches
-            .iter()
-            .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
-            .collect();
+        let requests: Vec<SpecRequest> = match &o.name {
+            Some(name) => batches
+                .iter()
+                .map(|statics| SpecRequest::named(name, statics.clone()))
+                .collect(),
+            None => batches
+                .iter()
+                .map(|statics| SpecRequest::new(genext.clone(), statics.clone()))
+                .collect(),
+        };
+        if let Some(name) = &o.name {
+            let epoch = service.register(name, &genext);
+            eprintln!(";; program: {name} registered (epoch {epoch})");
+        }
+        // Restoring after registration lets the page show `stale_dropped`
+        // for snapshot records whose program has since been redefined.
+        if let Some(path) = &o.cache_file {
+            if std::path::Path::new(path).exists() {
+                let report = service.restore(path).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    ";; cache: restored {} entries from {path} \
+                     ({} quarantined, {} stale dropped)",
+                    report.restored, report.quarantined, report.stale_dropped
+                );
+            }
+        }
         let results = service.specialize_many(&requests, jobs);
         let failures = results.iter().filter(|r| r.is_err()).count();
         // Keep stdout pure exposition; the human summary goes to stderr.

@@ -3,21 +3,29 @@
 //! A program whose specialization keeps failing hard (engine errors,
 //! dead workers, blown deadlines) would otherwise re-run the specializer
 //! on every request — errors are deliberately not cached. The breaker
-//! watches consecutive hard failures per *program* (program + entry
-//! digest, across all static arguments): after `threshold` of them it
-//! opens and the service answers with generically-compiled fallback code
-//! instead of specializing. After `cooldown`, exactly one request is let
-//! through as a half-open probe; success closes the breaker, failure
-//! re-opens it for another cooldown.
+//! watches consecutive hard failures per *program* (across all static
+//! arguments): after `threshold` of them it opens and the service
+//! answers with generically-compiled fallback code instead of
+//! specializing. After `cooldown`, exactly one request is let through as
+//! a half-open probe; success closes the breaker, failure re-opens it
+//! for another cooldown.
+//!
+//! Programs are identified by a [`BreakerScope`]: registered programs by
+//! their logical `(name, entry)` — which survives redefinition — and
+//! anonymous extensions by their content digest. The failure streak
+//! itself is scoped to the [`Epoch`] it was recorded under: a streak
+//! from a dead generation is discarded on first contact with the live
+//! one, so a pathological v1 never blocks a healthy v2, and a bad v2
+//! starts from a clean record instead of inheriting v1's standing.
 //!
 //! State is only kept for failing programs and is dropped again on the
 //! first success, so the table cannot grow with healthy traffic.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use two4one::obs;
+use two4one::{obs, Epoch};
 
 use crate::cache::lock;
 
@@ -41,6 +49,30 @@ impl Default for BreakerPolicy {
     }
 }
 
+/// How the breaker identifies one specialization target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum BreakerScope {
+    /// A registered program: the logical `(name, entry)`. Stable across
+    /// redefinitions, so breaker state follows the program, not the
+    /// bytes of any one generation.
+    Named {
+        /// The registry name.
+        name: Arc<str>,
+        /// The entry point.
+        entry: Arc<str>,
+    },
+    /// An anonymous extension, identified by its (program, entry)
+    /// content digest. Such programs cannot be redefined — new content
+    /// is simply a different digest — so their streaks live at
+    /// [`Epoch::ANON`].
+    Anon(u64),
+}
+
+impl BreakerScope {
+    /// The epoch anonymous scopes record their streaks under.
+    pub(crate) const ANON: Epoch = Epoch::from_raw(0);
+}
+
 /// What the breaker says about an arriving request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Verdict {
@@ -53,17 +85,31 @@ pub(crate) enum Verdict {
     Fallback,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct BreakerEntry {
+    /// The generation this streak was recorded under; a different live
+    /// epoch voids the entry.
+    epoch: Epoch,
     fails: u32,
     open_until: Option<Instant>,
     probing: bool,
 }
 
+impl BreakerEntry {
+    fn fresh(epoch: Epoch) -> Self {
+        BreakerEntry {
+            epoch,
+            fails: 0,
+            open_until: None,
+            probing: false,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Breaker {
     policy: BreakerPolicy,
-    entries: Mutex<HashMap<u64, BreakerEntry>>,
+    entries: Mutex<HashMap<BreakerScope, BreakerEntry>>,
     /// Number of currently open (tripped) breakers, for the exposition
     /// page (`t4o_breaker_open`).
     open_gauge: obs::Gauge,
@@ -78,14 +124,23 @@ impl Breaker {
         }
     }
 
-    pub(crate) fn preflight(&self, program: u64) -> Verdict {
+    pub(crate) fn preflight(&self, scope: &BreakerScope, epoch: Epoch) -> Verdict {
         if self.policy.threshold == 0 {
             return Verdict::Pass;
         }
         let mut map = lock(&self.entries);
-        let Some(e) = map.get_mut(&program) else {
+        let Some(e) = map.get_mut(scope) else {
             return Verdict::Pass;
         };
+        if e.epoch != epoch {
+            // The program was redefined since this streak was recorded:
+            // the new generation is judged on its own record.
+            if e.open_until.is_some() {
+                self.open_gauge.add(-1);
+            }
+            map.remove(scope);
+            return Verdict::Pass;
+        }
         match e.open_until {
             None => Verdict::Pass,
             Some(t) if Instant::now() < t => Verdict::Fallback,
@@ -98,26 +153,36 @@ impl Breaker {
         }
     }
 
-    /// A specialization for `program` succeeded: close the breaker and
-    /// forget the program.
-    pub(crate) fn record_success(&self, program: u64) {
+    /// A specialization for the program succeeded: close the breaker and
+    /// forget it (whatever epoch the streak was from).
+    pub(crate) fn record_success(&self, scope: &BreakerScope) {
         if self.policy.threshold == 0 {
             return;
         }
-        if let Some(e) = lock(&self.entries).remove(&program) {
+        if let Some(e) = lock(&self.entries).remove(scope) {
             if e.open_until.is_some() {
                 self.open_gauge.add(-1);
             }
         }
     }
 
-    /// A hard failure: count it, and (re-)open the breaker at threshold.
-    pub(crate) fn record_failure(&self, program: u64) {
+    /// A hard failure under `epoch`: count it, and (re-)open the breaker
+    /// at threshold. A streak left over from a dead epoch is discarded
+    /// first — each generation fails on its own merits.
+    pub(crate) fn record_failure(&self, scope: &BreakerScope, epoch: Epoch) {
         if self.policy.threshold == 0 {
             return;
         }
         let mut map = lock(&self.entries);
-        let e = map.entry(program).or_default();
+        let e = map
+            .entry(scope.clone())
+            .or_insert_with(|| BreakerEntry::fresh(epoch));
+        if e.epoch != epoch {
+            if e.open_until.is_some() {
+                self.open_gauge.add(-1);
+            }
+            *e = BreakerEntry::fresh(epoch);
+        }
         e.fails = e.fails.saturating_add(1);
         e.probing = false;
         if e.fails >= self.policy.threshold {
@@ -129,13 +194,17 @@ impl Breaker {
     }
 
     /// Neutral outcome (shed at admission, caller cancelled): the probe
-    /// slot is returned without judging the program.
-    pub(crate) fn release_probe(&self, program: u64) {
+    /// slot is returned without judging the program. Only the streak the
+    /// probe was granted for is touched — releasing a dead-epoch probe
+    /// must not open a second probe slot for the live generation.
+    pub(crate) fn release_probe(&self, scope: &BreakerScope, epoch: Epoch) {
         if self.policy.threshold == 0 {
             return;
         }
-        if let Some(e) = lock(&self.entries).get_mut(&program) {
-            e.probing = false;
+        if let Some(e) = lock(&self.entries).get_mut(scope) {
+            if e.epoch == epoch {
+                e.probing = false;
+            }
         }
     }
 }
@@ -151,63 +220,76 @@ mod tests {
         }
     }
 
+    fn anon(n: u64) -> BreakerScope {
+        BreakerScope::Anon(n)
+    }
+
+    fn named(name: &str) -> BreakerScope {
+        BreakerScope::Named {
+            name: Arc::from(name),
+            entry: Arc::from("f"),
+        }
+    }
+
+    const E0: Epoch = BreakerScope::ANON;
+
     #[test]
     fn trips_after_threshold_and_probes_after_cooldown() {
         let b = Breaker::new(policy(2, 0), obs::Gauge::new());
-        assert_eq!(b.preflight(7), Verdict::Pass);
-        b.record_failure(7);
-        assert_eq!(b.preflight(7), Verdict::Pass);
-        b.record_failure(7);
+        assert_eq!(b.preflight(&anon(7), E0), Verdict::Pass);
+        b.record_failure(&anon(7), E0);
+        assert_eq!(b.preflight(&anon(7), E0), Verdict::Pass);
+        b.record_failure(&anon(7), E0);
         // Tripped; zero cooldown means the next preflight is the probe.
-        assert_eq!(b.preflight(7), Verdict::Probe);
+        assert_eq!(b.preflight(&anon(7), E0), Verdict::Probe);
         // Only one probe at a time.
-        assert_eq!(b.preflight(7), Verdict::Fallback);
-        b.record_success(7);
-        assert_eq!(b.preflight(7), Verdict::Pass);
+        assert_eq!(b.preflight(&anon(7), E0), Verdict::Fallback);
+        b.record_success(&anon(7));
+        assert_eq!(b.preflight(&anon(7), E0), Verdict::Pass);
     }
 
     #[test]
     fn open_breaker_serves_fallback_until_cooldown() {
         let b = Breaker::new(policy(1, 60_000), obs::Gauge::new());
-        b.record_failure(3);
-        assert_eq!(b.preflight(3), Verdict::Fallback);
-        assert_eq!(b.preflight(3), Verdict::Fallback);
+        b.record_failure(&anon(3), E0);
+        assert_eq!(b.preflight(&anon(3), E0), Verdict::Fallback);
+        assert_eq!(b.preflight(&anon(3), E0), Verdict::Fallback);
         // Other programs are unaffected.
-        assert_eq!(b.preflight(4), Verdict::Pass);
+        assert_eq!(b.preflight(&anon(4), E0), Verdict::Pass);
     }
 
     #[test]
     fn failed_probe_reopens() {
         let b = Breaker::new(policy(1, 0), obs::Gauge::new());
-        b.record_failure(9);
-        assert_eq!(b.preflight(9), Verdict::Probe);
-        b.record_failure(9);
+        b.record_failure(&anon(9), E0);
+        assert_eq!(b.preflight(&anon(9), E0), Verdict::Probe);
+        b.record_failure(&anon(9), E0);
         // Re-opened (cooldown 0 → immediately probe-able again).
-        assert_eq!(b.preflight(9), Verdict::Probe);
+        assert_eq!(b.preflight(&anon(9), E0), Verdict::Probe);
     }
 
     #[test]
     fn released_probe_lets_another_through() {
         let b = Breaker::new(policy(1, 0), obs::Gauge::new());
-        b.record_failure(5);
-        assert_eq!(b.preflight(5), Verdict::Probe);
-        b.release_probe(5);
-        assert_eq!(b.preflight(5), Verdict::Probe);
+        b.record_failure(&anon(5), E0);
+        assert_eq!(b.preflight(&anon(5), E0), Verdict::Probe);
+        b.release_probe(&anon(5), E0);
+        assert_eq!(b.preflight(&anon(5), E0), Verdict::Probe);
     }
 
     #[test]
     fn open_gauge_tracks_trip_and_close() {
         let g = obs::Gauge::new();
         let b = Breaker::new(policy(1, 0), g.clone());
-        b.record_failure(11);
+        b.record_failure(&anon(11), E0);
         assert_eq!(g.get(), 1);
         // Re-opening an already-open breaker must not double-count.
-        b.record_failure(11);
+        b.record_failure(&anon(11), E0);
         assert_eq!(g.get(), 1);
-        b.record_success(11);
+        b.record_success(&anon(11));
         assert_eq!(g.get(), 0);
         // A success for an unknown program is a no-op.
-        b.record_success(11);
+        b.record_success(&anon(11));
         assert_eq!(g.get(), 0);
     }
 
@@ -215,8 +297,46 @@ mod tests {
     fn zero_threshold_disables() {
         let b = Breaker::new(policy(0, 0), obs::Gauge::new());
         for _ in 0..10 {
-            b.record_failure(1);
+            b.record_failure(&anon(1), E0);
         }
-        assert_eq!(b.preflight(1), Verdict::Pass);
+        assert_eq!(b.preflight(&anon(1), E0), Verdict::Pass);
+    }
+
+    #[test]
+    fn breaker_opened_on_v1_does_not_block_healthy_v2() {
+        // The regression the rekeying exists for: a pathological v1
+        // opens the breaker on the logical name; after redefinition the
+        // live epoch differs, so v2's first request passes cleanly and
+        // the stale open state (and its gauge count) is discarded.
+        let g = obs::Gauge::new();
+        let b = Breaker::new(policy(1, 60_000), g.clone());
+        let v1 = Epoch::FIRST;
+        let v2 = v1.next();
+        b.record_failure(&named("P"), v1);
+        assert_eq!(b.preflight(&named("P"), v1), Verdict::Fallback);
+        assert_eq!(g.get(), 1);
+        assert_eq!(b.preflight(&named("P"), v2), Verdict::Pass);
+        assert_eq!(g.get(), 0);
+        // And the reverse inheritance is gone too: v2's own failures
+        // start from zero rather than standing on v1's streak.
+        let b2 = Breaker::new(policy(2, 60_000), obs::Gauge::new());
+        b2.record_failure(&named("Q"), v1);
+        b2.record_failure(&named("Q"), v2);
+        // One failure under v2 is below the threshold of 2.
+        assert_eq!(b2.preflight(&named("Q"), v2), Verdict::Pass);
+        b2.record_failure(&named("Q"), v2);
+        assert_eq!(b2.preflight(&named("Q"), v2), Verdict::Fallback);
+    }
+
+    #[test]
+    fn dead_epoch_probe_release_does_not_free_live_probe_slot() {
+        let b = Breaker::new(policy(1, 0), obs::Gauge::new());
+        let v1 = Epoch::FIRST;
+        let v2 = v1.next();
+        b.record_failure(&named("P"), v2);
+        assert_eq!(b.preflight(&named("P"), v2), Verdict::Probe);
+        // A stale v1 release must not hand out a second v2 probe.
+        b.release_probe(&named("P"), v1);
+        assert_eq!(b.preflight(&named("P"), v2), Verdict::Fallback);
     }
 }

@@ -18,6 +18,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use two4one::Epoch;
+
 use crate::SpecOutcome;
 
 /// Locks a mutex, recovering from poisoning (shard state is always
@@ -55,6 +57,12 @@ pub(crate) struct Key {
     pub(crate) program: Arc<str>,
     pub(crate) entry: Arc<str>,
     pub(crate) statics: Arc<str>,
+    /// Invalidation backedge: the logical registry name and epoch this
+    /// result was specialized under, or `None` for anonymous requests
+    /// (callers holding a raw [`two4one::GenExt`]). Part of identity —
+    /// re-registering identical source under a new epoch must not alias
+    /// the old generation's entries.
+    pub(crate) backedge: Option<(Arc<str>, Epoch)>,
 }
 
 impl Key {
@@ -65,6 +73,29 @@ impl Key {
             program: Arc::from(program),
             entry: Arc::from(entry),
             statics: Arc::from(statics),
+            backedge: None,
+        }
+    }
+
+    /// A key carrying a registry backedge: same content identity as
+    /// [`Key::new`], plus the `(name, epoch)` of the registration the
+    /// request resolved. The epoch is folded into the digest so two
+    /// generations of one program never share a slot.
+    pub(crate) fn versioned(
+        name: &Arc<str>,
+        epoch: Epoch,
+        program: &str,
+        entry: &str,
+        statics: &str,
+    ) -> Self {
+        let epoch_part = epoch.get().to_string();
+        Key {
+            digest: digest64([name.as_ref(), &epoch_part, program, entry, statics]),
+            program_digest: digest64([program, entry]),
+            program: Arc::from(program),
+            entry: Arc::from(entry),
+            statics: Arc::from(statics),
+            backedge: Some((name.clone(), epoch)),
         }
     }
 
@@ -78,6 +109,7 @@ impl Key {
             program: Arc::from(program),
             entry: Arc::from(entry),
             statics: Arc::from(statics),
+            backedge: None,
         }
     }
 }
@@ -88,6 +120,7 @@ impl PartialEq for Key {
             && self.entry == other.entry
             && self.statics == other.statics
             && self.program == other.program
+            && self.backedge == other.backedge
     }
 }
 
@@ -271,6 +304,21 @@ mod tests {
         assert_eq!(shard.map.len(), 2);
         assert!(matches!(shard.map.get(&a), Some(Slot::Ready(_))));
         assert!(matches!(shard.map.get(&b), Some(Slot::Ready(_))));
+    }
+
+    #[test]
+    fn epochs_of_one_program_are_different_keys() {
+        let name: Arc<str> = Arc::from("P");
+        let a = Key::versioned(&name, Epoch::FIRST, "(define (f x) x)", "f", "(1)");
+        let b = Key::versioned(&name, Epoch::FIRST.next(), "(define (f x) x)", "f", "(1)");
+        // Identical source under a new epoch must not alias the old
+        // generation's slot, by digest or by equality.
+        assert_ne!(a, b);
+        assert_ne!(a.digest, b.digest);
+        // Nor does a versioned key alias the anonymous key for the same
+        // content.
+        let anon = Key::new("(define (f x) x)", "f", "(1)");
+        assert_ne!(a, anon);
     }
 
     #[test]

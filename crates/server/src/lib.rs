@@ -51,9 +51,11 @@ mod admission;
 mod breaker;
 mod cache;
 mod persist;
+mod registry;
 mod stats;
 
 pub use breaker::BreakerPolicy;
+pub use registry::RedefineOutcome;
 pub use stats::{serve_stats_line, ServeSnapshot};
 
 use std::fmt;
@@ -63,13 +65,15 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use admission::{Admission, Gate};
-use breaker::{Breaker, Verdict};
+use breaker::{Breaker, BreakerScope, Verdict};
 use cache::{lock, Entry, Flight, Key, Shard, Slot};
 use persist::SnapRecord;
+use registry::{Backedge, Registry};
 use stats::ServeStats;
 use two4one::obs;
 use two4one::{
-    CancelToken, Datum, Error, GenExt, Image, LimitKind, Limits, PeError, SpecOptions, SpecStats,
+    CancelToken, Datum, Epoch, Error, GenExt, Image, LimitKind, Limits, PeError, SpecOptions,
+    SpecStats,
 };
 use two4one_syntax::stack::DEFAULT_STACK_BYTES;
 
@@ -114,6 +118,9 @@ pub enum ServeError {
     /// The circuit breaker for this program is open and no fallback
     /// image could be produced.
     BreakerOpen(String),
+    /// A named request for a program no registration exists for (never
+    /// registered, or the name was mistyped).
+    UnknownProgram(String),
 }
 
 impl fmt::Display for ServeError {
@@ -134,6 +141,9 @@ impl fmt::Display for ServeError {
             ServeError::Cancelled => f.write_str("request cancelled"),
             ServeError::BreakerOpen(msg) => {
                 write!(f, "circuit breaker open and no fallback available: {msg}")
+            }
+            ServeError::UnknownProgram(name) => {
+                write!(f, "no program registered under `{name}`")
             }
         }
     }
@@ -169,11 +179,23 @@ impl SpecOutcome {
     }
 }
 
+/// What a [`SpecRequest`] asks to specialize.
+#[derive(Debug, Clone)]
+pub enum SpecTarget {
+    /// A generating extension supplied directly by the caller (an
+    /// *anonymous* request — no registry involvement).
+    Ext(GenExt),
+    /// A program registered with [`SpecService::register`], resolved to
+    /// its live epoch when the request is served — so a request created
+    /// before a redefinition transparently targets the new generation.
+    Named(Arc<str>),
+}
+
 /// One unit of batch work for [`SpecService::specialize_many`].
 #[derive(Debug, Clone)]
 pub struct SpecRequest {
-    /// The generating extension to apply.
-    pub ext: GenExt,
+    /// What to specialize.
+    pub target: SpecTarget,
     /// Static arguments, one per `BT::S` slot of the division.
     pub statics: Vec<Datum>,
     /// Per-request deadline; overrides [`ServeConfig::default_deadline`].
@@ -184,10 +206,21 @@ pub struct SpecRequest {
 }
 
 impl SpecRequest {
-    /// Creates a request.
+    /// Creates a request for an anonymous extension.
     pub fn new(ext: GenExt, statics: Vec<Datum>) -> Self {
         SpecRequest {
-            ext,
+            target: SpecTarget::Ext(ext),
+            statics,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Creates a request for a registered program, resolved to its live
+    /// epoch at serve time.
+    pub fn named(name: &str, statics: Vec<Datum>) -> Self {
+        SpecRequest {
+            target: SpecTarget::Named(Arc::from(name)),
             statics,
             deadline: None,
             cancel: None,
@@ -312,6 +345,13 @@ pub struct RestoreReport {
     /// undecodable payload. (A record whose key is already live in the
     /// cache is skipped silently — it is valid, just outdated.)
     pub quarantined: u64,
+    /// Structurally intact records dropped because their program's
+    /// registration no longer matches the live registry: the name is
+    /// unregistered, or the registered source/entry/options differ from
+    /// what the record was specialized against. Judged by content
+    /// identity, not raw epoch number, so a snapshot restores cleanly
+    /// into a fresh process that re-registered the same programs.
+    pub stale_dropped: u64,
 }
 
 /// A concurrent, caching specialization service. See the crate docs for
@@ -326,6 +366,11 @@ pub struct SpecService {
     stats: ServeStats,
     gate: Gate,
     breaker: Breaker,
+    /// The versioned program registry: logical names → live epoch +
+    /// source, plus the invalidation backedges of everything cached on
+    /// their behalf. (Not to be confused with the *metrics* `registry`
+    /// below.)
+    programs: Registry,
     default_deadline: Option<Duration>,
     retry: RetryPolicy,
     fill_hook: Option<FillHook>,
@@ -372,6 +417,7 @@ impl SpecService {
                 registry.gauge("t4o_serve_inflight"),
             ),
             breaker: Breaker::new(config.breaker, registry.gauge("t4o_breaker_open")),
+            programs: Registry::new(registry.gauge("t4o_programs_registered")),
             default_deadline: config.default_deadline,
             retry: config.retry,
             fill_hook: config.fill_hook,
@@ -435,18 +481,142 @@ impl SpecService {
     /// deadlines ([`ServeError::DeadlineExceeded`]). Errors are never
     /// cached: the next request for the key retries.
     pub fn specialize(&self, ext: &GenExt, statics: &[Datum]) -> ServeResult {
-        self.serve(ext, statics, self.default_deadline, None, true)
+        self.serve(ext, statics, None, self.default_deadline, None, true)
+    }
+
+    // ----- the versioned program registry --------------------------------
+
+    /// Registers `ext` under the logical name `name` at a fresh epoch
+    /// (or keeps the live registration when the content is identical —
+    /// registering the same program twice is a no-op, not a new
+    /// generation). If `name` is already live with *different* content,
+    /// this behaves exactly like [`SpecService::redefine`]. Returns the
+    /// live epoch.
+    pub fn register(&self, name: &str, ext: &GenExt) -> Epoch {
+        let (epoch, victims, changed) = self.programs.register(name, ext);
+        if changed && epoch > Epoch::FIRST {
+            obs::event_with(obs::EventKind::Redefined, epoch.get());
+        }
+        self.invalidate(victims);
+        epoch
+    }
+
+    /// Redefines the program registered under `name`: atomically bumps
+    /// its epoch, swaps in the new source, and invalidates every cached
+    /// specialization derived from the old generations (via the recorded
+    /// backedges — unrelated programs and anonymous entries are
+    /// untouched; no full-cache flush). A fill already in flight for the
+    /// old epoch completes and is served to the requests that were
+    /// waiting on it, but its publication is tombstoned — it is never
+    /// cached and never served again. Requests arriving after `redefine`
+    /// returns always resolve the new epoch. A name never registered
+    /// before simply starts at [`Epoch::FIRST`].
+    pub fn redefine(&self, name: &str, ext: &GenExt) -> RedefineOutcome {
+        let (epoch, victims) = self.programs.redefine(name, ext);
+        obs::event_with(obs::EventKind::Redefined, epoch.get());
+        let invalidated = self.invalidate(victims);
+        RedefineOutcome { epoch, invalidated }
+    }
+
+    /// The live epoch of the program registered under `name`.
+    pub fn epoch_of(&self, name: &str) -> Option<Epoch> {
+        self.programs.epoch_of(name)
+    }
+
+    /// Every registered program as `(name, live epoch)`, sorted by name.
+    pub fn programs(&self) -> Vec<(Arc<str>, Epoch)> {
+        self.programs.programs()
+    }
+
+    /// Specializes the program registered under `name` to `statics`,
+    /// resolving the live epoch first: the cache key, the breaker scope,
+    /// and the invalidation backedge all bind to the resolved
+    /// generation, so a result from before a redefinition can never be
+    /// served after it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownProgram`] when nothing is registered under
+    /// `name`; otherwise exactly as [`SpecService::specialize`].
+    pub fn specialize_named(&self, name: &str, statics: &[Datum]) -> ServeResult {
+        self.serve_named(name, statics, self.default_deadline, None, true)
+    }
+
+    /// Drops invalidated dependents from the cache shards (only `Ready`
+    /// entries — an in-flight slot belongs to its leader, whose
+    /// publication the registry tombstones instead). Returns how many
+    /// were dropped.
+    fn invalidate(&self, victims: Vec<Key>) -> u64 {
+        let mut dropped = 0u64;
+        for key in victims {
+            let mut guard = lock(self.shard_of(&key));
+            if matches!(guard.map.get(&key), Some(Slot::Ready(_))) {
+                if let Some(Slot::Ready(e)) = guard.map.remove(&key) {
+                    guard.code_size -= e.size.min(guard.code_size);
+                    dropped += 1;
+                }
+            }
+        }
+        if dropped > 0 {
+            ServeStats::add(&self.stats.invalidated, dropped);
+            obs::event_with(obs::EventKind::Invalidated, dropped);
+        }
+        dropped
+    }
+
+    fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
+        &self.shards[(key.digest as usize) % self.shards.len()]
     }
 
     /// Serves one [`SpecRequest`], honouring its deadline and
     /// cancellation token (falling back to the service defaults).
     pub fn specialize_request(&self, req: &SpecRequest) -> ServeResult {
+        self.serve_request(req, true)
+    }
+
+    /// Dispatches a request to the anonymous or named serve path.
+    fn serve_request(&self, req: &SpecRequest, spawn_stack: bool) -> ServeResult {
+        let deadline = req.deadline.or(self.default_deadline);
+        match &req.target {
+            SpecTarget::Ext(ext) => self.serve(
+                ext,
+                &req.statics,
+                None,
+                deadline,
+                req.cancel.as_ref(),
+                spawn_stack,
+            ),
+            SpecTarget::Named(name) => self.serve_named(
+                name,
+                &req.statics,
+                deadline,
+                req.cancel.as_ref(),
+                spawn_stack,
+            ),
+        }
+    }
+
+    /// Resolves a registered name to its live generation and serves
+    /// against it, carrying the `(name, epoch)` backedge.
+    fn serve_named(
+        &self,
+        name: &str,
+        statics: &[Datum],
+        deadline: Option<Duration>,
+        cancel: Option<&CancelToken>,
+        spawn_stack: bool,
+    ) -> ServeResult {
+        let Some((name, epoch, ext)) = self.programs.resolve(name) else {
+            return Err(ServeError::UnknownProgram(name.to_string()));
+        };
+        let backedge = (name, epoch);
         self.serve(
-            &req.ext,
-            &req.statics,
-            req.deadline.or(self.default_deadline),
-            req.cancel.as_ref(),
-            true,
+            &ext,
+            statics,
+            Some(&backedge),
+            deadline,
+            cancel,
+            spawn_stack,
         )
     }
 
@@ -477,13 +647,7 @@ impl SpecService {
                         let Some(req) = requests.get(i) else { break };
                         // Workers already run on big stacks, so serve
                         // misses inline instead of re-spawning.
-                        let r = self.serve(
-                            &req.ext,
-                            &req.statics,
-                            req.deadline.or(self.default_deadline),
-                            req.cancel.as_ref(),
-                            false,
-                        );
+                        let r = self.serve_request(req, false);
                         if let Some(slot) = results.get(i) {
                             *lock(slot) = Some(r);
                         }
@@ -526,10 +690,16 @@ impl SpecService {
             let guard = lock(shard);
             for (key, slot) in &guard.map {
                 if let Slot::Ready(entry) = slot {
+                    let (name, epoch) = match &key.backedge {
+                        Some((n, e)) => (n.to_string(), e.get()),
+                        None => (String::new(), 0),
+                    };
                     records.push(SnapRecord {
                         program: key.program.to_string(),
                         entry: key.entry.to_string(),
                         statics: key.statics.to_string(),
+                        name,
+                        epoch,
                         stats: entry.outcome.stats.clone(),
                         image: entry.outcome.image.clone(),
                     });
@@ -537,7 +707,8 @@ impl SpecService {
             }
         }
         records.sort_by(|a, b| {
-            (&a.program, &a.entry, &a.statics).cmp(&(&b.program, &b.entry, &b.statics))
+            (&a.name, a.epoch, &a.program, &a.entry, &a.statics)
+                .cmp(&(&b.name, b.epoch, &b.program, &b.entry, &b.statics))
         });
         persist::encode(&records)
     }
@@ -546,47 +717,94 @@ impl SpecService {
     /// torn records are quarantined (skipped and counted), never fatal; a
     /// key that is already live in the cache keeps its live entry. The
     /// usual capacity/code budgets apply — restoring may evict.
+    ///
+    /// Records carrying a registry backedge are judged against the live
+    /// registry first: if the name is unregistered, or the registered
+    /// program's identity differs from what the record was specialized
+    /// against, the record is dropped as *stale* (counted in
+    /// [`RestoreReport::stale_dropped`]) — a snapshot must never
+    /// resurrect specializations of source that no longer exists.
+    /// Matching records are rebased onto the live epoch (epochs are
+    /// per-process; identity is what travels), and their backedges are
+    /// re-recorded so a later redefinition invalidates them too.
     pub fn restore_bytes(&self, bytes: &[u8]) -> RestoreReport {
         let decoded = persist::decode(bytes);
         let mut restored = 0u64;
+        let mut stale_dropped = 0u64;
         for rec in decoded.records {
-            let key = Key::new(&rec.program, &rec.entry, &rec.statics);
-            let shard = &self.shards[(key.digest as usize) % self.shards.len()];
+            let backedge: Option<Backedge> = if rec.name.is_empty() {
+                None
+            } else {
+                match self
+                    .programs
+                    .epoch_for_identity(&rec.name, &rec.program, &rec.entry)
+                {
+                    Some(epoch) => Some((Arc::from(rec.name.as_str()), epoch)),
+                    None => {
+                        stale_dropped += 1;
+                        continue;
+                    }
+                }
+            };
+            let key = match &backedge {
+                Some((name, epoch)) => {
+                    Key::versioned(name, *epoch, &rec.program, &rec.entry, &rec.statics)
+                }
+                None => Key::new(&rec.program, &rec.entry, &rec.statics),
+            };
+            let shard = self.shard_of(&key);
             let outcome = Arc::new(SpecOutcome {
                 image: rec.image,
                 stats: rec.stats,
             });
             let size = outcome.code_size().max(1);
-            let evicted = {
+            // The insert runs under the registry's epoch check (the same
+            // tombstone gate as a live fill), so a redefinition racing
+            // the restore cannot slip a newly stale record in.
+            let published = self.programs.publish_if_live(backedge.as_ref(), &key, || {
                 let mut guard = lock(shard);
                 if guard.map.contains_key(&key) {
-                    continue;
+                    return None;
                 }
                 guard.map.insert(
-                    key,
+                    key.clone(),
                     Slot::Ready(Entry {
-                        outcome,
+                        outcome: outcome.clone(),
                         last_access: self.ticket.fetch_add(1, Ordering::Relaxed),
                         size,
                     }),
                 );
                 guard.code_size += size;
-                guard.evict_to(self.per_shard_entries, self.per_shard_code)
-            };
-            ServeStats::add(&self.stats.evictions, evicted);
-            restored += 1;
+                Some(guard.evict_to(self.per_shard_entries, self.per_shard_code))
+            });
+            match published {
+                Some(Some(evicted)) => {
+                    ServeStats::add(&self.stats.evictions, evicted);
+                    restored += 1;
+                }
+                // The key is already live in the cache: keep the live entry.
+                Some(None) => {}
+                // The program was redefined between the identity check
+                // and the publish: the record just became stale.
+                None => stale_dropped += 1,
+            }
         }
         ServeStats::add(&self.stats.restored, restored);
         ServeStats::add(&self.stats.quarantined, decoded.quarantined);
+        ServeStats::add(&self.stats.stale_dropped, stale_dropped);
         if restored > 0 {
             obs::event_with(obs::EventKind::Restored, restored);
         }
         if decoded.quarantined > 0 {
             obs::event_with(obs::EventKind::Quarantined, decoded.quarantined);
         }
+        if stale_dropped > 0 {
+            obs::event_with(obs::EventKind::StaleDropped, stale_dropped);
+        }
         RestoreReport {
             restored,
             quarantined: decoded.quarantined,
+            stale_dropped,
         }
     }
 
@@ -630,6 +848,7 @@ impl SpecService {
         &self,
         ext: &GenExt,
         statics: &[Datum],
+        backedge: Option<&Backedge>,
         deadline: Option<Duration>,
         cancel: Option<&CancelToken>,
         spawn_stack: bool,
@@ -637,7 +856,7 @@ impl SpecService {
         self.requests.inc();
         let _span = obs::Span::enter(obs::Phase::Serve);
         let start = Instant::now();
-        let r = self.serve_inner(ext, statics, deadline, cancel, spawn_stack);
+        let r = self.serve_inner(ext, statics, backedge, deadline, cancel, spawn_stack);
         if obs::enabled() {
             self.request_latency.record_duration(start.elapsed());
         }
@@ -648,6 +867,7 @@ impl SpecService {
         &self,
         ext: &GenExt,
         statics: &[Datum],
+        backedge: Option<&Backedge>,
         deadline: Option<Duration>,
         cancel: Option<&CancelToken>,
         spawn_stack: bool,
@@ -671,13 +891,29 @@ impl SpecService {
             }
         }
 
-        let key = request_key(ext, statics);
-        let shard = &self.shards[(key.digest as usize) % self.shards.len()];
+        let key = request_key(ext, statics, backedge);
+        let shard = self.shard_of(&key);
+
+        // Breaker identity: registered programs by logical (name, entry)
+        // with the failure streak scoped to the resolved epoch, so
+        // breaker state follows the program across redefinitions without
+        // one generation's record contaminating the next; anonymous
+        // extensions by content digest.
+        let (scope, epoch) = match backedge {
+            Some((name, epoch)) => (
+                BreakerScope::Named {
+                    name: name.clone(),
+                    entry: key.entry.clone(),
+                },
+                *epoch,
+            ),
+            None => (BreakerScope::Anon(key.program_digest), BreakerScope::ANON),
+        };
 
         // Circuit breaker first: a tripped program never reaches the
         // cache-fill machinery (its errors are not cached, so without the
         // breaker every request would re-run the failing specialization).
-        let verdict = self.breaker.preflight(key.program_digest);
+        let verdict = self.breaker.preflight(&scope, epoch);
         if verdict == Verdict::Fallback {
             ServeStats::bump(&self.stats.breaker_open);
             obs::event(obs::EventKind::BreakerOpen);
@@ -714,7 +950,7 @@ impl SpecService {
         match plan {
             Plan::Hit(outcome) => {
                 if verdict == Verdict::Probe {
-                    self.breaker.record_success(key.program_digest);
+                    self.breaker.record_success(&scope);
                 }
                 Ok(outcome)
             }
@@ -740,7 +976,7 @@ impl SpecService {
                 // breaker outcome; a probing waiter only settles its
                 // probe slot.
                 if verdict == Verdict::Probe {
-                    self.breaker_note(key.program_digest, &r);
+                    self.breaker_note(&scope, epoch, &r);
                 }
                 r
             }
@@ -761,7 +997,7 @@ impl SpecService {
                         obs::event_with(obs::EventKind::Shed, queue_depth as u64);
                         guard.abandon("request shed at admission (overload)");
                         if verdict == Verdict::Probe {
-                            self.breaker.release_probe(key.program_digest);
+                            self.breaker.release_probe(&scope, epoch);
                         }
                         return Err(ServeError::Overloaded {
                             queue_depth,
@@ -773,7 +1009,7 @@ impl SpecService {
                         obs::event(obs::EventKind::DeadlineExceeded);
                         guard.abandon("request deadline passed while queued for admission");
                         if verdict == Verdict::Probe {
-                            self.breaker.release_probe(key.program_digest);
+                            self.breaker.release_probe(&scope, epoch);
                         }
                         return Err(ServeError::DeadlineExceeded);
                     }
@@ -781,10 +1017,10 @@ impl SpecService {
                         let result = self.run_fill(ext, statics, &key, token.as_ref(), spawn_stack);
                         drop(permit);
                         guard.armed = false;
-                        self.finish_flight(&key, shard, &flight, result, token.as_ref())
+                        self.finish_flight(&key, backedge, shard, &flight, result, token.as_ref())
                     }
                 };
-                self.breaker_note(key.program_digest, &r);
+                self.breaker_note(&scope, epoch, &r);
                 r
             }
         }
@@ -856,9 +1092,20 @@ impl SpecService {
 
     /// Publishes the leader's result: fills the cache on success, removes
     /// the in-flight slot on failure, and wakes waiters either way.
+    ///
+    /// A successful fill for a registered program only reaches the cache
+    /// if its `(name, epoch)` backedge is still the live generation (the
+    /// check and the insert run under the registry lock, so they cannot
+    /// interleave with a `redefine`). When the epoch died mid-fill, the
+    /// result is still completed into the flight — every waiter on it
+    /// arrived before the redefinition and legitimately shares the
+    /// old-generation result — but the publication is tombstoned: the
+    /// in-flight slot is removed and nothing is cached, so no request
+    /// arriving after the redefinition can ever observe it.
     fn finish_flight(
         &self,
         key: &Key,
+        backedge: Option<&Backedge>,
         shard: &Mutex<Shard>,
         flight: &Flight,
         result: Result<Result<(Image, SpecStats), Error>, ServeError>,
@@ -871,7 +1118,7 @@ impl SpecService {
                     stats: spec_stats,
                 });
                 let size = outcome.code_size().max(1);
-                let evicted = {
+                let published = self.programs.publish_if_live(backedge, key, || {
                     let mut guard = lock(shard);
                     guard.map.insert(
                         key.clone(),
@@ -883,10 +1130,19 @@ impl SpecService {
                     );
                     guard.code_size += size;
                     guard.evict_to(self.per_shard_entries, self.per_shard_code)
-                };
+                });
                 ServeStats::bump(&self.stats.misses);
                 ServeStats::bump(&self.stats.spec_runs);
-                ServeStats::add(&self.stats.evictions, evicted);
+                match published {
+                    Some(evicted) => ServeStats::add(&self.stats.evictions, evicted),
+                    None => {
+                        // Tombstoned: drop our in-flight slot so the dead
+                        // generation's key does not linger in the shard.
+                        lock(shard).map.remove(key);
+                        ServeStats::bump(&self.stats.epoch_conflicts);
+                        obs::event(obs::EventKind::EpochConflict);
+                    }
+                }
                 if outcome.stats.degraded() {
                     ServeStats::bump(&self.stats.degraded);
                 }
@@ -962,16 +1218,16 @@ impl SpecService {
     /// (specialization errors, dead workers, blown deadlines) count
     /// toward tripping; overload sheds and explicit cancellations are
     /// neutral.
-    fn breaker_note(&self, program: u64, result: &ServeResult) {
+    fn breaker_note(&self, scope: &BreakerScope, epoch: Epoch, result: &ServeResult) {
         match result {
-            Ok(_) => self.breaker.record_success(program),
+            Ok(_) => self.breaker.record_success(scope),
             Err(
                 ServeError::Spec(_)
                 | ServeError::Worker(_)
                 | ServeError::Shared(_)
                 | ServeError::DeadlineExceeded,
-            ) => self.breaker.record_failure(program),
-            Err(_) => self.breaker.release_probe(program),
+            ) => self.breaker.record_failure(scope, epoch),
+            Err(_) => self.breaker.release_probe(scope, epoch),
         }
     }
 }
@@ -1047,8 +1303,10 @@ fn jittered(base: Duration, seed: u64) -> Duration {
 /// Builds the full cache key for a request: the extension's cache
 /// identity (annotated program + options, rendered once per extension and
 /// cached — see [`GenExt::cache_identity`]), the entry name, and the
-/// rendered static arguments. Only the statics are rendered per request.
-fn request_key(ext: &GenExt, statics: &[Datum]) -> Key {
+/// rendered static arguments — plus, for requests resolved through the
+/// registry, the `(name, epoch)` backedge, so two generations of one
+/// program can never alias. Only the statics are rendered per request.
+fn request_key(ext: &GenExt, statics: &[Datum], backedge: Option<&Backedge>) -> Key {
     let mut rendered = String::new();
     for (i, d) in statics.iter().enumerate() {
         if i > 0 {
@@ -1056,7 +1314,16 @@ fn request_key(ext: &GenExt, statics: &[Datum]) -> Key {
         }
         let _ = std::fmt::Write::write_fmt(&mut rendered, format_args!("{d}"));
     }
-    Key::new(ext.cache_identity(), ext.entry().as_str(), &rendered)
+    match backedge {
+        Some((name, epoch)) => Key::versioned(
+            name,
+            *epoch,
+            ext.cache_identity(),
+            ext.entry().as_str(),
+            &rendered,
+        ),
+        None => Key::new(ext.cache_identity(), ext.entry().as_str(), &rendered),
+    }
 }
 
 /// Runs `f` on a dedicated thread with `bytes` of stack, for the deeply
@@ -1087,6 +1354,8 @@ const _: () = {
     assert_send_sync::<SpecService>();
     assert_send_sync::<SpecOutcome>();
     assert_send_sync::<SpecRequest>();
+    assert_send_sync::<SpecTarget>();
     assert_send_sync::<ServeError>();
     assert_send_sync::<ServeSnapshot>();
+    assert_send_sync::<RedefineOutcome>();
 };

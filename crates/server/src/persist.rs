@@ -1,11 +1,11 @@
 //! Crash-safe cache snapshots (`.t4os` files).
 //!
-//! Format, following the VERSION=2 object-file discipline (magic,
-//! version, CRC-32, length-validated decode):
+//! Format, following the object-file discipline (magic, version, CRC-32,
+//! length-validated decode):
 //!
 //! ```text
 //! magic   8 bytes   "t4osnap\0"
-//! version u32 LE    2
+//! version u32 LE    3
 //! count   u32 LE    number of records that follow
 //! record  ×count:
 //!   len   u32 LE    payload length in bytes
@@ -14,9 +14,17 @@
 //!     program  u32 len + UTF-8     (rendered annotated program + options)
 //!     entry    u32 len + UTF-8
 //!     statics  u32 len + UTF-8     (rendered static arguments)
+//!     name     u32 len + UTF-8     (logical registry name; "" = anonymous)
+//!     epoch    u64 LE              (registration epoch; 0 = anonymous)
 //!     stats    6 × u64 LE + 1 tag byte (fallback kind, 0 = none)
 //!     image    u32 len + VERSION=2 object-file bytes (self-checksummed)
 //! ```
+//!
+//! VERSION=3 added the `name`/`epoch` backedge so restore can judge a
+//! record against the live registry (see
+//! [`SpecService::restore_bytes`](crate::SpecService::restore_bytes)).
+//! Earlier snapshot versions quarantine wholesale at the header check —
+//! they cannot say what their entries were derived from.
 //!
 //! Decoding never panics and never fails as a whole (except that a bad
 //! header quarantines the entire file): each record is independently
@@ -31,7 +39,7 @@ use std::sync::Arc;
 use two4one::{decode_image, encode_image, Image, LimitKind, SpecStats};
 
 const MAGIC: &[u8; 8] = b"t4osnap\0";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 const HEADER_LEN: usize = 8 + 4 + 4;
 
 /// One cache entry in transit between the shard map and a snapshot file.
@@ -40,6 +48,11 @@ pub(crate) struct SnapRecord {
     pub(crate) program: String,
     pub(crate) entry: String,
     pub(crate) statics: String,
+    /// Logical registry name the entry was specialized under; empty for
+    /// anonymous entries.
+    pub(crate) name: String,
+    /// Registration epoch of the backedge; 0 for anonymous entries.
+    pub(crate) epoch: u64,
     pub(crate) stats: SpecStats,
     pub(crate) image: Arc<Image>,
 }
@@ -110,6 +123,8 @@ fn encode_record(r: &SnapRecord) -> Vec<u8> {
     put_str(&mut payload, &r.program);
     put_str(&mut payload, &r.entry);
     put_str(&mut payload, &r.statics);
+    put_str(&mut payload, &r.name);
+    payload.extend_from_slice(&r.epoch.to_le_bytes());
     for n in [
         r.stats.unfolds,
         r.stats.memo_hits,
@@ -198,6 +213,8 @@ fn parse_record(payload: &[u8]) -> Option<SnapRecord> {
     let program = r.string()?;
     let entry = r.string()?;
     let statics = r.string()?;
+    let name = r.string()?;
+    let epoch = r.u64()?;
     let stats = SpecStats {
         unfolds: r.u64()?,
         memo_hits: r.u64()?,
@@ -219,6 +236,8 @@ fn parse_record(payload: &[u8]) -> Option<SnapRecord> {
         program,
         entry,
         statics,
+        name,
+        epoch,
         stats,
         image: Arc::new(image),
     })
@@ -284,6 +303,8 @@ mod tests {
             program: format!("(define (f x) {tag})"),
             entry: "f".to_string(),
             statics: "(1 2)".to_string(),
+            name: String::new(),
+            epoch: 0,
             stats: SpecStats {
                 unfolds: 7,
                 fallback_kind: Some(LimitKind::UnfoldFuel),
@@ -296,17 +317,39 @@ mod tests {
         }
     }
 
+    fn named_record(name: &str, epoch: u64) -> SnapRecord {
+        SnapRecord {
+            name: name.to_string(),
+            epoch,
+            ..record(name)
+        }
+    }
+
     #[test]
     fn round_trip_is_exact() {
-        let records = vec![record("a"), record("b")];
+        let records = vec![record("a"), record("b"), named_record("p", 3)];
         let bytes = encode(&records);
         let out = decode(&bytes);
         assert_eq!(out.quarantined, 0);
-        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records.len(), 3);
         assert_eq!(out.records[0].program, records[0].program);
         assert_eq!(out.records[0].stats, records[0].stats);
+        assert_eq!(out.records[2].name, "p");
+        assert_eq!(out.records[2].epoch, 3);
         // Re-encoding reproduces the bytes exactly.
         assert_eq!(encode(&out.records), bytes);
+    }
+
+    #[test]
+    fn older_snapshot_version_quarantines_wholesale() {
+        // A VERSION=2 snapshot has no backedges — nothing in it can be
+        // judged against the live registry, so the whole file is
+        // rejected at the header, not record by record.
+        let mut bytes = encode(&[record("a"), record("b")]);
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let out = decode(&bytes);
+        assert_eq!(out.quarantined, 1);
+        assert!(out.records.is_empty());
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub(crate) struct ServeStats {
     pub(crate) breaker_open: obs::Counter,
     pub(crate) restored: obs::Counter,
     pub(crate) quarantined: obs::Counter,
+    pub(crate) invalidated: obs::Counter,
+    pub(crate) stale_dropped: obs::Counter,
+    pub(crate) epoch_conflicts: obs::Counter,
 }
 
 impl ServeStats {
@@ -54,6 +57,9 @@ impl ServeStats {
             breaker_open: registry.counter("t4o_serve_breaker_open_total"),
             restored: registry.counter("t4o_serve_restored_total"),
             quarantined: registry.counter("t4o_serve_quarantined_total"),
+            invalidated: registry.counter("t4o_serve_invalidated_total"),
+            stale_dropped: registry.counter("t4o_serve_stale_dropped_total"),
+            epoch_conflicts: registry.counter("t4o_serve_epoch_conflicts_total"),
         }
     }
 
@@ -80,6 +86,9 @@ impl ServeStats {
             breaker_open: self.breaker_open.get(),
             restored: self.restored.get(),
             quarantined: self.quarantined.get(),
+            invalidated: self.invalidated.get(),
+            stale_dropped: self.stale_dropped.get(),
+            epoch_conflicts: self.epoch_conflicts.get(),
         }
     }
 }
@@ -125,12 +134,23 @@ pub struct ServeSnapshot {
     /// Snapshot records rejected during restore (bad checksum, torn tail,
     /// stale version, undecodable payload).
     pub quarantined: u64,
+    /// Cached specializations dropped because their program was
+    /// redefined (invalidation via registry backedges).
+    pub invalidated: u64,
+    /// Snapshot records dropped during restore because their program's
+    /// registration no longer matches the live registry — structurally
+    /// intact (unlike `quarantined`) but derived from dead source.
+    pub stale_dropped: u64,
+    /// In-flight fills that finished after their epoch died: the result
+    /// was served to the requests that predate the redefinition, but the
+    /// publication was tombstoned instead of cached.
+    pub epoch_conflicts: u64,
 }
 
 impl ServeSnapshot {
     /// The `(name, value)` pairs of every counter, in declaration order —
     /// the single source for both renderings below.
-    fn fields(&self) -> [(&'static str, u64); 13] {
+    fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("hits", self.hits),
             ("misses", self.misses),
@@ -145,6 +165,9 @@ impl ServeSnapshot {
             ("breaker_open", self.breaker_open),
             ("restored", self.restored),
             ("quarantined", self.quarantined),
+            ("invalidated", self.invalidated),
+            ("stale_dropped", self.stale_dropped),
+            ("epoch_conflicts", self.epoch_conflicts),
         ]
     }
 
@@ -224,7 +247,10 @@ mod tests {
         let json = s.snapshot().to_json();
         assert!(json.contains("\"misses\": 1"));
         assert!(json.contains("\"quarantined\": 0"));
-        assert_eq!(json.matches(':').count(), 13);
+        assert!(json.contains("\"invalidated\": 0"));
+        assert!(json.contains("\"stale_dropped\": 0"));
+        assert!(json.contains("\"epoch_conflicts\": 0"));
+        assert_eq!(json.matches(':').count(), 16);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

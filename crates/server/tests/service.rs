@@ -892,3 +892,372 @@ fn warm_hit_records_hit_metric_and_no_specializer_spans() {
     assert!(page.contains("t4o_serve_hits_total 1\n"), "{page}");
     assert!(page.contains("t4o_serve_requests_total 2\n"), "{page}");
 }
+
+// ---------------------------------------------------------------------
+// Live redefinition: versioned registry, backedges, tombstones
+// ---------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use two4one_server::SpecOutcome;
+
+/// One generation of the hammer's program: the epoch number is baked
+/// into the source, so running a residual image reveals which
+/// generation it was specialized from (`value = 1000*epoch + s*d`).
+fn epoch_src(epoch: u64) -> String {
+    format!("(define (hot s d) (+ {} (* s d)))", epoch * 1000)
+}
+
+fn epoch_ext(epoch: u64) -> two4one::GenExt {
+    let pgg = Pgg::new();
+    let program = pgg.parse(&epoch_src(epoch)).expect("parse generation");
+    pgg.cogen(&program, "hot", &Division::new([BT::Static, BT::Dynamic]))
+        .expect("cogen generation")
+}
+
+/// Runs a served outcome with `d = 1` and decodes `(epoch, s)`.
+fn decode(outcome: &SpecOutcome) -> (u64, i64) {
+    let out = two4one::run_image(&outcome.image, outcome.image.entry.as_str(), &int(1))
+        .expect("run residual");
+    let Datum::Int(v) = out.value else {
+        panic!("non-integer residual result: {:?}", out.value)
+    };
+    ((v / 1000) as u64, v % 1000)
+}
+
+#[test]
+fn named_requests_resolve_register_and_unknown_names_error() {
+    let service = SpecService::new();
+    let err = service
+        .specialize_named("nowhere", &int(1))
+        .expect_err("unregistered name");
+    assert!(matches!(err, ServeError::UnknownProgram(_)), "got: {err}");
+
+    let e1 = service.register("hot", &epoch_ext(1));
+    assert_eq!(e1.get(), 1);
+    // Identical content re-registered: same generation, not a new one.
+    assert_eq!(service.register("hot", &epoch_ext(1)), e1);
+
+    let cold = service.specialize_named("hot", &int(4)).expect("cold");
+    assert_eq!(decode(&cold), (1, 4));
+    let warm = service.specialize_named("hot", &int(4)).expect("warm");
+    assert!(Arc::ptr_eq(&cold.image, &warm.image));
+    let stats = service.stats();
+    assert_eq!(stats.spec_runs, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(service.programs().len(), 1);
+
+    // Batch requests can address programs by name too.
+    let reqs = vec![
+        SpecRequest::named("hot", int(4)),
+        SpecRequest::named("hot", int(5)),
+    ];
+    let results = service.specialize_many(&reqs, 2);
+    assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(service.stats().spec_runs, 2);
+}
+
+#[test]
+fn redefine_invalidates_only_the_redefined_program() {
+    let service = SpecService::new();
+    service.register("hot", &epoch_ext(1));
+    let other_src = "(define (scale s d) (* s d))";
+    let other = {
+        let pgg = Pgg::new();
+        let p = pgg.parse(other_src).expect("parse other");
+        pgg.cogen(&p, "scale", &Division::new([BT::Static, BT::Dynamic]))
+            .expect("cogen other")
+    };
+    service.register("other", &other);
+    let anon = power_ext(&Pgg::new());
+
+    for s in [1, 2, 3] {
+        service.specialize_named("hot", &int(s)).expect("fill hot");
+    }
+    service
+        .specialize_named("other", &int(7))
+        .expect("fill other");
+    service.specialize(&anon, &int(5)).expect("fill anon");
+    assert_eq!(service.len(), 5);
+
+    let outcome = service.redefine("hot", &epoch_ext(2));
+    assert_eq!(outcome.epoch.get(), 2);
+    assert_eq!(outcome.invalidated, 3, "exactly hot's entries dropped");
+    assert_eq!(service.len(), 2, "other + anonymous survive");
+    assert_eq!(service.epoch_of("hot").map(|e| e.get()), Some(2));
+
+    // The survivors are still warm; the redefined program re-specializes
+    // from the new source and returns the new generation's result.
+    let runs = service.stats().spec_runs;
+    service
+        .specialize_named("other", &int(7))
+        .expect("other warm");
+    service.specialize(&anon, &int(5)).expect("anon warm");
+    assert_eq!(service.stats().spec_runs, runs, "unrelated entries warm");
+    let fresh = service.specialize_named("hot", &int(2)).expect("refill");
+    assert_eq!(decode(&fresh), (2, 2));
+    let stats = service.stats();
+    assert_eq!(stats.spec_runs, runs + 1);
+    assert_eq!(stats.invalidated, 3);
+}
+
+#[test]
+fn redefine_tombstones_an_in_flight_leader_of_the_old_epoch() {
+    // The leader starts filling under epoch 1; while it is blocked
+    // mid-fill the program is redefined. The leader's caller still gets
+    // its (old-generation) result — the request predates the
+    // redefinition — but the publication is tombstoned: never cached,
+    // never served again.
+    let latch = Arc::new(Latch::default());
+    let entered = Arc::new(AtomicUsize::new(0));
+    let hook_latch = latch.clone();
+    let hook_entered = entered.clone();
+    let service = SpecService::with_config(ServeConfig {
+        fill_hook: Some(FillHook::new(move || {
+            // Only the first fill blocks; post-redefinition fills run
+            // clean.
+            if hook_entered.fetch_add(1, Ordering::SeqCst) == 0 {
+                hook_latch.wait();
+            }
+        })),
+        ..ServeConfig::default()
+    });
+    service.register("hot", &epoch_ext(1));
+
+    std::thread::scope(|s| {
+        let leader = s.spawn(|| service.specialize_named("hot", &int(3)));
+        assert!(eventually(|| entered.load(Ordering::SeqCst) == 1));
+        let outcome = service.redefine("hot", &epoch_ext(2));
+        assert_eq!(outcome.epoch.get(), 2);
+        assert_eq!(outcome.invalidated, 0, "nothing published yet");
+        latch.release();
+        let led = leader.join().expect("leader thread").expect("leader ok");
+        // The old-generation result went to the caller that asked for it…
+        assert_eq!(decode(&led), (1, 3));
+    });
+
+    // …but was never cached: the cache is empty, the conflict counted,
+    // and the next request specializes fresh from the new source.
+    assert!(service.is_empty(), "tombstoned publication must not cache");
+    assert_eq!(service.stats().epoch_conflicts, 1);
+    let fresh = service.specialize_named("hot", &int(3)).expect("new gen");
+    assert_eq!(decode(&fresh), (2, 3));
+    assert_eq!(service.stats().spec_runs, 2);
+}
+
+#[test]
+fn redefine_hammer_never_serves_stale_epochs() {
+    // 8 threads: one redefines in a loop while seven workers specialize
+    // and serve. Linearizability claim under test: a request *started*
+    // after `redefine(e)` returned never yields a generation older than
+    // `e` (requests already in flight may legitimately finish with the
+    // generation they started under).
+    const EPOCHS: u64 = 12;
+    const WORKERS: usize = 7;
+    const KEYS: i64 = 3;
+
+    let service = SpecService::new();
+    service.register("hot", &epoch_ext(1));
+    let published = AtomicU64::new(1);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let service = &service;
+        let published = &published;
+        let done = &done;
+        s.spawn(move || {
+            for e in 2..=EPOCHS {
+                let outcome = service.redefine("hot", &epoch_ext(e));
+                assert_eq!(outcome.epoch.get(), e);
+                published.store(e, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+        for w in 0..WORKERS {
+            s.spawn(move || {
+                let mut served = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    let s_arg = (w as i64 + served as i64) % KEYS + 1;
+                    let lo = published.load(Ordering::SeqCst);
+                    let outcome = service
+                        .specialize_named("hot", &int(s_arg))
+                        .expect("serve during redefinition");
+                    let (epoch, s_res) = decode(&outcome);
+                    assert_eq!(s_res, s_arg, "wrong key's residual");
+                    assert!(
+                        epoch >= lo,
+                        "stale-epoch result: got generation {epoch}, \
+                         but {lo} was already live before the request"
+                    );
+                    served += 1;
+                }
+                assert!(served > 0, "worker {w} never served");
+            });
+        }
+    });
+
+    let stats = service.stats();
+    // Per (epoch, key) the single-flight cache runs the specializer at
+    // most once, plus a bounded number of races where a fill resolved
+    // the old epoch just before a bump (its publication is tombstoned
+    // and counted as an epoch conflict, never served stale).
+    assert!(
+        stats.spec_runs <= 2 * EPOCHS * KEYS as u64,
+        "specializer ran {} times for {} epochs x {} keys",
+        stats.spec_runs,
+        EPOCHS,
+        KEYS
+    );
+    assert_eq!(service.epoch_of("hot").map(|e| e.get()), Some(EPOCHS));
+
+    // Deterministic invalidation accounting once the dust settles: fill
+    // all keys, then one more redefinition drops exactly those.
+    for s_arg in 1..=KEYS {
+        service.specialize_named("hot", &int(s_arg)).expect("fill");
+    }
+    let outcome = service.redefine("hot", &epoch_ext(EPOCHS + 1));
+    assert_eq!(outcome.invalidated, KEYS as u64);
+    assert!(service.stats().invalidated >= KEYS as u64);
+    let last = service.specialize_named("hot", &int(1)).expect("fresh");
+    assert_eq!(decode(&last), (EPOCHS + 1, 1));
+}
+
+#[test]
+fn redefine_resets_breaker_so_v1_failures_do_not_block_v2() {
+    let service = SpecService::with_config(ServeConfig {
+        breaker: BreakerPolicy {
+            threshold: 2,
+            cooldown: Duration::from_secs(600),
+        },
+        ..ServeConfig::default()
+    });
+    service.register("hot", &epoch_ext(1));
+    let bad = [Datum::Int(1), Datum::Int(2)]; // arity mismatch: hard failure
+
+    for _ in 0..2 {
+        let err = service
+            .specialize_named("hot", &bad)
+            .expect_err("arity mismatch");
+        assert!(matches!(err, ServeError::Spec(_)));
+    }
+    // Open: a good request is served generic fallback, not specialized.
+    let runs = service.stats().spec_runs;
+    service.specialize_named("hot", &int(2)).expect("fallback");
+    assert_eq!(service.stats().breaker_open, 1);
+    assert_eq!(service.stats().spec_runs, runs);
+
+    // v2 is a new generation: the breaker state keyed to the logical
+    // name is voided by the epoch change, so the first v2 request
+    // specializes normally — no cooldown wait, no fallback.
+    service.redefine("hot", &epoch_ext(2));
+    let healthy = service.specialize_named("hot", &int(2)).expect("v2 clean");
+    assert_eq!(decode(&healthy), (2, 2));
+    let stats = service.stats();
+    assert_eq!(stats.spec_runs, runs + 1, "v2 ran the specializer");
+    assert_eq!(stats.breaker_open, 1, "no new fallbacks after redefine");
+}
+
+#[test]
+fn redefine_makes_snapshot_records_stale_exactly_per_program() {
+    // Service A: two named programs plus anonymous traffic.
+    let a = SpecService::new();
+    a.register("hot", &epoch_ext(1));
+    a.register("cool", &epoch_ext(9));
+    let anon = power_ext(&Pgg::new());
+    for s in [1, 2] {
+        a.specialize_named("hot", &int(s)).expect("fill hot");
+        a.specialize_named("cool", &int(s)).expect("fill cool");
+        a.specialize(&anon, &int(s)).expect("fill anon");
+    }
+    let bytes = a.snapshot_bytes();
+    assert_eq!(bytes, a.snapshot_bytes(), "snapshot is deterministic");
+
+    // Service B ("after the crash"): `hot` was redefined before the
+    // restore, `cool` was not. Exactly hot's records drop as stale.
+    let b = SpecService::new();
+    b.register("hot", &epoch_ext(2));
+    b.register("cool", &epoch_ext(9));
+    let report = b.restore_bytes(&bytes);
+    assert_eq!(report.restored, 4, "cool + anonymous records survive");
+    assert_eq!(report.stale_dropped, 2, "exactly hot's records drop");
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(b.stats().stale_dropped, 2);
+
+    // Survivors are warm (zero specializer work)…
+    for s in [1, 2] {
+        b.specialize_named("cool", &int(s)).expect("cool warm");
+        b.specialize(&anon, &int(s)).expect("anon warm");
+    }
+    assert_eq!(b.stats().spec_runs, 0);
+    assert_eq!(b.stats().hits, 4);
+    // …and the redefined program re-specializes from its new source.
+    let fresh = b.specialize_named("hot", &int(1)).expect("hot refill");
+    assert_eq!(decode(&fresh), (2, 1));
+
+    // Bit-exactness of the survivors: a reference service that never had
+    // `hot` entries at all snapshots to the same bytes as B did before
+    // refilling hot (restore preserved the surviving records exactly).
+    let reference = SpecService::new();
+    reference.register("cool", &epoch_ext(9));
+    for s in [1, 2] {
+        reference
+            .specialize_named("cool", &int(s))
+            .expect("reference fill");
+        reference
+            .specialize(&anon, &int(s))
+            .expect("reference anon");
+    }
+    let c = SpecService::new();
+    c.register("hot", &epoch_ext(2));
+    c.register("cool", &epoch_ext(9));
+    c.restore_bytes(&bytes);
+    assert_eq!(c.snapshot_bytes(), reference.snapshot_bytes());
+}
+
+#[test]
+fn redefine_restore_races_are_counted_not_served() {
+    // A redefinition racing the restore itself: records judged live at
+    // parse time may be tombstoned at publication time. Here the program
+    // is redefined *between* snapshot and restore into the same service,
+    // so every one of its records is already stale by identity.
+    let service = SpecService::new();
+    service.register("hot", &epoch_ext(1));
+    service.specialize_named("hot", &int(1)).expect("fill");
+    let bytes = service.snapshot_bytes();
+    service.redefine("hot", &epoch_ext(2));
+    let report = service.restore_bytes(&bytes);
+    assert_eq!(report.restored, 0);
+    assert_eq!(report.stale_dropped, 1);
+    assert!(service.is_empty());
+}
+
+#[test]
+fn corrupted_named_snapshots_are_quarantined_never_fatal() {
+    // The 80-seed corruption sweep against the epoch-aware (v3) record
+    // format: named records carry `(name, epoch)` payload fields, and no
+    // damage to them may panic the restore.
+    let service = SpecService::new();
+    service.register("hot", &epoch_ext(1));
+    for s in [1, 2, 3] {
+        service.specialize_named("hot", &int(s)).expect("fill");
+    }
+    service
+        .specialize(&power_ext(&Pgg::new()), &int(4))
+        .expect("anon fill");
+    let good = service.snapshot_bytes();
+
+    for seed in 0..80 {
+        let mut rng = Rng::new(seed);
+        let (bad, kind) = corrupt(&good, &mut rng);
+        let revived = SpecService::new();
+        revived.register("hot", &epoch_ext(1));
+        let report = revived.restore_bytes(&bad);
+        assert!(
+            revived.len() as u64 == report.restored,
+            "seed {seed} ({kind:?}): cache size disagrees with report"
+        );
+        // Whatever survived, the service serves correct results after.
+        let outcome = revived.specialize_named("hot", &int(2)).expect("usable");
+        assert_eq!(decode(&outcome), (1, 2), "seed {seed} ({kind:?})");
+    }
+}

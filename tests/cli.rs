@@ -900,3 +900,143 @@ fn repl_stats_command_prints_metrics() {
         "{stdout}"
     );
 }
+
+#[test]
+fn t4o_spec_redefine_versions_the_cache_across_processes() {
+    let dir = tmp_dir();
+    let v1 = dir.join("pow-v1.scm");
+    let v2 = dir.join("pow-v2.scm");
+    std::fs::write(
+        &v1,
+        "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    std::fs::write(
+        &v2,
+        "(define (power n x) (if (= n 0) 2 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    let snap = dir.join("cache.t4os");
+    let spec_args = |src: &std::path::Path| {
+        vec![
+            "spec".to_string(),
+            src.to_str().unwrap().to_string(),
+            "--entry".to_string(),
+            "power".to_string(),
+            "--division".to_string(),
+            "SD".to_string(),
+            "--name".to_string(),
+            "pow".to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+            "--batch".to_string(),
+            "(4)".to_string(),
+            "--batch".to_string(),
+            "(6)".to_string(),
+            "--cache-file".to_string(),
+            snap.to_str().unwrap().to_string(),
+        ]
+    };
+
+    // `--redefine` without `--name` is rejected with guidance.
+    let out = t4o()
+        .args([
+            "spec",
+            v1.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--redefine",
+            v2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--name"), "{stderr}");
+
+    // Mid-run redefinition: v1 serves, then v2 swaps in, invalidating
+    // v1's cached entries; the snapshot carries the live (v2) generation.
+    let mut args = spec_args(&v1);
+    args.push("--redefine".to_string());
+    args.push(v2.to_str().unwrap().to_string());
+    let out = t4o().args(args).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("pow registered (epoch 1)"), "{stdout}");
+    assert!(
+        stdout.contains("pow redefined (epoch 2, 2 invalidated)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("invalidated=2"), "{stdout}");
+    assert!(stdout.contains("snapshot written"), "{stdout}");
+
+    // Fresh process registering the same (v2) source: the snapshot's
+    // records match the live registration by identity and warm-start it.
+    let out = t4o().args(spec_args(&v2)).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("restored 2 entries") && stdout.contains("0 stale dropped"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("spec_runs=0"), "{stdout}");
+    assert!(stdout.contains("hits=2"), "{stdout}");
+
+    // Fresh process registering *v1* against the v2 snapshot: every
+    // record belongs to a dead generation — dropped as stale, counted,
+    // and re-specialized from the live source.
+    let out = t4o().args(spec_args(&v1)).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("restored 0 entries") && stdout.contains("2 stale dropped"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("stale_dropped=2"), "{stdout}");
+    assert!(stdout.contains("spec_runs=2"), "{stdout}");
+
+    // And `t4o stats` exposes the drop on the metrics page: the snapshot
+    // now holds v1 records, so registering v2 drops them visibly.
+    let out = t4o()
+        .args([
+            "stats",
+            v2.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--name",
+            "pow",
+            "--cache-file",
+            snap.to_str().unwrap(),
+            "--static",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("2 stale dropped"), "{stderr}");
+    assert!(
+        stdout.contains("t4o_serve_stale_dropped_total 2"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("t4o_programs_registered 1"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
