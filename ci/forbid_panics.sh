@@ -29,7 +29,6 @@ declare -A ALLOW=(
   [crates/frontend/src/lift.rs]=1
   [crates/frontend/src/lower.rs]=2
   # Specializer: arity/shape checked by the caller on the same path.
-  [crates/pe/src/spec.rs]=2
   # Syntax: closed enum dispatch and the worker-thread spawn.
   [crates/syntax/src/value.rs]=2
   [crates/syntax/src/cs.rs]=1

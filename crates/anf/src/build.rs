@@ -37,8 +37,11 @@ pub trait CodeBuilder {
     type Triv: Clone;
     /// Serious residual terms (calls and primitive applications).
     type Serious;
-    /// Residual expression bodies.
-    type Code;
+    /// Residual expression bodies. `Clone` lets a consumer hold a branch
+    /// of residual code in a resumable continuation frame (the gen-ext
+    /// machine of `two4one-pe` snapshots such frames for fallback
+    /// replay); both backends clone by refcount or small-tree copy.
+    type Code: Clone;
     /// The finished residual program.
     type Program;
 

@@ -21,6 +21,11 @@ use two4one_server::{FillHook, ServeConfig, ServeError, SpecRequest, SpecService
 /// enough that a cold sample stays fast.
 const REQUESTS: i64 = 24;
 
+/// Unfold depth floor per request: deep enough that specializer work
+/// dominates the service's fixed per-fill bookkeeping, so the cold rows
+/// compare engines rather than registry overhead.
+const DEPTH: i64 = 100;
+
 fn requests() -> Vec<SpecRequest> {
     let pgg = Pgg::new();
     let program = pgg
@@ -30,7 +35,7 @@ fn requests() -> Vec<SpecRequest> {
         .cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
         .expect("cogen power");
     (1..=REQUESTS)
-        .map(|n| SpecRequest::new(ext.clone(), vec![Datum::Int(n)]))
+        .map(|n| SpecRequest::new(ext.clone(), vec![Datum::Int(DEPTH + n)]))
         .collect()
 }
 
@@ -58,6 +63,45 @@ fn bench_serve(c: &mut Criterion) {
                     let t0 = Instant::now();
                     drain(&service, &reqs, jobs);
                     total += t0.elapsed();
+                }
+                total
+            })
+        });
+    }
+
+    // Cold misses through the compiled gen-ext: the same 24 distinct
+    // requests against a *registered* program. The first (untimed) fill
+    // stages the generating extension to bytecode — the one-time build
+    // cost `spec.rs` reports as `genext-build` — and the timed drain is
+    // then 24 pure cache misses served by the machine, directly
+    // comparable to `cold/1-thread` (interpreted walker, same batch).
+    {
+        let pgg = Pgg::new();
+        let program = pgg
+            .parse("(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))")
+            .expect("parse power");
+        let ext = pgg
+            .cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
+            .expect("cogen power");
+        group.bench_function("cold-genext/1-thread", move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let service = SpecService::new();
+                    service.register("bench", &ext);
+                    service
+                        .specialize_named("bench", &[Datum::Int(0)])
+                        .expect("build fill");
+                    let t0 = Instant::now();
+                    for n in 1..=REQUESTS {
+                        black_box(
+                            service
+                                .specialize_named("bench", &[Datum::Int(DEPTH + n)])
+                                .expect("named fill"),
+                        );
+                    }
+                    total += t0.elapsed();
+                    assert_eq!(service.stats().genext_builds, 1);
                 }
                 total
             })
@@ -211,6 +255,7 @@ fn report(group: &harness::Group) {
     };
     let cold1 = rate("cold/1-thread").expect("cold/1 result");
     let cold4 = rate("cold/4-thread").expect("cold/4 result");
+    let coldgen = rate("cold-genext/1-thread").expect("cold-genext result");
     let warm4 = rate("warm/4-thread").expect("warm/4 result");
     let warm4_noobs = rate("warm-noobs/4-thread").expect("warm-noobs result");
     let restart4 = rate("warm-restart/4-thread").expect("warm-restart result");
@@ -218,6 +263,11 @@ fn report(group: &harness::Group) {
     let shed = rate("overload-shed/reject").expect("overload-shed result");
     println!("  cold 1-thread: {cold1:.0} req/s");
     println!("  cold 4-thread: {cold4:.0} req/s ({:.2}x)", cold4 / cold1);
+    println!(
+        "  cold-genext 1-thread (24 compiled misses): {coldgen:.0} req/s \
+         ({:.2}x cold)",
+        coldgen / cold1
+    );
     println!(
         "  warm 4-thread: {warm4:.0} req/s ({:.0}x cold)",
         warm4 / cold1
@@ -241,10 +291,27 @@ fn report(group: &harness::Group) {
     println!("  wrote BENCH_serve.json");
 
     // Acceptance floor: 4 cold workers must not be slower than one
-    // (small tolerance for core-starved CI machines).
+    // (small tolerance for core-starved CI machines). On a single-core
+    // box the pool can only add scheduling overhead, so the floor is
+    // meaningless there and skipped.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if cores >= 2 {
+        assert!(
+            cold4 >= cold1 * 0.9,
+            "4-thread cold throughput regressed below single-thread: \
+             {cold4:.0} vs {cold1:.0} req/s"
+        );
+    } else {
+        println!("  (single-core machine: 4-thread scaling floor skipped)");
+    }
+    // A registered program's cold misses run through the compiled
+    // gen-ext: the drain must beat the interpreted walker on the same
+    // batch (the machine's 2x engine win, less the named-path registry
+    // overhead these tiny specializations magnify).
     assert!(
-        cold4 >= cold1 * 0.9,
-        "4-thread cold throughput regressed below single-thread: {cold4:.0} vs {cold1:.0} req/s"
+        coldgen > cold1,
+        "compiled gen-ext cold misses slower than interpreted: \
+         {coldgen:.0} vs {cold1:.0} req/s"
     );
     // The warm path does zero specializer work, so it must dominate cold.
     assert!(

@@ -208,12 +208,18 @@ fn trajectories() {
         (
             "BENCH_spec.json",
             "cold-path phase split (MIXWELL)",
-            "`specialize` is the phase to watch; see DESIGN.md §10.",
+            "`specialize` is the phase to watch (see DESIGN.md §10); \
+             `cold-genext` is the same request served by the *compiled* \
+             generating extension, with `genext-build` its one-time \
+             staging cost — the CI floor holds `cold-genext` at ≥ 2x \
+             `specialize` (see DESIGN.md §13).",
         ),
         (
             "BENCH_serve.json",
             "serving throughput (24-request batches)",
-            "`cold/1-thread` is the cold-path acceptance row.",
+            "`cold/1-thread` is the cold-path acceptance row; \
+             `cold-genext/1-thread` drains the same batch as misses on a \
+             *registered* program, served by its compiled gen-ext.",
         ),
     ] {
         let path = format!("{root}/{file}");

@@ -65,7 +65,8 @@ pub use two4one_syntax::reader;
 pub use two4one_syntax::stack::{with_stack, with_stack_size};
 pub use two4one_syntax::symbol::Symbol;
 pub use two4one_vm::{
-    decode_image, encode_image, optimize_image, Image, Machine, ObjError, Value, VmError,
+    decode_genext, decode_image, encode_genext, encode_image, optimize_image, GenProgram, Image,
+    Machine, ObjError, Value, VmError,
 };
 
 /// Any error the pipeline can produce.
@@ -200,14 +201,33 @@ fn note_spec_stats(stats: &SpecStats) {
     }
 }
 
+/// Process-wide generating-extension counters: how many gen-exts were
+/// compiled and how many specializations ran through one.
+struct GenextMetrics {
+    builds: obs::Counter,
+    runs: obs::Counter,
+}
+
+fn genext_metrics() -> &'static GenextMetrics {
+    static M: OnceLock<GenextMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let g = obs::global();
+        GenextMetrics {
+            builds: g.counter("t4o_genext_builds_total"),
+            runs: g.counter("t4o_genext_runs_total"),
+        }
+    })
+}
+
 /// Forces registration of every pipeline metric family in the global
 /// registry — per-phase latency histograms, specializer run/unfold/memo
-/// counters, and the per-kind fallback counters — so an exposition page
-/// (`t4o stats`, `--metrics-file`) shows all families, zero-valued,
-/// before any workload has run.
+/// counters, the per-kind fallback counters, and the gen-ext counters —
+/// so an exposition page (`t4o stats`, `--metrics-file`) shows all
+/// families, zero-valued, before any workload has run.
 pub fn init_metrics() {
     obs::touch_phase_metrics();
     let _ = spec_metrics();
+    let _ = genext_metrics();
 }
 
 /// A monotonically increasing version of a logical program.
@@ -516,6 +536,229 @@ impl GenExt {
             identity: Arc::new(OnceLock::new()),
         }
     }
+
+    /// **Compiles** this generating extension: stages the annotated
+    /// program into the flat gen-ext IR once, yielding a
+    /// [`CompiledGenExt`] whose specialization entry points run the
+    /// staged bytecode directly (no per-run annotation walk). The
+    /// compiled form produces residual programs **bit-identical** to this
+    /// extension's and can be serialized (`.t4og`) for cross-process warm
+    /// starts.
+    ///
+    /// # Errors
+    ///
+    /// Fails on staging errors (malformed annotated program).
+    pub fn compile(&self) -> Result<CompiledGenExt, Error> {
+        catching(|| {
+            let _span = obs::Span::enter(obs::Phase::GenextBuild);
+            let staged = two4one_pe::stage(&self.aprog)?;
+            genext_metrics().builds.inc();
+            Ok(CompiledGenExt::assemble(
+                staged,
+                self.entry,
+                self.options.clone(),
+            ))
+        })
+    }
+}
+
+/// A *compiled* generating extension: the staged-code IR of a [`GenExt`],
+/// executed as bytecode by the gen-ext machine. Same contract as
+/// [`GenExt`] — apply to static inputs, get a residual program through
+/// either backend, bit-identical output — minus the per-run interpretive
+/// overhead, plus serialization for cross-process warm starts.
+#[derive(Debug, Clone)]
+pub struct CompiledGenExt {
+    staged: Arc<GenProgram>,
+    entry: Symbol,
+    options: SpecOptions,
+    /// The `.t4og` wire form, encoded once at assembly.
+    bytes: Arc<[u8]>,
+    /// Cache identity: a digest of the wire form plus the options, so it
+    /// is stable across processes (a snapshot-restored gen-ext hits the
+    /// same result-cache entries as a freshly compiled one).
+    identity: Arc<str>,
+}
+
+impl CompiledGenExt {
+    fn assemble(staged: Arc<GenProgram>, entry: Symbol, options: SpecOptions) -> CompiledGenExt {
+        let bytes: Arc<[u8]> = encode_genext(&staged, &entry).into();
+        // FNV-1a over the canonical wire form.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bytes.iter() {
+            h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let identity: Arc<str> = format!("genext:{h:016x}\u{0}{options:?}").into();
+        CompiledGenExt {
+            staged,
+            entry,
+            options,
+            bytes,
+            identity,
+        }
+    }
+
+    /// The staged program (for inspection).
+    pub fn staged(&self) -> &Arc<GenProgram> {
+        &self.staged
+    }
+
+    /// The entry point.
+    pub fn entry(&self) -> &Symbol {
+        &self.entry
+    }
+
+    /// The limits and fallback setting this gen-ext runs under.
+    pub fn options(&self) -> &SpecOptions {
+        &self.options
+    }
+
+    /// The cache identity (see [`GenExt::cache_identity`]): derived from
+    /// the serialized staged program, so it is stable across processes.
+    pub fn cache_identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// A copy running under different options (limits / fallback). The
+    /// staged program is shared; nothing is recompiled.
+    pub fn with_options(&self, options: SpecOptions) -> CompiledGenExt {
+        CompiledGenExt::assemble(self.staged.clone(), self.entry, options)
+    }
+
+    /// The `.t4og` wire form of the staged program.
+    pub fn to_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Decodes a gen-ext from its `.t4og` wire form, to run under
+    /// `options`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or corrupt input (checksum, range checks).
+    pub fn from_bytes(bytes: &[u8], options: SpecOptions) -> Result<CompiledGenExt, ObjError> {
+        let (staged, entry) = decode_genext(bytes)?;
+        Ok(CompiledGenExt::assemble(staged, entry, options))
+    }
+
+    /// Specializes to residual **source** (ANF Scheme).
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization errors (see [`PeError`]).
+    pub fn specialize_source(&self, statics: &[Datum]) -> Result<AnfProgram, Error> {
+        Ok(self.specialize_source_with_stats(statics)?.0)
+    }
+
+    /// Like [`CompiledGenExt::specialize_source`], also returning
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization errors.
+    pub fn specialize_source_with_stats(
+        &self,
+        statics: &[Datum],
+    ) -> Result<(AnfProgram, SpecStats), Error> {
+        catching(|| {
+            let _span = obs::Span::enter(obs::Phase::GenextRun);
+            let (prog, stats) = two4one_pe::run_genext(
+                &self.staged,
+                &self.entry,
+                statics,
+                SourceBuilder::new(),
+                &self.options,
+                self.options.limits.deadline(),
+            )?;
+            genext_metrics().runs.inc();
+            note_spec_stats(&stats);
+            Ok((prog, stats))
+        })
+    }
+
+    /// Specializes **directly to object code** — the composed system of
+    /// the paper, driven by the compiled gen-ext.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization or code-generation errors.
+    pub fn specialize_object(&self, statics: &[Datum]) -> Result<Image, Error> {
+        Ok(self.specialize_object_with_stats(statics)?.0)
+    }
+
+    /// Like [`CompiledGenExt::specialize_object`], also returning
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization or code-generation errors.
+    pub fn specialize_object_with_stats(
+        &self,
+        statics: &[Datum],
+    ) -> Result<(Image, SpecStats), Error> {
+        self.specialize_object_governed(statics, &self.options, None)
+    }
+
+    /// The fully-governed object-code path (see
+    /// [`GenExt::specialize_object_governed`]): explicit options and an
+    /// optional [`CancelToken`] checked cooperatively mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Fails on specialization or code-generation errors; a fired token
+    /// surfaces as `Error::Pe(PeError::Limit(..))` with kind `Cancelled`.
+    pub fn specialize_object_governed(
+        &self,
+        statics: &[Datum],
+        options: &SpecOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Image, SpecStats), Error> {
+        catching(|| {
+            let _span = obs::Span::enter(obs::Phase::GenextRun);
+            let mut deadline = options.limits.deadline();
+            if let Some(token) = cancel {
+                deadline = deadline.with_cancel(token.clone());
+            }
+            let (image, stats) = two4one_pe::run_genext(
+                &self.staged,
+                &self.entry,
+                statics,
+                ObjectBuilder::new(),
+                options,
+                deadline,
+            )?;
+            genext_metrics().runs.inc();
+            note_spec_stats(&stats);
+            Ok((image?, stats))
+        })
+    }
+}
+
+/// Writes a compiled generating extension to a `.t4og` file.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn save_genext(
+    genext: &CompiledGenExt,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, genext.to_bytes())
+}
+
+/// Reads a compiled generating extension back from a `.t4og` file, to run
+/// under `options`.
+///
+/// # Errors
+///
+/// Fails on I/O errors or malformed files.
+pub fn load_genext(
+    path: impl AsRef<std::path::Path>,
+    options: SpecOptions,
+) -> std::io::Result<CompiledGenExt> {
+    let bytes = std::fs::read(path)?;
+    CompiledGenExt::from_bytes(&bytes, options)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Compiles a Core Scheme program with the stock pipeline
@@ -672,6 +915,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Pgg>();
     assert_send_sync::<GenExt>();
+    assert_send_sync::<CompiledGenExt>();
     assert_send_sync::<Image>();
     assert_send_sync::<Datum>();
     assert_send_sync::<AnfProgram>();
@@ -726,6 +970,32 @@ mod tests {
         let image = compile_source_text(&residual.to_source(), "f").unwrap();
         let out = run_image(&image, "f", &[Datum::Int(9)]).unwrap();
         assert_eq!(out.value, Datum::Int(81));
+    }
+
+    #[test]
+    fn compiled_genext_is_bit_identical_and_round_trips() {
+        let pgg = Pgg::new();
+        let p = pgg
+            .parse("(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))")
+            .unwrap();
+        let genext = pgg
+            .cogen(&p, "power", &Division::new([BT::Dynamic, BT::Static]))
+            .unwrap();
+        let compiled = genext.compile().unwrap();
+        for n in 0..6 {
+            let a = genext.specialize_object(&[Datum::Int(n)]).unwrap();
+            let b = compiled.specialize_object(&[Datum::Int(n)]).unwrap();
+            assert_eq!(encode_image(&a), encode_image(&b), "n={n}");
+        }
+        // Wire round trip: same identity, same output.
+        let restored =
+            CompiledGenExt::from_bytes(compiled.to_bytes(), compiled.options().clone()).unwrap();
+        assert_eq!(restored.cache_identity(), compiled.cache_identity());
+        let a = compiled.specialize_object(&[Datum::Int(3)]).unwrap();
+        let b = restored.specialize_object(&[Datum::Int(3)]).unwrap();
+        assert_eq!(encode_image(&a), encode_image(&b));
+        let out = run_image(&b, "power", &[Datum::Int(2)]).unwrap();
+        assert_eq!(out.value, Datum::Int(8));
     }
 
     #[test]

@@ -44,17 +44,23 @@ pub enum Phase {
     VmExec,
     /// One serving-layer request end to end.
     Serve,
+    /// Staging + compiling a generating extension.
+    GenextBuild,
+    /// Running a compiled generating extension on static inputs.
+    GenextRun,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Frontend,
         Phase::Bta,
         Phase::Specialize,
         Phase::Compile,
         Phase::VmExec,
         Phase::Serve,
+        Phase::GenextBuild,
+        Phase::GenextRun,
     ];
 
     /// The phase's label value in metrics and traces.
@@ -66,6 +72,8 @@ impl Phase {
             Phase::Compile => "compile",
             Phase::VmExec => "vm-exec",
             Phase::Serve => "serve",
+            Phase::GenextBuild => "genext-build",
+            Phase::GenextRun => "genext-run",
         }
     }
 }

@@ -1,42 +1,34 @@
-//! The specialization engine.
+//! The interpretive walker — Fig. 3 of the paper over the staged IR.
+//!
+//! This is the continuation-based offline specializer, re-expressed as a
+//! consumer of [`GenProgram`]: where the original engine recursed over
+//! annotated syntax trees, the walker follows instruction pointers into
+//! the flat staged code. Continuations are heap-allocated closures
+//! (`Kont`), environments are name-keyed, and every action — gensym
+//! draws, builder calls, memo probes, observability events — happens in
+//! exactly the order the tree-walking engine performed them, which is
+//! what the gen-ext machine ([`crate::genrun`]) is tested bit-for-bit
+//! against.
+//!
+//! Continuation-based partial evaluation (Bondorf; Lawall & Danvy) is
+//! what makes the residual code come out in A-normal form: every residual
+//! *serious* computation is named by a `let` with a fresh variable the
+//! moment it is emitted, and dynamic conditionals get a join point in
+//! non-tail position instead of duplicating their continuation.
 
+use crate::engine::{MemoKey, RCode, Resid, SpecStats, StaticKey};
 use crate::{PeError, SpecOptions};
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use two4one_anf::build::CodeBuilder;
 use two4one_interp::env::Env;
-use two4one_syntax::acs::{ADef, AExpr, ALambda, AProgram, CallPolicy, BT};
 use two4one_syntax::datum::Datum;
 use two4one_syntax::limits::{Deadline, LimitExceeded, LimitKind};
 use two4one_syntax::prim::Prim;
 use two4one_syntax::symbol::{Gensym, Symbol};
 use two4one_syntax::symset::SymSet;
 use two4one_syntax::value::{apply_prim_datum, PrimError};
-
-/// A residual trivial term together with its free variables (the
-/// specializer-side bookkeeping that feeds `CodeBuilder::lambda`, resolving
-/// the paper's Sec. 6.4 name/compilator duality) and a size hint used to
-/// avoid duplicating heavyweight trivials when unfolding.
-pub struct Resid<T> {
-    /// The backend trivial.
-    pub triv: T,
-    /// Free (dynamic) variables. A [`SymSet`] clones by refcount, so
-    /// threading the set through continuations costs no tree copies.
-    pub fv: SymSet,
-    /// True for variables and constants, false for compiled lambdas.
-    pub simple: bool,
-}
-
-impl<T: Clone> Clone for Resid<T> {
-    fn clone(&self) -> Self {
-        Resid {
-            triv: self.triv.clone(),
-            fv: self.fv.clone(),
-            simple: self.simple,
-        }
-    }
-}
+use two4one_vm::{GenDef, GenInstr, GenLam, GenProgram};
 
 /// A specialization-time value.
 pub enum SVal<B: CodeBuilder> {
@@ -44,8 +36,8 @@ pub enum SVal<B: CodeBuilder> {
     Data(Datum),
     /// A specialization-time closure.
     Clo(Arc<PClosure<B>>),
-    /// A top-level function used as a value.
-    FnRef(Symbol),
+    /// A top-level function used as a value (definition index).
+    FnRef(u32),
     /// A dynamic value: residual code.
     Dyn(Resid<B::Triv>),
 }
@@ -63,22 +55,14 @@ impl<B: CodeBuilder> Clone for SVal<B> {
 
 /// A specialization-time closure.
 pub struct PClosure<B: CodeBuilder> {
-    /// The annotated lambda.
-    pub lam: Arc<ALambda>,
+    /// Index of the staged lambda.
+    pub lam: u32,
     /// Captured specialization-time environment.
     pub env: PEnv<B>,
 }
 
 /// Specialization-time environments.
 pub type PEnv<B> = Env<SVal<B>>;
-
-/// Residual code with its free variables.
-pub struct RCode<B: CodeBuilder> {
-    /// Backend code.
-    pub code: B::Code,
-    /// Free (dynamic) variables.
-    pub fv: SymSet,
-}
 
 type KontFn<'p, B> = dyn Fn(&mut Spec<'p, B>, SVal<B>) -> Result<RCode<B>, PeError> + 'p;
 type ListKontFn<'p, B> = dyn Fn(&mut Spec<'p, B>, Vec<SVal<B>>) -> Result<RCode<B>, PeError> + 'p;
@@ -108,90 +92,15 @@ impl<'p, B: CodeBuilder + 'p> Kont<'p, B> {
     }
 }
 
-/// Key of the memoization cache: callee plus the static argument tuple.
-///
-/// The 64-bit digest is sealed at construction from the callee's symbol
-/// digest and the (already hash-consed, see [`Datum::digest`]) digests of
-/// the static arguments, so a memo probe hashes one word no matter how
-/// large the static data is. Equality still compares the full tuple —
-/// the digest can route, never decide.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct MemoKey {
-    digest: u64,
-    fn_name: Symbol,
-    statics: Vec<StaticKey>,
-}
-
-impl MemoKey {
-    fn new(fn_name: Symbol, statics: Vec<StaticKey>) -> Self {
-        let mut d: u64 = 0xcbf2_9ce4_8422_2325 ^ fn_name.digest();
-        for k in &statics {
-            let w = match k {
-                StaticKey::Data(datum) => datum.digest(),
-                // Tag fn-refs apart from a datum that happens to share a
-                // symbol digest.
-                StaticKey::Fn(g) => g.digest() ^ 0x9e37_79b9_7f4a_7c15,
-            };
-            d = (d.rotate_left(5) ^ w).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        MemoKey {
-            digest: d,
-            fn_name,
-            statics,
-        }
-    }
-}
-
-impl Hash for MemoKey {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        state.write_u64(self.digest);
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum StaticKey {
-    Data(Datum),
-    Fn(Symbol),
-}
-
 struct Pending<B: CodeBuilder> {
-    fn_name: Symbol,
+    def: u32,
     res_name: Symbol,
     statics: Vec<SVal<B>>,
 }
 
-/// Counters reported after specialization.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct SpecStats {
-    /// Calls unfolded.
-    pub unfolds: u64,
-    /// Memoization cache hits.
-    pub memo_hits: u64,
-    /// Distinct specialization points created.
-    pub memo_misses: u64,
-    /// Residual definitions emitted.
-    pub residual_defs: u64,
-    /// Calls downgraded to a generic version after a recoverable limit.
-    pub fallbacks: u64,
-    /// Generic (all-dynamic) residual definitions emitted for fallback.
-    pub generic_defs: u64,
-    /// The limit behind the *first* fallback, when any fired. Lets a
-    /// serving layer distinguish transient starvation (unfold fuel, memo
-    /// cap — worth retrying with a bigger budget) from structural limits.
-    pub fallback_kind: Option<LimitKind>,
-}
-
-impl SpecStats {
-    /// True when specialization hit a resource limit somewhere and
-    /// degraded to generic residual code instead of aborting.
-    pub fn degraded(&self) -> bool {
-        self.fallbacks > 0 || self.generic_defs > 0
-    }
-}
-
-/// The specializer state.
+/// The walker state.
 pub struct Spec<'p, B: CodeBuilder> {
-    prog: &'p AProgram,
+    prog: &'p GenProgram,
     /// The residual-code backend.
     pub builder: B,
     gensym: Gensym,
@@ -200,7 +109,7 @@ pub struct Spec<'p, B: CodeBuilder> {
     /// Per source function: the name of its generic (all-dynamic) residual
     /// version, if one has been requested by a fallback.
     generic: HashMap<Symbol, Symbol>,
-    pending_generic: VecDeque<(Symbol, Symbol)>,
+    pending_generic: VecDeque<(u32, Symbol)>,
     fuel: u64,
     depth: usize,
     max_depth: usize,
@@ -218,45 +127,28 @@ pub struct Spec<'p, B: CodeBuilder> {
     pub stats: SpecStats,
 }
 
-/// Specializes `entry` with respect to `static_args`, producing a residual
-/// program through the given backend.
+/// Runs the interpretive walker over a staged program: specializes
+/// `entry` with respect to `static_args`, producing a residual program
+/// through the given backend.
 ///
 /// `static_args` are matched positionally against the *static* parameters
-/// of the entry's division; its dynamic parameters become the parameters of
-/// the residual entry definition (which keeps the entry's name).
+/// of the entry's division; its dynamic parameters become the parameters
+/// of the residual entry definition (which keeps the entry's name).
 ///
 /// # Errors
 ///
 /// See [`PeError`].
-pub fn specialize<B: CodeBuilder>(
-    prog: &AProgram,
-    entry: &Symbol,
-    static_args: &[Datum],
-    builder: B,
-    options: &SpecOptions,
-) -> Result<(B::Program, SpecStats), PeError> {
-    let deadline = options.limits.deadline();
-    specialize_with_deadline(prog, entry, static_args, builder, options, deadline)
-}
-
-/// Like [`specialize`], but runs under a caller-supplied [`Deadline`]
-/// instead of starting one from `options.limits.timeout`. This is how a
-/// serving layer threads a per-request deadline or a [`CancelToken`]
-/// (see [`Deadline::with_cancel`]) into the specializer: the token is
-/// checked at the same amortized points as the wall clock, so a
-/// cancellation stops the run mid-specialization.
-///
-/// [`CancelToken`]: two4one_syntax::limits::CancelToken
-pub fn specialize_with_deadline<B: CodeBuilder>(
-    prog: &AProgram,
+pub fn specialize_staged<B: CodeBuilder>(
+    prog: &GenProgram,
     entry: &Symbol,
     static_args: &[Datum],
     builder: B,
     options: &SpecOptions,
     deadline: Deadline,
 ) -> Result<(B::Program, SpecStats), PeError> {
-    let def = prog.def(entry).ok_or(PeError::NoSuchFunction(*entry))?;
-    let n_static = def.params.iter().filter(|p| p.bt == BT::Static).count();
+    let entry_idx = prog.lookup(entry).ok_or(PeError::NoSuchFunction(*entry))?;
+    let def = &prog.defs[entry_idx as usize];
+    let n_static = def.params.iter().filter(|p| !p.dynamic).count();
     if n_static != static_args.len() {
         return Err(PeError::StaticArgCount {
             entry: *entry,
@@ -288,24 +180,23 @@ pub fn specialize_with_deadline<B: CodeBuilder>(
     let mut statics = static_args.iter();
     let mut binds = Vec::with_capacity(def.params.len());
     for p in &def.params {
-        match p.bt {
-            BT::Static => {
-                let d = statics.next().expect("counted above");
-                binds.push((p.name, SVal::Data(d.clone())));
-            }
-            BT::Dynamic => {
-                let fresh = spec.gensym.fresh(p.name.as_str());
-                binds.push((p.name, spec.dyn_var(&fresh)));
-                fresh_params.push(fresh);
-            }
+        if p.dynamic {
+            let fresh = spec.gensym.fresh(p.name.as_str());
+            binds.push((p.name, spec.dyn_var(&fresh)));
+            fresh_params.push(fresh);
+        } else {
+            let d = statics
+                .next()
+                .ok_or_else(|| PeError::Internal("static argument count drift".into()))?;
+            binds.push((p.name, SVal::Data(d.clone())));
         }
     }
     // One frame for the whole parameter list: a single Arc.
     let env = PEnv::<B>::empty().extend_many(binds);
-    let body = match spec.spec(&def.body, &env, Kont::Tail) {
+    let body = match spec.spec(def.body, &env, Kont::Tail) {
         Ok(b) => b,
         Err(e) if spec.fallback && e.is_recoverable() => {
-            spec.note_fallback(&e);
+            spec.stats.note_fallback(&e);
             spec.spec_generic_body(def, &env)?
         }
         Err(e) => return Err(e),
@@ -323,6 +214,35 @@ pub fn specialize_with_deadline<B: CodeBuilder>(
 }
 
 impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
+    // ----- staged-code accessors ----------------------------------------
+
+    fn instr(&self, ip: u32) -> Result<&'p GenInstr, PeError> {
+        let prog: &'p GenProgram = self.prog;
+        prog.at(ip)
+            .ok_or_else(|| PeError::Internal(format!("instruction pointer {ip} out of range")))
+    }
+
+    fn def(&self, i: u32) -> Result<&'p GenDef, PeError> {
+        self.prog
+            .defs
+            .get(i as usize)
+            .ok_or_else(|| PeError::Internal(format!("definition index {i} out of range")))
+    }
+
+    fn lam(&self, i: u32) -> Result<&'p GenLam, PeError> {
+        self.prog
+            .lams
+            .get(i as usize)
+            .ok_or_else(|| PeError::Internal(format!("lambda index {i} out of range")))
+    }
+
+    fn const_at(&self, i: u32) -> Result<&'p Datum, PeError> {
+        self.prog
+            .consts
+            .get(i as usize)
+            .ok_or_else(|| PeError::Internal(format!("constant index {i} out of range")))
+    }
+
     // ----- residual-value helpers ---------------------------------------
 
     fn dyn_var(&mut self, x: &Symbol) -> SVal<B> {
@@ -342,12 +262,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 fv: SymSet::new(),
                 simple: true,
             }),
-            SVal::FnRef(g) => self.lift_fnref(&g),
-            SVal::Clo(c) => Err(PeError::Internal(format!(
-                "specialization-time closure `{}` used as residual code; \
-                 the binding-time analysis should have made it dynamic",
-                c.lam.name
-            ))),
+            SVal::FnRef(g) => self.lift_fnref(g),
+            SVal::Clo(c) => {
+                let name = self.lam(c.lam)?.name;
+                Err(PeError::Internal(format!(
+                    "specialization-time closure `{name}` used as residual code; \
+                     the binding-time analysis should have made it dynamic"
+                )))
+            }
         }
     }
 
@@ -359,24 +281,24 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// binding-time division no longer applies) or whose all-dynamic
     /// version cannot be scheduled because the memo cache is full is
     /// redirected to its *generic* version instead.
-    fn lift_fnref(&mut self, g: &Symbol) -> Result<Resid<B::Triv>, PeError> {
-        let prog = self.prog;
-        let def = prog.def(g).ok_or(PeError::NoSuchFunction(*g))?;
-        if def.params.iter().any(|p| p.bt == BT::Static) {
+    fn lift_fnref(&mut self, g: u32) -> Result<Resid<B::Triv>, PeError> {
+        let def = self.def(g)?;
+        if def.params.iter().any(|p| !p.dynamic) {
             if self.fallback {
-                let name = self.generic_name(def);
+                let name = self.generic_name(g, def);
                 return Ok(self.global_ref(&name));
             }
             return Err(PeError::Internal(format!(
-                "function `{g}` escapes into dynamic context but still has \
-                 static parameters"
+                "function `{}` escapes into dynamic context but still has \
+                 static parameters",
+                def.name
             )));
         }
-        let name = match self.memo_name(def, Vec::new()) {
+        let name = match self.memo_name(g, def, Vec::new(), Vec::new()) {
             Ok(n) => n,
             Err(e) if self.fallback && e.is_recoverable() => {
-                self.note_fallback(&e);
-                self.generic_name(def)
+                self.stats.note_fallback(&e);
+                self.generic_name(g, def)
             }
             Err(e) => return Err(e),
         };
@@ -443,15 +365,15 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     fn residual_if(
         &mut self,
         test: Resid<B::Triv>,
-        c: &AExpr,
-        a: &AExpr,
+        then_ip: u32,
+        els_ip: u32,
         env: &PEnv<B>,
         k: Kont<'p, B>,
     ) -> Result<RCode<B>, PeError> {
         match k {
             Kont::Tail => {
-                let then = self.spec(c, env, Kont::Tail)?;
-                let els = self.spec(a, env, Kont::Tail)?;
+                let then = self.spec(then_ip, env, Kont::Tail)?;
+                let els = self.spec(els_ip, env, Kont::Tail)?;
                 let mut fv = test.fv;
                 fv.union_with(&then.fv);
                 fv.union_with(&els.fv);
@@ -484,8 +406,8 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                         fv,
                     })
                 });
-                let then = self.spec(c, env, jump.clone())?;
-                let els = self.spec(a, env, jump)?;
+                let then = self.spec(then_ip, env, jump.clone())?;
+                let els = self.spec(els_ip, env, jump)?;
                 let mut fv = test.fv;
                 fv.union_with(&then.fv.without(&jname));
                 fv.union_with(&els.fv.without(&jname));
@@ -501,8 +423,9 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
 
     // ----- the specializer proper (Fig. 3) ------------------------------
 
-    /// Specializes `e` in environment `env`, delivering the result to `k`.
-    pub fn spec(&mut self, e: &AExpr, env: &PEnv<B>, k: Kont<'p, B>) -> Result<RCode<B>, PeError> {
+    /// Specializes the staged expression at `ip` in environment `env`,
+    /// delivering the result to `k`.
+    pub fn spec(&mut self, ip: u32, env: &PEnv<B>, k: Kont<'p, B>) -> Result<RCode<B>, PeError> {
         self.depth += 1;
         if self.depth > self.max_depth {
             self.depth -= 1;
@@ -517,51 +440,44 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 return Err(PeError::Limit(l));
             }
         }
-        let result = self.spec_inner(e, env, k);
+        let result = self.spec_inner(ip, env, k);
         self.depth -= 1;
         result
     }
 
-    fn spec_inner(
-        &mut self,
-        e: &AExpr,
-        env: &PEnv<B>,
-        k: Kont<'p, B>,
-    ) -> Result<RCode<B>, PeError> {
-        match e {
-            AExpr::Const(d) => self.apply_kont(&k, SVal::Data(d.clone())),
-            AExpr::Var(x) => {
-                let v = match env.lookup(x) {
-                    Some(v) => v,
-                    None if self.prog.def(x).is_some() => SVal::FnRef(*x),
-                    None => {
-                        return Err(PeError::Internal(format!(
-                            "unbound variable `{x}` at specialization time"
-                        )))
-                    }
-                };
+    fn spec_inner(&mut self, ip: u32, env: &PEnv<B>, k: Kont<'p, B>) -> Result<RCode<B>, PeError> {
+        match self.instr(ip)? {
+            GenInstr::Const(c) => {
+                let d = self.const_at(*c)?.clone();
+                self.apply_kont(&k, SVal::Data(d))
+            }
+            GenInstr::Var { name, .. } => {
+                let v = env.lookup(name).ok_or_else(|| {
+                    PeError::Internal(format!("unbound variable `{name}` at specialization time"))
+                })?;
                 self.apply_kont(&k, v)
             }
-            AExpr::Lift(inner) => {
-                let inner = inner.clone();
-                self.spec(
-                    &inner.clone(),
-                    env,
-                    Kont::op(move |s, v| {
-                        let r = s.triv_of(v)?;
-                        s.apply_kont(&k, SVal::Dyn(r))
-                    }),
-                )
-            }
-            AExpr::Lam(l) => {
+            GenInstr::Global(g) => self.apply_kont(&k, SVal::FnRef(*g)),
+            GenInstr::Unbound(x) => Err(PeError::Internal(format!(
+                "unbound variable `{x}` at specialization time"
+            ))),
+            GenInstr::Lift => self.spec(
+                ip + 1,
+                env,
+                Kont::op(move |s, v| {
+                    let r = s.triv_of(v)?;
+                    s.apply_kont(&k, SVal::Dyn(r))
+                }),
+            ),
+            GenInstr::Clo(l) => {
                 let clo = SVal::Clo(Arc::new(PClosure {
-                    lam: l.clone(),
+                    lam: *l,
                     env: env.clone(),
                 }));
                 self.apply_kont(&k, clo)
             }
-            AExpr::LamD(l) => {
-                let lam = l.clone();
+            GenInstr::LamD(l) => {
+                let lam = self.lam(*l)?;
                 let fresh: Vec<Symbol> = lam
                     .params
                     .iter()
@@ -572,7 +488,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     binds.push((*p, self.dyn_var(f)));
                 }
                 let inner = env.extend_many(binds);
-                let body = self.spec(&lam.body, &inner, Kont::Tail)?;
+                let body = self.spec(lam.body, &inner, Kont::Tail)?;
                 let mut frees = body.fv;
                 frees.retain(|v| !fresh.contains(v));
                 let triv = self
@@ -587,10 +503,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     }),
                 )
             }
-            AExpr::If(t, c, a) => {
-                let (c, a, env2) = (c.clone(), a.clone(), env.clone());
+            GenInstr::IfS { then_, els } => {
+                let (then_, els, env2) = (*then_, *els, env.clone());
                 self.spec(
-                    t,
+                    ip + 1,
                     env,
                     Kont::op(move |s, v| {
                         let truthy = match &v {
@@ -602,45 +518,45 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             // conditional.
                             SVal::Dyn(r) => {
                                 let tr = r.clone();
-                                return s.residual_if(tr, &c, &a, &env2, k.clone());
+                                return s.residual_if(tr, then_, els, &env2, k.clone());
                             }
                         };
-                        let branch = if truthy { &c } else { &a };
+                        let branch = if truthy { then_ } else { els };
                         s.spec(branch, &env2, k.clone())
                     }),
                 )
             }
-            AExpr::IfD(t, c, a) => {
-                let (c, a, env2) = (c.clone(), a.clone(), env.clone());
+            GenInstr::IfD { then_, els } => {
+                let (then_, els, env2) = (*then_, *els, env.clone());
                 self.spec(
-                    t,
+                    ip + 1,
                     env,
                     Kont::op(move |s, v| {
                         let tr = s.triv_of(v)?;
-                        s.residual_if(tr, &c, &a, &env2, k.clone())
+                        s.residual_if(tr, then_, els, &env2, k.clone())
                     }),
                 )
             }
-            AExpr::Let(x, rhs, body) => {
-                let (x, body, env2) = (*x, body.clone(), env.clone());
+            GenInstr::Let { name, body } => {
+                let (x, body, env2) = (*name, *body, env.clone());
                 self.spec(
-                    rhs,
+                    ip + 1,
                     env,
                     Kont::op(move |s, v| {
                         let inner = env2.extend(x, v);
-                        s.spec(&body, &inner, k.clone())
+                        s.spec(body, &inner, k.clone())
                     }),
                 )
             }
-            AExpr::App(f, args) => {
-                let args = Arc::new(args.clone());
-                self.spec(f, env, {
+            GenInstr::App { args } => {
+                let args: &'p [u32] = args;
+                self.spec(ip + 1, env, {
                     let env2 = env.clone();
                     Kont::op(move |s, fval| {
                         let k2 = k.clone();
                         let fval2 = fval.clone();
                         s.spec_list(
-                            args.clone(),
+                            args,
                             0,
                             env2.clone(),
                             Vec::new(),
@@ -649,17 +565,17 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     })
                 })
             }
-            AExpr::AppD(f, args) => {
-                let args = Arc::new(args.clone());
+            GenInstr::AppD { args } => {
+                let args: &'p [u32] = args;
                 let env2 = env.clone();
                 self.spec(
-                    f,
+                    ip + 1,
                     env,
                     Kont::op(move |s, fval| {
                         let ftr = s.triv_of(fval)?;
                         let k2 = k.clone();
                         s.spec_list(
-                            args.clone(),
+                            args,
                             0,
                             env2.clone(),
                             Vec::new(),
@@ -678,9 +594,9 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     }),
                 )
             }
-            AExpr::Prim(p, args) => {
-                let p = *p;
-                let args = Arc::new(args.clone());
+            GenInstr::Prim { prim, args } => {
+                let p = *prim;
+                let args: &'p [u32] = args;
                 let k2 = k;
                 self.spec_list(
                     args,
@@ -714,24 +630,26 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             match v {
                                 SVal::Data(d) => data.push(d.clone()),
                                 SVal::Clo(c) => {
+                                    let name = s.lam(c.lam)?.name;
                                     return Err(PeError::StaticPrim {
                                         prim: p,
                                         error: PrimError::TypeError {
                                             prim: p,
                                             expected: "first-order data",
-                                            got: format!("#<closure {}>", c.lam.name),
+                                            got: format!("#<closure {name}>"),
                                         },
-                                    })
+                                    });
                                 }
                                 SVal::FnRef(g) => {
+                                    let name = s.def(*g)?.name;
                                     return Err(PeError::StaticPrim {
                                         prim: p,
                                         error: PrimError::TypeError {
                                             prim: p,
                                             expected: "first-order data",
-                                            got: format!("#<procedure {g}>"),
+                                            got: format!("#<procedure {name}>"),
                                         },
-                                    })
+                                    });
                                 }
                                 SVal::Dyn(_) => {
                                     return Err(PeError::Internal(format!(
@@ -759,9 +677,9 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                     }),
                 )
             }
-            AExpr::PrimD(p, args) => {
-                let p = *p;
-                let args = Arc::new(args.clone());
+            GenInstr::PrimD { prim, args } => {
+                let p = *prim;
+                let args: &'p [u32] = args;
                 let k2 = k;
                 self.spec_list(
                     args,
@@ -784,10 +702,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         }
     }
 
-    /// Specializes a list of expressions left to right.
+    /// Specializes a list of staged expressions left to right.
     fn spec_list(
         &mut self,
-        args: Arc<Vec<Arc<AExpr>>>,
+        args: &'p [u32],
         i: usize,
         env: PEnv<B>,
         acc: Vec<SVal<B>>,
@@ -796,14 +714,14 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         if i == args.len() {
             return k.clone()(self, acc);
         }
-        let arg = args[i].clone();
+        let arg = args[i];
         self.spec(
-            &arg,
+            arg,
             &env.clone(),
             Kont::op(move |s, v| {
                 let mut acc2 = acc.clone();
                 acc2.push(v);
-                s.spec_list(args.clone(), i + 1, env.clone(), acc2, k.clone())
+                s.spec_list(args, i + 1, env.clone(), acc2, k.clone())
             }),
         )
     }
@@ -818,12 +736,11 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     ) -> Result<RCode<B>, PeError> {
         match fval {
             SVal::Clo(c) => {
-                let lam = c.lam.clone();
-                self.unfold(&lam.name, &lam.params, &lam.body, c.env.clone(), args, k)
+                let lam = self.lam(c.lam)?;
+                self.unfold(&lam.name, &lam.params, lam.body, c.env.clone(), args, k)
             }
             SVal::FnRef(g) => {
-                let prog = self.prog;
-                let def = prog.def(&g).ok_or(PeError::NoSuchFunction(g))?;
+                let def = self.def(g)?;
                 // A top-level call is a *recoverable* position: if a
                 // resource limit fires while processing it (or anywhere
                 // downstream, since the continuation is woven into the
@@ -834,17 +751,16 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 } else {
                     None
                 };
-                let attempt = match def.policy {
-                    CallPolicy::Unfold => {
-                        let params: Vec<Symbol> = def.params.iter().map(|p| p.name).collect();
-                        self.unfold(&def.name, &params, &def.body, PEnv::empty(), args, k)
-                    }
-                    CallPolicy::Memoize => self.memo_call(def, args, k),
+                let attempt = if def.memoize {
+                    self.memo_call(g, def, args, k)
+                } else {
+                    let params: Vec<Symbol> = def.params.iter().map(|p| p.name).collect();
+                    self.unfold(&def.name, &params, def.body, PEnv::empty(), args, k)
                 };
                 match (attempt, saved) {
                     (Err(e), Some((args, k))) if e.is_recoverable() => {
-                        self.note_fallback(&e);
-                        self.generic_call(def, args, &k)
+                        self.stats.note_fallback(&e);
+                        self.generic_call(g, def, args, &k)
                     }
                     (r, _) => r,
                 }
@@ -873,7 +789,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         &mut self,
         name: &Symbol,
         params: &[Symbol],
-        body: &AExpr,
+        body: u32,
         base_env: PEnv<B>,
         args: Vec<SVal<B>>,
         k: Kont<'p, B>,
@@ -928,20 +844,6 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
 
     // ----- resource checks ----------------------------------------------
 
-    /// Records one graceful fallback and which limit caused it (first
-    /// cause wins — later fallbacks are usually knock-on effects).
-    fn note_fallback(&mut self, e: &PeError) {
-        self.stats.fallbacks += 1;
-        two4one_obs::event(two4one_obs::EventKind::Fallback);
-        if self.stats.fallback_kind.is_none() {
-            self.stats.fallback_kind = match e {
-                PeError::UnfoldLimit(_) => Some(LimitKind::UnfoldFuel),
-                PeError::Limit(l) => Some(l.kind),
-                _ => None,
-            };
-        }
-    }
-
     /// Limit checks performed at every call: wall-clock deadline and
     /// emitted-code cap. Both are recoverable at a call boundary.
     /// Suspended while emitting a generic fallback body, which must be
@@ -962,23 +864,22 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
 
     // ----- memoization ---------------------------------------------------
 
-    /// Returns the residual name for `def` specialized to `statics`,
-    /// scheduling the specialization if it is new.
+    /// Returns the residual name for `def` specialized to `statics`
+    /// (whose key projection the caller has already computed), scheduling
+    /// the specialization if it is new.
     ///
     /// # Errors
     ///
     /// [`LimitKind::MemoEntries`] if scheduling a *new* specialization
     /// point would exceed the memo-table cap (hits on existing entries
     /// always succeed).
-    fn memo_name(&mut self, def: &ADef, statics: Vec<SVal<B>>) -> Result<Symbol, PeError> {
-        let keys: Vec<StaticKey> = statics
-            .iter()
-            .map(|v| match v {
-                SVal::Data(d) => StaticKey::Data(d.clone()),
-                SVal::FnRef(g) => StaticKey::Fn(*g),
-                _ => unreachable!("checked by caller"),
-            })
-            .collect();
+    fn memo_name(
+        &mut self,
+        def_idx: u32,
+        def: &'p GenDef,
+        keys: Vec<StaticKey>,
+        statics: Vec<SVal<B>>,
+    ) -> Result<Symbol, PeError> {
         let key = MemoKey::new(def.name, keys);
         if let Some(name) = self.cache.get(&key) {
             self.stats.memo_hits += 1;
@@ -996,7 +897,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         let res_name = self.gensym.fresh(def.name.as_str());
         self.cache.insert(key, res_name);
         self.pending.push_back(Pending {
-            fn_name: def.name,
+            def: def_idx,
             res_name,
             statics,
         });
@@ -1005,7 +906,8 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
 
     fn memo_call(
         &mut self,
-        def: &ADef,
+        def_idx: u32,
+        def: &'p GenDef,
         args: Vec<SVal<B>>,
         k: Kont<'p, B>,
     ) -> Result<RCode<B>, PeError> {
@@ -1018,11 +920,23 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         }
         self.check_call_limits()?;
         let mut statics = Vec::new();
+        let mut keys = Vec::new();
         let mut dyns: Vec<Resid<B::Triv>> = Vec::new();
         for (p, a) in def.params.iter().zip(args) {
-            match p.bt {
-                BT::Static => match a {
-                    SVal::Data(_) | SVal::FnRef(_) => statics.push(a),
+            if p.dynamic {
+                dyns.push(self.triv_of(a)?);
+            } else {
+                match a {
+                    SVal::Data(ref d) => {
+                        keys.push(StaticKey::Data(d.clone()));
+                        statics.push(a);
+                    }
+                    SVal::FnRef(g) => {
+                        // Keyed by the *source* name of the referenced
+                        // definition so walker and gen-ext machine agree.
+                        keys.push(StaticKey::Fn(self.def(g)?.name));
+                        statics.push(a);
+                    }
                     SVal::Clo(_) => return Err(PeError::ClosureInMemoKey(def.name)),
                     SVal::Dyn(_) => {
                         return Err(PeError::Internal(format!(
@@ -1030,11 +944,10 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                             p.name, def.name
                         )))
                     }
-                },
-                BT::Dynamic => dyns.push(self.triv_of(a)?),
+                }
             }
         }
-        let res_name = self.memo_name(def, statics)?;
+        let res_name = self.memo_name(def_idx, def, keys, statics)?;
         let mut fv = SymSet::new();
         let mut trivs = Vec::with_capacity(dyns.len());
         for r in dyns {
@@ -1052,8 +965,8 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         loop {
             if let Some(p) = self.pending.pop_front() {
                 self.spec_pending(p)?;
-            } else if let Some((fn_name, res_name)) = self.pending_generic.pop_front() {
-                self.spec_generic(&fn_name, &res_name)?;
+            } else if let Some((def_idx, res_name)) = self.pending_generic.pop_front() {
+                self.spec_generic(def_idx, &res_name)?;
             } else {
                 return Ok(());
             }
@@ -1061,34 +974,28 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     }
 
     fn spec_pending(&mut self, p: Pending<B>) -> Result<(), PeError> {
-        let prog = self.prog;
-        let def = prog
-            .def(&p.fn_name)
-            .ok_or(PeError::NoSuchFunction(p.fn_name))?;
+        let def = self.def(p.def)?;
         let mut fresh_params = Vec::new();
         let mut statics = p.statics.into_iter();
         let mut binds = Vec::with_capacity(def.params.len());
         for param in &def.params {
-            match param.bt {
-                BT::Static => {
-                    let v = statics
-                        .next()
-                        .ok_or_else(|| PeError::Internal("static argument count drift".into()))?;
-                    binds.push((param.name, v));
-                }
-                BT::Dynamic => {
-                    let fresh = self.gensym.fresh(param.name.as_str());
-                    let var = self.dyn_var(&fresh);
-                    binds.push((param.name, var));
-                    fresh_params.push(fresh);
-                }
+            if param.dynamic {
+                let fresh = self.gensym.fresh(param.name.as_str());
+                let var = self.dyn_var(&fresh);
+                binds.push((param.name, var));
+                fresh_params.push(fresh);
+            } else {
+                let v = statics
+                    .next()
+                    .ok_or_else(|| PeError::Internal("static argument count drift".into()))?;
+                binds.push((param.name, v));
             }
         }
         let env = PEnv::<B>::empty().extend_many(binds);
-        let body = match self.spec(&def.body, &env, Kont::Tail) {
+        let body = match self.spec(def.body, &env, Kont::Tail) {
             Ok(b) => b,
             Err(e) if self.fallback && e.is_recoverable() => {
-                self.note_fallback(&e);
+                self.stats.note_fallback(&e);
                 self.spec_generic_body(def, &env)?
             }
             Err(e) => return Err(e),
@@ -1110,13 +1017,13 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// `def`, scheduling its emission if this is the first request. At
     /// most one generic version exists per source function, so fallback
     /// cannot itself grow without bound.
-    fn generic_name(&mut self, def: &ADef) -> Symbol {
+    fn generic_name(&mut self, def_idx: u32, def: &'p GenDef) -> Symbol {
         if let Some(n) = self.generic.get(&def.name) {
             return *n;
         }
         let res_name = self.gensym.fresh(&format!("{}-generic", def.name));
         self.generic.insert(def.name, res_name);
-        self.pending_generic.push_back((def.name, res_name));
+        self.pending_generic.push_back((def_idx, res_name));
         res_name
     }
 
@@ -1127,7 +1034,8 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
     /// at run time.
     fn generic_call(
         &mut self,
-        def: &ADef,
+        def_idx: u32,
+        def: &'p GenDef,
         args: Vec<SVal<B>>,
         k: &Kont<'p, B>,
     ) -> Result<RCode<B>, PeError> {
@@ -1138,7 +1046,7 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
                 got: args.len(),
             });
         }
-        let name = self.generic_name(def);
+        let name = self.generic_name(def_idx, def);
         let mut fv = SymSet::new();
         let mut trivs = Vec::with_capacity(args.len());
         for a in args {
@@ -1150,25 +1058,24 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         self.deliver_serious(k, serious, fv)
     }
 
-    /// Emits the generic body of `def` under `env`: every annotation is
-    /// stripped to its dynamic form first, so specialization degenerates
-    /// to a single structural pass that residualizes everything —
-    /// equivalent to compiling the source unspecialized. Static values
-    /// already in `env` are lifted to constants at their use sites.
-    fn spec_generic_body(&mut self, def: &ADef, env: &PEnv<B>) -> Result<RCode<B>, PeError> {
-        let body = generize(&def.body);
+    /// Emits the generic body of `def` under `env`. The stager has
+    /// already staged the all-dynamic version of every definition body
+    /// (at [`GenDef::generic`]), so specialization degenerates to a
+    /// single structural pass that residualizes everything — equivalent
+    /// to compiling the source unspecialized. Static values already in
+    /// `env` are lifted to constants at their use sites.
+    fn spec_generic_body(&mut self, def: &'p GenDef, env: &PEnv<B>) -> Result<RCode<B>, PeError> {
         let was = self.in_generic;
         self.in_generic = true;
-        let r = self.spec(&body, env, Kont::Tail);
+        let r = self.spec(def.generic, env, Kont::Tail);
         self.in_generic = was;
         r
     }
 
     /// Emits one scheduled generic definition: all parameters dynamic,
     /// body fully residualized.
-    fn spec_generic(&mut self, fn_name: &Symbol, res_name: &Symbol) -> Result<(), PeError> {
-        let prog = self.prog;
-        let def = prog.def(fn_name).ok_or(PeError::NoSuchFunction(*fn_name))?;
+    fn spec_generic(&mut self, def_idx: u32, res_name: &Symbol) -> Result<(), PeError> {
+        let def = self.def(def_idx)?;
         let mut fresh_params = Vec::new();
         let mut binds = Vec::with_capacity(def.params.len());
         for param in &def.params {
@@ -1188,33 +1095,5 @@ impl<'p, B: CodeBuilder + 'p> Spec<'p, B> {
         self.stats.residual_defs += 1;
         self.stats.generic_defs += 1;
         Ok(())
-    }
-}
-
-/// Strips every binding-time annotation down to its dynamic form. The
-/// result specializes in one structural pass (no unfolding, no static
-/// evaluation) to residual code equivalent to the unspecialized source —
-/// the "generically compiled" fallback version of the paper's terminology.
-fn generize(e: &AExpr) -> AExpr {
-    fn garc(e: &AExpr) -> Arc<AExpr> {
-        Arc::new(generize(e))
-    }
-    match e {
-        AExpr::Const(_) | AExpr::Var(_) => e.clone(),
-        // Lifting is the identity once everything is dynamic.
-        AExpr::Lift(inner) => generize(inner),
-        AExpr::Lam(l) | AExpr::LamD(l) => AExpr::LamD(Arc::new(ALambda {
-            name: l.name,
-            params: l.params.clone(),
-            body: generize(&l.body),
-        })),
-        AExpr::If(t, c, a) | AExpr::IfD(t, c, a) => AExpr::IfD(garc(t), garc(c), garc(a)),
-        AExpr::Let(x, r, b) => AExpr::Let(*x, garc(r), garc(b)),
-        AExpr::App(f, args) | AExpr::AppD(f, args) => {
-            AExpr::AppD(garc(f), args.iter().map(|a| garc(a)).collect())
-        }
-        AExpr::Prim(p, args) | AExpr::PrimD(p, args) => {
-            AExpr::PrimD(*p, args.iter().map(|a| garc(a)).collect())
-        }
     }
 }

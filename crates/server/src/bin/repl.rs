@@ -21,6 +21,11 @@
 //! * `,spec f S D …` — specialize `f` under the given division (then enter
 //!   the static arguments on the next line) and install the residual
 //!   definitions;
+//! * `,genext f S D …` — like `,spec`, but through the *compiled*
+//!   generating extension: `f`'s gen-ext is staged to bytecode (the
+//!   artifact is reported — defs, ops, wire bytes) and specialization
+//!   runs that bytecode on the gen-ext machine. The residual program is
+//!   bit-identical to `,spec`'s; only the machinery differs;
 //! * `,redefine (define (f …) …)` — replace `f` as a new *generation*:
 //!   every residual definition previously derived from `f` by `,spec` is
 //!   dropped (specialized code is only valid relative to the exact source
@@ -154,6 +159,10 @@ impl Repl {
         }
         if let Some(rest) = line.strip_prefix(",spec ") {
             self.specialize(rest.trim());
+            return true;
+        }
+        if let Some(rest) = line.strip_prefix(",genext ") {
+            self.genext(rest.trim());
             return true;
         }
         match reader::read_one(line) {
@@ -306,12 +315,13 @@ impl Repl {
         }
     }
 
-    fn specialize(&mut self, spec: &str) {
-        // ,spec f S D …  — division letters for each parameter.
+    /// Parses `<fn> <S|D>…` and prompts for the static arguments — the
+    /// shared front half of `,spec` and `,genext`.
+    fn read_spec_request(&self, cmd: &str, spec: &str) -> Option<(String, Division, Vec<Datum>)> {
         let mut parts = spec.split_whitespace();
         let Some(name) = parts.next() else {
-            println!("usage: ,spec <fn> <S|D> ...");
-            return;
+            println!("usage: {cmd} <fn> <S|D> ...");
+            return None;
         };
         let mut division = Vec::new();
         for p in parts {
@@ -320,46 +330,86 @@ impl Repl {
                 "D" | "d" => division.push(BT::Dynamic),
                 other => {
                     println!("bad binding time `{other}` (use S or D)");
-                    return;
+                    return None;
                 }
             }
         }
         let n_static = division.iter().filter(|b| **b == BT::Static).count();
         println!("enter {n_static} static argument(s) on one line:");
-        let Some(line) = read_line() else { return };
-        let statics = match reader::read_all(&line) {
-            Ok(ds) => ds,
+        let line = read_line()?;
+        match reader::read_all(&line) {
+            Ok(statics) => Some((name.to_string(), Division::new(division), statics)),
             Err(e) => {
                 println!("read error: {e}");
-                return;
+                None
             }
+        }
+    }
+
+    /// Installs the residual definitions (the entry keeps its name), each
+    /// recorded as derived from the specialized source so `,redefine` of
+    /// that source can drop them.
+    fn install_residual(&mut self, source: Symbol, residual: &two4one::AnfProgram) {
+        println!(";; residual program:");
+        println!("{}", residual.to_source());
+        for (i, d) in residual.to_cs().to_data().iter().enumerate() {
+            let src = d.to_string();
+            if let Some(n) = Self::define_name(d) {
+                self.defs.retain(|(existing, _)| existing != &n);
+                self.defs.push((n, src));
+                self.derived.retain(|(residual, _)| residual != &n);
+                if n != source {
+                    self.derived.push((n, source));
+                }
+            } else if i == 0 {
+                println!(";; (could not install entry definition)");
+            }
+        }
+        println!(";; installed {} definitions", residual.defs.len());
+    }
+
+    fn specialize(&mut self, spec: &str) {
+        // ,spec f S D …  — division letters for each parameter.
+        let Some((name, division, statics)) = self.read_spec_request(",spec", spec) else {
+            return;
         };
         let result = Pgg::new()
             .parse(&self.program_text())
-            .and_then(|p| Pgg::new().cogen(&p, name, &Division::new(division)))
+            .and_then(|p| Pgg::new().cogen(&p, &name, &division))
             .and_then(|g| g.specialize_source_optimized(&statics));
         match result {
+            Ok(residual) => self.install_residual(Symbol::new(&name), &residual),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// `,genext f S D …` — the compiled path of `,spec`: stage `f`'s
+    /// generating extension to gen-ext bytecode, report the artifact,
+    /// then specialize by running that bytecode on the gen-ext machine.
+    fn genext(&mut self, spec: &str) {
+        let Some((name, division, statics)) = self.read_spec_request(",genext", spec) else {
+            return;
+        };
+        let compiled = Pgg::new()
+            .parse(&self.program_text())
+            .and_then(|p| Pgg::new().cogen(&p, &name, &division))
+            .and_then(|g| g.compile());
+        let compiled = match compiled {
+            Ok(c) => c,
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        };
+        println!(
+            ";; genext: compiled ({} defs, {} ops, {} bytes)",
+            compiled.staged().defs.len(),
+            compiled.staged().code.len(),
+            compiled.to_bytes().len()
+        );
+        match compiled.specialize_source(&statics) {
             Ok(residual) => {
-                println!(";; residual program:");
-                println!("{}", residual.to_source());
-                // Install the residual definitions (entry keeps its name),
-                // each recorded as derived from the specialized source so
-                // `,redefine` of that source can drop them.
-                let source = Symbol::new(name);
-                for (i, d) in residual.to_cs().to_data().iter().enumerate() {
-                    let src = d.to_string();
-                    if let Some(n) = Self::define_name(d) {
-                        self.defs.retain(|(existing, _)| existing != &n);
-                        self.defs.push((n, src));
-                        self.derived.retain(|(residual, _)| residual != &n);
-                        if n != source {
-                            self.derived.push((n, source));
-                        }
-                    } else if i == 0 {
-                        println!(";; (could not install entry definition)");
-                    }
-                }
-                println!(";; installed {} definitions", residual.defs.len());
+                self.install_residual(Symbol::new(&name), &two4one::anf::optimize(&residual))
             }
             Err(e) => println!("error: {e}"),
         }

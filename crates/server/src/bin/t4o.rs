@@ -41,6 +41,16 @@
 //! specializations are invalidated and the batch is served again from
 //! the new one.
 //!
+//! Compiled gen-exts: `--genext` stages the generating extension to
+//! bytecode (the second Futamura projection, compiled) and specializes
+//! through the gen-ext machine instead of the annotation walker — same
+//! residual image, bit for bit. `--genext-file <f.t4og>` loads the
+//! compiled gen-ext from the file when it exists (warm start, skipping
+//! front-end + BTA + staging) and writes it there after compiling
+//! otherwise. In serve mode the service compiles gen-exts for named
+//! programs by itself; `--genext-cache <f.t4og>` persists that artifact
+//! cache across runs, mirroring `--cache-file` for residuals.
+//!
 //! Observability: `t4o stats` prints the metrics exposition page
 //! (Prometheus text, or JSON with `--json`), optionally after serving a
 //! workload; `t4o spec --metrics-file <f>` dumps the same page after a
@@ -86,6 +96,9 @@ struct Opts {
     name: Option<String>,
     redefine: Option<String>,
     cache_file: Option<String>,
+    genext: bool,
+    genext_file: Option<String>,
+    genext_cache: Option<String>,
     deadline_ms: Option<u64>,
     max_inflight: Option<usize>,
     metrics_file: Option<String>,
@@ -144,6 +157,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         name: None,
         redefine: None,
         cache_file: None,
+        genext: false,
+        genext_file: None,
+        genext_cache: None,
         deadline_ms: None,
         max_inflight: None,
         metrics_file: None,
@@ -185,6 +201,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--name" | "-n" => o.name = Some(take("--name")?),
             "--redefine" => o.redefine = Some(take("--redefine")?),
             "--cache-file" => o.cache_file = Some(take("--cache-file")?),
+            "--genext" => o.genext = true,
+            "--genext-file" => o.genext_file = Some(take("--genext-file")?),
+            "--genext-cache" => o.genext_cache = Some(take("--genext-cache")?),
             "--metrics-file" => o.metrics_file = Some(take("--metrics-file")?),
             "--stats-json" => o.stats_json = Some(take("--stats-json")?),
             "--json" => o.json = true,
@@ -234,7 +253,9 @@ fn usage() -> String {
      [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict] \
      [--jobs <n>] [--batch '(<datum>...)']... \
      [--name <logical> [--redefine <file2.scm>]] \
-     [--cache-file <f.t4os>] [--deadline-ms <ms>] [--max-inflight <n>] \
+     [--genext] [--genext-file <f.t4og>] \
+     [--cache-file <f.t4os>] [--genext-cache <f.t4og>] \
+     [--deadline-ms <ms>] [--max-inflight <n>] \
      [--metrics-file <f.prom>] [--stats-json <f.json>]\n  \
      t4o stats [<file.scm> --entry <name> --division <S|D letters> \
      [--static <datum>]... [--batch '(<datum>...)']... [--jobs <n>] \
@@ -341,6 +362,73 @@ fn build_genext_from(o: &Opts, file: &str) -> Result<two4one::GenExt, String> {
         .map_err(|e| e.to_string())
 }
 
+/// The single-shot `--genext` pipeline: with `--genext-file` pointing at
+/// an existing `.t4og`, the compiled gen-ext is loaded and the Scheme
+/// front end never runs — a cross-process warm start, so the positional
+/// source file, `--entry`, and `--division` are all optional. Otherwise
+/// the gen-ext is built the usual way, staged to bytecode, and written
+/// back to `--genext-file` (when given) for the next process.
+fn obtain_compiled(o: &Opts) -> Result<two4one::CompiledGenExt, String> {
+    if let Some(path) = &o.genext_file {
+        if std::path::Path::new(path).exists() {
+            let options = two4one::SpecOptions {
+                limits: o.spec_limits(),
+                fallback: !o.strict,
+            };
+            let compiled =
+                two4one::load_genext(path, options).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                ";; genext: loaded from {path} ({} defs, {} ops)",
+                compiled.staged().defs.len(),
+                compiled.staged().code.len()
+            );
+            return Ok(compiled);
+        }
+    }
+    let compiled = build_genext(o)?.compile().map_err(|e| e.to_string())?;
+    println!(
+        ";; genext: compiled ({} defs, {} ops, {} bytes)",
+        compiled.staged().defs.len(),
+        compiled.staged().code.len(),
+        compiled.to_bytes().len()
+    );
+    if let Some(path) = &o.genext_file {
+        two4one::save_genext(&compiled, path).map_err(|e| format!("{path}: {e}"))?;
+        println!(";; genext: written to {path}");
+    }
+    Ok(compiled)
+}
+
+/// The two single-shot specialization backends behind a common face: the
+/// interpreted annotation walker ([`two4one::GenExt`]) and the compiled
+/// gen-ext bytecode ([`two4one::CompiledGenExt`]). Both produce
+/// bit-identical residual programs; only the machinery differs.
+enum Backend {
+    Walker(two4one::GenExt),
+    Compiled(two4one::CompiledGenExt),
+}
+
+impl Backend {
+    fn source(
+        &self,
+        statics: &[Datum],
+    ) -> Result<(two4one::AnfProgram, two4one::SpecStats), String> {
+        match self {
+            Backend::Walker(g) => g.specialize_source_with_stats(statics),
+            Backend::Compiled(c) => c.specialize_source_with_stats(statics),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn object(&self, statics: &[Datum]) -> Result<(Image, two4one::SpecStats), String> {
+        match self {
+            Backend::Walker(g) => g.specialize_object_with_stats(statics),
+            Backend::Compiled(c) => c.specialize_object_with_stats(statics),
+        }
+        .map_err(|e| e.to_string())
+    }
+}
+
 /// Writes the Prometheus rendering of `snap` to `path`.
 fn write_metrics_file(path: &str, snap: &obs::MetricsSnapshot) -> Result<(), String> {
     std::fs::write(path, snap.to_prometheus()).map_err(|e| format!("{path}: {e}"))?;
@@ -352,9 +440,24 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
     if o.redefine.is_some() && o.name.is_none() {
         return Err("`--redefine` needs `--name <logical>` (the program to redefine)".to_string());
     }
-    let genext = build_genext(o)?;
+    let use_compiled = o.genext || o.genext_file.is_some();
     if o.jobs.is_some() || !o.batches.is_empty() || o.name.is_some() {
-        return cmd_spec_serve(o, genext);
+        if use_compiled {
+            return Err(
+                "`--genext`/`--genext-file` are single-shot flags; serve mode \
+                        compiles gen-exts by itself (persist them across runs with \
+                        `--genext-cache <f.t4og>`)"
+                    .to_string(),
+            );
+        }
+        return cmd_spec_serve(o, build_genext(o)?);
+    }
+    if o.genext_cache.is_some() {
+        return Err(
+            "`--genext-cache` needs serve mode (`--jobs`/`--batch`/`--name`); \
+                    single-shot warm starts use `--genext-file`"
+                .to_string(),
+        );
     }
     if o.stats_json.is_some() {
         return Err("`--stats-json` needs serve mode (`--jobs`/`--batch`); \
@@ -366,12 +469,15 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
     if o.metrics_file.is_some() {
         two4one::init_metrics();
     }
+    let backend = if use_compiled {
+        Backend::Compiled(obtain_compiled(o)?)
+    } else {
+        Backend::Walker(build_genext(o)?)
+    };
     let statics = read_data(&o.statics)?;
     let mut degraded = false;
     if o.source || o.output.is_none() {
-        let (residual, stats) = genext
-            .specialize_source_with_stats(&statics)
-            .map_err(|e| e.to_string())?;
+        let (residual, stats) = backend.source(&statics)?;
         degraded |= stats.degraded();
         let residual = if o.optimize {
             two4one::anf::optimize(&residual)
@@ -381,9 +487,7 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
         println!("{}", residual.to_source());
     }
     if let Some(out) = &o.output {
-        let (image, stats) = genext
-            .specialize_object_with_stats(&statics)
-            .map_err(|e| e.to_string())?;
+        let (image, stats) = backend.object(&statics)?;
         degraded |= stats.degraded();
         save_image(&image, out).map_err(|e| e.to_string())?;
         println!(
@@ -545,6 +649,21 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
             );
         }
     }
+    // Like `--cache-file`, but for compiled gen-ext artifacts: restore
+    // after registration (records are judged against the live registry),
+    // so a registered program's first cache miss skips the gen-ext build.
+    if let Some(path) = &o.genext_cache {
+        if std::path::Path::new(path).exists() {
+            let report = service
+                .restore_genexts(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                ";; genext-cache: restored {} gen-ext(s) from {path} \
+                 ({} quarantined, {} stale dropped)",
+                report.restored, report.quarantined, report.stale_dropped
+            );
+        }
+    }
     let results = service.specialize_many(&requests, jobs);
     let (mut degraded, mut failures) = report_results(o, &results, &batches)?;
 
@@ -568,6 +687,12 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
     if let Some(path) = &o.cache_file {
         service.snapshot(path).map_err(|e| format!("{path}: {e}"))?;
         println!(";; cache: snapshot written to {path}");
+    }
+    if let Some(path) = &o.genext_cache {
+        service
+            .snapshot_genexts(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(";; genext-cache: snapshot written to {path}");
     }
     if let Some(path) = &o.stats_json {
         std::fs::write(path, service.stats().to_json()).map_err(|e| format!("{path}: {e}"))?;

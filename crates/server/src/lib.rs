@@ -67,13 +67,13 @@ use std::time::{Duration, Instant};
 use admission::{Admission, Gate};
 use breaker::{Breaker, BreakerScope, Verdict};
 use cache::{lock, Entry, Flight, Key, Shard, Slot};
-use persist::SnapRecord;
+use persist::{GenextSnapRecord, SnapRecord};
 use registry::{Backedge, Registry};
 use stats::ServeStats;
 use two4one::obs;
 use two4one::{
-    CancelToken, Datum, Epoch, Error, GenExt, Image, LimitKind, Limits, PeError, SpecOptions,
-    SpecStats,
+    CancelToken, CompiledGenExt, Datum, Epoch, Error, GenExt, Image, LimitKind, Limits, PeError,
+    SpecOptions, SpecStats,
 };
 use two4one_syntax::stack::DEFAULT_STACK_BYTES;
 
@@ -351,6 +351,21 @@ pub struct RestoreReport {
     /// what the record was specialized against. Judged by content
     /// identity, not raw epoch number, so a snapshot restores cleanly
     /// into a fresh process that re-registered the same programs.
+    pub stale_dropped: u64,
+}
+
+/// What a [`SpecService::restore_genexts`] pass recovered from a
+/// gen-ext snapshot file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenextRestoreReport {
+    /// Compiled gen-exts restored into the registry's artifact cache.
+    pub restored: u64,
+    /// Records rejected: bad checksum, torn tail, bad header, or an
+    /// undecodable staged program.
+    pub quarantined: u64,
+    /// Structurally intact records dropped because their program's
+    /// registration no longer matches the live registry (unregistered
+    /// name, or different source identity/entry).
     pub stale_dropped: u64,
 }
 
@@ -837,6 +852,141 @@ impl SpecService {
         Ok(self.restore_bytes(&bytes))
     }
 
+    // ----- the gen-ext artifact cache ------------------------------------
+
+    /// The compiled gen-ext for a resolved `(name, epoch)`: answered from
+    /// the registry's artifact cache, or built now — once per generation;
+    /// later fills for the same generation reuse it. A build the
+    /// redefinition raced — the generation died while staging ran — is
+    /// still returned for *this* fill (its waiters predate the
+    /// redefinition, exactly like a tombstoned result publication) but
+    /// never cached, and counts as an epoch conflict. A staging failure
+    /// returns `None`: the fill falls back to the interpreted walker,
+    /// which surfaces the underlying error in its own run.
+    fn compiled_genext(&self, backedge: &Backedge, ext: &GenExt) -> Option<Arc<CompiledGenExt>> {
+        let (name, epoch) = backedge;
+        if let Some(compiled) = self.programs.compiled(name, *epoch) {
+            return Some(compiled);
+        }
+        let compiled = match ext.compile() {
+            Ok(c) => Arc::new(c),
+            Err(_) => return None,
+        };
+        ServeStats::bump(&self.stats.genext_builds);
+        if !self.programs.store_compiled(name, *epoch, compiled.clone()) {
+            ServeStats::bump(&self.stats.epoch_conflicts);
+            obs::event(obs::EventKind::EpochConflict);
+        }
+        Some(compiled)
+    }
+
+    /// The compiled generating extension cached for the *live* generation
+    /// of `name`: present once the generation has served at least one
+    /// cache miss (the first miss builds it), `None` for unregistered
+    /// names and immediately after a redefinition — the artifact dies
+    /// with its generation, exactly like the residual cache entries.
+    pub fn genext_of(&self, name: &str) -> Option<Arc<CompiledGenExt>> {
+        let epoch = self.programs.epoch_of(name)?;
+        self.programs.compiled(name, epoch)
+    }
+
+    /// Serializes every compiled generating extension the registry holds
+    /// into a `.t4og` gen-ext snapshot: CRC-32-checked records (name,
+    /// source identity, entry, epoch, staged wire form) in name order, so
+    /// equal registry contents produce identical bytes.
+    pub fn genext_snapshot_bytes(&self) -> Vec<u8> {
+        let records: Vec<GenextSnapRecord> = self
+            .programs
+            .compiled_entries()
+            .into_iter()
+            .map(
+                |(name, epoch, identity, entry, compiled)| GenextSnapRecord {
+                    name: name.to_string(),
+                    identity,
+                    entry,
+                    epoch: epoch.get(),
+                    genext: compiled.to_bytes().to_vec(),
+                },
+            )
+            .collect();
+        persist::encode_genexts(&records)
+    }
+
+    /// Restores compiled gen-exts from snapshot bytes into the registry's
+    /// artifact cache, so the first cold miss of each restored program
+    /// skips the gen-ext build entirely (cross-process warm start).
+    ///
+    /// The same judgement as [`SpecService::restore_bytes`] applies:
+    /// corrupt records are quarantined; structurally intact records whose
+    /// program is unregistered, or whose recorded source identity/entry
+    /// no longer match the live registration, are dropped as stale —
+    /// epochs are per-process, content identity is what travels. A
+    /// generation that already built its artifact keeps it.
+    pub fn restore_genexts_bytes(&self, bytes: &[u8]) -> GenextRestoreReport {
+        let decoded = persist::decode_genexts(bytes);
+        let mut restored = 0u64;
+        let mut quarantined = decoded.quarantined;
+        let mut stale_dropped = 0u64;
+        for rec in decoded.records {
+            let live = self
+                .programs
+                .epoch_for_identity(&rec.name, &rec.identity, &rec.entry)
+                .and_then(|epoch| Some((epoch, self.programs.resolve(&rec.name)?.2)));
+            let Some((epoch, ext)) = live else {
+                stale_dropped += 1;
+                continue;
+            };
+            let compiled = match CompiledGenExt::from_bytes(&rec.genext, ext.options().clone()) {
+                Ok(c) => Arc::new(c),
+                Err(_) => {
+                    quarantined += 1;
+                    continue;
+                }
+            };
+            if self.programs.store_compiled(&rec.name, epoch, compiled) {
+                restored += 1;
+            } else {
+                // Redefined between the identity check and the store:
+                // the record just became stale.
+                stale_dropped += 1;
+            }
+        }
+        GenextRestoreReport {
+            restored,
+            quarantined,
+            stale_dropped,
+        }
+    }
+
+    /// Snapshots the gen-ext artifact cache to `path` crash-safely
+    /// (temp-file-and-rename, like [`SpecService::snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn snapshot_genexts(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        std::fs::write(&tmp, self.genext_snapshot_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Restores the gen-ext artifact cache from a `.t4og` snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (a *corrupt* file is not an error:
+    /// its bad records are quarantined and reported).
+    pub fn restore_genexts(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<GenextRestoreReport> {
+        let bytes = std::fs::read(path)?;
+        Ok(self.restore_genexts_bytes(&bytes))
+    }
+
     // ----- the serve path ------------------------------------------------
 
     /// Cache lookup / single-flight fill, under admission control, the
@@ -1014,7 +1164,14 @@ impl SpecService {
                         return Err(ServeError::DeadlineExceeded);
                     }
                     Admission::Admitted(permit) => {
-                        let result = self.run_fill(ext, statics, &key, token.as_ref(), spawn_stack);
+                        let result = self.run_fill(
+                            ext,
+                            statics,
+                            &key,
+                            backedge,
+                            token.as_ref(),
+                            spawn_stack,
+                        );
                         drop(permit);
                         guard.armed = false;
                         self.finish_flight(&key, backedge, shard, &flight, result, token.as_ref())
@@ -1028,12 +1185,19 @@ impl SpecService {
 
     /// Runs one cache fill (with escalated-budget retry) on the right
     /// stack, converting panics into [`ServeError::Worker`].
+    ///
+    /// A fill for a *registered* program runs through the program's
+    /// compiled generating extension (built once per generation, cached
+    /// in the registry — see [`SpecService::genext_of`]); an anonymous
+    /// fill runs the interpreted specializer, since with no `(name,
+    /// epoch)` there is nothing to key the artifact on.
     #[allow(clippy::type_complexity)]
     fn run_fill(
         &self,
         ext: &GenExt,
         statics: &[Datum],
         key: &Key,
+        backedge: Option<&Backedge>,
         token: Option<&CancelToken>,
         spawn_stack: bool,
     ) -> Result<Result<(Image, SpecStats), Error>, ServeError> {
@@ -1041,7 +1205,12 @@ impl SpecService {
             if let Some(hook) = &self.fill_hook {
                 (hook.0)();
             }
-            let mut result = ext.specialize_object_governed(statics, ext.options(), token);
+            let compiled = backedge.and_then(|be| self.compiled_genext(be, ext));
+            let govern = |options: &SpecOptions, token: Option<&CancelToken>| match &compiled {
+                Some(c) => c.specialize_object_governed(statics, options, token),
+                None => ext.specialize_object_governed(statics, options, token),
+            };
+            let mut result = govern(ext.options(), token);
             let mut attempt: u32 = 0;
             while attempt < self.retry.max_retries {
                 let transient = matches!(
@@ -1063,7 +1232,7 @@ impl SpecService {
                 ));
                 let factor = self.retry.escalation.max(1).saturating_pow(attempt);
                 let escalated = escalate_options(ext.options(), factor);
-                match ext.specialize_object_governed(statics, &escalated, token) {
+                match govern(&escalated, token) {
                     // A bigger budget got at least as far: keep it. Stop
                     // as soon as a run finishes without degrading.
                     Ok((image, stats)) => {
@@ -1358,4 +1527,5 @@ const _: () = {
     assert_send_sync::<ServeError>();
     assert_send_sync::<ServeSnapshot>();
     assert_send_sync::<RedefineOutcome>();
+    assert_send_sync::<GenextRestoreReport>();
 };

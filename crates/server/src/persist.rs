@@ -293,6 +293,130 @@ pub(crate) fn decode(bytes: &[u8]) -> DecodeOutcome {
     out
 }
 
+// ---- gen-ext snapshots (`.t4og` containers) ----------------------------
+//
+// The same discipline as the `.t4os` cache snapshot, but the payload is a
+// compiled generating extension (the staged-code IR in its `.t4og` wire
+// form, itself self-checksummed) instead of a residual image. Records
+// carry the registration facts restore needs to judge them against the
+// live registry: the logical name, the *source* extension's cache
+// identity and entry (what `Registry::epoch_for_identity` compares), and
+// the epoch the artifact was built under (informational — epochs are
+// per-process, identity is what travels).
+
+const GENEXT_MAGIC: &[u8; 8] = b"t4ogsnp\0";
+const GENEXT_VERSION: u32 = 1;
+
+/// One compiled gen-ext in transit between the registry and a snapshot.
+#[derive(Debug)]
+pub(crate) struct GenextSnapRecord {
+    pub(crate) name: String,
+    /// Cache identity of the *source* [`GenExt`](two4one::GenExt) the
+    /// artifact was compiled from (rendered annotated program + options).
+    pub(crate) identity: String,
+    pub(crate) entry: String,
+    pub(crate) epoch: u64,
+    /// The `.t4og` wire form of the staged program.
+    pub(crate) genext: Vec<u8>,
+}
+
+/// What a gen-ext snapshot decode recovered.
+#[derive(Debug, Default)]
+pub(crate) struct GenextDecodeOutcome {
+    pub(crate) records: Vec<GenextSnapRecord>,
+    pub(crate) quarantined: u64,
+}
+
+fn encode_genext_record(r: &GenextSnapRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_str(&mut payload, &r.name);
+    put_str(&mut payload, &r.identity);
+    put_str(&mut payload, &r.entry);
+    payload.extend_from_slice(&r.epoch.to_le_bytes());
+    payload.extend_from_slice(&(r.genext.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&r.genext);
+    payload
+}
+
+/// Encodes a gen-ext snapshot; the caller sorts records for determinism.
+pub(crate) fn encode_genexts(records: &[GenextSnapRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(GENEXT_MAGIC);
+    out.extend_from_slice(&GENEXT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        let payload = encode_genext_record(r);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+fn parse_genext_record(payload: &[u8]) -> Option<GenextSnapRecord> {
+    let mut r = Reader::new(payload);
+    let name = r.string()?;
+    let identity = r.string()?;
+    let entry = r.string()?;
+    let epoch = r.u64()?;
+    let len = r.u32()? as usize;
+    let genext = r.take(len)?.to_vec();
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(GenextSnapRecord {
+        name,
+        identity,
+        entry,
+        epoch,
+        genext,
+    })
+}
+
+/// Decodes a gen-ext snapshot with the same recovery semantics as
+/// [`decode`]: bad header quarantines the file, bad records are skipped
+/// and counted, a torn tail truncates cleanly.
+pub(crate) fn decode_genexts(bytes: &[u8]) -> GenextDecodeOutcome {
+    let mut out = GenextDecodeOutcome::default();
+    if bytes.len() < HEADER_LEN
+        || &bytes[..8] != GENEXT_MAGIC
+        || u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) != GENEXT_VERSION
+    {
+        out.quarantined = 1;
+        return out;
+    }
+    let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as u64;
+    let mut r = Reader::new(&bytes[HEADER_LEN..]);
+    let mut seen: u64 = 0;
+    while seen < count {
+        let header = match (r.u32(), r.u32()) {
+            (Some(len), Some(crc)) => Some((len as usize, crc)),
+            _ => None,
+        };
+        let Some((len, crc)) = header else {
+            out.quarantined += count - seen;
+            return out;
+        };
+        let Some(payload) = r.take(len) else {
+            out.quarantined += count - seen;
+            return out;
+        };
+        seen += 1;
+        if crc32(payload) != crc {
+            out.quarantined += 1;
+            continue;
+        }
+        match parse_genext_record(payload) {
+            Some(rec) => out.records.push(rec),
+            None => out.quarantined += 1,
+        }
+    }
+    if r.remaining() != 0 {
+        out.quarantined += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,5 +526,51 @@ mod tests {
         let out = decode(&bytes);
         assert!(out.records.is_empty());
         assert_eq!(out.quarantined, 1);
+    }
+
+    fn genext_record(name: &str, epoch: u64) -> GenextSnapRecord {
+        GenextSnapRecord {
+            name: name.to_string(),
+            identity: format!("identity-of-{name}"),
+            entry: "f".to_string(),
+            epoch,
+            genext: vec![0xde, 0xad, 0xbe, 0xef, epoch as u8],
+        }
+    }
+
+    #[test]
+    fn genext_snapshot_round_trips() {
+        let records = vec![genext_record("p", 1), genext_record("q", 3)];
+        let bytes = encode_genexts(&records);
+        let out = decode_genexts(&bytes);
+        assert_eq!(out.quarantined, 0);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[0].name, "p");
+        assert_eq!(out.records[1].epoch, 3);
+        assert_eq!(out.records[1].genext, records[1].genext);
+        assert_eq!(encode_genexts(&out.records), bytes);
+    }
+
+    #[test]
+    fn genext_snapshot_rejects_corruption_per_record() {
+        let bytes = encode_genexts(&[genext_record("p", 1), genext_record("q", 2)]);
+        // Whole-file: wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(decode_genexts(&bad).quarantined, 1);
+        assert!(decode_genexts(&bad).records.is_empty());
+        // A cache snapshot is not a gen-ext snapshot.
+        assert_eq!(decode_genexts(&encode(&[record("a")])).quarantined, 1);
+        // Per-record: flip a payload byte, the other record survives.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 8 + 5] ^= 0x20;
+        let out = decode_genexts(&bad);
+        assert_eq!(out.quarantined, 1);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].name, "q");
+        // Torn tail truncates cleanly.
+        let out = decode_genexts(&bytes[..bytes.len() - 3]);
+        assert!(out.quarantined >= 1);
+        assert_eq!(out.records.len(), 1);
     }
 }

@@ -37,6 +37,7 @@ pub(crate) struct ServeStats {
     pub(crate) invalidated: obs::Counter,
     pub(crate) stale_dropped: obs::Counter,
     pub(crate) epoch_conflicts: obs::Counter,
+    pub(crate) genext_builds: obs::Counter,
 }
 
 impl ServeStats {
@@ -60,6 +61,7 @@ impl ServeStats {
             invalidated: registry.counter("t4o_serve_invalidated_total"),
             stale_dropped: registry.counter("t4o_serve_stale_dropped_total"),
             epoch_conflicts: registry.counter("t4o_serve_epoch_conflicts_total"),
+            genext_builds: registry.counter("t4o_serve_genext_builds_total"),
         }
     }
 
@@ -89,6 +91,7 @@ impl ServeStats {
             invalidated: self.invalidated.get(),
             stale_dropped: self.stale_dropped.get(),
             epoch_conflicts: self.epoch_conflicts.get(),
+            genext_builds: self.genext_builds.get(),
         }
     }
 }
@@ -143,14 +146,20 @@ pub struct ServeSnapshot {
     pub stale_dropped: u64,
     /// In-flight fills that finished after their epoch died: the result
     /// was served to the requests that predate the redefinition, but the
-    /// publication was tombstoned instead of cached.
+    /// publication was tombstoned instead of cached. Also counts
+    /// compiled gen-ext builds that outlived their generation — the
+    /// artifact served its own fill but was never cached.
     pub epoch_conflicts: u64,
+    /// Compiled generating extensions built by the service (one per
+    /// registered generation that took at least one cache miss; warm
+    /// traffic and rebuild-free fills do not move this).
+    pub genext_builds: u64,
 }
 
 impl ServeSnapshot {
     /// The `(name, value)` pairs of every counter, in declaration order —
     /// the single source for both renderings below.
-    fn fields(&self) -> [(&'static str, u64); 16] {
+    fn fields(&self) -> [(&'static str, u64); 17] {
         [
             ("hits", self.hits),
             ("misses", self.misses),
@@ -168,6 +177,7 @@ impl ServeSnapshot {
             ("invalidated", self.invalidated),
             ("stale_dropped", self.stale_dropped),
             ("epoch_conflicts", self.epoch_conflicts),
+            ("genext_builds", self.genext_builds),
         ]
     }
 
@@ -250,7 +260,8 @@ mod tests {
         assert!(json.contains("\"invalidated\": 0"));
         assert!(json.contains("\"stale_dropped\": 0"));
         assert!(json.contains("\"epoch_conflicts\": 0"));
-        assert_eq!(json.matches(':').count(), 16);
+        assert!(json.contains("\"genext_builds\": 0"));
+        assert_eq!(json.matches(':').count(), 17);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

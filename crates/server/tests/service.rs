@@ -1035,10 +1035,16 @@ fn redefine_tombstones_an_in_flight_leader_of_the_old_epoch() {
         assert_eq!(decode(&led), (1, 3));
     });
 
-    // …but was never cached: the cache is empty, the conflict counted,
-    // and the next request specializes fresh from the new source.
+    // …but was never cached: the cache is empty, the conflicts counted
+    // (one for the gen-ext build that outlived its generation, one for
+    // the tombstoned result publication), and the next request
+    // specializes fresh from the new source.
     assert!(service.is_empty(), "tombstoned publication must not cache");
-    assert_eq!(service.stats().epoch_conflicts, 1);
+    assert_eq!(service.stats().epoch_conflicts, 2);
+    assert!(
+        service.genext_of("hot").is_none(),
+        "the dead generation's gen-ext build must not be cached"
+    );
     let fresh = service.specialize_named("hot", &int(3)).expect("new gen");
     assert_eq!(decode(&fresh), (2, 3));
     assert_eq!(service.stats().spec_runs, 2);
@@ -1260,4 +1266,127 @@ fn corrupted_named_snapshots_are_quarantined_never_fatal() {
         let outcome = revived.specialize_named("hot", &int(2)).expect("usable");
         assert_eq!(decode(&outcome), (1, 2), "seed {seed} ({kind:?})");
     }
+}
+
+// ----- the gen-ext artifact cache ---------------------------------------
+
+#[test]
+fn genext_builds_once_per_generation_and_dies_on_redefine() {
+    let service = SpecService::new();
+    service.register("hot", &epoch_ext(1));
+    assert!(
+        service.genext_of("hot").is_none(),
+        "the artifact is built lazily, on the first miss"
+    );
+
+    // The first miss builds the artifact; later misses and warm hits
+    // reuse it.
+    let a = service.specialize_named("hot", &int(3)).expect("cold");
+    assert_eq!(decode(&a), (1, 3));
+    let built = service.genext_of("hot").expect("artifact cached");
+    assert_eq!(service.stats().genext_builds, 1);
+    service
+        .specialize_named("hot", &int(4))
+        .expect("second miss");
+    service.specialize_named("hot", &int(3)).expect("warm");
+    assert_eq!(service.stats().genext_builds, 1, "one build per generation");
+    assert!(Arc::ptr_eq(
+        &built,
+        &service.genext_of("hot").expect("still cached")
+    ));
+
+    // Redefinition kills the artifact with its generation…
+    service.redefine("hot", &epoch_ext(2));
+    assert!(
+        service.genext_of("hot").is_none(),
+        "stale gen-ext must die on redefine"
+    );
+
+    // …and the next miss builds — and serves from — the new generation's.
+    let b = service.specialize_named("hot", &int(3)).expect("new gen");
+    assert_eq!(decode(&b), (2, 3), "no stale gen-ext output post-redefine");
+    assert_eq!(service.stats().genext_builds, 2);
+    assert!(service.genext_of("hot").is_some());
+}
+
+#[test]
+fn genext_and_walker_serve_identical_images() {
+    // The compiled gen-ext path (named fills) and the interpreted walker
+    // path (anonymous fills) must produce bit-identical residual images
+    // and equal specializer stats.
+    let named = SpecService::new();
+    named.register("hot", &epoch_ext(1));
+    let anon = SpecService::new();
+    for s in [0i64, 1, 5] {
+        let n = named.specialize_named("hot", &int(s)).expect("named");
+        let w = anon.specialize(&epoch_ext(1), &int(s)).expect("anon");
+        assert_eq!(
+            two4one::encode_image(&n.image),
+            two4one::encode_image(&w.image),
+            "s={s}: gen-ext image differs from walker image"
+        );
+        assert_eq!(n.stats, w.stats);
+    }
+    assert_eq!(named.stats().genext_builds, 1);
+    assert_eq!(
+        anon.stats().genext_builds,
+        0,
+        "anonymous fills stay interpreted"
+    );
+}
+
+#[test]
+fn genext_snapshot_warm_starts_a_second_process() {
+    let first = SpecService::new();
+    first.register("hot", &epoch_ext(1));
+    first.specialize_named("hot", &int(3)).expect("fill");
+    assert_eq!(first.stats().genext_builds, 1);
+    let snapshot = first.genext_snapshot_bytes();
+    assert_eq!(
+        snapshot,
+        first.genext_snapshot_bytes(),
+        "equal registry contents must snapshot identically"
+    );
+
+    // "Second process": the same program re-registered from source
+    // (epochs are per-process), the gen-ext restored from the snapshot —
+    // its cold miss runs the staged bytecode without ever building it.
+    let second = SpecService::new();
+    second.register("hot", &epoch_ext(1));
+    let report = second.restore_genexts_bytes(&snapshot);
+    assert_eq!(report.restored, 1);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.stale_dropped, 0);
+    assert!(second.genext_of("hot").is_some());
+    let out = second
+        .specialize_named("hot", &int(3))
+        .expect("cold via restored gen-ext");
+    assert_eq!(decode(&out), (1, 3));
+    assert_eq!(
+        second.stats().genext_builds,
+        0,
+        "restored artifact — the cold miss must not build"
+    );
+
+    // A process whose registration has *different* source drops the
+    // record as stale; so does one that never registered the name.
+    let third = SpecService::new();
+    third.register("hot", &epoch_ext(2));
+    let report = third.restore_genexts_bytes(&snapshot);
+    assert_eq!(report.restored, 0);
+    assert_eq!(report.stale_dropped, 1);
+    assert!(third.genext_of("hot").is_none());
+    let fourth = SpecService::new();
+    assert_eq!(fourth.restore_genexts_bytes(&snapshot).stale_dropped, 1);
+
+    // Corruption quarantines the record instead of restoring garbage.
+    let mut corrupted = snapshot.clone();
+    let n = corrupted.len();
+    corrupted[n - 9] ^= 0x41;
+    let fifth = SpecService::new();
+    fifth.register("hot", &epoch_ext(1));
+    let report = fifth.restore_genexts_bytes(&corrupted);
+    assert_eq!(report.restored, 0);
+    assert!(report.quarantined >= 1);
+    assert!(fifth.genext_of("hot").is_none());
 }

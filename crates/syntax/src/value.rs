@@ -718,10 +718,307 @@ pub fn apply_prim<P: ProcRepr>(
 /// error if called on an impure primitive (callers should check
 /// [`Prim::is_pure`] first).
 pub fn apply_prim_datum(p: Prim, args: &[Datum]) -> Result<Datum, PrimError> {
+    // Fast path: the structural and arithmetic primitives evaluate
+    // directly on the refcounted data. Only when it cannot answer —
+    // string/char/effect primitives, or a fault whose error message the
+    // slow path owns — is the Value round trip taken.
+    if let Some(Ok(d)) = apply_prim_datum_direct(p, args) {
+        return Ok(d);
+    }
     let vals: Vec<Value<NoProc>> = args.iter().map(Value::from).collect();
     let mut out = String::new();
     let v = apply_prim(p, &vals, &mut out)?;
     Ok(v.to_datum().expect("NoProc values are always first-order"))
+}
+
+/// `eqv?` over data, exactly as [`apply_prim_datum`]'s slow path observes
+/// it: each argument there is converted to a *fresh* [`Value`] tree, so
+/// two pairs are never pointer-equal, while string identity survives the
+/// round trip (the `Arc<str>` is cloned through both conversions).
+fn eqv_datum(a: &Datum, b: &Datum) -> bool {
+    match (a, b) {
+        (Datum::Int(x), Datum::Int(y)) => x == y,
+        (Datum::Bool(x), Datum::Bool(y)) => x == y,
+        (Datum::Char(x), Datum::Char(y)) => x == y,
+        (Datum::Sym(x), Datum::Sym(y)) => x == y,
+        (Datum::Nil, Datum::Nil) => true,
+        (Datum::Unspec, Datum::Unspec) => true,
+        (Datum::Str(x), Datum::Str(y)) => Arc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+/// The allocation-free fast path of [`apply_prim_datum`]: evaluates the
+/// hot structural and arithmetic primitives directly on [`Datum`] — a
+/// `car` is one refcount bump instead of two deep tree copies. The
+/// specializer applies static primitives to static data millions of
+/// times per run, which makes this round trip its dominant cost.
+///
+/// `None` means the primitive is not fast-pathed (strings, characters,
+/// effects, boxes); `Some(Err(()))` means the application faults — the
+/// caller re-runs the slow path, whose arity/type/overflow errors (and
+/// their renderings) stay the single source of truth. Both paths are
+/// pure for every primitive handled here, so re-running is observation-
+/// equivalent.
+#[allow(clippy::too_many_lines)]
+fn apply_prim_datum_direct(p: Prim, args: &[Datum]) -> Option<Result<Datum, ()>> {
+    match p {
+        Prim::SymbolToString
+        | Prim::StringToSymbol
+        | Prim::StringAppend
+        | Prim::StringLength
+        | Prim::NumberToString
+        | Prim::StringEqualP
+        | Prim::CharToInteger
+        | Prim::IntegerToChar
+        | Prim::Display
+        | Prim::Write
+        | Prim::Newline
+        | Prim::Error
+        | Prim::BoxNew
+        | Prim::BoxRef
+        | Prim::BoxSet => return None,
+        _ => {}
+    }
+    if !p.arity().admits(args.len()) {
+        return Some(Err(()));
+    }
+    fn int(d: &Datum) -> Result<i64, ()> {
+        match d {
+            Datum::Int(n) => Ok(*n),
+            _ => Err(()),
+        }
+    }
+    fn chain(args: &[Datum], f: impl Fn(i64, i64) -> bool) -> Result<Datum, ()> {
+        for w in args.windows(2) {
+            if !f(int(&w[0])?, int(&w[1])?) {
+                return Ok(Datum::Bool(false));
+            }
+        }
+        Ok(Datum::Bool(true))
+    }
+    Some((|| {
+        Ok(match p {
+            Prim::Add => {
+                let mut acc: i64 = 0;
+                for a in args {
+                    acc = acc.checked_add(int(a)?).ok_or(())?;
+                }
+                Datum::Int(acc)
+            }
+            Prim::Sub => {
+                let first = int(&args[0])?;
+                if args.len() == 1 {
+                    Datum::Int(first.checked_neg().ok_or(())?)
+                } else {
+                    let mut acc = first;
+                    for a in &args[1..] {
+                        acc = acc.checked_sub(int(a)?).ok_or(())?;
+                    }
+                    Datum::Int(acc)
+                }
+            }
+            Prim::Mul => {
+                let mut acc: i64 = 1;
+                for a in args {
+                    acc = acc.checked_mul(int(a)?).ok_or(())?;
+                }
+                Datum::Int(acc)
+            }
+            Prim::Quotient | Prim::Remainder | Prim::Modulo => {
+                let a = int(&args[0])?;
+                let b = int(&args[1])?;
+                if b == 0 {
+                    return Err(());
+                }
+                let r = match p {
+                    Prim::Quotient => a.checked_div(b),
+                    Prim::Remainder => a.checked_rem(b),
+                    _ => a.checked_rem_euclid(b).map(|r| {
+                        // Scheme `modulo` takes the sign of the divisor.
+                        if b < 0 && r != 0 {
+                            r + b
+                        } else {
+                            r
+                        }
+                    }),
+                };
+                Datum::Int(r.ok_or(())?)
+            }
+            Prim::Abs => Datum::Int(int(&args[0])?.checked_abs().ok_or(())?),
+            Prim::Min => {
+                let mut acc = int(&args[0])?;
+                for a in &args[1..] {
+                    acc = acc.min(int(a)?);
+                }
+                Datum::Int(acc)
+            }
+            Prim::Max => {
+                let mut acc = int(&args[0])?;
+                for a in &args[1..] {
+                    acc = acc.max(int(a)?);
+                }
+                Datum::Int(acc)
+            }
+            Prim::NumEq => chain(args, |a, b| a == b)?,
+            Prim::Lt => chain(args, |a, b| a < b)?,
+            Prim::Le => chain(args, |a, b| a <= b)?,
+            Prim::Gt => chain(args, |a, b| a > b)?,
+            Prim::Ge => chain(args, |a, b| a >= b)?,
+            Prim::ZeroP => Datum::Bool(int(&args[0])? == 0),
+            Prim::EqP | Prim::EqvP => Datum::Bool(eqv_datum(&args[0], &args[1])),
+            Prim::EqualP => Datum::Bool(args[0] == args[1]),
+            Prim::Not => Datum::Bool(!args[0].is_truthy()),
+            Prim::Cons => Datum::cons(args[0].clone(), args[1].clone()),
+            Prim::Car => match &args[0] {
+                Datum::Pair(pr) => pr.car.clone(),
+                _ => return Err(()),
+            },
+            Prim::Cdr => match &args[0] {
+                Datum::Pair(pr) => pr.cdr.clone(),
+                _ => return Err(()),
+            },
+            Prim::PairP => Datum::Bool(matches!(args[0], Datum::Pair(_))),
+            Prim::NullP => Datum::Bool(matches!(args[0], Datum::Nil)),
+            Prim::List => Datum::list(args.iter().cloned()),
+            Prim::Append => {
+                // Mirrors the slow path: every argument but the last must
+                // be a proper list; the last is shared as the tail.
+                let last = args.last().cloned().unwrap_or(Datum::Nil);
+                let mut parts: Vec<Vec<Datum>> = Vec::new();
+                for a in &args[..args.len().saturating_sub(1)] {
+                    let mut items = Vec::new();
+                    let mut cur = a;
+                    loop {
+                        match cur {
+                            Datum::Nil => break,
+                            Datum::Pair(pr) => {
+                                items.push(pr.car.clone());
+                                cur = &pr.cdr;
+                            }
+                            _ => return Err(()),
+                        }
+                    }
+                    parts.push(items);
+                }
+                let mut acc = last;
+                for items in parts.into_iter().rev() {
+                    for d in items.into_iter().rev() {
+                        acc = Datum::cons(d, acc);
+                    }
+                }
+                acc
+            }
+            Prim::Length => {
+                let mut n: i64 = 0;
+                let mut cur = &args[0];
+                loop {
+                    match cur {
+                        Datum::Nil => break Datum::Int(n),
+                        Datum::Pair(pr) => {
+                            n += 1;
+                            cur = &pr.cdr;
+                        }
+                        _ => return Err(()),
+                    }
+                }
+            }
+            Prim::Reverse => {
+                let mut acc = Datum::Nil;
+                let mut cur = &args[0];
+                loop {
+                    match cur {
+                        Datum::Nil => break acc,
+                        Datum::Pair(pr) => {
+                            acc = Datum::cons(pr.car.clone(), acc);
+                            cur = &pr.cdr;
+                        }
+                        _ => return Err(()),
+                    }
+                }
+            }
+            Prim::ListRef => {
+                let mut k = int(&args[1])?;
+                if k < 0 {
+                    return Err(());
+                }
+                let mut cur = &args[0];
+                loop {
+                    match cur {
+                        Datum::Pair(pr) => {
+                            if k == 0 {
+                                break pr.car.clone();
+                            }
+                            k -= 1;
+                            cur = &pr.cdr;
+                        }
+                        _ => return Err(()),
+                    }
+                }
+            }
+            Prim::Memq | Prim::Member => {
+                let same: fn(&Datum, &Datum) -> bool = if p == Prim::Memq {
+                    eqv_datum
+                } else {
+                    |a, b| a == b
+                };
+                let mut cur = &args[1];
+                loop {
+                    match cur {
+                        Datum::Nil => break Datum::Bool(false),
+                        Datum::Pair(pr) => {
+                            if same(&args[0], &pr.car) {
+                                break cur.clone();
+                            }
+                            cur = &pr.cdr;
+                        }
+                        _ => return Err(()),
+                    }
+                }
+            }
+            Prim::Assq | Prim::Assoc => {
+                let same: fn(&Datum, &Datum) -> bool = if p == Prim::Assq {
+                    eqv_datum
+                } else {
+                    |a, b| a == b
+                };
+                let mut cur = &args[1];
+                loop {
+                    match cur {
+                        Datum::Nil => break Datum::Bool(false),
+                        Datum::Pair(pr) => {
+                            if let Datum::Pair(entry) = &pr.car {
+                                if same(&args[0], &entry.car) {
+                                    break pr.car.clone();
+                                }
+                            }
+                            cur = &pr.cdr;
+                        }
+                        _ => return Err(()),
+                    }
+                }
+            }
+            Prim::SymbolP => Datum::Bool(matches!(args[0], Datum::Sym(_))),
+            Prim::NumberP => Datum::Bool(matches!(args[0], Datum::Int(_))),
+            Prim::StringP => Datum::Bool(matches!(args[0], Datum::Str(_))),
+            Prim::BooleanP => Datum::Bool(matches!(args[0], Datum::Bool(_))),
+            Prim::CharP => Datum::Bool(matches!(args[0], Datum::Char(_))),
+            // First-order data never holds a procedure.
+            Prim::ProcedureP => Datum::Bool(false),
+            Prim::ListP => {
+                let mut cur = &args[0];
+                loop {
+                    match cur {
+                        Datum::Nil => break Datum::Bool(true),
+                        Datum::Pair(pr) => cur = &pr.cdr,
+                        _ => break Datum::Bool(false),
+                    }
+                }
+            }
+            // Filtered to the slow path above.
+            _ => return Err(()),
+        })
+    })())
 }
 
 #[cfg(test)]
@@ -911,6 +1208,134 @@ mod tests {
             let vv: V = Value::from(&dd);
             assert_eq!(vv.to_datum(), Some(dd));
         }
+    }
+
+    /// The slow path alone, as the reference for the fast-path oracle.
+    fn apply_prim_datum_slow(p: Prim, args: &[Datum]) -> Result<Datum, PrimError> {
+        let vals: Vec<Value<NoProc>> = args.iter().map(Value::from).collect();
+        let mut out = String::new();
+        let v = apply_prim(p, &vals, &mut out)?;
+        Ok(v.to_datum().expect("NoProc values are always first-order"))
+    }
+
+    #[test]
+    fn apply_prim_datum_fast_path_matches_slow_path() {
+        use crate::prim::Prim as P;
+        let all = [
+            P::Add,
+            P::Sub,
+            P::Mul,
+            P::Quotient,
+            P::Remainder,
+            P::Modulo,
+            P::Abs,
+            P::Min,
+            P::Max,
+            P::NumEq,
+            P::Lt,
+            P::Le,
+            P::Gt,
+            P::Ge,
+            P::ZeroP,
+            P::EqP,
+            P::EqvP,
+            P::EqualP,
+            P::Not,
+            P::Cons,
+            P::Car,
+            P::Cdr,
+            P::PairP,
+            P::NullP,
+            P::List,
+            P::Append,
+            P::Length,
+            P::Reverse,
+            P::ListRef,
+            P::Memq,
+            P::Member,
+            P::Assq,
+            P::Assoc,
+            P::SymbolP,
+            P::NumberP,
+            P::StringP,
+            P::BooleanP,
+            P::CharP,
+            P::ProcedureP,
+            P::ListP,
+            P::SymbolToString,
+            P::StringToSymbol,
+            P::StringAppend,
+            P::StringLength,
+            P::NumberToString,
+            P::StringEqualP,
+            P::CharToInteger,
+            P::IntegerToChar,
+        ];
+        let pool: Vec<Datum> = [
+            "0",
+            "1",
+            "-7",
+            "2",
+            "9223372036854775807",
+            "#t",
+            "#f",
+            "x",
+            "y",
+            "\"s\"",
+            "#\\a",
+            "()",
+            "(1 2 3)",
+            "(x y)",
+            "((x 1) (y 2))",
+            "((1 . 2) (3 . 4))",
+            "(1 . 2)",
+            "(1 2 . 3)",
+        ]
+        .iter()
+        .map(|s| read_one(s).unwrap())
+        .collect();
+        // Every prim over every 0-, 1- and 2-argument combination from the
+        // pool: results (and error/ok classification) must agree exactly.
+        for p in all {
+            let check = |args: &[Datum]| {
+                let fast = apply_prim_datum(p, args);
+                let slow = apply_prim_datum_slow(p, args);
+                assert_eq!(fast, slow, "prim {p:?} on {args:?}");
+            };
+            check(&[]);
+            for a in &pool {
+                check(std::slice::from_ref(a));
+                for b in &pool {
+                    check(&[a.clone(), b.clone()]);
+                }
+            }
+        }
+        // The shared-argument corner: `(eq? x x)` on a pair is #f in both
+        // paths (the slow path converts each argument freshly), and on a
+        // string it is #t in both (the Arc survives the conversions).
+        let pair = read_one("(1 2)").unwrap();
+        let s = read_one("\"shared\"").unwrap();
+        for p in [P::EqP, P::EqvP] {
+            assert_eq!(
+                apply_prim_datum(p, &[pair.clone(), pair.clone()]),
+                apply_prim_datum_slow(p, &[pair.clone(), pair.clone()])
+            );
+            assert_eq!(
+                apply_prim_datum(p, &[s.clone(), s.clone()]),
+                apply_prim_datum_slow(p, &[s.clone(), s.clone()])
+            );
+            assert_eq!(
+                apply_prim_datum(p, &[s.clone(), s.clone()]),
+                Ok(Datum::Bool(true))
+            );
+        }
+        // Memoized-search corner: memq/assq find a shared string by
+        // identity through the fast path exactly like the slow path.
+        let list = Datum::list([s.clone(), pair.clone()]);
+        assert_eq!(
+            apply_prim_datum(P::Memq, &[s.clone(), list.clone()]),
+            apply_prim_datum_slow(P::Memq, &[s.clone(), list.clone()])
+        );
     }
 
     #[test]

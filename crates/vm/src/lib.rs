@@ -19,11 +19,13 @@
 //! slots, `let` slots, captured slots, or globals.
 
 pub mod asm;
+pub mod genops;
 pub mod machine;
 pub mod objfile;
 pub mod peephole;
 
 pub use asm::{Asm, AsmError, Label};
+pub use genops::{decode_genext, encode_genext, GenDef, GenInstr, GenLam, GenParam, GenProgram};
 pub use machine::{Machine, VmError};
 pub use objfile::{decode as decode_image, encode as encode_image, ObjError};
 pub use peephole::{optimize_image, optimize_template};

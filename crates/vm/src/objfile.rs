@@ -159,28 +159,28 @@ pub fn decode(bytes: &[u8]) -> Result<Image, ObjError> {
 
 // ----- encoding -------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_sym(out: &mut Vec<u8>, s: &Symbol) {
+pub(crate) fn put_sym(out: &mut Vec<u8>, s: &Symbol) {
     put_str(out, s.as_str());
 }
 
-fn put_datum(out: &mut Vec<u8>, d: &Datum) {
+pub(crate) fn put_datum(out: &mut Vec<u8>, d: &Datum) {
     match d {
         Datum::Nil => out.push(0),
         Datum::Unspec => out.push(1),
@@ -301,14 +301,26 @@ fn put_template(out: &mut Vec<u8>, t: &Template) {
 /// near this deep.
 const MAX_DECODE_DEPTH: usize = 8_192;
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ObjError> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader {
+            bytes,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ObjError> {
         if self.pos + n > self.bytes.len() {
             return Err(ObjError::Truncated);
         }
@@ -317,21 +329,21 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ObjError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ObjError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ObjError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ObjError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, ObjError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ObjError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn i64(&mut self) -> Result<i64, ObjError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, ObjError> {
         let b = self.take(8)?;
         Ok(i64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
@@ -342,7 +354,7 @@ impl<'a> Reader<'a> {
     /// bytes remaining (every encoded element occupies at least one
     /// byte). This bounds `Vec::with_capacity` by the input size, so a
     /// corrupt count cannot force a huge allocation.
-    fn vec_len(&mut self) -> Result<usize, ObjError> {
+    pub(crate) fn vec_len(&mut self) -> Result<usize, ObjError> {
         let n = self.u32()? as usize;
         if n > self.bytes.len() - self.pos {
             return Err(ObjError::Truncated);
@@ -350,17 +362,17 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
-    fn str(&mut self) -> Result<String, ObjError> {
+    pub(crate) fn str(&mut self) -> Result<String, ObjError> {
         let n = self.vec_len()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| ObjError::BadUtf8)
     }
 
-    fn sym(&mut self) -> Result<Symbol, ObjError> {
+    pub(crate) fn sym(&mut self) -> Result<Symbol, ObjError> {
         Ok(Symbol::new(&self.str()?))
     }
 
-    fn datum(&mut self) -> Result<Datum, ObjError> {
+    pub(crate) fn datum(&mut self) -> Result<Datum, ObjError> {
         Ok(match self.u8()? {
             0 => Datum::Nil,
             1 => Datum::Unspec,
@@ -416,7 +428,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn enter(&mut self) -> Result<(), ObjError> {
+    pub(crate) fn enter(&mut self) -> Result<(), ObjError> {
         self.depth += 1;
         if self.depth > MAX_DECODE_DEPTH {
             return Err(ObjError::TooDeep);

@@ -628,6 +628,221 @@ fn t4o_spec_cache_file_warm_starts_across_processes() {
 }
 
 #[test]
+fn t4o_spec_genext_file_warm_starts_across_processes() {
+    let dir = tmp_dir();
+    let src = dir.join("powg.scm");
+    std::fs::write(
+        &src,
+        "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    let genext = dir.join("power.t4og");
+    let cold = dir.join("cold.t4o");
+    let warm = dir.join("warm.t4o");
+    let walker = dir.join("walker.t4o");
+
+    // Cold process: front end + BTA run, the gen-ext is staged to
+    // bytecode, written to disk, and drives the specialization.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--static",
+            "5",
+            "--genext-file",
+            genext.to_str().unwrap(),
+            "-o",
+            cold.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains(";; genext: compiled"), "{stdout}");
+    assert!(stdout.contains("genext: written to"), "{stdout}");
+    assert!(genext.exists());
+
+    // Warm process: no source file, no --entry, no --division — the
+    // compiled gen-ext alone carries the specializer across processes.
+    let out = t4o()
+        .args([
+            "spec",
+            "--genext-file",
+            genext.to_str().unwrap(),
+            "--static",
+            "5",
+            "-o",
+            warm.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("genext: loaded from"), "{stdout}");
+
+    // The interpreted walker, for reference.
+    let out = t4o()
+        .args([
+            "spec",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "SD",
+            "--static",
+            "5",
+            "-o",
+            walker.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // All three processes produced the same residual image, bit for bit.
+    let cold_bytes = std::fs::read(&cold).unwrap();
+    assert_eq!(cold_bytes, std::fs::read(&warm).unwrap());
+    assert_eq!(cold_bytes, std::fs::read(&walker).unwrap());
+
+    // And the warm-started residual actually runs: power_5(2) = 32.
+    let out = t4o()
+        .args([
+            "run",
+            warm.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--arg",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("32"), "{stdout}");
+
+    // A corrupted gen-ext file fails the load with a typed error (exit
+    // code, not a panic).
+    let mut bytes = std::fs::read(&genext).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&genext, &bytes).unwrap();
+    let out = t4o()
+        .args([
+            "spec",
+            "--genext-file",
+            genext.to_str().unwrap(),
+            "--static",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("t4o:"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn t4o_spec_genext_cache_warm_starts_across_processes() {
+    let dir = tmp_dir();
+    let src = dir.join("powx.scm");
+    std::fs::write(
+        &src,
+        "(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    let gxs = dir.join("genexts.t4og");
+    let spec_args = |src: &std::path::Path, batch: &str| {
+        vec![
+            "spec".to_string(),
+            src.to_str().unwrap().to_string(),
+            "--entry".to_string(),
+            "power".to_string(),
+            "--division".to_string(),
+            "SD".to_string(),
+            "--name".to_string(),
+            "pow".to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+            "--batch".to_string(),
+            batch.to_string(),
+            "--genext-cache".to_string(),
+            gxs.to_str().unwrap().to_string(),
+        ]
+    };
+
+    // Cold process: the first miss compiles the gen-ext; the artifact
+    // cache is snapshotted after serving.
+    let out = t4o().args(spec_args(&src, "(4)")).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("genext_builds=1"), "{stdout}");
+    assert!(
+        stdout.contains("genext-cache: snapshot written"),
+        "{stdout}"
+    );
+    assert!(gxs.exists());
+
+    // Fresh process, new statics (so the result cache cannot answer):
+    // the restored gen-ext serves the miss without rebuilding.
+    let out = t4o().args(spec_args(&src, "(6)")).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("restored 1 gen-ext(s)"), "{stdout}");
+    assert!(stdout.contains("genext_builds=0"), "{stdout}");
+    assert!(stdout.contains("misses=1"), "{stdout}");
+
+    // Fresh process registering *different* source under the same name:
+    // the snapshotted gen-ext no longer matches any live registration
+    // and is dropped as stale — never served against the new program.
+    let src2 = dir.join("powx2.scm");
+    std::fs::write(
+        &src2,
+        "(define (power n x) (if (= n 0) 2 (* x (power (- n 1) x))))",
+    )
+    .unwrap();
+    let out = t4o().args(spec_args(&src2, "(4)")).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("1 stale dropped"), "{stdout}");
+    assert!(stdout.contains("genext_builds=1"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn t4o_spec_deadline_flag_bounds_requests() {
     let dir = tmp_dir();
     let src = dir.join("spin.scm");
@@ -722,6 +937,35 @@ fn repl_session_compiles_and_specializes() {
     // power specialized to n=4, then (power 3) = 81.
     let after_spec = text.split("residual program").nth(1).unwrap_or("");
     assert!(after_spec.contains("81"), "{text}");
+}
+
+#[test]
+fn repl_genext_command_specializes_through_compiled_genext() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let script = "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))\n\
+                  ,genext power D S\n\
+                  5\n\
+                  (power 2)\n\
+                  ,quit\n";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The staged artifact is reported, the residual installed, and the
+    // specialized power_5(2) = 32 runs.
+    assert!(text.contains(";; genext: compiled"), "{text}");
+    assert!(text.contains("residual program"), "{text}");
+    let after = text.split("residual program").nth(1).unwrap_or("");
+    assert!(after.contains("32"), "{text}");
 }
 
 #[test]
