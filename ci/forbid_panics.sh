@@ -55,6 +55,15 @@ declare -A ALLOW=(
   # budget. Telemetry must never take the process down: poisoned registry
   # locks are entered anyway, the trace ring uses try_with/try_borrow and
   # drops events rather than panicking, and counters saturate at u64::MAX.
+  #
+  # Network front end (crates/net/src/*.rs — wire, http, json, tenants,
+  # server, stats, lib): ZERO budget, and the strictest case of all. This
+  # code parses attacker-controlled bytes off a socket; every torn frame,
+  # bad checksum, oversized header, malformed JSON body, and unknown
+  # token must come back as a typed ProtocolError/HTTP status, and
+  # connection handlers additionally run under catch_unwind (counted in
+  # t4o_net_worker_panics_total) as a second wall. A panic-capable site
+  # here is a remote denial-of-service primitive.
 )
 
 fail=0

@@ -1,0 +1,307 @@
+//! Network front-end latency: request round-trips through a live
+//! [`NetServer`] on the loopback interface, reported as p50/p99/p999
+//! tails plus requests/sec per row.
+//!
+//! The serving economics only survive the wire if the front end adds
+//! bounded overhead: a warm cache hit must stay a sub-millisecond
+//! round-trip, and the tail (p999) is what an adversarial client storm
+//! actually degrades. Rows:
+//!
+//! * `ping` — a binary `REQ_PING` round-trip: pure framing + socket cost.
+//! * `bin-cold` — binary `REQ_SPEC` with distinct statics: every request
+//!   runs the specializer (the wire cost rides on a real fill).
+//! * `bin-warm` — the same request repeated: pure cache traffic over the
+//!   binary protocol.
+//! * `http-warm` — the same warm hit over keep-alive HTTP/1.1
+//!   (`POST /spec`), measuring the text protocol's parsing overhead.
+//!
+//! Results land in `BENCH_net.json` so successive PRs can compare
+//! trajectories; the floors at the bottom are the acceptance gate CI
+//! enforces. `T4O_BENCH_SAMPLES` scales the request counts down for
+//! smoke runs.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use two4one::{Division, Pgg, BT};
+use two4one_net::{wire, NetConfig, NetServer};
+use two4one_server::SpecService;
+
+/// Unfold depth floor for cold fills, matching `serve.rs` so the wire
+/// overhead is measured against comparable specializer work.
+const DEPTH: i64 = 100;
+
+fn scale() -> usize {
+    std::env::var("T4O_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+struct Row {
+    id: &'static str,
+    n: usize,
+    p50: Duration,
+    p99: Duration,
+    p999: Duration,
+    rps: f64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn row(id: &'static str, mut lat: Vec<Duration>) -> Row {
+    let total: Duration = lat.iter().sum();
+    let n = lat.len();
+    lat.sort();
+    Row {
+        id,
+        n,
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        p999: percentile(&lat, 0.999),
+        rps: n as f64 / total.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// One binary `REQ_SPEC` round-trip on an established connection.
+fn spec_roundtrip(stream: &mut TcpStream, statics: &str, expect: u8) -> Duration {
+    let req = wire::SpecWireRequest {
+        token: String::new(),
+        name: "power".into(),
+        statics: statics.into(),
+        deadline_ms: 0,
+        want: wire::WANT_META,
+    };
+    let frame = wire::encode_frame(wire::REQ_SPEC, &req.encode());
+    let t0 = Instant::now();
+    stream.write_all(&frame).expect("send spec");
+    let resp = wire::read_frame(stream, 1 << 24)
+        .expect("read spec response")
+        .expect("spec response frame");
+    let elapsed = t0.elapsed();
+    assert_eq!(resp.ftype, expect, "unexpected response frame");
+    elapsed
+}
+
+/// One keep-alive `POST /spec` round-trip: writes the request, reads the
+/// head plus `Content-Length` body, and leaves the connection usable.
+fn http_roundtrip(stream: &mut TcpStream, body: &str) -> Duration {
+    let req = format!(
+        "POST /spec HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let t0 = Instant::now();
+    stream.write_all(req.as_bytes()).expect("send http");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let body_start = loop {
+        let n = stream.read(&mut chunk).expect("read http");
+        assert!(n > 0, "server closed a keep-alive connection");
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..body_start]).to_string();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .expect("content-length header")
+        .parse()
+        .expect("content-length value");
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk).expect("read http body");
+        assert!(n > 0, "short http body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    t0.elapsed()
+}
+
+fn main() {
+    let scale = scale();
+    let warm_n = 200 * scale;
+    let cold_n = 4 * scale;
+
+    let service = Arc::new(SpecService::new());
+    {
+        let pgg = Pgg::new();
+        let program = pgg
+            .parse("(define (power n x) (if (= n 0) 1 (* x (power (- n 1) x))))")
+            .expect("parse power");
+        let ext = pgg
+            .cogen(&program, "power", &Division::new([BT::Static, BT::Dynamic]))
+            .expect("cogen power");
+        service.register("power", &ext);
+    }
+    let server = NetServer::bind(
+        Arc::clone(&service),
+        NetConfig {
+            request_deadline: Duration::from_secs(60),
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    println!("\n== net_latency ==");
+    let mut rows = Vec::new();
+
+    // Pure wire cost: framing + loopback round-trip, no service work.
+    {
+        let mut stream = connect(addr);
+        let lat: Vec<Duration> = (0..warm_n)
+            .map(|_| {
+                let frame = wire::encode_frame(wire::REQ_PING, &[]);
+                let t0 = Instant::now();
+                stream.write_all(&frame).expect("send ping");
+                let resp = wire::read_frame(&mut stream, 1 << 16)
+                    .expect("read pong")
+                    .expect("pong frame");
+                assert_eq!(resp.ftype, wire::RESP_PONG);
+                t0.elapsed()
+            })
+            .collect();
+        rows.push(row("ping", lat));
+    }
+
+    // Cold fills: each request specializes at a distinct depth.
+    {
+        let mut stream = connect(addr);
+        let lat: Vec<Duration> = (0..cold_n)
+            .map(|i| {
+                let statics = format!("{}", DEPTH + 1 + i as i64);
+                spec_roundtrip(&mut stream, &statics, wire::RESP_META)
+            })
+            .collect();
+        rows.push(row("bin-cold", lat));
+    }
+
+    // Warm hits over the binary protocol (first fill untimed).
+    {
+        let mut stream = connect(addr);
+        spec_roundtrip(&mut stream, "7", wire::RESP_META);
+        let lat: Vec<Duration> = (0..warm_n)
+            .map(|_| spec_roundtrip(&mut stream, "7", wire::RESP_META))
+            .collect();
+        rows.push(row("bin-warm", lat));
+    }
+
+    // The same warm hit over keep-alive HTTP/1.1.
+    {
+        let mut stream = connect(addr);
+        let body = r#"{"name": "power", "statics": "7", "want": "meta"}"#;
+        http_roundtrip(&mut stream, body);
+        let lat: Vec<Duration> = (0..warm_n)
+            .map(|_| http_roundtrip(&mut stream, body))
+            .collect();
+        rows.push(row("http-warm", lat));
+    }
+
+    for r in &rows {
+        println!(
+            "  {}: p50 {}  p99 {}  p999 {}  ({:.0} req/s over {} requests)",
+            r.id,
+            fmt(r.p50),
+            fmt(r.p99),
+            fmt(r.p999),
+            r.rps,
+            r.n
+        );
+    }
+
+    let snap = server.shutdown();
+    assert_eq!(snap.worker_panics, 0, "handler panicked during the bench");
+    assert_eq!(snap.protocol_errors, 0, "bench traffic was malformed");
+
+    // Trajectory file, anchored at the workspace root like the others.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    let mut out = String::from("{\n  \"group\": \"net_latency\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"n\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"rps\": {:.0}}}{comma}\n",
+            r.id,
+            r.n,
+            r.p50.as_nanos(),
+            r.p99.as_nanos(),
+            r.p999.as_nanos(),
+            r.rps
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_net.json");
+    println!("  wrote BENCH_net.json");
+
+    // Acceptance floors. Relative: a warm hit must beat a cold fill —
+    // the cache's entire point — and the binary protocol must not lose
+    // to HTTP on the same traffic (it exists to be the cheap path).
+    // Absolute: a warm loopback round-trip is socket + framing + a cache
+    // probe; 20 ms at p50 would mean the front end itself is the
+    // bottleneck even on saturated CI hardware.
+    let by_id = |id: &str| rows.iter().find(|r| r.id == id).expect("row");
+    let (ping, cold, warm, http) = (
+        by_id("ping"),
+        by_id("bin-cold"),
+        by_id("bin-warm"),
+        by_id("http-warm"),
+    );
+    assert!(
+        warm.rps > cold.rps,
+        "warm hits no faster than cold fills over the wire: \
+         {:.0} vs {:.0} req/s",
+        warm.rps,
+        cold.rps
+    );
+    assert!(
+        warm.p50 <= http.p50 * 2,
+        "binary warm p50 lost badly to HTTP: {} vs {}",
+        fmt(warm.p50),
+        fmt(http.p50)
+    );
+    for (id, p50) in [
+        ("ping", ping.p50),
+        ("bin-warm", warm.p50),
+        ("http-warm", http.p50),
+    ] {
+        assert!(
+            p50 < Duration::from_millis(20),
+            "{id} p50 over the absolute floor: {}",
+            fmt(p50)
+        );
+    }
+}

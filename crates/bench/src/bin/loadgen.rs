@@ -1,0 +1,222 @@
+//! `loadgen` — a standalone load generator for a running `t4o serve`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7474 [--conns 8] [--requests 1000]
+//!         [--name power] [--static <datum>] [--token <tenant-token>]
+//!         [--ping-every 4] [--spread 16]
+//! ```
+//!
+//! Drives the binary wire protocol from `--conns` concurrent
+//! connections, each issuing `--requests` spec requests (interleaved
+//! with pings every `--ping-every` requests). `--spread N` rotates the
+//! static argument through N distinct values so the run mixes cache
+//! misses and hits; `--spread 1` is pure warm traffic. Prints per-run
+//! latency percentiles and the server's `/metrics` page afterwards, so a
+//! storm can be correlated with the `t4o_net_*` counters it moved.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use two4one_net::wire;
+
+struct Opts {
+    addr: String,
+    conns: usize,
+    requests: usize,
+    name: String,
+    static_text: String,
+    token: String,
+    ping_every: usize,
+    spread: u64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        addr: String::new(),
+        conns: 8,
+        requests: 1000,
+        name: "power".to_string(),
+        static_text: String::new(),
+        token: String::new(),
+        ping_every: 4,
+        spread: 16,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{name}` needs a value"))
+        };
+        let num = |name: &str, text: String| -> Result<usize, String> {
+            text.parse()
+                .map_err(|_| format!("`{name}` needs a number, got `{text}`"))
+        };
+        match a.as_str() {
+            "--addr" => o.addr = take("--addr")?,
+            "--conns" => o.conns = num("--conns", take("--conns")?)?,
+            "--requests" => o.requests = num("--requests", take("--requests")?)?,
+            "--name" => o.name = take("--name")?,
+            "--static" => o.static_text = take("--static")?,
+            "--token" => o.token = take("--token")?,
+            "--ping-every" => o.ping_every = num("--ping-every", take("--ping-every")?)?,
+            "--spread" => o.spread = num("--spread", take("--spread")?)?.max(1) as u64,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if o.addr.is_empty() {
+        return Err("missing --addr <host:port> (from t4o serve's listening line)".to_string());
+    }
+    Ok(o)
+}
+
+/// One worker connection's run: spec requests (with pings interleaved),
+/// recording a latency per round-trip. Typed server errors (429, 408…)
+/// count in `rejected` rather than aborting the run — surviving refusal
+/// is the behavior a load test is for.
+fn run_conn(o: &Opts, worker: u64) -> Result<(Vec<Duration>, u64), String> {
+    let mut stream = TcpStream::connect(&o.addr).map_err(|e| format!("{}: {e}", o.addr))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    let mut latencies = Vec::with_capacity(o.requests);
+    let mut rejected = 0u64;
+    for i in 0..o.requests {
+        let frame = if o.ping_every > 0 && i % o.ping_every.max(1) == o.ping_every - 1 {
+            wire::encode_frame(wire::REQ_PING, &[])
+        } else {
+            let statics = if o.static_text.is_empty() {
+                format!("{}", 1 + (worker + i as u64) % o.spread)
+            } else {
+                o.static_text.clone()
+            };
+            let req = wire::SpecWireRequest {
+                token: o.token.clone(),
+                name: o.name.clone(),
+                statics,
+                deadline_ms: 30_000,
+                want: wire::WANT_META,
+            };
+            wire::encode_frame(wire::REQ_SPEC, &req.encode())
+        };
+        let t0 = Instant::now();
+        stream.write_all(&frame).map_err(|e| e.to_string())?;
+        let resp = wire::read_frame(&mut stream, 1 << 24)
+            .map_err(|e| e.to_string())?
+            .ok_or("server closed the connection mid-run")?;
+        latencies.push(t0.elapsed());
+        if resp.ftype == wire::RESP_ERROR {
+            rejected += 1;
+        }
+    }
+    Ok((latencies, rejected))
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fmt(d: Duration) -> String {
+    let us = d.as_nanos() as f64 / 1e3;
+    if us >= 1000.0 {
+        format!("{:.3} ms", us / 1e3)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+fn fetch_metrics(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut page = String::new();
+    stream
+        .read_to_string(&mut page)
+        .map_err(|e| e.to_string())?;
+    Ok(page
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(page))
+}
+
+fn main() -> std::process::ExitCode {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let outcome: Vec<Result<(Vec<Duration>, u64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.conns)
+            .map(|w| {
+                let o = &o;
+                scope.spawn(move || run_conn(o, w as u64))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut latencies = Vec::new();
+    let mut rejected = 0u64;
+    let mut failures = 0usize;
+    for r in outcome {
+        match r {
+            Ok((lat, rej)) => {
+                latencies.extend(lat);
+                rejected += rej;
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("loadgen: connection failed: {e}");
+            }
+        }
+    }
+    latencies.sort();
+    let total = latencies.len();
+    println!(
+        "loadgen: {} requests over {} connections in {:.2}s ({:.0} req/s), \
+         {rejected} rejected, {failures} connections failed",
+        total,
+        o.conns,
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(f64::EPSILON)
+    );
+    println!(
+        "  p50 {}  p90 {}  p99 {}  p999 {}  max {}",
+        fmt(percentile(&latencies, 0.50)),
+        fmt(percentile(&latencies, 0.90)),
+        fmt(percentile(&latencies, 0.99)),
+        fmt(percentile(&latencies, 0.999)),
+        fmt(latencies.last().copied().unwrap_or_default())
+    );
+    match fetch_metrics(&o.addr) {
+        Ok(page) => {
+            println!("-- /metrics (t4o_net_* families) --");
+            for line in page.lines().filter(|l| l.starts_with("t4o_net_")) {
+                println!("{line}");
+            }
+        }
+        Err(e) => eprintln!("loadgen: /metrics fetch failed: {e}"),
+    }
+    if failures > 0 {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}

@@ -9,7 +9,7 @@
 //! the accumulated image.
 //!
 //! ```text
-//! cargo run -p two4one-server --bin repl
+//! cargo run -p two4one-cli --bin repl
 //! ```
 //!
 //! Commands:

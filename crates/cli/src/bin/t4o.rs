@@ -8,6 +8,10 @@
 //!          [--static <datum>]... [-o out.t4o | --source] [--optimize]
 //!          [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]
 //!          [--jobs <n>] [--batch '(<datum>...)']...
+//! t4o serve <file.scm> --entry <name> --division SDSD [--name <logical>]
+//!           [--listen <addr:port>] [--tenants-file <f>]
+//!           [--drain-timeout-ms <ms>] [--cache-file <f.t4os>]
+//!           [--genext-cache <f.t4og>] [--max-inflight <n>] [--deadline-ms <ms>]
 //! t4o stats [<file.scm> --entry <name> --division SDSD ...] [--json] [-o out]
 //! t4o dis <file.scm|file.t4o> --entry <name>
 //! ```
@@ -51,6 +55,11 @@
 //! programs by itself; `--genext-cache <f.t4og>` persists that artifact
 //! cache across runs, mirroring `--cache-file` for residuals.
 //!
+//! Network serving: `t4o serve` keeps the process alive behind the
+//! fault-hardened socket front end (HTTP/1.1 plus the binary wire
+//! protocol) until SIGTERM, then drains gracefully — in-flight requests
+//! finish, caches are snapshotted, and the final counters are printed.
+//!
 //! Observability: `t4o stats` prints the metrics exposition page
 //! (Prometheus text, or JSON with `--json`), optionally after serving a
 //! workload; `t4o spec --metrics-file <f>` dumps the same page after a
@@ -58,12 +67,14 @@
 //! JSON in serve mode.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 use two4one::obs;
 use two4one::{
     compile, load_image, reader, run_image_with, save_image, with_stack, Datum, Division, Image,
     Limits, Pgg, BT,
 };
+use two4one_net::{net_stats_line, tenants::TenantTable, NetConfig, NetServer};
 use two4one_server::{serve_stats_line, ServeConfig, SpecRequest, SpecService};
 
 fn main() -> ExitCode {
@@ -104,6 +115,9 @@ struct Opts {
     metrics_file: Option<String>,
     stats_json: Option<String>,
     json: bool,
+    listen: Option<String>,
+    tenants_file: Option<String>,
+    drain_timeout_ms: Option<u64>,
 }
 
 impl Opts {
@@ -165,6 +179,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         metrics_file: None,
         stats_json: None,
         json: false,
+        listen: None,
+        tenants_file: None,
+        drain_timeout_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -210,6 +227,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--deadline-ms" => {
                 o.deadline_ms = Some(parse_u64("--deadline-ms", &take("--deadline-ms")?)?)
             }
+            "--listen" | "-l" => o.listen = Some(take("--listen")?),
+            "--tenants-file" => o.tenants_file = Some(take("--tenants-file")?),
+            "--drain-timeout-ms" => {
+                o.drain_timeout_ms = Some(parse_u64(
+                    "--drain-timeout-ms",
+                    &take("--drain-timeout-ms")?,
+                )?)
+            }
             "--max-inflight" => {
                 let n = parse_u64("--max-inflight", &take("--max-inflight")?)?;
                 if n == 0 {
@@ -233,6 +258,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(&opts),
         "run" => cmd_run(&opts),
         "spec" => cmd_spec(&opts),
+        "serve" => cmd_serve(&opts),
         "stats" => cmd_stats(&opts),
         "dis" => cmd_dis(&opts),
         "help" | "--help" | "-h" => {
@@ -257,6 +283,10 @@ fn usage() -> String {
      [--cache-file <f.t4os>] [--genext-cache <f.t4og>] \
      [--deadline-ms <ms>] [--max-inflight <n>] \
      [--metrics-file <f.prom>] [--stats-json <f.json>]\n  \
+     t4o serve <file.scm> --entry <name> --division <S|D letters> \
+     [--name <logical>] [--listen <addr:port>] [--tenants-file <f>] \
+     [--drain-timeout-ms <ms>] [--cache-file <f.t4os>] \
+     [--genext-cache <f.t4og>] [--max-inflight <n>] [--deadline-ms <ms>]\n  \
      t4o stats [<file.scm> --entry <name> --division <S|D letters> \
      [--static <datum>]... [--batch '(<datum>...)']... [--jobs <n>] \
      [--name <logical>] [--cache-file <f.t4os>]] \
@@ -468,6 +498,7 @@ fn cmd_spec(o: &Opts) -> Result<(), String> {
     // is complete (zero-valued included) even for a trivial request.
     if o.metrics_file.is_some() {
         two4one::init_metrics();
+        two4one_net::init_metrics();
     }
     let backend = if use_compiled {
         Backend::Compiled(obtain_compiled(o)?)
@@ -715,6 +746,101 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
     }
 }
 
+/// `t4o serve`: the long-running network front end.
+///
+/// Builds the generating extension once, registers it in the service's
+/// versioned registry under `--name` (defaulting to the entry point),
+/// warm-starts the residual and gen-ext caches when `--cache-file` /
+/// `--genext-cache` point at existing snapshots, and binds the socket
+/// front end on `--listen`. The process then serves both protocols —
+/// HTTP/1.1 (`/healthz`, `/metrics`, `/stats`, `POST /spec`) and the
+/// length-prefixed binary framing — until SIGTERM, at which point it
+/// drains: the listener sheds new connections, in-flight requests finish
+/// (bounded by `--drain-timeout-ms`), caches are re-snapshotted, the
+/// final serve and net counter lines are printed, and the process exits
+/// 0. `--tenants-file` enables per-tenant bearer-token auth with
+/// fair-share quotas (one `token name quota` triple per line).
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    let genext = build_genext(o)?;
+    let name = match &o.name {
+        Some(name) => name.clone(),
+        None => need_entry(o)?.to_string(),
+    };
+    let service = Arc::new(build_service(o));
+    let epoch = service.register(&name, &genext);
+    println!(";; program: {name} registered (epoch {epoch})");
+    if let Some(path) = &o.cache_file {
+        if std::path::Path::new(path).exists() {
+            let report = service.restore(path).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                ";; cache: restored {} entries from {path} \
+                 ({} quarantined, {} stale dropped)",
+                report.restored, report.quarantined, report.stale_dropped
+            );
+        }
+    }
+    if let Some(path) = &o.genext_cache {
+        if std::path::Path::new(path).exists() {
+            let report = service
+                .restore_genexts(path)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                ";; genext-cache: restored {} gen-ext(s) from {path} \
+                 ({} quarantined, {} stale dropped)",
+                report.restored, report.quarantined, report.stale_dropped
+            );
+        }
+    }
+
+    let mut config = NetConfig::default();
+    if let Some(listen) = &o.listen {
+        config.listen = listen.clone();
+    }
+    if let Some(ms) = o.deadline_ms {
+        config.request_deadline = Duration::from_millis(ms);
+    }
+    if let Some(ms) = o.drain_timeout_ms {
+        config.drain_timeout = Duration::from_millis(ms);
+    }
+    if let Some(path) = &o.tenants_file {
+        let table = TenantTable::load(path).map_err(|e| format!("{path}: {e}"))?;
+        println!(";; tenants: {} loaded from {path}", table.len());
+        config.tenants = Some(table);
+    }
+    let server = NetServer::bind(Arc::clone(&service), config).map_err(|e| e.to_string())?;
+    two4one_net::install_sigterm_drain();
+    // The cross-process tests (and any supervisor) parse this line for
+    // the bound address, so it must reach the pipe before the first
+    // client connects — flush past stdout's pipe buffering.
+    println!(";; net: listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !two4one_net::sigterm_received() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!(";; net: SIGTERM received, draining");
+    let _ = std::io::stdout().flush();
+    let net_snap = server.join();
+
+    if let Some(path) = &o.cache_file {
+        service.snapshot(path).map_err(|e| format!("{path}: {e}"))?;
+        println!(";; cache: snapshot written to {path}");
+    }
+    if let Some(path) = &o.genext_cache {
+        service
+            .snapshot_genexts(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(";; genext-cache: snapshot written to {path}");
+    }
+    println!(
+        "{}",
+        serve_stats_line(o.jobs.unwrap_or(1), &service.stats())
+    );
+    println!("{}", net_stats_line(&net_snap));
+    Ok(())
+}
+
 /// `t4o stats`: the metrics exposition page.
 ///
 /// With no input file, a fresh service is constructed and its (zero-
@@ -725,6 +851,10 @@ fn cmd_spec_serve(o: &Opts, genext: two4one::GenExt) -> Result<(), String> {
 /// Prometheus text by default, JSON with `--json`; `-o` writes to a file
 /// instead of stdout.
 fn cmd_stats(o: &Opts) -> Result<(), String> {
+    // The exposition page advertises every family the system exports,
+    // including the network front end's `t4o_net_*` counters (zero-valued
+    // when no server ran in this process).
+    two4one_net::init_metrics();
     let service = build_service(o);
     if !o.positional.is_empty() {
         let genext = build_genext(o)?;

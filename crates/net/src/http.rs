@@ -1,0 +1,238 @@
+//! A minimal, hardened HTTP/1.1 surface: request-head parsing and
+//! response rendering. Pure functions over bytes the connection loop has
+//! already read under its deadlines — no I/O here, which keeps every
+//! parsing path unit-testable and panic-free.
+//!
+//! Supported: `GET`/`POST`, `Content-Length` bodies, keep-alive
+//! semantics (1.1 default on, 1.0 default off, `Connection` header
+//! honored). Everything else is answered with a typed error by the
+//! caller. Chunked transfer encoding is deliberately not implemented:
+//! the request surface (`/spec` JSON) is small and bounded, and refusing
+//! unknown framing is the robust choice.
+
+use std::fmt;
+
+/// A parsed request head plus derived connection semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Head {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// The request target as sent (path + optional query).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+    /// Declared body length (0 when absent).
+    pub content_length: usize,
+}
+
+impl Head {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The bearer token from `Authorization: Bearer <token>`, if any.
+    pub fn bearer_token(&self) -> Option<&str> {
+        let auth = self.header("authorization")?;
+        let rest = auth
+            .strip_prefix("Bearer ")
+            .or_else(|| auth.strip_prefix("bearer "))?;
+        let rest = rest.trim();
+        if rest.is_empty() {
+            None
+        } else {
+            Some(rest)
+        }
+    }
+}
+
+/// A typed HTTP parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HttpError {
+    /// The head is not parseable HTTP.
+    Malformed(&'static str),
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+    /// `Content-Length` is not a number or exceeds the configured cap
+    /// (checked by the caller against its own cap; here only numeric).
+    BadContentLength,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed HTTP request: {what}"),
+            HttpError::UnsupportedVersion => f.write_str("unsupported HTTP version"),
+            HttpError::BadContentLength => f.write_str("bad Content-Length"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Parses a request head (everything before the blank line, which the
+/// caller located). The text must not include the `\r\n\r\n` terminator.
+///
+/// # Errors
+///
+/// A typed [`HttpError`]; never panics on any byte sequence.
+pub(crate) fn parse_head(text: &str) -> Result<Head, HttpError> {
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("bad request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::UnsupportedVersion),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("bad header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut head = Head {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        keep_alive: http11,
+        content_length: 0,
+        headers,
+    };
+    if let Some(conn) = head.header("connection") {
+        let conn = conn.to_ascii_lowercase();
+        if conn.contains("close") {
+            head.keep_alive = false;
+        } else if conn.contains("keep-alive") {
+            head.keep_alive = true;
+        }
+    }
+    if let Some(cl) = head.header("content-length") {
+        head.content_length = cl.parse().map_err(|_| HttpError::BadContentLength)?;
+    }
+    Ok(head)
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Renders a full response (head + body). `retry_after_ms`, when nonzero,
+/// becomes a `Retry-After` header rounded up to whole seconds (the
+/// header's unit), with the exact hint also available to API clients in
+/// the JSON body.
+pub(crate) fn response(
+    status: u16,
+    content_type: &str,
+    retry_after_ms: u64,
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len(),
+    );
+    if retry_after_ms > 0 {
+        head.push_str(&format!(
+            "Retry-After: {}\r\n",
+            retry_after_ms.div_ceil(1000).max(1)
+        ));
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_with_headers_and_body_length() {
+        let head = parse_head(
+            "POST /spec HTTP/1.1\r\nHost: x\r\nAuthorization: Bearer tok-1\r\nContent-Length: 12",
+        )
+        .expect("parse");
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/spec");
+        assert_eq!(head.content_length, 12);
+        assert!(head.keep_alive);
+        assert_eq!(head.bearer_token(), Some("tok-1"));
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let h = parse_head("GET / HTTP/1.1\r\nConnection: close").expect("parse");
+        assert!(!h.keep_alive);
+        let h = parse_head("GET / HTTP/1.0").expect("parse");
+        assert!(!h.keep_alive);
+        let h = parse_head("GET / HTTP/1.0\r\nConnection: keep-alive").expect("parse");
+        assert!(h.keep_alive);
+    }
+
+    #[test]
+    fn malformed_heads_are_typed_errors() {
+        for bad in [
+            "",
+            "GET",
+            "GET /",
+            "GET / HTTP/2.0",
+            "GET / HTTP/1.1 extra",
+            "GET / HTTP/1.1\r\nno-colon-here",
+        ] {
+            assert!(parse_head(bad).is_err(), "should reject {bad:?}");
+        }
+        assert_eq!(
+            parse_head("GET / HTTP/1.1\r\nContent-Length: banana"),
+            Err(HttpError::BadContentLength)
+        );
+    }
+
+    #[test]
+    fn response_carries_retry_after_in_seconds() {
+        let bytes = response(429, "application/json", 70, b"{}", true);
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.ends_with("{}"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fault-hardened network front end for the specialization service.
+//!
+//! This crate puts a [`SpecService`](two4one_server::SpecService) on a
+//! socket without adding a single dependency: a hand-rolled HTTP/1.1
+//! surface (`/healthz`, `/metrics`, `/stats`, `POST /spec`) and a
+//! length-prefixed binary protocol ([`wire`]) that streams `.t4o`/`.t4og`
+//! object bytes straight from the cache to the socket.
+//!
+//! The design brief is *a wire that cannot be knocked over*:
+//!
+//! - **Every read and write runs under a deadline.** Slow-loris peers,
+//!   stalled writers, half-open connections, and idle keep-alives are
+//!   reaped, never waited on (`t4o_net_conns_reaped_total`).
+//! - **Every byte from the network is distrusted.** Frame lengths are
+//!   capped before allocation, payloads are CRC-checked, HTTP heads and
+//!   bodies are bounded, JSON nesting is bounded — and every violation
+//!   is a typed error ([`ProtocolError`]), never a panic.
+//! - **Budgets are layered.** A global connection budget at accept, a
+//!   per-tenant fair-share quota ([`tenants`]) in front of the service's
+//!   own admission gate; both speak the same `429` + `Retry-After`
+//!   language as `ServeError::Overloaded`.
+//! - **Disconnects cancel work.** A reaper thread notices peers that hang
+//!   up mid-request and fires the request's
+//!   [`CancelToken`](two4one::CancelToken) child, so the specializer
+//!   stops burning fuel for an answer nobody will read.
+//! - **Drain is graceful.** On SIGTERM ([`install_sigterm_drain`]) the
+//!   server stops accepting, lets in-flight requests finish inside the
+//!   drain timeout, sheds the rest, and hands control back so the caller
+//!   can snapshot caches and exit 0.
+//! - **A panic cannot escape.** Each connection handler runs behind a
+//!   `catch_unwind` barrier counted in `t4o_net_worker_panics_total`;
+//!   the storm tests assert the counter stays at zero.
+
+#![warn(missing_docs)]
+
+mod http;
+mod json;
+mod server;
+mod stats;
+pub mod tenants;
+pub mod wire;
+
+pub use server::{NetConfig, NetServer};
+pub use stats::{init_metrics, net_stats_line, NetSnapshot};
+pub use wire::ProtocolError;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the SIGTERM handler; polled by [`sigterm_received`].
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that records the signal for
+/// [`sigterm_received`]. Async-signal-safe by construction: the handler
+/// only stores to an atomic. Uses the C `signal(2)` entry point that std
+/// already links — no new dependency.
+#[cfg(unix)]
+pub fn install_sigterm_drain() {
+    extern "C" fn on_sigterm(_signum: i32) {
+        SIGTERM.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM_NUM: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NUM, on_sigterm);
+    }
+}
+
+/// No-op off Unix (there is no SIGTERM to catch).
+#[cfg(not(unix))]
+pub fn install_sigterm_drain() {}
+
+/// True once SIGTERM has been delivered (after
+/// [`install_sigterm_drain`]). The serving loop polls this and starts a
+/// graceful drain when it flips.
+pub fn sigterm_received() -> bool {
+    SIGTERM.load(Ordering::Acquire)
+}

@@ -1,0 +1,324 @@
+//! Per-tenant auth tokens and fair-share quotas.
+//!
+//! The tenants file is a whitespace-separated table, one tenant per line
+//! (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! # token        tenant   quota
+//! sekrit-alpha   alpha    4
+//! sekrit-beta    beta     2
+//! ```
+//!
+//! `quota` is the tenant's fair share of concurrent requests: a tenant
+//! with quota *q* can have at most *q* requests inside the server at
+//! once. Exceeding it is answered with the same `Overloaded`/429 +
+//! `Retry-After` shape as the global admission gate — the tenant layer
+//! sits *in front of* the gate, so one noisy tenant exhausts its own
+//! share and bounces off before it can monopolize the shared queue.
+//!
+//! When no tenants file is configured the server runs in open mode and
+//! skips this layer entirely.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One configured tenant.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Tenant name (for stats and logs; never the secret).
+    pub name: Arc<str>,
+    /// Maximum concurrent requests.
+    pub quota: usize,
+    inflight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Tenant {
+    /// Requests currently inside the server for this tenant.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests bounced off the quota so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a tenants file failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantError {
+    /// A line did not have the three `token name quota` columns.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// Two lines declared the same token.
+    DuplicateToken {
+        /// 1-based line number of the duplicate.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TenantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenantError::BadLine { line, what } => {
+                write!(f, "tenants file line {line}: {what}")
+            }
+            TenantError::DuplicateToken { line } => {
+                write!(f, "tenants file line {line}: duplicate token")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+/// Why a request was denied at the tenant layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantDenied {
+    /// The presented token matches no tenant (or is empty while a
+    /// tenants table is configured).
+    UnknownToken,
+    /// The tenant is at its concurrent-request quota.
+    OverQuota {
+        /// The tenant's name.
+        name: Arc<str>,
+        /// Backoff hint, scaled by how far over fair share it is.
+        retry_after_ms: u64,
+    },
+}
+
+/// The token → tenant table, with live inflight accounting.
+#[derive(Debug, Default)]
+pub struct TenantTable {
+    tenants: Vec<Arc<Tenant>>,
+    by_token: HashMap<String, usize>,
+}
+
+impl TenantTable {
+    /// Parses the table from its text form.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantError`] naming the offending line.
+    pub fn parse(text: &str) -> Result<TenantTable, TenantError> {
+        let mut table = TenantTable::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let cleaned = raw.split('#').next().unwrap_or("").trim();
+            if cleaned.is_empty() {
+                continue;
+            }
+            let mut cols = cleaned.split_whitespace();
+            let (token, name, quota) = match (cols.next(), cols.next(), cols.next()) {
+                (Some(t), Some(n), Some(q)) => (t, n, q),
+                _ => {
+                    return Err(TenantError::BadLine {
+                        line,
+                        what: "expected `token name quota`",
+                    })
+                }
+            };
+            if cols.next().is_some() {
+                return Err(TenantError::BadLine {
+                    line,
+                    what: "unexpected extra column",
+                });
+            }
+            let quota: usize = match quota.parse() {
+                Ok(q) if q > 0 => q,
+                _ => {
+                    return Err(TenantError::BadLine {
+                        line,
+                        what: "quota must be a positive integer",
+                    })
+                }
+            };
+            if table.by_token.contains_key(token) {
+                return Err(TenantError::DuplicateToken { line });
+            }
+            table
+                .by_token
+                .insert(token.to_string(), table.tenants.len());
+            table.tenants.push(Arc::new(Tenant {
+                name: Arc::from(name),
+                quota,
+                inflight: AtomicUsize::new(0),
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }));
+        }
+        Ok(table)
+    }
+
+    /// Reads and parses a tenants file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as `Err(Ok(_))`-free `io::Error`; parse failures as a
+    /// rendered message in `InvalidData`.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<TenantTable> {
+        let text = std::fs::read_to_string(path)?;
+        TenantTable::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Number of configured tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenants are configured.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The tenants, in file order.
+    pub fn tenants(&self) -> &[Arc<Tenant>] {
+        &self.tenants
+    }
+
+    /// Admits one request for the tenant owning `token`. The returned
+    /// guard holds the quota slot and releases it on drop.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantDenied::UnknownToken`] for unrecognized tokens,
+    /// [`TenantDenied::OverQuota`] when the tenant is at its share.
+    pub fn admit(&self, token: &str) -> Result<TenantGuard, TenantDenied> {
+        let tenant = self
+            .by_token
+            .get(token)
+            .and_then(|i| self.tenants.get(*i))
+            .ok_or(TenantDenied::UnknownToken)?;
+        // Optimistic increment with a bounded retry loop: the slot is
+        // taken only if the tenant is under quota.
+        loop {
+            let cur = tenant.inflight.load(Ordering::Acquire);
+            if cur >= tenant.quota {
+                tenant.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(TenantDenied::OverQuota {
+                    name: tenant.name.clone(),
+                    retry_after_ms: 10 * (cur as u64 + 1),
+                });
+            }
+            if tenant
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                tenant.admitted.fetch_add(1, Ordering::Relaxed);
+                return Ok(TenantGuard {
+                    tenant: tenant.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// RAII quota slot: releases the tenant's inflight count on drop, so a
+/// panicking or error-returning request path can never leak a slot.
+#[derive(Debug)]
+pub struct TenantGuard {
+    tenant: Arc<Tenant>,
+}
+
+impl TenantGuard {
+    /// The owning tenant's name.
+    pub fn name(&self) -> &Arc<str> {
+        &self.tenant.name
+    }
+}
+
+impl Drop for TenantGuard {
+    fn drop(&mut self) {
+        // Saturating: a stray double-drop must not wrap the counter into
+        // a permanently-open quota.
+        let _ = self
+            .tenant
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = "
+# token  name  quota
+tok-a    alpha 2
+tok-b    beta  1   # inline comment
+";
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let t = TenantTable::parse(TABLE).expect("parse");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tenants()[0].name.as_ref(), "alpha");
+        assert_eq!(t.tenants()[1].quota, 1);
+    }
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert!(matches!(
+            TenantTable::parse("just-a-token"),
+            Err(TenantError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            TenantTable::parse("t n 0"),
+            Err(TenantError::BadLine { .. })
+        ));
+        assert!(matches!(
+            TenantTable::parse("t n 1 extra"),
+            Err(TenantError::BadLine { .. })
+        ));
+        assert!(matches!(
+            TenantTable::parse("t a 1\nt b 2"),
+            Err(TenantError::DuplicateToken { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn quota_admits_and_releases() {
+        let t = TenantTable::parse(TABLE).expect("parse");
+        let g1 = t.admit("tok-a").expect("first");
+        let _g2 = t.admit("tok-a").expect("second");
+        // Third concurrent request exceeds alpha's quota of 2.
+        match t.admit("tok-a") {
+            Err(TenantDenied::OverQuota {
+                name,
+                retry_after_ms,
+            }) => {
+                assert_eq!(name.as_ref(), "alpha");
+                assert!(retry_after_ms > 0);
+            }
+            other => panic!("expected OverQuota, got {other:?}"),
+        }
+        // Dropping a guard frees the slot.
+        drop(g1);
+        assert!(t.admit("tok-a").is_ok());
+        assert_eq!(t.tenants()[0].rejected(), 1);
+        assert!(t.tenants()[0].admitted() >= 3);
+    }
+
+    #[test]
+    fn unknown_tokens_are_denied() {
+        let t = TenantTable::parse(TABLE).expect("parse");
+        assert!(matches!(t.admit("nope"), Err(TenantDenied::UnknownToken)));
+        assert!(matches!(t.admit(""), Err(TenantDenied::UnknownToken)));
+    }
+}

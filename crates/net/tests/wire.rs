@@ -1,0 +1,201 @@
+//! The corruption sweep, extended to the binary wire framing: every
+//! torn, bit-flipped, zeroed, or garbage-extended frame must decode to a
+//! typed [`ProtocolError`] — never a panic — and the decoder must remain
+//! fully usable afterwards (it is stateless; a pristine frame still
+//! decodes). This is the same 80-seed discipline the `.t4o`/`.t4os`
+//! containers are held to.
+
+use std::io::Cursor;
+use std::time::Duration;
+
+use two4one_net::wire::{
+    self, encode_frame, read_frame, Frame, ProtocolError, RegisterWireRequest, SpecWireRequest,
+    WireError,
+};
+use two4one_testkit::faults::{corrupt, gen_wire_fault, Corruption, WireFault};
+use two4one_testkit::Rng;
+
+const MAX_PAYLOAD: usize = 1 << 20;
+
+/// A representative set of valid frames: every request type, every
+/// response type with a payload, and both tiny and multi-kilobyte
+/// payloads.
+fn sample_frames() -> Vec<Vec<u8>> {
+    let spec = SpecWireRequest {
+        token: "tok-alpha".into(),
+        name: "pow".into(),
+        statics: "5 (a b c)".into(),
+        deadline_ms: 250,
+        want: wire::WANT_OBJECT,
+    };
+    let register = RegisterWireRequest {
+        token: "tok-alpha".into(),
+        name: "pow".into(),
+        source: "(define (pow n x) (if (= n 0) 1 (* x (pow (- n 1) x))))".into(),
+        entry: "pow".into(),
+        division: "SD".into(),
+    };
+    let error = WireError {
+        code: 429,
+        retry_after_ms: 120,
+        message: "overloaded".into(),
+    };
+    let big_payload = vec![0xa5u8; 8 * 1024];
+    vec![
+        encode_frame(wire::REQ_PING, &[]),
+        encode_frame(wire::REQ_SPEC, &spec.encode()),
+        encode_frame(wire::REQ_REGISTER, &register.encode()),
+        encode_frame(wire::RESP_ERROR, &error.encode()),
+        encode_frame(wire::RESP_OBJECT, &big_payload),
+    ]
+}
+
+fn decode_all(bytes: &[u8]) -> Vec<Result<Option<Frame>, ProtocolError>> {
+    let mut cursor = Cursor::new(bytes);
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut cursor, MAX_PAYLOAD) {
+            Ok(None) => break,
+            other => {
+                let done = other.is_err();
+                out.push(other);
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn corruption_sweep_over_wire_frames() {
+    let frames = sample_frames();
+    for seed in 0..80u64 {
+        let mut rng = Rng::new(seed);
+        for (i, pristine) in frames.iter().enumerate() {
+            let (damaged, kind) = corrupt(pristine, &mut rng.fork());
+            let results = decode_all(&damaged);
+            match kind {
+                // Appending garbage leaves the first frame intact: it
+                // must decode byte-identically, and the garbage tail must
+                // then fail with a typed error (short of the one-in-2^32
+                // chance of aliasing a valid frame, which the fixed seeds
+                // below never hit).
+                Corruption::Append => {
+                    let first = results
+                        .first()
+                        .unwrap_or_else(|| panic!("seed {seed} frame {i}: append yielded nothing"));
+                    match first {
+                        Ok(Some(frame)) => {
+                            let reencoded = encode_frame(frame.ftype, &frame.payload);
+                            assert_eq!(
+                                &reencoded, pristine,
+                                "seed {seed} frame {i}: appended garbage altered the first frame"
+                            );
+                        }
+                        other => panic!(
+                            "seed {seed} frame {i}: first frame should survive append, got {other:?}"
+                        ),
+                    }
+                    assert!(
+                        results.len() >= 2 && results[1].is_err(),
+                        "seed {seed} frame {i}: garbage tail must be a typed error, got {results:?}"
+                    );
+                }
+                // Damage to the frame itself must never be silently
+                // swallowed: either framing breaks with a typed error, or
+                // the decode visibly differs from the original (e.g. a
+                // flipped frame-type byte yields a well-formed frame of
+                // another type — which the server's dispatch then answers
+                // with a typed error of its own). A byte-identical decode
+                // of the original from damaged bytes would mean the CRC
+                // and reserved-byte checks have holes.
+                Corruption::BitFlip | Corruption::Truncate | Corruption::ZeroSpan => {
+                    if damaged == *pristine {
+                        // The span zeroed bytes that were already zero —
+                        // no corruption actually happened; the decode
+                        // must succeed and match.
+                        assert!(matches!(results.first(), Some(Ok(Some(_)))));
+                        continue;
+                    }
+                    if damaged.is_empty() {
+                        // Truncated to nothing: a clean close at the
+                        // frame boundary, by design.
+                        assert!(results.is_empty());
+                        continue;
+                    }
+                    let errored = results.iter().any(Result::is_err);
+                    let reencoded: Vec<u8> = results
+                        .iter()
+                        .filter_map(|r| match r {
+                            Ok(Some(f)) => Some(encode_frame(f.ftype, &f.payload)),
+                            _ => None,
+                        })
+                        .flatten()
+                        .collect();
+                    assert!(
+                        errored || reencoded != *pristine,
+                        "seed {seed} frame {i} ({kind:?}): damaged bytes decoded \
+                         silently back to the original frame"
+                    );
+                }
+            }
+            // The decoder is stateless: after swallowing garbage it must
+            // still decode a pristine frame — the "still-usable loop"
+            // property the live server builds on.
+            let redecoded = read_frame(&mut Cursor::new(pristine), MAX_PAYLOAD)
+                .unwrap_or_else(|e| panic!("seed {seed} frame {i}: pristine frame broke: {e}"))
+                .unwrap_or_else(|| panic!("seed {seed} frame {i}: pristine frame was EOF"));
+            let reencoded = encode_frame(redecoded.ftype, &redecoded.payload);
+            assert_eq!(&reencoded, pristine);
+        }
+    }
+}
+
+#[test]
+fn wire_fault_shapes_decode_to_typed_errors() {
+    // The storm test drives these faults over real sockets; here the same
+    // byte shapes are pushed through the decoder directly so a regression
+    // is caught even without a listener.
+    let frame = encode_frame(
+        wire::REQ_SPEC,
+        &SpecWireRequest {
+            token: String::new(),
+            name: "pow".into(),
+            statics: "3".into(),
+            deadline_ms: 0,
+            want: wire::WANT_META,
+        }
+        .encode(),
+    );
+    for seed in 0..80u64 {
+        let mut rng = Rng::new(seed);
+        match gen_wire_fault(&mut rng, frame.len(), Duration::ZERO) {
+            WireFault::TornFrame { keep } => {
+                let result = read_frame(&mut Cursor::new(&frame[..keep]), MAX_PAYLOAD);
+                if keep == 0 {
+                    assert!(matches!(result, Ok(None)), "keep=0 is a clean close");
+                } else {
+                    assert!(
+                        matches!(result, Err(ProtocolError::Torn { .. })),
+                        "seed {seed}: torn at {keep} gave {result:?}"
+                    );
+                }
+            }
+            WireFault::GarbageBytes(bytes) => {
+                let result = read_frame(&mut Cursor::new(&bytes), MAX_PAYLOAD);
+                assert!(
+                    matches!(
+                        result,
+                        Err(ProtocolError::BadMagic(_)) | Err(ProtocolError::Torn { .. })
+                    ),
+                    "seed {seed}: garbage gave {result:?}"
+                );
+            }
+            // Socket-timing faults have no in-memory decoding shape; the
+            // live-server storm test owns them.
+            WireFault::StalledWriter { .. } | WireFault::MidStreamAbort => {}
+        }
+    }
+}

@@ -16,9 +16,9 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use two4one::Epoch;
+use two4one::{CancelToken, Epoch};
 
 use crate::SpecOutcome;
 
@@ -150,6 +150,7 @@ impl Flight {
     }
 
     /// Blocks until the leader publishes, then returns a shared copy.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn wait(&self) -> Result<Arc<SpecOutcome>, String> {
         let mut guard = lock(&self.result);
         loop {
@@ -166,29 +167,73 @@ impl Flight {
     /// Like [`Flight::wait`], but gives up at `until`: returns `None` if
     /// the leader has not published by then (the leader keeps running —
     /// a waiter's deadline never cancels someone else's request).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn wait_until(
         &self,
         until: Option<Instant>,
     ) -> Option<Result<Arc<SpecOutcome>, String>> {
-        let Some(until) = until else {
-            return Some(self.wait());
-        };
+        match self.wait_cancellable(until, None) {
+            FlightWait::Done(r) => Some(r),
+            FlightWait::TimedOut | FlightWait::Detached => None,
+        }
+    }
+
+    /// Like [`Flight::wait_until`], but additionally observes the waiter's
+    /// own [`CancelToken`]: a coalesced waiter whose client disconnects
+    /// detaches from the flight instead of blocking until the deadline.
+    /// Detaching is strictly waiter-side — the leader keeps running and
+    /// publishes for everyone else (a waiter's token never cancels someone
+    /// else's request). A published result always wins over a fired token:
+    /// delivering it is free and the caller may still be able to use it.
+    pub(crate) fn wait_cancellable(
+        &self,
+        until: Option<Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> FlightWait {
+        // With a token present we wake in short ticks to notice the token
+        // firing; condvar wakeups from `complete` still arrive instantly.
+        const TICK: Duration = Duration::from_millis(10);
+        // "No deadline" still needs a finite wait_timeout argument when
+        // ticking; one hour is indistinguishable from forever here.
+        const UNBOUNDED: Duration = Duration::from_secs(3600);
         let mut guard = lock(&self.result);
         loop {
             if let Some(r) = guard.as_ref() {
-                return Some(r.clone());
+                return FlightWait::Done(r.clone());
+            }
+            if let Some(token) = cancel {
+                if token.is_stopped() {
+                    return FlightWait::Detached;
+                }
             }
             let now = Instant::now();
-            if now >= until {
-                return None;
+            let mut step = match until {
+                Some(u) if now >= u => return FlightWait::TimedOut,
+                Some(u) => u - now,
+                None => UNBOUNDED,
+            };
+            if cancel.is_some() {
+                step = step.min(TICK);
             }
             guard = self
                 .done
-                .wait_timeout(guard, until - now)
+                .wait_timeout(guard, step)
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
     }
+}
+
+/// Why [`Flight::wait_cancellable`] returned.
+#[derive(Debug)]
+pub(crate) enum FlightWait {
+    /// The leader published; the shared result.
+    Done(Result<Arc<SpecOutcome>, String>),
+    /// The waiter's deadline passed before the leader published.
+    TimedOut,
+    /// The waiter's cancellation token fired; it detached from the flight
+    /// without affecting the leader.
+    Detached,
 }
 
 /// A finished, cached result.
@@ -391,6 +436,46 @@ mod tests {
         // Published: even an expired deadline returns the result.
         assert!(f.wait_until(Some(Instant::now())).is_some());
         assert!(f.wait_until(None).is_some());
+    }
+
+    #[test]
+    fn cancelled_waiter_detaches_without_touching_leader() {
+        // Regression: a network client that disconnects while parked as a
+        // coalesced waiter must detach promptly — and the flight (the
+        // leader's rendezvous) must stay fully usable for everyone else.
+        let f = Arc::new(Flight::default());
+        let token = CancelToken::new();
+        let (f2, t2) = (f.clone(), token.clone());
+        let waiter = std::thread::spawn(move || {
+            let far = Some(Instant::now() + Duration::from_secs(30));
+            f2.wait_cancellable(far, Some(&t2))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+        let got = waiter.join().expect("waiter thread");
+        assert!(matches!(got, FlightWait::Detached));
+        // The leader publishes afterwards; other waiters still rendezvous.
+        f.complete(Ok(dummy_outcome()));
+        assert!(matches!(
+            f.wait_cancellable(None, Some(&token)),
+            // Published result wins even though this token already fired.
+            FlightWait::Done(Ok(_))
+        ));
+        assert!(f.wait().is_ok());
+    }
+
+    #[test]
+    fn cancellable_wait_without_token_matches_wait_until() {
+        let f = Arc::new(Flight::default());
+        assert!(matches!(
+            f.wait_cancellable(Some(Instant::now()), None),
+            FlightWait::TimedOut
+        ));
+        f.complete(Ok(dummy_outcome()));
+        assert!(matches!(
+            f.wait_cancellable(Some(Instant::now()), None),
+            FlightWait::Done(Ok(_))
+        ));
     }
 
     #[test]

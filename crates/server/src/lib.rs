@@ -66,7 +66,7 @@ use std::time::{Duration, Instant};
 
 use admission::{Admission, Gate};
 use breaker::{Breaker, BreakerScope, Verdict};
-use cache::{lock, Entry, Flight, Key, Shard, Slot};
+use cache::{lock, Entry, Flight, FlightWait, Key, Shard, Slot};
 use persist::{GenextSnapRecord, SnapRecord};
 use registry::{Backedge, Registry};
 use stats::ServeStats;
@@ -480,6 +480,23 @@ impl SpecService {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of `InFlight` slots: fills currently owned by a leader. The
+    /// network layer's drain path and the storm tests assert this returns
+    /// to zero — a nonzero value after quiescence means a stranded flight
+    /// (a leader that died without completing its rendezvous).
+    pub fn inflight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock(s)
+                    .map
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::InFlight(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Specializes `ext` to `statics`, answering from the cache when the
@@ -1107,17 +1124,24 @@ impl SpecService {
             Plan::Wait(flight) => {
                 ServeStats::bump(&self.stats.coalesced);
                 obs::event(obs::EventKind::Coalesced);
-                let r = match flight.wait_until(until) {
-                    None => {
+                let r = match flight.wait_cancellable(until, token.as_ref()) {
+                    FlightWait::TimedOut => {
                         ServeStats::bump(&self.stats.deadline_exceeded);
                         obs::event(obs::EventKind::DeadlineExceeded);
                         Err(ServeError::DeadlineExceeded)
                     }
-                    Some(Ok(outcome)) => {
+                    // The waiter's own token fired mid-wait (client gone or
+                    // its deadline expired); it detaches without touching
+                    // the leader, who publishes for the remaining waiters.
+                    FlightWait::Detached => Err(match &token {
+                        Some(t) => self.stopped_error(t).unwrap_or(ServeError::Cancelled),
+                        None => ServeError::Cancelled,
+                    }),
+                    FlightWait::Done(Ok(outcome)) => {
                         ServeStats::bump(&self.stats.hits);
                         Ok(outcome)
                     }
-                    Some(Err(msg)) => {
+                    FlightWait::Done(Err(msg)) => {
                         ServeStats::bump(&self.stats.errors);
                         Err(ServeError::Shared(msg))
                     }

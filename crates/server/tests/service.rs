@@ -422,6 +422,55 @@ fn overload_sheds_beyond_gate_capacity_and_recovers() {
     assert_eq!(out.value, Datum::Int(1));
 }
 
+#[test]
+fn disconnected_waiter_detaches_without_cancelling_leader() {
+    // Regression for the waiter/leader deadline interaction on coalesced
+    // flights: a network client that disconnects while parked as a
+    // coalesced waiter must detach promptly — without cancelling the
+    // leader, whose result must still land in the cache.
+    let latch = Arc::new(Latch::default());
+    let hook_latch = latch.clone();
+    let service = SpecService::with_config(ServeConfig {
+        fill_hook: Some(FillHook::new(move || hook_latch.wait())),
+        ..ServeConfig::default()
+    });
+    let ext = power_ext(&Pgg::new());
+
+    std::thread::scope(|s| {
+        let service = &service;
+        let ext = &ext;
+        // Leader: parked inside the fill on the latch.
+        let leader = s.spawn(move || service.specialize(ext, &int(7)));
+        assert!(eventually(|| service.inflight() == 1));
+        // Waiter: coalesces onto the same key, carrying its own token.
+        let token = CancelToken::new();
+        let wtoken = token.clone();
+        let waiter = s.spawn(move || {
+            let req = SpecRequest::new(ext.clone(), int(7)).with_cancel(wtoken);
+            service.specialize_request(&req)
+        });
+        assert!(eventually(|| service.stats().coalesced == 1));
+        // The client disconnects: fire the waiter's token. The waiter
+        // detaches while the leader is still blocked in its fill.
+        token.cancel();
+        let got = waiter.join().expect("waiter thread");
+        assert!(
+            matches!(got, Err(ServeError::Cancelled)),
+            "waiter should detach as Cancelled, got {got:?}"
+        );
+        // The leader was never cancelled: release it and it completes.
+        latch.release();
+        assert!(leader.join().expect("leader thread").is_ok());
+    });
+
+    // No stranded flight, and the leader's result was cached normally.
+    assert_eq!(service.inflight(), 0);
+    assert_eq!(service.len(), 1);
+    let hits_before = service.stats().hits;
+    assert!(service.specialize(&ext, &int(7)).is_ok());
+    assert_eq!(service.stats().hits, hits_before + 1);
+}
+
 // ---------------------------------------------------------------------
 // Fault tolerance: deadlines and cancellation
 // ---------------------------------------------------------------------

@@ -284,6 +284,10 @@ struct CancelInner {
     expires: OnceLock<Instant>,
     /// The armed deadline in milliseconds, for fault reporting.
     deadline_ms: OnceLock<u64>,
+    /// Optional parent scope: a child token also observes every ancestor,
+    /// so firing a connection-level token cancels the request-level token
+    /// derived from it, while the child's own expiry stays private.
+    parent: Option<Arc<CancelInner>>,
 }
 
 impl CancelToken {
@@ -295,6 +299,24 @@ impl CancelToken {
     /// Fires the token: every holder observes cancellation from now on.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Derives a child token scoped under this one. The child observes its
+    /// own firing *and* every ancestor's, but cancelling or arming an
+    /// expiry on the child never affects the parent. This is the shape a
+    /// network front end needs: one connection-level token (fired when the
+    /// peer disconnects) with a fresh per-request child carrying each
+    /// request's own deadline — [`CancelToken::expire_at`] is first-call-
+    /// wins, so a long-lived token could not be re-armed per request.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                expires: OnceLock::new(),
+                deadline_ms: OnceLock::new(),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
     }
 
     /// Arms a per-request expiry instant. The first call wins; later
@@ -309,16 +331,36 @@ impl CancelToken {
         self.expire_at(Instant::now() + timeout, timeout);
     }
 
-    /// Was the token fired explicitly (not via expiry)?
+    /// Was the token fired explicitly (not via expiry)? A child token
+    /// reports cancellation when any ancestor fired.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
+        let mut scope: &CancelInner = &self.inner;
+        loop {
+            if scope.cancelled.load(Ordering::Acquire) {
+                return true;
+            }
+            match &scope.parent {
+                Some(p) => scope = p,
+                None => return false,
+            }
+        }
     }
 
-    /// Has the armed per-request deadline passed?
+    /// Has the armed per-request deadline passed (on this token or any
+    /// ancestor)?
     pub fn deadline_expired(&self) -> bool {
-        match self.inner.expires.get() {
-            Some(t) => Instant::now() >= *t,
-            None => false,
+        let now = Instant::now();
+        let mut scope: &CancelInner = &self.inner;
+        loop {
+            if let Some(t) = scope.expires.get() {
+                if now >= *t {
+                    return true;
+                }
+            }
+            match &scope.parent {
+                Some(p) => scope = p,
+                None => return false,
+            }
         }
     }
 
@@ -504,6 +546,42 @@ mod tests {
         // A second arm attempt is ignored.
         token.expire_after(Duration::from_secs(3600));
         assert!(token.deadline_expired());
+    }
+
+    #[test]
+    fn child_token_observes_parent_not_vice_versa() {
+        let conn = CancelToken::new();
+        let req1 = conn.child();
+        // Child firing stays scoped to the child.
+        req1.cancel();
+        assert!(req1.is_cancelled());
+        assert!(!conn.is_cancelled());
+        // A sibling derived later is unaffected by the first child.
+        let req2 = conn.child();
+        assert!(!req2.is_stopped());
+        // Parent firing reaches every live child (the disconnect path).
+        conn.cancel();
+        assert!(req2.is_cancelled());
+        assert!(req2.is_stopped());
+    }
+
+    #[test]
+    fn child_token_arms_its_own_deadline() {
+        let conn = CancelToken::new();
+        let req1 = conn.child();
+        req1.expire_after(Duration::ZERO);
+        assert!(req1.deadline_expired());
+        assert!(!conn.deadline_expired());
+        // `expire_at` is first-call-wins per token, but each child is a
+        // fresh token, so per-request deadlines keep working.
+        let req2 = conn.child();
+        req2.expire_after(Duration::from_secs(3600));
+        assert!(!req2.deadline_expired());
+        // A parent-armed expiry is visible to children.
+        let parent = CancelToken::new();
+        let kid = parent.child();
+        parent.expire_after(Duration::ZERO);
+        assert!(kid.deadline_expired());
     }
 
     #[test]

@@ -181,6 +181,70 @@ pub fn corrupt(bytes: &[u8], rng: &mut Rng) -> (Vec<u8>, Corruption) {
     (out, kind)
 }
 
+/// One adversarial wire-client behavior for network storm tests: how a
+/// hostile or broken peer mangles an otherwise-valid protocol exchange.
+/// The server must answer every one of these with a typed error or a
+/// reaped connection — never a panic, never a stuck thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFault {
+    /// Send only the first `keep` bytes of the frame, then close — a torn
+    /// frame (possibly mid-header).
+    TornFrame {
+        /// How many leading bytes of the valid frame to send.
+        keep: usize,
+    },
+    /// Send bytes that are not a protocol frame at all.
+    GarbageBytes(Vec<u8>),
+    /// Send the valid frame one byte at a time, pausing between bytes —
+    /// a slow-loris writer that should trip the request read deadline if
+    /// the pauses outlast it.
+    StalledWriter {
+        /// Pause between bytes.
+        pause: Duration,
+    },
+    /// Send the valid frame, then slam the connection shut without
+    /// reading the response — the server should notice and cancel the
+    /// in-flight work.
+    MidStreamAbort,
+}
+
+impl WireFault {
+    /// A short label for failure messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireFault::TornFrame { .. } => "torn-frame",
+            WireFault::GarbageBytes(_) => "garbage-bytes",
+            WireFault::StalledWriter { .. } => "stalled-writer",
+            WireFault::MidStreamAbort => "mid-stream-abort",
+        }
+    }
+}
+
+/// Generates one wire fault for a valid frame of `frame_len` bytes.
+/// `pause` bounds the stalled writer's per-byte delay so tests control
+/// their own wall-clock budget.
+pub fn gen_wire_fault(rng: &mut Rng, frame_len: usize, pause: Duration) -> WireFault {
+    match rng.index(4) {
+        0 => WireFault::TornFrame {
+            keep: rng.index(frame_len.max(1)),
+        },
+        1 => {
+            let mut bytes = Vec::new();
+            for _ in 0..1 + rng.index(64) {
+                bytes.push(rng.below(256) as u8);
+            }
+            // Never let garbage alias the frame magic: the point of this
+            // fault is a peer speaking the wrong protocol entirely.
+            if bytes[0] == b'T' {
+                bytes[0] = b'X';
+            }
+            WireFault::GarbageBytes(bytes)
+        }
+        2 => WireFault::StalledWriter { pause },
+        _ => WireFault::MidStreamAbort,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +301,46 @@ mod tests {
             seen.insert(gen_fault(&mut rng).label());
         }
         assert_eq!(seen.len(), 7, "{seen:?}");
+    }
+}
+
+#[cfg(test)]
+mod wire_fault_tests {
+    use super::*;
+
+    #[test]
+    fn gen_wire_fault_covers_all_kinds_and_is_deterministic() {
+        let mut seen = std::collections::HashSet::new();
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            seen.insert(gen_wire_fault(&mut rng, 32, Duration::from_millis(1)).label());
+        }
+        assert_eq!(seen.len(), 4, "{seen:?}");
+        let a = gen_wire_fault(&mut Rng::new(3), 32, Duration::ZERO);
+        let b = gen_wire_fault(&mut Rng::new(3), 32, Duration::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn garbage_never_aliases_the_frame_magic() {
+        for seed in 0..500 {
+            if let WireFault::GarbageBytes(bytes) =
+                gen_wire_fault(&mut Rng::new(seed), 16, Duration::ZERO)
+            {
+                assert!(!bytes.is_empty());
+                assert_ne!(bytes[0], b'T', "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_frames_never_send_the_whole_frame() {
+        for seed in 0..200 {
+            if let WireFault::TornFrame { keep } =
+                gen_wire_fault(&mut Rng::new(seed), 48, Duration::ZERO)
+            {
+                assert!(keep < 48, "seed {seed}: keep={keep}");
+            }
+        }
     }
 }

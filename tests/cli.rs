@@ -1284,3 +1284,208 @@ fn t4o_spec_redefine_versions_the_cache_across_processes() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---- t4o serve: the network front end, across a real process boundary --
+
+/// `t4o serve` under real operating conditions: a child process bound to
+/// an ephemeral port, mixed binary/HTTP traffic from this process,
+/// SIGTERM landing in the middle of a burst, and the contract that the
+/// child drains gracefully — exit 0, caches snapshotted, final counter
+/// lines printed — and that a warm restart from those snapshots serves
+/// the same request as a cache hit.
+#[cfg(unix)]
+mod serve {
+    use super::{t4o, tmp_dir};
+    use std::io::{BufRead as _, Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use two4one_net::wire;
+
+    /// Spawns `t4o serve` on an ephemeral port and waits for the
+    /// `;; net: listening on ADDR` line. Returns the child, the bound
+    /// address, and a reader thread that accumulates all of stdout.
+    fn spawn_serve(
+        src: &std::path::Path,
+        extra: &[&str],
+    ) -> (std::process::Child, String, std::thread::JoinHandle<String>) {
+        let mut cmd = t4o();
+        cmd.args([
+            "serve",
+            src.to_str().unwrap(),
+            "--entry",
+            "power",
+            "--division",
+            "DS",
+            "--name",
+            "power",
+            "--listen",
+            "127.0.0.1:0",
+            "--drain-timeout-ms",
+            "5000",
+        ]);
+        cmd.args(extra);
+        let mut child = cmd
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut all = String::new();
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if let Some(addr) = line.strip_prefix(";; net: listening on ") {
+                    let _ = tx.send(addr.to_string());
+                }
+                all.push_str(&line);
+                all.push('\n');
+            }
+            all
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("serve never printed its listening line");
+        (child, addr, reader)
+    }
+
+    fn sigterm(child: &std::process::Child) {
+        let ok = Command::new("kill")
+            .args(["-TERM", &child.id().to_string()])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        assert!(ok, "kill -TERM failed");
+    }
+
+    fn wait_exit(child: &mut std::process::Child, patience: Duration) -> std::process::ExitStatus {
+        let start = Instant::now();
+        loop {
+            if let Some(status) = child.try_wait().unwrap() {
+                return status;
+            }
+            if start.elapsed() > patience {
+                let _ = child.kill();
+                panic!("serve did not exit within {patience:?} of SIGTERM");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// One binary-protocol spec request; `None` on any socket or framing
+    /// failure (the drain sheds late arrivals — that is not an error).
+    fn try_spec_meta(addr: &str, statics: &str) -> Option<wire::Frame> {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .ok()?;
+        let req = wire::SpecWireRequest {
+            token: String::new(),
+            name: "power".into(),
+            statics: statics.into(),
+            deadline_ms: 10_000,
+            want: wire::WANT_META,
+        };
+        stream
+            .write_all(&wire::encode_frame(wire::REQ_SPEC, &req.encode()))
+            .ok()?;
+        wire::read_frame(&mut stream, 1 << 20).ok().flatten()
+    }
+
+    fn spec_meta(addr: &str, statics: &str) -> wire::Frame {
+        try_spec_meta(addr, statics).expect("spec request failed against a live server")
+    }
+
+    #[test]
+    fn t4o_serve_drains_on_sigterm_and_warm_restarts_from_snapshots() {
+        let dir = tmp_dir();
+        let src = dir.join("pow.scm");
+        std::fs::write(
+            &src,
+            "(define (power x n) (if (= n 0) 1 (* x (power x (- n 1)))))",
+        )
+        .unwrap();
+        let cache = dir.join("cache.t4os");
+        let genexts = dir.join("genexts.t4og");
+        let cache_args = [
+            "--cache-file",
+            cache.to_str().unwrap(),
+            "--genext-cache",
+            genexts.to_str().unwrap(),
+        ];
+
+        let (mut child, addr, reader) = spawn_serve(&src, &cache_args);
+
+        // Mixed traffic: a binary spec and an HTTP health check.
+        let frame = spec_meta(&addr, "4");
+        assert_eq!(frame.ftype, wire::RESP_META);
+        let meta = String::from_utf8_lossy(&frame.payload).to_string();
+        assert!(meta.contains("\"name\""), "{meta}");
+        let mut http = TcpStream::connect(&addr).unwrap();
+        http.set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        http.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        http.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+
+        // SIGTERM lands while a burst is in flight; the burst tolerates
+        // shed connections (that is the drain working as designed).
+        let stop = Arc::new(AtomicBool::new(false));
+        let burst: Vec<_> = (0..4u64)
+            .map(|i| {
+                let addr = addr.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let statics = format!("{}", 2 + (n + i) % 6);
+                        let _ = try_spec_meta(&addr, &statics);
+                        n += 1;
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(200));
+        sigterm(&child);
+        let status = wait_exit(&mut child, Duration::from_secs(60));
+        stop.store(true, Ordering::Relaxed);
+        for b in burst {
+            b.join().unwrap();
+        }
+        assert!(status.success(), "serve exited with {status:?}");
+        let out = reader.join().unwrap();
+        assert!(out.contains(";; net: SIGTERM received, draining"), "{out}");
+        assert!(out.contains(";; cache: snapshot written"), "{out}");
+        assert!(out.contains(";; genext-cache: snapshot written"), "{out}");
+        assert!(out.contains(";; serve: jobs="), "{out}");
+        assert!(out.contains(";; net: conns_accepted="), "{out}");
+        assert!(out.contains("worker_panics=0"), "{out}");
+        assert!(cache.exists() && genexts.exists());
+
+        // Warm restart: the snapshot restores, and the request served
+        // before the drain is now a cache hit (no new specialization).
+        let (mut child2, addr2, reader2) = spawn_serve(&src, &cache_args);
+        let frame = spec_meta(&addr2, "4");
+        assert_eq!(frame.ftype, wire::RESP_META);
+        sigterm(&child2);
+        let status2 = wait_exit(&mut child2, Duration::from_secs(60));
+        assert!(status2.success(), "warm restart exited with {status2:?}");
+        let out2 = reader2.join().unwrap();
+        assert!(out2.contains(";; cache: restored"), "{out2}");
+        assert!(out2.contains(";; genext-cache: restored"), "{out2}");
+        let serve_line = out2
+            .lines()
+            .find(|l| l.starts_with(";; serve:"))
+            .unwrap_or_else(|| panic!("no serve line in {out2}"));
+        assert!(serve_line.contains("hits=1"), "{serve_line}");
+        assert!(serve_line.contains("spec_runs=0"), "{serve_line}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
