@@ -108,6 +108,64 @@ fn bench_serve(c: &mut Criterion) {
         });
     }
 
+    // Tier-0 first touch: the same cold batch against a tiered service.
+    // Every request is a first touch answered with the generic image;
+    // the 2+ ms specializer never runs on the request path. The huge
+    // threshold keeps the promotion workers idle so the row isolates
+    // the first-touch latency win over `cold/1-thread`.
+    {
+        let reqs = reqs.clone();
+        group.bench_function("tier0-first-touch/1-thread", move |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let service = SpecService::with_config(ServeConfig {
+                        tier0: true,
+                        promote_after: u64::MAX,
+                        ..ServeConfig::default()
+                    });
+                    let t0 = Instant::now();
+                    drain(&service, &reqs, 1);
+                    total += t0.elapsed();
+                    let tier = service.tier_stats();
+                    assert_eq!(tier.tier0_served, REQUESTS as u64);
+                    assert_eq!(service.stats().spec_runs, 0);
+                }
+                total
+            })
+        });
+    }
+
+    // Post-promotion steady state: a tiered service whose whole batch
+    // has been hot-swapped to specialized images by the background
+    // workers. The convergence claim: once promotion lands, warm
+    // traffic must match an eagerly-specialized cache (`warm/4-thread`)
+    // — the tier checks on the hit path cost nothing measurable.
+    let promoted_service = SpecService::with_config(ServeConfig {
+        tier0: true,
+        promote_after: 1,
+        promote_workers: 4,
+        ..ServeConfig::default()
+    });
+    {
+        drain(&promoted_service, &reqs, 4); // generic fills
+        drain(&promoted_service, &reqs, 4); // hits cross the threshold
+        let give_up = Instant::now() + Duration::from_secs(30);
+        while promoted_service.tier_stats().promotions < REQUESTS as u64 {
+            assert!(
+                Instant::now() < give_up,
+                "promotion never converged: {:?}",
+                promoted_service.tier_stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let promoted_service = &promoted_service;
+        let reqs = reqs.clone();
+        group.bench_function("post-promotion/4-thread", move |b| {
+            b.iter(|| drain(promoted_service, &reqs, 4))
+        });
+    }
+
     // Warm cache: the same batch again is pure cache traffic.
     let warm_service = SpecService::new();
     drain(&warm_service, &reqs, 4);
@@ -256,6 +314,8 @@ fn report(group: &harness::Group) {
     let cold1 = rate("cold/1-thread").expect("cold/1 result");
     let cold4 = rate("cold/4-thread").expect("cold/4 result");
     let coldgen = rate("cold-genext/1-thread").expect("cold-genext result");
+    let tier0 = rate("tier0-first-touch/1-thread").expect("tier0-first-touch result");
+    let postpromo = rate("post-promotion/4-thread").expect("post-promotion result");
     let warm4 = rate("warm/4-thread").expect("warm/4 result");
     let warm4_noobs = rate("warm-noobs/4-thread").expect("warm-noobs result");
     let restart4 = rate("warm-restart/4-thread").expect("warm-restart result");
@@ -268,6 +328,11 @@ fn report(group: &harness::Group) {
          ({:.2}x cold)",
         coldgen / cold1
     );
+    println!(
+        "  tier0 first touch 1-thread: {tier0:.0} req/s ({:.1}x cold)",
+        tier0 / cold1
+    );
+    println!("  post-promotion 4-thread: {postpromo:.0} req/s",);
     println!(
         "  warm 4-thread: {warm4:.0} req/s ({:.0}x cold)",
         warm4 / cold1
@@ -312,6 +377,22 @@ fn report(group: &harness::Group) {
         coldgen > cold1,
         "compiled gen-ext cold misses slower than interpreted: \
          {coldgen:.0} vs {cold1:.0} req/s"
+    );
+    // First-touch economics of the tiered pipeline: answering a cold
+    // miss with the generic image must beat blocking on the specializer
+    // by at least 5x (it runs at ~20x on an idle machine; the floor
+    // leaves room for shared CI hardware).
+    assert!(
+        tier0 >= cold1 * 5.0,
+        "Tier-0 first touch not 5x over cold: {tier0:.0} vs {cold1:.0} req/s"
+    );
+    // Convergence: once the background workers have hot-swapped every
+    // entry, tiered warm traffic must be within 10% of an eagerly
+    // specialized cache — the hit-path tier checks are free.
+    assert!(
+        postpromo >= warm4 * 0.90,
+        "post-promotion warm throughput lags eager specialization: \
+         {postpromo:.0} vs {warm4:.0} req/s"
     );
     // The warm path does zero specializer work, so it must dominate cold.
     assert!(

@@ -107,6 +107,24 @@ fn bench_spec_phases(c: &mut Criterion) {
         });
     }
 
+    // Phase 5b: the same execution with a tiered-serving profile
+    // attached. The VM flushes its fetch/retire/visit counters at the
+    // amortized deadline stride, so the gap between this row and
+    // `vm-exec` is the whole cost of profiling a warm request (design
+    // budget: under 2%).
+    {
+        let image = compile_program(&residual, entry).expect("compile residual");
+        let args = run_args.clone();
+        let profile = std::sync::Arc::new(two4one::ExecProfile::default());
+        group.bench_function("vm-exec-profiled", move |b| {
+            b.iter(|| {
+                let mut m = Machine::load(&image).with_profile(profile.clone());
+                let argv = vec![Value::from(&args)];
+                black_box(m.call_global(&image.entry, argv).expect("run profiled"))
+            })
+        });
+    }
+
     // The composed pass: residual object code with no residual syntax
     // tree in between — should beat `specialize` + `compile` run apart.
     {
@@ -182,6 +200,7 @@ fn report(group: &harness::Group) {
     let spec = phase("specialize");
     let compile = phase("compile");
     let exec = phase("vm-exec");
+    let execp = phase("vm-exec-profiled");
     let fused = phase("fused/spec-to-object");
     let gbuild = phase("genext-build");
     let gcold = phase("cold-genext");
@@ -197,6 +216,10 @@ fn report(group: &harness::Group) {
     ] {
         println!("    {name:<16} {ms:8.3} ms  ({:5.1}%)", 100.0 * ms / total);
     }
+    println!(
+        "    vm-exec-profiled {execp:8.3} ms  (counter overhead {:+.1}%)",
+        (execp / exec - 1.0) * 100.0
+    );
     println!("    staged spec+compile {staged:8.3} ms");
     println!(
         "    fused spec-to-object {fused:7.3} ms  ({:.2}x staged)",
@@ -230,6 +253,13 @@ fn report(group: &harness::Group) {
     // same workload (it runs at ~2.2x on an idle machine, and the margin
     // widens under 1-sample smoke runs because the interpreted baseline
     // pays the warmup).
+    // Execution profiling is a strided counter flush: its design budget
+    // is under 2% on the warm path. The floor is looser because both
+    // rows are microsecond-scale samples on shared CI hardware.
+    assert!(
+        execp <= exec * 1.25,
+        "profiled execution ({execp:.3} ms) too far above plain ({exec:.3} ms)"
+    );
     assert!(
         gcold * 2.0 <= spec,
         "cold-genext ({gcold:.3} ms) is less than 2x faster than the \

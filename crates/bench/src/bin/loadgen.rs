@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7474 [--conns 8] [--requests 1000]
 //!         [--name power] [--static <datum>] [--token <tenant-token>]
-//!         [--ping-every 4] [--spread 16]
+//!         [--ping-every 4] [--spread 16] [--ramp]
 //! ```
 //!
 //! Drives the binary wire protocol from `--conns` concurrent
@@ -13,6 +13,15 @@
 //! misses and hits; `--spread 1` is pure warm traffic. Prints per-run
 //! latency percentiles and the server's `/metrics` page afterwards, so a
 //! storm can be correlated with the `t4o_net_*` counters it moved.
+//!
+//! `--ramp` splits the report into a first-touch block (each
+//! connection's first `--spread` requests, the cache-filling ramp) and
+//! a steady-state block (everything after). Against a `t4o serve
+//! --tier0` process the two blocks bracket the tiered pipeline: the
+//! ramp shows Tier-0 first-touch latency, the steady block shows
+//! post-promotion hits, and the `t4o_tier_*` metrics printed afterwards
+//! confirm how many promotions landed in between. Pings are suppressed
+//! in ramp mode so the percentile blocks hold spec round-trips only.
 
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -28,6 +37,7 @@ struct Opts {
     token: String,
     ping_every: usize,
     spread: u64,
+    ramp: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -40,6 +50,7 @@ fn parse_opts() -> Result<Opts, String> {
         token: String::new(),
         ping_every: 4,
         spread: 16,
+        ramp: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -62,6 +73,7 @@ fn parse_opts() -> Result<Opts, String> {
             "--token" => o.token = take("--token")?,
             "--ping-every" => o.ping_every = num("--ping-every", take("--ping-every")?)?,
             "--spread" => o.spread = num("--spread", take("--spread")?)?.max(1) as u64,
+            "--ramp" => o.ramp = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -71,20 +83,33 @@ fn parse_opts() -> Result<Opts, String> {
     Ok(o)
 }
 
+/// One connection's latencies, split at the cache-filling ramp.
+struct ConnRun {
+    /// The first `--spread` requests (ramp mode only; else empty).
+    ramp: Vec<Duration>,
+    /// Everything after the ramp (all requests when not in ramp mode).
+    steady: Vec<Duration>,
+    rejected: u64,
+}
+
 /// One worker connection's run: spec requests (with pings interleaved),
 /// recording a latency per round-trip. Typed server errors (429, 408…)
 /// count in `rejected` rather than aborting the run — surviving refusal
 /// is the behavior a load test is for.
-fn run_conn(o: &Opts, worker: u64) -> Result<(Vec<Duration>, u64), String> {
+fn run_conn(o: &Opts, worker: u64) -> Result<ConnRun, String> {
     let mut stream = TcpStream::connect(&o.addr).map_err(|e| format!("{}: {e}", o.addr))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .map_err(|e| e.to_string())?;
     stream.set_nodelay(true).map_err(|e| e.to_string())?;
-    let mut latencies = Vec::with_capacity(o.requests);
-    let mut rejected = 0u64;
+    let mut run = ConnRun {
+        ramp: Vec::new(),
+        steady: Vec::with_capacity(o.requests),
+        rejected: 0,
+    };
     for i in 0..o.requests {
-        let frame = if o.ping_every > 0 && i % o.ping_every.max(1) == o.ping_every - 1 {
+        let ping = !o.ramp && o.ping_every > 0 && i % o.ping_every.max(1) == o.ping_every - 1;
+        let frame = if ping {
             wire::encode_frame(wire::REQ_PING, &[])
         } else {
             let statics = if o.static_text.is_empty() {
@@ -106,12 +131,17 @@ fn run_conn(o: &Opts, worker: u64) -> Result<(Vec<Duration>, u64), String> {
         let resp = wire::read_frame(&mut stream, 1 << 24)
             .map_err(|e| e.to_string())?
             .ok_or("server closed the connection mid-run")?;
-        latencies.push(t0.elapsed());
+        let elapsed = t0.elapsed();
+        if o.ramp && (i as u64) < o.spread {
+            run.ramp.push(elapsed);
+        } else {
+            run.steady.push(elapsed);
+        }
         if resp.ftype == wire::RESP_ERROR {
-            rejected += 1;
+            run.rejected += 1;
         }
     }
-    Ok((latencies, rejected))
+    Ok(run)
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -158,7 +188,7 @@ fn main() -> std::process::ExitCode {
         }
     };
     let t0 = Instant::now();
-    let outcome: Vec<Result<(Vec<Duration>, u64), String>> = std::thread::scope(|scope| {
+    let outcome: Vec<Result<ConnRun, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..o.conns)
             .map(|w| {
                 let o = &o;
@@ -172,14 +202,16 @@ fn main() -> std::process::ExitCode {
     });
     let wall = t0.elapsed();
 
-    let mut latencies = Vec::new();
+    let mut ramp = Vec::new();
+    let mut steady = Vec::new();
     let mut rejected = 0u64;
     let mut failures = 0usize;
     for r in outcome {
         match r {
-            Ok((lat, rej)) => {
-                latencies.extend(lat);
-                rejected += rej;
+            Ok(run) => {
+                ramp.extend(run.ramp);
+                steady.extend(run.steady);
+                rejected += run.rejected;
             }
             Err(e) => {
                 failures += 1;
@@ -187,7 +219,10 @@ fn main() -> std::process::ExitCode {
             }
         }
     }
+    let mut latencies: Vec<Duration> = ramp.iter().chain(steady.iter()).copied().collect();
     latencies.sort();
+    ramp.sort();
+    steady.sort();
     let total = latencies.len();
     println!(
         "loadgen: {} requests over {} connections in {:.2}s ({:.0} req/s), \
@@ -197,18 +232,31 @@ fn main() -> std::process::ExitCode {
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64().max(f64::EPSILON)
     );
-    println!(
-        "  p50 {}  p90 {}  p99 {}  p999 {}  max {}",
-        fmt(percentile(&latencies, 0.50)),
-        fmt(percentile(&latencies, 0.90)),
-        fmt(percentile(&latencies, 0.99)),
-        fmt(percentile(&latencies, 0.999)),
-        fmt(latencies.last().copied().unwrap_or_default())
-    );
+    let block = |label: &str, sorted: &[Duration]| {
+        println!(
+            "  {label}: p50 {}  p90 {}  p99 {}  p999 {}  max {}  (n={})",
+            fmt(percentile(sorted, 0.50)),
+            fmt(percentile(sorted, 0.90)),
+            fmt(percentile(sorted, 0.99)),
+            fmt(percentile(sorted, 0.999)),
+            fmt(sorted.last().copied().unwrap_or_default()),
+            sorted.len()
+        );
+    };
+    block("overall", &latencies);
+    if o.ramp {
+        // First touches fill the cache; steady state rides the hits
+        // (and, against a --tier0 server, the promoted images).
+        block("first-touch", &ramp);
+        block("steady-state", &steady);
+    }
     match fetch_metrics(&o.addr) {
         Ok(page) => {
-            println!("-- /metrics (t4o_net_* families) --");
-            for line in page.lines().filter(|l| l.starts_with("t4o_net_")) {
+            println!("-- /metrics (t4o_net_* / t4o_tier_* families) --");
+            for line in page
+                .lines()
+                .filter(|l| l.starts_with("t4o_net_") || l.starts_with("t4o_tier_"))
+            {
                 println!("{line}");
             }
         }

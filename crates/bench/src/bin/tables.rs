@@ -219,7 +219,9 @@ fn trajectories() {
             "serving throughput (24-request batches)",
             "`cold/1-thread` is the cold-path acceptance row; \
              `cold-genext/1-thread` drains the same batch as misses on a \
-             *registered* program, served by its compiled gen-ext.",
+             *registered* program, served by its compiled gen-ext; \
+             `tier0-first-touch` and `post-promotion` bracket the tiered \
+             pipeline (see DESIGN.md §15).",
         ),
     ] {
         let path = format!("{root}/{file}");
@@ -240,6 +242,31 @@ fn trajectories() {
                 r.median_ns as f64 / 1e6,
                 r.min_ns as f64 / 1e6,
             );
+        }
+        // The tiered-serving trajectory in per-request terms: what a
+        // first touch costs under Tier-0, where background promotion
+        // lands steady-state traffic, and the eager-specialized bound
+        // (serve batches are 24 requests; see benches/serve.rs).
+        if file == "BENCH_serve.json" {
+            let per_req = |id: &str| {
+                rows.iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.median_ns as f64 / 24.0 / 1e3)
+            };
+            if let (Some(cold), Some(first), Some(post), Some(warm)) = (
+                per_req("cold/1-thread"),
+                per_req("tier0-first-touch/1-thread"),
+                per_req("post-promotion/4-thread"),
+                per_req("warm/4-thread"),
+            ) {
+                println!(
+                    "\nTier trajectory (per request): first touch {first:.1} µs \
+                     ({:.0}× under blocking cold at {cold:.1} µs) → \
+                     post-promotion {post:.1} µs (eager-specialized warm: \
+                     {warm:.1} µs).\n",
+                    cold / first
+                );
+            }
         }
         println!("\n{note}\n");
     }

@@ -55,6 +55,14 @@
 //! programs by itself; `--genext-cache <f.t4og>` persists that artifact
 //! cache across runs, mirroring `--cache-file` for residuals.
 //!
+//! Tiered serving: `--tier0` answers a cold miss with the
+//! generically-compiled image immediately (tens of microseconds) instead
+//! of blocking the request on the full specializer, then promotes hot
+//! entries to specialized code in the background and hot-swaps them into
+//! the cache. `--promote-after <n>` sets the hit threshold (default 2;
+//! 0 promotes immediately), `--promote-workers <n>` sizes the
+//! background worker pool (default 1).
+//!
 //! Network serving: `t4o serve` keeps the process alive behind the
 //! fault-hardened socket front end (HTTP/1.1 plus the binary wire
 //! protocol) until SIGTERM, then drains gracefully — in-flight requests
@@ -112,6 +120,9 @@ struct Opts {
     genext_cache: Option<String>,
     deadline_ms: Option<u64>,
     max_inflight: Option<usize>,
+    tier0: bool,
+    promote_after: Option<u64>,
+    promote_workers: Option<usize>,
     metrics_file: Option<String>,
     stats_json: Option<String>,
     json: bool,
@@ -176,6 +187,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         genext_cache: None,
         deadline_ms: None,
         max_inflight: None,
+        tier0: false,
+        promote_after: None,
+        promote_workers: None,
         metrics_file: None,
         stats_json: None,
         json: false,
@@ -242,6 +256,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
                 o.max_inflight = Some(n as usize);
             }
+            "--tier0" => o.tier0 = true,
+            "--promote-after" => {
+                o.promote_after = Some(parse_u64("--promote-after", &take("--promote-after")?)?)
+            }
+            "--promote-workers" => {
+                let n = parse_u64("--promote-workers", &take("--promote-workers")?)?;
+                if n == 0 {
+                    return Err("`--promote-workers` needs at least 1".to_string());
+                }
+                o.promote_workers = Some(n as usize);
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -282,11 +307,13 @@ fn usage() -> String {
      [--genext] [--genext-file <f.t4og>] \
      [--cache-file <f.t4os>] [--genext-cache <f.t4og>] \
      [--deadline-ms <ms>] [--max-inflight <n>] \
+     [--tier0 [--promote-after <n>] [--promote-workers <n>]] \
      [--metrics-file <f.prom>] [--stats-json <f.json>]\n  \
      t4o serve <file.scm> --entry <name> --division <S|D letters> \
      [--name <logical>] [--listen <addr:port>] [--tenants-file <f>] \
      [--drain-timeout-ms <ms>] [--cache-file <f.t4os>] \
-     [--genext-cache <f.t4og>] [--max-inflight <n>] [--deadline-ms <ms>]\n  \
+     [--genext-cache <f.t4og>] [--max-inflight <n>] [--deadline-ms <ms>] \
+     [--tier0 [--promote-after <n>] [--promote-workers <n>]]\n  \
      t4o stats [<file.scm> --entry <name> --division <S|D letters> \
      [--static <datum>]... [--batch '(<datum>...)']... [--jobs <n>] \
      [--name <logical>] [--cache-file <f.t4os>]] \
@@ -579,6 +606,13 @@ fn build_service(o: &Opts) -> SpecService {
     }
     if let Some(ms) = o.deadline_ms {
         config.default_deadline = Some(Duration::from_millis(ms));
+    }
+    config.tier0 = o.tier0;
+    if let Some(n) = o.promote_after {
+        config.promote_after = n;
+    }
+    if let Some(n) = o.promote_workers {
+        config.promote_workers = n;
     }
     SpecService::with_config(config)
 }

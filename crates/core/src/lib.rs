@@ -65,8 +65,8 @@ pub use two4one_syntax::reader;
 pub use two4one_syntax::stack::{with_stack, with_stack_size};
 pub use two4one_syntax::symbol::Symbol;
 pub use two4one_vm::{
-    decode_genext, decode_image, encode_genext, encode_image, optimize_image, GenProgram, Image,
-    Machine, ObjError, Value, VmError,
+    decode_genext, decode_image, encode_genext, encode_image, optimize_image, ExecProfile,
+    GenProgram, Image, Machine, ObjError, Value, VmError,
 };
 
 /// Any error the pipeline can produce.
@@ -828,6 +828,40 @@ pub fn run_image_with(
     })
 }
 
+/// Like [`run_image_with`], but accumulating execution counts into
+/// `profile` (see [`ExecProfile`]): instruction fetches, frame retires,
+/// and call visits are flushed into the shared atomics at the VM's
+/// amortized deadline stride and at run end, so a profile reader — e.g.
+/// the serving layer's tiered-promotion worker — observes hotness
+/// without stopping execution.
+///
+/// # Errors
+///
+/// Fails on VM errors (including limit overruns) or when the result is
+/// not first-order data.
+pub fn run_image_profiled(
+    image: &Image,
+    entry: &str,
+    args: &[Datum],
+    limits: &Limits,
+    profile: &Arc<ExecProfile>,
+) -> Result<RunOutcome, Error> {
+    catching(|| {
+        let mut m = Machine::load(image)
+            .with_limits(limits)
+            .with_profile(profile.clone());
+        let argv = args.iter().map(two4one_vm::Value::from).collect();
+        let v = m.call_global(&Symbol::new(entry), argv)?;
+        let value = v
+            .to_datum()
+            .ok_or_else(|| Error::NonDatumResult(format!("{v:?}")))?;
+        Ok(RunOutcome {
+            value,
+            output: m.output,
+        })
+    })
+}
+
 /// Writes a compiled image to a `.t4o` object file.
 ///
 /// # Errors
@@ -924,6 +958,7 @@ const _: () = {
     assert_send_sync::<Limits>();
     assert_send_sync::<SpecStats>();
     assert_send_sync::<Error>();
+    assert_send_sync::<ExecProfile>();
 };
 
 #[cfg(test)]

@@ -118,6 +118,21 @@ pub enum EventKind {
     /// An in-flight fill finished for an epoch that died under it; the
     /// result was served to its waiters but never cached.
     EpochConflict,
+    /// A Tier-0 (generically compiled, provisional) image answered a cold
+    /// miss instead of blocking on the specializer.
+    Tier0Served,
+    /// A hot provisional entry was enqueued for background
+    /// specialization; the detail word is its observed hit count.
+    PromoteEnqueued,
+    /// A background promotion finished and the specialized image was
+    /// hot-swapped into the current-epoch cache slot.
+    Promoted,
+    /// A finished background promotion was tombstoned because its epoch
+    /// died mid-build (a `redefine` landed); nothing was swapped in.
+    SwapEpochConflict,
+    /// A promoted entry was demoted back to the provisional tier (its
+    /// background specialization failed or degraded irrecoverably).
+    Demoted,
 }
 
 impl EventKind {
@@ -141,6 +156,11 @@ impl EventKind {
             EventKind::Invalidated => "invalidated",
             EventKind::StaleDropped => "stale-dropped",
             EventKind::EpochConflict => "epoch-conflict",
+            EventKind::Tier0Served => "tier0-served",
+            EventKind::PromoteEnqueued => "promote-enqueued",
+            EventKind::Promoted => "promoted",
+            EventKind::SwapEpochConflict => "swap-epoch-conflict",
+            EventKind::Demoted => "demoted",
         }
     }
 }

@@ -236,6 +236,21 @@ pub(crate) enum FlightWait {
     Detached,
 }
 
+/// Which execution tier produced a cached image.
+///
+/// `Generic` is the Tier-0 fast path: the generically-compiled image
+/// (fuel-0 fallback recipe) published immediately on a cold miss so the
+/// requester never waits on the specializer. `Specialized` is the fully
+/// specialized residual. `Degraded` is a specialized image produced under
+/// a budget fallback — still better than generic, but a candidate for
+/// polyvariant re-specialization with escalated budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tier {
+    Specialized,
+    Generic,
+    Degraded,
+}
+
 /// A finished, cached result.
 #[derive(Debug)]
 pub(crate) struct Entry {
@@ -244,6 +259,39 @@ pub(crate) struct Entry {
     pub(crate) last_access: u64,
     /// Code-size units this entry charges against the shard budget.
     pub(crate) size: usize,
+    /// Which tier produced `outcome`.
+    pub(crate) tier: Tier,
+    /// Serve-path hits since publication — combined with the image's
+    /// execution profile to decide promotion.
+    pub(crate) hits: u64,
+    /// A promotion candidate for this entry is queued or running; gates
+    /// duplicate enqueues.
+    pub(crate) queued: bool,
+    /// Promotion permanently given up (specializer failed or the entry
+    /// exhausted its escalation budget); never re-enqueued.
+    pub(crate) dead: bool,
+    /// Budget-escalation round for the next re-specialization attempt.
+    pub(crate) escalation: u32,
+}
+
+impl Entry {
+    pub(crate) fn new(
+        outcome: Arc<SpecOutcome>,
+        last_access: u64,
+        size: usize,
+        tier: Tier,
+    ) -> Self {
+        Entry {
+            outcome,
+            last_access,
+            size,
+            tier,
+            hits: 0,
+            queued: false,
+            dead: false,
+            escalation: 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -319,15 +367,12 @@ mod tests {
                 entry: Symbol::new("e"),
             }),
             stats: SpecStats::default(),
+            profile: Arc::new(two4one::ExecProfile::default()),
         })
     }
 
     fn ready(tick: u64, size: usize) -> Slot {
-        Slot::Ready(Entry {
-            outcome: dummy_outcome(),
-            last_access: tick,
-            size,
-        })
+        Slot::Ready(Entry::new(dummy_outcome(), tick, size, Tier::Specialized))
     }
 
     #[test]

@@ -58,24 +58,27 @@ pub use breaker::BreakerPolicy;
 pub use registry::RedefineOutcome;
 pub use stats::{serve_stats_line, ServeSnapshot};
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use admission::{Admission, Gate};
 use breaker::{Breaker, BreakerScope, Verdict};
-use cache::{lock, Entry, Flight, FlightWait, Key, Shard, Slot};
+use cache::{lock, Entry, Flight, FlightWait, Key, Shard, Slot, Tier};
 use persist::{GenextSnapRecord, SnapRecord};
 use registry::{Backedge, Registry};
 use stats::ServeStats;
 use two4one::obs;
 use two4one::{
-    CancelToken, CompiledGenExt, Datum, Epoch, Error, GenExt, Image, LimitKind, Limits, PeError,
-    SpecOptions, SpecStats,
+    CancelToken, CompiledGenExt, Datum, Epoch, Error, ExecProfile, GenExt, Image, LimitKind,
+    Limits, PeError, SpecOptions, SpecStats,
 };
 use two4one_syntax::stack::DEFAULT_STACK_BYTES;
+use two4one_syntax::symbol::intern_contention;
 
 /// What every serving entry point returns for one request.
 pub type ServeResult = Result<Arc<SpecOutcome>, ServeError>;
@@ -170,6 +173,12 @@ pub struct SpecOutcome {
     pub image: Arc<Image>,
     /// Statistics from the specializer run that built `image`.
     pub stats: SpecStats,
+    /// Shared execution counters for this image. An embedder that runs
+    /// the image through [`two4one::run_image_profiled`] with this
+    /// profile feeds the tiered-serving promotion heuristic: a
+    /// generically-compiled (Tier-0) entry whose profile shows real
+    /// traffic is specialized in the background and hot-swapped in.
+    pub profile: Arc<ExecProfile>,
 }
 
 impl SpecOutcome {
@@ -317,6 +326,22 @@ pub struct ServeConfig {
     pub breaker: BreakerPolicy,
     /// Called at the start of every fill (fault-injection tests).
     pub fill_hook: Option<FillHook>,
+    /// Tiered execution: answer a cold miss with the generically-compiled
+    /// image immediately (tens of microseconds) instead of blocking the
+    /// requester on the full specializer (milliseconds), and promote hot
+    /// entries to specialized code in the background — see the
+    /// `promote_*` knobs. Off by default: every miss then runs the full
+    /// specializer synchronously, exactly as before.
+    pub tier0: bool,
+    /// Hits (serve-path lookups plus profiled image executions) a Tier-0
+    /// entry must accumulate before a background promotion is enqueued.
+    /// `0` enqueues immediately at publication; clamped to at least 1
+    /// when read from the hit path.
+    pub promote_after: u64,
+    /// Background promotion workers (large-stack threads running the
+    /// specializer off the request path). Clamped to at least 1 when
+    /// `tier0` is on; ignored otherwise.
+    pub promote_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -332,6 +357,9 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             fill_hook: None,
+            tier0: false,
+            promote_after: 2,
+            promote_workers: 1,
         }
     }
 }
@@ -369,26 +397,129 @@ pub struct GenextRestoreReport {
     pub stale_dropped: u64,
 }
 
-/// A concurrent, caching specialization service. See the crate docs for
-/// an overview and example.
+/// Promotion queue bound: a hot-set larger than this simply waits for a
+/// later hit to re-arm — the generic image keeps serving meanwhile, so
+/// dropping a candidate costs latency, never correctness.
+const PROMOTE_QUEUE_CAP: usize = 256;
+
+/// How many escalated re-specialization rounds a degraded entry gets
+/// before promotion gives up on it for good.
+const MAX_ESCALATIONS: u32 = 3;
+
+/// One queued background promotion: everything `promote_one` needs to
+/// re-run the specializer for a cache entry off the request path.
 #[derive(Debug)]
-pub struct SpecService {
+struct Candidate {
+    key: Key,
+    ext: GenExt,
+    statics: Vec<Datum>,
+    backedge: Option<Backedge>,
+    /// Budget-escalation round (0 = plain options; N multiplies the
+    /// transient budgets by `retry.escalation^N`, for hot-but-degraded
+    /// entries).
+    escalation: u32,
+}
+
+#[derive(Debug, Default)]
+struct PromoteQueue {
+    q: VecDeque<Candidate>,
+    /// Set by [`SpecService`]'s `Drop`: workers exit and enqueues bounce.
+    closed: bool,
+}
+
+/// Shared state of the background promotion pipeline (present only when
+/// [`ServeConfig::tier0`] is on).
+#[derive(Debug)]
+struct TierState {
+    promote_after: u64,
+    queue: Mutex<PromoteQueue>,
+    cv: Condvar,
+}
+
+/// Handles on the `t4o_tier_*` metric families. Registered
+/// unconditionally — a service with tiering off exposes them at zero, so
+/// the metrics page shape does not depend on configuration.
+#[derive(Debug)]
+struct TierStats {
+    tier0_served: obs::Counter,
+    promotions: obs::Counter,
+    demotions: obs::Counter,
+    swap_epoch_conflicts: obs::Counter,
+    promotion_nanos: obs::Histogram,
+    queue_depth: obs::Gauge,
+}
+
+impl TierStats {
+    fn register(registry: &obs::MetricsRegistry) -> Self {
+        TierStats {
+            tier0_served: registry.counter("t4o_tier_tier0_served_total"),
+            promotions: registry.counter("t4o_tier_promotions_total"),
+            demotions: registry.counter("t4o_tier_demotions_total"),
+            swap_epoch_conflicts: registry.counter("t4o_tier_swap_epoch_conflicts_total"),
+            promotion_nanos: registry.histogram("t4o_tier_promotion_nanos"),
+            queue_depth: registry.gauge("t4o_tier_queue_depth"),
+        }
+    }
+}
+
+/// A snapshot of the tiered-execution counters (see
+/// [`SpecService::tier_stats`]). All zero when [`ServeConfig::tier0`] is
+/// off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Cold misses answered with the generically-compiled (Tier-0) image.
+    pub tier0_served: u64,
+    /// Background specializations hot-swapped into the cache.
+    pub promotions: u64,
+    /// Promotion attempts abandoned because the specializer failed or
+    /// panicked; the generic image keeps serving.
+    pub demotions: u64,
+    /// Finished background builds discarded because a redefinition bumped
+    /// the program's epoch mid-build (the stale image is never swapped
+    /// in).
+    pub swap_epoch_conflicts: u64,
+    /// Promotion candidates currently queued.
+    pub queued: i64,
+}
+
+/// The cache-and-specialize half of the service, shared (`Arc`) between
+/// the serving front and the detached background promotion workers —
+/// which is the whole reason for the split: a worker must keep swapping
+/// results into the shards while the front is blocked in an unrelated
+/// request. [`SpecService`] derefs to this, so serve-path code reads
+/// fields and calls fill helpers without naming the split.
+///
+/// Public only because it is [`SpecService`]'s `Deref` target; every
+/// member is private, so nothing is callable from outside the crate.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct Core {
     shards: Vec<Mutex<Shard>>,
     per_shard_entries: usize,
     per_shard_code: Option<usize>,
     stack_bytes: usize,
     ticket: AtomicU64,
     stats: ServeStats,
-    gate: Gate,
-    breaker: Breaker,
     /// The versioned program registry: logical names → live epoch +
     /// source, plus the invalidation backedges of everything cached on
-    /// their behalf. (Not to be confused with the *metrics* `registry`
-    /// below.)
+    /// their behalf. (Not to be confused with the *metrics* registry on
+    /// [`SpecService`].)
     programs: Registry,
-    default_deadline: Option<Duration>,
     retry: RetryPolicy,
     fill_hook: Option<FillHook>,
+    /// Present when tiered execution is on.
+    tier: Option<TierState>,
+    tier_stats: TierStats,
+}
+
+/// A concurrent, caching specialization service. See the crate docs for
+/// an overview and example.
+#[derive(Debug)]
+pub struct SpecService {
+    core: Arc<Core>,
+    gate: Gate,
+    breaker: Breaker,
+    default_deadline: Option<Duration>,
     /// Private registry backing this service's counters, gauges, and
     /// request-latency histogram. Private so each service's numbers start
     /// at zero and die with it; [`SpecService::metrics`] merges in the
@@ -396,6 +527,38 @@ pub struct SpecService {
     registry: Arc<obs::MetricsRegistry>,
     requests: obs::Counter,
     request_latency: obs::Histogram,
+    /// Interner write-contention events, refreshed at exposition.
+    intern_contention: obs::Gauge,
+    /// Background promotion workers, joined on drop.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::ops::Deref for SpecService {
+    type Target = Core;
+
+    fn deref(&self) -> &Core {
+        &self.core
+    }
+}
+
+impl Drop for SpecService {
+    /// Closes the promotion queue (pending candidates are discarded —
+    /// they were an optimization, and the generic images they would have
+    /// replaced keep serving) and joins the workers. An in-flight
+    /// promotion finishes its swap first; nothing is detached at exit.
+    fn drop(&mut self) {
+        if let Some(tier) = &self.core.tier {
+            let mut q = lock(&tier.queue);
+            q.closed = true;
+            q.q.clear();
+            self.core.tier_stats.queue_depth.set(0);
+            drop(q);
+            tier.cv.notify_all();
+        }
+        for handle in lock(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Default for SpecService {
@@ -410,7 +573,9 @@ impl SpecService {
         SpecService::with_config(ServeConfig::default())
     }
 
-    /// A service with explicit configuration.
+    /// A service with explicit configuration. When
+    /// [`ServeConfig::tier0`] is on this also spawns the background
+    /// promotion workers; they are joined when the service drops.
     pub fn with_config(config: ServeConfig) -> Self {
         let nshards = config.shards.max(1);
         let shards = (0..nshards).map(|_| Mutex::new(Shard::default())).collect();
@@ -419,26 +584,66 @@ impl SpecService {
         // counters) exist too, so a freshly built service can expose the
         // complete page before serving anything.
         two4one::init_metrics();
-        SpecService {
+        let core = Arc::new(Core {
             shards,
             per_shard_entries: config.max_entries.div_ceil(nshards).max(1),
             per_shard_code: config.limits.code_cap.map(|c| c.div_ceil(nshards).max(1)),
             stack_bytes: config.stack_bytes,
             ticket: AtomicU64::new(0),
             stats: ServeStats::register(&registry),
+            programs: Registry::new(registry.gauge("t4o_programs_registered")),
+            retry: config.retry,
+            fill_hook: config.fill_hook,
+            tier: config.tier0.then(|| TierState {
+                promote_after: config.promote_after,
+                queue: Mutex::new(PromoteQueue::default()),
+                cv: Condvar::new(),
+            }),
+            tier_stats: TierStats::register(&registry),
+        });
+        let mut workers = Vec::new();
+        if core.tier.is_some() {
+            for w in 0..config.promote_workers.max(1) {
+                let worker = core.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("two4one-promote-{w}"))
+                    // Promotion runs the full specializer: same big
+                    // stacks as the request-path fill workers.
+                    .stack_size(config.stack_bytes)
+                    .spawn(move || worker.promote_loop());
+                if let Ok(handle) = spawned {
+                    workers.push(handle);
+                }
+            }
+        }
+        SpecService {
             gate: Gate::new(
                 config.max_inflight,
                 config.queue_bound,
                 registry.gauge("t4o_serve_inflight"),
             ),
             breaker: Breaker::new(config.breaker, registry.gauge("t4o_breaker_open")),
-            programs: Registry::new(registry.gauge("t4o_programs_registered")),
             default_deadline: config.default_deadline,
-            retry: config.retry,
-            fill_hook: config.fill_hook,
             requests: registry.counter("t4o_serve_requests_total"),
             request_latency: registry.histogram("t4o_serve_request_nanos"),
+            intern_contention: registry.gauge("t4o_intern_contention"),
             registry,
+            core,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// A snapshot of the tiered-execution counters: Tier-0 serves,
+    /// promotions, demotions, epoch-conflict discards, and the current
+    /// promotion-queue depth. All zero when [`ServeConfig::tier0`] is
+    /// off.
+    pub fn tier_stats(&self) -> TierSnapshot {
+        TierSnapshot {
+            tier0_served: self.core.tier_stats.tier0_served.get(),
+            promotions: self.core.tier_stats.promotions.get(),
+            demotions: self.core.tier_stats.demotions.get(),
+            swap_epoch_conflicts: self.core.tier_stats.swap_epoch_conflicts.get(),
+            queued: self.core.tier_stats.queue_depth.get(),
         }
     }
 
@@ -460,6 +665,11 @@ impl SpecService {
     /// [`obs::MetricsSnapshot::to_prometheus`] or
     /// [`obs::MetricsSnapshot::to_json`].
     pub fn metrics(&self) -> obs::MetricsSnapshot {
+        // Refresh the interner-contention gauge at exposition: the
+        // interner counts lock collisions process-globally, and polling
+        // here keeps the hot path free of any extra bookkeeping.
+        self.intern_contention
+            .set(i64::try_from(intern_contention()).unwrap_or(i64::MAX));
         self.registry.snapshot().merge(obs::global().snapshot())
     }
 
@@ -573,7 +783,9 @@ impl SpecService {
     pub fn specialize_named(&self, name: &str, statics: &[Datum]) -> ServeResult {
         self.serve_named(name, statics, self.default_deadline, None, true)
     }
+}
 
+impl Core {
     /// Drops invalidated dependents from the cache shards (only `Ready`
     /// entries — an in-flight slot belongs to its leader, whose
     /// publication the registry tombstones instead). Returns how many
@@ -599,7 +811,9 @@ impl SpecService {
     fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
         &self.shards[(key.digest as usize) % self.shards.len()]
     }
+}
 
+impl SpecService {
     /// Serves one [`SpecRequest`], honouring its deadline and
     /// cancellation token (falling back to the service defaults).
     pub fn specialize_request(&self, req: &SpecRequest) -> ServeResult {
@@ -788,6 +1002,7 @@ impl SpecService {
             let outcome = Arc::new(SpecOutcome {
                 image: rec.image,
                 stats: rec.stats,
+                profile: Arc::new(ExecProfile::default()),
             });
             let size = outcome.code_size().max(1);
             // The insert runs under the registry's epoch check (the same
@@ -800,11 +1015,14 @@ impl SpecService {
                 }
                 guard.map.insert(
                     key.clone(),
-                    Slot::Ready(Entry {
-                        outcome: outcome.clone(),
-                        last_access: self.ticket.fetch_add(1, Ordering::Relaxed),
+                    // Snapshots only ever hold full specializations, so a
+                    // restored entry is never a promotion candidate.
+                    Slot::Ready(Entry::new(
+                        outcome.clone(),
+                        self.ticket.fetch_add(1, Ordering::Relaxed),
                         size,
-                    }),
+                        Tier::Specialized,
+                    )),
                 );
                 guard.code_size += size;
                 Some(guard.evict_to(self.per_shard_entries, self.per_shard_code))
@@ -870,7 +1088,9 @@ impl SpecService {
     }
 
     // ----- the gen-ext artifact cache ------------------------------------
+}
 
+impl Core {
     /// The compiled gen-ext for a resolved `(name, epoch)`: answered from
     /// the registry's artifact cache, or built now — once per generation;
     /// later fills for the same generation reuse it. A build the
@@ -896,7 +1116,9 @@ impl SpecService {
         }
         Some(compiled)
     }
+}
 
+impl SpecService {
     /// The compiled generating extension cached for the *live* generation
     /// of `name`: present once the generation has served at least one
     /// cache miss (the first miss builds it), `None` for unregistered
@@ -1093,6 +1315,10 @@ impl SpecService {
             Lead(Arc<Flight>),
         }
 
+        // Set under the shard lock when this hit pushes a non-specialized
+        // entry over the promotion threshold; acted on after the lock is
+        // released (the queue has its own lock — never nest them).
+        let mut promote: Option<u32> = None;
         let plan = {
             let mut guard = lock(shard);
             match guard.map.get_mut(&key) {
@@ -1100,6 +1326,20 @@ impl SpecService {
                     entry.last_access = self.ticket.fetch_add(1, Ordering::Relaxed);
                     ServeStats::bump(&self.stats.hits);
                     obs::event(obs::EventKind::CacheHit);
+                    if let Some(tier) = &self.core.tier {
+                        if entry.tier != Tier::Specialized && !entry.queued && !entry.dead {
+                            entry.hits += 1;
+                            // Hotness = serve-path hits plus the image's own
+                            // execution count (embedders running it through
+                            // `run_image_profiled` feed the same decision).
+                            if entry.hits + entry.outcome.profile.visits()
+                                >= tier.promote_after.max(1)
+                            {
+                                entry.queued = true;
+                                promote = Some(entry.escalation);
+                            }
+                        }
+                    }
                     Plan::Hit(entry.outcome.clone())
                 }
                 Some(Slot::InFlight(flight)) => Plan::Wait(flight.clone()),
@@ -1113,6 +1353,16 @@ impl SpecService {
                 }
             }
         };
+
+        if let Some(escalation) = promote {
+            self.core.enqueue_promotion(Candidate {
+                key: key.clone(),
+                ext: ext.clone(),
+                statics: statics.to_vec(),
+                backedge: backedge.cloned(),
+                escalation,
+            });
+        }
 
         match plan {
             Plan::Hit(outcome) => {
@@ -1188,17 +1438,31 @@ impl SpecService {
                         return Err(ServeError::DeadlineExceeded);
                     }
                     Admission::Admitted(permit) => {
-                        let result = self.run_fill(
+                        // Tier-0: answer the miss with the generically-
+                        // compiled image (linear in the source, tens of
+                        // microseconds) and leave full specialization to
+                        // the background promotion workers. Otherwise run
+                        // the full specializer synchronously, as ever.
+                        let tier0 = self.core.tier.is_some();
+                        let result = if tier0 {
+                            self.core
+                                .run_generic_fill(ext, statics, token.as_ref(), spawn_stack)
+                        } else {
+                            self.run_fill(ext, statics, &key, backedge, token.as_ref(), spawn_stack)
+                        };
+                        drop(permit);
+                        guard.armed = false;
+                        self.finish_flight(
                             ext,
                             statics,
                             &key,
                             backedge,
+                            shard,
+                            &flight,
+                            result,
                             token.as_ref(),
-                            spawn_stack,
-                        );
-                        drop(permit);
-                        guard.armed = false;
-                        self.finish_flight(&key, backedge, shard, &flight, result, token.as_ref())
+                            tier0,
+                        )
                     }
                 };
                 self.breaker_note(&scope, epoch, &r);
@@ -1206,7 +1470,9 @@ impl SpecService {
             }
         }
     }
+}
 
+impl Core {
     /// Runs one cache fill (with escalated-budget retry) on the right
     /// stack, converting panics into [`ServeError::Worker`].
     ///
@@ -1295,39 +1561,73 @@ impl SpecService {
     /// old-generation result — but the publication is tombstoned: the
     /// in-flight slot is removed and nothing is cached, so no request
     /// arriving after the redefinition can ever observe it.
+    ///
+    /// With `tier0` set the published entry is marked [`Tier::Generic`]
+    /// (the fill was the generic fast path, not a specializer run):
+    /// `ext`/`statics` seed the promotion candidate when
+    /// `promote_after == 0` asks for immediate background specialization.
+    #[allow(clippy::too_many_arguments)]
     fn finish_flight(
         &self,
+        ext: &GenExt,
+        statics: &[Datum],
         key: &Key,
         backedge: Option<&Backedge>,
         shard: &Mutex<Shard>,
         flight: &Flight,
         result: Result<Result<(Image, SpecStats), Error>, ServeError>,
         token: Option<&CancelToken>,
+        tier0: bool,
     ) -> ServeResult {
         match result {
             Ok(Ok((image, spec_stats))) => {
                 let outcome = Arc::new(SpecOutcome {
                     image: Arc::new(image),
                     stats: spec_stats,
+                    profile: Arc::new(ExecProfile::default()),
                 });
                 let size = outcome.code_size().max(1);
+                let enqueue_now = tier0 && self.tier.as_ref().is_some_and(|t| t.promote_after == 0);
                 let published = self.programs.publish_if_live(backedge, key, || {
                     let mut guard = lock(shard);
-                    guard.map.insert(
-                        key.clone(),
-                        Slot::Ready(Entry {
-                            outcome: outcome.clone(),
-                            last_access: self.ticket.fetch_add(1, Ordering::Relaxed),
-                            size,
-                        }),
+                    let mut entry = Entry::new(
+                        outcome.clone(),
+                        self.ticket.fetch_add(1, Ordering::Relaxed),
+                        size,
+                        if tier0 {
+                            Tier::Generic
+                        } else {
+                            Tier::Specialized
+                        },
                     );
+                    entry.queued = enqueue_now;
+                    guard.map.insert(key.clone(), Slot::Ready(entry));
                     guard.code_size += size;
                     guard.evict_to(self.per_shard_entries, self.per_shard_code)
                 });
                 ServeStats::bump(&self.stats.misses);
-                ServeStats::bump(&self.stats.spec_runs);
+                if tier0 {
+                    // Not a specializer run: the requester got the
+                    // generic image. `spec_runs` stays a count of real
+                    // specializations (the promotion worker bumps it).
+                    self.tier_stats.tier0_served.inc();
+                    obs::event(obs::EventKind::Tier0Served);
+                } else {
+                    ServeStats::bump(&self.stats.spec_runs);
+                }
                 match published {
-                    Some(evicted) => ServeStats::add(&self.stats.evictions, evicted),
+                    Some(evicted) => {
+                        ServeStats::add(&self.stats.evictions, evicted);
+                        if enqueue_now {
+                            self.enqueue_promotion(Candidate {
+                                key: key.clone(),
+                                ext: ext.clone(),
+                                statics: statics.to_vec(),
+                                backedge: backedge.cloned(),
+                                escalation: 0,
+                            });
+                        }
+                    }
                     None => {
                         // Tombstoned: drop our in-flight slot so the dead
                         // generation's key does not linger in the shard.
@@ -1336,7 +1636,9 @@ impl SpecService {
                         obs::event(obs::EventKind::EpochConflict);
                     }
                 }
-                if outcome.stats.degraded() {
+                if !tier0 && outcome.stats.degraded() {
+                    // A Tier-0 image is degraded by construction (fuel 0);
+                    // counting it would drown the real signal.
                     ServeStats::bump(&self.stats.degraded);
                 }
                 flight.complete(Ok(outcome.clone()));
@@ -1344,7 +1646,9 @@ impl SpecService {
             }
             Ok(Err(engine_err)) => {
                 lock(shard).map.remove(key);
-                ServeStats::bump(&self.stats.spec_runs);
+                if !tier0 {
+                    ServeStats::bump(&self.stats.spec_runs);
+                }
                 let serve_err = match cancellation_of(&engine_err, token) {
                     Some(e) => {
                         if matches!(e, ServeError::DeadlineExceeded) {
@@ -1369,14 +1673,201 @@ impl SpecService {
         }
     }
 
+    /// Runs the Tier-0 fill: generic compilation with no unfolding —
+    /// the exact recipe of the breaker's fallback path, so a Tier-0
+    /// response is bit-identical to the fallback image for the same
+    /// request. Unlike the fallback it *is* published into the cache
+    /// (marked [`Tier::Generic`]) and later replaced by promotion.
+    #[allow(clippy::type_complexity)]
+    fn run_generic_fill(
+        &self,
+        ext: &GenExt,
+        statics: &[Datum],
+        token: Option<&CancelToken>,
+        spawn_stack: bool,
+    ) -> Result<Result<(Image, SpecStats), Error>, ServeError> {
+        let fill = || -> Result<(Image, SpecStats), Error> {
+            if let Some(hook) = &self.fill_hook {
+                (hook.0)();
+            }
+            ext.specialize_object_governed(statics, &generic_options(ext), token)
+        };
+        if spawn_stack {
+            run_on_stack(self.stack_bytes, fill)
+        } else {
+            catch_unwind(AssertUnwindSafe(fill))
+                .map_err(|_| ServeError::Worker("specialization worker panicked".to_string()))
+        }
+    }
+
+    /// Hands a candidate to the promotion workers. Never blocks the
+    /// serve path: when the queue is full (or the service is shutting
+    /// down) the candidate is dropped and its cache entry re-armed, so a
+    /// later hit simply tries again.
+    fn enqueue_promotion(&self, cand: Candidate) {
+        let Some(tier) = &self.tier else { return };
+        let key = cand.key.clone();
+        let accepted = {
+            let mut q = lock(&tier.queue);
+            if q.closed || q.q.len() >= PROMOTE_QUEUE_CAP {
+                false
+            } else {
+                q.q.push_back(cand);
+                true
+            }
+        };
+        if accepted {
+            self.tier_stats.queue_depth.add(1);
+            tier.cv.notify_one();
+            obs::event(obs::EventKind::PromoteEnqueued);
+        } else if let Some(Slot::Ready(entry)) = lock(self.shard_of(&key)).map.get_mut(&key) {
+            entry.queued = false;
+        }
+    }
+
+    /// Body of one background promotion worker: pop candidates until the
+    /// queue closes.
+    fn promote_loop(&self) {
+        let Some(tier) = &self.tier else { return };
+        loop {
+            let cand = {
+                let mut q = lock(&tier.queue);
+                loop {
+                    // Closed beats non-empty: shutdown discards whatever
+                    // is still queued instead of racing `Drop`'s join.
+                    if q.closed {
+                        return;
+                    }
+                    if let Some(c) = q.q.pop_front() {
+                        break c;
+                    }
+                    q = tier.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            self.tier_stats.queue_depth.add(-1);
+            self.promote_one(cand);
+        }
+    }
+
+    /// Specializes one hot candidate off the request path and hot-swaps
+    /// the result into its cache slot — *if* the entry is still there and
+    /// its generation is still live. The swap runs under the registry's
+    /// epoch check, exactly like a request-path publication: a `redefine`
+    /// that lands mid-build tombstones the swap and the stale image is
+    /// dropped on the floor.
+    fn promote_one(&self, cand: Candidate) {
+        let t0 = Instant::now();
+        let factor = self.retry.escalation.max(1).saturating_pow(cand.escalation);
+        let options = if cand.escalation == 0 {
+            cand.ext.options().clone()
+        } else {
+            // Polyvariant re-specialization of a hot-but-degraded entry:
+            // same escalation ladder as the request-path retry.
+            escalate_options(cand.ext.options(), factor)
+        };
+        // First promotion of a generation also compiles its generating
+        // extension here — off the request path — and caches it in the
+        // registry for every later build of the same generation.
+        let compiled = cand
+            .backedge
+            .as_ref()
+            .and_then(|be| self.compiled_genext(be, &cand.ext));
+        let built = catch_unwind(AssertUnwindSafe(|| match &compiled {
+            Some(c) => c.specialize_object_governed(&cand.statics, &options, None),
+            None => cand
+                .ext
+                .specialize_object_governed(&cand.statics, &options, None),
+        }));
+        let (image, spec_stats) = match built {
+            Ok(Ok(r)) => r,
+            // Specializer failed or panicked: demote. The generic image
+            // keeps serving and this entry is never promoted again — its
+            // failures must not re-run the specializer on every N hits.
+            _ => {
+                self.tier_stats.demotions.inc();
+                obs::event(obs::EventKind::Demoted);
+                let mut guard = lock(self.shard_of(&cand.key));
+                if let Some(Slot::Ready(entry)) = guard.map.get_mut(&cand.key) {
+                    entry.queued = false;
+                    entry.dead = true;
+                }
+                return;
+            }
+        };
+        let degraded = spec_stats.degraded();
+        ServeStats::bump(&self.stats.spec_runs);
+        if degraded {
+            ServeStats::bump(&self.stats.degraded);
+        }
+        let outcome = Arc::new(SpecOutcome {
+            image: Arc::new(image),
+            stats: spec_stats,
+            profile: Arc::new(ExecProfile::default()),
+        });
+        let size = outcome.code_size().max(1);
+        let next_escalation = (cand.escalation + 1).min(MAX_ESCALATIONS);
+        let dead = degraded && cand.escalation >= MAX_ESCALATIONS;
+        let shard = self.shard_of(&cand.key);
+        let published = self
+            .programs
+            .publish_if_live(cand.backedge.as_ref(), &cand.key, || {
+                let mut guard = lock(shard);
+                let shard_ref = &mut *guard;
+                match shard_ref.map.get_mut(&cand.key) {
+                    Some(Slot::Ready(entry)) => {
+                        shard_ref.code_size =
+                            shard_ref.code_size - entry.size.min(shard_ref.code_size) + size;
+                        let mut next = Entry::new(
+                            outcome.clone(),
+                            entry.last_access,
+                            size,
+                            if degraded {
+                                Tier::Degraded
+                            } else {
+                                Tier::Specialized
+                            },
+                        );
+                        // A still-degraded swap re-arms with a bigger
+                        // budget next round (until the ladder runs out);
+                        // a clean one is final.
+                        next.escalation = if degraded { next_escalation } else { 0 };
+                        next.dead = dead;
+                        *entry = next;
+                        Some(shard_ref.evict_to(self.per_shard_entries, self.per_shard_code))
+                    }
+                    // Evicted, invalidated, or replaced by a fresh flight
+                    // while we built: nothing to swap into.
+                    _ => None,
+                }
+            });
+        match published {
+            Some(Some(evicted)) => {
+                ServeStats::add(&self.stats.evictions, evicted);
+                self.tier_stats.promotions.inc();
+                self.tier_stats
+                    .promotion_nanos
+                    .record_duration(t0.elapsed());
+                obs::event(obs::EventKind::Promoted);
+            }
+            // The slot vanished mid-build; drop the image silently.
+            Some(None) => {}
+            // The generation died mid-build (`redefine` raced us): the
+            // stale-epoch image must never be swapped in.
+            None => {
+                self.tier_stats.swap_epoch_conflicts.inc();
+                obs::event(obs::EventKind::SwapEpochConflict);
+            }
+        }
+    }
+}
+
+impl SpecService {
     /// Serves generic (no-unfolding) fallback code for a program whose
     /// breaker is open. The result is *not* cached: it must disappear the
     /// moment the breaker closes, and producing it is linear in the
     /// source program.
     fn breaker_fallback(&self, ext: &GenExt, statics: &[Datum], spawn_stack: bool) -> ServeResult {
-        let mut options = ext.options().clone();
-        options.limits.unfold_fuel = Some(0);
-        options.fallback = true;
+        let options = generic_options(ext);
         let run = || ext.specialize_object_governed(statics, &options, None);
         let result = if spawn_stack {
             run_on_stack(self.stack_bytes, run)
@@ -1388,6 +1879,7 @@ impl SpecService {
             Ok(Ok((image, stats))) => Ok(Arc::new(SpecOutcome {
                 image: Arc::new(image),
                 stats,
+                profile: Arc::new(ExecProfile::default()),
             })),
             Ok(Err(e)) => Err(ServeError::BreakerOpen(e.to_string())),
             Err(e) => Err(ServeError::BreakerOpen(e.to_string())),
@@ -1468,6 +1960,18 @@ fn cancellation_of(err: &Error, token: Option<&CancelToken>) -> Option<ServeErro
         }
         _ => None,
     }
+}
+
+/// The generic-compilation recipe shared by the Tier-0 fast path and the
+/// breaker fallback: zero unfold fuel under the fallback regime, i.e.
+/// compile every reachable definition as-is. Linear in the source
+/// program, and deterministic — the two paths produce bit-identical
+/// images for one request.
+fn generic_options(ext: &GenExt) -> SpecOptions {
+    let mut options = ext.options().clone();
+    options.limits.unfold_fuel = Some(0);
+    options.fallback = true;
+    options
 }
 
 /// Multiplies the transient budgets (unfold fuel, memo cap) for a retry.
@@ -1552,4 +2056,5 @@ const _: () = {
     assert_send_sync::<ServeSnapshot>();
     assert_send_sync::<RedefineOutcome>();
     assert_send_sync::<GenextRestoreReport>();
+    assert_send_sync::<TierSnapshot>();
 };

@@ -1439,3 +1439,227 @@ fn genext_snapshot_warm_starts_a_second_process() {
     assert!(report.quarantined >= 1);
     assert!(fifth.genext_of("hot").is_none());
 }
+
+// ---------------------------------------------------------------------
+// Tiered execution: Tier-0 generic serving and background promotion
+// ---------------------------------------------------------------------
+
+fn tier0_config(promote_after: u64, promote_workers: usize) -> ServeConfig {
+    ServeConfig {
+        tier0: true,
+        promote_after,
+        promote_workers,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn tier0_first_response_is_bit_identical_to_generic_fallback() {
+    // Threshold high enough that promotion never fires: the Tier-0
+    // image stays in the cache for inspection.
+    let service = SpecService::with_config(tier0_config(u64::MAX, 1));
+    let ext = power_ext(&Pgg::new());
+    let cold = service.specialize(&ext, &int(5)).expect("tier0 cold");
+
+    // The requester paid for generic compilation only: the miss is
+    // recorded as a Tier-0 serve, not a specializer run.
+    let stats = service.stats();
+    let tier = service.tier_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(tier.tier0_served, 1);
+    assert_eq!(stats.spec_runs, 0, "requester must not pay the specializer");
+
+    // Tier-0 uses the breaker's fallback recipe verbatim: the same
+    // generating extension run with zero unfold fuel and graceful
+    // fallback on. Encoding both images proves bit-identity.
+    let mut generic_options = ext.options().clone();
+    generic_options.limits.unfold_fuel = Some(0);
+    generic_options.fallback = true;
+    let (generic_image, _) = ext
+        .specialize_object_governed(&int(5), &generic_options, None)
+        .expect("generic specialize");
+    assert_eq!(
+        two4one::encode_image(&cold.image),
+        two4one::encode_image(&generic_image),
+        "Tier-0 image must be bit-identical to the generic fallback"
+    );
+
+    // And the generic residual still computes the right answers.
+    let out = two4one::run_image(&cold.image, cold.image.entry.as_str(), &int(2))
+        .expect("run tier0 residual");
+    assert_eq!(out.value, Datum::Int(32));
+
+    // A warm hit shares the cached generic image; still no promotion.
+    let warm = service.specialize(&ext, &int(5)).expect("tier0 warm");
+    assert!(Arc::ptr_eq(&cold.image, &warm.image));
+    assert_eq!(service.tier_stats().promotions, 0);
+}
+
+#[test]
+fn tier0_promotion_swaps_in_specialized_image() {
+    let service = SpecService::with_config(tier0_config(2, 1));
+    let ext = power_ext(&Pgg::new());
+
+    let cold = service.specialize(&ext, &int(5)).expect("tier0 cold");
+    // Two warm hits cross the promotion threshold and enqueue the key.
+    for _ in 0..2 {
+        let warm = service.specialize(&ext, &int(5)).expect("warm generic");
+        assert!(Arc::ptr_eq(&cold.image, &warm.image), "still generic");
+    }
+    assert!(
+        eventually(|| service.tier_stats().promotions >= 1),
+        "promotion never landed: {:?}",
+        service.tier_stats()
+    );
+
+    // The hot-swapped entry is a *different* image that was actually
+    // specialized (the full unfold of power for n = 5), served from the
+    // same cache slot with zero work for the requester.
+    let promoted = service.specialize(&ext, &int(5)).expect("post-promotion");
+    assert!(
+        !Arc::ptr_eq(&cold.image, &promoted.image),
+        "cache still serves the generic image after promotion"
+    );
+    assert!(
+        !promoted.stats.degraded(),
+        "promotion produced a degraded image"
+    );
+    let out = two4one::run_image(&promoted.image, promoted.image.entry.as_str(), &int(2))
+        .expect("run promoted residual");
+    assert_eq!(out.value, Datum::Int(32));
+
+    let stats = service.stats();
+    let tier = service.tier_stats();
+    assert_eq!(stats.spec_runs, 1, "exactly one background specialization");
+    assert_eq!(tier.tier0_served, 1);
+    assert_eq!(tier.promotions, 1);
+    assert_eq!(tier.demotions, 0);
+    // The swap replaced the entry in place: no extra miss, no eviction.
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn tier0_genext_builds_in_background_not_on_first_fill() {
+    let service = SpecService::with_config(tier0_config(1, 1));
+    service.register("hot", &epoch_ext(1));
+
+    // The cold named fill returns without staging the generating
+    // extension: that cost moved off the request path entirely.
+    let cold = service.specialize_named("hot", &int(4)).expect("cold");
+    assert_eq!(decode(&cold), (1, 4));
+    assert_eq!(
+        service.stats().genext_builds,
+        0,
+        "gen-ext built on request path"
+    );
+    assert!(service.genext_of("hot").is_none());
+
+    // The first warm hit crosses the threshold; the promotion worker
+    // compiles the gen-ext and caches it for the generation.
+    let warm = service.specialize_named("hot", &int(4)).expect("warm");
+    assert_eq!(decode(&warm), (1, 4));
+    assert!(
+        eventually(|| service.stats().genext_builds == 1 && service.genext_of("hot").is_some()),
+        "background gen-ext build never happened"
+    );
+    assert!(eventually(|| service.tier_stats().promotions >= 1));
+
+    // Later promotions of the same generation reuse the compiled
+    // gen-ext instead of rebuilding it.
+    service
+        .specialize_named("hot", &int(5))
+        .expect("second key cold");
+    service
+        .specialize_named("hot", &int(5))
+        .expect("second key warm");
+    assert!(eventually(|| service.tier_stats().promotions >= 2));
+    assert_eq!(service.stats().genext_builds, 1, "gen-ext rebuilt per key");
+}
+
+#[test]
+fn tier0_promotion_vs_redefine_hammer_never_swaps_stale() {
+    // 8 threads: one redefines in a loop while seven workers hammer the
+    // Tier-0 serve path hard enough that every key keeps crossing the
+    // promotion threshold, so background swaps race the redefinitions.
+    // Invariants: (a) a request started after `redefine(e)` returned
+    // never yields a generation older than `e`, and (b) once the dust
+    // settles every key decodes to the final generation — a stale-epoch
+    // promotion that slipped past the tombstone would violate both.
+    const EPOCHS: u64 = 8;
+    const WORKERS: usize = 7;
+    const KEYS: i64 = 3;
+
+    let service = SpecService::with_config(tier0_config(1, 2));
+    service.register("hot", &epoch_ext(1));
+    let published = AtomicU64::new(1);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let service = &service;
+        let published = &published;
+        let done = &done;
+        s.spawn(move || {
+            for e in 2..=EPOCHS {
+                let outcome = service.redefine("hot", &epoch_ext(e));
+                assert_eq!(outcome.epoch.get(), e);
+                published.store(e, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(4));
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+        for w in 0..WORKERS {
+            s.spawn(move || {
+                let mut served = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    let s_arg = (w as i64 + served as i64) % KEYS + 1;
+                    let lo = published.load(Ordering::SeqCst);
+                    let outcome = service
+                        .specialize_named("hot", &int(s_arg))
+                        .expect("serve during redefinition");
+                    let (epoch, s_res) = decode(&outcome);
+                    assert_eq!(s_res, s_arg, "wrong key's residual");
+                    assert!(
+                        epoch >= lo,
+                        "stale-epoch result: got generation {epoch}, \
+                         but {lo} was already live before the request"
+                    );
+                    served += 1;
+                }
+                assert!(served > 0, "worker {w} never served");
+            });
+        }
+    });
+
+    // Drive the final generation over the threshold for every key, then
+    // wait for the promotion queue to drain.
+    for s_arg in 1..=KEYS {
+        service
+            .specialize_named("hot", &int(s_arg))
+            .expect("final fill");
+        service
+            .specialize_named("hot", &int(s_arg))
+            .expect("final hit");
+    }
+    assert!(eventually(|| service.tier_stats().queued == 0));
+    assert!(
+        eventually(|| {
+            (1..=KEYS).all(|s_arg| {
+                let outcome = service
+                    .specialize_named("hot", &int(s_arg))
+                    .expect("post-hammer serve");
+                decode(&outcome) == (EPOCHS, s_arg)
+            })
+        }),
+        "a key still serves a stale generation after the hammer"
+    );
+
+    let tier = service.tier_stats();
+    assert!(tier.promotions >= 1, "hammer never promoted: {tier:?}");
+    // Conflicted swaps are timing-dependent — record, don't require.
+    eprintln!(
+        "hammer: {} promotions, {} tombstoned swaps, {} demotions",
+        tier.promotions, tier.swap_epoch_conflicts, tier.demotions
+    );
+    assert_eq!(tier.demotions, 0, "specializer failed during the hammer");
+}

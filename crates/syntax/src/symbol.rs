@@ -128,18 +128,37 @@ struct Entry {
     digest: u64,
 }
 
+/// Number of name→id map shards. A power of two so shard selection is a
+/// mask of the content digest.
+const SHARDS: usize = 16;
+
 /// A thread-safe, append-only symbol interner.
 ///
 /// The global instance backs [`Symbol`]; independent instances exist so
 /// tests can check determinism from a clean slate. Ids are handed out in
 /// first-intern order, starting at 1 (`NonZeroU32` lets `Option<Symbol>`
 /// stay 4 bytes).
+///
+/// The name→id map is split into [`SHARDS`] independent locks, selected
+/// by the name's content digest. A single global `RwLock` put every
+/// intern — even warm fast-path reads — through one reader-count cache
+/// line, and the specializer interns constantly from every worker; under
+/// 4-thread cold traffic the resulting ping-pong made the parallel run
+/// *slower* than the serial one. Sharding spreads both the reader counts
+/// and the new-name (gensym-heavy) write locks. Id allocation stays in
+/// the single `entries` append lock, so ids remain globally sequential
+/// in first-intern order regardless of sharding — the determinism
+/// contract on-disk formats and tests rely on.
 pub struct Interner {
-    /// name → id, for interning.
-    map: RwLock<std::collections::HashMap<&'static str, NonZeroU32>>,
+    /// name → id, for interning; sharded by content digest.
+    shards: [RwLock<std::collections::HashMap<&'static str, NonZeroU32>>; SHARDS],
     /// id − 1 → entry, for `as_str`/`digest`. Entries are `Copy`, and the
     /// names are leaked, so readers copy an entry out and drop the lock.
+    /// This is the single id-allocation point.
     entries: RwLock<Vec<Entry>>,
+    /// Times a new-name insert found its shard's write lock held by
+    /// another thread (surfaced as `t4o_intern_contention`).
+    contended: AtomicU64,
 }
 
 impl Default for Interner {
@@ -152,8 +171,9 @@ impl Interner {
     /// An empty interner.
     pub fn new() -> Self {
         Interner {
-            map: RwLock::new(std::collections::HashMap::new()),
+            shards: [(); SHARDS].map(|()| RwLock::new(std::collections::HashMap::new())),
             entries: RwLock::new(Vec::new()),
+            contended: AtomicU64::new(0),
         }
     }
 
@@ -161,12 +181,23 @@ impl Interner {
     /// assigns the next id; later interns (from any thread) return the
     /// same id.
     pub fn intern(&self, name: &str) -> NonZeroU32 {
-        if let Some(id) = read(&self.map).get(name) {
+        // The digest doubles as the shard selector and the cached content
+        // digest stored on first intern.
+        let digest = fnv1a(name.as_bytes());
+        let shard = &self.shards[digest as usize & (SHARDS - 1)];
+        if let Some(id) = read(shard).get(name) {
             return *id;
         }
-        // Slow path: take both write locks (map first, entries inside) and
+        // Slow path: take the shard's write lock (entries inside) and
         // re-check — another thread may have interned `name` meanwhile.
-        let mut map = write(&self.map);
+        let mut map = match shard.try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                write(shard)
+            }
+        };
         if let Some(id) = map.get(name) {
             return *id;
         }
@@ -174,13 +205,19 @@ impl Interner {
         let mut entries = write(&self.entries);
         entries.push(Entry {
             name: leaked,
-            digest: fnv1a(leaked.as_bytes()),
+            digest,
         });
         // Table position n-1 ⇒ id n; a symbol table big enough to overflow
         // u32 is unreachable in practice (it would hold 4 billion names).
         let id = NonZeroU32::new(entries.len() as u32).unwrap_or(NonZeroU32::MIN);
+        drop(entries);
         map.insert(leaked, id);
         id
+    }
+
+    /// Times a new-name insert had to wait for its shard's write lock.
+    pub fn contention(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
     }
 
     /// The name behind `id`.
@@ -231,6 +268,18 @@ fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 fn global() -> &'static Interner {
     static GLOBAL: OnceLock<Interner> = OnceLock::new();
     GLOBAL.get_or_init(Interner::new)
+}
+
+/// Shard-lock contention observed by the process-wide interner: how many
+/// new-name inserts found their shard's write lock held. Exposed so the
+/// serving layer can surface it as a metric (`t4o_intern_contention`).
+pub fn intern_contention() -> u64 {
+    global().contention()
+}
+
+/// Number of distinct names interned by the process-wide interner.
+pub fn interned_count() -> usize {
+    global().len()
 }
 
 /// A deterministic fresh-name generator.
@@ -449,6 +498,20 @@ mod tests {
         for (i, s) in syms[0].iter().enumerate() {
             assert_eq!(s.as_str(), format!("global-race-{i}"));
         }
+    }
+
+    #[test]
+    fn contention_counter_stays_zero_single_threaded() {
+        let i = Interner::new();
+        for n in 0..100 {
+            i.intern(&format!("solo-{n}"));
+        }
+        assert_eq!(i.contention(), 0);
+        // The global accessors exist and are monotone.
+        let before = intern_contention();
+        Symbol::new("contention-probe");
+        assert!(intern_contention() >= before);
+        assert!(interned_count() > 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod peephole;
 
 pub use asm::{Asm, AsmError, Label};
 pub use genops::{decode_genext, encode_genext, GenDef, GenInstr, GenLam, GenParam, GenProgram};
-pub use machine::{Machine, VmError};
+pub use machine::{ExecProfile, Machine, VmError};
 pub use objfile::{decode as decode_image, encode as encode_image, ObjError};
 pub use peephole::{optimize_image, optimize_template};
 
