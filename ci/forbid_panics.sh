@@ -39,8 +39,13 @@ declare -A ALLOW=(
   [crates/vm/src/asm.rs]=1
   # Normalizer: `triv` is only called on trivial expressions.
   [crates/anf/src/normalize.rs]=1
-  # Embedded benchmark programs are compile-time constants.
-  [crates/langs/src/lib.rs]=4
+  # Workload library (crates/langs/src/*.rs — embedded interpreters and
+  # the grammar front end): ZERO budget. The grammar module parses
+  # user-supplied text into a specializable workload, so every defect —
+  # read errors, malformed rules, left recursion, LL(1) conflicts — must
+  # surface as a typed GrammarError; the embedded interpreter constants
+  # degrade to `()` on the (test-covered) impossible parse failure
+  # instead of expecting.
   # Serving layer (crates/server/src/*.rs — admission, breaker, cache,
   # persist, registry, stats, lib): deliberately ZERO budget. The
   # fault-tolerance contract is that overload, deadlines, corrupt

@@ -223,6 +223,15 @@ fn trajectories() {
              `tier0-first-touch` and `post-promotion` bracket the tiered \
              pipeline (see DESIGN.md §15).",
         ),
+        (
+            "BENCH_match.json",
+            "grammar matching (adversarial ~2 KiB inputs)",
+            "three rows per grammar: `interp/*` walks (grammar, input) \
+             directly, `generic/*` is the generically compiled matcher \
+             (tier-0 serving), `spec/*` is the residual recognizer — the \
+             CI floor holds `spec` at ≥ 5x faster than `interp` on every \
+             adversarial input (see DESIGN.md §16).",
+        ),
     ] {
         let path = format!("{root}/{file}");
         let rows = match std::fs::read_to_string(&path) {
@@ -266,6 +275,23 @@ fn trajectories() {
                      {warm:.1} µs).\n",
                     cold / first
                 );
+            }
+        }
+        // The recognizer payoff per grammar: interpreted over specialized
+        // median, the factor the CI floor guards at 5x.
+        if file == "BENCH_match.json" {
+            let median = |id: &str| rows.iter().find(|r| r.id == id).map(|r| r.median_ns as f64);
+            let speedups: Vec<String> = rows
+                .iter()
+                .filter_map(|r| r.id.strip_prefix("interp/"))
+                .filter_map(|g| {
+                    let interp = median(&format!("interp/{g}"))?;
+                    let spec = median(&format!("spec/{g}"))?;
+                    Some(format!("{g} {:.1}×", interp / spec))
+                })
+                .collect();
+            if !speedups.is_empty() {
+                println!("\nSpecialized-over-interpreted: {}.\n", speedups.join(", "));
             }
         }
         println!("\n{note}\n");

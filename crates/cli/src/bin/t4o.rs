@@ -8,6 +8,7 @@
 //!          [--static <datum>]... [-o out.t4o | --source] [--optimize]
 //!          [--unfold-fuel <n>] [--timeout-ms <ms>] [--strict]
 //!          [--jobs <n>] [--batch '(<datum>...)']...
+//! t4o spec <file.g> --grammar [--source | -o out.t4o] [--optimize]
 //! t4o serve <file.scm> --entry <name> --division SDSD [--name <logical>]
 //!           [--listen <addr:port>] [--tenants-file <f>]
 //!           [--drain-timeout-ms <ms>] [--cache-file <f.t4os>]
@@ -63,6 +64,15 @@
 //! 0 promotes immediately), `--promote-workers <n>` sizes the
 //! background worker pool (default 1).
 //!
+//! Grammar matching: `--grammar` switches the input file from Scheme to
+//! the grammar language of `two4one_langs::grammar` — one rule list,
+//! LL(1)-checked at parse time. The grammar becomes a quoted constant in
+//! the matcher-interpreter workload, so `t4o spec g.g --grammar --source`
+//! prints the compiled recognizer (one residual function per
+//! nonterminal) and `t4o serve g.g --grammar` serves it by name (default:
+//! the start rule) — clients can also register grammars live over the
+//! wire with a `REQ_GRAMMAR` frame.
+//!
 //! Network serving: `t4o serve` keeps the process alive behind the
 //! fault-hardened socket front end (HTTP/1.1 plus the binary wire
 //! protocol) until SIGTERM, then drains gracefully — in-flight requests
@@ -82,6 +92,7 @@ use two4one::{
     compile, load_image, reader, run_image_with, save_image, with_stack, Datum, Division, Image,
     Limits, Pgg, BT,
 };
+use two4one_langs::grammar;
 use two4one_net::{net_stats_line, tenants::TenantTable, NetConfig, NetServer};
 use two4one_server::{serve_stats_line, ServeConfig, SpecRequest, SpecService};
 
@@ -113,6 +124,7 @@ struct Opts {
     jobs: Option<usize>,
     batches: Vec<String>,
     name: Option<String>,
+    grammar: bool,
     redefine: Option<String>,
     cache_file: Option<String>,
     genext: bool,
@@ -180,6 +192,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         jobs: None,
         batches: Vec::new(),
         name: None,
+        grammar: false,
         redefine: None,
         cache_file: None,
         genext: false,
@@ -230,6 +243,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--batch" | "-b" => o.batches.push(take("--batch")?),
             "--name" | "-n" => o.name = Some(take("--name")?),
+            "--grammar" | "-g" => o.grammar = true,
             "--redefine" => o.redefine = Some(take("--redefine")?),
             "--cache-file" => o.cache_file = Some(take("--cache-file")?),
             "--genext" => o.genext = true,
@@ -309,7 +323,8 @@ fn usage() -> String {
      [--deadline-ms <ms>] [--max-inflight <n>] \
      [--tier0 [--promote-after <n>] [--promote-workers <n>]] \
      [--metrics-file <f.prom>] [--stats-json <f.json>]\n  \
-     t4o serve <file.scm> --entry <name> --division <S|D letters> \
+     t4o spec <file.g> --grammar [--source | -o out.t4o] [--optimize]\n  \
+     t4o serve <file.scm|file.g --grammar> --entry <name> --division <S|D letters> \
      [--name <logical>] [--listen <addr:port>] [--tenants-file <f>] \
      [--drain-timeout-ms <ms>] [--cache-file <f.t4os>] \
      [--genext-cache <f.t4og>] [--max-inflight <n>] [--deadline-ms <ms>] \
@@ -406,6 +421,9 @@ fn build_genext(o: &Opts) -> Result<two4one::GenExt, String> {
 /// Same pipeline against an explicit source path — `--redefine <file>`
 /// reuses the entry point and division of the original registration.
 fn build_genext_from(o: &Opts, file: &str) -> Result<two4one::GenExt, String> {
+    if o.grammar {
+        return build_grammar_genext(o, file);
+    }
     let entry = need_entry(o)?;
     let division_text = o
         .division
@@ -417,6 +435,45 @@ fn build_genext_from(o: &Opts, file: &str) -> Result<two4one::GenExt, String> {
     let program = pgg.parse(&src).map_err(|e| e.to_string())?;
     pgg.cogen(&program, entry, &Division::new(division))
         .map_err(|e| e.to_string())
+}
+
+/// The `--grammar` pipeline: the positional file is grammar text, not
+/// Scheme. The grammar is parsed and LL(1)-checked, embedded as a quoted
+/// constant in the matcher-interpreter workload, and cogen'd under the
+/// fixed all-dynamic division (the input word is the one argument) with
+/// the matcher's unfold/memoize policies — so the resulting gen-ext
+/// specializes to a compiled recognizer. `--entry` and `--division` are
+/// owned by the workload and must not be given.
+fn build_grammar_genext(o: &Opts, file: &str) -> Result<two4one::GenExt, String> {
+    if o.entry.is_some() || o.division.is_some() {
+        return Err("`--grammar` fixes the entry (gm-main) and division (D); \
+                    drop --entry/--division"
+            .to_string());
+    }
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let g = grammar::parse(&text).map_err(|e| format!("{file}: bad grammar: {e}"))?;
+    let pgg = grammar::grammar_policies().iter().fold(
+        Pgg::new().limits(o.spec_limits()).fallback(!o.strict),
+        |p, (name, pol)| p.policy(name, *pol),
+    );
+    let program = pgg
+        .parse(&grammar::workload_source(&g))
+        .map_err(|e| e.to_string())?;
+    pgg.cogen(
+        &program,
+        grammar::WORKLOAD_ENTRY,
+        &Division::new(vec![BT::Dynamic]),
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// The registry name a `--grammar` workload serves under when `--name`
+/// is not given: the grammar's start rule.
+fn grammar_default_name(o: &Opts) -> Result<String, String> {
+    let file = need_file(o)?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let g = grammar::parse(&text).map_err(|e| format!("{file}: bad grammar: {e}"))?;
+    Ok(g.start().to_string())
 }
 
 /// The single-shot `--genext` pipeline: with `--genext-file` pointing at
@@ -798,6 +855,7 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
     let genext = build_genext(o)?;
     let name = match &o.name {
         Some(name) => name.clone(),
+        None if o.grammar => grammar_default_name(o)?,
         None => need_entry(o)?.to_string(),
     };
     let service = Arc::new(build_service(o));
@@ -886,8 +944,10 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
 /// instead of stdout.
 fn cmd_stats(o: &Opts) -> Result<(), String> {
     // The exposition page advertises every family the system exports,
-    // including the network front end's `t4o_net_*` counters (zero-valued
-    // when no server ran in this process).
+    // including the network front end's `t4o_net_*` counters and the
+    // VM's per-opcode `t4o_vm_dispatch_total` family (zero-valued when
+    // no server ran / no code executed in this process).
+    two4one::init_metrics();
     two4one_net::init_metrics();
     let service = build_service(o);
     if !o.positional.is_empty() {

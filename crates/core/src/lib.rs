@@ -228,6 +228,7 @@ pub fn init_metrics() {
     obs::touch_phase_metrics();
     let _ = spec_metrics();
     let _ = genext_metrics();
+    two4one_vm::init_dispatch_metrics();
 }
 
 /// A monotonically increasing version of a logical program.

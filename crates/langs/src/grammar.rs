@@ -1,0 +1,1051 @@
+//! The grammar/matching workload family: a small grammar language
+//! (alternation, concatenation, Kleene star, named nonterminals) restricted
+//! to an LL(1)-checkable subset, plus a matcher interpreter written in the
+//! Scheme subset.
+//!
+//! This is the commercially hot instance of the paper's first Futamura
+//! projection: grammar-constrained decoding compiles a fixed grammar into
+//! a matcher evaluated once per token. Here the grammar is *static* and
+//! the input is *dynamic* under BTA, so specializing [`GRAMMAR_INTERP`]
+//! against a fixed grammar residualizes a compiled recognizer — one
+//! residual function per nonterminal (the `gm-nt` memoization point), one
+//! residual loop per star node (`gm-star`), and every character dispatch
+//! unfolded into `eq?` chains on the lookahead.
+//!
+//! # Why LL(1)
+//!
+//! The interpreter is backtrack-free: every `alt` and `star` decision is
+//! made by peeking at the next input character against a *decision set*
+//! baked into the grammar encoding by the front end. That only works when
+//! the decision sets are unambiguous, so [`parse`] rejects anything
+//! outside the backtrack-free subset with a typed [`GrammarError`]:
+//! left recursion, alternatives with overlapping FIRST sets, more than
+//! one nullable alternative, nullable alternatives whose siblings collide
+//! with the FOLLOW set, nullable star bodies, and star bodies whose FIRST
+//! collides with what may follow the star. Rejection is always an `Err`,
+//! never a panic — this module is on the zero-panic-budget list.
+//!
+//! # Encoding
+//!
+//! The front end lowers a validated grammar to the datum shape the
+//! interpreter walks (first rule is the start symbol):
+//!
+//! ```text
+//! grammar ::= ((name node) ...)
+//! node    ::= (eps)                  -- match nothing
+//!           | (chr t)                -- match terminal t
+//!           | (seq n1 n2)            -- n1 then n2
+//!           | (alt (t ...) n1 n2)    -- n1 if lookahead in the set, else n2
+//!           | (star (t ...) n)       -- loop n while lookahead in the set
+//!           | (nt name)              -- invoke nonterminal
+//! ```
+//!
+//! Both decision sets are FIRST sets computed here, so the interpreter
+//! never recomputes them — and specialization folds the membership test
+//! into straight-line comparisons.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use two4one_syntax::acs::CallPolicy;
+use two4one_syntax::datum::Datum;
+use two4one_syntax::reader::read_all;
+
+/// The matcher interpreter, written in the Scheme subset.
+///
+/// Walks `(grammar, input)` where the grammar is the encoded datum above
+/// and the input is a list of one-character symbols. A match attempt
+/// returns the remaining input on success or the sentinel symbol
+/// `gm-fail`; `gm-run` accepts when the whole input is consumed.
+pub const GRAMMAR_INTERP: &str = r#"
+;; --- GM: a backtrack-free matcher over LL(1)-checked grammars.
+;; The grammar (with decision sets precomputed by the front end) is
+;; static; the input word is dynamic. A node match returns the remaining
+;; input, or the symbol gm-fail.
+
+(define (gm-run grammar input)
+  (gm-accept (gm-nt (gm-rule-name (car grammar)) input grammar)))
+
+(define (gm-accept rest)
+  (if (eq? rest 'gm-fail) #f (null? rest)))
+
+(define (gm-rule-name r) (car r))
+(define (gm-rule-body r) (cadr r))
+
+(define (gm-lookup name grammar)
+  (cond ((null? grammar) (error "gm: no such rule" name))
+        ((eq? name (gm-rule-name (car grammar))) (gm-rule-body (car grammar)))
+        (else (gm-lookup name (cdr grammar)))))
+
+;; The specialization point: one residual function per nonterminal.
+(define (gm-nt name input grammar)
+  (gm-match (gm-lookup name grammar) input grammar))
+
+(define (gm-match e input grammar)
+  (cond ((eq? (car e) 'eps) input)
+        ((eq? (car e) 'chr)
+         (if (null? input)
+             'gm-fail
+             (if (eq? (car input) (cadr e)) (cdr input) 'gm-fail)))
+        ((eq? (car e) 'seq)
+         (gm-then (gm-match (cadr e) input grammar) (caddr e) grammar))
+        ((eq? (car e) 'alt)
+         (if (gm-peek (cadr e) input)
+             (gm-match (caddr e) input grammar)
+             (gm-match (cadddr e) input grammar)))
+        ((eq? (car e) 'star)
+         (gm-star (cadr e) (caddr e) input grammar))
+        ((eq? (car e) 'nt)
+         (gm-nt (cadr e) input grammar))
+        (else (error "gm: bad node" e))))
+
+;; Sequencing: run the continuation only on success.
+(define (gm-then rest e grammar)
+  (if (eq? rest 'gm-fail)
+      'gm-fail
+      (gm-match e rest grammar)))
+
+;; Is the lookahead in the (static) decision set? Unfolds to an eq? chain.
+(define (gm-peek firsts input)
+  (if (null? input)
+      #f
+      (gm-member (car input) firsts)))
+
+(define (gm-member x xs)
+  (cond ((null? xs) #f)
+        ((eq? x (car xs)) #t)
+        (else (gm-member x (cdr xs)))))
+
+;; Kleene star, the second specialization point: a residual loop function
+;; per star node. The body is never nullable (front-end check), so every
+;; iteration consumes input and matching terminates.
+(define (gm-star firsts e input grammar)
+  (if (gm-peek firsts input)
+      (gm-star-then firsts e (gm-match e input grammar) grammar)
+      input))
+
+(define (gm-star-then firsts e rest grammar)
+  (if (eq? rest 'gm-fail)
+      'gm-fail
+      (gm-star firsts e rest grammar)))
+"#;
+
+/// Unfold/memoize policy for the matcher interpreter: `gm-nt` (one
+/// residual function per nonterminal) and `gm-star` (one residual loop
+/// per star node) are the specialization points; everything else unfolds.
+///
+/// Both need explicit policies: neither has dynamic control in its own
+/// body (the dynamic `if`s live in the helpers they call), so the
+/// Bondorf-style automatic criterion would not pick them.
+pub fn grammar_policies() -> Vec<(&'static str, CallPolicy)> {
+    vec![
+        ("gm-nt", CallPolicy::Memoize),
+        ("gm-star", CallPolicy::Memoize),
+        ("gm-run", CallPolicy::Unfold),
+        ("gm-accept", CallPolicy::Unfold),
+        ("gm-rule-name", CallPolicy::Unfold),
+        ("gm-rule-body", CallPolicy::Unfold),
+        ("gm-lookup", CallPolicy::Unfold),
+        ("gm-match", CallPolicy::Unfold),
+        ("gm-then", CallPolicy::Unfold),
+        ("gm-peek", CallPolicy::Unfold),
+        ("gm-member", CallPolicy::Unfold),
+        ("gm-star-then", CallPolicy::Unfold),
+    ]
+}
+
+/// Typed rejection of a grammar outside the accepted subset. Never a
+/// panic: every malformed or non-LL(1) input maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// The grammar text did not read as s-expressions.
+    Read(String),
+    /// The file must contain exactly one datum: the list of rules.
+    NotOneDatum(usize),
+    /// The top-level datum is not a list of rules.
+    NotARuleList,
+    /// A grammar with no rules has no start symbol.
+    Empty,
+    /// A rule is not `(name body ...)` with a symbol name.
+    MalformedRule(String),
+    /// A rule name collides with a reserved form or the fail sentinel.
+    ReservedName(String),
+    /// Two rules share a name.
+    DuplicateRule(String),
+    /// A form like `(star)` with no operands.
+    EmptyForm(&'static str),
+    /// An expression that is none of the accepted shapes.
+    BadExpr(String),
+    /// A multi-character symbol that names no rule (likely a typo).
+    UnknownSymbol(String),
+    /// A terminal outside the portable set (ASCII alphanumeric, `-`, `_`).
+    BadTerminal(char),
+    /// The nonterminal can derive itself without consuming input.
+    LeftRecursive(String),
+    /// Two alternatives of an `alt` can both start with this terminal.
+    AltConflict {
+        /// Rule the conflict is in.
+        rule: String,
+        /// Terminal in both branches' FIRST sets.
+        terminal: char,
+    },
+    /// More than one alternative of an `alt` is nullable.
+    AltMultipleNullable {
+        /// Rule the conflict is in.
+        rule: String,
+    },
+    /// An `alt` has a nullable branch and another branch whose FIRST
+    /// collides with what may follow — the peek cannot decide.
+    AltFollowConflict {
+        /// Rule the conflict is in.
+        rule: String,
+        /// Terminal in both a branch's FIRST and the alt's FOLLOW.
+        terminal: char,
+    },
+    /// A star body that can match nothing would loop forever.
+    NullableStarBody {
+        /// Rule the star is in.
+        rule: String,
+    },
+    /// A star whose body FIRST collides with what may follow the star —
+    /// the peek cannot decide between another iteration and exiting.
+    StarFollowConflict {
+        /// Rule the star is in.
+        rule: String,
+        /// Terminal in both FIRST(body) and FOLLOW(star).
+        terminal: char,
+    },
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::Read(e) => write!(f, "grammar does not read: {e}"),
+            GrammarError::NotOneDatum(n) => {
+                write!(f, "grammar file must hold exactly one rule list, found {n}")
+            }
+            GrammarError::NotARuleList => write!(f, "grammar must be a list of rules"),
+            GrammarError::Empty => write!(f, "grammar has no rules"),
+            GrammarError::MalformedRule(d) => {
+                write!(f, "rule must be (name body ...) with a symbol name: {d}")
+            }
+            GrammarError::ReservedName(n) => {
+                write!(f, "`{n}` is reserved and cannot name a rule")
+            }
+            GrammarError::DuplicateRule(n) => write!(f, "rule `{n}` is defined twice"),
+            GrammarError::EmptyForm(which) => write!(f, "({which}) needs at least one operand"),
+            GrammarError::BadExpr(d) => write!(f, "not a grammar expression: {d}"),
+            GrammarError::UnknownSymbol(s) => write!(
+                f,
+                "`{s}` names no rule and is not a single-character terminal"
+            ),
+            GrammarError::BadTerminal(c) => write!(
+                f,
+                "terminal `{c}` outside the portable set (ASCII alphanumeric, `-`, `_`)"
+            ),
+            GrammarError::LeftRecursive(n) => write!(
+                f,
+                "rule `{n}` is left-recursive (derives itself without consuming input)"
+            ),
+            GrammarError::AltConflict { rule, terminal } => write!(
+                f,
+                "alternatives in `{rule}` are ambiguous on lookahead `{terminal}` \
+                 (overlapping FIRST sets)"
+            ),
+            GrammarError::AltMultipleNullable { rule } => write!(
+                f,
+                "more than one alternative in `{rule}` can match the empty string"
+            ),
+            GrammarError::AltFollowConflict { rule, terminal } => write!(
+                f,
+                "nullable alternation in `{rule}` is ambiguous on lookahead \
+                 `{terminal}` (FIRST/FOLLOW overlap)"
+            ),
+            GrammarError::NullableStarBody { rule } => write!(
+                f,
+                "star body in `{rule}` can match the empty string (would loop forever)"
+            ),
+            GrammarError::StarFollowConflict { rule, terminal } => write!(
+                f,
+                "star in `{rule}` is ambiguous on lookahead `{terminal}` \
+                 (body FIRST overlaps what may follow)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// Names with special meaning in rule bodies; none may name a rule.
+const RESERVED: [&str; 7] = ["eps", "seq", "alt", "star", "opt", "plus", "gm-fail"];
+
+/// A grammar expression after lowering, before LL(1) validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Eps,
+    Chr(char),
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Star(Box<Node>),
+    Nt(String),
+}
+
+/// A validated, backtrack-free grammar, ready to encode.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    rules: Vec<(String, Node)>,
+    first: BTreeMap<String, BTreeSet<char>>,
+    nullable: BTreeMap<String, bool>,
+}
+
+impl Grammar {
+    /// The start symbol (the first rule's name).
+    pub fn start(&self) -> &str {
+        // A `Grammar` only exists post-validation, which rejects Empty.
+        self.rules.first().map(|(n, _)| n.as_str()).unwrap_or("")
+    }
+
+    /// Rule names in definition order.
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Lowers the grammar to the datum encoding the interpreter walks,
+    /// decision sets included.
+    pub fn encode(&self) -> Datum {
+        let rules: Vec<Datum> = self
+            .rules
+            .iter()
+            .map(|(name, body)| Datum::list([Datum::sym(name), self.encode_node(body)]))
+            .collect();
+        Datum::list(rules)
+    }
+
+    fn encode_node(&self, n: &Node) -> Datum {
+        match n {
+            Node::Eps => Datum::list([Datum::sym("eps")]),
+            Node::Chr(c) => Datum::list([Datum::sym("chr"), Datum::Char(*c)]),
+            Node::Seq(es) => match es.len() {
+                0 => Datum::list([Datum::sym("eps")]),
+                1 => self.encode_node(&es[0]),
+                _ => {
+                    let head = self.encode_node(&es[0]);
+                    let tail = self.encode_node(&Node::Seq(es[1..].to_vec()));
+                    Datum::list([Datum::sym("seq"), head, tail])
+                }
+            },
+            Node::Alt(branches) => {
+                // Validation guarantees at most one nullable branch; put
+                // it last so every decision set is a plain FIRST set.
+                let mut ordered: Vec<&Node> = branches.iter().collect();
+                if let Some(pos) = ordered.iter().position(|b| self.node_nullable(b)) {
+                    let nullable = ordered.remove(pos);
+                    ordered.push(nullable);
+                }
+                self.encode_alt(&ordered)
+            }
+            Node::Star(body) => {
+                let firsts = self.first_set(body);
+                Datum::list([
+                    Datum::sym("star"),
+                    encode_charset(&firsts),
+                    self.encode_node(body),
+                ])
+            }
+            Node::Nt(name) => Datum::list([Datum::sym("nt"), Datum::sym(name)]),
+        }
+    }
+
+    fn encode_alt(&self, branches: &[&Node]) -> Datum {
+        match branches {
+            [] => Datum::list([Datum::sym("eps")]),
+            [only] => self.encode_node(only),
+            [head, rest @ ..] => Datum::list([
+                Datum::sym("alt"),
+                encode_charset(&self.first_set(head)),
+                self.encode_node(head),
+                self.encode_alt(rest),
+            ]),
+        }
+    }
+
+    fn node_nullable(&self, n: &Node) -> bool {
+        match n {
+            Node::Eps => true,
+            Node::Chr(_) => false,
+            Node::Seq(es) => es.iter().all(|e| self.node_nullable(e)),
+            Node::Alt(es) => es.iter().any(|e| self.node_nullable(e)),
+            Node::Star(_) => true,
+            Node::Nt(name) => self.nullable.get(name).copied().unwrap_or(false),
+        }
+    }
+
+    fn first_set(&self, n: &Node) -> BTreeSet<char> {
+        match n {
+            Node::Eps => BTreeSet::new(),
+            Node::Chr(c) => BTreeSet::from([*c]),
+            Node::Seq(es) => {
+                let mut out = BTreeSet::new();
+                for e in es {
+                    out.extend(self.first_set(e));
+                    if !self.node_nullable(e) {
+                        break;
+                    }
+                }
+                out
+            }
+            Node::Alt(es) => es.iter().flat_map(|e| self.first_set(e)).collect(),
+            Node::Star(body) => self.first_set(body),
+            Node::Nt(name) => self.first.get(name).cloned().unwrap_or_default(),
+        }
+    }
+}
+
+fn encode_charset(set: &BTreeSet<char>) -> Datum {
+    Datum::list(set.iter().map(|c| Datum::Char(*c)))
+}
+
+/// Parses and validates grammar text.
+///
+/// # Errors
+///
+/// Returns a [`GrammarError`] for anything outside the backtrack-free
+/// subset — malformed text, duplicate or reserved rule names, unknown
+/// symbols, left recursion, or any FIRST/FOLLOW ambiguity.
+pub fn parse(text: &str) -> Result<Grammar, GrammarError> {
+    let data = read_all(text).map_err(|e| GrammarError::Read(e.to_string()))?;
+    if data.len() != 1 {
+        return Err(GrammarError::NotOneDatum(data.len()));
+    }
+    let rule_data = data[0].to_vec().ok_or(GrammarError::NotARuleList)?;
+    if rule_data.is_empty() {
+        return Err(GrammarError::Empty);
+    }
+
+    // Pass 1: rule names (so bare symbols can be classified).
+    let mut names: Vec<String> = Vec::with_capacity(rule_data.len());
+    for r in &rule_data {
+        let items = r
+            .to_vec()
+            .ok_or_else(|| GrammarError::MalformedRule(r.to_string()))?;
+        let name = match items.first() {
+            Some(Datum::Sym(s)) => s.to_string(),
+            _ => return Err(GrammarError::MalformedRule(r.to_string())),
+        };
+        if items.len() < 2 {
+            return Err(GrammarError::MalformedRule(r.to_string()));
+        }
+        if RESERVED.contains(&name.as_str()) {
+            return Err(GrammarError::ReservedName(name));
+        }
+        if names.contains(&name) {
+            return Err(GrammarError::DuplicateRule(name));
+        }
+        names.push(name);
+    }
+
+    // Pass 2: lower bodies.
+    let mut rules: Vec<(String, Node)> = Vec::with_capacity(rule_data.len());
+    for (r, name) in rule_data.iter().zip(&names) {
+        let items = r
+            .to_vec()
+            .ok_or_else(|| GrammarError::MalformedRule(r.to_string()))?;
+        let body = lower_seq(&items[1..], &names)?;
+        rules.push((name.clone(), body));
+    }
+
+    // NULLABLE fixpoint over the nonterminals.
+    let mut nullable: BTreeMap<String, bool> = names.iter().map(|n| (n.clone(), false)).collect();
+    loop {
+        let mut changed = false;
+        for (name, body) in &rules {
+            if !nullable[name] && node_nullable_in(body, &nullable) {
+                nullable.insert(name.clone(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Left recursion: a cycle in the "can appear leftmost without input
+    // consumed" relation between nonterminals.
+    check_left_recursion(&rules, &nullable)?;
+
+    // FIRST fixpoint.
+    let mut first: BTreeMap<String, BTreeSet<char>> =
+        names.iter().map(|n| (n.clone(), BTreeSet::new())).collect();
+    loop {
+        let mut changed = false;
+        for (name, body) in &rules {
+            let computed = first_in(body, &first, &nullable);
+            let cur = first.entry(name.clone()).or_default();
+            if !computed.is_subset(cur) {
+                cur.extend(computed);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // FOLLOW fixpoint (terminals only; end-of-input needs no marker here
+    // because it can never collide with a terminal).
+    let mut follow: BTreeMap<String, BTreeSet<char>> =
+        names.iter().map(|n| (n.clone(), BTreeSet::new())).collect();
+    loop {
+        let mut changed = false;
+        for (name, body) in &rules {
+            let rule_follow = follow.get(name).cloned().unwrap_or_default();
+            changed |= collect_follow(body, &rule_follow, &first, &nullable, &mut follow);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let g = Grammar {
+        rules,
+        first,
+        nullable,
+    };
+
+    // LL(1) validation with the inherited follow set threaded down.
+    for (name, body) in &g.rules {
+        let rule_follow = follow.get(name).cloned().unwrap_or_default();
+        validate(&g, name, body, &rule_follow)?;
+    }
+    Ok(g)
+}
+
+/// Lowers a slice of body expressions to a node (implicit sequence).
+fn lower_seq(items: &[Datum], names: &[String]) -> Result<Node, GrammarError> {
+    let mut nodes = Vec::with_capacity(items.len());
+    for d in items {
+        nodes.push(lower(d, names)?);
+    }
+    Ok(match nodes.len() {
+        1 => nodes.remove(0),
+        _ => Node::Seq(nodes),
+    })
+}
+
+fn lower(d: &Datum, names: &[String]) -> Result<Node, GrammarError> {
+    match d {
+        Datum::Sym(s) => {
+            let name = s.as_str();
+            if name == "eps" {
+                return Ok(Node::Eps);
+            }
+            if names.iter().any(|n| n == name) {
+                return Ok(Node::Nt(name.to_string()));
+            }
+            let mut chars = name.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) => lower_terminal(c),
+                _ => Err(GrammarError::UnknownSymbol(name.to_string())),
+            }
+        }
+        Datum::Char(c) => lower_terminal(*c),
+        // Digits read as integers; as grammar atoms they are terminals.
+        Datum::Int(n @ 0..=9) => lower_terminal((b'0' + *n as u8) as char),
+        Datum::Pair(_) => {
+            let items = d
+                .to_vec()
+                .ok_or_else(|| GrammarError::BadExpr(d.to_string()))?;
+            let head = match items.first() {
+                Some(Datum::Sym(s)) => s.to_string(),
+                _ => return Err(GrammarError::BadExpr(d.to_string())),
+            };
+            let rest = &items[1..];
+            match head.as_str() {
+                "seq" => {
+                    if rest.is_empty() {
+                        return Err(GrammarError::EmptyForm("seq"));
+                    }
+                    lower_seq(rest, names)
+                }
+                "alt" => {
+                    if rest.is_empty() {
+                        return Err(GrammarError::EmptyForm("alt"));
+                    }
+                    let mut branches = Vec::with_capacity(rest.len());
+                    for b in rest {
+                        branches.push(lower(b, names)?);
+                    }
+                    Ok(if branches.len() == 1 {
+                        branches.remove(0)
+                    } else {
+                        Node::Alt(branches)
+                    })
+                }
+                "star" => {
+                    if rest.is_empty() {
+                        return Err(GrammarError::EmptyForm("star"));
+                    }
+                    Ok(Node::Star(Box::new(lower_seq(rest, names)?)))
+                }
+                "opt" => {
+                    if rest.is_empty() {
+                        return Err(GrammarError::EmptyForm("opt"));
+                    }
+                    Ok(Node::Alt(vec![lower_seq(rest, names)?, Node::Eps]))
+                }
+                "plus" => {
+                    if rest.is_empty() {
+                        return Err(GrammarError::EmptyForm("plus"));
+                    }
+                    let body = lower_seq(rest, names)?;
+                    Ok(Node::Seq(vec![body.clone(), Node::Star(Box::new(body))]))
+                }
+                _ => Err(GrammarError::BadExpr(d.to_string())),
+            }
+        }
+        other => Err(GrammarError::BadExpr(other.to_string())),
+    }
+}
+
+/// Terminals stay inside the set that survives a print/re-read round trip
+/// of the embedding source (the grammar is spliced into Scheme text as a
+/// quoted constant).
+fn lower_terminal(c: char) -> Result<Node, GrammarError> {
+    if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+        Ok(Node::Chr(c))
+    } else {
+        Err(GrammarError::BadTerminal(c))
+    }
+}
+
+fn node_nullable_in(n: &Node, nullable: &BTreeMap<String, bool>) -> bool {
+    match n {
+        Node::Eps => true,
+        Node::Chr(_) => false,
+        Node::Seq(es) => es.iter().all(|e| node_nullable_in(e, nullable)),
+        Node::Alt(es) => es.iter().any(|e| node_nullable_in(e, nullable)),
+        Node::Star(_) => true,
+        Node::Nt(name) => nullable.get(name).copied().unwrap_or(false),
+    }
+}
+
+fn first_in(
+    n: &Node,
+    first: &BTreeMap<String, BTreeSet<char>>,
+    nullable: &BTreeMap<String, bool>,
+) -> BTreeSet<char> {
+    match n {
+        Node::Eps => BTreeSet::new(),
+        Node::Chr(c) => BTreeSet::from([*c]),
+        Node::Seq(es) => {
+            let mut out = BTreeSet::new();
+            for e in es {
+                out.extend(first_in(e, first, nullable));
+                if !node_nullable_in(e, nullable) {
+                    break;
+                }
+            }
+            out
+        }
+        Node::Alt(es) => es
+            .iter()
+            .flat_map(|e| first_in(e, first, nullable))
+            .collect(),
+        Node::Star(body) => first_in(body, first, nullable),
+        Node::Nt(name) => first.get(name).cloned().unwrap_or_default(),
+    }
+}
+
+/// One pass of the FOLLOW fixpoint for every nonterminal occurrence in
+/// `n`, whose own inherited follow set is `ctx`. Returns whether any set
+/// grew.
+fn collect_follow(
+    n: &Node,
+    ctx: &BTreeSet<char>,
+    first: &BTreeMap<String, BTreeSet<char>>,
+    nullable: &BTreeMap<String, bool>,
+    follow: &mut BTreeMap<String, BTreeSet<char>>,
+) -> bool {
+    match n {
+        Node::Eps | Node::Chr(_) => false,
+        Node::Seq(es) => {
+            let mut changed = false;
+            for (i, e) in es.iter().enumerate() {
+                let mut item_follow = BTreeSet::new();
+                let mut rest_nullable = true;
+                for later in &es[i + 1..] {
+                    item_follow.extend(first_in(later, first, nullable));
+                    if !node_nullable_in(later, nullable) {
+                        rest_nullable = false;
+                        break;
+                    }
+                }
+                if rest_nullable {
+                    item_follow.extend(ctx.iter().copied());
+                }
+                changed |= collect_follow(e, &item_follow, first, nullable, follow);
+            }
+            changed
+        }
+        Node::Alt(es) => {
+            let mut changed = false;
+            for e in es {
+                changed |= collect_follow(e, ctx, first, nullable, follow);
+            }
+            changed
+        }
+        Node::Star(body) => {
+            // The body may be followed by another iteration or the exit.
+            let mut body_follow = first_in(body, first, nullable);
+            body_follow.extend(ctx.iter().copied());
+            collect_follow(body, &body_follow, first, nullable, follow)
+        }
+        Node::Nt(name) => {
+            let entry = follow.entry(name.clone()).or_default();
+            let before = entry.len();
+            entry.extend(ctx.iter().copied());
+            entry.len() != before
+        }
+    }
+}
+
+/// Rejects left recursion: DFS over the "appears leftmost with only
+/// nullable prefixes" edges between nonterminals.
+fn check_left_recursion(
+    rules: &[(String, Node)],
+    nullable: &BTreeMap<String, bool>,
+) -> Result<(), GrammarError> {
+    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (name, body) in rules {
+        let mut targets = BTreeSet::new();
+        leftmost_nts(body, nullable, &mut targets);
+        edges.insert(name, targets);
+    }
+    // Colors: 0 unvisited, 1 on stack, 2 done.
+    let mut color: BTreeMap<&str, u8> = rules.iter().map(|(n, _)| (n.as_str(), 0)).collect();
+    for (name, _) in rules {
+        if color.get(name.as_str()) == Some(&0) {
+            dfs_left(name, &edges, &mut color)?;
+        }
+    }
+    Ok(())
+}
+
+fn dfs_left<'a>(
+    at: &'a str,
+    edges: &BTreeMap<&str, BTreeSet<&'a str>>,
+    color: &mut BTreeMap<&'a str, u8>,
+) -> Result<(), GrammarError> {
+    color.insert(at, 1);
+    if let Some(next) = edges.get(at) {
+        for n in next {
+            match color.get(n) {
+                Some(1) => return Err(GrammarError::LeftRecursive(n.to_string())),
+                Some(0) => dfs_left(n, edges, color)?,
+                _ => {}
+            }
+        }
+    }
+    color.insert(at, 2);
+    Ok(())
+}
+
+/// Nonterminals reachable at the left edge of `n` (through nullable
+/// prefixes).
+fn leftmost_nts<'a>(n: &'a Node, nullable: &BTreeMap<String, bool>, out: &mut BTreeSet<&'a str>) {
+    match n {
+        Node::Eps | Node::Chr(_) => {}
+        Node::Seq(es) => {
+            for e in es {
+                leftmost_nts(e, nullable, out);
+                if !node_nullable_in(e, nullable) {
+                    break;
+                }
+            }
+        }
+        Node::Alt(es) => {
+            for e in es {
+                leftmost_nts(e, nullable, out);
+            }
+        }
+        Node::Star(body) => leftmost_nts(body, nullable, out),
+        Node::Nt(name) => {
+            out.insert(name);
+        }
+    }
+}
+
+/// LL(1) validation for one node, with the set of terminals that may
+/// follow it threaded down.
+fn validate(
+    g: &Grammar,
+    rule: &str,
+    n: &Node,
+    follow: &BTreeSet<char>,
+) -> Result<(), GrammarError> {
+    match n {
+        Node::Eps | Node::Chr(_) | Node::Nt(_) => Ok(()),
+        Node::Seq(es) => {
+            for (i, e) in es.iter().enumerate() {
+                let mut item_follow = BTreeSet::new();
+                let mut rest_nullable = true;
+                for later in &es[i + 1..] {
+                    item_follow.extend(g.first_set(later));
+                    if !g.node_nullable(later) {
+                        rest_nullable = false;
+                        break;
+                    }
+                }
+                if rest_nullable {
+                    item_follow.extend(follow.iter().copied());
+                }
+                validate(g, rule, e, &item_follow)?;
+            }
+            Ok(())
+        }
+        Node::Alt(branches) => {
+            let mut seen: BTreeSet<char> = BTreeSet::new();
+            let mut nullable_count = 0usize;
+            for b in branches {
+                for c in g.first_set(b) {
+                    if !seen.insert(c) {
+                        return Err(GrammarError::AltConflict {
+                            rule: rule.to_string(),
+                            terminal: c,
+                        });
+                    }
+                }
+                if g.node_nullable(b) {
+                    nullable_count += 1;
+                }
+            }
+            if nullable_count > 1 {
+                return Err(GrammarError::AltMultipleNullable {
+                    rule: rule.to_string(),
+                });
+            }
+            if nullable_count == 1 {
+                // The decision "take a branch iff the lookahead is in its
+                // FIRST" must not steal characters the empty derivation
+                // would leave to the context.
+                if let Some(c) = seen.intersection(follow).next() {
+                    return Err(GrammarError::AltFollowConflict {
+                        rule: rule.to_string(),
+                        terminal: *c,
+                    });
+                }
+            }
+            for b in branches {
+                validate(g, rule, b, follow)?;
+            }
+            Ok(())
+        }
+        Node::Star(body) => {
+            if g.node_nullable(body) {
+                return Err(GrammarError::NullableStarBody {
+                    rule: rule.to_string(),
+                });
+            }
+            let firsts = g.first_set(body);
+            if let Some(c) = firsts.intersection(follow).next() {
+                return Err(GrammarError::StarFollowConflict {
+                    rule: rule.to_string(),
+                    terminal: *c,
+                });
+            }
+            let mut body_follow = firsts;
+            body_follow.extend(follow.iter().copied());
+            validate(g, rule, body, &body_follow)
+        }
+    }
+}
+
+/// Builds the complete, self-contained workload source for a grammar: the
+/// matcher interpreter plus an entry point with the encoded grammar
+/// embedded as a quoted constant. The entry is [`WORKLOAD_ENTRY`] with
+/// one dynamic parameter (the input word), so the whole grammar is static
+/// under BTA and a `redefine` of the registered source invalidates the
+/// derived recognizer through the versioned registry.
+pub fn workload_source(g: &Grammar) -> String {
+    format!(
+        "{}\n(define ({} input) (gm-run (quote {}) input))\n",
+        GRAMMAR_INTERP,
+        WORKLOAD_ENTRY,
+        g.encode()
+    )
+}
+
+/// Entry-point name of [`workload_source`] programs.
+pub const WORKLOAD_ENTRY: &str = "gm-main";
+
+/// Encodes an input string as the word the matcher walks: a list of
+/// one-character symbols. Characters outside the terminal set are fine
+/// here (they simply never match any `chr` node).
+pub fn input_datum(text: &str) -> Datum {
+    Datum::list(text.chars().map(Datum::Char))
+}
+
+/// An example grammar: identifier-like tokens — a letter, then letters,
+/// digits, or underscores.
+pub const IDENT_GRAMMAR: &str = r#"
+((ident letter (star (alt letter digit _)))
+ (letter (alt a b c d e f g x y z))
+ (digit (alt 0 1 2 3 4 5 6 7 8 9)))
+"#;
+
+/// The adversarial suite of the EXPERIMENTS.md figure: LL(1)-safe
+/// grammars whose *inputs* are chosen to hurt — long non-matching
+/// prefixes, deep alternation chains, and pathological star nesting.
+/// Returns `(name, grammar text, accepted input, rejected input)`.
+pub fn adversarial_suite() -> Vec<(&'static str, &'static str, String, String)> {
+    let n = 2048;
+    vec![
+        (
+            // A long run of letters that must end in `0`: the reject
+            // input fails only at the very last character, after the
+            // interpreter has paid a rule lookup and an 8-character
+            // decision-set scan per position.
+            "long-prefix",
+            "((word (star letter) 0)
+              (letter (alt a b c d e f g h)))",
+            format!("{}0", "abcdefgh".repeat(n / 8)),
+            "abcdefgh".repeat(n / 8) + "a",
+        ),
+        (
+            // Deep alternation over nonterminals: every character walks
+            // the rule list and a 10-way decision chain; the reject
+            // input hits the chain's fall-through on its final
+            // character.
+            "deep-alt",
+            "((word (plus (alt v0 v1 v2 v3 v4 v5 v6 v7 v8 v9)))
+              (v0 a) (v1 b) (v2 c) (v3 d) (v4 e)
+              (v5 f) (v6 g) (v7 h) (v8 i) (v9 j))",
+            "abcdefghij".repeat(n / 10),
+            format!("{}z", "abcdefghij".repeat(n / 10)),
+        ),
+        (
+            // Pathological star nesting: ((a* b)* c)-shaped loops
+            // through a nonterminal, interleaving on every character.
+            "star-nest",
+            "((word (star inner) c)
+              (inner (star a) b))",
+            format!("{}c", "aab".repeat(n / 3)),
+            "aab".repeat(n / 3) + "a",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_grammar_parses_and_encodes() {
+        let g = parse(IDENT_GRAMMAR).unwrap();
+        assert_eq!(g.start(), "ident");
+        assert_eq!(g.rule_names(), vec!["ident", "letter", "digit"]);
+        let enc = g.encode().to_string();
+        assert!(enc.contains("(nt letter)"), "{enc}");
+        assert!(enc.contains("star"), "{enc}");
+    }
+
+    #[test]
+    fn decision_sets_are_first_sets() {
+        let g = parse("((word (star a) b))").unwrap();
+        let enc = g.encode().to_string();
+        // star decision set is FIRST(a) = {a}.
+        assert!(enc.contains("(star (#\\a)"), "{enc}");
+    }
+
+    #[test]
+    fn empty_and_malformed_are_typed_errors() {
+        assert_eq!(parse("()").unwrap_err(), GrammarError::Empty);
+        assert!(matches!(parse("("), Err(GrammarError::Read(_))));
+        assert_eq!(
+            parse("((a a)) ((b b))").unwrap_err(),
+            GrammarError::NotOneDatum(2)
+        );
+        assert!(matches!(parse("5"), Err(GrammarError::NotARuleList)));
+        assert!(matches!(
+            parse("((5 a))"),
+            Err(GrammarError::MalformedRule(_))
+        ));
+        assert!(matches!(
+            parse("((word))"),
+            Err(GrammarError::MalformedRule(_))
+        ));
+        assert!(matches!(
+            parse("((eps a))"),
+            Err(GrammarError::ReservedName(_))
+        ));
+        assert!(matches!(
+            parse("((w a) (w b))"),
+            Err(GrammarError::DuplicateRule(_))
+        ));
+        assert!(matches!(
+            parse("((w (star)))"),
+            Err(GrammarError::EmptyForm("star"))
+        ));
+        assert!(matches!(
+            parse("((w undefined-thing))"),
+            Err(GrammarError::UnknownSymbol(_))
+        ));
+        assert!(matches!(
+            parse("((w !))"),
+            Err(GrammarError::BadTerminal('!'))
+        ));
+    }
+
+    #[test]
+    fn left_recursion_is_rejected() {
+        assert!(matches!(
+            parse("((e e a))"),
+            Err(GrammarError::LeftRecursive(_))
+        ));
+        // Indirect, through a nullable prefix.
+        assert!(matches!(
+            parse("((e (opt a) f) (f e b))"),
+            Err(GrammarError::LeftRecursive(_))
+        ));
+    }
+
+    #[test]
+    fn ll1_conflicts_are_rejected() {
+        assert!(matches!(
+            parse("((w (alt (seq a b) (seq a c))))"),
+            Err(GrammarError::AltConflict { terminal: 'a', .. })
+        ));
+        assert!(matches!(
+            parse("((w (alt (opt a) (opt b))))"),
+            Err(GrammarError::AltMultipleNullable { .. })
+        ));
+        // (opt a) followed by a: the empty branch and the follow collide.
+        assert!(matches!(
+            parse("((w (opt a) a))"),
+            Err(GrammarError::AltFollowConflict { terminal: 'a', .. })
+        ));
+        assert!(matches!(
+            parse("((w (star (opt a))))"),
+            Err(GrammarError::NullableStarBody { .. })
+        ));
+        assert!(matches!(
+            parse("((w (star a) a))"),
+            Err(GrammarError::StarFollowConflict { terminal: 'a', .. })
+        ));
+    }
+
+    #[test]
+    fn adversarial_suite_parses() {
+        for (name, text, _, _) in adversarial_suite() {
+            assert!(parse(text).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn workload_source_is_readable_scheme() {
+        let g = parse(IDENT_GRAMMAR).unwrap();
+        let src = workload_source(&g);
+        let defs = two4one_syntax::reader::read_all(&src).unwrap();
+        assert!(defs.len() > 12, "{}", defs.len());
+        assert!(src.contains("(define (gm-main input)"));
+    }
+}

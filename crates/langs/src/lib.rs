@@ -21,6 +21,8 @@ use two4one_syntax::acs::CallPolicy;
 use two4one_syntax::datum::Datum;
 use two4one_syntax::reader::read_one;
 
+pub mod grammar;
+
 /// The MIXWELL interpreter (first-order functional language).
 ///
 /// A MIXWELL program is `((fname (param ...) body) ...)`, the first
@@ -300,20 +302,18 @@ pub const LAZY_PROGRAM: &str = r#"
 
 /// Parses the MIXWELL input program to a datum.
 ///
-/// # Panics
-///
-/// Panics if the embedded source is malformed (a bug in this crate).
+/// The embedded source is well-formed by construction; a malformed
+/// constant (a bug in this crate, caught by tests) yields `()`.
 pub fn mixwell_program() -> Datum {
-    read_one(MIXWELL_PROGRAM).expect("embedded MIXWELL program parses")
+    read_one(MIXWELL_PROGRAM).unwrap_or(Datum::Nil)
 }
 
 /// Parses the LAZY input program to a datum.
 ///
-/// # Panics
-///
-/// Panics if the embedded source is malformed (a bug in this crate).
+/// The embedded source is well-formed by construction; a malformed
+/// constant (a bug in this crate, caught by tests) yields `()`.
 pub fn lazy_program() -> Datum {
-    read_one(LAZY_PROGRAM).expect("embedded LAZY program parses")
+    read_one(LAZY_PROGRAM).unwrap_or(Datum::Nil)
 }
 
 /// A tiny MIXWELL program (Ackermann) for quick tests.
@@ -489,11 +489,10 @@ pub const FCL_POWER: &str = r#"
 
 /// Parses the FCL power program.
 ///
-/// # Panics
-///
-/// Panics if the embedded source is malformed (a bug in this crate).
+/// The embedded source is well-formed by construction; a malformed
+/// constant (a bug in this crate, caught by tests) yields `()`.
 pub fn fcl_power() -> Datum {
-    read_one(FCL_POWER).expect("embedded FCL program parses")
+    read_one(FCL_POWER).unwrap_or(Datum::Nil)
 }
 
 /// A deterministic finite automaton interpreter, written with the
@@ -563,11 +562,10 @@ pub const DFA_ABA: &str = r#"
 
 /// Parses the example DFA.
 ///
-/// # Panics
-///
-/// Panics if the embedded source is malformed (a bug in this crate).
+/// The embedded source is well-formed by construction; a malformed
+/// constant (a bug in this crate, caught by tests) yields `()`.
 pub fn dfa_aba() -> Datum {
-    read_one(DFA_ABA).expect("embedded DFA parses")
+    read_one(DFA_ABA).unwrap_or(Datum::Nil)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use two4one::{encode_image, obs, reader, CancelToken, Division, Limits, Pgg, BT};
+use two4one_langs::grammar as langs_grammar;
 use two4one_server::{ServeError, SpecRequest, SpecService};
 
 use crate::http;
@@ -699,6 +700,17 @@ fn dispatch_frame(
             })?;
             register_call(inner, watch, &req)
         }
+        wire::REQ_GRAMMAR => {
+            let req = wire::GrammarWireRequest::decode(&frame.payload).map_err(|e| {
+                inner.stats.protocol_errors.inc();
+                WireError {
+                    code: 400,
+                    retry_after_ms: 0,
+                    message: e.to_string(),
+                }
+            })?;
+            grammar_call(inner, watch, &req)
+        }
         other => {
             // A well-formed frame of an unexpected type: sync is intact,
             // so answer the typed error and keep the connection.
@@ -843,6 +855,67 @@ fn register_call(
         "{{\"registered\": {}, \"epoch\": {}}}",
         json::escape(&req.name),
         epoch.get()
+    );
+    Ok((wire::RESP_META, Payload::Bytes(body.into_bytes())))
+}
+
+/// The [`wire::REQ_GRAMMAR`] path: validate the grammar text, splice it
+/// into the matcher interpreter (grammar static, input word dynamic),
+/// build the generating extension under the matcher's unfold/memoize
+/// policies, and register it like any other named program — so redefining
+/// a grammar bumps its epoch and invalidates every cached recognizer, and
+/// [`wire::REQ_SPEC`] with no statics serves the compiled recognizer.
+fn grammar_call(
+    inner: &Arc<ServerInner>,
+    watch: &Arc<ConnWatch>,
+    req: &wire::GrammarWireRequest,
+) -> Result<(u8, Payload), WireError> {
+    let _tenant = admit_tenant(inner, &req.token)?;
+    let grammar = match langs_grammar::parse(&req.text) {
+        Ok(g) => g,
+        Err(e) => {
+            // A grammar outside the LL(1) subset is a client error with a
+            // typed explanation, never a server fault.
+            inner.stats.match_rejected.inc();
+            return Err(WireError {
+                code: 400,
+                retry_after_ms: 0,
+                message: format!("bad grammar: {e}"),
+            });
+        }
+    };
+    watch.state.store(SERVING, Ordering::Release);
+    let built = (|| {
+        let pgg = langs_grammar::grammar_policies()
+            .iter()
+            .fold(Pgg::new(), |p, (name, pol)| p.policy(name, *pol));
+        let source = langs_grammar::workload_source(&grammar);
+        let program = pgg.parse(&source).map_err(|e| WireError {
+            code: 500,
+            retry_after_ms: 0,
+            message: format!("matcher workload does not parse: {e}"),
+        })?;
+        pgg.cogen(
+            &program,
+            langs_grammar::WORKLOAD_ENTRY,
+            &Division::new(vec![BT::Dynamic]),
+        )
+        .map_err(|e| WireError {
+            code: 500,
+            retry_after_ms: 0,
+            message: format!("matcher workload does not analyze: {e}"),
+        })
+    })();
+    watch.state.store(READING, Ordering::Release);
+    let genext = built?;
+    let epoch = inner.service.register(&req.name, &genext);
+    inner.stats.match_registered.inc();
+    let body = format!(
+        "{{\"registered\": {}, \"epoch\": {}, \"start\": {}, \"rules\": {}}}",
+        json::escape(&req.name),
+        epoch.get(),
+        json::escape(grammar.start()),
+        grammar.rule_names().len(),
     );
     Ok((wire::RESP_META, Payload::Bytes(body.into_bytes())))
 }

@@ -26,6 +26,8 @@ pub(crate) struct NetStats {
     pub(crate) overloaded: obs::Counter,
     pub(crate) drain_events: obs::Counter,
     pub(crate) worker_panics: obs::Counter,
+    pub(crate) match_registered: obs::Counter,
+    pub(crate) match_rejected: obs::Counter,
     pub(crate) open_conns: obs::Gauge,
     pub(crate) request_latency: obs::Histogram,
 }
@@ -33,7 +35,7 @@ pub(crate) struct NetStats {
 /// The `(family name, snapshot field)` table — shared by registration and
 /// [`init_metrics`], so the exposition surfaces can never drift from the
 /// snapshot.
-const FAMILIES: [&str; 13] = [
+const FAMILIES: [&str; 15] = [
     "t4o_net_conns_accepted_total",
     "t4o_net_conns_rejected_total",
     "t4o_net_conns_reaped_total",
@@ -47,6 +49,8 @@ const FAMILIES: [&str; 13] = [
     "t4o_net_overloaded_total",
     "t4o_net_drain_events_total",
     "t4o_net_worker_panics_total",
+    "t4o_match_registered_total",
+    "t4o_match_rejected_total",
 ];
 
 impl NetStats {
@@ -67,6 +71,8 @@ impl NetStats {
             overloaded: registry.counter(FAMILIES[10]),
             drain_events: registry.counter(FAMILIES[11]),
             worker_panics: registry.counter(FAMILIES[12]),
+            match_registered: registry.counter(FAMILIES[13]),
+            match_rejected: registry.counter(FAMILIES[14]),
             open_conns: registry.gauge("t4o_net_open_conns"),
             request_latency: registry.histogram("t4o_net_request_nanos"),
         }
@@ -87,6 +93,8 @@ impl NetStats {
             overloaded: self.overloaded.get(),
             drain_events: self.drain_events.get(),
             worker_panics: self.worker_panics.get(),
+            match_registered: self.match_registered.get(),
+            match_rejected: self.match_rejected.get(),
             open_conns: self.open_conns.get().max(0) as u64,
         }
     }
@@ -142,6 +150,10 @@ pub struct NetSnapshot {
     /// Panics caught at a connection-handler boundary. Always 0 unless
     /// there is a bug; the storm tests assert on it.
     pub worker_panics: u64,
+    /// Grammars accepted (registered or redefined) through `REQ_GRAMMAR`.
+    pub match_registered: u64,
+    /// Grammar registrations rejected by the LL(1) front end.
+    pub match_rejected: u64,
     /// Currently open connections.
     pub open_conns: u64,
 }
@@ -149,7 +161,7 @@ pub struct NetSnapshot {
 impl NetSnapshot {
     /// The `(name, value)` pairs in declaration order — the single source
     /// for both renderings below.
-    fn fields(&self) -> [(&'static str, u64); 14] {
+    fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("conns_accepted", self.conns_accepted),
             ("conns_rejected", self.conns_rejected),
@@ -164,6 +176,8 @@ impl NetSnapshot {
             ("overloaded", self.overloaded),
             ("drain_events", self.drain_events),
             ("worker_panics", self.worker_panics),
+            ("match_registered", self.match_registered),
+            ("match_rejected", self.match_rejected),
             ("open_conns", self.open_conns),
         ]
     }
@@ -233,5 +247,7 @@ mod tests {
         let page = obs::global().snapshot().to_prometheus();
         assert!(page.contains("t4o_net_conns_accepted_total"));
         assert!(page.contains("t4o_net_drain_events_total"));
+        assert!(page.contains("t4o_match_registered_total"));
+        assert!(page.contains("t4o_match_rejected_total"));
     }
 }

@@ -47,6 +47,12 @@ pub const REQ_SPEC: u8 = 0x01;
 pub const REQ_REGISTER: u8 = 0x02;
 /// Liveness probe; the server answers [`RESP_PONG`].
 pub const REQ_PING: u8 = 0x03;
+/// Register (or redefine) a *grammar* under a logical name (payload:
+/// [`GrammarWireRequest`]). The server compiles the grammar text into a
+/// matcher workload — the grammar embedded static, the input word dynamic
+/// — so a subsequent [`REQ_SPEC`] for the name (with no statics) answers
+/// with the compiled recognizer.
+pub const REQ_GRAMMAR: u8 = 0x04;
 
 /// Success: payload is raw `.t4o` object bytes.
 pub const RESP_OBJECT: u8 = 0x81;
@@ -425,6 +431,49 @@ impl RegisterWireRequest {
     }
 }
 
+/// A [`REQ_GRAMMAR`] payload: register (or redefine) the grammar `text`
+/// under the logical `name`. Unlike [`REQ_REGISTER`], the server owns the
+/// program construction: it validates the grammar (typed 400 on anything
+/// outside the LL(1) subset), splices it into the matcher interpreter,
+/// and applies the matcher's unfold/memoize policies — none of which the
+/// generic register frame can carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarWireRequest {
+    /// Tenant auth token (empty in open mode).
+    pub token: String,
+    /// Logical name to register under.
+    pub name: String,
+    /// Grammar source text (one rule-list datum).
+    pub text: String,
+}
+
+impl GrammarWireRequest {
+    /// Renders the payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.token);
+        put_str(&mut out, &self.name);
+        put_str(&mut out, &self.text);
+        out
+    }
+
+    /// Parses a [`REQ_GRAMMAR`] payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadPayload`] on any malformed field.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut at = 0;
+        let token = get_str(payload, &mut at)?;
+        let name = get_str(payload, &mut at)?;
+        let text = get_str(payload, &mut at)?;
+        if at != payload.len() {
+            return Err(ProtocolError::BadPayload("trailing bytes after request"));
+        }
+        Ok(GrammarWireRequest { token, name, text })
+    }
+}
+
 // ---- error responses ---------------------------------------------------
 
 /// A decoded [`RESP_ERROR`] payload. `code` reuses HTTP semantics so one
@@ -583,6 +632,26 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(&h[..]), 1 << 20),
             Err(ProtocolError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn grammar_payload_roundtrip_and_truncations() {
+        let req = GrammarWireRequest {
+            token: String::new(),
+            name: "ident".into(),
+            text: "((w (star a) b))".into(),
+        };
+        assert_eq!(
+            GrammarWireRequest::decode(&req.encode()).expect("grammar"),
+            req
+        );
+        assert!(GrammarWireRequest::decode(&[]).is_err());
+        let mut p = req.encode();
+        p.push(0); // trailing byte
+        assert!(matches!(
+            GrammarWireRequest::decode(&p),
+            Err(ProtocolError::BadPayload("trailing bytes after request"))
         ));
     }
 

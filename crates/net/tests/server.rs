@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use two4one::{Division, Pgg, BT};
+use two4one::{run_image, Division, Pgg, BT};
 use two4one_net::tenants::TenantTable;
 use two4one_net::wire::{SpecWireRequest, WireError};
 use two4one_net::{wire, NetConfig, NetServer};
@@ -234,6 +234,102 @@ fn register_over_the_wire_then_specialize() {
 
     drop(conn);
     assert_eq!(server.shutdown().worker_panics, 0);
+}
+
+#[test]
+fn grammar_over_the_wire_registers_serves_and_redefines() {
+    use two4one_langs::grammar;
+
+    let server = NetServer::bind(
+        Arc::new(SpecService::new()),
+        NetConfig {
+            // Grammar registration runs cogen inline; give it room in
+            // debug builds instead of racing the reaper.
+            request_deadline: Duration::from_secs(30),
+            ..quick_config()
+        },
+    )
+    .expect("bind");
+    let mut conn = connect(&server);
+
+    let grammar_frame = |text: &str| {
+        wire::GrammarWireRequest {
+            token: String::new(),
+            name: "word".into(),
+            text: text.into(),
+        }
+        .encode()
+    };
+    let fetch_recognizer = |conn: &mut TcpStream| {
+        let obj = exchange(
+            conn,
+            wire::REQ_SPEC,
+            &spec_frame("word", "", wire::WANT_OBJECT),
+        );
+        assert_eq!(obj.ftype, wire::RESP_OBJECT);
+        two4one::decode_image(&obj.payload).expect("decode recognizer")
+    };
+    let accepts = |img: &two4one::Image, word: &str| {
+        let out = run_image(img, img.entry.as_str(), &[grammar::input_datum(word)])
+            .expect("run recognizer");
+        out.value == two4one::Datum::Bool(true)
+    };
+
+    // Register a grammar by name: the server parses, checks LL(1),
+    // builds the matcher workload, and cogens a recognizer gen-ext.
+    let resp = exchange(
+        &mut conn,
+        wire::REQ_GRAMMAR,
+        &grammar_frame("((word (plus letter))\n (letter (alt a b c)))"),
+    );
+    assert_eq!(resp.ftype, wire::RESP_META);
+    let text = String::from_utf8(resp.payload).expect("utf8");
+    assert!(text.contains("\"registered\": \"word\""), "{text}");
+    assert!(text.contains("\"epoch\": 1"), "{text}");
+    assert!(text.contains("\"rules\": 2"), "{text}");
+
+    // The registered grammar serves REQ_SPEC like any named program: an
+    // empty statics string specializes the (all-dynamic) matcher and the
+    // residual recognizer comes back as a loadable object.
+    let v1 = fetch_recognizer(&mut conn);
+    assert!(accepts(&v1, "abcba"));
+    assert!(!accepts(&v1, "abd"));
+    assert!(!accepts(&v1, ""));
+
+    // Redefining the grammar under the same name bumps the epoch and
+    // invalidates the cached recognizer...
+    let resp = exchange(
+        &mut conn,
+        wire::REQ_GRAMMAR,
+        &grammar_frame("((word (plus letter))\n (letter (alt d e)))"),
+    );
+    let text = String::from_utf8(resp.payload).expect("utf8");
+    assert!(text.contains("\"epoch\": 2"), "{text}");
+
+    // ...so the next fetch serves the *new* language, not the stale one.
+    let v2 = fetch_recognizer(&mut conn);
+    assert!(accepts(&v2, "dede"));
+    assert!(!accepts(&v2, "abcba"));
+
+    // Rejected grammars are typed 400s naming the defect, and the
+    // connection stays usable.
+    let resp = exchange(
+        &mut conn,
+        wire::REQ_GRAMMAR,
+        &grammar_frame("((word word))"),
+    );
+    assert_eq!(resp.ftype, wire::RESP_ERROR);
+    let err = WireError::decode(&resp.payload).expect("decode 400");
+    assert_eq!(err.code, 400);
+    assert!(err.message.contains("bad grammar"), "{}", err.message);
+    let pong = exchange(&mut conn, wire::REQ_PING, &[]);
+    assert_eq!(pong.ftype, wire::RESP_PONG);
+
+    drop(conn);
+    let snap = server.shutdown();
+    assert_eq!(snap.worker_panics, 0);
+    assert_eq!(snap.match_registered, 2, "{snap}");
+    assert_eq!(snap.match_rejected, 1, "{snap}");
 }
 
 #[test]

@@ -26,7 +26,7 @@ pub mod peephole;
 
 pub use asm::{Asm, AsmError, Label};
 pub use genops::{decode_genext, encode_genext, GenDef, GenInstr, GenLam, GenParam, GenProgram};
-pub use machine::{ExecProfile, Machine, VmError};
+pub use machine::{init_dispatch_metrics, ExecProfile, Machine, VmError};
 pub use objfile::{decode as decode_image, encode as encode_image, ObjError};
 pub use peephole::{optimize_image, optimize_template};
 
@@ -97,7 +97,96 @@ pub enum Instr {
     /// Fused `Const i; Push` (literal-argument loading); same contract as
     /// [`Instr::LocalPush`].
     ConstPush(u16),
+    /// Fused `LocalPush i; Prim` — local-load-compare and friends: push
+    /// local slot `local` as the final primitive argument and apply the
+    /// primitive in one dispatch. The hottest residual-matcher pair
+    /// (`(eq? c <char>)` compiles to `local-push; const-push; prim eq?`
+    /// and fuses twice). Produced only by the peephole fuser.
+    LocalPrim {
+        /// Local slot pushed as the last argument.
+        local: u16,
+        /// The primitive.
+        prim: Prim,
+        /// Argument count (including the fused push).
+        nargs: u8,
+    },
+    /// Fused `ConstPush i; Prim`; same contract as [`Instr::LocalPrim`]
+    /// with a constant-table load instead of a local load.
+    ConstPrim {
+        /// Constant slot pushed as the last argument.
+        konst: u16,
+        /// The primitive.
+        prim: Prim,
+        /// Argument count (including the fused push).
+        nargs: u8,
+    },
+    /// Fused `Prim; JumpIfFalse` — compare-branch: apply the primitive
+    /// (result in `val`, exactly as [`Instr::Prim`]) and jump to `target`
+    /// if the result is `#f`. Produced only by the peephole fuser.
+    PrimBranch {
+        /// The primitive.
+        prim: Prim,
+        /// Argument count.
+        nargs: u8,
+        /// Branch target when the result is `#f`.
+        target: u32,
+    },
 }
+
+impl Instr {
+    /// Number of distinct opcodes (the length of [`OP_NAMES`]).
+    pub const N_OPS: usize = 19;
+
+    /// Dense opcode index, for per-opcode dispatch accounting:
+    /// `OP_NAMES[i.opcode()]` names the instruction family.
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::Const(_) => 0,
+            Instr::Global(_) => 1,
+            Instr::Local(_) => 2,
+            Instr::Captured(_) => 3,
+            Instr::Push => 4,
+            Instr::Bind => 5,
+            Instr::Trim(_) => 6,
+            Instr::MakeClosure { .. } => 7,
+            Instr::Call { .. } => 8,
+            Instr::TailCall { .. } => 9,
+            Instr::Return => 10,
+            Instr::Jump(_) => 11,
+            Instr::JumpIfFalse(_) => 12,
+            Instr::Prim { .. } => 13,
+            Instr::LocalPush(_) => 14,
+            Instr::ConstPush(_) => 15,
+            Instr::LocalPrim { .. } => 16,
+            Instr::ConstPrim { .. } => 17,
+            Instr::PrimBranch { .. } => 18,
+        }
+    }
+}
+
+/// Opcode names indexed by [`Instr::opcode`] — the `op` label values of
+/// the `t4o_vm_dispatch_total` counter family.
+pub const OP_NAMES: [&str; Instr::N_OPS] = [
+    "const",
+    "global",
+    "local",
+    "captured",
+    "push",
+    "bind",
+    "trim",
+    "make-closure",
+    "call",
+    "tail-call",
+    "return",
+    "jump",
+    "jump-if-false",
+    "prim",
+    "local-push",
+    "const-push",
+    "local-prim",
+    "const-prim",
+    "prim-branch",
+];
 
 /// A code object: instructions plus the constant, global, and sub-template
 /// tables (Scheme 48 keeps these in the template too).
@@ -180,6 +269,17 @@ impl Template {
                 Instr::Prim { prim, nargs } => format!("prim {prim}/{nargs}"),
                 Instr::LocalPush(i) => format!("local-push {i}"),
                 Instr::ConstPush(k) => format!("const-push {}", self.consts[*k as usize]),
+                Instr::LocalPrim { local, prim, nargs } => {
+                    format!("local-prim {local} {prim}/{nargs}")
+                }
+                Instr::ConstPrim { konst, prim, nargs } => {
+                    format!("const-prim {} {prim}/{nargs}", self.consts[*konst as usize])
+                }
+                Instr::PrimBranch {
+                    prim,
+                    nargs,
+                    target,
+                } => format!("prim-branch {prim}/{nargs} {target}"),
             };
             out.push_str(&format!("{pad}  {i:4}  {text}\n"));
         }

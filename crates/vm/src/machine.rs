@@ -1,10 +1,10 @@
 //! The byte-code interpreter.
 
-use crate::{Closure, Image, Instr, Proc, Template, Value};
+use crate::{Closure, Image, Instr, Proc, Template, Value, OP_NAMES};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use two4one_syntax::limits::{Deadline, LimitExceeded, Limits};
 use two4one_syntax::symbol::Symbol;
 use two4one_syntax::value::{apply_prim, write_string, PrimError};
@@ -76,6 +76,26 @@ struct Frame {
     stack_base: usize,
 }
 
+/// The `t4o_vm_dispatch_total{op=...}` counter family, one series per
+/// opcode, resolved once per process. The dispatch loop increments a plain
+/// per-machine array; [`Machine::flush_profile`] publishes the deltas here,
+/// so the registry lock is touched at the amortized stride, never
+/// per-instruction.
+fn dispatch_counters() -> &'static [two4one_obs::Counter; Instr::N_OPS] {
+    static COUNTERS: OnceLock<[two4one_obs::Counter; Instr::N_OPS]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        std::array::from_fn(|i| {
+            two4one_obs::global().counter_with("t4o_vm_dispatch_total", Some(("op", OP_NAMES[i])))
+        })
+    })
+}
+
+/// Forces registration of the per-opcode dispatch counter family so an
+/// exposition page shows every series, zero-valued, before any code runs.
+pub fn init_dispatch_metrics() {
+    let _ = dispatch_counters();
+}
+
 /// Shared execution counters for one image, in the mijit style
 /// (`Statistics { fetches, retires, visits }`): `fetches` counts
 /// instructions dispatched, `retires` counts frames returned, `visits`
@@ -141,6 +161,9 @@ pub struct Machine {
     pf_fetches: u64,
     pf_retires: u64,
     pf_visits: u64,
+    /// Per-opcode dispatch deltas, indexed by [`Instr::opcode`]; published
+    /// to the `t4o_vm_dispatch_total` family at the profile-flush stride.
+    op_counts: [u64; Instr::N_OPS],
 }
 
 impl Default for Machine {
@@ -165,6 +188,7 @@ impl Machine {
             pf_fetches: 0,
             pf_retires: 0,
             pf_visits: 0,
+            op_counts: [0; Instr::N_OPS],
         }
     }
 
@@ -272,6 +296,15 @@ impl Machine {
         self.pf_fetches = 0;
         self.pf_retires = 0;
         self.pf_visits = 0;
+        if self.op_counts.iter().any(|c| *c > 0) {
+            let counters = dispatch_counters();
+            for (i, c) in self.op_counts.iter_mut().enumerate() {
+                if *c > 0 {
+                    counters[i].add(*c);
+                    *c = 0;
+                }
+            }
+        }
     }
 
     fn tick(&mut self) -> Result<(), VmError> {
@@ -342,139 +375,187 @@ impl Machine {
         Ok(())
     }
 
-    fn frame(&self) -> Result<&Frame, VmError> {
-        self.frames.last().ok_or(VmError::Internal("no frame"))
-    }
-
-    fn frame_mut(&mut self) -> Result<&mut Frame, VmError> {
-        self.frames.last_mut().ok_or(VmError::Internal("no frame"))
-    }
-
     /// The main loop. Returns when the frame stack drops back to `floor`.
+    ///
+    /// Dispatch is organized as two nested loops so the straight-line hot
+    /// path never touches the frame stack: the outer loop pulls the top
+    /// frame's hot state — the closure `Arc`, the program counter, and
+    /// the locals vector — into locals of `run` itself, and the inner
+    /// loop fetches from a cached `&[Instr]` slice. Only control
+    /// transfers (call, tail call, return) write state back and re-enter
+    /// the outer loop; everything else runs with no `frames.last_mut()`
+    /// per instruction. An error may leave the *top* frame's fields stale
+    /// (its locals are taken for the duration of the inner loop), which
+    /// is harmless: every error unwinds past it — [`Machine::call_value`]
+    /// truncates the frame stack above the floor on error, and frames
+    /// below the top had their state written back at their call sites.
     fn run(&mut self, floor: usize) -> Result<Value, VmError> {
+        /// What broke dispatch out of the current frame's inner loop.
+        enum Ctl {
+            Call { nargs: u8, tail: bool },
+            Return,
+        }
         loop {
-            self.tick()?;
-            let instr = {
+            // Enter (or resume) the top frame.
+            let (closure, mut pc, mut locals) = {
                 let f = self
                     .frames
                     .last_mut()
                     .ok_or(VmError::Internal("no frame"))?;
-                let i = *f
-                    .closure
-                    .template
-                    .code
-                    .get(f.pc)
-                    .ok_or(VmError::Internal("pc out of range"))?;
-                f.pc += 1;
-                i
+                (f.closure.clone(), f.pc, std::mem::take(&mut f.locals))
             };
-            self.pf_fetches += 1;
-            match instr {
-                Instr::Const(i) => {
-                    let d = {
-                        let f = self.frame()?;
-                        f.closure
+            let code: &[Instr] = &closure.template.code;
+            let ctl = loop {
+                self.tick()?;
+                let instr = *code.get(pc).ok_or(VmError::Internal("pc out of range"))?;
+                pc += 1;
+                self.pf_fetches += 1;
+                self.op_counts[instr.opcode()] += 1;
+                match instr {
+                    Instr::Const(i) => {
+                        let d = closure
                             .template
                             .consts
                             .get(i as usize)
-                            .cloned()
-                            .ok_or(VmError::Internal("constant index out of range"))?
-                    };
-                    self.val = Value::from(&d);
-                }
-                Instr::Global(i) => {
-                    let name = {
-                        let f = self.frame()?;
-                        f.closure
+                            .ok_or(VmError::Internal("constant index out of range"))?;
+                        self.val = Value::from(d);
+                    }
+                    Instr::Global(i) => {
+                        let name = closure
                             .template
                             .globals
                             .get(i as usize)
                             .cloned()
-                            .ok_or(VmError::Internal("global index out of range"))?
-                    };
-                    self.val = self
-                        .globals
-                        .get(&name)
-                        .cloned()
-                        .ok_or(VmError::UnknownGlobal(name))?;
-                }
-                Instr::Local(i) => {
-                    let f = self.frame()?;
-                    self.val = f
-                        .locals
-                        .get(i as usize)
-                        .cloned()
-                        .ok_or(VmError::Internal("local index out of range"))?;
-                }
-                Instr::Captured(i) => {
-                    let f = self.frame()?;
-                    self.val = f
-                        .closure
-                        .captured
-                        .get(i as usize)
-                        .cloned()
-                        .ok_or(VmError::Internal("capture index out of range"))?;
-                }
-                Instr::Push => {
-                    self.stack.push(self.val.clone());
-                }
-                Instr::LocalPush(i) => {
-                    // Fused `Local i; Push`: same observable effect,
-                    // including leaving the value in `val`.
-                    let v = {
-                        let f = self.frame()?;
-                        f.locals
+                            .ok_or(VmError::Internal("global index out of range"))?;
+                        self.val = self
+                            .globals
+                            .get(&name)
+                            .cloned()
+                            .ok_or(VmError::UnknownGlobal(name))?;
+                    }
+                    Instr::Local(i) => {
+                        self.val = locals
                             .get(i as usize)
                             .cloned()
-                            .ok_or(VmError::Internal("local index out of range"))?
-                    };
-                    self.val = v.clone();
-                    self.stack.push(v);
-                }
-                Instr::ConstPush(i) => {
-                    let d = {
-                        let f = self.frame()?;
-                        f.closure
+                            .ok_or(VmError::Internal("local index out of range"))?;
+                    }
+                    Instr::Captured(i) => {
+                        self.val = closure
+                            .captured
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("capture index out of range"))?;
+                    }
+                    Instr::Push => {
+                        self.stack.push(self.val.clone());
+                    }
+                    Instr::LocalPush(i) => {
+                        // Fused `Local i; Push`: same observable effect,
+                        // including leaving the value in `val`.
+                        let v = locals
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or(VmError::Internal("local index out of range"))?;
+                        self.val = v.clone();
+                        self.stack.push(v);
+                    }
+                    Instr::ConstPush(i) => {
+                        let d = closure
                             .template
                             .consts
                             .get(i as usize)
+                            .ok_or(VmError::Internal("constant index out of range"))?;
+                        let v = Value::from(d);
+                        self.val = v.clone();
+                        self.stack.push(v);
+                    }
+                    Instr::LocalPrim { local, prim, nargs } => {
+                        // Fused `LocalPush local; Prim`: the local is the
+                        // last argument pushed.
+                        let v = locals
+                            .get(local as usize)
                             .cloned()
-                            .ok_or(VmError::Internal("constant index out of range"))?
-                    };
-                    let v = Value::from(&d);
-                    self.val = v.clone();
-                    self.stack.push(v);
-                }
-                Instr::Bind => {
-                    let v = self.val.clone();
-                    self.frame_mut()?.locals.push(v);
-                }
-                Instr::Trim(n) => {
-                    self.frame_mut()?.locals.truncate(n as usize);
-                }
-                Instr::MakeClosure { template, nfree } => {
-                    let t = {
-                        let f = self.frame()?;
-                        f.closure
+                            .ok_or(VmError::Internal("local index out of range"))?;
+                        self.stack.push(v);
+                        let args = self.pop_args(nargs as usize)?;
+                        self.val = apply_prim(prim, &args, &mut self.output)?;
+                    }
+                    Instr::ConstPrim { konst, prim, nargs } => {
+                        let d = closure
+                            .template
+                            .consts
+                            .get(konst as usize)
+                            .ok_or(VmError::Internal("constant index out of range"))?;
+                        self.stack.push(Value::from(d));
+                        let args = self.pop_args(nargs as usize)?;
+                        self.val = apply_prim(prim, &args, &mut self.output)?;
+                    }
+                    Instr::PrimBranch {
+                        prim,
+                        nargs,
+                        target,
+                    } => {
+                        // Fused `Prim; JumpIfFalse`: result lands in `val`
+                        // exactly as for the unfused pair.
+                        let args = self.pop_args(nargs as usize)?;
+                        self.val = apply_prim(prim, &args, &mut self.output)?;
+                        if !self.val.is_truthy() {
+                            pc = target as usize;
+                        }
+                    }
+                    Instr::Bind => {
+                        locals.push(self.val.clone());
+                    }
+                    Instr::Trim(n) => {
+                        locals.truncate(n as usize);
+                    }
+                    Instr::MakeClosure { template, nfree } => {
+                        let t = closure
                             .template
                             .templates
                             .get(template as usize)
                             .cloned()
-                            .ok_or(VmError::Internal("template index out of range"))?
-                    };
-                    if t.nfree != nfree {
-                        debug_assert_eq!(t.nfree, nfree, "closure capture count mismatch");
-                        return Err(VmError::Internal("closure capture count mismatch"));
+                            .ok_or(VmError::Internal("template index out of range"))?;
+                        if t.nfree != nfree {
+                            debug_assert_eq!(t.nfree, nfree, "closure capture count mismatch");
+                            return Err(VmError::Internal("closure capture count mismatch"));
+                        }
+                        let captured = self.pop_args(nfree as usize)?;
+                        self.val = Value::Proc(Proc(Arc::new(Closure {
+                            template: t,
+                            captured,
+                        })));
                     }
-                    let captured = self.pop_args(nfree as usize)?;
-                    self.val = Value::Proc(Proc(Arc::new(Closure {
-                        template: t,
-                        captured,
-                    })));
+                    Instr::Call { nargs } => break Ctl::Call { nargs, tail: false },
+                    Instr::TailCall { nargs } => break Ctl::Call { nargs, tail: true },
+                    Instr::Return => break Ctl::Return,
+                    Instr::Jump(t) => {
+                        pc = t as usize;
+                    }
+                    Instr::JumpIfFalse(t) => {
+                        if !self.val.is_truthy() {
+                            pc = t as usize;
+                        }
+                    }
+                    Instr::Prim { prim, nargs } => {
+                        let args = self.pop_args(nargs as usize)?;
+                        self.val = apply_prim(prim, &args, &mut self.output)?;
+                    }
                 }
-                Instr::Call { nargs } => self.enter_call(nargs, false)?,
-                Instr::TailCall { nargs } => self.enter_call(nargs, true)?,
-                Instr::Return => {
+            };
+            match ctl {
+                Ctl::Call { nargs, tail } => {
+                    {
+                        let f = self
+                            .frames
+                            .last_mut()
+                            .ok_or(VmError::Internal("no frame"))?;
+                        f.pc = pc;
+                        f.locals = locals;
+                    }
+                    self.enter_call(nargs, tail)?;
+                }
+                Ctl::Return => {
                     self.pf_retires += 1;
                     let f = self.frames.pop().ok_or(VmError::Internal("no frame"))?;
                     debug_assert_eq!(
@@ -486,18 +567,6 @@ impl Machine {
                     if self.frames.len() == floor {
                         return Ok(std::mem::replace(&mut self.val, Value::Unspec));
                     }
-                }
-                Instr::Jump(t) => {
-                    self.frame_mut()?.pc = t as usize;
-                }
-                Instr::JumpIfFalse(t) => {
-                    if !self.val.is_truthy() {
-                        self.frame_mut()?.pc = t as usize;
-                    }
-                }
-                Instr::Prim { prim, nargs } => {
-                    let args = self.pop_args(nargs as usize)?;
-                    self.val = apply_prim(prim, &args, &mut self.output)?;
                 }
             }
         }

@@ -269,6 +269,28 @@ fn put_instr(out: &mut Vec<u8>, i: &Instr) {
             put_str(out, prim.name());
             out.push(*nargs);
         }
+        Instr::LocalPrim { local, prim, nargs } => {
+            out.push(16);
+            put_u16(out, *local);
+            put_str(out, prim.name());
+            out.push(*nargs);
+        }
+        Instr::ConstPrim { konst, prim, nargs } => {
+            out.push(17);
+            put_u16(out, *konst);
+            put_str(out, prim.name());
+            out.push(*nargs);
+        }
+        Instr::PrimBranch {
+            prim,
+            nargs,
+            target,
+        } => {
+            out.push(18);
+            put_str(out, prim.name());
+            out.push(*nargs);
+            put_u32(out, *target);
+        }
     }
 }
 
@@ -424,6 +446,35 @@ impl<'a> Reader<'a> {
             }
             14 => Instr::LocalPush(self.u16()?),
             15 => Instr::ConstPush(self.u16()?),
+            16 => {
+                let local = self.u16()?;
+                let name = self.str()?;
+                let prim = Prim::from_name(&name).ok_or(ObjError::BadPrim(name.clone()))?;
+                Instr::LocalPrim {
+                    local,
+                    prim,
+                    nargs: self.u8()?,
+                }
+            }
+            17 => {
+                let konst = self.u16()?;
+                let name = self.str()?;
+                let prim = Prim::from_name(&name).ok_or(ObjError::BadPrim(name.clone()))?;
+                Instr::ConstPrim {
+                    konst,
+                    prim,
+                    nargs: self.u8()?,
+                }
+            }
+            18 => {
+                let name = self.str()?;
+                let prim = Prim::from_name(&name).ok_or(ObjError::BadPrim(name.clone()))?;
+                Instr::PrimBranch {
+                    prim,
+                    nargs: self.u8()?,
+                    target: self.u32()?,
+                }
+            }
             t => return Err(ObjError::BadTag("instr", t)),
         })
     }
@@ -527,6 +578,48 @@ mod tests {
             assert_eq!(n1, n2);
             assert_eq!(t1, t2);
         }
+    }
+
+    #[test]
+    fn superinstruction_tags_roundtrip() {
+        // Every fused instruction (tags 14–18) must survive a round trip,
+        // including the primitive name encoding and the branch target.
+        let t = Arc::new(Template {
+            name: Symbol::new("fused"),
+            arity: 1,
+            nfree: 0,
+            code: vec![
+                Instr::LocalPush(0),
+                Instr::ConstPush(0),
+                Instr::LocalPrim {
+                    local: 0,
+                    prim: Prim::EqP,
+                    nargs: 2,
+                },
+                Instr::ConstPrim {
+                    konst: 0,
+                    prim: Prim::Add,
+                    nargs: 2,
+                },
+                Instr::PrimBranch {
+                    prim: Prim::NullP,
+                    nargs: 1,
+                    target: 6,
+                },
+                Instr::Return,
+                Instr::Const(0),
+                Instr::Return,
+            ],
+            consts: vec![Datum::Int(1)],
+            globals: vec![],
+            templates: vec![],
+        });
+        let image = Image {
+            templates: vec![(Symbol::new("fused"), t)],
+            entry: Symbol::new("fused"),
+        };
+        let back = decode(&encode(&image)).unwrap();
+        assert_eq!(back.templates[0].1, image.templates[0].1);
     }
 
     #[test]

@@ -9,11 +9,20 @@
 //! * **unreachable-code elimination** — instructions that no fall-through
 //!   or jump can reach are removed, and every jump target is remapped to
 //!   the compacted indices;
-//! * **superinstruction fusion** — the two hottest pairs the compilators
-//!   emit (argument loading) become single instructions: `Local i; Push` →
-//!   `LocalPush i` and `Const i; Push` → `ConstPush i`. A pair is fused
-//!   only when nothing jumps *between* the two instructions, and all jump
-//!   targets are remapped to the shortened code.
+//! * **superinstruction fusion** — the hottest pairs the per-opcode
+//!   dispatch counts surface become single instructions, applied to a
+//!   fixpoint so chains collapse over successive passes:
+//!   - `Local i; Push` → `LocalPush i` and `Const i; Push` → `ConstPush i`
+//!     (argument loading);
+//!   - `LocalPush i; Prim` → `LocalPrim` and `ConstPush i; Prim` →
+//!     `ConstPrim` (local-load-compare — the residual matcher's
+//!     `(eq? c <char>)` collapses to a single `const-prim`);
+//!   - `Prim; JumpIfFalse` → `PrimBranch` (compare-branch — the guard of
+//!     every residual character dispatch).
+//!
+//!   A pair is fused only when nothing jumps *between* the two
+//!   instructions, and all jump targets are remapped to the shortened
+//!   code.
 //!
 //! The pass is semantics-preserving byte-code-to-byte-code; correctness is
 //! checked by running the cross-engine suite over optimized images and by
@@ -75,6 +84,15 @@ fn thread_jumps(code: &[Instr]) -> Vec<Instr> {
         .map(|i| match i {
             Instr::Jump(t) => Instr::Jump(chase(code, *t)),
             Instr::JumpIfFalse(t) => Instr::JumpIfFalse(chase(code, *t)),
+            Instr::PrimBranch {
+                prim,
+                nargs,
+                target,
+            } => Instr::PrimBranch {
+                prim: *prim,
+                nargs: *nargs,
+                target: chase(code, *target),
+            },
             other => *other,
         })
         .collect()
@@ -93,7 +111,7 @@ fn drop_unreachable(code: &[Instr]) -> Vec<Instr> {
         reachable[pc] = true;
         match code[pc] {
             Instr::Jump(t) => work.push(t as usize),
-            Instr::JumpIfFalse(t) => {
+            Instr::JumpIfFalse(t) | Instr::PrimBranch { target: t, .. } => {
                 work.push(t as usize);
                 work.push(pc + 1);
             }
@@ -116,23 +134,43 @@ fn drop_unreachable(code: &[Instr]) -> Vec<Instr> {
     code.iter()
         .enumerate()
         .filter(|(i, _)| reachable[*i])
-        .map(|(_, instr)| match instr {
-            Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
-            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
-            other => *other,
-        })
+        .map(|(_, instr)| retarget(instr, |t| remap[t as usize]))
         .collect()
 }
 
-/// Fuses `Local i; Push` → `LocalPush i` and `Const i; Push` →
-/// `ConstPush i`. The `Push` half must not itself be a jump target (a
-/// branch landing between the pair would skip the load); jump targets are
-/// remapped to the shortened indices afterwards.
+/// Rewrites every branch target of `instr` through `map`; non-branching
+/// instructions pass through unchanged.
+fn retarget(instr: &Instr, map: impl Fn(u32) -> u32) -> Instr {
+    match instr {
+        Instr::Jump(t) => Instr::Jump(map(*t)),
+        Instr::JumpIfFalse(t) => Instr::JumpIfFalse(map(*t)),
+        Instr::PrimBranch {
+            prim,
+            nargs,
+            target,
+        } => Instr::PrimBranch {
+            prim: *prim,
+            nargs: *nargs,
+            target: map(*target),
+        },
+        other => *other,
+    }
+}
+
+/// Fuses hot pairs: `Local i; Push` → `LocalPush i`, `Const i; Push` →
+/// `ConstPush i`, `LocalPush i; Prim` → `LocalPrim`, `ConstPush i; Prim`
+/// → `ConstPrim`, and `Prim; JumpIfFalse` → `PrimBranch`. The second half
+/// must not itself be a jump target (a branch landing between the pair
+/// would skip the first half); jump targets are remapped to the shortened
+/// indices afterwards. The outer fixpoint collapses chains: `local 0;
+/// push; prim eq?/2; jump-if-false L` reaches `local-push 0; prim-branch
+/// eq?/2 L` in one pass and `local-push; prim; push` reaches
+/// `local-prim; push` over two.
 fn fuse_pairs(code: &[Instr]) -> Vec<Instr> {
     let n = code.len();
     let mut is_target = vec![false; n];
     for i in code {
-        if let Instr::Jump(t) | Instr::JumpIfFalse(t) = i {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::PrimBranch { target: t, .. } = i {
             if (*t as usize) < n {
                 is_target[*t as usize] = true;
             }
@@ -148,6 +186,29 @@ fn fuse_pairs(code: &[Instr]) -> Vec<Instr> {
         let fused = match (code[i], code.get(i + 1)) {
             (Instr::Local(k), Some(Instr::Push)) if !is_target[i + 1] => Some(Instr::LocalPush(k)),
             (Instr::Const(k), Some(Instr::Push)) if !is_target[i + 1] => Some(Instr::ConstPush(k)),
+            (Instr::LocalPush(k), Some(&Instr::Prim { prim, nargs })) if !is_target[i + 1] => {
+                Some(Instr::LocalPrim {
+                    local: k,
+                    prim,
+                    nargs,
+                })
+            }
+            (Instr::ConstPush(k), Some(&Instr::Prim { prim, nargs })) if !is_target[i + 1] => {
+                Some(Instr::ConstPrim {
+                    konst: k,
+                    prim,
+                    nargs,
+                })
+            }
+            (Instr::Prim { prim, nargs }, Some(&Instr::JumpIfFalse(target)))
+                if !is_target[i + 1] =>
+            {
+                Some(Instr::PrimBranch {
+                    prim,
+                    nargs,
+                    target,
+                })
+            }
             _ => None,
         };
         if let Some(f) = fused {
@@ -161,11 +222,7 @@ fn fuse_pairs(code: &[Instr]) -> Vec<Instr> {
     }
     remap[n] = out.len() as u32;
     out.iter()
-        .map(|instr| match instr {
-            Instr::Jump(t) => Instr::Jump(remap[*t as usize]),
-            Instr::JumpIfFalse(t) => Instr::JumpIfFalse(remap[*t as usize]),
-            other => *other,
-        })
+        .map(|instr| retarget(instr, |t| remap[t as usize]))
         .collect()
 }
 
@@ -295,12 +352,14 @@ mod tests {
         let t = a.finish().unwrap();
         assert_eq!(t.code.len(), 6, "before fusion");
         let o = optimize_template(&t);
+        // Two passes: the pushes fuse first, then the trailing
+        // `const-push; prim` pair collapses into `const-prim`.
         assert_eq!(
             o.code,
             vec![
                 Instr::LocalPush(0),
-                Instr::ConstPush(one),
-                Instr::Prim {
+                Instr::ConstPrim {
+                    konst: one,
                     prim: Prim::Add,
                     nargs: 2
                 },
@@ -309,7 +368,7 @@ mod tests {
             "{}",
             o.disassemble()
         );
-        assert_eq!(o.code.len(), 4, "after fusion");
+        assert_eq!(o.code.len(), 3, "after fusion");
         let mut m = Machine::empty();
         m.define_template(Symbol::new("add1"), o);
         let v = m
@@ -352,7 +411,7 @@ mod tests {
         let t = a.finish().unwrap();
         assert_eq!(t.code.len(), 14, "before fusion");
         let o = optimize_template(&t);
-        assert_eq!(o.code.len(), 10, "after fusion");
+        assert_eq!(o.code.len(), 8, "after fusion");
         let mut m = Machine::empty();
         m.define_template(Symbol::new("f"), o);
         // Numbers are truthy: then-branch computes x+1.
@@ -415,7 +474,184 @@ mod tests {
         let o1 = optimize_template(&t);
         let o2 = optimize_template(&o1);
         assert_eq!(o1.code, o2.code);
-        assert_eq!(o1.code.len(), 4);
+        // local-push; local-prim; return — the second argument load fuses
+        // into the primitive application.
+        assert_eq!(o1.code.len(), 3);
+    }
+
+    #[test]
+    fn compare_branch_fuses_into_prim_branch() {
+        use two4one_syntax::prim::Prim;
+        // (if (eq? x 'a) 1 2): the `prim eq?; jump-if-false` pair must
+        // become a single `prim-branch`, and both branch paths must still
+        // produce the right answer.
+        let mut a = Asm::new(Symbol::new("f"), 1, 0);
+        let alt = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        let ka = a.const_index(&Datum::sym("a")).unwrap();
+        a.emit(Instr::Const(ka));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::EqP,
+            nargs: 2,
+        });
+        a.emit_jump_if_false(alt);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Return);
+        a.attach_label(alt);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o = optimize_template(&t);
+        assert!(
+            o.code.iter().any(|i| matches!(i, Instr::PrimBranch { .. })),
+            "{}",
+            o.disassemble()
+        );
+        assert!(
+            !o.code.iter().any(|i| matches!(i, Instr::JumpIfFalse(_))),
+            "{}",
+            o.disassemble()
+        );
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("f"), o);
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Sym(Symbol::new("a"))])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(1))
+        );
+        assert_eq!(
+            m.call_global(&Symbol::new("f"), vec![Value::Sym(Symbol::new("b"))])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(2))
+        );
+    }
+
+    #[test]
+    fn jump_if_false_that_is_a_target_stays_unfused() {
+        use two4one_syntax::prim::Prim;
+        // Another branch lands exactly on the `jump-if-false` that
+        // follows a prim: fusing the pair would run the primitive on the
+        // branch-in path too, so it must survive.
+        //
+        //   0: local 0
+        //   1: jump-if-false 5     ; #f goes straight onto the JIF
+        //   2: local 0
+        //   3: push
+        //   4: prim null?/1
+        //   5: jump-if-false 8     ; target of 1 AND fallthrough of 4
+        //   6: const 1
+        //   7: return
+        //   8: const 2
+        //   9: return
+        let mut a = Asm::new(Symbol::new("g"), 1, 0);
+        let onto_jif = a.make_label();
+        let alt = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit_jump_if_false(onto_jif);
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::NullP,
+            nargs: 1,
+        });
+        a.attach_label(onto_jif);
+        a.emit_jump_if_false(alt);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Return);
+        a.attach_label(alt);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o = optimize_template(&t);
+        assert!(
+            !o.code.iter().any(|i| matches!(i, Instr::PrimBranch { .. })),
+            "target JIF must not fuse:\n{}",
+            o.disassemble()
+        );
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("g"), o);
+        // nil is truthy and null: falls through 1, prim gives #t → 1.
+        assert_eq!(
+            m.call_global(&Symbol::new("g"), vec![Value::Nil])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(1))
+        );
+        // 9 is truthy but not null: prim gives #f → 2.
+        assert_eq!(
+            m.call_global(&Symbol::new("g"), vec![Value::Int(9)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(2))
+        );
+        // #f branches straight onto the JIF with val = #f → 2.
+        assert_eq!(
+            m.call_global(&Symbol::new("g"), vec![Value::Bool(false)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(2))
+        );
+    }
+
+    #[test]
+    fn prim_branch_targets_are_remapped_and_threaded() {
+        use two4one_syntax::prim::Prim;
+        // The false-path of the fused prim-branch goes through a jump
+        // chain and dead padding; the fused target must end up threaded
+        // and remapped to the compacted index.
+        let mut a = Asm::new(Symbol::new("h"), 1, 0);
+        let hop = a.make_label();
+        let alt = a.make_label();
+        a.emit(Instr::Local(0));
+        a.emit(Instr::Push);
+        a.emit(Instr::Prim {
+            prim: Prim::NullP,
+            nargs: 1,
+        });
+        a.emit_jump_if_false(hop);
+        let one = a.const_index(&Datum::Int(1)).unwrap();
+        a.emit(Instr::Const(one));
+        a.emit(Instr::Return);
+        a.attach_label(hop);
+        a.emit_jump(alt); // chain hop → alt
+        a.emit(Instr::Push); // dead
+        a.attach_label(alt);
+        let two = a.const_index(&Datum::Int(2)).unwrap();
+        a.emit(Instr::Const(two));
+        a.emit(Instr::Return);
+        let t = a.finish().unwrap();
+        let o = optimize_template(&t);
+        assert!(
+            o.code.iter().any(|i| matches!(i, Instr::PrimBranch { .. })),
+            "{}",
+            o.disassemble()
+        );
+        let mut m = Machine::empty();
+        m.define_template(Symbol::new("h"), o.clone());
+        assert_eq!(
+            m.call_global(&Symbol::new("h"), vec![Value::Nil])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(1)),
+            "{}",
+            o.disassemble()
+        );
+        assert_eq!(
+            m.call_global(&Symbol::new("h"), vec![Value::Int(0)])
+                .unwrap()
+                .to_datum(),
+            Some(Datum::Int(2)),
+            "{}",
+            o.disassemble()
+        );
     }
 
     #[test]

@@ -146,6 +146,96 @@ fn t4o_compile_run_spec_dis_workflow() {
 }
 
 #[test]
+fn t4o_spec_grammar_compiles_a_recognizer() {
+    let dir = tmp_dir();
+    let gsrc = dir.join("word.g");
+    std::fs::write(&gsrc, "((word (plus letter))\n (letter (alt a b c)))").unwrap();
+
+    // --grammar --source prints the residual recognizer: the grammar
+    // walk (gm-lookup / gm-match) is specialized away, the per-
+    // nonterminal residual functions remain.
+    let out = t4o()
+        .args(["spec", gsrc.to_str().unwrap(), "--grammar", "--source"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gm-nt"), "{text}");
+    assert!(!text.contains("gm-lookup"), "{text}");
+    assert!(!text.contains("gm-match"), "{text}");
+
+    // --grammar -o writes a runnable object: the recognizer accepts and
+    // rejects like the matcher interpreter would.
+    let obj = dir.join("word.t4o");
+    let out = t4o()
+        .args([
+            "spec",
+            gsrc.to_str().unwrap(),
+            "--grammar",
+            "--optimize",
+            "-o",
+            obj.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for (input, expect) in [(r"(#\a #\b #\c)", "#t"), (r"(#\a #\d)", "#f"), ("()", "#f")] {
+        let out = t4o()
+            .args([
+                "run",
+                obj.to_str().unwrap(),
+                "--entry",
+                "gm-main",
+                "--arg",
+                input,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), expect);
+    }
+
+    // The workload owns the entry and division.
+    let out = t4o()
+        .args([
+            "spec",
+            gsrc.to_str().unwrap(),
+            "--grammar",
+            "--entry",
+            "word",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--grammar"));
+
+    // Grammar defects are diagnosed, not panicked on.
+    std::fs::write(&gsrc, "((word word))").unwrap();
+    let out = t4o()
+        .args(["spec", gsrc.to_str().unwrap(), "--grammar", "--source"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad grammar"), "{err}");
+    assert!(err.contains("left-recursive"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn t4o_generic_compiler_flag() {
     let dir = tmp_dir();
     let src = dir.join("g.scm");
